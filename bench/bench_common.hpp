@@ -1,0 +1,60 @@
+// Shared helpers for the experiment-reproduction benches.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/options.hpp"
+#include "common/timer.hpp"
+#include "la/matrix.hpp"
+
+namespace fth::bench {
+
+/// Default size sweep. The paper runs 1022..10110 on a 1.4 TFLOP/s GPU;
+/// this container build scales the sweep down (see DESIGN.md §2) — the
+/// overhead trend is O(1/N) and reproduces at any scale. `--paper`
+/// restores the original sizes, `--sizes a,b,c` overrides explicitly.
+inline std::vector<index_t> sweep_sizes(const Options& opt) {
+  std::vector<index_t> fallback = {128, 192, 256, 384, 512, 768};
+  if (opt.has("paper")) {
+    fallback = {1022, 2046, 3070, 4030, 5182, 6014, 7038, 8062, 9086, 10110};
+  }
+  return opt.get_sizes("sizes", fallback);
+}
+
+/// Sizes for the (more expensive) residual studies: each run also forms Q.
+inline std::vector<index_t> residual_sizes(const Options& opt) {
+  std::vector<index_t> fallback = {128, 192, 256, 384, 512};
+  if (opt.has("paper")) {
+    fallback = {1022, 2046, 3070, 4030, 5182, 6014, 7038, 8062, 9086, 10110};
+  }
+  return opt.get_sizes("sizes", fallback);
+}
+
+/// Median of a (small) sample.
+inline double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t mid = v.size() / 2;
+  return v.size() % 2 == 1 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
+}
+
+/// GFLOP/s of a Hessenberg reduction that took `seconds`.
+inline double gehrd_gflops(index_t n, double seconds) {
+  const double dn = static_cast<double>(n);
+  return seconds > 0 ? 10.0 / 3.0 * dn * dn * dn / seconds / 1e9 : 0.0;
+}
+
+/// Standard bench banner.
+inline void banner(const char* title, const char* paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("Jia, Luszczek, Dongarra — \"Hessenberg Reduction with Transient\n");
+  std::printf("Error Resilience on GPU-Based Hybrid Architectures\", IPDPSW'16\n");
+  std::printf("================================================================\n");
+}
+
+}  // namespace fth::bench

@@ -1,0 +1,78 @@
+// Section V reproduction: the analytic overhead model.
+//
+// The paper derives FLOP_extra = O(N²) for the resilience machinery
+// (encode, V/Y checksums, checksum-extended updates, detection) against
+// FLOP_orig ≈ 10/3·N³ for the reduction, so the relative overhead decays
+// as O(1/N). This bench *measures* both FLOP counts with the library's
+// kernel-level counters and checks the decay, plus the storage formula
+// S = nb·N + 4N.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/flops.hpp"
+#include "common/options.hpp"
+#include "ft/ft_gehrd.hpp"
+#include "hybrid/hybrid_gehrd.hpp"
+#include "la/generate.hpp"
+
+using namespace fth;
+
+int main(int argc, char** argv) {
+  const Options opt(argc, argv);
+  const auto sizes = opt.get_sizes("sizes", {128, 192, 256, 384, 512, 768});
+  const index_t nb = opt.get_long("nb", 32);
+
+  bench::banner("Section V — measured extra FLOPs of the fault-tolerant algorithm",
+                "Section V analysis (FLOP_extra = O(N^2), overhead -> 0)");
+  std::printf("nb = %lld\n\n", static_cast<long long>(nb));
+  std::printf("%8s %16s %16s %14s %12s %12s %14s\n", "N", "FLOP base", "FLOP FT", "extra",
+              "extra/N^2", "overhead %", "model 10/3N^3");
+
+  double prev_ratio = -1.0;
+  bool decays = true;
+  for (const index_t n : sizes) {
+    hybrid::Device dev;
+    Matrix<double> a0 = random_matrix(n, n, 7);
+    std::vector<double> tau(static_cast<std::size_t>(n - 1));
+
+    flops::reset();
+    std::uint64_t base = 0, ftc = 0;
+    {
+      Matrix<double> a(a0.cview());
+      flops::Scope scope;
+      hybrid::hybrid_gehrd(dev, a.view(), VectorView<double>(tau.data(), n - 1),
+                           {.nb = nb, .nx = nb});
+      base = scope.delta();
+    }
+    {
+      Matrix<double> a(a0.cview());
+      flops::Scope scope;
+      ft::ft_gehrd(dev, a.view(), VectorView<double>(tau.data(), n - 1), {.nb = nb});
+      ftc = scope.delta();
+    }
+    const double extra = static_cast<double>(ftc) - static_cast<double>(base);
+    const double dn = static_cast<double>(n);
+    const double ratio = 100.0 * extra / static_cast<double>(base);
+    std::printf("%8lld %16llu %16llu %14.0f %12.3f %12.3f %14.3e\n",
+                static_cast<long long>(n), static_cast<unsigned long long>(base),
+                static_cast<unsigned long long>(ftc), extra, extra / (dn * dn), ratio,
+                10.0 / 3.0 * dn * dn * dn);
+    if (prev_ratio >= 0.0 && ratio > prev_ratio * 1.05) decays = false;
+    prev_ratio = ratio;
+  }
+
+  std::printf("\nmodel check: extra/N^2 should be roughly flat (extra work is O(N^2) with\n");
+  std::printf("an O(N^2 * nb/nb) term) and the relative overhead column must decay: %s\n",
+              decays ? "DECAYS — matches Section V" : "does NOT decay — investigate");
+
+  std::printf("\nStorage model S = nb*N + 4N doubles (Section V):\n");
+  std::printf("%8s %14s %16s %12s\n", "N", "S (bytes)", "matrix (bytes)", "ratio %");
+  for (const index_t n : sizes) {
+    const double s = static_cast<double>(nb * n + 4 * n) * sizeof(double);
+    const double m = static_cast<double>(n) * static_cast<double>(n) * sizeof(double);
+    std::printf("%8lld %14.0f %16.0f %12.3f\n", static_cast<long long>(n), s, m,
+                100.0 * s / m);
+  }
+  return 0;
+}

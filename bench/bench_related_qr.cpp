@@ -1,0 +1,115 @@
+// Related-work comparison: on-line detection (this paper) vs the
+// post-processing ABFT of Du et al. for one-sided factorizations.
+//
+// Section I: "the above mentioned post-processing scheme can only correct
+// up to two soft errors total during the course of the entire LU or QR
+// factorization, [while] our fault tolerant Hessenberg algorithm ...
+// continues as normal and is ready to detect and correct subsequent soft
+// errors as they occur."
+//
+// This bench applies increasing fault pressure (k faults, one per panel
+// boundary, distinct columns) to both schemes and reports recovery, plus
+// the overhead both pay when nothing goes wrong.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/options.hpp"
+#include "fault/injector.hpp"
+#include "ft/ft_gehrd.hpp"
+#include "ft/ftqr_post.hpp"
+#include "la/blas3.hpp"
+#include "la/generate.hpp"
+#include "la/norms.hpp"
+#include "lapack/geqrf.hpp"
+
+using namespace fth;
+
+namespace {
+
+/// Post-processing QR under k boundary faults: returns "recovered fully".
+bool run_post_qr(const Matrix<double>& a0, int k, index_t nb, double scale,
+                 ft::FtQrReport* rep) {
+  const index_t n = a0.rows();
+  Matrix<double> a(a0.cview());
+  std::vector<double> tau(static_cast<std::size_t>(n));
+  std::vector<ft::QrFault> faults;
+  for (int f = 0; f < k; ++f) {
+    faults.push_back({.boundary = static_cast<index_t>(f + 1),
+                      .row = n / 2 + 3 * f,
+                      .col = n / 2 + 7 * f + 1,
+                      .delta = (50.0 + 20.0 * f) * scale});
+  }
+  ft::ftqr_post(a.view(), VectorView<double>(tau.data(), n), faults, rep, nb);
+  if (k == 0) return rep->gap <= rep->threshold;
+  if (!rep->corrected && k > 0) return false;
+  // Verify the reconstruction really is clean.
+  Matrix<double> q = lapack::orgqr(a.cview(), VectorView<const double>(tau.data(), n));
+  Matrix<double> rec(n, n);
+  blas::gemm(Trans::No, Trans::No, 1.0, q.cview(), rep->r.cview(), 0.0, rec.view());
+  return max_abs_diff(rec.cview(), a0.cview()) <= 1e-8 * std::max(1.0, norm_max(a0.cview()));
+}
+
+/// On-line FT Hessenberg under k boundary faults: returns "recovered fully".
+bool run_online_hess(hybrid::Device& dev, const Matrix<double>& a0, int k, index_t nb,
+                     ft::FtReport* rep) {
+  const index_t n = a0.rows();
+  Matrix<double> clean(a0.cview());
+  std::vector<double> tau(static_cast<std::size_t>(n - 1));
+  ft::ft_gehrd(dev, clean.view(), VectorView<double>(tau.data(), n - 1), {.nb = nb});
+
+  std::vector<fault::FaultSpec> specs;
+  for (int f = 0; f < k; ++f) {
+    fault::FaultSpec s;
+    s.area = fault::Area::LowerTrailing;
+    s.boundary = f + 1;
+    s.magnitude = 50.0 + 20.0 * f;
+    specs.push_back(s);
+  }
+  fault::Injector inj(specs, 77);
+  Matrix<double> a(a0.cview());
+  try {
+    ft::ft_gehrd(dev, a.view(), VectorView<double>(tau.data(), n - 1), {.nb = nb}, &inj, rep);
+  } catch (const recovery_error&) {
+    return false;
+  }
+  return max_abs_diff(a.cview(), clean.cview()) <= 1e-8 * std::max(1.0, norm_max(a0.cview()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt(argc, argv);
+  const index_t n = opt.get_long("n", 256);
+  const index_t nb = opt.get_long("nb", 32);
+
+  bench::banner("Related work — on-line detection vs post-processing ABFT (Du et al.)",
+                "Section I / II contrast claims");
+  std::printf("n = %lld, nb = %lld. k faults, one per panel boundary, distinct columns.\n\n",
+              static_cast<long long>(n), static_cast<long long>(nb));
+
+  hybrid::Device dev;
+  Matrix<double> a0 = random_matrix(n, n, 2016);
+  const double scale = norm_max(a0.cview());
+
+  std::printf("%4s | %-34s | %-34s\n", "k", "post-processing FT-QR (2 codes)",
+              "on-line FT-Hess (this paper)");
+  const index_t max_k = std::min<index_t>(ft::ft_total_boundaries(n, nb) - 1, 6);
+  for (int k = 0; k <= static_cast<int>(max_k); ++k) {
+    ft::FtQrReport qrep;
+    const bool qr_ok = run_post_qr(a0, k, nb, scale, &qrep);
+    ft::FtReport hrep;
+    const bool h_ok = run_online_hess(dev, a0, k, nb, &hrep);
+    char qmsg[64], hmsg[64];
+    std::snprintf(qmsg, sizeof qmsg, "%s%s", qr_ok ? "RECOVERED" : "FAILED",
+                  qrep.failure.empty() ? "" : " (code exceeded)");
+    std::snprintf(hmsg, sizeof hmsg, "%s (det %d, corr %d)",
+                  h_ok ? "RECOVERED" : "FAILED", hrep.detections, hrep.data_corrections);
+    std::printf("%4d | %-34s | %-34s\n", k, qmsg, hmsg);
+  }
+
+  std::printf("\nexpected shape (the paper's Section I claim): the post-processing scheme\n");
+  std::printf("handles k <= 1 with its two carried codes and fails beyond; the on-line\n");
+  std::printf("scheme corrects one error per iteration indefinitely.\n");
+  return 0;
+}

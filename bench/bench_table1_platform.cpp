@@ -1,0 +1,116 @@
+// Table I counterpart: the platform this reproduction runs on.
+//
+// The paper's testbed is an Intel Xeon E5-2670 + NVIDIA Tesla K40c with
+// MKL/cuBLAS. This build substitutes a software device (see DESIGN.md §2);
+// the bench prints the host description, the simulated-device
+// configuration, and *measured* roofline points for the kernels the
+// algorithm is built from, so absolute numbers in the other benches can be
+// put in context.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "common/options.hpp"
+#include "common/timer.hpp"
+#include "la/blas2.hpp"
+#include "la/blas3.hpp"
+#include "la/generate.hpp"
+#include "hybrid/dev_blas.hpp"
+#include "hybrid/device.hpp"
+
+using namespace fth;
+
+namespace {
+
+std::string cpu_model() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const auto colon = line.find(':');
+      if (colon != std::string::npos) return line.substr(colon + 2);
+    }
+  }
+  return "(unknown)";
+}
+
+double bench_gemm(index_t n, int reps) {
+  Matrix<double> a = random_matrix(n, n, 1);
+  Matrix<double> b = random_matrix(n, n, 2);
+  Matrix<double> c(n, n);
+  std::vector<double> t;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer timer;
+    blas::gemm(Trans::No, Trans::No, 1.0, a.cview(), b.cview(), 0.0, c.view());
+    t.push_back(timer.seconds());
+  }
+  const double dn = static_cast<double>(n);
+  return 2.0 * dn * dn * dn / bench::median(t) / 1e9;
+}
+
+double bench_gemv(index_t n, int reps) {
+  Matrix<double> a = random_matrix(n, n, 3);
+  std::vector<double> x(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> y(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> t;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer timer;
+    blas::gemv(Trans::No, 1.0, a.cview(), VectorView<const double>(x.data(), n), 0.0,
+               VectorView<double>(y.data(), n));
+    t.push_back(timer.seconds());
+  }
+  const double dn = static_cast<double>(n);
+  return 2.0 * dn * dn / bench::median(t) / 1e9;
+}
+
+double bench_transfer(hybrid::Device& dev, index_t n, int reps) {
+  Matrix<double> host = random_matrix(n, n, 4);
+  hybrid::DeviceMatrix<double> d(dev, n, n);
+  std::vector<double> t;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer timer;
+    hybrid::copy_h2d(dev.stream(), host.cview(), d.view());
+    t.push_back(timer.seconds());
+  }
+  const double bytes = static_cast<double>(n) * static_cast<double>(n) * sizeof(double);
+  return bytes / bench::median(t) / 1e9;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt(argc, argv);
+  const int reps = static_cast<int>(opt.get_long("trials", 5));
+
+  bench::banner("Table I — test platform specification (+ measured rooflines)",
+                "Table I, Section VI");
+
+  hybrid::Device dev;
+  std::printf("\n%-22s | %-34s | %-34s\n", "", "Host (this machine)", "Device (simulated)");
+  std::printf("%-22s | %-34s | %-34s\n", "Processor model", cpu_model().c_str(),
+              dev.config().name.c_str());
+  std::printf("%-22s | %-34u | %-34s\n", "Hardware threads",
+              std::thread::hardware_concurrency(), "1 stream worker");
+  std::printf("%-22s | %-34s | %-34s\n", "BLAS", "fth::blas (this library)",
+              "fth::hybrid::dev_blas (stream kernels)");
+  std::printf("%-22s | %-34s | %-34s\n", "Paper counterpart",
+              "Intel Xeon E5-2670, MKL 11.2", "NVIDIA Tesla K40c, CUBLAS 7.0");
+
+  std::printf("\nMeasured kernel rooflines (median of %d):\n", reps);
+  std::printf("%-28s %12s\n", "kernel", "GF/s or GB/s");
+  for (index_t n : opt.get_sizes("sizes", {256, 512, 1024})) {
+    std::printf("  dgemm  n=%-17lld %12.2f GF/s\n", static_cast<long long>(n),
+                bench_gemm(n, reps));
+  }
+  std::printf("  dgemv  n=%-17d %12.2f GF/s\n", 1024, bench_gemv(1024, reps));
+  std::printf("  h2d    n=%-17d %12.2f GB/s (memcpy; cost model off)\n", 1024,
+              bench_transfer(dev, 1024, reps));
+
+  std::printf("\nFT storage overhead at n=4096, nb=32 (Section V: S = nb*N + 4N):\n");
+  const double s = (32.0 * 4096 + 4 * 4096) * sizeof(double) / 1e6;
+  const double full = 4096.0 * 4096.0 * sizeof(double) / 1e6;
+  std::printf("  %.1f MB extra vs %.1f MB matrix = %.2f%%\n", s, full, 100.0 * s / full);
+  return 0;
+}

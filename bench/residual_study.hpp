@@ -1,0 +1,74 @@
+// Shared driver for the Table II / Table III reproductions: run the
+// baseline and the FT algorithm with one fault per (area × moment) cell
+// and collect both result-quality residuals.
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/options.hpp"
+#include "fault/injector.hpp"
+#include "ft/ft_gehrd.hpp"
+#include "hybrid/hybrid_gehrd.hpp"
+#include "la/generate.hpp"
+#include "lapack/verify.hpp"
+
+namespace fth::bench {
+
+struct ResidualRow {
+  index_t n = 0;
+  lapack::VerifyResult magma;            // fault-prone hybrid baseline
+  lapack::VerifyResult ft[3][3];         // [area-1][moment] with one fault
+};
+
+inline ResidualRow run_residual_row(index_t n, index_t nb, std::uint64_t seed) {
+  ResidualRow row;
+  row.n = n;
+  hybrid::Device dev;
+  Matrix<double> a0 = random_matrix(n, n, seed);
+  std::vector<double> tau(static_cast<std::size_t>(n - 1));
+
+  {
+    Matrix<double> a(a0.cview());
+    hybrid::hybrid_gehrd(dev, a.view(), VectorView<double>(tau.data(), n - 1),
+                         {.nb = nb, .nx = nb});
+    row.magma = lapack::verify_reduction(a0.cview(), a.cview(),
+                                         VectorView<const double>(tau.data(), n - 1));
+  }
+
+  const fault::Moment moments[3] = {fault::Moment::Beginning, fault::Moment::Middle,
+                                    fault::Moment::End};
+  for (int area = 1; area <= 3; ++area) {
+    for (int m = 0; m < 3; ++m) {
+      fault::FaultSpec spec;
+      spec.area = static_cast<fault::Area>(area);
+      spec.moment = moments[m];
+      fault::Injector inj(spec, seed + static_cast<std::uint64_t>(area * 31 + m * 7));
+      Matrix<double> a(a0.cview());
+      ft::ft_gehrd(dev, a.view(), VectorView<double>(tau.data(), n - 1), {.nb = nb}, &inj);
+      row.ft[area - 1][m] = lapack::verify_reduction(
+          a0.cview(), a.cview(), VectorView<const double>(tau.data(), n - 1));
+    }
+  }
+  return row;
+}
+
+/// which = 0 → Table II (backward-stability residual ‖A−QHQᵀ‖₁/(N‖A‖₁));
+/// which = 1 → Table III (orthogonality ‖QQᵀ−I‖₁/N).
+inline void print_residual_table(const std::vector<ResidualRow>& rows, int which) {
+  auto pick = [&](const lapack::VerifyResult& v) {
+    return which == 0 ? v.residual : v.orthogonality;
+  };
+  std::printf("%7s %12s | %12s %12s %12s | %12s %12s %12s | %12s\n", "N", "MAGMA",
+              "A1 FT-B", "A1 FT-M", "A1 FT-E", "A2 FT-B", "A2 FT-M", "A2 FT-E",
+              "A3 FT-B/M/E");
+  for (const auto& r : rows) {
+    std::printf("%7lld %12.4e | %12.4e %12.4e %12.4e | %12.4e %12.4e %12.4e | %12.4e\n",
+                static_cast<long long>(r.n), pick(r.magma), pick(r.ft[0][0]),
+                pick(r.ft[0][1]), pick(r.ft[0][2]), pick(r.ft[1][0]), pick(r.ft[1][1]),
+                pick(r.ft[1][2]), pick(r.ft[2][1]));
+  }
+}
+
+}  // namespace fth::bench

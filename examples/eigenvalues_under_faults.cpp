@@ -1,0 +1,125 @@
+// End-to-end eigenvalue pipeline under soft errors — the workload the
+// paper's introduction motivates: Hessenberg reduction is the intermediate
+// step of the eigensolver, and a single undetected bit flip can silently
+// change every computed eigenvalue.
+//
+// This example runs the pipeline three ways on the same matrix:
+//   1. fault-free                 (ground truth),
+//   2. fault-prone hybrid + fault (shows silent corruption),
+//   3. FT-Hess + the same fault   (shows full recovery),
+// and prints the eigenvalue error of runs 2 and 3 against run 1.
+//
+//   ./eigenvalues_under_faults [--n 200] [--nb 32]
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <cstdio>
+#include <vector>
+
+#include "common/options.hpp"
+#include "eigen/hseqr.hpp"
+#include "fault/injector.hpp"
+#include "ft/ft_gehrd.hpp"
+#include "hybrid/hybrid_gehrd.hpp"
+#include "la/generate.hpp"
+#include "la/norms.hpp"
+#include "lapack/gehrd.hpp"
+
+using namespace fth;
+
+namespace {
+
+/// Sort complex values for pairwise comparison (by real, then imaginary).
+void sort_eigs(std::vector<std::complex<double>>& v) {
+  std::sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
+    return a.real() != b.real() ? a.real() < b.real() : a.imag() < b.imag();
+  });
+}
+
+double max_eig_error(std::vector<std::complex<double>> a,
+                     std::vector<std::complex<double>> b) {
+  sort_eigs(a);
+  sort_eigs(b);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) worst = std::max(worst, std::abs(a[i] - b[i]));
+  return worst;
+}
+
+std::vector<std::complex<double>> eigs_of_factored(MatrixView<const double> factored) {
+  Matrix<double> h = lapack::extract_hessenberg(factored);
+  auto r = eigen::hseqr(h.view());
+  if (!r.converged) std::printf("  (warning: QR iteration did not converge)\n");
+  return r.eigenvalues;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt(argc, argv);
+  const index_t n = opt.get_long("n", 200);
+  const index_t nb = opt.get_long("nb", 32);
+  const index_t fault_row = opt.get_long("row", n / 2);
+  const index_t fault_col = opt.get_long("col", n - n / 4);
+
+  std::printf("Eigenvalues under soft errors: n = %lld, fault at (%lld, %lld)\n\n",
+              static_cast<long long>(n), static_cast<long long>(fault_row),
+              static_cast<long long>(fault_col));
+
+  Matrix<double> a0 = random_matrix(n, n, 7);
+  const double scale = norm_max(a0.cview());
+  std::vector<double> tau(static_cast<std::size_t>(n - 1));
+  hybrid::Device dev;
+
+  // 1. Ground truth.
+  Matrix<double> truth(a0.cview());
+  hybrid::hybrid_gehrd(dev, truth.view(), VectorView<double>(tau.data(), n - 1),
+                       {.nb = nb, .nx = nb});
+  const auto ref = eigs_of_factored(truth.cview());
+
+  // 2. Fault-prone pipeline with one injected error.
+  Matrix<double> corrupted(a0.cview());
+  hybrid::hybrid_gehrd(dev, corrupted.view(), VectorView<double>(tau.data(), n - 1),
+                       {.nb = nb, .nx = nb}, nullptr,
+                       [&](const hybrid::IterationHookContext& ctx) {
+                         if (ctx.boundary == 2 && fault_col >= ctx.next_panel)
+                           ctx.dev_a(fault_row, fault_col) += 100.0 * scale;
+                       });
+  const auto bad = eigs_of_factored(corrupted.cview());
+
+  // 3. FT pipeline with the same fault.
+  fault::FaultSpec spec;
+  spec.row = fault_row;
+  spec.col = fault_col;
+  spec.boundary = 2;
+  spec.magnitude = 100.0;
+  fault::Injector inj(spec);
+  Matrix<double> protected_run(a0.cview());
+  ft::FtReport rep;
+  ft::ft_gehrd(dev, protected_run.view(), VectorView<double>(tau.data(), n - 1), {.nb = nb},
+               &inj, &rep);
+  const auto good = eigs_of_factored(protected_run.cview());
+
+  const double err_bad = max_eig_error(ref, bad);
+  const double err_good = max_eig_error(ref, good);
+  std::printf("max |eigenvalue error| vs fault-free pipeline:\n");
+  std::printf("  fault-prone hybrid + 1 soft error : %.6e   <-- silent corruption\n",
+              err_bad);
+  std::printf("  FT-Hess            + 1 soft error : %.6e   (detections: %d, corrections: %d)\n",
+              err_good, rep.detections,
+              rep.data_corrections + rep.q_corrections + rep.final_sweep_corrections);
+  std::printf("\nfirst 5 eigenvalues (truth vs FT):\n");
+  auto r = ref;
+  auto g = good;
+  sort_eigs(r);
+  sort_eigs(g);
+  for (int i = 0; i < 5 && i < static_cast<int>(r.size()); ++i)
+    std::printf("  %+.12f%+.12fi   %+.12f%+.12fi\n", r[static_cast<std::size_t>(i)].real(),
+                r[static_cast<std::size_t>(i)].imag(), g[static_cast<std::size_t>(i)].real(),
+                g[static_cast<std::size_t>(i)].imag());
+
+  const bool ok = err_good < 1e-6 && err_bad > 1e-3;
+  std::printf("\n%s\n", ok ? "OK: the FT pipeline returned the true spectrum; the "
+                             "unprotected one did not."
+                           : "unexpected outcome — inspect the numbers above");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+// Quickstart: reduce a matrix to Hessenberg form with transient-error
+// resilience, inject a soft error mid-factorization, and watch the library
+// detect, roll back, and correct it on the fly.
+//
+//   ./quickstart [--n 256] [--nb 32]
+#include <cstdio>
+
+#include "common/options.hpp"
+#include "fault/injector.hpp"
+#include "ft/ft_gehrd.hpp"
+#include "la/generate.hpp"
+#include "la/norms.hpp"
+#include "lapack/verify.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fth;
+  const Options opt(argc, argv);
+  const index_t n = opt.get_long("n", 256);
+  const index_t nb = opt.get_long("nb", 32);
+
+  std::printf("FT-Hessenberg quickstart: n = %lld, nb = %lld\n\n",
+              static_cast<long long>(n), static_cast<long long>(nb));
+
+  // 1. A random input matrix; keep a copy for verification.
+  Matrix<double> a = random_matrix(n, n, /*seed=*/42);
+  const Matrix<double> a_orig(a.cview());
+
+  // 2. The simulated accelerator (the paper's K40c counterpart).
+  hybrid::Device dev;
+
+  // 3. Plant one soft error: a trailing-matrix element silently changes
+  //    value in the middle of the factorization (Area 2 of Fig. 2(a)).
+  fault::FaultSpec fault;
+  fault.area = fault::Area::LowerTrailing;
+  fault.moment = fault::Moment::Middle;
+  fault.magnitude = 100.0;  // 100× the matrix scale — a hard hit
+  fault::Injector injector(fault);
+
+  // 4. Run the fault-tolerant reduction.
+  std::vector<double> tau(static_cast<std::size_t>(n - 1));
+  ft::FtReport report;
+  hybrid::HybridGehrdStats stats;
+  ft::ft_gehrd(dev, a.view(), VectorView<double>(tau.data(), n - 1), {.nb = nb}, &injector,
+               &report, &stats);
+
+  // 5. What happened?
+  const auto& hist = injector.history();
+  std::printf("injected : %zu fault(s)", hist.size());
+  for (const auto& f : hist)
+    std::printf("  [boundary %lld, (%lld,%lld), delta %.3g, %s]",
+                static_cast<long long>(f.boundary), static_cast<long long>(f.row),
+                static_cast<long long>(f.col), f.delta, fault::to_string(f.area).c_str());
+  std::printf("\ndetected : %d (threshold %.3e, clean-run gap %.3e)\n", report.detections,
+              report.threshold, report.max_fault_free_gap);
+  std::printf("recovered: %d rollback(s), %d data correction(s), %d checksum fix(es)\n",
+              report.rollbacks, report.data_corrections, report.checksum_corrections);
+  std::printf("time     : %.3f s total (%.3f s panels, %.3f s updates, %.3f s recovery)\n\n",
+              stats.total_seconds, stats.panel_seconds, stats.update_seconds,
+              report.recovery_seconds);
+
+  // 6. Verify the result against the original matrix.
+  const auto v = lapack::verify_reduction(a_orig.cview(), a.cview(),
+                                          VectorView<const double>(tau.data(), n - 1));
+  std::printf("residual ||A - QHQ^T||_1/(N||A||_1) = %.3e\n", v.residual);
+  std::printf("orthogonality ||QQ^T - I||_1/N      = %.3e\n", v.orthogonality);
+  std::printf("upper Hessenberg structure          = %s\n", v.hessenberg ? "yes" : "NO");
+  std::printf("\n%s\n", v.residual < 1e-13 && v.hessenberg
+                            ? "OK: the soft error left no trace in the result."
+                            : "FAILED: result degraded!");
+  return v.residual < 1e-13 && v.hessenberg ? 0 : 1;
+}

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Regenerates every table/figure of the paper plus the extension and
+# ablation studies. Output: bench_output.txt (see EXPERIMENTS.md for the
+# paper-vs-measured comparison).
+set -e
+cd "$(dirname "$0")"
+{
+  ./build/bench/bench_table1_platform --trials 5
+  ./build/bench/bench_fig2_propagation
+  ./build/bench/bench_fig6_overhead --sizes 128,256,512,768,1022 --trials 5
+  ./build/bench/bench_table2_stability --sizes 128,192,256,384,512
+  ./build/bench/bench_table3_orthogonality --sizes 128,192,256,384,512
+  ./build/bench/bench_overhead_model --sizes 128,192,256,384,512,768
+  ./build/bench/bench_ablation --n 256 --trials 3
+  ./build/bench/bench_ext_sytrd --sizes 128,256,384,512 --trials 3
+  ./build/bench/bench_ext_gebrd --sizes 128,256,384 --trials 3
+  ./build/bench/bench_related_qr --n 256
+  ./build/bench/bench_kernels --benchmark_min_time=0.2
+} 2>&1

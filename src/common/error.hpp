@@ -1,0 +1,63 @@
+// Error handling: precondition checks that throw, and debug-only asserts.
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fth {
+
+/// Thrown when a routine's documented precondition is violated.
+class precondition_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when an internal invariant fails (a library bug, not user error).
+class internal_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when fault recovery is impossible (e.g. rectangular error pattern).
+class recovery_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* expr, const std::string& msg,
+                                            const std::source_location& loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << " in " << loc.function_name()
+     << ": precondition `" << expr << "` violated";
+  if (!msg.empty()) os << " — " << msg;
+  throw precondition_error(os.str());
+}
+
+[[noreturn]] inline void throw_internal(const char* expr, const std::string& msg,
+                                        const std::source_location& loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << " in " << loc.function_name()
+     << ": internal invariant `" << expr << "` failed";
+  if (!msg.empty()) os << " — " << msg;
+  throw internal_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace fth
+
+/// Validate a caller-facing precondition; throws fth::precondition_error.
+#define FTH_CHECK(expr, msg)                                                      \
+  do {                                                                            \
+    if (!(expr)) ::fth::detail::throw_precondition(#expr, (msg),                  \
+                                                   std::source_location::current()); \
+  } while (false)
+
+/// Validate an internal invariant; throws fth::internal_error.
+#define FTH_ASSERT(expr, msg)                                                 \
+  do {                                                                        \
+    if (!(expr)) ::fth::detail::throw_internal(#expr, (msg),                  \
+                                               std::source_location::current()); \
+  } while (false)

@@ -1,0 +1,8 @@
+// Out-of-line anchor for the flops module (all logic is in the header; this
+// translation unit exists so the module owns a home in the library archive
+// and future non-inline additions have a place to live).
+#include "common/flops.hpp"
+
+namespace fth::flops {
+// Intentionally empty.
+}  // namespace fth::flops

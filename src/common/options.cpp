@@ -1,0 +1,74 @@
+#include "common/options.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace fth {
+
+Options::Options(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      std::string key = arg.substr(2);
+      std::string value;
+      const auto eq = key.find('=');
+      if (eq != std::string::npos) {
+        value = key.substr(eq + 1);
+        key = key.substr(0, eq);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      }
+      kv_.emplace_back(std::move(key), std::move(value));
+    } else {
+      positional_.push_back(std::move(arg));
+    }
+  }
+}
+
+std::optional<std::string> Options::find(const std::string& name) const {
+  for (const auto& [k, v] : kv_)
+    if (k == name) return v;
+  return std::nullopt;
+}
+
+bool Options::has(const std::string& name) const { return find(name).has_value(); }
+
+std::string Options::get(const std::string& name, const std::string& fallback) const {
+  const auto v = find(name);
+  return v && !v->empty() ? *v : fallback;
+}
+
+long Options::get_long(const std::string& name, long fallback) const {
+  const auto v = find(name);
+  return v && !v->empty() ? std::stol(*v) : fallback;
+}
+
+double Options::get_double(const std::string& name, double fallback) const {
+  const auto v = find(name);
+  return v && !v->empty() ? std::stod(*v) : fallback;
+}
+
+std::vector<index_t> Options::get_sizes(const std::string& name,
+                                        std::vector<index_t> fallback) const {
+  const auto v = find(name);
+  if (!v || v->empty()) return fallback;
+  std::vector<index_t> out;
+  std::size_t pos = 0;
+  while (pos < v->size()) {
+    std::size_t next = v->find(',', pos);
+    if (next == std::string::npos) next = v->size();
+    const std::string tok = v->substr(pos, next - pos);
+    if (!tok.empty()) out.push_back(static_cast<index_t>(std::stoll(tok)));
+    pos = next + 1;
+  }
+  if (out.empty()) throw std::invalid_argument("empty size list for --" + name);
+  return out;
+}
+
+std::string env_or(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::string(v) : fallback;
+}
+
+}  // namespace fth

@@ -1,0 +1,46 @@
+// Minimal command-line / environment option parsing for benches & examples.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fth {
+
+/// Parsed `--key value` / `--flag` style options plus positional arguments.
+///
+/// Shared by every bench binary so that all experiments accept the same
+/// vocabulary (--sizes, --nb, --trials, --seed, --paper, ...).
+class Options {
+ public:
+  Options(int argc, char** argv);
+
+  /// True if `--name` was passed (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Value of `--name value`, or `fallback` if absent.
+  [[nodiscard]] std::string get(const std::string& name, const std::string& fallback) const;
+  [[nodiscard]] long get_long(const std::string& name, long fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+
+  /// Comma-separated integer list, e.g. `--sizes 128,256,512`.
+  [[nodiscard]] std::vector<index_t> get_sizes(const std::string& name,
+                                               std::vector<index_t> fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  [[nodiscard]] std::optional<std::string> find(const std::string& name) const;
+
+  std::string program_;
+  std::vector<std::pair<std::string, std::string>> kv_;
+  std::vector<std::string> positional_;
+};
+
+/// Environment variable lookup with fallback.
+std::string env_or(const char* name, const std::string& fallback);
+
+}  // namespace fth

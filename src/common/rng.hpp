@@ -1,0 +1,89 @@
+// Deterministic, seedable pseudo-random number generation (xoshiro256++).
+//
+// Benchmarks and fault-injection campaigns must be reproducible across
+// platforms, so we avoid std::mt19937's distribution non-portability and
+// implement both the generator and the distributions ourselves.
+#pragma once
+
+#include <cstdint>
+
+namespace fth {
+
+/// xoshiro256++ 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  /// Seeds the four 64-bit lanes from a single seed using splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept {
+    std::uint64_t x = seed;
+    for (auto& lane : s_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      lane = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Rejection-sampled to avoid modulo bias.
+  std::uint64_t below(std::uint64_t n) noexcept {
+    if (n == 0) return 0;
+    const std::uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Standard normal variate (Marsaglia polar method).
+  double normal() noexcept {
+    if (have_spare_) { have_spare_ = false; return spare_; }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = sqrt_neg2log(s);
+    spare_ = v * m;
+    have_spare_ = true;
+    return u * m;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  static double sqrt_neg2log(double s) noexcept;
+
+  std::uint64_t s_[4]{};
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+inline double Rng::sqrt_neg2log(double s) noexcept {
+  // sqrt(-2 ln(s) / s) — kept out-of-line-ish to avoid <cmath> in the hot header.
+  return __builtin_sqrt(-2.0 * __builtin_log(s) / s);
+}
+
+}  // namespace fth

@@ -1,0 +1,47 @@
+// Wall-clock timing utilities for benchmarks and overhead accounting.
+#pragma once
+
+#include <chrono>
+
+namespace fth {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates time over multiple start/stop intervals (e.g. per-phase cost).
+class Accumulator {
+ public:
+  void start() noexcept { timer_.reset(); running_ = true; }
+  void stop() noexcept {
+    if (running_) { total_ += timer_.seconds(); ++laps_; running_ = false; }
+  }
+  [[nodiscard]] double total_seconds() const noexcept { return total_; }
+  [[nodiscard]] long laps() const noexcept { return laps_; }
+  void clear() noexcept { total_ = 0.0; laps_ = 0; running_ = false; }
+
+ private:
+  WallTimer timer_;
+  double total_ = 0.0;
+  long laps_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace fth

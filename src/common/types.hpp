@@ -1,0 +1,42 @@
+// Fundamental scalar/index types and BLAS-style enums shared by all layers.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+namespace fth {
+
+/// Index type used for all matrix dimensions and loops. Signed, so that
+/// reverse loops and differences are safe (C++ Core Guidelines ES.100-107).
+using index_t = std::int64_t;
+
+/// Operation applied to a matrix operand of a BLAS call.
+enum class Trans : char { No = 'N', Yes = 'T' };
+
+/// Which triangle of a matrix a triangular routine references.
+enum class Uplo : char { Upper = 'U', Lower = 'L' };
+
+/// Whether the referenced triangle has an implicit unit diagonal.
+enum class Diag : char { NonUnit = 'N', Unit = 'U' };
+
+/// Side from which a triangular/block-reflector operand is applied.
+enum class Side : char { Left = 'L', Right = 'R' };
+
+/// Storage direction of the elementary reflectors in a block reflector.
+enum class Direction : char { Forward = 'F', Backward = 'B' };
+
+/// How the reflector vectors are stored in a block reflector.
+enum class StoreV : char { Columnwise = 'C', Rowwise = 'R' };
+
+constexpr std::string_view to_string(Trans t) { return t == Trans::No ? "N" : "T"; }
+constexpr std::string_view to_string(Uplo u) { return u == Uplo::Upper ? "Upper" : "Lower"; }
+constexpr std::string_view to_string(Side s) { return s == Side::Left ? "Left" : "Right"; }
+
+/// Machine epsilon for the working precision.
+template <class T>
+constexpr T eps() noexcept {
+  return std::numeric_limits<T>::epsilon();
+}
+
+}  // namespace fth

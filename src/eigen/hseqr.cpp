@@ -1,0 +1,203 @@
+#include "eigen/hseqr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "lapack/gehrd.hpp"
+
+namespace fth::eigen {
+
+namespace {
+
+/// Householder reflector for a 3-vector (x, y, z): returns v (v0 = 1
+/// implicit) and tau with (I − tau·v·vᵀ)·[x y z]ᵀ = [β 0 0]ᵀ.
+struct Reflector3 {
+  double v1 = 0.0, v2 = 0.0, tau = 0.0;
+};
+
+Reflector3 make_reflector3(double x, double y, double z) {
+  Reflector3 r;
+  const double norm = std::sqrt(x * x + y * y + z * z);
+  if (norm == 0.0) return r;
+  const double beta = x >= 0.0 ? -norm : norm;
+  r.tau = (beta - x) / beta;
+  const double inv = 1.0 / (x - beta);
+  r.v1 = y * inv;
+  r.v2 = z * inv;
+  return r;
+}
+
+/// Same for a 2-vector.
+struct Reflector2 {
+  double v1 = 0.0, tau = 0.0;
+};
+
+Reflector2 make_reflector2(double x, double y) {
+  Reflector2 r;
+  const double norm = std::sqrt(x * x + y * y);
+  if (norm == 0.0) return r;
+  const double beta = x >= 0.0 ? -norm : norm;
+  r.tau = (beta - x) / beta;
+  r.v1 = y / (x - beta);
+  return r;
+}
+
+/// Eigenvalues of the trailing 2×2 block [[a, b], [c, d]].
+void eig2x2(double a, double b, double c, double d, std::complex<double>& l1,
+            std::complex<double>& l2) {
+  const double tr = a + d;
+  const double det = a * d - b * c;
+  const double disc = 0.25 * tr * tr - det;
+  if (disc >= 0.0) {
+    const double rt = std::sqrt(disc);
+    // Stable split: compute the larger-magnitude root first.
+    const double half = 0.5 * tr;
+    const double big = half >= 0.0 ? half + rt : half - rt;
+    l1 = std::complex<double>(big, 0.0);
+    l2 = std::complex<double>(big != 0.0 ? det / big : half - std::copysign(rt, half), 0.0);
+  } else {
+    const double im = std::sqrt(-disc);
+    l1 = std::complex<double>(0.5 * tr, im);
+    l2 = std::complex<double>(0.5 * tr, -im);
+  }
+}
+
+}  // namespace
+
+HseqrResult hseqr(MatrixView<double> h, const HseqrOptions& opt) {
+  const index_t n = h.rows();
+  FTH_CHECK(h.cols() == n, "hseqr: matrix must be square");
+  HseqrResult res;
+  res.eigenvalues.resize(static_cast<std::size_t>(n));
+  if (n == 0) {
+    res.converged = true;
+    return res;
+  }
+
+  const double ulp = std::numeric_limits<double>::epsilon();
+  const double smlnum = std::numeric_limits<double>::min() * (static_cast<double>(n) / ulp);
+
+  index_t hi = n - 1;
+  index_t stalls = 0;
+  const index_t budget = opt.max_sweeps_per_eigenvalue * std::max<index_t>(n, 1);
+
+  while (hi >= 0) {
+    if (res.sweeps > budget) return res;  // converged stays false
+
+    // Look for a negligible subdiagonal to deflate at.
+    index_t lo = hi;
+    while (lo > 0) {
+      const double sub = std::abs(h(lo, lo - 1));
+      const double diag = std::abs(h(lo - 1, lo - 1)) + std::abs(h(lo, lo));
+      if (sub <= std::max(ulp * diag, smlnum)) {
+        h(lo, lo - 1) = 0.0;
+        break;
+      }
+      --lo;
+    }
+
+    if (lo == hi) {
+      // 1×1 block: real eigenvalue.
+      res.eigenvalues[static_cast<std::size_t>(hi)] = h(hi, hi);
+      --hi;
+      stalls = 0;
+      if (hi < 0) break;
+      continue;
+    }
+    if (lo == hi - 1) {
+      // 2×2 block.
+      std::complex<double> l1, l2;
+      eig2x2(h(lo, lo), h(lo, hi), h(hi, lo), h(hi, hi), l1, l2);
+      res.eigenvalues[static_cast<std::size_t>(lo)] = l1;
+      res.eigenvalues[static_cast<std::size_t>(hi)] = l2;
+      hi -= 2;
+      stalls = 0;
+      if (hi < 0) break;
+      continue;
+    }
+
+    // Francis implicit double shift on the active block [lo, hi].
+    ++res.sweeps;
+    ++stalls;
+    double s = h(hi - 1, hi - 1) + h(hi, hi);
+    double t = h(hi - 1, hi - 1) * h(hi, hi) - h(hi - 1, hi) * h(hi, hi - 1);
+    if (opt.exceptional_shifts && stalls > 0 && stalls % 10 == 0) {
+      // Wilkinson's ad-hoc exceptional shift to break symmetric stalls.
+      const double w = std::abs(h(hi, hi - 1)) + std::abs(h(hi - 1, hi - 2));
+      s = 1.5 * w;
+      t = 0.75 * 0.75 * w * w;
+    }
+
+    // First column of H² − s·H + t·I restricted to the active block.
+    double x = h(lo, lo) * h(lo, lo) + h(lo, lo + 1) * h(lo + 1, lo) - s * h(lo, lo) + t;
+    double y = h(lo + 1, lo) * (h(lo, lo) + h(lo + 1, lo + 1) - s);
+    double z = h(lo + 2, lo + 1) * h(lo + 1, lo);
+
+    for (index_t k = lo; k <= hi - 2; ++k) {
+      const Reflector3 r = make_reflector3(x, y, z);
+      if (r.tau != 0.0) {
+        const index_t c0 = std::max(lo, k - 1);
+        // Apply (I − tau v vᵀ) from the left to rows k..k+2.
+        for (index_t c = c0; c <= hi; ++c) {
+          const double sum = h(k, c) + r.v1 * h(k + 1, c) + r.v2 * h(k + 2, c);
+          const double w = r.tau * sum;
+          h(k, c) -= w;
+          h(k + 1, c) -= w * r.v1;
+          h(k + 2, c) -= w * r.v2;
+        }
+        // Apply from the right to columns k..k+2.
+        const index_t r1 = std::min(hi, k + 3);
+        for (index_t rr = lo; rr <= r1; ++rr) {
+          const double sum = h(rr, k) + r.v1 * h(rr, k + 1) + r.v2 * h(rr, k + 2);
+          const double w = r.tau * sum;
+          h(rr, k) -= w;
+          h(rr, k + 1) -= w * r.v1;
+          h(rr, k + 2) -= w * r.v2;
+        }
+      }
+      x = h(k + 1, k);
+      y = h(k + 2, k);
+      z = (k + 3 <= hi) ? h(k + 3, k) : 0.0;
+      if (k > lo) {
+        h(k + 1, k - 1) = 0.0;
+        h(k + 2, k - 1) = 0.0;
+      }
+    }
+    // Final 2-element reflector at the bottom of the sweep.
+    {
+      const index_t k = hi - 1;
+      const Reflector2 r = make_reflector2(x, y);
+      if (r.tau != 0.0) {
+        for (index_t c = k - 1 >= lo ? k - 1 : lo; c <= hi; ++c) {
+          const double sum = h(k, c) + r.v1 * h(k + 1, c);
+          const double w = r.tau * sum;
+          h(k, c) -= w;
+          h(k + 1, c) -= w * r.v1;
+        }
+        for (index_t rr = lo; rr <= hi; ++rr) {
+          const double sum = h(rr, k) + r.v1 * h(rr, k + 1);
+          const double w = r.tau * sum;
+          h(rr, k) -= w;
+          h(rr, k + 1) -= w * r.v1;
+        }
+        if (k > lo) h(k + 1, k - 1) = 0.0;
+      }
+    }
+  }
+  res.converged = true;
+  return res;
+}
+
+HseqrResult eigenvalues(MatrixView<const double> a, const HseqrOptions& opt) {
+  const index_t n = a.rows();
+  Matrix<double> work(a);
+  if (n > 2) {
+    std::vector<double> tau(static_cast<std::size_t>(n - 1));
+    lapack::gehrd(work.view(), VectorView<double>(tau.data(), n - 1));
+  }
+  Matrix<double> h = lapack::extract_hessenberg(work.cview());
+  return hseqr(h.view(), opt);
+}
+
+}  // namespace fth::eigen

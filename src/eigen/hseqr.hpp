@@ -1,0 +1,36 @@
+// Eigenvalues of an upper Hessenberg matrix (Francis double-shift QR).
+//
+// The downstream consumer that motivates Hessenberg reduction: the paper's
+// introduction frames H = QᵀAQ as "an important intermediate step in the
+// Hessenberg QR algorithm which is used to compute the eigenvalues of A".
+// This module closes that loop so the examples can run the full pipeline
+// A → (fault-tolerant) H → eigenvalues.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace fth::eigen {
+
+struct HseqrOptions {
+  index_t max_sweeps_per_eigenvalue = 40;  ///< iteration budget before failure
+  bool exceptional_shifts = true;          ///< Wilkinson's ad-hoc shift every 10 stalls
+};
+
+struct HseqrResult {
+  std::vector<std::complex<double>> eigenvalues;
+  bool converged = false;
+  index_t sweeps = 0;  ///< total implicit QR sweeps performed
+};
+
+/// Compute all eigenvalues of the upper Hessenberg matrix `h` (contents
+/// are destroyed). Standard implicit double-shift (Francis) QR with
+/// deflation; real pairs come back as exact-conjugate complex values.
+HseqrResult hseqr(MatrixView<double> h, const HseqrOptions& opt = {});
+
+/// Convenience: eigenvalues of a general square matrix, via gehrd + hseqr.
+HseqrResult eigenvalues(MatrixView<const double> a, const HseqrOptions& opt = {});
+
+}  // namespace fth::eigen

@@ -1,0 +1,118 @@
+#include "eigen/steqr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "lapack/sytrd.hpp"
+
+namespace fth::eigen {
+
+namespace {
+
+/// sqrt(a² + b²) without overflow (dlapy2).
+double pythag(double a, double b) {
+  const double aa = std::abs(a);
+  const double ab = std::abs(b);
+  const double mx = std::max(aa, ab);
+  const double mn = std::min(aa, ab);
+  if (mx == 0.0) return 0.0;
+  const double r = mn / mx;
+  return mx * std::sqrt(1.0 + r * r);
+}
+
+}  // namespace
+
+SteqrResult steqr(VectorView<const double> dv, VectorView<const double> ev,
+                  const SteqrOptions& opt) {
+  const index_t n = dv.size();
+  FTH_CHECK(ev.size() >= std::max<index_t>(n - 1, 0), "steqr: e too short");
+
+  SteqrResult res;
+  res.eigenvalues.resize(static_cast<std::size_t>(n));
+  if (n == 0) {
+    res.converged = true;
+    return res;
+  }
+
+  // Working copies (the classic QL iteration mutates d and e in place).
+  std::vector<double> d(static_cast<std::size_t>(n));
+  std::vector<double> e(static_cast<std::size_t>(n), 0.0);
+  for (index_t i = 0; i < n; ++i) d[static_cast<std::size_t>(i)] = dv[i];
+  for (index_t i = 0; i + 1 < n; ++i) e[static_cast<std::size_t>(i)] = ev[i];
+
+  const double eps = std::numeric_limits<double>::epsilon();
+  const index_t budget = opt.max_sweeps_per_eigenvalue * std::max<index_t>(n, 1);
+
+  for (index_t l = 0; l < n; ++l) {
+    for (;;) {
+      // Find a split point m ≥ l where e[m] is negligible.
+      index_t m = l;
+      while (m + 1 < n) {
+        const double dd = std::abs(d[static_cast<std::size_t>(m)]) +
+                          std::abs(d[static_cast<std::size_t>(m + 1)]);
+        if (std::abs(e[static_cast<std::size_t>(m)]) <= eps * dd) break;
+        ++m;
+      }
+      if (m == l) break;  // d[l] converged
+
+      if (++res.sweeps > budget) return res;  // converged stays false
+
+      // Wilkinson shift from the leading 2×2 of the active block.
+      double g = (d[static_cast<std::size_t>(l + 1)] - d[static_cast<std::size_t>(l)]) /
+                 (2.0 * e[static_cast<std::size_t>(l)]);
+      double r = pythag(g, 1.0);
+      g = d[static_cast<std::size_t>(m)] - d[static_cast<std::size_t>(l)] +
+          e[static_cast<std::size_t>(l)] / (g + std::copysign(r, g));
+
+      // Implicit QL sweep: chase the bulge from m−1 down to l.
+      double s = 1.0, c = 1.0, p = 0.0;
+      for (index_t i = m - 1; i >= l; --i) {
+        double f = s * e[static_cast<std::size_t>(i)];
+        const double b = c * e[static_cast<std::size_t>(i)];
+        r = pythag(f, g);
+        e[static_cast<std::size_t>(i + 1)] = r;
+        if (r == 0.0) {
+          // Deflate: annihilated off-diagonal mid-sweep.
+          d[static_cast<std::size_t>(i + 1)] -= p;
+          e[static_cast<std::size_t>(m)] = 0.0;
+          break;
+        }
+        s = f / r;
+        c = g / r;
+        g = d[static_cast<std::size_t>(i + 1)] - p;
+        r = (d[static_cast<std::size_t>(i)] - g) * s + 2.0 * c * b;
+        p = s * r;
+        d[static_cast<std::size_t>(i + 1)] = g + p;
+        g = c * r - b;
+        if (i == l) break;  // index_t is signed but avoid wrapping below l
+      }
+      if (r == 0.0 && m - 1 >= l + 1) continue;
+      d[static_cast<std::size_t>(l)] -= p;
+      e[static_cast<std::size_t>(l)] = g;
+      e[static_cast<std::size_t>(m)] = 0.0;
+    }
+  }
+
+  std::sort(d.begin(), d.end());
+  res.eigenvalues = std::move(d);
+  res.converged = true;
+  return res;
+}
+
+SteqrResult symmetric_eigenvalues(MatrixView<const double> a, const SteqrOptions& opt) {
+  const index_t n = a.rows();
+  FTH_CHECK(a.cols() == n, "symmetric_eigenvalues: matrix must be square");
+  if (n == 0) return steqr(VectorView<const double>(), VectorView<const double>(), opt);
+  Matrix<double> work(a);
+  std::vector<double> d(static_cast<std::size_t>(n));
+  std::vector<double> e(static_cast<std::size_t>(std::max<index_t>(n - 1, 0)));
+  std::vector<double> tau(e.size());
+  lapack::sytrd(work.view(), VectorView<double>(d.data(), n),
+                VectorView<double>(e.data(), static_cast<index_t>(e.size())),
+                VectorView<double>(tau.data(), static_cast<index_t>(tau.size())));
+  return steqr(VectorView<const double>(d.data(), n),
+               VectorView<const double>(e.data(), static_cast<index_t>(e.size())), opt);
+}
+
+}  // namespace fth::eigen

@@ -1,0 +1,31 @@
+// Eigenvalues of a symmetric tridiagonal matrix (implicit QL/QR with
+// Wilkinson shift — the eigenvalues-only path of LAPACK's dsteqr/dsterf
+// family). The natural consumer of the tridiagonal reduction: together
+// with (ft_)sytrd it completes the symmetric eigensolver pipeline.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace fth::eigen {
+
+struct SteqrOptions {
+  index_t max_sweeps_per_eigenvalue = 30;
+};
+
+struct SteqrResult {
+  std::vector<double> eigenvalues;  ///< ascending
+  bool converged = false;
+  index_t sweeps = 0;
+};
+
+/// Eigenvalues of the symmetric tridiagonal matrix with diagonal `d`
+/// (length n) and off-diagonal `e` (length n−1). Inputs are not modified.
+SteqrResult steqr(VectorView<const double> d, VectorView<const double> e,
+                  const SteqrOptions& opt = {});
+
+/// Convenience: eigenvalues of a dense symmetric matrix via sytrd + steqr.
+SteqrResult symmetric_eigenvalues(MatrixView<const double> a, const SteqrOptions& opt = {});
+
+}  // namespace fth::eigen

@@ -1,0 +1,125 @@
+#include "fault/campaign.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "ft/ft_gebrd.hpp"
+#include "ft/ft_gehrd.hpp"
+#include "ft/ft_sytrd.hpp"
+#include "la/generate.hpp"
+#include "la/norms.hpp"
+
+namespace fth::fault {
+
+std::string to_string(Algorithm a) {
+  switch (a) {
+    case Algorithm::Gehrd: return "ft_gehrd";
+    case Algorithm::Sytrd: return "ft_sytrd";
+    case Algorithm::Gebrd: return "ft_gebrd";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Uniform adapter: run one FT factorization, return the factored matrix.
+Matrix<double> run_algorithm(hybrid::Device& dev, Algorithm alg, const Matrix<double>& a0,
+                             index_t nb, Injector* inj, ft::FtReport* rep) {
+  const index_t n = a0.rows();
+  Matrix<double> a(a0.cview());
+  std::vector<double> d(static_cast<std::size_t>(n));
+  std::vector<double> e(static_cast<std::size_t>(std::max<index_t>(n - 1, 0)));
+  std::vector<double> tau(static_cast<std::size_t>(std::max<index_t>(n - 1, 0)));
+  std::vector<double> tauq(static_cast<std::size_t>(n));
+  switch (alg) {
+    case Algorithm::Gehrd:
+      ft::ft_gehrd(dev, a.view(), VectorView<double>(tau.data(), n - 1), {.nb = nb}, inj,
+                   rep);
+      break;
+    case Algorithm::Sytrd:
+      ft::ft_sytrd(dev, a.view(), VectorView<double>(d.data(), n),
+                   VectorView<double>(e.data(), n - 1), VectorView<double>(tau.data(), n - 1),
+                   {.nb = nb}, inj, rep);
+      break;
+    case Algorithm::Gebrd:
+      ft::ft_gebrd(dev, a.view(), VectorView<double>(d.data(), n),
+                   VectorView<double>(e.data(), n - 1), VectorView<double>(tauq.data(), n),
+                   VectorView<double>(tau.data(), n - 1), {.nb = nb}, inj, rep);
+      break;
+  }
+  return a;
+}
+
+index_t boundaries_of(Algorithm alg, index_t n, index_t nb) {
+  switch (alg) {
+    case Algorithm::Gehrd: return ft::ft_total_boundaries(n, nb);
+    case Algorithm::Sytrd: return ft::ft_sytrd_boundaries(n, nb);
+    case Algorithm::Gebrd: return ft::ft_gebrd_boundaries(n, nb);
+  }
+  return 1;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const CampaignConfig& cfg) {
+  FTH_CHECK(cfg.n >= 4, "campaign: matrix too small");
+  FTH_CHECK(cfg.trials >= 1 && cfg.faults_per_trial >= 0, "campaign: bad configuration");
+
+  CampaignResult result;
+  hybrid::Device dev;
+  Rng seeder(cfg.seed);
+
+  for (int trial = 0; trial < cfg.trials; ++trial) {
+    const std::uint64_t mseed = seeder.next();
+    const std::uint64_t fseed = seeder.next();
+    Matrix<double> a0 = cfg.algorithm == Algorithm::Sytrd
+                            ? random_symmetric_matrix(cfg.n, mseed)
+                            : random_matrix(cfg.n, cfg.n, mseed);
+
+    // Fault-free reference run.
+    ft::FtReport clean_rep;
+    Matrix<double> clean = run_algorithm(dev, cfg.algorithm, a0, cfg.nb, nullptr, &clean_rep);
+
+    // Faulty run.
+    TrialOutcome out;
+    const index_t boundaries = boundaries_of(cfg.algorithm, cfg.n, cfg.nb);
+    std::vector<FaultSpec> specs;
+    Rng frng(fseed);
+    for (int f = 0; f < cfg.faults_per_trial; ++f) {
+      FaultSpec spec;
+      spec.area = cfg.area;
+      spec.boundary = 1 + static_cast<index_t>(frng.below(
+                              static_cast<std::uint64_t>(std::max<index_t>(boundaries - 1, 1))));
+      // Vary magnitude per fault so simultaneous errors stay distinguishable.
+      spec.magnitude = cfg.magnitude * (1.0 + frng.uniform());
+      specs.push_back(spec);
+    }
+    Injector inj(specs, fseed ^ 0x51CA5EULL);
+
+    ft::FtReport rep;
+    try {
+      Matrix<double> faulty = run_algorithm(dev, cfg.algorithm, a0, cfg.nb, &inj, &rep);
+      out.recovered = true;
+      out.max_error_vs_clean = max_abs_diff(faulty.cview(), clean.cview());
+    } catch (const recovery_error& e) {
+      out.failure = e.what();
+    }
+    out.injected = inj.history();
+    out.detections = rep.detections;
+    out.corrections = rep.data_corrections + rep.checksum_corrections + rep.q_corrections +
+                      rep.final_sweep_corrections;
+
+    if (out.recovered) {
+      const double tol = 1e-8 * std::max(1.0, norm_max(a0.cview()));
+      out.result_correct = out.max_error_vs_clean <= tol;
+      if (out.result_correct) ++result.correct_count;
+      ++result.recovered_count;
+      result.worst_error_vs_clean =
+          std::max(result.worst_error_vs_clean, out.max_error_vs_clean);
+    }
+    result.trials.push_back(std::move(out));
+  }
+  return result;
+}
+
+}  // namespace fth::fault

@@ -1,0 +1,55 @@
+// Monte-Carlo fault-injection campaigns.
+//
+// Runs the fault-tolerant reduction many times with randomized faults and
+// aggregates detection/correction statistics and result quality — the
+// experimental harness behind the examples and the robustness tests.
+#pragma once
+
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "la/matrix.hpp"
+
+namespace fth::fault {
+
+/// Which fault-tolerant factorization a campaign exercises.
+enum class Algorithm {
+  Gehrd,  ///< Hessenberg reduction (the paper's algorithm)
+  Sytrd,  ///< symmetric tridiagonal reduction (extension)
+  Gebrd,  ///< bidiagonal reduction (extension)
+};
+
+std::string to_string(Algorithm a);
+
+struct CampaignConfig {
+  Algorithm algorithm = Algorithm::Gehrd;
+  index_t n = 256;            ///< matrix size
+  index_t nb = 32;            ///< panel width
+  int trials = 20;            ///< independent runs
+  int faults_per_trial = 1;   ///< simultaneous faults per run
+  Area area = Area::Any;      ///< region to strike
+  double magnitude = 100.0;   ///< relative fault magnitude
+  std::uint64_t seed = 2026;  ///< master seed (matrix + fault placement)
+};
+
+struct TrialOutcome {
+  std::vector<InjectionRecord> injected;
+  int detections = 0;
+  int corrections = 0;  ///< data + checksum + Q corrections
+  bool recovered = false;
+  bool result_correct = false;  ///< matches the fault-free factorization
+  double max_error_vs_clean = 0.0;
+  std::string failure;  ///< non-empty when recovery threw
+};
+
+struct CampaignResult {
+  std::vector<TrialOutcome> trials;
+  int recovered_count = 0;
+  int correct_count = 0;
+  double worst_error_vs_clean = 0.0;
+};
+
+/// Run the campaign on a random matrix per trial.
+CampaignResult run_campaign(const CampaignConfig& cfg);
+
+}  // namespace fth::fault

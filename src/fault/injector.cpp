@@ -1,0 +1,121 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace fth::fault {
+
+Area classify(index_t row, index_t col, index_t i) {
+  if (col >= i) return row < i ? Area::UpperTrailing : Area::LowerTrailing;
+  return row > col + 1 ? Area::QPanel : Area::FinishedH;
+}
+
+std::string to_string(Area a) {
+  switch (a) {
+    case Area::Any: return "any";
+    case Area::UpperTrailing: return "area1(upper-trailing)";
+    case Area::LowerTrailing: return "area2(lower-trailing)";
+    case Area::QPanel: return "area3(Q-panel)";
+    case Area::FinishedH: return "finished-H";
+  }
+  return "?";
+}
+
+std::string to_string(Moment m) {
+  switch (m) {
+    case Moment::Beginning: return "B";
+    case Moment::Middle: return "M";
+    case Moment::End: return "E";
+  }
+  return "?";
+}
+
+index_t moment_boundary(Moment m, index_t total_boundaries) {
+  FTH_CHECK(total_boundaries >= 1, "moment_boundary: no iterations");
+  switch (m) {
+    case Moment::Beginning: return 1;
+    case Moment::Middle: return std::max<index_t>(1, (total_boundaries + 1) / 2);
+    case Moment::End: return total_boundaries;
+  }
+  return 1;
+}
+
+Injector::Injector(std::vector<FaultSpec> specs, std::uint64_t seed) : rng_(seed) {
+  armed_.reserve(specs.size());
+  for (auto& s : specs) armed_.push_back({s, false});
+}
+
+Injector::Injector(const FaultSpec& spec, std::uint64_t seed)
+    : Injector(std::vector<FaultSpec>{spec}, seed) {}
+
+std::vector<PendingFault> Injector::due(index_t boundary, index_t total_boundaries, index_t i,
+                                        index_t n, double scale) {
+  std::vector<PendingFault> out;
+  for (auto& a : armed_) {
+    if (a.fired) continue;
+    const index_t target = a.spec.boundary >= 0
+                               ? a.spec.boundary
+                               : moment_boundary(a.spec.moment, total_boundaries);
+    if (boundary != target) continue;
+
+    PendingFault f;
+    f.delta = a.spec.relative ? a.spec.magnitude * scale : a.spec.magnitude;
+    if (a.spec.row >= 0 && a.spec.col >= 0) {
+      f.row = a.spec.row;
+      f.col = a.spec.col;
+      f.area = classify(f.row, f.col, i);
+    } else {
+      // Draw coordinates uniformly inside the requested area at this
+      // boundary. All areas are non-empty once at least one panel is done
+      // and at least one trailing column remains.
+      switch (a.spec.area) {
+        case Area::UpperTrailing:
+          FTH_CHECK(i >= 1 && i < n, "area 1 is empty at this boundary");
+          f.row = static_cast<index_t>(rng_.below(static_cast<std::uint64_t>(i)));
+          f.col = i + static_cast<index_t>(rng_.below(static_cast<std::uint64_t>(n - i)));
+          break;
+        case Area::LowerTrailing:
+          FTH_CHECK(i < n, "area 2 is empty at this boundary");
+          f.row = i + static_cast<index_t>(rng_.below(static_cast<std::uint64_t>(n - i)));
+          f.col = i + static_cast<index_t>(rng_.below(static_cast<std::uint64_t>(n - i)));
+          break;
+        case Area::QPanel: {
+          FTH_CHECK(i >= 1 && n > 2, "area 3 is empty at this boundary");
+          // Column c < i with a non-empty tail (rows c+2..n−1 ⇒ c ≤ n−3).
+          const index_t cmax = std::min<index_t>(i - 1, n - 3);
+          FTH_CHECK(cmax >= 0, "area 3 is empty at this boundary");
+          f.col = static_cast<index_t>(rng_.below(static_cast<std::uint64_t>(cmax + 1)));
+          f.row = f.col + 2 +
+                  static_cast<index_t>(rng_.below(static_cast<std::uint64_t>(n - f.col - 2)));
+          break;
+        }
+        case Area::FinishedH: {
+          FTH_CHECK(i >= 1, "finished-H is empty at this boundary");
+          f.col = static_cast<index_t>(rng_.below(static_cast<std::uint64_t>(i)));
+          f.row = static_cast<index_t>(
+              rng_.below(static_cast<std::uint64_t>(std::min(f.col + 2, n))));
+          break;
+        }
+        case Area::Any:
+          f.row = static_cast<index_t>(rng_.below(static_cast<std::uint64_t>(n)));
+          f.col = static_cast<index_t>(rng_.below(static_cast<std::uint64_t>(n)));
+          break;
+      }
+      f.area = classify(f.row, f.col, i);
+    }
+    a.fired = true;
+    out.push_back(f);
+  }
+  return out;
+}
+
+void Injector::record(index_t boundary, const PendingFault& f) {
+  history_.push_back({boundary, f.row, f.col, f.delta, f.area});
+}
+
+bool Injector::all_fired() const {
+  return std::all_of(armed_.begin(), armed_.end(), [](const Armed& a) { return a.fired; });
+}
+
+}  // namespace fth::fault

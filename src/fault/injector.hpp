@@ -1,0 +1,106 @@
+// Soft-error (transient fault) injection.
+//
+// Implements the paper's failure model (Section IV-A): a matrix element
+// silently changes value at a single point in time while the factorization
+// continues obliviously. Faults are specified by *where* (Fig. 2(a) area or
+// explicit coordinates) and *when* (iteration boundary, or the B/M/E
+// moments of the Fig. 6 / Table II grids) and are applied by the driver at
+// iteration boundaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace fth::fault {
+
+/// The matrix regions of Fig. 2(a), evaluated at an iteration boundary
+/// where the next panel starts at column `i`.
+enum class Area {
+  Any = 0,            ///< anywhere in the matrix
+  UpperTrailing = 1,  ///< Area 1: rows 0..i−1 of the trailing columns ≥ i
+  LowerTrailing = 2,  ///< Area 2: rows ≥ i of the trailing columns ≥ i
+  QPanel = 3,         ///< Area 3: Householder-vector storage (col c < i, row > c+1)
+  FinishedH = 4,      ///< finished H entries (col c < i, row ≤ c+1) — beyond the paper's grid
+};
+
+/// When during the factorization the fault strikes (Fig. 6 / Table II).
+enum class Moment {
+  Beginning,  ///< after the first panel iteration
+  Middle,     ///< after roughly half the iterations
+  End,        ///< after the last blocked iteration
+};
+
+/// Classify a coordinate given the factorization progress (next panel
+/// starts at column `i`).
+Area classify(index_t row, index_t col, index_t i);
+
+std::string to_string(Area a);
+std::string to_string(Moment m);
+
+/// One planned soft error.
+struct FaultSpec {
+  Area area = Area::LowerTrailing;  ///< region to strike (coordinates drawn at random)
+  Moment moment = Moment::Middle;   ///< injection time when `boundary` < 0
+  index_t boundary = -1;            ///< explicit boundary index (number of completed panels)
+  index_t row = -1;                 ///< explicit coordinates override `area` when both ≥ 0
+  index_t col = -1;
+  double magnitude = 100.0;  ///< delta added to the element (× matrix scale if `relative`)
+  bool relative = true;
+};
+
+/// What actually happened for one fault.
+struct InjectionRecord {
+  index_t boundary = 0;
+  index_t row = 0;
+  index_t col = 0;
+  double delta = 0.0;
+  Area area = Area::Any;
+};
+
+/// A fault with resolved coordinates, ready to be applied by the driver.
+struct PendingFault {
+  index_t row = 0;
+  index_t col = 0;
+  double delta = 0.0;
+  Area area = Area::Any;
+};
+
+/// Resolves fault specs into concrete injections as the factorization
+/// advances. The driver calls `due()` at each iteration boundary and
+/// applies the returned deltas to whichever memory holds each coordinate.
+class Injector {
+ public:
+  Injector() = default;
+  explicit Injector(std::vector<FaultSpec> specs, std::uint64_t seed = 0xFA57u);
+  explicit Injector(const FaultSpec& spec, std::uint64_t seed = 0xFA57u);
+
+  /// Faults scheduled for this boundary. `boundary` counts completed
+  /// panels (1-based), `total_boundaries` is the total number of panel
+  /// iterations, `i` is the next panel's start column, `n` the matrix
+  /// size, and `scale` the magnitude reference for relative faults.
+  std::vector<PendingFault> due(index_t boundary, index_t total_boundaries, index_t i,
+                                index_t n, double scale);
+
+  /// Record that a pending fault was applied (kept for reporting).
+  void record(index_t boundary, const PendingFault& f);
+
+  [[nodiscard]] const std::vector<InjectionRecord>& history() const { return history_; }
+  [[nodiscard]] bool all_fired() const;
+
+ private:
+  struct Armed {
+    FaultSpec spec;
+    bool fired = false;
+  };
+  std::vector<Armed> armed_;
+  std::vector<InjectionRecord> history_;
+  Rng rng_{0xFA57u};
+};
+
+/// Map a Moment to a concrete boundary index given the total count.
+index_t moment_boundary(Moment m, index_t total_boundaries);
+
+}  // namespace fth::fault

@@ -1,0 +1,472 @@
+#include "ft/ft_gehrd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "ft/checksum.hpp"
+#include "ft/q_protect.hpp"
+#include "ft/reverse.hpp"
+#include "hybrid/dev_blas.hpp"
+#include "la/blas1.hpp"
+#include "la/blas2.hpp"
+#include "la/blas3.hpp"
+#include "la/norms.hpp"
+#include "lapack/lahr2_impl.hpp"
+#include "lapack/orghr.hpp"
+#include "lapack/reflectors.hpp"
+
+namespace fth::ft {
+
+index_t ft_total_boundaries(index_t n, index_t nb) {
+  index_t count = 0;
+  index_t i = 0;
+  while (i < n - 1) {
+    i += std::min(nb, n - 1 - i);
+    ++count;
+  }
+  return count;
+}
+
+namespace {
+
+using hybrid::copy_d2h;
+using hybrid::copy_d2h_async;
+using hybrid::copy_h2d;
+using hybrid::copy_h2d_async;
+
+/// All state of one fault-tolerant reduction (Algorithm 3).
+class FtDriver {
+ public:
+  FtDriver(hybrid::Device& dev, MatrixView<double> a, VectorView<double> tau,
+           const FtOptions& opt, fault::Injector* inj, FtReport& rep,
+           hybrid::HybridGehrdStats& st)
+      : dev_(dev),
+        s_(dev.stream()),
+        a_(a),
+        tau_(tau),
+        opt_(opt),
+        inj_(inj),
+        rep_(rep),
+        st_(st),
+        n_(a.rows()),
+        d_e_(dev, n_ + 1, n_ + 1),
+        d_vce_(dev, n_, std::max<index_t>(opt.nb, 1)),
+        d_t_(dev, std::max<index_t>(opt.nb, 1), std::max<index_t>(opt.nb, 1)),
+        d_yce_(dev, n_ + 1, std::max<index_t>(opt.nb, 1)),
+        d_w_(dev, std::max<index_t>(opt.nb, 1), n_ + 1),
+        d_ones_(dev, n_ + 1, 1),
+        t_host_(std::max<index_t>(opt.nb, 1), std::max<index_t>(opt.nb, 1)),
+        y_host_(n_, std::max<index_t>(opt.nb, 1)),
+        ckpt_(n_, std::max<index_t>(opt.nb, 1)),
+        ckpt_chkrow_(1, std::max<index_t>(opt.nb, 1)),
+        new_chkrow_(1, std::max<index_t>(opt.nb, 1)),
+        qp_(n_) {
+    const double fro = norm_fro(MatrixView<const double>(a_));
+    scale_max_ = norm_max(MatrixView<const double>(a_));
+    threshold_ = opt.threshold > 0 ? opt.threshold
+                                   : default_threshold(fro, n_, opt.threshold_factor);
+    loc_tol_ = opt.locate_tol > 0 ? opt.locate_tol : threshold_;
+    rep_.threshold = threshold_;
+    total_boundaries_ = ft_total_boundaries(n_, opt.nb);
+  }
+
+  void run() {
+    encode();
+    index_t i = 0;
+    index_t boundary = 0;
+    while (i < n_ - 1) {
+      const index_t ib = std::min(opt_.nb, n_ - 1 - i);
+      run_iteration(i, ib);
+      ensure_clean(boundary + 1, i, ib);
+      if (opt_.protect_q) qp_.commit(pending_q_);
+      ++boundary;
+      ++st_.panels;
+      i += ib;
+      if (inj_ != nullptr) inject_at_boundary(boundary, i);
+    }
+    final_phase();
+  }
+
+ private:
+  // -- Algorithm 3 line 2: encode the matrix on the device. ----------------
+  void encode() {
+    WallTimer t;
+    copy_h2d_async(s_, MatrixView<const double>(a_), d_e_.block(0, 0, n_, n_));
+    hybrid::fill_async(s_, d_ones_.view(), 1.0);
+    auto ones_n = VectorView<const double>(d_ones_.view().col(0).data(), n_, 1);
+    // Checksum column: row sums.
+    hybrid::gemv_async(s_, Trans::No, 1.0,
+                       MatrixView<const double>(d_e_.block(0, 0, n_, n_)), ones_n, 0.0,
+                       d_e_.block(0, n_, n_, 1).col(0));
+    // Checksum row: column sums; corner: grand total.
+    auto e = d_e_.view();
+    hybrid::gemv_async(s_, Trans::Yes, 1.0,
+                       MatrixView<const double>(d_e_.block(0, 0, n_, n_)), ones_n, 0.0,
+                       e.row(n_).sub(0, n_));
+    s_.enqueue([e, n = n_]() mutable {
+      e(n, n) = blas::sum(VectorView<const double>(e.row(n).sub(0, n).data(), n, e.ld()));
+    });
+    s_.synchronize();
+    rep_.encode_seconds += t.seconds();
+  }
+
+  // -- One full panel iteration (Algorithm 3 lines 4–11). ------------------
+  void run_iteration(index_t i, index_t ib) {
+    const index_t vrows = n_ - i - 1;
+    const index_t width = n_ + 1 - i - ib;  // trailing data columns + checksum column
+    auto e = d_e_.view();
+
+    // Line 4: panel to host + diskless checkpoint of its pre-image. The
+    // checkpoint includes the checksum-row segment over the panel columns:
+    // those entries are re-encoded at the end of the iteration (see below)
+    // and must be restorable on rollback.
+    WallTimer panel_timer;
+    copy_d2h_async(s_, MatrixView<const double>(d_e_.block(0, i, n_, ib)),
+                   a_.block(0, i, n_, ib));
+    copy_d2h(s_, MatrixView<const double>(d_e_.block(n_, i, 1, ib)),
+             ckpt_chkrow_.block(0, 0, 1, ib));
+    fth::copy(MatrixView<const double>(a_.block(0, i, n_, ib)), ckpt_.block(0, 0, n_, ib));
+
+    // Line 5: host panel factorization; big Y products on the device.
+    lapack::detail::lahr2_panel(
+        a_, i, ib, t_host_.view(), y_host_.view(), tau_.sub(i, ib),
+        [&](index_t j, VectorView<const double> vj, VectorView<double> y_col) {
+          const index_t cj = i + j;
+          auto d_vcol = d_vce_.block(j, j, vj.size(), 1);
+          copy_h2d_async(s_, MatrixView<const double>(vj.data(), vj.size(), 1, vj.size()),
+                         d_vcol);
+          hybrid::gemv_async(
+              s_, Trans::No, 1.0,
+              MatrixView<const double>(d_e_.block(i + 1, cj + 1, vrows, n_ - cj - 1)),
+              VectorView<const double>(d_vcol.col(0)), 0.0,
+              d_yce_.block(i + 1, j, vrows, 1).col(0));
+          copy_d2h(s_, MatrixView<const double>(d_yce_.block(i + 1, j, vrows, 1)),
+                   MatrixView<double>(y_col.data(), vrows, 1, vrows));
+        });
+    st_.panel_seconds += panel_timer.seconds();
+
+    WallTimer update_timer;
+    // Ship clean V / T / corrected lower Y.
+    Matrix<double> v = lapack::materialize_v(MatrixView<const double>(a_), i, ib);
+    copy_h2d_async(s_, v.cview(), d_vce_.block(0, 0, vrows, ib));
+    copy_h2d_async(s_, t_host_.block(0, 0, ib, ib), d_t_.block(0, 0, ib, ib));
+    copy_h2d_async(s_, y_host_.block(i + 1, 0, vrows, ib), d_yce_.block(i + 1, 0, vrows, ib));
+
+    // Line 7: column checksums of V (device GEMV with the ones vector).
+    auto ones_v = VectorView<const double>(d_ones_.view().col(0).data(), vrows, 1);
+    auto dv = d_vce_.view();
+    s_.enqueue([this, dv, ones_v, vrows, ib]() mutable {
+      WallTimer t;
+      blas::gemv(Trans::Yes, 1.0, MatrixView<const double>(dv.block(0, 0, vrows, ib)), ones_v,
+                 0.0, dv.row(vrows).sub(0, ib));
+      chk_update_seconds_ += t.seconds();
+    });
+
+    // Top rows of Yce: Y(0:i+1,:) = A(0:i+1, i+1:n)·V·T.
+    hybrid::gemm_async(s_, Trans::No, Trans::No, 1.0,
+                       MatrixView<const double>(d_e_.block(0, i + 1, i + 1, vrows)),
+                       MatrixView<const double>(d_vce_.block(0, 0, vrows, ib)), 0.0,
+                       d_yce_.block(0, 0, i + 1, ib));
+    hybrid::trmm_async(s_, Side::Right, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0,
+                       MatrixView<const double>(d_t_.block(0, 0, ib, ib)),
+                       d_yce_.block(0, 0, i + 1, ib));
+
+    // Line 6: checksum row of Y, Ychk = Ac_chk(i+1:n)·V·T (device).
+    auto dy = d_yce_.view();
+    auto dt = d_t_.view();
+    s_.enqueue([this, e, dv, dy, dt, i, ib, vrows]() mutable {
+      WallTimer t;
+      auto chk_seg = VectorView<const double>(&e(n_, i + 1), vrows, e.ld());
+      auto ychk = dy.row(n_).sub(0, ib);
+      blas::gemv(Trans::Yes, 1.0, MatrixView<const double>(dv.block(0, 0, vrows, ib)), chk_seg,
+                 0.0, ychk);
+      blas::trmv(Uplo::Upper, Trans::Yes, Diag::NonUnit,
+                 MatrixView<const double>(dt.block(0, 0, ib, ib)), ychk);
+      chk_update_seconds_ += t.seconds();
+    });
+
+    // Fetch the finished top rows of Y for the host-side panel fix.
+    copy_d2h_async(s_, MatrixView<const double>(d_yce_.block(0, 0, i + 1, ib)),
+                   y_host_.block(0, 0, i + 1, ib));
+    const hybrid::Event y_upper_ready = s_.record();
+
+    // Line 8+10: extended right update, M and G plus both checksums in one
+    // GEMM over the trailing columns and the checksum column.
+    hybrid::gemm_async(s_, Trans::No, Trans::Yes, -1.0,
+                       MatrixView<const double>(d_yce_.block(0, 0, n_ + 1, ib)),
+                       MatrixView<const double>(d_vce_.block(ib - 1, 0, vrows - ib + 2, ib)),
+                       1.0, d_e_.block(0, i + ib, n_ + 1, width));
+
+    // Host work overlapped with the device GEMM (the paper's line 9/line 10
+    // overlap, plus the Q checksum generation of Section IV-E).
+    if (opt_.protect_q) {
+      WallTimer qt;
+      pending_q_ = qp_.compute_panel(MatrixView<const double>(a_), i, ib);
+      rep_.q_seconds += qt.seconds();
+    }
+    y_upper_ready.wait();
+    blas::trmm(Side::Right, Uplo::Lower, Trans::Yes, Diag::Unit, 1.0,
+               MatrixView<const double>(a_.block(i + 1, i, ib - 1, ib - 1)),
+               y_host_.block(0, 0, i + 1, ib - 1));
+    for (index_t j = 0; j + 1 < ib; ++j) {
+      blas::axpy(-1.0, VectorView<const double>(y_host_.block(0, j, i + 1, 1).col(0)),
+                 a_.block(0, i + 1 + j, i + 1, 1).col(0));
+    }
+
+    // Line 11: extended left update; W is retained for reverse computation.
+    hybrid::gemm_async(s_, Trans::Yes, Trans::No, 1.0,
+                       MatrixView<const double>(d_vce_.block(0, 0, vrows, ib)),
+                       MatrixView<const double>(d_e_.block(i + 1, i + ib, vrows, width)), 0.0,
+                       d_w_.block(0, 0, ib, width));
+    hybrid::trmm_async(s_, Side::Left, Uplo::Upper, Trans::Yes, Diag::NonUnit, 1.0,
+                       MatrixView<const double>(d_t_.block(0, 0, ib, ib)),
+                       d_w_.block(0, 0, ib, width));
+    hybrid::gemm_async(s_, Trans::No, Trans::No, -1.0,
+                       MatrixView<const double>(d_vce_.block(0, 0, vrows + 1, ib)),
+                       MatrixView<const double>(d_w_.block(0, 0, ib, width)), 1.0,
+                       d_e_.block(i + 1, i + ib, vrows + 1, width));
+
+    // The panel columns transition from "trailing data" (checksummed over
+    // the full height) to "finished H columns" (checksummed over rows
+    // 0..c+1 only — the Householder entries below move under Q's
+    // protection). Re-encode the checksum-row segment for the finished
+    // columns from the final host data; the pre-image was checkpointed
+    // above so rollback can restore it.
+    for (index_t j = 0; j < ib; ++j) {
+      const index_t c = i + j;
+      double cs = 0.0;
+      const index_t last = std::min(c + 1, n_ - 1);
+      for (index_t r = 0; r <= last; ++r) cs += a_(r, c);
+      new_chkrow_(0, j) = cs;
+    }
+    copy_h2d_async(s_, MatrixView<const double>(new_chkrow_.block(0, 0, 1, ib)),
+                   d_e_.block(n_, i, 1, ib));
+    s_.synchronize();
+    st_.update_seconds += update_timer.seconds();
+  }
+
+  // -- Lines 12–16: detect, and if needed roll back / locate / correct / redo.
+  void ensure_clean(index_t boundary, index_t i, index_t ib) {
+    int attempts = 0;
+    for (;;) {
+      const double gap = detect();
+      if (gap <= threshold_) {
+        rep_.max_fault_free_gap = std::max(rep_.max_fault_free_gap, gap);
+        return;
+      }
+      ++rep_.detections;
+      if (++attempts > opt_.max_retries) {
+        std::ostringstream os;
+        os << "ft_gehrd: iteration " << boundary << " still inconsistent after "
+           << opt_.max_retries << " recovery attempts (gap " << gap << " > threshold "
+           << threshold_ << ")";
+        throw recovery_error(os.str());
+      }
+
+      WallTimer rt;
+      FtEvent ev;
+      ev.boundary = boundary;
+      ev.gap = gap;
+
+      rollback(i, ib);
+      ++rep_.rollbacks;
+
+      const LocateResult res = locate_errors(i);
+      apply_corrections(res, i);
+      ev.errors = res.data_errors;
+      ev.data_corrections = static_cast<int>(res.data_errors.size());
+      ev.checksum_corrections =
+          static_cast<int>(res.chk_col_errors.size() + res.chk_row_errors.size());
+      ev.checkpoint_only = res.data_errors.empty() && res.chk_col_errors.empty() &&
+                           res.chk_row_errors.empty();
+      rep_.data_corrections += ev.data_corrections;
+      rep_.checksum_corrections += ev.checksum_corrections;
+      rep_.events.push_back(std::move(ev));
+
+      run_iteration(i, ib);  // redo from the restored checkpoint
+      rep_.recovery_seconds += rt.seconds();
+    }
+  }
+
+  double detect() {
+    WallTimer t;
+    double gap = 0.0;
+    auto e = d_e_.view();
+    s_.enqueue([e, n = n_, &gap] {
+      const double sre = blas::sum(VectorView<const double>(&e(0, n), n, 1));
+      const double sce = blas::sum(VectorView<const double>(&e(n, 0), n, e.ld()));
+      gap = std::abs(sre - sce);
+    });
+    s_.synchronize();
+    rep_.detect_seconds += t.seconds();
+    return gap;
+  }
+
+  // -- Line 14: reverse computation (exact, the factors are still live). ---
+  void rollback(index_t i, index_t ib) {
+    const index_t vrows = n_ - i - 1;
+    const index_t width = n_ + 1 - i - ib;
+    auto e = d_e_.view();
+    auto dv = d_vce_.view();
+    auto dy = d_yce_.view();
+    auto dw = d_w_.view();
+    s_.enqueue([e, dv, dy, dw, i, ib, vrows, width]() mutable {
+      // Undo the left update first (it was applied last), then the right.
+      reverse_left_update(e.block(i + 1, i + ib, vrows + 1, width),
+                          MatrixView<const double>(dv.block(0, 0, vrows + 1, ib)),
+                          MatrixView<const double>(dw.block(0, 0, ib, width)));
+      reverse_right_update(e.block(0, i + ib, e.rows(), width),
+                           MatrixView<const double>(dy.block(0, 0, e.rows(), ib)),
+                           MatrixView<const double>(dv.block(ib - 1, 0, vrows - ib + 2, ib)));
+    });
+    // Restore the checksum-row segment the iteration re-encoded.
+    copy_h2d(s_, MatrixView<const double>(ckpt_chkrow_.block(0, 0, 1, ib)),
+             d_e_.block(n_, i, 1, ib));
+    // Restore the panel (and its host-side upper rows) from the checkpoint.
+    fth::copy(MatrixView<const double>(ckpt_.block(0, 0, n_, ib)), a_.block(0, i, n_, ib));
+  }
+
+  // -- Section IV-F: fresh checksums → locate. ------------------------------
+  LocateResult locate_errors(index_t i) {
+    Matrix<double> ext(n_ + 1, n_ + 1);
+    copy_d2h(s_, d_e_.view(), ext.view());
+    const FreshSums fresh = fresh_logical_sums(MatrixView<const double>(a_), ext.cview(), i);
+    const Discrepancy disc = compare_checksums(fresh, ext.cview(), loc_tol_);
+    return locate(disc, fresh, loc_tol_);
+  }
+
+  void apply_corrections(const LocateResult& res, index_t i) {
+    auto e = d_e_.view();
+    for (const auto& err : res.data_errors) {
+      if (err.col >= i) {
+        s_.enqueue([e, err]() mutable { e(err.row, err.col) -= err.delta; });
+      } else {
+        a_(err.row, err.col) -= err.delta;
+      }
+    }
+    for (const auto& c : res.chk_col_errors) {
+      s_.enqueue([e, c, n = n_]() mutable { e(c.index, n) = c.fresh; });
+    }
+    for (const auto& c : res.chk_row_errors) {
+      s_.enqueue([e, c, n = n_]() mutable { e(n, c.index) = c.fresh; });
+    }
+    s_.synchronize();
+  }
+
+  void inject_at_boundary(index_t boundary, index_t i_next) {
+    const auto due = inj_->due(boundary, total_boundaries_, i_next, n_, scale_max_);
+    auto e = d_e_.view();
+    for (const auto& f : due) {
+      if (f.col >= i_next) {
+        s_.enqueue([e, f]() mutable { e(f.row, f.col) += f.delta; });
+        s_.synchronize();
+      } else {
+        a_(f.row, f.col) += f.delta;
+      }
+      inj_->record(boundary, f);
+    }
+  }
+
+  void final_phase() {
+    // Final sweep: catches errors that never propagated (finished H, the
+    // last trailing column, or checksum elements hit after the last check).
+    if (opt_.final_sweep) {
+      rep_.final_sweep_ran = true;
+      WallTimer t;
+      const LocateResult res = locate_errors(n_ - 1);
+      apply_corrections(res, n_ - 1);
+      rep_.final_sweep_corrections =
+          static_cast<int>(res.data_errors.size() + res.chk_col_errors.size() +
+                           res.chk_row_errors.size());
+      rep_.data_corrections += static_cast<int>(res.data_errors.size());
+      rep_.checksum_corrections +=
+          static_cast<int>(res.chk_col_errors.size() + res.chk_row_errors.size());
+      rep_.detect_seconds += t.seconds();
+    }
+
+    // Bring down the last column (never part of any panel).
+    copy_d2h(s_, MatrixView<const double>(d_e_.block(0, n_ - 1, n_, 1)),
+             a_.block(0, n_ - 1, n_, 1));
+
+    // Section IV-E: verify + correct the Householder storage once.
+    if (opt_.protect_q) {
+      WallTimer qt;
+      const double q_tol = 1e3 * eps<double>() * static_cast<double>(n_) *
+                           std::max(1.0, scale_max_);
+      const auto qres = qp_.verify_and_correct(a_, n_ - 1, q_tol);
+      rep_.q_corrections += qres.corrections;
+      rep_.q_seconds += qt.seconds();
+    }
+    rep_.checksum_update_seconds = chk_update_seconds_;
+  }
+
+  hybrid::Device& dev_;
+  hybrid::Stream& s_;
+  MatrixView<double> a_;
+  VectorView<double> tau_;
+  const FtOptions& opt_;
+  fault::Injector* inj_;
+  FtReport& rep_;
+  hybrid::HybridGehrdStats& st_;
+
+  index_t n_;
+  double threshold_ = 0.0;
+  double loc_tol_ = 0.0;
+  double scale_max_ = 0.0;
+  index_t total_boundaries_ = 0;
+  double chk_update_seconds_ = 0.0;  // written by stream tasks, read after sync
+
+  hybrid::DeviceMatrix<double> d_e_;
+  hybrid::DeviceMatrix<double> d_vce_;
+  hybrid::DeviceMatrix<double> d_t_;
+  hybrid::DeviceMatrix<double> d_yce_;
+  hybrid::DeviceMatrix<double> d_w_;
+  hybrid::DeviceMatrix<double> d_ones_;
+
+  Matrix<double> t_host_;
+  Matrix<double> y_host_;
+  Matrix<double> ckpt_;
+  Matrix<double> ckpt_chkrow_;  ///< pre-iteration checksum-row segment over the panel
+  Matrix<double> new_chkrow_;   ///< re-encoded segment for the finished panel
+  QProtector qp_;
+  QProtector::PanelChecksums pending_q_;
+};
+
+}  // namespace
+
+void ft_gehrd(hybrid::Device& dev, MatrixView<double> a, VectorView<double> tau,
+              const FtOptions& opt, fault::Injector* injector, FtReport* report,
+              hybrid::HybridGehrdStats* stats) {
+  const index_t n = a.rows();
+  FTH_CHECK(a.cols() == n, "ft_gehrd: matrix must be square");
+  FTH_CHECK(tau.size() >= std::max<index_t>(n - 1, 0), "ft_gehrd: tau too short");
+  FTH_CHECK(opt.nb >= 1, "ft_gehrd: block size must be positive");
+
+  FtReport local_rep;
+  hybrid::HybridGehrdStats local_st;
+  FtReport& rep = report != nullptr ? *report : local_rep;
+  hybrid::HybridGehrdStats& st = stats != nullptr ? *stats : local_st;
+  rep = {};
+  st = {};
+
+  WallTimer total;
+  const std::uint64_t h2d0 = dev.h2d_bytes();
+  const std::uint64_t d2h0 = dev.d2h_bytes();
+
+  if (n > 2) {
+    FtDriver driver(dev, a, tau, opt, injector, rep, st);
+    driver.run();
+  } else {
+    for (index_t i = 0; i + 1 < n; ++i) tau[i] = 0.0;
+  }
+
+  st.total_seconds = total.seconds();
+  st.h2d_bytes = dev.h2d_bytes() - h2d0;
+  st.d2h_bytes = dev.d2h_bytes() - d2h0;
+}
+
+}  // namespace fth::ft

@@ -1,0 +1,566 @@
+#include "ft/ft_sytrd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "ft/checksum.hpp"
+#include "ft/q_protect.hpp"
+#include "hybrid/dev_blas.hpp"
+#include "la/blas1.hpp"
+#include "la/blas2.hpp"
+#include "la/norms.hpp"
+#include "lapack/orghr.hpp"
+#include "lapack/sytrd_impl.hpp"
+
+namespace fth::ft {
+
+index_t ft_sytrd_boundaries(index_t n, index_t nb) {
+  index_t count = 0;
+  index_t i = 0;
+  while (i < n - 1) {
+    i += std::min(nb, n - 1 - i);
+    ++count;
+  }
+  return count;
+}
+
+namespace {
+
+using hybrid::copy_d2h;
+using hybrid::copy_d2h_async;
+using hybrid::copy_h2d;
+using hybrid::copy_h2d_async;
+
+class FtSytrdDriver {
+ public:
+  FtSytrdDriver(hybrid::Device& dev, MatrixView<double> a, VectorView<double> d,
+                VectorView<double> e, VectorView<double> tau, const FtSytrdOptions& opt,
+                fault::Injector* inj, FtReport& rep, hybrid::HybridGehrdStats& st)
+      : s_(dev.stream()),
+        a_(a),
+        d_(d),
+        e_(e),
+        tau_(tau),
+        opt_(opt),
+        inj_(inj),
+        rep_(rep),
+        st_(st),
+        n_(a.rows()),
+        d_a_(dev, n_, n_),
+        d_v_(dev, n_, std::max<index_t>(opt.nb, 1)),
+        d_w_(dev, n_, std::max<index_t>(opt.nb, 1)),
+        d_chke_(dev, n_, 1),
+        d_chkw_(dev, n_, 1),
+        d_ones_(dev, n_, 1),
+        d_wvec_(dev, n_, 1),
+        d_sums_(dev, std::max<index_t>(opt.nb, 1), 4),
+        d_pc_(dev, n_, 2),
+        d_fresh_(dev, n_, 1),
+        w_host_(n_, std::max<index_t>(opt.nb, 1)),
+        ckpt_(n_, std::max<index_t>(opt.nb, 1)),
+        ckpt_chke_(n_, 1),
+        ckpt_chkw_(n_, 1),
+        qp_(n_) {
+    const double fro = norm_fro(MatrixView<const double>(a_));
+    scale_max_ = norm_max(MatrixView<const double>(a_));
+    threshold_ = opt.threshold > 0
+                     ? opt.threshold
+                     : default_threshold(fro, n_, opt.threshold_factor) /
+                           static_cast<double>(std::max<index_t>(n_, 1));
+    // ^ per-row tolerance: the gehrd default bounds a grand total over n
+    //   rows; divide the n factor back out but keep a comfortable margin.
+    threshold_ *= 50.0;
+    total_boundaries_ = ft_sytrd_boundaries(n_, opt.nb);
+    rep_.threshold = threshold_;
+  }
+
+  void run() {
+    encode();
+    index_t i = 0;
+    index_t boundary = 0;
+    while (i < n_ - 1) {
+      const index_t ib = std::min(opt_.nb, n_ - 1 - i);
+      run_iteration(i, ib);
+      ++boundary;
+      // Faults strike at the boundary, i.e. before the end-of-iteration
+      // check — so a hit anywhere (including the next panel's interior) is
+      // detected and repaired before the next factorization step consumes
+      // it, exactly the "correct before it propagates" discipline of the
+      // paper.
+      if (inj_ != nullptr) inject_at_boundary(boundary, i + ib);
+      const bool check_now = opt_.detect_every <= 1 ||
+                             boundary % opt_.detect_every == 0 || i + ib >= n_ - 1;
+      if (check_now) ensure_clean(boundary, i, ib);
+      if (opt_.protect_q) qp_.commit(pending_q_);
+      ++st_.panels;
+      i += ib;
+    }
+    final_phase();
+  }
+
+ private:
+  void encode() {
+    WallTimer t;
+    copy_h2d_async(s_, MatrixView<const double>(a_), d_a_.view());
+    hybrid::fill_async(s_, d_ones_.view(), 1.0);
+    s_.enqueue([wv = d_wvec_.view()]() mutable {
+      for (index_t r = 0; r < wv.rows(); ++r) wv(r, 0) = static_cast<double>(r + 1);
+    });
+    // chk_e = A_sym·e, chk_w = A_sym·ω (device SYMVs over the lower triangle).
+    hybrid::symv_async(s_, Uplo::Lower, 1.0, MatrixView<const double>(d_a_.view()),
+                       VectorView<const double>(d_ones_.view().col(0)), 0.0,
+                       d_chke_.view().col(0));
+    hybrid::symv_async(s_, Uplo::Lower, 1.0, MatrixView<const double>(d_a_.view()),
+                       VectorView<const double>(d_wvec_.view().col(0)), 0.0,
+                       d_chkw_.view().col(0));
+    s_.synchronize();
+    rep_.encode_seconds += t.seconds();
+  }
+
+  void run_iteration(index_t i, index_t ib) {
+    const index_t vrows = n_ - i - 1;
+
+    // Panel to host + diskless checkpoints (panel pre-image and both
+    // checksum vectors — the vectors are O(n), so checkpointing beats
+    // reverse-computing them).
+    WallTimer panel_timer;
+    copy_d2h_async(s_, MatrixView<const double>(d_a_.block(0, i, n_, ib)),
+                   a_.block(0, i, n_, ib));
+    copy_d2h_async(s_, MatrixView<const double>(d_chke_.view()), ckpt_chke_.view());
+    copy_d2h(s_, MatrixView<const double>(d_chkw_.view()), ckpt_chkw_.view());
+    fth::copy(MatrixView<const double>(a_.block(0, i, n_, ib)), ckpt_.block(0, 0, n_, ib));
+
+    // Host panel with device-assisted SYMV.
+    lapack::detail::latrd_panel(
+        a_, i, ib, e_.sub(i, ib), tau_.sub(i, ib), w_host_.view(),
+        [&](index_t j, VectorView<const double> vj, VectorView<double> w_col) {
+          const index_t cj = i + j;
+          const index_t vlen = n_ - cj - 1;
+          auto d_vcol = d_v_.block(j, j, vlen, 1);
+          copy_h2d_async(s_, MatrixView<const double>(vj.data(), vlen, 1, vlen), d_vcol);
+          hybrid::symv_async(s_, Uplo::Lower, 1.0,
+                             MatrixView<const double>(d_a_.block(cj + 1, cj + 1, vlen, vlen)),
+                             VectorView<const double>(d_vcol.col(0)),
+                             0.0, d_w_.block(j, j, vlen, 1).col(0));
+          copy_d2h(s_, MatrixView<const double>(d_w_.block(j, j, vlen, 1)),
+                   MatrixView<double>(w_col.data(), vlen, 1, vlen));
+        });
+    st_.panel_seconds += panel_timer.seconds();
+
+    WallTimer update_timer;
+    // Clean V (explicit unit) and the finished W block to the device.
+    Matrix<double> v = lapack::materialize_v(MatrixView<const double>(a_), i, ib);
+    copy_h2d_async(s_, v.cview(), d_v_.block(0, 0, vrows, ib));
+    copy_h2d_async(s_, MatrixView<const double>(w_host_.block(i + 1, 0, vrows, ib)),
+                   d_w_.block(0, 0, vrows, ib));
+
+    // --- Checksum maintenance --------------------------------------------
+    // After this iteration the logical row sum of a trailing row r ≥ i+ib is
+    //   old_sum(r) − (old panel-column entries of row r)        [zeroed]
+    //              − (V2·W2ᵀ + W2·V2ᵀ)(r, :)·vec  over c ≥ i+ib [rank-2k]
+    //              + e_last·vec(i+ib−1) for r == i+ib           [coupling]
+    // and panel rows i..i+ib−1 become plain tridiagonal rows, re-encoded
+    // from the finished host data (their pre-images are checkpointed).
+    const index_t tn = n_ - i - ib;
+    auto v2 = MatrixView<const double>(d_v_.block(ib - 1, 0, tn, ib));
+    auto w2 = MatrixView<const double>(d_w_.block(ib - 1, 0, tn, ib));
+    auto ones_tn = VectorView<const double>(d_ones_.view().col(0).sub(0, tn));
+    auto ones_ib = VectorView<const double>(d_ones_.view().col(0).sub(0, ib));
+    auto wvec_tail = VectorView<const double>(d_wvec_.view().col(0).sub(i + ib, tn));
+    auto wvec_panel = VectorView<const double>(d_wvec_.view().col(0).sub(i, ib));
+
+    // Tail column sums of V2/W2 against e and ω (paper line 6/7 analogues).
+    hybrid::gemv_async(s_, Trans::Yes, 1.0, v2, ones_tn, 0.0, d_sums_.view().col(0).sub(0, ib));
+    hybrid::gemv_async(s_, Trans::Yes, 1.0, w2, ones_tn, 0.0, d_sums_.view().col(1).sub(0, ib));
+    hybrid::gemv_async(s_, Trans::Yes, 1.0, v2, wvec_tail, 0.0, d_sums_.view().col(2).sub(0, ib));
+    hybrid::gemv_async(s_, Trans::Yes, 1.0, w2, wvec_tail, 0.0, d_sums_.view().col(3).sub(0, ib));
+    // Old panel-column contributions of the trailing rows (the device's
+    // panel columns still hold the pristine start-of-iteration values).
+    auto panel_tail = MatrixView<const double>(d_a_.block(i + ib, i, tn, ib));
+    hybrid::gemv_async(s_, Trans::No, 1.0, panel_tail, ones_ib, 0.0,
+                       d_pc_.view().col(0).sub(0, tn));
+    hybrid::gemv_async(s_, Trans::No, 1.0, panel_tail, wvec_panel, 0.0,
+                       d_pc_.view().col(1).sub(0, tn));
+
+    auto se_v2 = VectorView<const double>(d_sums_.view().col(0).sub(0, ib));
+    auto se_w2 = VectorView<const double>(d_sums_.view().col(1).sub(0, ib));
+    auto sw_v2 = VectorView<const double>(d_sums_.view().col(2).sub(0, ib));
+    auto sw_w2 = VectorView<const double>(d_sums_.view().col(3).sub(0, ib));
+    auto chke_tail = d_chke_.view().col(0).sub(i + ib, tn);
+    auto chkw_tail = d_chkw_.view().col(0).sub(i + ib, tn);
+    hybrid::axpy_async(s_, -1.0, VectorView<const double>(d_pc_.view().col(0).sub(0, tn)),
+                       chke_tail);
+    hybrid::gemv_async(s_, Trans::No, -1.0, v2, se_w2, 1.0, chke_tail);
+    hybrid::gemv_async(s_, Trans::No, -1.0, w2, se_v2, 1.0, chke_tail);
+    hybrid::axpy_async(s_, -1.0, VectorView<const double>(d_pc_.view().col(1).sub(0, tn)),
+                       chkw_tail);
+    hybrid::gemv_async(s_, Trans::No, -1.0, v2, sw_w2, 1.0, chkw_tail);
+    hybrid::gemv_async(s_, Trans::No, -1.0, w2, sw_v2, 1.0, chkw_tail);
+
+    // Trailing rank-2k (lower triangle) on the device.
+    hybrid::syr2k_async(s_, Uplo::Lower, Trans::No, -1.0, v2, w2, 1.0,
+                        d_a_.block(i + ib, i + ib, tn, tn));
+
+    // Host work overlapped with the device update.
+    if (opt_.protect_q) {
+      WallTimer qt;
+      pending_q_ = qp_.compute_panel(MatrixView<const double>(a_), i, ib);
+      rep_.q_seconds += qt.seconds();
+    }
+    for (index_t j = 0; j < ib; ++j) {
+      a_(i + j + 1, i + j) = e_[i + j];  // replace the panel's unit entries
+    }
+
+    // Re-encode the finished panel rows of both checksums from the final
+    // tridiagonal data, and add the new coupling entry to row i+ib.
+    Matrix<double> seg(ib, 2);
+    for (index_t j = 0; j < ib; ++j) {
+      const index_t r = i + j;
+      const double dl = r > 0 ? a_(r, r - 1) : 0.0;
+      const double dd = a_(r, r);
+      const double du = a_(r + 1, r);  // superdiagonal by symmetry
+      seg(j, 0) = dl + dd + du;
+      seg(j, 1) = dl * static_cast<double>(r) + dd * static_cast<double>(r + 1) +
+                  du * static_cast<double>(r + 2);
+    }
+    copy_h2d_async(s_, MatrixView<const double>(seg.block(0, 0, ib, 1)),
+                   MatrixView<double>(&d_chke_.view()(i, 0), ib, 1, d_chke_.view().ld()));
+    copy_h2d_async(s_, MatrixView<const double>(seg.block(0, 1, ib, 1)),
+                   MatrixView<double>(&d_chkw_.view()(i, 0), ib, 1, d_chkw_.view().ld()));
+    const double e_last = e_[i + ib - 1];
+    auto ce = d_chke_.view();
+    auto cw = d_chkw_.view();
+    s_.enqueue([ce, cw, i, ib, e_last]() mutable {
+      ce(i + ib, 0) += e_last;
+      cw(i + ib, 0) += e_last * static_cast<double>(i + ib);  // weight of col i+ib−1
+    });
+    s_.synchronize();
+    st_.update_seconds += update_timer.seconds();
+  }
+
+  /// Fresh logical row sums of the current state: finished rows from the
+  /// host tridiagonal entries, trailing rows from a device SYMV; `i2` is
+  /// the first trailing index.
+  std::vector<double> fresh_sums(index_t i2, bool weighted) {
+    std::vector<double> fresh(static_cast<std::size_t>(n_), 0.0);
+    auto weight = [&](index_t c) { return weighted ? static_cast<double>(c + 1) : 1.0; };
+    // Finished rows: tridiagonal entries read from the host matrix.
+    for (index_t r = 0; r < i2 && r < n_; ++r) {
+      double s = a_(r, r) * weight(r);
+      if (r > 0) s += a_(r, r - 1) * weight(r - 1);
+      if (r + 1 < n_) s += a_(r + 1, r) * weight(r + 1);  // superdiag by symmetry
+      fresh[static_cast<std::size_t>(r)] = s;
+    }
+    if (i2 >= n_) return fresh;
+    // Trailing rows: SYMV over the live lower triangle on the device.
+    const index_t tn = n_ - i2;
+    auto vec = weighted ? d_wvec_.view().col(0).sub(i2, tn)
+                        : d_ones_.view().col(0).sub(0, tn);
+    hybrid::symv_async(s_, Uplo::Lower, 1.0,
+                       MatrixView<const double>(d_a_.block(i2, i2, tn, tn)),
+                       VectorView<const double>(vec), 0.0,
+                       d_fresh_.view().col(0).sub(0, tn));
+    std::vector<double> trail(static_cast<std::size_t>(tn));
+    s_.enqueue([this, tn, &trail] {
+      auto f = d_fresh_.view().col(0);
+      for (index_t r = 0; r < tn; ++r) trail[static_cast<std::size_t>(r)] = f[r];
+    });
+    s_.synchronize();
+    for (index_t r = 0; r < tn; ++r)
+      fresh[static_cast<std::size_t>(i2 + r)] = trail[static_cast<std::size_t>(r)];
+    // The coupling entry e[i2−1] contributes to trailing row i2 (column
+    // i2−1) and was counted in neither part above.
+    if (i2 > 0) fresh[static_cast<std::size_t>(i2)] += a_(i2, i2 - 1) * weight(i2 - 1);
+    return fresh;
+  }
+
+  std::vector<double> fetch_chk(bool weighted) {
+    std::vector<double> out(static_cast<std::size_t>(n_));
+    s_.enqueue([this, &out, weighted] {
+      auto c = (weighted ? d_chkw_.view() : d_chke_.view()).col(0);
+      for (index_t r = 0; r < n_; ++r) out[static_cast<std::size_t>(r)] = c[r];
+    });
+    s_.synchronize();
+    return out;
+  }
+
+  void ensure_clean(index_t boundary, index_t i, index_t ib) {
+    int attempts = 0;
+    for (;;) {
+      WallTimer dt;
+      const std::vector<double> fresh = fresh_sums(i + ib, /*weighted=*/false);
+      const std::vector<double> chke = fetch_chk(false);
+      double worst = 0.0;
+      bool bad = false;
+      for (index_t r = 0; r < n_; ++r) {
+        const double gap = std::abs(fresh[static_cast<std::size_t>(r)] -
+                                    chke[static_cast<std::size_t>(r)]);
+        worst = std::max(worst, gap);
+        if (gap > threshold_) bad = true;
+      }
+      rep_.detect_seconds += dt.seconds();
+      if (!bad) {
+        rep_.max_fault_free_gap = std::max(rep_.max_fault_free_gap, worst);
+        return;
+      }
+
+      ++rep_.detections;
+      if (++attempts > opt_.max_retries) {
+        std::ostringstream os;
+        os << "ft_sytrd: iteration " << boundary << " still inconsistent after "
+           << opt_.max_retries << " recovery attempts (worst gap " << worst << ")";
+        throw recovery_error(os.str());
+      }
+
+      WallTimer rt;
+      FtEvent ev;
+      ev.boundary = boundary;
+      ev.gap = worst;
+      rollback(i, ib);
+      ++rep_.rollbacks;
+      locate_and_correct(i, ev);
+      rep_.data_corrections += ev.data_corrections;
+      rep_.checksum_corrections += ev.checksum_corrections;
+      rep_.events.push_back(std::move(ev));
+      run_iteration(i, ib);
+      rep_.recovery_seconds += rt.seconds();
+    }
+  }
+
+  void rollback(index_t i, index_t ib) {
+    const index_t tn = n_ - i - ib;
+    // Reverse the trailing rank-2k exactly (deterministic kernel, same
+    // retained operands).
+    hybrid::syr2k_async(s_, Uplo::Lower, Trans::No, 1.0,
+                        MatrixView<const double>(d_v_.block(ib - 1, 0, tn, ib)),
+                        MatrixView<const double>(d_w_.block(ib - 1, 0, tn, ib)), 1.0,
+                        d_a_.block(i + ib, i + ib, tn, tn));
+    // Restore both checksum vectors and the panel from the checkpoints.
+    copy_h2d_async(s_, ckpt_chke_.cview(), d_chke_.view());
+    copy_h2d(s_, ckpt_chkw_.cview(), d_chkw_.view());
+    fth::copy(MatrixView<const double>(ckpt_.block(0, 0, n_, ib)), a_.block(0, i, n_, ib));
+  }
+
+  void locate_and_correct(index_t i, FtEvent& ev) {
+    const std::vector<double> fresh_e = fresh_sums(i, false);
+    const std::vector<double> fresh_w = fresh_sums(i, true);
+    const std::vector<double> chke = fetch_chk(false);
+    const std::vector<double> chkw = fetch_chk(true);
+
+    struct Flag {
+      index_t row;
+      double de, dw;
+    };
+    std::vector<Flag> flags;
+    for (index_t r = 0; r < n_; ++r) {
+      const double de = fresh_e[static_cast<std::size_t>(r)] - chke[static_cast<std::size_t>(r)];
+      const double dw = fresh_w[static_cast<std::size_t>(r)] - chkw[static_cast<std::size_t>(r)];
+      if (std::abs(de) > threshold_ || std::abs(dw) > threshold_ * static_cast<double>(n_)) {
+        flags.push_back({r, de, dw});
+      }
+    }
+    if (flags.size() > 16) {
+      throw recovery_error("ft_sytrd: too many simultaneous discrepancies to resolve");
+    }
+
+    std::vector<bool> consumed(flags.size(), false);
+    for (std::size_t t = 0; t < flags.size(); ++t) {
+      if (consumed[t]) continue;
+      const Flag& f = flags[t];
+      if (std::abs(f.de) <= threshold_) {
+        // Weighted-only discrepancy: the chk_w element itself is corrupt.
+        // Repair by re-encoding from the fresh value.
+        auto cw = d_chkw_.view();
+        const double fw = fresh_w[static_cast<std::size_t>(f.row)];
+        s_.enqueue([cw, f, fw]() mutable { cw(f.row, 0) = fw; });
+        s_.synchronize();
+        ++ev.checksum_corrections;
+        continue;
+      }
+      // Column from the two-code ratio: ω_q = Δw/Δe ⇒ q = ratio − 1.
+      const double ratio = f.dw / f.de;
+      const double qf = ratio - 1.0;
+      const index_t q = static_cast<index_t>(std::llround(qf));
+      if (q < 0 || q >= n_ || std::abs(qf - static_cast<double>(q)) > 0.25) {
+        // No consistent column: the chk_e element itself must be corrupt
+        // (Δw ≈ 0 handled above; an incoherent ratio with Δw ≈ 0 relative
+        // to Δe·n also lands here).
+        if (std::abs(f.dw) <= threshold_ * static_cast<double>(n_)) {
+          auto ce = d_chke_.view();
+          const double fe = fresh_e[static_cast<std::size_t>(f.row)];
+          s_.enqueue([ce, f, fe]() mutable { ce(f.row, 0) = fe; });
+          s_.synchronize();
+          ++ev.checksum_corrections;
+          continue;
+        }
+        throw recovery_error("ft_sytrd: discrepancy ratio does not identify a column — "
+                             "errors may share a row");
+      }
+      // Stored element in the lower triangle.
+      const index_t p = std::max(f.row, q);
+      const index_t qq = std::min(f.row, q);
+      const double delta = f.de;
+      if (qq >= i) {
+        auto da = d_a_.view();
+        s_.enqueue([da, p, qq, delta]() mutable { da(p, qq) -= delta; });
+        s_.synchronize();
+      } else {
+        a_(p, qq) -= delta;  // finished (tridiagonal) region on the host
+      }
+      ev.errors.push_back({p, qq, delta});
+      ++ev.data_corrections;
+      // Off-diagonal errors flag the partner row too; mark it consumed.
+      if (q != f.row) {
+        for (std::size_t u = t + 1; u < flags.size(); ++u) {
+          if (flags[u].row == q && std::abs(flags[u].de - f.de) <=
+                                       2.0 * threshold_ + 1e-9 * std::abs(f.de)) {
+            consumed[u] = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  void inject_at_boundary(index_t boundary, index_t i_next) {
+    const auto due = inj_->due(boundary, total_boundaries_, i_next, n_, scale_max_);
+    for (auto f : due) {
+      // Symmetric lower storage: fold the coordinates into the triangle.
+      const index_t p = std::max(f.row, f.col);
+      const index_t q = std::min(f.row, f.col);
+      if (q >= i_next) {
+        auto da = d_a_.view();
+        const double delta = f.delta;
+        s_.enqueue([da, p, q, delta]() mutable { da(p, q) += delta; });
+        s_.synchronize();
+      } else {
+        a_(p, q) += f.delta;
+      }
+      inj_->record(boundary, f);
+    }
+  }
+
+  void final_phase() {
+    // Fetch the last diagonal element (never part of a panel).
+    copy_d2h(s_, MatrixView<const double>(d_a_.block(n_ - 1, n_ - 1, 1, 1)),
+             a_.block(n_ - 1, n_ - 1, 1, 1));
+
+    if (opt_.final_sweep) {
+      rep_.final_sweep_ran = true;
+      WallTimer t;
+      FtEvent ev;
+      // i = n−1: everything finished except the 1×1 trailing block.
+      const std::vector<double> fresh_e = fresh_sums(n_ - 1, false);
+      const std::vector<double> chke = fetch_chk(false);
+      bool bad = false;
+      for (index_t r = 0; r < n_ && !bad; ++r) {
+        bad = std::abs(fresh_e[static_cast<std::size_t>(r)] -
+                       chke[static_cast<std::size_t>(r)]) > threshold_;
+      }
+      if (bad) {
+        locate_and_correct(n_ - 1, ev);
+        rep_.final_sweep_corrections = ev.data_corrections + ev.checksum_corrections;
+        rep_.data_corrections += ev.data_corrections;
+        rep_.checksum_corrections += ev.checksum_corrections;
+        // Refresh the host copy of the last element if it was the target.
+        copy_d2h(s_, MatrixView<const double>(d_a_.block(n_ - 1, n_ - 1, 1, 1)),
+                 a_.block(n_ - 1, n_ - 1, 1, 1));
+      }
+      rep_.detect_seconds += t.seconds();
+    }
+
+    if (opt_.protect_q) {
+      WallTimer qt;
+      const double q_tol =
+          1e3 * eps<double>() * static_cast<double>(n_) * std::max(1.0, scale_max_);
+      const auto qres = qp_.verify_and_correct(a_, n_ - 1, q_tol);
+      rep_.q_corrections += qres.corrections;
+      rep_.q_seconds += qt.seconds();
+    }
+
+    // Single source of truth: extract d and e from the (possibly repaired)
+    // host matrix.
+    for (index_t r = 0; r < n_; ++r) d_[r] = a_(r, r);
+    for (index_t r = 0; r + 1 < n_; ++r) e_[r] = a_(r + 1, r);
+  }
+
+  hybrid::Stream& s_;
+  MatrixView<double> a_;
+  VectorView<double> d_;
+  VectorView<double> e_;
+  VectorView<double> tau_;
+  const FtSytrdOptions& opt_;
+  fault::Injector* inj_;
+  FtReport& rep_;
+  hybrid::HybridGehrdStats& st_;
+
+  index_t n_;
+  double threshold_ = 0.0;
+  double scale_max_ = 0.0;
+  index_t total_boundaries_ = 0;
+
+  hybrid::DeviceMatrix<double> d_a_;
+  hybrid::DeviceMatrix<double> d_v_;
+  hybrid::DeviceMatrix<double> d_w_;
+  hybrid::DeviceMatrix<double> d_chke_;
+  hybrid::DeviceMatrix<double> d_chkw_;
+  hybrid::DeviceMatrix<double> d_ones_;
+  hybrid::DeviceMatrix<double> d_wvec_;
+  hybrid::DeviceMatrix<double> d_sums_;
+  hybrid::DeviceMatrix<double> d_pc_;
+  hybrid::DeviceMatrix<double> d_fresh_;
+
+  Matrix<double> w_host_;
+  Matrix<double> ckpt_;
+  Matrix<double> ckpt_chke_;
+  Matrix<double> ckpt_chkw_;
+  QProtector qp_;
+  QProtector::PanelChecksums pending_q_;
+};
+
+}  // namespace
+
+void ft_sytrd(hybrid::Device& dev, MatrixView<double> a, VectorView<double> d,
+              VectorView<double> e, VectorView<double> tau, const FtSytrdOptions& opt,
+              fault::Injector* injector, FtReport* report,
+              hybrid::HybridGehrdStats* stats) {
+  const index_t n = a.rows();
+  FTH_CHECK(a.cols() == n, "ft_sytrd: matrix must be square");
+  FTH_CHECK(d.size() >= n, "ft_sytrd: d too short");
+  FTH_CHECK(e.size() >= std::max<index_t>(n - 1, 0) &&
+                tau.size() >= std::max<index_t>(n - 1, 0),
+            "ft_sytrd: e/tau too short");
+  FTH_CHECK(opt.nb >= 1 && opt.detect_every >= 1, "ft_sytrd: bad options");
+
+  FtReport local_rep;
+  hybrid::HybridGehrdStats local_st;
+  FtReport& rep = report != nullptr ? *report : local_rep;
+  hybrid::HybridGehrdStats& st = stats != nullptr ? *stats : local_st;
+  rep = {};
+  st = {};
+
+  WallTimer total;
+  const std::uint64_t h2d0 = dev.h2d_bytes();
+  const std::uint64_t d2h0 = dev.d2h_bytes();
+
+  if (n > 2) {
+    FtSytrdDriver driver(dev, a, d, e, tau, opt, injector, rep, st);
+    driver.run();
+  } else {
+    for (index_t r = 0; r < n; ++r) d[r] = a(r, r);
+    for (index_t r = 0; r + 1 < n; ++r) {
+      e[r] = a(r + 1, r);
+      tau[r] = 0.0;
+    }
+  }
+
+  st.total_seconds = total.seconds();
+  st.h2d_bytes = dev.h2d_bytes() - h2d0;
+  st.d2h_bytes = dev.d2h_bytes() - d2h0;
+}
+
+}  // namespace fth::ft

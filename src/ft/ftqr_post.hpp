@@ -1,0 +1,65 @@
+// Post-processing ABFT QR — the related-work baseline (Du, Luszczek,
+// Tomov, Dongarra, ScalA'11: "Soft error resilient QR factorization for
+// hybrid system with GPGPU").
+//
+// The scheme the paper contrasts itself against (Section I/II): encode the
+// input with checksum COLUMNS ([A | A·e | A·ω]) and let them ride through
+// the factorization untouched — Qᵀ applied to A also transforms the
+// carried columns, so at the end Qᵀ·(Ae) must equal R·e. Errors are
+// neither detected nor corrected during the run; a single post-processing
+// pass at the end:
+//  * computes d = carried − R·e (and d_w with the weighted code),
+//  * a non-zero d reveals a fault; the elementwise ratio d_w/d identifies
+//    the corrupted column q (one ratio per error — with the two codes
+//    carried here, ONE error is correctable),
+//  * the column is repaired in place: R(:, q) += d.
+//
+// The contrast this enables experimentally (bench_related_qr):
+//  * one error anywhere in the trailing matrix → both schemes recover;
+//  * errors in two different iterations → the post-processing scheme's
+//    discrepancies superpose and correction fails, while the on-line
+//    scheme of the paper recovers one (or more) per iteration boundary;
+//  * the error propagates through the whole trailing matrix before the
+//    post-processing pass even looks (Fig. 2's motivation).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace fth::ft {
+
+struct FtQrReport {
+  bool fault_detected = false;
+  bool corrected = false;
+  index_t corrected_column = -1;
+  double gap = 0.0;         ///< max |carried − R·e| discrepancy observed
+  double threshold = 0.0;
+  std::string failure;      ///< non-empty when the pattern exceeds the code's reach
+  /// The (possibly repaired) dense R factor. After a successful correction
+  /// Q·r reconstructs the clean input exactly; note the repaired column may
+  /// carry sub-diagonal components (the corrupted-data Q is not the
+  /// clean-data Q — the price of fixing only the right factor).
+  Matrix<double> r{0, 0};
+};
+
+/// One planned fault for the QR study: element (row, col) of the working
+/// matrix gets `delta` added after `boundary` panels have completed.
+struct QrFault {
+  index_t boundary = 1;
+  index_t row = 0;
+  index_t col = 0;
+  double delta = 0.0;
+};
+
+/// Factor `a` (m×n, m ≥ n) by QR with post-processing ABFT. On success the
+/// factored form (R + reflectors, LAPACK layout) is in `a` with scalars in
+/// `tau`. Faults in `faults` are injected at the given panel boundaries.
+/// Correction capacity: one corrupted column total (the two-code limit the
+/// paper quotes for this family); beyond it the report carries `failure`.
+void ftqr_post(MatrixView<double> a, VectorView<double> tau,
+               const std::vector<QrFault>& faults = {}, FtQrReport* report = nullptr,
+               index_t nb = 32);
+
+}  // namespace fth::ft

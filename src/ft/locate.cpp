@@ -1,0 +1,100 @@
+#include "ft/locate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace fth::ft {
+
+namespace {
+
+/// Count (up to 2) perfect matchings between row and column deltas where
+/// matched pairs agree within tol; records the first matching found.
+///
+/// k ≤ 8 is enforced by the caller, so the k! enumeration is cheap; the
+/// early exit at 2 keeps the worst case tiny anyway.
+int count_matchings(const std::vector<double>& rd, const std::vector<double>& cd, double tol,
+                    std::vector<index_t>& first_match) {
+  const std::size_t k = rd.size();
+  std::vector<index_t> perm(k);
+  std::iota(perm.begin(), perm.end(), 0);
+  int found = 0;
+  do {
+    bool ok = true;
+    for (std::size_t r = 0; r < k && ok; ++r) {
+      const double diff = std::abs(rd[r] - cd[static_cast<std::size_t>(perm[r])]);
+      ok = diff <= tol;
+    }
+    if (ok) {
+      if (found == 0) first_match = perm;
+      if (++found >= 2) return found;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return found;
+}
+
+}  // namespace
+
+LocateResult locate(const Discrepancy& d, const FreshSums& fresh, double tol) {
+  LocateResult out;
+  if (d.clean()) return out;
+
+  // Only rows mismatch → the checksum column itself was corrupted.
+  if (d.cols.empty()) {
+    for (std::size_t t = 0; t < d.rows.size(); ++t) {
+      out.chk_col_errors.push_back(
+          {d.rows[t], fresh.row[static_cast<std::size_t>(d.rows[t])]});
+    }
+    return out;
+  }
+  // Only columns mismatch → the checksum row was corrupted.
+  if (d.rows.empty()) {
+    for (std::size_t t = 0; t < d.cols.size(); ++t) {
+      out.chk_row_errors.push_back(
+          {d.cols[t], fresh.col[static_cast<std::size_t>(d.cols[t])]});
+    }
+    return out;
+  }
+
+  if (d.rows.size() != d.cols.size()) {
+    std::ostringstream os;
+    os << "unrecoverable error pattern: " << d.rows.size() << " mismatched rows vs "
+       << d.cols.size() << " mismatched columns (errors sharing a row or column "
+          "exceed the one-error-per-line code distance)";
+    throw recovery_error(os.str());
+  }
+  if (d.rows.size() > 8) {
+    throw recovery_error("unrecoverable error pattern: more than 8 simultaneous errors");
+  }
+
+  // The matching tolerance must dominate the per-line tolerance that
+  // produced the discrepancy lists; matched deltas each carry up to `tol`
+  // of noise.
+  const double match_tol =
+      2.0 * tol +
+      1e-9 * std::max({std::abs(d.row_delta.front()), std::abs(d.col_delta.front()), 1.0});
+
+  std::vector<index_t> match;
+  const int matchings = count_matchings(d.row_delta, d.col_delta, match_tol, match);
+  if (matchings == 0) {
+    throw recovery_error(
+        "unrecoverable error pattern: row and column checksum deltas cannot be paired "
+        "(multiple errors in one row or column)");
+  }
+  if (matchings > 1) {
+    throw recovery_error(
+        "ambiguous error pattern: the error positions form a rectangle with matching "
+        "magnitudes (paper Section I: such patterns are not correctable)");
+  }
+
+  for (std::size_t t = 0; t < d.rows.size(); ++t) {
+    out.data_errors.push_back({d.rows[t], d.cols[static_cast<std::size_t>(match[t])],
+                               d.row_delta[t]});
+  }
+  return out;
+}
+
+}  // namespace fth::ft

@@ -1,0 +1,46 @@
+// Error location from checksum discrepancies (Section IV-F).
+//
+// After rollback the corruption is confined again: each erroneous element
+// (p, q, δ) shows up as a row discrepancy δ at p and a column discrepancy
+// δ at q. Matching row deltas to column deltas by magnitude recovers the
+// positions; the paper's solvability condition — the error positions must
+// not form a rectangle — manifests here as the matching being unique.
+#pragma once
+
+#include <vector>
+
+#include "ft/checksum.hpp"
+
+namespace fth::ft {
+
+/// One located data error: element (row, col) is off by `delta`
+/// (stored = true + delta), so the correction is `element -= delta`.
+struct LocatedError {
+  index_t row = 0;
+  index_t col = 0;
+  double delta = 0.0;
+};
+
+/// One corrupted checksum element (the fault hit the redundancy itself).
+/// Correction: set the maintained checksum to the recomputed value.
+struct ChecksumError {
+  index_t index = 0;   ///< row index (checksum column) or column index (checksum row)
+  double fresh = 0.0;  ///< the recomputed, correct value
+};
+
+struct LocateResult {
+  std::vector<LocatedError> data_errors;
+  std::vector<ChecksumError> chk_col_errors;  ///< errors in the checksum column
+  std::vector<ChecksumError> chk_row_errors;  ///< errors in the checksum row
+};
+
+/// Resolve a discrepancy into error positions.
+///
+/// `fresh` must be the sums used to produce `d` (needed to report corrected
+/// checksum values). `tol` bounds |row delta − column delta| for a pair to
+/// match. Throws fth::recovery_error when the pattern is ambiguous (e.g. a
+/// rectangle of equal-magnitude errors) or cannot be explained by one error
+/// per mismatched row and column.
+LocateResult locate(const Discrepancy& d, const FreshSums& fresh, double tol);
+
+}  // namespace fth::ft

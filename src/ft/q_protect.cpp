@@ -1,0 +1,108 @@
+#include "ft/q_protect.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace fth::ft {
+
+QProtector::QProtector(index_t n, index_t row_offset) : n_(n), off_(row_offset) {
+  FTH_CHECK(n >= 0, "QProtector: negative dimension");
+  FTH_CHECK(row_offset >= 1, "QProtector: row offset must be at least 1");
+  row_chk_.assign(static_cast<std::size_t>(n), 0.0);
+  col_chk_.assign(static_cast<std::size_t>(n), 0.0);
+}
+
+QProtector::PanelChecksums QProtector::compute_panel(MatrixView<const double> a, index_t k,
+                                                     index_t ib) const {
+  FTH_CHECK(a.rows() == n_ && a.cols() == n_, "QProtector: matrix dimension mismatch");
+  FTH_CHECK(k >= 0 && ib >= 0 && k + ib <= n_, "QProtector: panel out of range");
+  PanelChecksums pc;
+  pc.k = k;
+  pc.ib = ib;
+  pc.row_partial.assign(static_cast<std::size_t>(n_), 0.0);
+  pc.col_segment.assign(static_cast<std::size_t>(ib), 0.0);
+  for (index_t j = 0; j < ib; ++j) {
+    const index_t c = k + j;
+    double cs = 0.0;
+    for (index_t r = c + off_; r < n_; ++r) {
+      const double v = a(r, c);
+      pc.row_partial[static_cast<std::size_t>(r)] += v;
+      cs += v;
+    }
+    pc.col_segment[static_cast<std::size_t>(j)] = cs;
+  }
+  return pc;
+}
+
+void QProtector::commit(const PanelChecksums& pc) {
+  FTH_CHECK(pc.k == committed_, "QProtector: panels must be committed in order");
+  for (index_t r = 0; r < n_; ++r)
+    row_chk_[static_cast<std::size_t>(r)] += pc.row_partial[static_cast<std::size_t>(r)];
+  for (index_t j = 0; j < pc.ib; ++j)
+    col_chk_[static_cast<std::size_t>(pc.k + j)] = pc.col_segment[static_cast<std::size_t>(j)];
+  committed_ = pc.k + pc.ib;
+}
+
+QProtector::Result QProtector::verify_and_correct(MatrixView<double> a, index_t upto,
+                                                  double tol) const {
+  FTH_CHECK(a.rows() == n_ && a.cols() == n_, "QProtector: matrix dimension mismatch");
+  FTH_CHECK(upto <= committed_, "QProtector: verifying uncommitted columns");
+  Result res;
+
+  // Fresh sums over the protected trapezoid.
+  std::vector<double> fresh_row(static_cast<std::size_t>(n_), 0.0);
+  std::vector<double> fresh_col(static_cast<std::size_t>(n_), 0.0);
+  for (index_t c = 0; c < upto; ++c) {
+    double cs = 0.0;
+    for (index_t r = c + off_; r < n_; ++r) {
+      const double v = a(r, c);
+      fresh_row[static_cast<std::size_t>(r)] += v;
+      cs += v;
+    }
+    fresh_col[static_cast<std::size_t>(c)] = cs;
+  }
+
+  // Locate: a single corrupted element (p, q) perturbs fresh_row[p] and
+  // fresh_col[q] by the same delta. Pair them greedily by magnitude.
+  std::vector<std::pair<index_t, double>> bad_rows;
+  std::vector<std::pair<index_t, double>> bad_cols;
+  for (index_t r = 0; r < n_; ++r) {
+    const double gap = fresh_row[static_cast<std::size_t>(r)] - row_chk_[static_cast<std::size_t>(r)];
+    res.max_row_gap = std::max(res.max_row_gap, std::abs(gap));
+    if (std::abs(gap) > tol) bad_rows.emplace_back(r, gap);
+  }
+  for (index_t c = 0; c < upto; ++c) {
+    const double gap = fresh_col[static_cast<std::size_t>(c)] - col_chk_[static_cast<std::size_t>(c)];
+    res.max_col_gap = std::max(res.max_col_gap, std::abs(gap));
+    if (std::abs(gap) > tol) bad_cols.emplace_back(c, gap);
+  }
+  if (bad_rows.empty() && bad_cols.empty()) return res;
+  if (bad_rows.size() != bad_cols.size()) {
+    throw recovery_error("Q protection: row/column mismatch counts differ — errors share a "
+                         "row or column of the Householder storage");
+  }
+
+  for (auto& [r, rgap] : bad_rows) {
+    // Find the unique column whose gap matches this row's gap.
+    index_t match = -1;
+    int candidates = 0;
+    for (auto& [c, cgap] : bad_cols) {
+      if (std::abs(rgap - cgap) <= 2.0 * tol + 1e-9 * std::abs(rgap)) {
+        ++candidates;
+        match = c;
+      }
+    }
+    if (candidates == 0) throw recovery_error("Q protection: unmatched row discrepancy");
+    if (candidates > 1) {
+      throw recovery_error("Q protection: ambiguous (rectangle) error pattern");
+    }
+    FTH_ASSERT(r >= match + off_, "Q protection: located element outside the trapezoid");
+    a(r, match) -= rgap;
+    ++res.corrections;
+  }
+  return res;
+}
+
+}  // namespace fth::ft

@@ -1,0 +1,64 @@
+// Protection of the Q factor's Householder vectors (Section IV-E).
+//
+// The vectors are generated on the host, never modified afterwards, and
+// not even read again once their panel's iteration completes — so a row
+// checksum vector (accumulated panel by panel) and a column checksum
+// vector (emitted one segment per panel) suffice, verified once at the
+// end of the factorization. The two GEMV-shaped passes per panel are what
+// the paper overlaps with the device-side trailing update.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace fth::ft {
+
+/// Maintains and verifies the checksums of the Householder-vector storage
+/// (rows c+2..n−1 of each finished column c of the factored matrix).
+class QProtector {
+ public:
+  /// `row_offset` selects the protected trapezoid: column c covers rows
+  /// c+row_offset..n−1. The Hessenberg/tridiagonal reductions store their
+  /// Householder tails from row c+2 (offset 2, the default); the
+  /// bidiagonal reduction's left reflectors start one row higher
+  /// (offset 1).
+  explicit QProtector(index_t n, index_t row_offset = 2);
+
+  /// Per-panel contribution, computable while the device updates the
+  /// trailing matrix. Does not modify the protector — the driver commits
+  /// it only after the iteration's error check passes, so a rolled-back
+  /// iteration never double-counts.
+  struct PanelChecksums {
+    index_t k = 0;                   ///< panel start column
+    index_t ib = 0;                  ///< panel width
+    std::vector<double> row_partial; ///< length n: row sums of the panel's v entries
+    std::vector<double> col_segment; ///< length ib: column sums of the panel's v entries
+  };
+  [[nodiscard]] PanelChecksums compute_panel(MatrixView<const double> a, index_t k,
+                                             index_t ib) const;
+  void commit(const PanelChecksums& pc);
+
+  /// Verify every protected element of columns 0..upto−1 against both
+  /// checksum vectors; locate and correct any mismatching element in
+  /// place. Returns the number of corrections applied.
+  struct Result {
+    int corrections = 0;
+    double max_row_gap = 0.0;  ///< largest |fresh − maintained| row discrepancy seen
+    double max_col_gap = 0.0;
+  };
+  Result verify_and_correct(MatrixView<double> a, index_t upto, double tol) const;
+
+  [[nodiscard]] const std::vector<double>& row_chk() const { return row_chk_; }
+  [[nodiscard]] const std::vector<double>& col_chk() const { return col_chk_; }
+  [[nodiscard]] index_t committed_columns() const { return committed_; }
+
+ private:
+  index_t n_;
+  index_t off_ = 2;
+  index_t committed_ = 0;
+  std::vector<double> row_chk_;  ///< length n: Σ over finished columns of v(r, c)
+  std::vector<double> col_chk_;  ///< length n: Σ over rows of v(·, c), one entry per column
+};
+
+}  // namespace fth::ft

@@ -1,0 +1,24 @@
+#include "ft/reverse.hpp"
+
+#include "common/error.hpp"
+#include "la/blas3.hpp"
+
+namespace fth::ft {
+
+void reverse_right_update(MatrixView<double> ext_cols, MatrixView<const double> yce,
+                          MatrixView<const double> v_tail) {
+  FTH_CHECK(yce.rows() == ext_cols.rows() && v_tail.rows() == ext_cols.cols() &&
+                v_tail.cols() == yce.cols(),
+            "reverse_right_update: dimension mismatch");
+  blas::gemm(Trans::No, Trans::Yes, 1.0, yce, v_tail, 1.0, ext_cols);
+}
+
+void reverse_left_update(MatrixView<double> ext_rows, MatrixView<const double> vce,
+                         MatrixView<const double> w) {
+  FTH_CHECK(vce.rows() == ext_rows.rows() && w.cols() == ext_rows.cols() &&
+                w.rows() == vce.cols(),
+            "reverse_left_update: dimension mismatch");
+  blas::gemm(Trans::No, Trans::No, 1.0, vce, w, 1.0, ext_rows);
+}
+
+}  // namespace fth::ft

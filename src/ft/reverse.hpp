@@ -1,0 +1,28 @@
+// Reverse computation of the block updates (Algorithm 3, line 14).
+//
+// Both trailing updates subtract a product whose factors (Yce, Vce, and
+// the left update's intermediate W = Tᵀ·Vᵀ·A) are still live at the end of
+// the iteration — the paper's observation that "the intermediate data ...
+// are not destroyed until the next panel factorization". Reversal therefore
+// *adds the identical products back*, restoring the matrix and both
+// checksum vectors to their previous consistent state up to one rounding.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace fth::ft {
+
+/// Undo the extended right update `ext_cols −= yce·v_tailᵀ`:
+/// ext_cols += yce·v_tailᵀ. `ext_cols` is the updated column block
+/// (data columns i+ib..n−1 plus the checksum column), all n+1 rows.
+void reverse_right_update(MatrixView<double> ext_cols, MatrixView<const double> yce,
+                          MatrixView<const double> v_tail);
+
+/// Undo the extended left update `ext_rows −= vce·w`:
+/// ext_rows += vce·w. `ext_rows` is the updated row block (data rows
+/// i+1..n−1 plus the checksum row) over the updated columns; `w` is the
+/// retained intermediate W = Tᵀ·Vᵀ·A of the forward update.
+void reverse_left_update(MatrixView<double> ext_rows, MatrixView<const double> vce,
+                         MatrixView<const double> w);
+
+}  // namespace fth::ft

@@ -1,0 +1,41 @@
+// Device BLAS: asynchronous kernel launches on a stream.
+//
+// Counterparts of the cuBLAS calls the MAGMA Hessenberg path issues. Each
+// call enqueues the kernel and returns immediately; all operand views must
+// reference device memory that stays alive until the stream drains.
+#pragma once
+
+#include "la/matrix.hpp"
+#include "hybrid/stream.hpp"
+
+namespace fth::hybrid {
+
+void gemm_async(Stream& s, Trans ta, Trans tb, double alpha, MatrixView<const double> a,
+                MatrixView<const double> b, double beta, MatrixView<double> c);
+
+void gemv_async(Stream& s, Trans trans, double alpha, MatrixView<const double> a,
+                VectorView<const double> x, double beta, VectorView<double> y);
+
+void trmm_async(Stream& s, Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
+                MatrixView<const double> a, MatrixView<double> b);
+
+void scal_async(Stream& s, double alpha, VectorView<double> x);
+
+void axpy_async(Stream& s, double alpha, VectorView<const double> x, VectorView<double> y);
+
+/// Apply the block reflector H = I − V·T·Vᵀ (or Hᵀ) from the left to C on
+/// the device. `work` is device scratch of at least C.cols()×V.cols().
+void larfb_left_async(Stream& s, Trans trans, MatrixView<const double> v,
+                      MatrixView<const double> t, MatrixView<double> c,
+                      MatrixView<double> work);
+
+void symv_async(Stream& s, Uplo uplo, double alpha, MatrixView<const double> a,
+                VectorView<const double> x, double beta, VectorView<double> y);
+
+void syr2k_async(Stream& s, Uplo uplo, Trans trans, double alpha, MatrixView<const double> a,
+                 MatrixView<const double> b, double beta, MatrixView<double> c);
+
+/// Fill a device view with a constant.
+void fill_async(Stream& s, MatrixView<double> a, double value);
+
+}  // namespace fth::hybrid

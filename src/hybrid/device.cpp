@@ -1,0 +1,103 @@
+#include "hybrid/device.hpp"
+
+#include <chrono>
+#include <new>
+#include <thread>
+
+namespace fth::hybrid {
+
+Device::Device(DeviceConfig cfg) : cfg_(std::move(cfg)) {
+  default_stream_ = std::make_unique<Stream>(this);
+}
+
+void* Device::raw_allocate(std::size_t bytes) {
+  const std::size_t now = in_use_.fetch_add(bytes) + bytes;
+  if (cfg_.memory_limit != 0 && now > cfg_.memory_limit) {
+    in_use_.fetch_sub(bytes);
+    throw std::bad_alloc();
+  }
+  std::size_t peak = peak_.load();
+  while (now > peak && !peak_.compare_exchange_weak(peak, now)) {
+  }
+  return ::operator new(bytes);
+}
+
+void Device::raw_deallocate(void* p, std::size_t bytes) noexcept {
+  in_use_.fetch_sub(bytes);
+  ::operator delete(p);
+}
+
+void Device::reset_transfer_stats() noexcept {
+  h2d_bytes_ = 0;
+  d2h_bytes_ = 0;
+  h2d_count_ = 0;
+  d2h_count_ = 0;
+}
+
+void Device::note_h2d(std::size_t bytes) noexcept {
+  h2d_bytes_ += bytes;
+  ++h2d_count_;
+}
+
+void Device::note_d2h(std::size_t bytes) noexcept {
+  d2h_bytes_ += bytes;
+  ++d2h_count_;
+}
+
+void Device::charge_transfer(std::size_t bytes, bool h2d) const {
+  const double gbps = h2d ? cfg_.h2d_gbps : cfg_.d2h_gbps;
+  if (gbps <= 0.0) return;
+  const double seconds =
+      cfg_.latency_us * 1e-6 + static_cast<double>(bytes) / (gbps * 1e9);
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+namespace {
+
+void copy_view(MatrixView<const double> src, MatrixView<double> dst) {
+  FTH_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols(),
+            "transfer dimension mismatch");
+  for (index_t j = 0; j < src.cols(); ++j)
+    std::copy_n(src.data() + j * src.ld(), src.rows(), dst.data() + j * dst.ld());
+}
+
+std::size_t view_bytes(MatrixView<const double> v) {
+  return static_cast<std::size_t>(v.rows()) * static_cast<std::size_t>(v.cols()) *
+         sizeof(double);
+}
+
+}  // namespace
+
+void copy_h2d_async(Stream& s, MatrixView<const double> host, MatrixView<double> dev) {
+  const std::size_t bytes = view_bytes(host);
+  s.enqueue([host, dev, bytes, d = s.device()] {
+    if (d != nullptr) {
+      d->charge_transfer(bytes, /*h2d=*/true);
+      d->note_h2d(bytes);
+    }
+    copy_view(host, dev);
+  });
+}
+
+void copy_d2h_async(Stream& s, MatrixView<const double> dev, MatrixView<double> host) {
+  const std::size_t bytes = view_bytes(dev);
+  s.enqueue([dev, host, bytes, d = s.device()] {
+    if (d != nullptr) {
+      d->charge_transfer(bytes, /*h2d=*/false);
+      d->note_d2h(bytes);
+    }
+    copy_view(dev, host);
+  });
+}
+
+void copy_h2d(Stream& s, MatrixView<const double> host, MatrixView<double> dev) {
+  copy_h2d_async(s, host, dev);
+  s.synchronize();
+}
+
+void copy_d2h(Stream& s, MatrixView<const double> dev, MatrixView<double> host) {
+  copy_d2h_async(s, dev, host);
+  s.synchronize();
+}
+
+}  // namespace fth::hybrid

@@ -1,0 +1,143 @@
+// Software device: a separate, tracked memory space with its own streams.
+//
+// Stands in for the GPU of the paper's testbed (Table I). The algorithmic
+// structure the paper depends on — two memory spaces, explicit asynchronous
+// transfers, device-side BLAS, host/device overlap — is preserved; only
+// the silicon is simulated. An optional cost model charges transfer time
+// per byte so PCIe-bound behaviour can be studied.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "common/error.hpp"
+#include "la/matrix.hpp"
+#include "hybrid/stream.hpp"
+
+namespace fth::hybrid {
+
+/// Static description + cost model of a simulated device.
+struct DeviceConfig {
+  std::string name = "SoftDevice (simulated accelerator)";
+  std::size_t memory_limit = 0;  ///< bytes; 0 means unlimited
+  double h2d_gbps = 0.0;         ///< simulated H2D bandwidth; 0 = instantaneous
+  double d2h_gbps = 0.0;         ///< simulated D2H bandwidth; 0 = instantaneous
+  double latency_us = 0.0;       ///< per-transfer latency charged when a bandwidth is set
+};
+
+/// A simulated accelerator: allocation arena + default stream + statistics.
+class Device {
+ public:
+  explicit Device(DeviceConfig cfg = {});
+  ~Device() = default;
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  [[nodiscard]] const DeviceConfig& config() const noexcept { return cfg_; }
+
+  /// Allocate `bytes` of device memory (throws std::bad_alloc on limit).
+  [[nodiscard]] void* raw_allocate(std::size_t bytes);
+  void raw_deallocate(void* p, std::size_t bytes) noexcept;
+
+  [[nodiscard]] std::size_t bytes_in_use() const noexcept { return in_use_.load(); }
+  [[nodiscard]] std::size_t peak_bytes() const noexcept { return peak_.load(); }
+
+  /// Transfer statistics (updated by the copy routines below).
+  [[nodiscard]] std::uint64_t h2d_bytes() const noexcept { return h2d_bytes_.load(); }
+  [[nodiscard]] std::uint64_t d2h_bytes() const noexcept { return d2h_bytes_.load(); }
+  [[nodiscard]] std::uint64_t h2d_count() const noexcept { return h2d_count_.load(); }
+  [[nodiscard]] std::uint64_t d2h_count() const noexcept { return d2h_count_.load(); }
+  void reset_transfer_stats() noexcept;
+
+  /// The device's default execution stream.
+  [[nodiscard]] Stream& stream() noexcept { return *default_stream_; }
+
+  // Internal: stat hooks used by the transfer routines.
+  void note_h2d(std::size_t bytes) noexcept;
+  void note_d2h(std::size_t bytes) noexcept;
+  /// Sleep for the simulated duration of a `bytes`-sized transfer (no-op
+  /// when the relevant bandwidth is 0).
+  void charge_transfer(std::size_t bytes, bool h2d) const;
+
+ private:
+  DeviceConfig cfg_;
+  std::atomic<std::size_t> in_use_{0};
+  std::atomic<std::size_t> peak_{0};
+  std::atomic<std::uint64_t> h2d_bytes_{0};
+  std::atomic<std::uint64_t> d2h_bytes_{0};
+  std::atomic<std::uint64_t> h2d_count_{0};
+  std::atomic<std::uint64_t> d2h_count_{0};
+  std::unique_ptr<Stream> default_stream_;
+};
+
+/// RAII column-major matrix living in a device's memory space.
+template <class T>
+class DeviceMatrix {
+ public:
+  DeviceMatrix(Device& dev, index_t rows, index_t cols)
+      : dev_(&dev), rows_(rows), cols_(cols), ld_(std::max<index_t>(1, rows)) {
+    FTH_CHECK(rows >= 0 && cols >= 0, "device matrix dimensions must be non-negative");
+    bytes_ = static_cast<std::size_t>(ld_) * static_cast<std::size_t>(cols_) * sizeof(T);
+    data_ = static_cast<T*>(dev.raw_allocate(bytes_));
+    std::fill_n(data_, static_cast<std::size_t>(ld_) * static_cast<std::size_t>(cols_), T{});
+  }
+
+  ~DeviceMatrix() {
+    if (data_ != nullptr) dev_->raw_deallocate(data_, bytes_);
+  }
+
+  DeviceMatrix(DeviceMatrix&& other) noexcept { *this = std::move(other); }
+  DeviceMatrix& operator=(DeviceMatrix&& other) noexcept {
+    if (this != &other) {
+      if (data_ != nullptr) dev_->raw_deallocate(data_, bytes_);
+      dev_ = other.dev_;
+      data_ = other.data_;
+      rows_ = other.rows_;
+      cols_ = other.cols_;
+      ld_ = other.ld_;
+      bytes_ = other.bytes_;
+      other.data_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+  DeviceMatrix(const DeviceMatrix&) = delete;
+  DeviceMatrix& operator=(const DeviceMatrix&) = delete;
+
+  [[nodiscard]] index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t cols() const noexcept { return cols_; }
+  [[nodiscard]] Device& device() const noexcept { return *dev_; }
+
+  /// Views of the device data. By convention only stream tasks and the
+  /// transfer routines dereference these (the compiler cannot enforce a
+  /// memory-space split in a software device, but the library code keeps
+  /// the discipline so the structure matches a real accelerator).
+  [[nodiscard]] MatrixView<T> view() noexcept { return MatrixView<T>(data_, rows_, cols_, ld_); }
+  [[nodiscard]] MatrixView<const T> view() const noexcept {
+    return MatrixView<const T>(data_, rows_, cols_, ld_);
+  }
+  [[nodiscard]] MatrixView<T> block(index_t i, index_t j, index_t m, index_t n) noexcept {
+    return view().block(i, j, m, n);
+  }
+
+ private:
+  Device* dev_ = nullptr;
+  T* data_ = nullptr;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t ld_ = 1;
+  std::size_t bytes_ = 0;
+};
+
+/// Asynchronous host→device copy, enqueued on `s`.
+void copy_h2d_async(Stream& s, MatrixView<const double> host, MatrixView<double> dev);
+/// Asynchronous device→host copy, enqueued on `s`.
+void copy_d2h_async(Stream& s, MatrixView<const double> dev, MatrixView<double> host);
+/// Synchronous variants (enqueue + wait for completion).
+void copy_h2d(Stream& s, MatrixView<const double> host, MatrixView<double> dev);
+void copy_d2h(Stream& s, MatrixView<const double> dev, MatrixView<double> host);
+
+}  // namespace fth::hybrid

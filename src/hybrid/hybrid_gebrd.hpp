@@ -1,0 +1,29 @@
+// Hybrid (host+device) blocked bidiagonal reduction — the MAGMA-style
+// baseline for the third two-sided factorization (the SVD front end).
+//
+// Work split: the panel recurrences run on the host on both a column
+// panel and a row panel (bidiagonalization reduces a column and a row per
+// step, so both are fetched); the two large per-step products
+// y = A_trailᵀ·v and x = A_trail·u and the two trailing GEMMs run on the
+// device.
+#pragma once
+
+#include "la/matrix.hpp"
+#include "hybrid/device.hpp"
+#include "hybrid/hybrid_gehrd.hpp"  // HybridGehrdStats, IterationHook
+
+namespace fth::hybrid {
+
+struct HybridGebrdOptions {
+  index_t nb = 32;
+  index_t nx = 64;
+};
+
+/// Reduce the square matrix `a` to upper bidiagonal form using `dev`.
+/// Same output contract as lapack::gebrd.
+void hybrid_gebrd(Device& dev, MatrixView<double> a, VectorView<double> d,
+                  VectorView<double> e, VectorView<double> tauq, VectorView<double> taup,
+                  const HybridGebrdOptions& opt = {}, HybridGehrdStats* stats = nullptr,
+                  const IterationHook& hook = {});
+
+}  // namespace fth::hybrid

@@ -1,0 +1,55 @@
+// Hybrid (host+device) blocked Hessenberg reduction — Algorithm 2 of the
+// paper, the MAGMA-style baseline the fault-tolerant algorithm builds on.
+//
+// Work split, as in MAGMA:
+//  * panel factorization on the host (CPU),
+//  * the large per-column products Y(:,j) = A_trail·v as device kernels,
+//  * trailing-matrix right/left block updates as device GEMMs,
+//  * finalized panel columns transferred back asynchronously, overlapped
+//    with the device updates.
+// On completion the host matrix holds the LAPACK-layout factored result.
+#pragma once
+
+#include "la/matrix.hpp"
+#include "hybrid/device.hpp"
+
+namespace fth::hybrid {
+
+struct HybridGehrdOptions {
+  index_t nb = 32;   ///< panel width
+  index_t nx = 128;  ///< crossover to the host unblocked finish
+};
+
+/// State handed to an iteration-boundary hook. The stream is synchronized
+/// when the hook runs, so both views may be touched directly. Used by the
+/// fault-injection studies (Fig. 2) to corrupt elements mid-factorization.
+struct IterationHookContext {
+  index_t boundary = 0;       ///< number of panels completed so far
+  index_t next_panel = 0;     ///< start column of the next panel (== n when done)
+  index_t nb = 0;             ///< panel width in use
+  MatrixView<double> host_a;  ///< host matrix (finished columns + stale trailing)
+  MatrixView<double> dev_a;   ///< device matrix (live trailing data)
+};
+
+/// Called between iterations (after each panel's updates complete, before
+/// the next panel transfer), and once more after the final boundary.
+using IterationHook = std::function<void(const IterationHookContext&)>;
+
+/// Wall-clock decomposition of one run (for the overhead studies).
+struct HybridGehrdStats {
+  double total_seconds = 0.0;
+  double panel_seconds = 0.0;    ///< host panel factorization (incl. device Y gemv waits)
+  double update_seconds = 0.0;   ///< device trailing updates (host-observed)
+  double finish_seconds = 0.0;   ///< host unblocked tail
+  index_t panels = 0;
+  std::uint64_t h2d_bytes = 0;
+  std::uint64_t d2h_bytes = 0;
+};
+
+/// Reduce `a` (host memory) to Hessenberg form using `dev`. Drop-in
+/// equivalent of lapack::gehrd up to floating-point reassociation.
+void hybrid_gehrd(Device& dev, MatrixView<double> a, VectorView<double> tau,
+                  const HybridGehrdOptions& opt = {}, HybridGehrdStats* stats = nullptr,
+                  const IterationHook& hook = {});
+
+}  // namespace fth::hybrid

@@ -1,0 +1,103 @@
+#include "hybrid/stream.hpp"
+
+#include "common/error.hpp"
+
+namespace fth::hybrid {
+
+bool Event::ready() const {
+  if (!state_) return true;  // default-constructed event is trivially ready
+  std::lock_guard lock(state_->m);
+  return state_->done;
+}
+
+void Event::wait() const {
+  if (!state_) return;
+  std::unique_lock lock(state_->m);
+  state_->cv.wait(lock, [&] { return state_->done; });
+}
+
+Stream::Stream(Device* device) : device_(device), worker_([this] { worker_loop(); }) {}
+
+Stream::~Stream() {
+  {
+    std::lock_guard lock(m_);
+    stop_ = true;
+  }
+  cv_worker_.notify_all();
+  worker_.join();
+}
+
+void Stream::enqueue(std::function<void()> task) {
+  FTH_CHECK(task != nullptr, "stream task must be callable");
+  {
+    std::lock_guard lock(m_);
+    queue_.push_back(std::move(task));
+  }
+  cv_worker_.notify_one();
+}
+
+void Stream::synchronize() {
+  std::unique_lock lock(m_);
+  cv_idle_.wait(lock, [&] { return queue_.empty() && !busy_; });
+  if (pending_error_) {
+    const std::exception_ptr e = pending_error_;
+    pending_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+Event Stream::record() {
+  Event e;
+  e.state_ = std::make_shared<Event::State>();
+  auto state = e.state_;
+  enqueue([state] {
+    {
+      std::lock_guard lock(state->m);
+      state->done = true;
+    }
+    state->cv.notify_all();
+  });
+  return e;
+}
+
+void Stream::wait_event(const Event& e) {
+  enqueue([e] { e.wait(); });
+}
+
+std::uint64_t Stream::tasks_executed() const {
+  std::lock_guard lock(m_);
+  return executed_;
+}
+
+void Stream::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(m_);
+      cv_worker_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard lock(m_);
+      // Keep only the first error; later tasks still run (matching the
+      // "stream keeps executing" semantics of real runtimes).
+      if (!pending_error_) pending_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard lock(m_);
+      busy_ = false;
+      ++executed_;
+      if (queue_.empty()) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace fth::hybrid

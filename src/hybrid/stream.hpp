@@ -1,0 +1,89 @@
+// Execution stream: an in-order FIFO of tasks run by a worker thread.
+//
+// This mirrors the CUDA stream model the MAGMA hybrid algorithms are built
+// on: work is enqueued asynchronously, executes in order on the device,
+// and the host synchronizes explicitly via synchronize() or events. The
+// fault-tolerant Hessenberg driver relies on this to overlap host-side
+// checksum work with device-side trailing-matrix updates exactly as the
+// paper's Algorithm 3 does.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace fth::hybrid {
+
+class Device;
+
+/// A host-visible marker of a point in a stream's task sequence.
+class Event {
+ public:
+  Event() = default;
+
+  /// True once every task enqueued before the recording has finished.
+  [[nodiscard]] bool ready() const;
+
+  /// Block the calling thread until ready().
+  void wait() const;
+
+ private:
+  friend class Stream;
+  struct State {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// In-order asynchronous work queue executed by a dedicated worker thread.
+class Stream {
+ public:
+  /// `device` (may be null) is used for transfer statistics / cost model.
+  explicit Stream(Device* device = nullptr);
+  ~Stream();
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  /// Enqueue a task; returns immediately. Tasks run strictly in order.
+  void enqueue(std::function<void()> task);
+
+  /// Block until every enqueued task has completed. Rethrows the first
+  /// exception thrown by any task since the last synchronize().
+  void synchronize();
+
+  /// Record an event at the current tail of the queue.
+  [[nodiscard]] Event record();
+
+  /// Make this stream wait (asynchronously) until `e` is ready before
+  /// running subsequently enqueued tasks.
+  void wait_event(const Event& e);
+
+  /// Device this stream belongs to (may be null for a free-standing stream).
+  [[nodiscard]] Device* device() const noexcept { return device_; }
+
+  /// Number of tasks executed over the stream's lifetime.
+  [[nodiscard]] std::uint64_t tasks_executed() const;
+
+ private:
+  void worker_loop();
+
+  Device* device_;
+  mutable std::mutex m_;
+  std::condition_variable cv_worker_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::exception_ptr pending_error_;
+  std::uint64_t executed_ = 0;
+  bool busy_ = false;
+  bool stop_ = false;
+  std::thread worker_;
+};
+
+}  // namespace fth::hybrid

@@ -1,0 +1,81 @@
+#include "la/generate.hpp"
+
+#include <cmath>
+
+namespace fth {
+
+Matrix<double> random_matrix(index_t rows, index_t cols, std::uint64_t seed) {
+  Matrix<double> a(rows, cols);
+  Rng rng(seed);
+  for (index_t j = 0; j < cols; ++j)
+    for (index_t i = 0; i < rows; ++i) a(i, j) = rng.uniform(-1.0, 1.0);
+  return a;
+}
+
+Matrix<double> random_normal_matrix(index_t rows, index_t cols, std::uint64_t seed) {
+  Matrix<double> a(rows, cols);
+  Rng rng(seed);
+  for (index_t j = 0; j < cols; ++j)
+    for (index_t i = 0; i < rows; ++i) a(i, j) = rng.normal();
+  return a;
+}
+
+Matrix<double> random_symmetric_matrix(index_t n, std::uint64_t seed) {
+  Matrix<double> a = random_matrix(n, n, seed);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < j; ++i) {
+      const double v = 0.5 * (a(i, j) + a(j, i));
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  return a;
+}
+
+Matrix<double> random_hessenberg_matrix(index_t n, std::uint64_t seed) {
+  Matrix<double> a = random_matrix(n, n, seed);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j + 2; i < n; ++i) a(i, j) = 0.0;
+  return a;
+}
+
+Matrix<double> random_diag_dominant_matrix(index_t n, std::uint64_t seed) {
+  Matrix<double> a = random_matrix(n, n, seed);
+  for (index_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+Matrix<double> random_graded_matrix(index_t n, std::uint64_t seed, double decades) {
+  Matrix<double> a(n, n);
+  Rng rng(seed);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      const double mag = std::pow(10.0, rng.uniform(-decades / 2.0, decades / 2.0));
+      a(i, j) = rng.uniform(-1.0, 1.0) * mag;
+    }
+  }
+  return a;
+}
+
+Matrix<double> companion_matrix(VectorView<const double> roots) {
+  const index_t n = roots.size();
+  // Build monic polynomial coefficients from the roots:
+  // p(x) = Π (x − r_k) = x^n + c_{n-1} x^{n-1} + ... + c_0.
+  std::vector<double> c(static_cast<std::size_t>(n) + 1, 0.0);
+  c[0] = 1.0;  // degree-0 polynomial "1"
+  index_t deg = 0;
+  for (index_t k = 0; k < n; ++k) {
+    // multiply by (x − r_k)
+    ++deg;
+    for (index_t i = deg; i >= 1; --i) c[static_cast<std::size_t>(i)] =
+        c[static_cast<std::size_t>(i - 1)] - roots[k] * c[static_cast<std::size_t>(i)];
+    c[0] = -roots[k] * c[0];
+  }
+  // Companion matrix (already upper Hessenberg): sub-diagonal ones, last
+  // column −c_0..−c_{n-1}.
+  Matrix<double> a(n, n);
+  for (index_t i = 1; i < n; ++i) a(i, i - 1) = 1.0;
+  for (index_t i = 0; i < n; ++i) a(i, n - 1) = -c[static_cast<std::size_t>(i)];
+  return a;
+}
+
+}  // namespace fth

@@ -1,0 +1,32 @@
+// Test/benchmark matrix generators.
+#pragma once
+
+#include "common/rng.hpp"
+#include "la/matrix.hpp"
+
+namespace fth {
+
+/// Uniform random matrix with entries in [-1, 1).
+Matrix<double> random_matrix(index_t rows, index_t cols, std::uint64_t seed);
+
+/// Standard-normal random matrix.
+Matrix<double> random_normal_matrix(index_t rows, index_t cols, std::uint64_t seed);
+
+/// Symmetric matrix (A + Aᵀ)/2 from a uniform random base.
+Matrix<double> random_symmetric_matrix(index_t n, std::uint64_t seed);
+
+/// Random matrix already in upper Hessenberg form.
+Matrix<double> random_hessenberg_matrix(index_t n, std::uint64_t seed);
+
+/// Diagonally dominant random matrix (well-conditioned).
+Matrix<double> random_diag_dominant_matrix(index_t n, std::uint64_t seed);
+
+/// Matrix with entries spanning `decades` orders of magnitude — stresses
+/// the detection threshold scaling.
+Matrix<double> random_graded_matrix(index_t n, std::uint64_t seed, double decades);
+
+/// Companion matrix of the monic polynomial with the given roots; its
+/// eigenvalues are exactly the roots (used by the eigen-solver tests).
+Matrix<double> companion_matrix(VectorView<const double> roots);
+
+}  // namespace fth

@@ -1,0 +1,106 @@
+#include "la/io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "la/norms.hpp"
+
+namespace fth {
+
+void print_matrix(std::ostream& os, MatrixView<const double> a, const std::string& name,
+                  index_t max_dim) {
+  const index_t m = std::min(a.rows(), max_dim);
+  const index_t n = std::min(a.cols(), max_dim);
+  os << name << " (" << a.rows() << "x" << a.cols();
+  if (m < a.rows() || n < a.cols()) os << ", showing " << m << "x" << n;
+  os << "):\n";
+  const auto old_flags = os.flags();
+  const auto old_prec = os.precision();
+  os << std::scientific << std::setprecision(3);
+  for (index_t i = 0; i < m; ++i) {
+    os << "  ";
+    for (index_t j = 0; j < n; ++j) os << std::setw(11) << a(i, j) << ' ';
+    if (n < a.cols()) os << "...";
+    os << '\n';
+  }
+  if (m < a.rows()) os << "  ...\n";
+  os.flags(old_flags);
+  os.precision(old_prec);
+}
+
+namespace {
+
+/// Map |v| to a ramp character given the reference scale.
+char ramp_char(double v, double scale) {
+  if (v <= 0.0 || scale <= 0.0) return '.';
+  // Bin by decade below the scale: scale*10^0 -> '9', scale*1e-9 -> '1'.
+  const double rel = v / scale;
+  if (rel < 1e-9) return '.';
+  const int decade = static_cast<int>(std::floor(std::log10(rel)));  // in [-9, 0]
+  const int level = std::clamp(10 + decade, 1, 9);
+  return static_cast<char>('0' + level);
+}
+
+}  // namespace
+
+std::string ascii_heatmap(MatrixView<const double> a, index_t max_cells, double scale) {
+  if (a.empty()) return "(empty)\n";
+  if (scale <= 0.0) scale = norm_max(a);
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t cm = std::min(m, max_cells);
+  const index_t cn = std::min(n, max_cells);
+
+  std::ostringstream os;
+  for (index_t ci = 0; ci < cm; ++ci) {
+    const index_t i0 = ci * m / cm;
+    const index_t i1 = std::max(i0 + 1, (ci + 1) * m / cm);
+    for (index_t cj = 0; cj < cn; ++cj) {
+      const index_t j0 = cj * n / cn;
+      const index_t j1 = std::max(j0 + 1, (cj + 1) * n / cn);
+      // A cell shows the max magnitude inside its bucket so single polluted
+      // elements remain visible after down-sampling.
+      double v = 0.0;
+      for (index_t i = i0; i < i1; ++i)
+        for (index_t j = j0; j < j1; ++j) v = std::max(v, std::abs(a(i, j)));
+      os << ramp_char(v, scale);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string magnitude_histogram(MatrixView<const double> a, double scale) {
+  if (scale <= 0.0) scale = norm_max(a);
+  constexpr int kBins = 12;  // decades below scale, plus an exact-zero bin
+  long long bins[kBins + 1] = {};
+  for (index_t j = 0; j < a.cols(); ++j) {
+    for (index_t i = 0; i < a.rows(); ++i) {
+      const double v = std::abs(a(i, j));
+      if (v == 0.0 || scale == 0.0) {
+        ++bins[kBins];
+        continue;
+      }
+      const double rel = v / scale;
+      int d = rel <= 0.0 ? kBins - 1
+                         : static_cast<int>(std::floor(-std::log10(std::max(rel, 1e-300))));
+      d = std::clamp(d, 0, kBins - 1);
+      ++bins[d];
+    }
+  }
+  std::ostringstream os;
+  os << "magnitude histogram (scale=" << std::scientific << std::setprecision(3) << scale
+     << "):\n";
+  for (int d = 0; d < kBins; ++d) {
+    if (bins[d] == 0) continue;
+    os << "  [1e-" << std::setw(2) << d + 1 << ", 1e-" << std::setw(2) << d << ") x scale : "
+       << bins[d] << '\n';
+  }
+  os << "  zero                      : " << bins[kBins] << '\n';
+  return os.str();
+}
+
+}  // namespace fth

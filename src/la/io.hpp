@@ -1,0 +1,30 @@
+// Textual matrix output: pretty printing and ASCII heat maps.
+//
+// The Fig. 2 reproduction renders |FT result − fault-free result| as a heat
+// map; on a terminal we bin magnitudes into a character ramp the same way
+// the paper bins them into colours.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "la/matrix.hpp"
+
+namespace fth {
+
+/// Print a matrix (or the top-left `max_dim` square of a large one).
+void print_matrix(std::ostream& os, MatrixView<const double> a, const std::string& name,
+                  index_t max_dim = 12);
+
+/// Render |a_ij| as an ASCII heat map, down-sampling to at most
+/// `max_cells` rows/columns. The character ramp encodes log10 magnitude
+/// relative to `scale` (defaults to the matrix max-abs):
+///   '.' zero/negligible, then '1'..'9' for increasing magnitude decades.
+std::string ascii_heatmap(MatrixView<const double> a, index_t max_cells = 64,
+                          double scale = 0.0);
+
+/// Per-decade histogram of |a_ij| magnitudes (count of elements whose
+/// magnitude falls in each power-of-ten bin relative to `scale`).
+std::string magnitude_histogram(MatrixView<const double> a, double scale = 0.0);
+
+}  // namespace fth

@@ -1,0 +1,212 @@
+// Column-major (LAPACK-layout) dense matrix container and non-owning views.
+//
+// All higher layers (BLAS kernels, LAPACK subset, the hybrid runtime, and
+// the fault-tolerant core) traffic exclusively in MatrixView/VectorView, so
+// sub-matrix operations never copy. Matrix owns storage; views borrow it.
+#pragma once
+
+#include <algorithm>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace fth {
+
+/// Non-owning strided vector view. `T` may be const-qualified.
+template <class T>
+class VectorView {
+ public:
+  using value_type = std::remove_const_t<T>;
+
+  VectorView() = default;
+  VectorView(T* data, index_t n, index_t inc = 1) : data_(data), n_(n), inc_(inc) {
+    FTH_CHECK(n >= 0, "vector length must be non-negative");
+    FTH_CHECK(inc != 0, "vector stride must be non-zero");
+  }
+
+  /// Implicit widening from mutable to const view.
+  template <class U = T, class = std::enable_if_t<std::is_const_v<U>>>
+  VectorView(const VectorView<value_type>& other)  // NOLINT(google-explicit-constructor)
+      : data_(other.data()), n_(other.size()), inc_(other.inc()) {}
+
+  [[nodiscard]] index_t size() const noexcept { return n_; }
+  [[nodiscard]] index_t inc() const noexcept { return inc_; }
+  [[nodiscard]] T* data() const noexcept { return data_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+
+  T& operator[](index_t i) const {
+    FTH_ASSERT(i >= 0 && i < n_, "vector index out of range");
+    return data_[i * inc_];
+  }
+
+  /// Sub-vector [first, first+len).
+  [[nodiscard]] VectorView sub(index_t first, index_t len) const {
+    FTH_CHECK(first >= 0 && len >= 0 && first + len <= n_, "sub-vector out of range");
+    return VectorView(data_ + first * inc_, len, inc_);
+  }
+
+ private:
+  T* data_ = nullptr;
+  index_t n_ = 0;
+  index_t inc_ = 1;
+};
+
+/// Non-owning view of a column-major matrix block. `T` may be const.
+template <class T>
+class MatrixView {
+ public:
+  using value_type = std::remove_const_t<T>;
+
+  MatrixView() = default;
+  MatrixView(T* data, index_t rows, index_t cols, index_t ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    FTH_CHECK(rows >= 0 && cols >= 0, "matrix dimensions must be non-negative");
+    FTH_CHECK(ld >= std::max<index_t>(1, rows), "leading dimension too small");
+  }
+
+  /// Implicit widening from mutable to const view.
+  template <class U = T, class = std::enable_if_t<std::is_const_v<U>>>
+  MatrixView(const MatrixView<value_type>& other)  // NOLINT(google-explicit-constructor)
+      : data_(other.data()), rows_(other.rows()), cols_(other.cols()), ld_(other.ld()) {}
+
+  [[nodiscard]] index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t cols() const noexcept { return cols_; }
+  [[nodiscard]] index_t ld() const noexcept { return ld_; }
+  [[nodiscard]] T* data() const noexcept { return data_; }
+  [[nodiscard]] bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+
+  T& operator()(index_t i, index_t j) const {
+    FTH_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_, "matrix index out of range");
+    return data_[i + j * ld_];
+  }
+
+  /// m×n sub-block with top-left corner (i, j).
+  [[nodiscard]] MatrixView block(index_t i, index_t j, index_t m, index_t n) const {
+    FTH_CHECK(i >= 0 && j >= 0 && m >= 0 && n >= 0, "block corner/extent must be non-negative");
+    FTH_CHECK(i + m <= rows_ && j + n <= cols_, "block exceeds matrix bounds");
+    return MatrixView(data_ + i + j * ld_, m, n, ld_);
+  }
+
+  /// Column j as a unit-stride vector.
+  [[nodiscard]] VectorView<T> col(index_t j) const {
+    FTH_CHECK(j >= 0 && j < cols_, "column index out of range");
+    return VectorView<T>(data_ + j * ld_, rows_, 1);
+  }
+
+  /// Row i as a stride-ld vector.
+  [[nodiscard]] VectorView<T> row(index_t i) const {
+    FTH_CHECK(i >= 0 && i < rows_, "row index out of range");
+    return VectorView<T>(data_ + i, cols_, ld_);
+  }
+
+  /// The main diagonal as a stride-(ld+1) vector.
+  [[nodiscard]] VectorView<T> diag() const {
+    const index_t n = std::min(rows_, cols_);
+    return VectorView<T>(data_, n, ld_ + 1);
+  }
+
+ private:
+  T* data_ = nullptr;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t ld_ = 1;
+};
+
+/// Owning column-major dense matrix.
+template <class T>
+class Matrix {
+  static_assert(!std::is_const_v<T>, "Matrix owns storage and must be mutable");
+
+ public:
+  using value_type = T;
+
+  Matrix() = default;
+
+  /// rows×cols matrix, zero-initialized.
+  Matrix(index_t rows, index_t cols) : rows_(rows), cols_(cols), ld_(std::max<index_t>(1, rows)) {
+    FTH_CHECK(rows >= 0 && cols >= 0, "matrix dimensions must be non-negative");
+    storage_.assign(static_cast<std::size_t>(ld_) * static_cast<std::size_t>(cols_), T{});
+  }
+
+  /// Deep copy of an arbitrary view (compacts the leading dimension).
+  explicit Matrix(MatrixView<const T> src) : Matrix(src.rows(), src.cols()) {
+    assign(src);
+  }
+
+  [[nodiscard]] index_t rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t cols() const noexcept { return cols_; }
+  [[nodiscard]] index_t ld() const noexcept { return ld_; }
+  [[nodiscard]] T* data() noexcept { return storage_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return storage_.data(); }
+  [[nodiscard]] bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+
+  T& operator()(index_t i, index_t j) {
+    FTH_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_, "matrix index out of range");
+    return storage_[static_cast<std::size_t>(i + j * ld_)];
+  }
+  const T& operator()(index_t i, index_t j) const {
+    FTH_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_, "matrix index out of range");
+    return storage_[static_cast<std::size_t>(i + j * ld_)];
+  }
+
+  /// Whole-matrix mutable view.
+  [[nodiscard]] MatrixView<T> view() noexcept {
+    return MatrixView<T>(storage_.data(), rows_, cols_, ld_);
+  }
+  /// Whole-matrix const view.
+  [[nodiscard]] MatrixView<const T> view() const noexcept {
+    return MatrixView<const T>(storage_.data(), rows_, cols_, ld_);
+  }
+  [[nodiscard]] MatrixView<const T> cview() const noexcept { return view(); }
+
+  /// Sub-block views (delegate to MatrixView::block).
+  [[nodiscard]] MatrixView<T> block(index_t i, index_t j, index_t m, index_t n) {
+    return view().block(i, j, m, n);
+  }
+  [[nodiscard]] MatrixView<const T> block(index_t i, index_t j, index_t m, index_t n) const {
+    return view().block(i, j, m, n);
+  }
+
+  /// Copy the contents of `src` (must match dimensions) into this matrix.
+  void assign(MatrixView<const T> src) {
+    FTH_CHECK(src.rows() == rows_ && src.cols() == cols_, "assign dimension mismatch");
+    for (index_t j = 0; j < cols_; ++j)
+      std::copy_n(src.data() + j * src.ld(), rows_, storage_.data() + j * ld_);
+  }
+
+  /// Set every element to `value`.
+  void fill(T value) { std::fill(storage_.begin(), storage_.end(), value); }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t ld_ = 1;
+  std::vector<T> storage_;
+};
+
+/// Copy src into dst (dimensions must match; leading dimensions may differ).
+template <class T>
+void copy(MatrixView<const T> src, MatrixView<T> dst) {
+  FTH_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols(), "copy dimension mismatch");
+  for (index_t j = 0; j < src.cols(); ++j)
+    std::copy_n(src.data() + j * src.ld(), src.rows(), dst.data() + j * dst.ld());
+}
+
+/// Set every element of a view to `value`.
+template <class T>
+void fill(MatrixView<T> a, std::remove_const_t<T> value) {
+  for (index_t j = 0; j < a.cols(); ++j)
+    std::fill_n(a.data() + j * a.ld(), a.rows(), value);
+}
+
+/// Set a view to the identity (ones on the diagonal, zeros elsewhere).
+template <class T>
+void set_identity(MatrixView<T> a) {
+  fill(a, T{0});
+  const index_t n = std::min(a.rows(), a.cols());
+  for (index_t i = 0; i < n; ++i) a(i, i) = T{1};
+}
+
+}  // namespace fth

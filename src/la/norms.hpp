@@ -1,0 +1,88 @@
+// Matrix norms and element-wise comparison helpers.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/matrix.hpp"
+
+namespace fth {
+
+/// 1-norm: max column absolute sum.
+template <class T>
+T norm_one(MatrixView<const T> a) {
+  T best{};
+  for (index_t j = 0; j < a.cols(); ++j) {
+    T s{};
+    for (index_t i = 0; i < a.rows(); ++i) s += std::abs(a(i, j));
+    best = std::max(best, s);
+  }
+  return best;
+}
+
+/// Infinity norm: max row absolute sum.
+template <class T>
+T norm_inf(MatrixView<const T> a) {
+  T best{};
+  for (index_t i = 0; i < a.rows(); ++i) {
+    T s{};
+    for (index_t j = 0; j < a.cols(); ++j) s += std::abs(a(i, j));
+    best = std::max(best, s);
+  }
+  return best;
+}
+
+/// Frobenius norm with overflow-safe scaling.
+template <class T>
+T norm_fro(MatrixView<const T> a) {
+  T scale{0};
+  T ssq{1};
+  for (index_t j = 0; j < a.cols(); ++j) {
+    for (index_t i = 0; i < a.rows(); ++i) {
+      const T x = a(i, j);
+      if (x == T{0}) continue;
+      const T ax = std::abs(x);
+      if (scale < ax) {
+        const T r = scale / ax;
+        ssq = T{1} + ssq * r * r;
+        scale = ax;
+      } else {
+        const T r = ax / scale;
+        ssq += r * r;
+      }
+    }
+  }
+  return scale * std::sqrt(ssq);
+}
+
+/// Max-abs norm: max |a_ij|.
+template <class T>
+T norm_max(MatrixView<const T> a) {
+  T best{};
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i) best = std::max(best, std::abs(a(i, j)));
+  return best;
+}
+
+/// Max-abs of the element-wise difference A − B.
+template <class T>
+T max_abs_diff(MatrixView<const T> a, MatrixView<const T> b) {
+  FTH_CHECK(a.rows() == b.rows() && a.cols() == b.cols(), "diff dimension mismatch");
+  T best{};
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i) best = std::max(best, std::abs(a(i, j) - b(i, j)));
+  return best;
+}
+
+/// Count of elements where |A − B| exceeds `tol`.
+template <class T>
+index_t count_diff(MatrixView<const T> a, MatrixView<const T> b, T tol) {
+  FTH_CHECK(a.rows() == b.rows() && a.cols() == b.cols(), "diff dimension mismatch");
+  index_t n = 0;
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i)
+      if (std::abs(a(i, j) - b(i, j)) > tol) ++n;
+  return n;
+}
+
+}  // namespace fth

@@ -1,0 +1,52 @@
+// Bidiagonal reduction (LAPACK gebd2 / labrd / gebrd, square upper variant).
+//
+// B = Qᵀ·A·P with B upper bidiagonal — the two-sided factorization behind
+// the SVD, and the third member of the family the paper's conclusion
+// targets. Storage on exit (square A):
+//  * diagonal d and superdiagonal e of B,
+//  * the Q reflectors' vectors in the columns, at and below the diagonal
+//    (QR-style geometry: v(i) starts at row i),
+//  * the P reflectors' vectors in the rows, right of the superdiagonal.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace fth::lapack {
+
+/// Unblocked reduction (LAPACK dgebd2, square). `d`/`tauq` length n,
+/// `e`/`taup` length max(n−1, 0).
+void gebd2(MatrixView<double> a, VectorView<double> d, VectorView<double> e,
+           VectorView<double> tauq, VectorView<double> taup);
+
+/// Panel reduction (LAPACK dlabrd) on rows/columns [k, k+nb): see
+/// gebrd_impl.hpp for the exact contract.
+void labrd(MatrixView<double> a, index_t k, index_t nb, VectorView<double> d,
+           VectorView<double> e, VectorView<double> tauq, VectorView<double> taup,
+           MatrixView<double> x, MatrixView<double> y);
+
+struct GebrdOptions {
+  index_t nb = 32;
+  index_t nx = 64;
+};
+
+/// Blocked reduction (LAPACK dgebrd, square).
+void gebrd(MatrixView<double> a, VectorView<double> d, VectorView<double> e,
+           VectorView<double> tauq, VectorView<double> taup, const GebrdOptions& opt = {});
+
+/// Dense upper bidiagonal B from d and e.
+Matrix<double> bidiagonal_from(VectorView<const double> d, VectorView<const double> e);
+
+/// True if every element off the diagonal/superdiagonal is ≤ tol.
+bool is_upper_bidiagonal(MatrixView<const double> b, double tol = 0.0);
+
+/// Form Q (n×n) from the left reflectors of a gebrd-factored matrix
+/// (QR-style: reflector i's vector starts on the diagonal).
+Matrix<double> orgbr_q(MatrixView<const double> a_factored, VectorView<const double> tauq,
+                       index_t nb = 32);
+
+/// Form P (n×n) from the right reflectors (stored in the rows; reflector
+/// i acts on columns i+1..n−1, the same shifted geometry as orghr).
+Matrix<double> orgbr_p(MatrixView<const double> a_factored, VectorView<const double> taup,
+                       index_t nb = 32);
+
+}  // namespace fth::lapack

@@ -1,0 +1,41 @@
+// QR factorization (LAPACK geqr2 / geqrf) and Q formation (orgqr).
+//
+// Substrate for the related-work baseline: the paper positions its on-line
+// detection against the post-processing ABFT scheme of Du et al. for
+// one-sided factorizations (LU/QR). ft/ftqr_post.hpp builds that baseline
+// on top of this factorization.
+#pragma once
+
+#include <functional>
+
+#include "la/matrix.hpp"
+
+namespace fth::lapack {
+
+/// Unblocked QR (LAPACK dgeqr2): A (m×n, m ≥ n) is overwritten with R in
+/// the upper triangle and the reflector vectors below the diagonal.
+void geqr2(MatrixView<double> a, VectorView<double> tau);
+
+/// Called between panel iterations of geqrf (the stream of a hybrid
+/// implementation would synchronize here); `next_panel` is the first
+/// unfactored column. Used by the fault-injection studies.
+using QrIterationHook = std::function<void(index_t boundary, index_t next_panel,
+                                           MatrixView<double> a)>;
+
+struct GeqrfOptions {
+  index_t nb = 32;
+};
+
+/// Blocked QR (LAPACK dgeqrf).
+void geqrf(MatrixView<double> a, VectorView<double> tau, const GeqrfOptions& opt = {},
+           const QrIterationHook& hook = {});
+
+/// Form the m×m orthogonal Q from a geqrf-factored matrix (dorgqr,
+/// blocked backward accumulation).
+Matrix<double> orgqr(MatrixView<const double> a_factored, VectorView<const double> tau,
+                     index_t nb = 32);
+
+/// Copy out the upper triangular R (m×n) from a factored matrix.
+Matrix<double> extract_r(MatrixView<const double> a_factored);
+
+}  // namespace fth::lapack

@@ -1,0 +1,20 @@
+// Generate the orthogonal factor Q of a Hessenberg reduction (dorghr).
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace fth::lapack {
+
+/// Form the n×n orthogonal matrix Q = H(0)·H(1)···H(n−2) from the
+/// reflectors stored below the first subdiagonal of a gehrd-factored
+/// matrix and the scalars `tau`. Blocked backward accumulation.
+Matrix<double> orghr(MatrixView<const double> a_factored, VectorView<const double> tau,
+                     index_t nb = 32);
+
+/// Materialize the reflector block V for panel columns [k, k+nb) of a
+/// factored matrix into a clean (n−k−1)×nb unit-lower-trapezoidal matrix
+/// (explicit unit diagonal, explicit zeros above it). Shared by orghr, the
+/// hybrid driver, and the FT driver (which checksums V).
+Matrix<double> materialize_v(MatrixView<const double> a_factored, index_t k, index_t nb);
+
+}  // namespace fth::lapack

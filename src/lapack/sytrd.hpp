@@ -1,0 +1,44 @@
+// Symmetric tridiagonal reduction (LAPACK sytd2 / latrd / sytrd, lower).
+//
+// T = QᵀAQ with T symmetric tridiagonal — the second two-sided
+// factorization of the family the paper targets ("we plan to provide soft
+// error resilience for the rest of the hybrid two-sided factorizations").
+// Only the lower triangle of A is referenced and overwritten: on exit the
+// diagonal holds d, the first subdiagonal holds e, and the Householder
+// vectors live below, with the same storage geometry as gehrd — so
+// lapack::orghr forms this Q too.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace fth::lapack {
+
+/// Unblocked reduction (LAPACK dsytd2, lower). `d` has length n, `e` and
+/// `tau` length max(n−1, 0).
+void sytd2(MatrixView<double> a, VectorView<double> d, VectorView<double> e,
+           VectorView<double> tau);
+
+/// Panel reduction (LAPACK dlatrd, lower) on columns [k, k+nb): produces
+/// the W matrix of the deferred rank-2k update (global rows used), the
+/// off-diagonals `e` and scalars `tau` for the panel. The subdiagonal
+/// "unit" entries are left set to 1; the caller restores e after the
+/// trailing update (exactly LAPACK's contract).
+void latrd(MatrixView<double> a, index_t k, index_t nb, VectorView<double> e,
+           VectorView<double> tau, MatrixView<double> w);
+
+struct SytrdOptions {
+  index_t nb = 32;  ///< panel width
+  index_t nx = 64;  ///< crossover to the unblocked code
+};
+
+/// Blocked reduction (LAPACK dsytrd, lower).
+void sytrd(MatrixView<double> a, VectorView<double> d, VectorView<double> e,
+           VectorView<double> tau, const SytrdOptions& opt = {});
+
+/// Build the dense symmetric tridiagonal T from d and e.
+Matrix<double> tridiagonal_from(VectorView<const double> d, VectorView<const double> e);
+
+/// True if every element outside the tridiagonal band is ≤ tol.
+bool is_tridiagonal(MatrixView<const double> t, double tol = 0.0);
+
+}  // namespace fth::lapack

@@ -1,0 +1,60 @@
+#include "lapack/verify.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "la/blas3.hpp"
+#include "la/norms.hpp"
+#include "lapack/gehrd.hpp"
+#include "lapack/orghr.hpp"
+
+namespace fth::lapack {
+
+double hessenberg_residual(MatrixView<const double> a, MatrixView<const double> q,
+                           MatrixView<const double> h) {
+  const index_t n = a.rows();
+  FTH_CHECK(a.cols() == n && q.rows() == n && q.cols() == n && h.rows() == n && h.cols() == n,
+            "hessenberg_residual: dimension mismatch");
+  if (n == 0) return 0.0;
+
+  // R = A − Q·H·Qᵀ
+  Matrix<double> qh(n, n);
+  blas::gemm(Trans::No, Trans::No, 1.0, q, h, 0.0, qh.view());
+  Matrix<double> r(a);
+  blas::gemm(Trans::No, Trans::Yes, -1.0, qh.cview(), q, 1.0, r.view());
+
+  const double na = norm_one(a);
+  if (na == 0.0) return norm_one(r.cview());
+  return norm_one(r.cview()) / (static_cast<double>(n) * na);
+}
+
+double orthogonality_residual(MatrixView<const double> q) {
+  const index_t n = q.rows();
+  FTH_CHECK(q.cols() == n, "orthogonality_residual: Q must be square");
+  if (n == 0) return 0.0;
+  Matrix<double> r(n, n);
+  set_identity(r.view());
+  blas::gemm(Trans::No, Trans::Yes, 1.0, q, q, -1.0, r.view());
+  return norm_one(r.cview()) / static_cast<double>(n);
+}
+
+bool is_upper_hessenberg(MatrixView<const double> h, double tol) {
+  for (index_t j = 0; j < h.cols(); ++j)
+    for (index_t i = j + 2; i < h.rows(); ++i)
+      if (std::abs(h(i, j)) > tol) return false;
+  return true;
+}
+
+VerifyResult verify_reduction(MatrixView<const double> a_orig,
+                              MatrixView<const double> a_factored,
+                              VectorView<const double> tau) {
+  VerifyResult out;
+  const Matrix<double> h = extract_hessenberg(a_factored);
+  const Matrix<double> q = orghr(a_factored, tau);
+  out.residual = hessenberg_residual(a_orig, q.cview(), h.cview());
+  out.orthogonality = orthogonality_residual(q.cview());
+  out.hessenberg = is_upper_hessenberg(h.cview());
+  return out;
+}
+
+}  // namespace fth::lapack

@@ -1,0 +1,31 @@
+// Result verification: the residuals reported in Tables II and III.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace fth::lapack {
+
+/// ‖A − Q·H·Qᵀ‖₁ / (N·‖A‖₁)  — the backward-stability residual of Table II.
+double hessenberg_residual(MatrixView<const double> a, MatrixView<const double> q,
+                           MatrixView<const double> h);
+
+/// ‖Q·Qᵀ − I‖₁ / N  — the orthogonality residual of Table III.
+double orthogonality_residual(MatrixView<const double> q);
+
+/// True if every element below the first subdiagonal is ≤ tol in magnitude.
+bool is_upper_hessenberg(MatrixView<const double> h, double tol = 0.0);
+
+/// Convenience: run a factored reduction through both residual checks.
+struct VerifyResult {
+  double residual = 0.0;        ///< ‖A − QHQᵀ‖₁/(N‖A‖₁)
+  double orthogonality = 0.0;   ///< ‖QQᵀ − I‖₁/N
+  bool hessenberg = false;      ///< structural check on H
+};
+
+/// Verify a reduction given the original matrix, the factored output of
+/// gehrd (H + reflectors), and tau.
+VerifyResult verify_reduction(MatrixView<const double> a_orig,
+                              MatrixView<const double> a_factored,
+                              VectorView<const double> tau);
+
+}  // namespace fth::lapack

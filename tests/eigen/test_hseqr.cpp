@@ -1,0 +1,159 @@
+// Hessenberg QR eigenvalue solver.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "eigen/hseqr.hpp"
+#include "fault/injector.hpp"
+#include "ft/ft_gehrd.hpp"
+#include "la/generate.hpp"
+#include "lapack/gehrd.hpp"
+
+namespace fth::eigen {
+namespace {
+
+std::vector<double> sorted_reals(const HseqrResult& r) {
+  std::vector<double> v;
+  for (const auto& l : r.eigenvalues) v.push_back(l.real());
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(Hseqr, EmptyAndTiny) {
+  Matrix<double> e(0, 0);
+  auto r0 = hseqr(e.view());
+  EXPECT_TRUE(r0.converged);
+  EXPECT_TRUE(r0.eigenvalues.empty());
+
+  Matrix<double> one(1, 1);
+  one(0, 0) = 3.5;
+  auto r1 = hseqr(one.view());
+  ASSERT_EQ(r1.eigenvalues.size(), 1u);
+  EXPECT_EQ(r1.eigenvalues[0], std::complex<double>(3.5, 0.0));
+
+  Matrix<double> two(2, 2);
+  two(0, 0) = 1.0;
+  two(0, 1) = 2.0;
+  two(1, 0) = 2.0;
+  two(1, 1) = 1.0;  // eigenvalues 3 and −1
+  auto r2 = hseqr(two.view());
+  auto v = sorted_reals(r2);
+  EXPECT_NEAR(v[0], -1.0, 1e-13);
+  EXPECT_NEAR(v[1], 3.0, 1e-13);
+}
+
+TEST(Hseqr, KnownRootsViaCompanion) {
+  std::vector<double> roots = {-3.0, -1.5, 0.5, 2.0, 4.25, 8.0};
+  Matrix<double> c = companion_matrix(VectorView<const double>(roots.data(), 6));
+  auto r = hseqr(c.view());  // companion is already Hessenberg
+  ASSERT_TRUE(r.converged);
+  auto got = sorted_reals(r);
+  std::sort(roots.begin(), roots.end());
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    EXPECT_NEAR(got[i], roots[i], 1e-8 * std::max(1.0, std::abs(roots[i])));
+    EXPECT_NEAR(r.eigenvalues[i].imag(), 0.0, 1e-8);
+  }
+}
+
+TEST(Hseqr, ComplexPairFromRotation) {
+  // 2×2 rotation-like block embedded in 4×4: eigenvalues cosθ ± i·sinθ.
+  Matrix<double> h(4, 4);
+  const double c = std::cos(0.7), s = std::sin(0.7);
+  h(0, 0) = 5.0;
+  h(1, 1) = c;  h(1, 2) = -s;
+  h(2, 1) = s;  h(2, 2) = c;
+  h(3, 3) = -2.0;
+  auto r = hseqr(h.view());
+  ASSERT_TRUE(r.converged);
+  int complex_count = 0;
+  for (const auto& l : r.eigenvalues) {
+    if (std::abs(l.imag()) > 1e-12) {
+      ++complex_count;
+      EXPECT_NEAR(std::abs(l), 1.0, 1e-10);  // |cos + i·sin| = 1
+      EXPECT_NEAR(l.real(), c, 1e-10);
+    }
+  }
+  EXPECT_EQ(complex_count, 2);
+}
+
+TEST(Hseqr, RejectsNonSquare) {
+  Matrix<double> bad(3, 4);
+  EXPECT_THROW(hseqr(bad.view()), precondition_error);
+}
+
+class EigParam : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(EigParam, TraceAndConjugateInvariants) {
+  const index_t n = GetParam();
+  Matrix<double> a = random_matrix(n, n, 41 + static_cast<std::uint64_t>(n));
+  auto r = eigenvalues(a.cview());
+  ASSERT_TRUE(r.converged) << "n=" << n;
+  ASSERT_EQ(r.eigenvalues.size(), static_cast<std::size_t>(n));
+
+  // Trace invariant.
+  std::complex<double> sum = 0.0;
+  for (const auto& l : r.eigenvalues) sum += l;
+  double tr = 0.0;
+  for (index_t i = 0; i < n; ++i) tr += a(i, i);
+  EXPECT_NEAR(sum.real(), tr, 1e-10 * std::max(1.0, std::abs(tr)) * n);
+  EXPECT_NEAR(sum.imag(), 0.0, 1e-10);
+
+  // Complex eigenvalues of a real matrix come in conjugate pairs.
+  std::vector<std::complex<double>> complex_ones;
+  for (const auto& l : r.eigenvalues)
+    if (std::abs(l.imag()) > 1e-12) complex_ones.push_back(l);
+  EXPECT_EQ(complex_ones.size() % 2, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigParam, ::testing::Values<index_t>(3, 8, 25, 64, 120));
+
+TEST(Eigenvalues, SymmetricMatrixAllReal) {
+  const index_t n = 40;
+  Matrix<double> a = random_symmetric_matrix(n, 50);
+  auto r = eigenvalues(a.cview());
+  ASSERT_TRUE(r.converged);
+  for (const auto& l : r.eigenvalues) EXPECT_NEAR(l.imag(), 0.0, 1e-10);
+}
+
+TEST(Eigenvalues, DiagonalMatrixExact) {
+  const index_t n = 10;
+  Matrix<double> a(n, n);
+  for (index_t i = 0; i < n; ++i) a(i, i) = static_cast<double>(i) - 4.5;
+  auto r = eigenvalues(a.cview());
+  auto got = sorted_reals(r);
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(got[static_cast<std::size_t>(i)], static_cast<double>(i) - 4.5, 1e-12);
+}
+
+TEST(Eigenvalues, FullPipelineWithFaultTolerantReduction) {
+  // A → FT-gehrd under injection → hseqr: eigenvalues must match the
+  // fault-free pipeline. This is the end-to-end story of the paper.
+  const index_t n = 96, nb = 32;
+  hybrid::Device dev;
+  Matrix<double> a = random_matrix(n, n, 51);
+
+  auto reference = eigenvalues(a.cview());
+  ASSERT_TRUE(reference.converged);
+
+  Matrix<double> work(a.cview());
+  std::vector<double> tau(static_cast<std::size_t>(n - 1));
+  fault::FaultSpec spec;
+  spec.area = fault::Area::LowerTrailing;
+  spec.moment = fault::Moment::Middle;
+  fault::Injector inj(spec, 8);
+  ft::ft_gehrd(dev, work.view(), VectorView<double>(tau.data(), n - 1), {.nb = nb}, &inj);
+
+  Matrix<double> h = lapack::extract_hessenberg(work.cview());
+  auto recovered = hseqr(h.view());
+  ASSERT_TRUE(recovered.converged);
+
+  auto ref_sorted = sorted_reals(reference);
+  auto rec_sorted = sorted_reals(recovered);
+  for (std::size_t i = 0; i < ref_sorted.size(); ++i)
+    EXPECT_NEAR(rec_sorted[i], ref_sorted[i], 1e-6 * std::max(1.0, std::abs(ref_sorted[i])));
+}
+
+}  // namespace
+}  // namespace fth::eigen

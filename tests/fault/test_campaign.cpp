@@ -1,0 +1,86 @@
+// Monte-Carlo campaign driver: end-to-end recovery statistics.
+#include <gtest/gtest.h>
+
+#include "fault/campaign.hpp"
+
+namespace fth::fault {
+namespace {
+
+TEST(Campaign, SingleFaultAlwaysRecovered) {
+  CampaignConfig cfg;
+  cfg.n = 96;
+  cfg.nb = 16;
+  cfg.trials = 6;
+  cfg.faults_per_trial = 1;
+  cfg.area = Area::Any;
+  const CampaignResult res = run_campaign(cfg);
+  ASSERT_EQ(res.trials.size(), 6u);
+  EXPECT_EQ(res.recovered_count, 6);
+  EXPECT_EQ(res.correct_count, 6);
+  EXPECT_LT(res.worst_error_vs_clean, 1e-9);
+  for (const auto& t : res.trials) {
+    EXPECT_EQ(t.injected.size(), 1u);
+    // Every fault must be handled by *some* mechanism: per-iteration
+    // detection, the final sweep, or Q protection.
+    EXPECT_GE(t.corrections + t.detections, 1) << t.failure;
+  }
+}
+
+TEST(Campaign, TrailingAreaFaultsDetectedOnline) {
+  CampaignConfig cfg;
+  cfg.n = 96;
+  cfg.nb = 16;
+  cfg.trials = 5;
+  cfg.area = Area::LowerTrailing;
+  const CampaignResult res = run_campaign(cfg);
+  EXPECT_EQ(res.recovered_count, 5);
+  for (const auto& t : res.trials) {
+    EXPECT_GE(t.detections, 1);  // area 2 propagates ⇒ caught the same iteration
+    EXPECT_TRUE(t.result_correct);
+  }
+}
+
+TEST(Campaign, QAreaFaultsCorrectedAtEnd) {
+  CampaignConfig cfg;
+  cfg.n = 96;
+  cfg.nb = 16;
+  cfg.trials = 5;
+  cfg.area = Area::QPanel;
+  const CampaignResult res = run_campaign(cfg);
+  EXPECT_EQ(res.recovered_count, 5);
+  for (const auto& t : res.trials) {
+    EXPECT_EQ(t.detections, 0);  // Q faults don't trip the H checksums
+    EXPECT_GE(t.corrections, 1);
+    EXPECT_TRUE(t.result_correct);
+  }
+}
+
+TEST(Campaign, DeterministicGivenSeed) {
+  CampaignConfig cfg;
+  cfg.n = 64;
+  cfg.nb = 16;
+  cfg.trials = 3;
+  cfg.seed = 77;
+  const CampaignResult a = run_campaign(cfg);
+  const CampaignResult b = run_campaign(cfg);
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  for (std::size_t i = 0; i < a.trials.size(); ++i) {
+    ASSERT_EQ(a.trials[i].injected.size(), b.trials[i].injected.size());
+    for (std::size_t f = 0; f < a.trials[i].injected.size(); ++f) {
+      EXPECT_EQ(a.trials[i].injected[f].row, b.trials[i].injected[f].row);
+      EXPECT_EQ(a.trials[i].injected[f].col, b.trials[i].injected[f].col);
+    }
+  }
+}
+
+TEST(Campaign, BadConfigRejected) {
+  CampaignConfig cfg;
+  cfg.n = 2;
+  EXPECT_THROW(run_campaign(cfg), precondition_error);
+  cfg.n = 64;
+  cfg.trials = 0;
+  EXPECT_THROW(run_campaign(cfg), precondition_error);
+}
+
+}  // namespace
+}  // namespace fth::fault

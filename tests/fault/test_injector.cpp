@@ -1,0 +1,156 @@
+// Fault injector: area geometry, scheduling, determinism.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "fault/injector.hpp"
+
+namespace fth::fault {
+namespace {
+
+TEST(Classify, MatchesPaperFig2Examples) {
+  // N = 158, nb = 32, injected after iteration 1 ⇒ next panel i = 32.
+  // The paper's (1-based) coordinates map to 0-based as shown.
+  const index_t i = 32;
+  EXPECT_EQ(classify(52, 15, i), Area::QPanel);          // (53,16): area 3
+  EXPECT_EQ(classify(30, 126, i), Area::UpperTrailing);  // (31,127): area 1
+  EXPECT_EQ(classify(62, 126, i), Area::LowerTrailing);  // (63,127): area 2
+}
+
+TEST(Classify, BoundaryRows) {
+  const index_t i = 10;
+  EXPECT_EQ(classify(9, 10, i), Area::UpperTrailing);   // row i−1 is area 1
+  EXPECT_EQ(classify(10, 10, i), Area::LowerTrailing);  // row i starts area 2
+  EXPECT_EQ(classify(0, 0, i), Area::FinishedH);        // finished H entry
+  EXPECT_EQ(classify(1, 0, i), Area::FinishedH);        // subdiagonal is H
+  EXPECT_EQ(classify(2, 0, i), Area::QPanel);           // below subdiag is Q
+}
+
+TEST(MomentBoundary, Mapping) {
+  EXPECT_EQ(moment_boundary(Moment::Beginning, 10), 1);
+  EXPECT_EQ(moment_boundary(Moment::Middle, 10), 5);
+  EXPECT_EQ(moment_boundary(Moment::End, 10), 10);
+  EXPECT_EQ(moment_boundary(Moment::Middle, 1), 1);
+  EXPECT_THROW(moment_boundary(Moment::Middle, 0), precondition_error);
+}
+
+TEST(Injector, FiresAtRequestedBoundary) {
+  FaultSpec spec;
+  spec.area = Area::LowerTrailing;
+  spec.boundary = 3;
+  spec.magnitude = 5.0;
+  spec.relative = false;
+  Injector inj(spec);
+  EXPECT_TRUE(inj.due(1, 10, 32, 158, 1.0).empty());
+  EXPECT_TRUE(inj.due(2, 10, 64, 158, 1.0).empty());
+  auto due = inj.due(3, 10, 96, 158, 1.0);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].delta, 5.0);
+  EXPECT_EQ(due[0].area, Area::LowerTrailing);
+  EXPECT_GE(due[0].row, 96);
+  EXPECT_GE(due[0].col, 96);
+  EXPECT_TRUE(inj.all_fired());
+  EXPECT_TRUE(inj.due(4, 10, 128, 158, 1.0).empty());  // fires once
+}
+
+TEST(Injector, MomentResolution) {
+  FaultSpec spec;
+  spec.moment = Moment::Middle;
+  Injector inj(spec);
+  EXPECT_TRUE(inj.due(1, 9, 32, 300, 1.0).empty());
+  EXPECT_FALSE(inj.due(5, 9, 160, 300, 1.0).empty());
+}
+
+TEST(Injector, RelativeMagnitudeScales) {
+  FaultSpec spec;
+  spec.boundary = 1;
+  spec.magnitude = 10.0;
+  spec.relative = true;
+  Injector inj(spec);
+  auto due = inj.due(1, 4, 32, 128, 0.5);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].delta, 5.0);
+}
+
+TEST(Injector, ExplicitCoordinatesRespected) {
+  FaultSpec spec;
+  spec.boundary = 2;
+  spec.row = 7;
+  spec.col = 90;
+  spec.relative = false;
+  spec.magnitude = 1.0;
+  Injector inj(spec);
+  auto due = inj.due(2, 5, 64, 128, 1.0);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].row, 7);
+  EXPECT_EQ(due[0].col, 90);
+  EXPECT_EQ(due[0].area, Area::UpperTrailing);
+}
+
+TEST(Injector, AreaGeometryRespected) {
+  for (int rep = 0; rep < 50; ++rep) {
+    for (Area area : {Area::UpperTrailing, Area::LowerTrailing, Area::QPanel}) {
+      FaultSpec spec;
+      spec.area = area;
+      spec.boundary = 2;
+      Injector inj(spec, 100 + static_cast<std::uint64_t>(rep));
+      auto due = inj.due(2, 6, 64, 200, 1.0);
+      ASSERT_EQ(due.size(), 1u);
+      const auto& f = due[0];
+      EXPECT_EQ(classify(f.row, f.col, 64), area)
+          << "rep " << rep << " area " << to_string(area) << " got (" << f.row << ","
+          << f.col << ")";
+      EXPECT_GE(f.row, 0);
+      EXPECT_LT(f.row, 200);
+      EXPECT_GE(f.col, 0);
+      EXPECT_LT(f.col, 200);
+    }
+  }
+}
+
+TEST(Injector, DeterministicForFixedSeed) {
+  FaultSpec spec;
+  spec.area = Area::LowerTrailing;
+  spec.boundary = 1;
+  Injector a(spec, 42), b(spec, 42), c(spec, 43);
+  auto da = a.due(1, 4, 32, 128, 1.0);
+  auto db = b.due(1, 4, 32, 128, 1.0);
+  auto dc = c.due(1, 4, 32, 128, 1.0);
+  EXPECT_EQ(da[0].row, db[0].row);
+  EXPECT_EQ(da[0].col, db[0].col);
+  EXPECT_TRUE(dc[0].row != da[0].row || dc[0].col != da[0].col);
+}
+
+TEST(Injector, MultipleFaultsSameBoundary) {
+  std::vector<FaultSpec> specs(3);
+  for (auto& s : specs) {
+    s.area = Area::LowerTrailing;
+    s.boundary = 2;
+  }
+  Injector inj(specs);
+  auto due = inj.due(2, 5, 64, 256, 1.0);
+  EXPECT_EQ(due.size(), 3u);
+}
+
+TEST(Injector, HistoryRecords) {
+  FaultSpec spec;
+  spec.boundary = 1;
+  Injector inj(spec);
+  auto due = inj.due(1, 3, 32, 96, 2.0);
+  ASSERT_EQ(due.size(), 1u);
+  inj.record(1, due[0]);
+  ASSERT_EQ(inj.history().size(), 1u);
+  EXPECT_EQ(inj.history()[0].boundary, 1);
+  EXPECT_EQ(inj.history()[0].row, due[0].row);
+}
+
+TEST(Injector, EmptyAreaThrows) {
+  FaultSpec spec;
+  spec.area = Area::QPanel;
+  spec.boundary = 1;
+  Injector inj(spec);
+  // i = 0: no finished columns yet ⇒ area 3 is empty.
+  EXPECT_THROW(inj.due(1, 3, 0, 96, 1.0), precondition_error);
+}
+
+}  // namespace
+}  // namespace fth::fault

@@ -1,0 +1,165 @@
+// Error location: single/multiple errors, checksum-element errors, and the
+// rectangle-ambiguity failure mode the paper excludes.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ft/checksum.hpp"
+#include "ft/locate.hpp"
+#include "la/generate.hpp"
+
+namespace fth::ft {
+namespace {
+
+/// Build discrepancy machinery from an extended matrix with injected data
+/// errors: fresh sums see the errors, maintained checksums do not.
+struct Scenario {
+  Matrix<double> ext{0, 0};
+  Matrix<double> host{0, 0};
+
+  explicit Scenario(index_t n, std::uint64_t seed = 1)
+      : ext(encode_extended(random_matrix(n, n, seed).cview())), host(n, n) {}
+
+  LocateResult run(double tol = 1e-9) {
+    const FreshSums fs = fresh_logical_sums(host.cview(), ext.cview(), 0);
+    const Discrepancy d = compare_checksums(fs, ext.cview(), tol);
+    return locate(d, fs, tol);
+  }
+};
+
+TEST(Locate, NothingWhenClean) {
+  Scenario s(10);
+  const LocateResult r = s.run();
+  EXPECT_TRUE(r.data_errors.empty());
+  EXPECT_TRUE(r.chk_col_errors.empty());
+  EXPECT_TRUE(r.chk_row_errors.empty());
+}
+
+TEST(Locate, SingleDataError) {
+  Scenario s(12);
+  s.ext(4, 9) += 3.75;
+  const LocateResult r = s.run();
+  ASSERT_EQ(r.data_errors.size(), 1u);
+  EXPECT_EQ(r.data_errors[0].row, 4);
+  EXPECT_EQ(r.data_errors[0].col, 9);
+  EXPECT_NEAR(r.data_errors[0].delta, 3.75, 1e-10);
+  // Applying the correction restores the element.
+  s.ext(4, 9) -= r.data_errors[0].delta;
+  EXPECT_TRUE(s.run().data_errors.empty());
+}
+
+TEST(Locate, TwoErrorsDistinctMagnitudes) {
+  Scenario s(16);
+  s.ext(2, 5) += 1.0;
+  s.ext(9, 13) += 4.0;
+  const LocateResult r = s.run();
+  ASSERT_EQ(r.data_errors.size(), 2u);
+  // Sorted by row by construction of the discrepancy scan.
+  EXPECT_EQ(r.data_errors[0].row, 2);
+  EXPECT_EQ(r.data_errors[0].col, 5);
+  EXPECT_NEAR(r.data_errors[0].delta, 1.0, 1e-10);
+  EXPECT_EQ(r.data_errors[1].row, 9);
+  EXPECT_EQ(r.data_errors[1].col, 13);
+  EXPECT_NEAR(r.data_errors[1].delta, 4.0, 1e-10);
+}
+
+TEST(Locate, ThreeErrorsNonRectangle) {
+  Scenario s(20);
+  s.ext(1, 2) += 1.0;
+  s.ext(5, 7) += 2.0;
+  s.ext(11, 15) += -3.0;
+  const LocateResult r = s.run();
+  ASSERT_EQ(r.data_errors.size(), 3u);
+  for (const auto& e : r.data_errors) {
+    s.ext(e.row, e.col) -= e.delta;
+  }
+  EXPECT_TRUE(s.run().data_errors.empty());
+}
+
+TEST(Locate, RectangleWithEqualMagnitudesIsAmbiguous) {
+  // Two errors with identical deltas at (r1,c1) and (r2,c2): the pairing
+  // {(r1,c1),(r2,c2)} vs {(r1,c2),(r2,c1)} cannot be resolved — exactly the
+  // paper's "positions form a rectangle" exclusion.
+  Scenario s(14);
+  s.ext(3, 4) += 2.0;
+  s.ext(8, 11) += 2.0;
+  EXPECT_THROW(s.run(), recovery_error);
+}
+
+TEST(Locate, SameRowTwoErrorsUnrecoverable) {
+  Scenario s(14);
+  s.ext(6, 3) += 1.0;
+  s.ext(6, 10) += 2.0;  // one mismatched row, two mismatched columns
+  EXPECT_THROW(s.run(), recovery_error);
+}
+
+TEST(Locate, SameColumnTwoErrorsUnrecoverable) {
+  Scenario s(14);
+  s.ext(2, 8) += 1.0;
+  s.ext(9, 8) += 2.0;
+  EXPECT_THROW(s.run(), recovery_error);
+}
+
+TEST(Locate, ChecksumColumnErrorIdentified) {
+  Scenario s(12);
+  s.ext(5, 12) += 9.0;  // corrupt a checksum-column element itself
+  const LocateResult r = s.run();
+  EXPECT_TRUE(r.data_errors.empty());
+  ASSERT_EQ(r.chk_col_errors.size(), 1u);
+  EXPECT_EQ(r.chk_col_errors[0].index, 5);
+  // The reported fresh value repairs the checksum.
+  s.ext(5, 12) = r.chk_col_errors[0].fresh;
+  EXPECT_TRUE(s.run().chk_col_errors.empty());
+}
+
+TEST(Locate, ChecksumRowErrorIdentified) {
+  Scenario s(12);
+  s.ext(12, 7) += -4.0;
+  const LocateResult r = s.run();
+  EXPECT_TRUE(r.data_errors.empty());
+  ASSERT_EQ(r.chk_row_errors.size(), 1u);
+  EXPECT_EQ(r.chk_row_errors[0].index, 7);
+}
+
+TEST(Locate, MismatchedCountsThrow) {
+  // Three rows vs one column cannot be explained by one-per-line errors.
+  Discrepancy d;
+  d.rows = {1, 2, 3};
+  d.row_delta = {1.0, 2.0, 3.0};
+  d.cols = {4};
+  d.col_delta = {6.0};
+  FreshSums fs;
+  fs.row.assign(10, 0.0);
+  fs.col.assign(10, 0.0);
+  EXPECT_THROW(locate(d, fs, 1e-9), recovery_error);
+}
+
+TEST(Locate, TooManyErrorsRejected) {
+  Discrepancy d;
+  for (index_t k = 0; k < 9; ++k) {
+    d.rows.push_back(k);
+    d.row_delta.push_back(static_cast<double>(k + 1));
+    d.cols.push_back(k + 20);
+    d.col_delta.push_back(static_cast<double>(k + 1));
+  }
+  FreshSums fs;
+  fs.row.assign(40, 0.0);
+  fs.col.assign(40, 0.0);
+  EXPECT_THROW(locate(d, fs, 1e-9), recovery_error);
+}
+
+TEST(Locate, PermutedMagnitudeMatching) {
+  // Deltas deliberately ordered so that row order ≠ column order: the
+  // matcher must pair by magnitude, not by position.
+  Scenario s(18);
+  s.ext(2, 14) += 5.0;   // row 2 ↔ col 14
+  s.ext(10, 3) += -1.0;  // row 10 ↔ col 3
+  const LocateResult r = s.run();
+  ASSERT_EQ(r.data_errors.size(), 2u);
+  EXPECT_EQ(r.data_errors[0].row, 2);
+  EXPECT_EQ(r.data_errors[0].col, 14);
+  EXPECT_EQ(r.data_errors[1].row, 10);
+  EXPECT_EQ(r.data_errors[1].col, 3);
+}
+
+}  // namespace
+}  // namespace fth::ft

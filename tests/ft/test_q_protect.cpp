@@ -1,0 +1,124 @@
+// Q-factor protection: panel checksum accumulation, end-of-run verification
+// and correction, and the commit discipline that rollback relies on.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ft/q_protect.hpp"
+#include "la/generate.hpp"
+#include "la/norms.hpp"
+#include "lapack/gehrd.hpp"
+
+namespace fth::ft {
+namespace {
+
+/// Factorize a random matrix so the Householder storage is realistic.
+Matrix<double> factored(index_t n, std::uint64_t seed) {
+  Matrix<double> a = random_matrix(n, n, seed);
+  std::vector<double> tau(static_cast<std::size_t>(n - 1));
+  lapack::gehrd(a.view(), VectorView<double>(tau.data(), n - 1), {.nb = 8, .nx = 8});
+  return a;
+}
+
+/// Absorb all panels of a factored matrix.
+QProtector protect_all(MatrixView<const double> a, index_t nb) {
+  const index_t n = a.rows();
+  QProtector qp(n);
+  index_t k = 0;
+  while (k < n - 1) {
+    const index_t ib = std::min(nb, n - 1 - k);
+    qp.commit(qp.compute_panel(a, k, ib));
+    k += ib;
+  }
+  return qp;
+}
+
+TEST(QProtect, CleanStorageVerifies) {
+  Matrix<double> a = factored(40, 1);
+  QProtector qp = protect_all(a.cview(), 8);
+  EXPECT_EQ(qp.committed_columns(), 39);
+  const auto res = qp.verify_and_correct(a.view(), 39, 1e-10);
+  EXPECT_EQ(res.corrections, 0);
+  EXPECT_LT(res.max_row_gap, 1e-12);
+  EXPECT_LT(res.max_col_gap, 1e-12);
+}
+
+TEST(QProtect, SingleCorruptionLocatedAndFixed) {
+  Matrix<double> a = factored(40, 2);
+  Matrix<double> clean(a.cview());
+  QProtector qp = protect_all(a.cview(), 8);
+  a(20, 5) += 3.0;  // a v-entry: row 20 > 5+1
+  const auto res = qp.verify_and_correct(a.view(), 39, 1e-8);
+  EXPECT_EQ(res.corrections, 1);
+  EXPECT_LT(max_abs_diff(a.cview(), clean.cview()), 1e-10);
+}
+
+TEST(QProtect, TwoCorruptionsDistinctMagnitudes) {
+  Matrix<double> a = factored(48, 3);
+  Matrix<double> clean(a.cview());
+  QProtector qp = protect_all(a.cview(), 8);
+  a(30, 4) += 2.0;
+  a(41, 17) += -5.0;
+  const auto res = qp.verify_and_correct(a.view(), 47, 1e-8);
+  EXPECT_EQ(res.corrections, 2);
+  EXPECT_LT(max_abs_diff(a.cview(), clean.cview()), 1e-10);
+}
+
+TEST(QProtect, EqualMagnitudeRectangleAmbiguous) {
+  Matrix<double> a = factored(48, 4);
+  QProtector qp = protect_all(a.cview(), 8);
+  a(30, 4) += 2.0;
+  a(41, 17) += 2.0;
+  EXPECT_THROW(qp.verify_and_correct(a.view(), 47, 1e-8), recovery_error);
+}
+
+TEST(QProtect, SameRowErrorsUnrecoverable) {
+  Matrix<double> a = factored(48, 5);
+  QProtector qp = protect_all(a.cview(), 8);
+  a(40, 4) += 2.0;
+  a(40, 17) += 3.0;
+  EXPECT_THROW(qp.verify_and_correct(a.view(), 47, 1e-8), recovery_error);
+}
+
+TEST(QProtect, UncommittedPanelNotDoubleCounted) {
+  // The driver computes panel checksums before the iteration's error check
+  // and commits only afterwards; a recomputed (retried) panel must yield
+  // identical state, and verifying uncommitted columns must be rejected.
+  Matrix<double> a = factored(32, 6);
+  QProtector qp(32);
+  auto pc1 = qp.compute_panel(a.cview(), 0, 8);
+  auto pc1_again = qp.compute_panel(a.cview(), 0, 8);  // "retry"
+  qp.commit(pc1_again);
+  EXPECT_EQ(qp.committed_columns(), 8);
+  for (std::size_t r = 0; r < pc1.row_partial.size(); ++r)
+    EXPECT_EQ(pc1.row_partial[r], pc1_again.row_partial[r]);
+  EXPECT_THROW(qp.verify_and_correct(a.view(), 16, 1e-8), precondition_error);
+  // Out-of-order commits rejected.
+  auto pc3 = qp.compute_panel(a.cview(), 16, 8);
+  EXPECT_THROW(qp.commit(pc3), precondition_error);
+}
+
+TEST(QProtect, ColumnSegmentsAreFinal) {
+  // Column checksums are emitted per panel and never change afterwards
+  // (Section IV-E: "This segment is never changed once generated").
+  Matrix<double> a = factored(32, 7);
+  QProtector qp(32);
+  qp.commit(qp.compute_panel(a.cview(), 0, 8));
+  const std::vector<double> after_first = qp.col_chk();
+  qp.commit(qp.compute_panel(a.cview(), 8, 8));
+  for (index_t c = 0; c < 8; ++c)
+    EXPECT_EQ(qp.col_chk()[static_cast<std::size_t>(c)],
+              after_first[static_cast<std::size_t>(c)]);
+}
+
+TEST(QProtect, SubdiagonalBetaNotProtected) {
+  // The subdiagonal element A(c+1, c) is an H entry, not a v entry; the Q
+  // checksums must ignore it (it is covered by the H checksums instead).
+  Matrix<double> a = factored(32, 8);
+  QProtector qp = protect_all(a.cview(), 8);
+  a(5, 4) += 10.0;  // subdiagonal: H data
+  const auto res = qp.verify_and_correct(a.view(), 31, 1e-8);
+  EXPECT_EQ(res.corrections, 0);
+}
+
+}  // namespace
+}  // namespace fth::ft

@@ -1,0 +1,101 @@
+// Reverse computation: adding back the retained products must restore the
+// pre-update state to within one rounding per element.
+#include <gtest/gtest.h>
+
+#include "ft/reverse.hpp"
+#include "la/blas3.hpp"
+#include "la/generate.hpp"
+#include "la/norms.hpp"
+
+namespace fth::ft {
+namespace {
+
+TEST(Reverse, RightUpdateRestoresState) {
+  const index_t rows = 21, cols = 13, k = 4;
+  Matrix<double> ext = random_matrix(rows, cols, 1);
+  Matrix<double> before(ext.cview());
+  Matrix<double> yce = random_matrix(rows, k, 2);
+  Matrix<double> vtail = random_matrix(cols, k, 3);
+
+  // Forward: ext −= yce·vtailᵀ.
+  blas::gemm(Trans::No, Trans::Yes, -1.0, yce.cview(), vtail.cview(), 1.0, ext.view());
+  EXPECT_GT(max_abs_diff(ext.cview(), before.cview()), 0.1);
+
+  reverse_right_update(ext.view(), yce.cview(), vtail.cview());
+  EXPECT_LT(max_abs_diff(ext.cview(), before.cview()), 1e-13);
+}
+
+TEST(Reverse, LeftUpdateRestoresState) {
+  const index_t rows = 17, cols = 11, k = 3;
+  Matrix<double> ext = random_matrix(rows, cols, 4);
+  Matrix<double> before(ext.cview());
+  Matrix<double> vce = random_matrix(rows, k, 5);
+  Matrix<double> w = random_matrix(k, cols, 6);
+
+  blas::gemm(Trans::No, Trans::No, -1.0, vce.cview(), w.cview(), 1.0, ext.view());
+  reverse_left_update(ext.view(), vce.cview(), w.cview());
+  EXPECT_LT(max_abs_diff(ext.cview(), before.cview()), 1e-13);
+}
+
+TEST(Reverse, ComposedUpdatesReverseInLifoOrder) {
+  const index_t n = 25, k = 5;
+  Matrix<double> ext = random_matrix(n, n, 7);
+  Matrix<double> before(ext.cview());
+  Matrix<double> yce = random_matrix(n, k, 8);
+  Matrix<double> vtail = random_matrix(n, k, 9);
+  Matrix<double> vce = random_matrix(n, k, 10);
+  Matrix<double> w = random_matrix(k, n, 11);
+
+  // Forward: right then left (as in the iteration).
+  blas::gemm(Trans::No, Trans::Yes, -1.0, yce.cview(), vtail.cview(), 1.0, ext.view());
+  blas::gemm(Trans::No, Trans::No, -1.0, vce.cview(), w.cview(), 1.0, ext.view());
+  // Reverse: left first, then right.
+  reverse_left_update(ext.view(), vce.cview(), w.cview());
+  reverse_right_update(ext.view(), yce.cview(), vtail.cview());
+  EXPECT_LT(max_abs_diff(ext.cview(), before.cview()), 1e-12);
+}
+
+TEST(Reverse, ErrorSurvivesRollbackConfined) {
+  // The property recovery depends on: corrupt one element, apply updates,
+  // reverse them — the state equals "before + the single error".
+  const index_t n = 30, k = 6;
+  Matrix<double> ext = random_matrix(n, n, 12);
+  Matrix<double> before(ext.cview());
+  Matrix<double> vtail = random_matrix(n, k, 14);
+  Matrix<double> vce = random_matrix(n, k, 15);
+
+  // Inject the error BEFORE computing the update products, as when a fault
+  // strikes the trailing matrix between iterations.
+  ext(7, 19) += 100.0;
+  Matrix<double> corrupted(ext.cview());
+
+  // Update products computed FROM the corrupted data (as the driver would).
+  Matrix<double> yce(n, k);
+  blas::gemm(Trans::No, Trans::No, 1.0, ext.cview(), vce.cview(), 0.0, yce.view());
+  Matrix<double> w(k, n);
+  blas::gemm(Trans::Yes, Trans::No, 1.0, vce.cview(), ext.cview(), 0.0, w.view());
+
+  blas::gemm(Trans::No, Trans::Yes, -1.0, yce.cview(), vtail.cview(), 1.0, ext.view());
+  blas::gemm(Trans::No, Trans::No, -1.0, vce.cview(), w.cview(), 1.0, ext.view());
+
+  reverse_left_update(ext.view(), vce.cview(), w.cview());
+  reverse_right_update(ext.view(), yce.cview(), vtail.cview());
+
+  // The error is confined to (7, 19) again.
+  EXPECT_LT(max_abs_diff(ext.cview(), corrupted.cview()), 1e-9);
+  Matrix<double> diff(n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) diff(i, j) = ext(i, j) - before(i, j);
+  EXPECT_NEAR(diff(7, 19), 100.0, 1e-9);
+  diff(7, 19) = 0.0;
+  EXPECT_LT(norm_max(diff.cview()), 1e-9);
+}
+
+TEST(Reverse, DimensionChecks) {
+  Matrix<double> ext(5, 5), y(5, 2), v(4, 2), w(2, 5), vce(5, 3);
+  EXPECT_THROW(reverse_right_update(ext.view(), y.cview(), v.cview()), precondition_error);
+  EXPECT_THROW(reverse_left_update(ext.view(), vce.cview(), w.cview()), precondition_error);
+}
+
+}  // namespace
+}  // namespace fth::ft

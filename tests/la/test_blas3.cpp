@@ -1,0 +1,184 @@
+// Level-3 BLAS kernels vs reference computations (all transpose cases,
+// blocking-boundary sizes, alpha/beta special cases).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "la/blas3.hpp"
+#include "la/generate.hpp"
+#include "la/norms.hpp"
+#include "test_utils.hpp"
+
+namespace fth {
+namespace {
+
+class GemmParam
+    : public ::testing::TestWithParam<std::tuple<index_t, index_t, index_t, int, int>> {};
+
+TEST_P(GemmParam, MatchesReference) {
+  const auto [m, n, k, tac, tbc] = GetParam();
+  const Trans ta = tac == 0 ? Trans::No : Trans::Yes;
+  const Trans tb = tbc == 0 ? Trans::No : Trans::Yes;
+  Matrix<double> a = ta == Trans::No ? random_matrix(m, k, 1) : random_matrix(k, m, 1);
+  Matrix<double> b = tb == Trans::No ? random_matrix(k, n, 2) : random_matrix(n, k, 2);
+  Matrix<double> c = random_matrix(m, n, 3);
+  Matrix<double> expected = test::ref_gemm(ta, tb, 1.7, a.cview(), b.cview(), -0.3, c.cview());
+  blas::gemm(ta, tb, 1.7, a.cview(), b.cview(), -0.3, c.view());
+  const double tol = 1e-12 * static_cast<double>(k + 1);
+  test::expect_matrix_near(c.cview(), expected.cview(), tol, "gemm");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmParam,
+    ::testing::Combine(::testing::Values<index_t>(1, 5, 33, 130),  // spans micro/macro tiles
+                       ::testing::Values<index_t>(1, 9, 64), ::testing::Values<index_t>(1, 17, 70),
+                       ::testing::Values(0, 1), ::testing::Values(0, 1)));
+
+TEST(Gemm, LargeCrossesAllBlockingBoundaries) {
+  // Bigger than MC×KC×NC tile boundaries in at least one dimension each.
+  const index_t m = 150, n = 90, k = 300;
+  Matrix<double> a = random_matrix(m, k, 4);
+  Matrix<double> b = random_matrix(k, n, 5);
+  Matrix<double> c(m, n);
+  Matrix<double> expected = test::ref_gemm(Trans::No, Trans::No, 1.0, a.cview(), b.cview(),
+                                           0.0, c.cview());
+  blas::gemm(Trans::No, Trans::No, 1.0, a.cview(), b.cview(), 0.0, c.view());
+  test::expect_matrix_near(c.cview(), expected.cview(), 1e-11, "big gemm");
+}
+
+TEST(Gemm, SubmatrixViewsWithLd) {
+  Matrix<double> big_a = random_matrix(40, 40, 6);
+  Matrix<double> big_b = random_matrix(40, 40, 7);
+  Matrix<double> big_c = random_matrix(40, 40, 8);
+  auto a = big_a.block(3, 5, 20, 12);
+  auto b = big_b.block(1, 2, 12, 18);
+  auto c = big_c.block(7, 9, 20, 18);
+  Matrix<double> expected = test::ref_gemm(Trans::No, Trans::No, 1.0,
+                                           MatrixView<const double>(a),
+                                           MatrixView<const double>(b), 1.0,
+                                           MatrixView<const double>(c));
+  blas::gemm(Trans::No, Trans::No, 1.0, MatrixView<const double>(a),
+             MatrixView<const double>(b), 1.0, c);
+  test::expect_matrix_near(MatrixView<const double>(c), expected.cview(), 1e-12, "view gemm");
+}
+
+TEST(Gemm, AlphaZeroScalesOnly) {
+  Matrix<double> a = random_matrix(8, 8, 9);
+  Matrix<double> b = random_matrix(8, 8, 10);
+  Matrix<double> c = random_matrix(8, 8, 11);
+  Matrix<double> c0(c.cview());
+  blas::gemm(Trans::No, Trans::No, 0.0, a.cview(), b.cview(), 2.0, c.view());
+  for (index_t j = 0; j < 8; ++j)
+    for (index_t i = 0; i < 8; ++i) ASSERT_NEAR(c(i, j), 2.0 * c0(i, j), 1e-14);
+}
+
+TEST(Gemm, BetaZeroOverwritesNaN) {
+  Matrix<double> a = random_matrix(50, 50, 12);
+  Matrix<double> b = random_matrix(50, 50, 13);
+  Matrix<double> c(50, 50);
+  c.fill(std::nan(""));
+  blas::gemm(Trans::No, Trans::No, 1.0, a.cview(), b.cview(), 0.0, c.view());
+  EXPECT_FALSE(std::isnan(norm_fro(c.cview())));
+}
+
+TEST(Gemm, DimensionMismatchThrows) {
+  Matrix<double> a(3, 4), b(5, 6), c(3, 6);
+  EXPECT_THROW(blas::gemm(Trans::No, Trans::No, 1.0, a.cview(), b.cview(), 0.0, c.view()),
+               precondition_error);
+}
+
+TEST(Gemm, EmptyDimensionsAreNoops) {
+  Matrix<double> a(0, 0), b(0, 0), c(0, 0);
+  EXPECT_NO_THROW(
+      blas::gemm(Trans::No, Trans::No, 1.0, a.cview(), b.cview(), 0.0, c.view()));
+  Matrix<double> a2(3, 0), b2(0, 4), c2 = random_matrix(3, 4, 14);
+  Matrix<double> c0(c2.cview());
+  // k == 0: C := beta·C only.
+  blas::gemm(Trans::No, Trans::No, 1.0, a2.cview(), b2.cview(), 1.0, c2.view());
+  test::expect_matrix_near(c2.cview(), c0.cview(), 0.0, "k=0 gemm");
+}
+
+class TrmmParam : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(TrmmParam, MatchesDenseProduct) {
+  const auto [sc, uc, tc, dc] = GetParam();
+  const Side side = sc == 0 ? Side::Left : Side::Right;
+  const Uplo uplo = uc == 0 ? Uplo::Upper : Uplo::Lower;
+  const Trans trans = tc == 0 ? Trans::No : Trans::Yes;
+  const Diag diag = dc == 0 ? Diag::NonUnit : Diag::Unit;
+
+  const index_t m = 13, n = 9;
+  const index_t na = side == Side::Left ? m : n;
+  Matrix<double> a = random_matrix(na, na, 15);
+  for (index_t i = 0; i < na; ++i) a(i, i) += 2.0;
+  Matrix<double> b = random_matrix(m, n, 16);
+  Matrix<double> b0(b.cview());
+
+  // Dense triangle.
+  Matrix<double> tri(na, na);
+  for (index_t j = 0; j < na; ++j)
+    for (index_t i = 0; i < na; ++i) {
+      const bool in_tri = uplo == Uplo::Lower ? i >= j : i <= j;
+      if (in_tri) tri(i, j) = (i == j && diag == Diag::Unit) ? 1.0 : a(i, j);
+    }
+
+  Matrix<double> expected(m, n);
+  if (side == Side::Left) {
+    expected = test::ref_gemm(trans, Trans::No, 1.5, tri.cview(), b0.cview(), 0.0,
+                              expected.cview());
+  } else {
+    expected = test::ref_gemm(Trans::No, trans, 1.5, b0.cview(), tri.cview(), 0.0,
+                              expected.cview());
+  }
+  blas::trmm(side, uplo, trans, diag, 1.5, a.cview(), b.view());
+  test::expect_matrix_near(b.cview(), expected.cview(), 1e-11, "trmm");
+
+  // trsm must invert trmm (up to the alpha scaling).
+  blas::trsm(side, uplo, trans, diag, 1.0 / 1.5, a.cview(), b.view());
+  test::expect_matrix_near(b.cview(), b0.cview(), 1e-9, "trsm∘trmm");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCases, TrmmParam,
+                         ::testing::Combine(::testing::Values(0, 1), ::testing::Values(0, 1),
+                                            ::testing::Values(0, 1), ::testing::Values(0, 1)));
+
+TEST(Trmm, UnitDiagIgnoresStoredDiagonalAndAbove) {
+  // The Hessenberg code relies on trmm/Unit never reading the diagonal or
+  // the upper part of V (which alias H data in LAPACK storage).
+  Matrix<double> a(4, 4);
+  a.fill(std::nan(""));
+  for (index_t j = 0; j < 4; ++j)
+    for (index_t i = j + 1; i < 4; ++i) a(i, j) = 0.5;
+  Matrix<double> b = random_matrix(2, 4, 17);
+  Matrix<double> b0(b.cview());
+  // Right / Lower / Transpose / Unit — exactly the dgehrd panel-fix call.
+  EXPECT_NO_THROW(blas::trmm(Side::Right, Uplo::Lower, Trans::Yes, Diag::Unit, 1.0, a.cview(),
+                             b.view()));
+  EXPECT_FALSE(std::isnan(norm_fro(b.cview())));
+}
+
+TEST(Syrk, MatchesGemm) {
+  const index_t n = 11, k = 7;
+  Matrix<double> a = random_matrix(n, k, 18);
+  Matrix<double> c = random_symmetric_matrix(n, 19);
+  Matrix<double> full = test::ref_gemm(Trans::No, Trans::Yes, 2.0, a.cview(), a.cview(), 0.5,
+                                       c.cview());
+  Matrix<double> lower(c.cview());
+  blas::syrk(Uplo::Lower, Trans::No, 2.0, a.cview(), 0.5, lower.view());
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j; i < n; ++i) ASSERT_NEAR(lower(i, j), full(i, j), 1e-12);
+
+  Matrix<double> upper(c.cview());
+  blas::syrk(Uplo::Upper, Trans::Yes, 1.0,
+             MatrixView<const double>(random_matrix(k, n, 20).cview()), 0.0, upper.view());
+  // Result must be symmetric on its referenced triangle vs a direct gemm.
+  Matrix<double> at = random_matrix(k, n, 20);
+  Matrix<double> ref(n, n);
+  ref = test::ref_gemm(Trans::Yes, Trans::No, 1.0, at.cview(), at.cview(), 0.0, ref.cview());
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i <= j; ++i) ASSERT_NEAR(upper(i, j), ref(i, j), 1e-12);
+}
+
+}  // namespace
+}  // namespace fth

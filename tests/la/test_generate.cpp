@@ -1,0 +1,110 @@
+// Matrix generators: determinism, structure, documented properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/generate.hpp"
+#include "la/norms.hpp"
+
+namespace fth {
+namespace {
+
+TEST(Generate, Deterministic) {
+  Matrix<double> a = random_matrix(16, 16, 1234);
+  Matrix<double> b = random_matrix(16, 16, 1234);
+  EXPECT_EQ(max_abs_diff(a.cview(), b.cview()), 0.0);
+  Matrix<double> c = random_matrix(16, 16, 1235);
+  EXPECT_GT(max_abs_diff(a.cview(), c.cview()), 0.0);
+}
+
+TEST(Generate, UniformRange) {
+  Matrix<double> a = random_matrix(64, 64, 2);
+  EXPECT_LE(norm_max(a.cview()), 1.0);
+  // Mean should be near zero for a symmetric distribution.
+  double sum = 0.0;
+  for (index_t j = 0; j < 64; ++j)
+    for (index_t i = 0; i < 64; ++i) sum += a(i, j);
+  EXPECT_LT(std::abs(sum / (64.0 * 64.0)), 0.05);
+}
+
+TEST(Generate, NormalMoments) {
+  Matrix<double> a = random_normal_matrix(100, 100, 3);
+  double sum = 0.0, sq = 0.0;
+  for (index_t j = 0; j < 100; ++j)
+    for (index_t i = 0; i < 100; ++i) {
+      sum += a(i, j);
+      sq += a(i, j) * a(i, j);
+    }
+  const double mean = sum / 1e4;
+  const double var = sq / 1e4 - mean * mean;
+  EXPECT_LT(std::abs(mean), 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(Generate, SymmetricIsSymmetric) {
+  Matrix<double> a = random_symmetric_matrix(33, 4);
+  for (index_t j = 0; j < 33; ++j)
+    for (index_t i = 0; i < 33; ++i) ASSERT_EQ(a(i, j), a(j, i));
+}
+
+TEST(Generate, HessenbergStructure) {
+  Matrix<double> a = random_hessenberg_matrix(20, 5);
+  for (index_t j = 0; j < 20; ++j)
+    for (index_t i = j + 2; i < 20; ++i) ASSERT_EQ(a(i, j), 0.0);
+  // Subdiagonal itself should generally be nonzero.
+  EXPECT_NE(a(1, 0), 0.0);
+}
+
+TEST(Generate, DiagDominant) {
+  const index_t n = 25;
+  Matrix<double> a = random_diag_dominant_matrix(n, 6);
+  for (index_t i = 0; i < n; ++i) {
+    double off = 0.0;
+    for (index_t j = 0; j < n; ++j)
+      if (j != i) off += std::abs(a(i, j));
+    ASSERT_GT(std::abs(a(i, i)), off - 1.0);  // n + U(-1,1) vs sum of n−1 U(−1,1)
+  }
+}
+
+TEST(Generate, GradedSpansDecades) {
+  Matrix<double> a = random_graded_matrix(50, 7, 8.0);
+  double mn = 1e300, mx = 0.0;
+  for (index_t j = 0; j < 50; ++j)
+    for (index_t i = 0; i < 50; ++i) {
+      const double v = std::abs(a(i, j));
+      if (v > 0) {
+        mn = std::min(mn, v);
+        mx = std::max(mx, v);
+      }
+    }
+  EXPECT_GT(mx / mn, 1e5);  // spans many orders of magnitude
+}
+
+TEST(Generate, CompanionMatrixStructure) {
+  std::vector<double> roots = {2.0, -1.0, 0.5};
+  Matrix<double> c = companion_matrix(VectorView<const double>(roots.data(), 3));
+  ASSERT_EQ(c.rows(), 3);
+  EXPECT_EQ(c(1, 0), 1.0);
+  EXPECT_EQ(c(2, 1), 1.0);
+  EXPECT_EQ(c(2, 0), 0.0);
+  // p(x) = (x−2)(x+1)(x−0.5) = x³ −1.5x² −1.5x +1 ⇒ last col = −c0,−c1,−c2
+  EXPECT_NEAR(c(0, 2), -1.0, 1e-14);
+  EXPECT_NEAR(c(1, 2), 1.5, 1e-14);
+  EXPECT_NEAR(c(2, 2), 1.5, 1e-14);
+}
+
+TEST(Generate, CompanionCharacteristicAtRoot) {
+  // det(C − rI) = 0 for each root r; verify via p(r) reconstruction.
+  std::vector<double> roots = {1.0, 2.0, 3.0, 4.0};
+  Matrix<double> c = companion_matrix(VectorView<const double>(roots.data(), 4));
+  for (double r : roots) {
+    // p(r) from the stored coefficients: x⁴ + c3x³ + ... + c0 where the last
+    // column holds −c0..−c3.
+    double p = std::pow(r, 4);
+    for (index_t i = 0; i < 4; ++i) p -= c(i, 3) * std::pow(r, static_cast<double>(i));
+    EXPECT_NEAR(p, 0.0, 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace fth

@@ -1,0 +1,84 @@
+// Textual output helpers (heat maps back the Fig. 2 reproduction).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "la/generate.hpp"
+#include "la/io.hpp"
+
+namespace fth {
+namespace {
+
+TEST(PrintMatrix, TruncatesLargeMatrices) {
+  Matrix<double> a = random_matrix(30, 30, 1);
+  std::ostringstream os;
+  print_matrix(os, a.cview(), "A", 4);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("30x30"), std::string::npos);
+  EXPECT_NE(s.find("showing 4x4"), std::string::npos);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+TEST(AsciiHeatmap, ZeroMatrixAllDots) {
+  Matrix<double> a(8, 8);
+  const std::string map = ascii_heatmap(a.cview());
+  for (char ch : map) EXPECT_TRUE(ch == '.' || ch == '\n');
+}
+
+TEST(AsciiHeatmap, SingleHotElementVisibleAfterDownsampling) {
+  Matrix<double> a(200, 200);
+  a(137, 42) = 1.0;  // one polluted element, like Fig. 2(b)
+  const std::string map = ascii_heatmap(a.cview(), 50);
+  // Exactly one non-dot cell survives the max-pooled downsampling.
+  int hot = 0;
+  for (char ch : map)
+    if (ch != '.' && ch != '\n') ++hot;
+  EXPECT_EQ(hot, 1);
+}
+
+TEST(AsciiHeatmap, RowPollutionShowsAsRow) {
+  Matrix<double> a(64, 64);
+  for (index_t j = 20; j < 64; ++j) a(10, j) = 1.0;  // Fig. 2(c) pattern
+  const std::string map = ascii_heatmap(a.cview(), 64);
+  std::istringstream is(map);
+  std::string line;
+  int lines_with_hot = 0;
+  while (std::getline(is, line)) {
+    if (line.find_first_not_of('.') != std::string::npos) ++lines_with_hot;
+  }
+  EXPECT_EQ(lines_with_hot, 1);
+}
+
+TEST(AsciiHeatmap, MagnitudeBinsAreOrdered) {
+  Matrix<double> a(3, 3);
+  a(0, 0) = 1.0;
+  a(1, 1) = 1e-3;
+  a(2, 2) = 1e-8;
+  const std::string map = ascii_heatmap(a.cview(), 3);
+  // Row 0 should show the strongest character, row 2 the weakest non-dot.
+  std::istringstream is(map);
+  std::string l0, l1, l2;
+  std::getline(is, l0);
+  std::getline(is, l1);
+  std::getline(is, l2);
+  EXPECT_EQ(l0[0], '9');
+  EXPECT_GT(l0[0], l1[1]);
+  EXPECT_GT(l1[1], l2[2]);
+}
+
+TEST(AsciiHeatmap, EmptyMatrix) {
+  Matrix<double> a(0, 0);
+  EXPECT_EQ(ascii_heatmap(a.cview()), "(empty)\n");
+}
+
+TEST(MagnitudeHistogram, CountsAllElements) {
+  Matrix<double> a(4, 4);
+  a(0, 0) = 1.0;
+  a(1, 1) = 1e-4;
+  const std::string h = magnitude_histogram(a.cview());
+  EXPECT_NE(h.find("zero"), std::string::npos);
+  EXPECT_NE(h.find("14"), std::string::npos);  // 14 zero elements
+}
+
+}  // namespace
+}  // namespace fth

@@ -1,0 +1,154 @@
+// Matrix container and view semantics.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "la/matrix.hpp"
+
+namespace fth {
+namespace {
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix<double> a(3, 4);
+  EXPECT_EQ(a.rows(), 3);
+  EXPECT_EQ(a.cols(), 4);
+  for (index_t j = 0; j < 4; ++j)
+    for (index_t i = 0; i < 3; ++i) EXPECT_EQ(a(i, j), 0.0);
+}
+
+TEST(Matrix, EmptyMatrix) {
+  Matrix<double> a(0, 0);
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.ld(), 1);  // LAPACK convention: ld >= max(1, rows)
+  Matrix<double> b(0, 5);
+  EXPECT_TRUE(b.empty());
+  Matrix<double> c(5, 0);
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(Matrix, ColumnMajorLayout) {
+  Matrix<double> a(3, 2);
+  a(0, 0) = 1;
+  a(1, 0) = 2;
+  a(2, 0) = 3;
+  a(0, 1) = 4;
+  const double* d = a.data();
+  EXPECT_EQ(d[0], 1);
+  EXPECT_EQ(d[1], 2);
+  EXPECT_EQ(d[2], 3);
+  EXPECT_EQ(d[3], 4);  // first element of second column
+}
+
+TEST(Matrix, NegativeDimensionsThrow) {
+  EXPECT_THROW(Matrix<double>(-1, 2), precondition_error);
+  EXPECT_THROW(Matrix<double>(2, -1), precondition_error);
+}
+
+TEST(Matrix, FillAndAssign) {
+  Matrix<double> a(4, 4);
+  a.fill(2.5);
+  EXPECT_EQ(a(3, 3), 2.5);
+  Matrix<double> b(4, 4);
+  b.assign(a.cview());
+  EXPECT_EQ(b(0, 0), 2.5);
+  Matrix<double> wrong(3, 4);
+  EXPECT_THROW(wrong.assign(a.cview()), precondition_error);
+}
+
+TEST(Matrix, DeepCopyFromViewCompactsLd) {
+  Matrix<double> big(10, 10);
+  for (index_t j = 0; j < 10; ++j)
+    for (index_t i = 0; i < 10; ++i) big(i, j) = static_cast<double>(i + 10 * j);
+  Matrix<double> sub(big.block(2, 3, 4, 5));
+  EXPECT_EQ(sub.rows(), 4);
+  EXPECT_EQ(sub.cols(), 5);
+  EXPECT_EQ(sub.ld(), 4);
+  EXPECT_EQ(sub(0, 0), big(2, 3));
+  EXPECT_EQ(sub(3, 4), big(5, 7));
+}
+
+TEST(MatrixView, BlockBoundsChecked) {
+  Matrix<double> a(5, 5);
+  EXPECT_NO_THROW((void)a.block(0, 0, 5, 5));
+  EXPECT_NO_THROW((void)a.block(4, 4, 1, 1));
+  EXPECT_NO_THROW((void)a.block(5, 5, 0, 0));  // empty block at the end is legal
+  EXPECT_THROW((void)a.block(0, 0, 6, 5), precondition_error);
+  EXPECT_THROW((void)a.block(3, 3, 3, 1), precondition_error);
+  EXPECT_THROW((void)a.block(-1, 0, 1, 1), precondition_error);
+}
+
+TEST(MatrixView, BlockAliasesStorage) {
+  Matrix<double> a(6, 6);
+  auto blk = a.block(1, 2, 3, 3);
+  blk(0, 0) = 42.0;
+  EXPECT_EQ(a(1, 2), 42.0);
+  EXPECT_EQ(blk.ld(), a.ld());
+}
+
+TEST(MatrixView, RowColDiagViews) {
+  Matrix<double> a(4, 4);
+  for (index_t j = 0; j < 4; ++j)
+    for (index_t i = 0; i < 4; ++i) a(i, j) = static_cast<double>(10 * i + j);
+  auto r = a.view().row(2);
+  ASSERT_EQ(r.size(), 4);
+  EXPECT_EQ(r[1], 21.0);
+  EXPECT_EQ(r.inc(), a.ld());
+  auto c = a.view().col(3);
+  ASSERT_EQ(c.size(), 4);
+  EXPECT_EQ(c[2], 23.0);
+  EXPECT_EQ(c.inc(), 1);
+  auto d = a.view().diag();
+  ASSERT_EQ(d.size(), 4);
+  EXPECT_EQ(d[1], 11.0);
+  EXPECT_EQ(d[3], 33.0);
+}
+
+TEST(MatrixView, ConstConversion) {
+  Matrix<double> a(2, 2);
+  MatrixView<double> mv = a.view();
+  MatrixView<const double> cv = mv;  // implicit widening
+  EXPECT_EQ(cv.rows(), 2);
+  VectorView<double> v = mv.col(0);
+  VectorView<const double> cvv = v;
+  EXPECT_EQ(cvv.size(), 2);
+}
+
+TEST(VectorView, SubAndStride) {
+  std::vector<double> buf(10);
+  for (int i = 0; i < 10; ++i) buf[static_cast<std::size_t>(i)] = i;
+  VectorView<double> v(buf.data(), 10);
+  auto s = v.sub(3, 4);
+  ASSERT_EQ(s.size(), 4);
+  EXPECT_EQ(s[0], 3.0);
+  EXPECT_EQ(s[3], 6.0);
+  EXPECT_THROW((void)v.sub(8, 3), precondition_error);
+
+  VectorView<double> strided(buf.data(), 5, 2);
+  EXPECT_EQ(strided[2], 4.0);
+}
+
+TEST(FreeFunctions, CopyFillIdentity) {
+  Matrix<double> a(3, 3);
+  a.fill(7.0);
+  Matrix<double> b(3, 3);
+  copy(a.cview(), b.view());
+  EXPECT_EQ(b(2, 2), 7.0);
+  fill(b.view(), 0.5);
+  EXPECT_EQ(b(0, 1), 0.5);
+  set_identity(b.view());
+  EXPECT_EQ(b(1, 1), 1.0);
+  EXPECT_EQ(b(1, 0), 0.0);
+  Matrix<double> c(2, 3);
+  EXPECT_THROW(copy(a.cview(), c.view()), precondition_error);
+}
+
+TEST(FreeFunctions, CopyBetweenDifferentLd) {
+  Matrix<double> big(8, 8);
+  for (index_t j = 0; j < 8; ++j)
+    for (index_t i = 0; i < 8; ++i) big(i, j) = static_cast<double>(i * 8 + j);
+  Matrix<double> dst(3, 3);
+  copy(MatrixView<const double>(big.block(1, 1, 3, 3)), dst.view());
+  EXPECT_EQ(dst(2, 2), big(3, 3));
+}
+
+}  // namespace
+}  // namespace fth

@@ -1,0 +1,69 @@
+// Norms and matrix comparison helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/generate.hpp"
+#include "la/norms.hpp"
+
+namespace fth {
+namespace {
+
+TEST(Norms, HandComputedExample) {
+  Matrix<double> a(2, 3);
+  a(0, 0) = 1;  a(0, 1) = -2; a(0, 2) = 3;
+  a(1, 0) = -4; a(1, 1) = 5;  a(1, 2) = -6;
+  EXPECT_EQ(norm_one(a.cview()), 9.0);   // max column abs sum: |3|+|−6|
+  EXPECT_EQ(norm_inf(a.cview()), 15.0);  // max row abs sum: 4+5+6
+  EXPECT_EQ(norm_max(a.cview()), 6.0);
+  EXPECT_NEAR(norm_fro(a.cview()), std::sqrt(1.0 + 4 + 9 + 16 + 25 + 36), 1e-14);
+}
+
+TEST(Norms, EmptyAndZeroMatrices) {
+  Matrix<double> e(0, 0);
+  EXPECT_EQ(norm_one(e.cview()), 0.0);
+  EXPECT_EQ(norm_fro(e.cview()), 0.0);
+  Matrix<double> z(4, 4);
+  EXPECT_EQ(norm_inf(z.cview()), 0.0);
+  EXPECT_EQ(norm_fro(z.cview()), 0.0);
+}
+
+TEST(Norms, FrobeniusOverflowSafe) {
+  Matrix<double> a(2, 2);
+  a.fill(1e200);
+  EXPECT_NEAR(norm_fro(a.cview()) / 1e200, 2.0, 1e-12);
+}
+
+TEST(Norms, OneInfDualUnderTranspose) {
+  Matrix<double> a = random_matrix(13, 8, 3);
+  Matrix<double> at(8, 13);
+  for (index_t j = 0; j < 8; ++j)
+    for (index_t i = 0; i < 13; ++i) at(j, i) = a(i, j);
+  EXPECT_NEAR(norm_one(a.cview()), norm_inf(at.cview()), 1e-14);
+  EXPECT_NEAR(norm_inf(a.cview()), norm_one(at.cview()), 1e-14);
+}
+
+TEST(Diff, MaxAbsDiffAndCount) {
+  Matrix<double> a = random_matrix(10, 10, 4);
+  Matrix<double> b(a.cview());
+  EXPECT_EQ(max_abs_diff(a.cview(), b.cview()), 0.0);
+  EXPECT_EQ(count_diff(a.cview(), b.cview(), 0.0), 0);
+  b(3, 7) += 0.5;
+  b(9, 0) -= 2.0;
+  EXPECT_NEAR(max_abs_diff(a.cview(), b.cview()), 2.0, 1e-15);
+  EXPECT_EQ(count_diff(a.cview(), b.cview(), 0.1), 2);
+  EXPECT_EQ(count_diff(a.cview(), b.cview(), 1.0), 1);
+}
+
+TEST(Norms, TriangleInequalityProperty) {
+  Matrix<double> a = random_matrix(20, 20, 5);
+  Matrix<double> b = random_matrix(20, 20, 6);
+  Matrix<double> s(20, 20);
+  for (index_t j = 0; j < 20; ++j)
+    for (index_t i = 0; i < 20; ++i) s(i, j) = a(i, j) + b(i, j);
+  EXPECT_LE(norm_one(s.cview()), norm_one(a.cview()) + norm_one(b.cview()) + 1e-12);
+  EXPECT_LE(norm_fro(s.cview()), norm_fro(a.cview()) + norm_fro(b.cview()) + 1e-12);
+}
+
+}  // namespace
+}  // namespace fth

@@ -1,0 +1,145 @@
+// Bidiagonal reduction: structure, residuals, blocked/unblocked agreement,
+// and Q/P formation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/blas3.hpp"
+#include "la/generate.hpp"
+#include "la/norms.hpp"
+#include "lapack/gebrd.hpp"
+#include "lapack/verify.hpp"
+#include "test_utils.hpp"
+
+namespace fth {
+namespace {
+
+using test::cvec;
+using test::vec;
+
+struct GebrdOut {
+  Matrix<double> factored{0, 0};
+  std::vector<double> d, e, tauq, taup;
+};
+
+GebrdOut run_gebrd(const Matrix<double>& a0, index_t nb, index_t nx, bool blocked = true) {
+  const index_t n = a0.rows();
+  GebrdOut out{Matrix<double>(a0.cview()),
+               std::vector<double>(static_cast<std::size_t>(n)),
+               std::vector<double>(static_cast<std::size_t>(std::max<index_t>(n - 1, 0))),
+               std::vector<double>(static_cast<std::size_t>(n)),
+               std::vector<double>(static_cast<std::size_t>(std::max<index_t>(n - 1, 0)))};
+  if (blocked) {
+    lapack::gebrd(out.factored.view(), vec(out.d), vec(out.e), vec(out.tauq), vec(out.taup),
+                  {.nb = nb, .nx = nx});
+  } else {
+    lapack::gebd2(out.factored.view(), vec(out.d), vec(out.e), vec(out.tauq), vec(out.taup));
+  }
+  return out;
+}
+
+/// ‖A − Q·B·Pᵀ‖max / ‖A‖max.
+double reconstruction_residual(const Matrix<double>& a0, const GebrdOut& out) {
+  const index_t n = a0.rows();
+  Matrix<double> b = lapack::bidiagonal_from(cvec(out.d), cvec(out.e));
+  Matrix<double> q = lapack::orgbr_q(out.factored.cview(), cvec(out.tauq));
+  Matrix<double> p = lapack::orgbr_p(out.factored.cview(), cvec(out.taup));
+  Matrix<double> qb(n, n), rec(n, n);
+  blas::gemm(Trans::No, Trans::No, 1.0, q.cview(), b.cview(), 0.0, qb.view());
+  blas::gemm(Trans::No, Trans::Yes, 1.0, qb.cview(), p.cview(), 0.0, rec.view());
+  return max_abs_diff(rec.cview(), a0.cview()) / std::max(1.0, norm_max(a0.cview()));
+}
+
+TEST(Gebd2, TinySizes) {
+  for (index_t n : {1, 2, 3}) {
+    Matrix<double> a0 = random_matrix(n, n, 1);
+    GebrdOut out = run_gebrd(a0, 4, 4, /*blocked=*/false);
+    EXPECT_LT(reconstruction_residual(a0, out), 1e-13) << "n=" << n;
+  }
+}
+
+TEST(Gebd2, BidiagonalInputIsNearFixedPoint) {
+  // d values may flip sign (larfg normalization) but magnitudes persist.
+  const index_t n = 10;
+  Matrix<double> a(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    a(i, i) = static_cast<double>(i + 1);
+    if (i + 1 < n) a(i, i + 1) = 0.5;
+  }
+  GebrdOut out = run_gebrd(a, 4, 4, false);
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(std::abs(out.d[static_cast<std::size_t>(i)]), i + 1.0, 1e-12);
+}
+
+class GebrdParam : public ::testing::TestWithParam<std::tuple<index_t, index_t, index_t>> {};
+
+TEST_P(GebrdParam, ReconstructionAndOrthogonality) {
+  const auto [n, nb, nx] = GetParam();
+  Matrix<double> a0 = random_matrix(n, n, 13 + static_cast<std::uint64_t>(n));
+  GebrdOut out = run_gebrd(a0, nb, nx);
+
+  Matrix<double> b = lapack::bidiagonal_from(cvec(out.d), cvec(out.e));
+  EXPECT_TRUE(lapack::is_upper_bidiagonal(b.cview()));
+  Matrix<double> q = lapack::orgbr_q(out.factored.cview(), cvec(out.tauq));
+  Matrix<double> p = lapack::orgbr_p(out.factored.cview(), cvec(out.taup));
+  EXPECT_LT(lapack::orthogonality_residual(q.cview()), 1e-13);
+  EXPECT_LT(lapack::orthogonality_residual(p.cview()), 1e-13);
+  EXPECT_LT(reconstruction_residual(a0, out), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndBlocks, GebrdParam,
+    ::testing::Combine(::testing::Values<index_t>(8, 33, 96, 130),
+                       ::testing::Values<index_t>(4, 8, 32),
+                       ::testing::Values<index_t>(8, 48)));
+
+TEST(Gebrd, BlockedMatchesUnblocked) {
+  const index_t n = 70;
+  Matrix<double> a0 = random_matrix(n, n, 2);
+  GebrdOut unb = run_gebrd(a0, 8, 8, false);
+  GebrdOut blk = run_gebrd(a0, 16, 16);
+  EXPECT_LT(max_abs_diff(blk.factored.cview(), unb.factored.cview()), 1e-10);
+  for (std::size_t i = 0; i < unb.d.size(); ++i) ASSERT_NEAR(blk.d[i], unb.d[i], 1e-10);
+  for (std::size_t i = 0; i < unb.e.size(); ++i) ASSERT_NEAR(blk.e[i], unb.e[i], 1e-10);
+}
+
+TEST(Gebrd, SingularValuesPreserved) {
+  // Frobenius norm is invariant under the two-sided orthogonal transform:
+  // Σd² + Σe² = ‖A‖F².
+  const index_t n = 50;
+  Matrix<double> a0 = random_matrix(n, n, 3);
+  GebrdOut out = run_gebrd(a0, 8, 8);
+  double sum = 0.0;
+  for (double v : out.d) sum += v * v;
+  for (double v : out.e) sum += v * v;
+  const double fro = norm_fro(a0.cview());
+  EXPECT_NEAR(std::sqrt(sum), fro, 1e-11 * fro);
+}
+
+TEST(Gebrd, PreconditionChecks) {
+  Matrix<double> rect(4, 5);
+  std::vector<double> d(5), e(4), tq(5), tp(4);
+  EXPECT_THROW(lapack::gebrd(rect.view(), vec(d), vec(e), vec(tq), vec(tp)),
+               precondition_error);
+  Matrix<double> sq(6, 6);
+  std::vector<double> shortd(2);
+  EXPECT_THROW(lapack::gebrd(sq.view(), vec(shortd), vec(e), vec(tq), vec(tp)),
+               precondition_error);
+}
+
+TEST(BidiagonalFrom, Structure) {
+  std::vector<double> d = {1, 2, 3};
+  std::vector<double> e = {4, 5};
+  Matrix<double> b = lapack::bidiagonal_from(cvec(d), cvec(e));
+  EXPECT_EQ(b(0, 0), 1.0);
+  EXPECT_EQ(b(0, 1), 4.0);
+  EXPECT_EQ(b(1, 2), 5.0);
+  EXPECT_EQ(b(1, 0), 0.0);
+  EXPECT_TRUE(lapack::is_upper_bidiagonal(b.cview()));
+  b(2, 0) = 1e-9;
+  EXPECT_FALSE(lapack::is_upper_bidiagonal(b.cview()));
+  EXPECT_TRUE(lapack::is_upper_bidiagonal(b.cview(), 1e-8));
+}
+
+}  // namespace
+}  // namespace fth

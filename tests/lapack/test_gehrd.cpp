@@ -1,0 +1,211 @@
+// Hessenberg reduction drivers: structure, residuals, blocked/unblocked
+// agreement, and the lahr2 panel contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/blas3.hpp"
+#include "la/generate.hpp"
+#include "la/norms.hpp"
+#include "lapack/gehrd.hpp"
+#include "lapack/orghr.hpp"
+#include "lapack/verify.hpp"
+#include "test_utils.hpp"
+
+namespace fth {
+namespace {
+
+VectorView<double> tau_view(std::vector<double>& tau) {
+  return VectorView<double>(tau.data(), static_cast<index_t>(tau.size()));
+}
+VectorView<const double> tau_cview(const std::vector<double>& tau) {
+  return VectorView<const double>(tau.data(), static_cast<index_t>(tau.size()));
+}
+
+TEST(Gehd2, SmallKnownCase) {
+  // 3×3: one reflector; verify H = QᵀAQ directly.
+  Matrix<double> a(3, 3);
+  a(0, 0) = 4; a(0, 1) = 1; a(0, 2) = -2;
+  a(1, 0) = 1; a(1, 1) = 2; a(1, 2) = 0;
+  a(2, 0) = 3; a(2, 1) = 0; a(2, 2) = 1;
+  Matrix<double> orig(a.cview());
+  std::vector<double> tau(2);
+  lapack::gehd2(a.view(), tau_view(tau));
+  auto v = lapack::verify_reduction(orig.cview(), a.cview(), tau_cview(tau));
+  EXPECT_TRUE(v.hessenberg);
+  EXPECT_LT(v.residual, 1e-14);
+  EXPECT_LT(v.orthogonality, 1e-14);
+  // Subdiagonal magnitude: |beta| = ||(1,3)|| = sqrt(10).
+  EXPECT_NEAR(std::abs(a(1, 0)), std::sqrt(10.0), 1e-13);
+}
+
+TEST(Gehd2, TinySizes) {
+  for (index_t n : {0, 1, 2}) {
+    Matrix<double> a = random_matrix(n, n, 1);
+    Matrix<double> orig(a.cview());
+    std::vector<double> tau(static_cast<std::size_t>(std::max<index_t>(n - 1, 0)));
+    EXPECT_NO_THROW(lapack::gehd2(a.view(), tau_view(tau)));
+    // n ≤ 2 is already Hessenberg; the matrix must be unchanged.
+    EXPECT_EQ(max_abs_diff(a.cview(), orig.cview()), 0.0);
+  }
+}
+
+TEST(Gehd2, AlreadyHessenbergStaysClose) {
+  const index_t n = 24;
+  Matrix<double> a = random_hessenberg_matrix(n, 2);
+  Matrix<double> orig(a.cview());
+  std::vector<double> tau(static_cast<std::size_t>(n - 1));
+  lapack::gehd2(a.view(), tau_view(tau));
+  // All reflectors should be trivial: the matrix is untouched.
+  for (double t : tau) EXPECT_EQ(t, 0.0);
+  EXPECT_EQ(max_abs_diff(a.cview(), orig.cview()), 0.0);
+}
+
+class GehrdParam : public ::testing::TestWithParam<std::tuple<index_t, index_t, index_t>> {};
+
+TEST_P(GehrdParam, ResidualAndOrthogonality) {
+  const auto [n, nb, nx] = GetParam();
+  Matrix<double> a = random_matrix(n, n, 31 + static_cast<std::uint64_t>(n));
+  Matrix<double> orig(a.cview());
+  std::vector<double> tau(static_cast<std::size_t>(n - 1));
+  lapack::gehrd(a.view(), tau_view(tau), {.nb = nb, .nx = nx});
+  auto v = lapack::verify_reduction(orig.cview(), a.cview(), tau_cview(tau));
+  EXPECT_TRUE(v.hessenberg);
+  EXPECT_LT(v.residual, 1e-15);        // Table II territory
+  EXPECT_LT(v.orthogonality, 1e-14);   // Table III territory
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndBlocks, GehrdParam,
+    ::testing::Combine(::testing::Values<index_t>(10, 33, 96, 158, 200),
+                       ::testing::Values<index_t>(4, 8, 32),
+                       ::testing::Values<index_t>(8, 48)));
+
+TEST(Gehrd, BlockedMatchesUnblocked) {
+  const index_t n = 90;
+  Matrix<double> a = random_matrix(n, n, 5);
+  Matrix<double> b(a.cview());
+  std::vector<double> tau_a(static_cast<std::size_t>(n - 1));
+  std::vector<double> tau_b(static_cast<std::size_t>(n - 1));
+  lapack::gehd2(a.view(), tau_view(tau_a));
+  lapack::gehrd(b.view(), tau_view(tau_b), {.nb = 16, .nx = 16});
+  // Same reflectors up to roundoff (identical mathematical algorithm).
+  EXPECT_LT(max_abs_diff(a.cview(), b.cview()), 1e-10);
+  for (std::size_t i = 0; i < tau_a.size(); ++i)
+    EXPECT_NEAR(tau_a[i], tau_b[i], 1e-10);
+}
+
+TEST(Gehrd, SimilarityPreservesTrace) {
+  const index_t n = 77;
+  Matrix<double> a = random_matrix(n, n, 6);
+  double trace_before = 0.0;
+  for (index_t i = 0; i < n; ++i) trace_before += a(i, i);
+  std::vector<double> tau(static_cast<std::size_t>(n - 1));
+  lapack::gehrd(a.view(), tau_view(tau), {.nb = 8, .nx = 16});
+  Matrix<double> h = lapack::extract_hessenberg(a.cview());
+  double trace_after = 0.0;
+  for (index_t i = 0; i < n; ++i) trace_after += h(i, i);
+  EXPECT_NEAR(trace_before, trace_after, 1e-11 * std::max(1.0, std::abs(trace_before)));
+}
+
+TEST(Gehrd, SymmetricInputGivesTridiagonal) {
+  // QᵀAQ of a symmetric A is symmetric Hessenberg ⇒ tridiagonal.
+  const index_t n = 40;
+  Matrix<double> a = random_symmetric_matrix(n, 7);
+  std::vector<double> tau(static_cast<std::size_t>(n - 1));
+  lapack::gehrd(a.view(), tau_view(tau), {.nb = 8, .nx = 8});
+  Matrix<double> h = lapack::extract_hessenberg(a.cview());
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i + 1 < j; ++i) ASSERT_LT(std::abs(h(i, j)), 1e-12);
+}
+
+TEST(Gehrd, PreconditionChecks) {
+  Matrix<double> rect(4, 5);
+  std::vector<double> tau(4);
+  EXPECT_THROW(lapack::gehrd(rect.view(), tau_view(tau)), precondition_error);
+  Matrix<double> sq(6, 6);
+  std::vector<double> short_tau(2);
+  EXPECT_THROW(lapack::gehrd(sq.view(), tau_view(short_tau)), precondition_error);
+  EXPECT_THROW(lapack::gehd2(sq.view(), tau_view(short_tau)), precondition_error);
+}
+
+TEST(Lahr2, PanelContract) {
+  // After lahr2 on the first panel: Y = A·V·T over the full height, and the
+  // panel columns carry the partially-updated factorization.
+  const index_t n = 30, nb = 5;
+  Matrix<double> a = random_matrix(n, n, 8);
+  Matrix<double> orig(a.cview());
+  Matrix<double> t(nb, nb);
+  Matrix<double> y(n, nb);
+  std::vector<double> tau(nb);
+  lapack::lahr2(a.view(), 0, nb, t.view(), y.view(), tau_view(tau));
+
+  Matrix<double> v = lapack::materialize_v(a.cview(), 0, nb);
+  // Y must equal A_orig·[0; V]·T — wait: Y = A(:, k+1:n)·V·T with A the
+  // *current* matrix; for the first panel the columns k+1:n have received
+  // only in-panel updates for columns inside the panel. Verify instead the
+  // defining recurrence on the fully-updated trailing columns, using the
+  // identity Y·Vᵀ = A·(V·T·Vᵀ) applied to the original matrix for columns
+  // beyond the panel (those are untouched by lahr2):
+  // Y(:, :)·T⁻¹ = A(:, 1:n)·V  restricted to untouched columns of A.
+  // Simpler robust check: columns beyond the panel of A are untouched.
+  for (index_t j = nb + 1; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) ASSERT_EQ(a(i, j), orig(i, j));
+
+  // And the full gehrd continuation from this panel state must verify,
+  // which exercises the V/T/Y contract end to end (done in GehrdParam).
+  // Here additionally check T is upper triangular with tau on the diagonal.
+  for (index_t j = 0; j < nb; ++j) {
+    EXPECT_EQ(t(j, j), tau[static_cast<std::size_t>(j)]);
+    for (index_t i = j + 1; i < nb; ++i) ASSERT_EQ(t(i, j), 0.0);
+  }
+}
+
+TEST(Lahr2, YMatchesDefinitionOnFirstColumn) {
+  // For the first panel column (j = 0): Y(:, 0) = tau0·A(:, 1:n)·v0 with
+  // A the original matrix — verifiable exactly.
+  const index_t n = 20, nb = 3;
+  Matrix<double> a = random_matrix(n, n, 9);
+  Matrix<double> orig(a.cview());
+  Matrix<double> t(nb, nb), y(n, nb);
+  std::vector<double> tau(nb);
+  lapack::lahr2(a.view(), 0, nb, t.view(), y.view(), tau_view(tau));
+  Matrix<double> v = lapack::materialize_v(a.cview(), 0, nb);
+
+  std::vector<double> expect(static_cast<std::size_t>(n - 1), 0.0);
+  for (index_t i = 1; i < n; ++i) {
+    double acc = 0.0;
+    for (index_t c = 1; c < n; ++c) acc += orig(i, c) * v(c - 1, 0);
+    expect[static_cast<std::size_t>(i - 1)] = tau[0] * acc;
+  }
+  for (index_t i = 1; i < n; ++i)
+    ASSERT_NEAR(y(i, 0), expect[static_cast<std::size_t>(i - 1)], 1e-12);
+}
+
+TEST(MaterializeV, Layout) {
+  const index_t n = 12, nb = 4;
+  Matrix<double> a = random_matrix(n, n, 10);
+  std::vector<double> tau(static_cast<std::size_t>(n - 1));
+  lapack::gehrd(a.view(), tau_view(tau), {.nb = nb, .nx = nb});
+  Matrix<double> v = lapack::materialize_v(a.cview(), 0, nb);
+  ASSERT_EQ(v.rows(), n - 1);
+  ASSERT_EQ(v.cols(), nb);
+  for (index_t j = 0; j < nb; ++j) {
+    for (index_t i = 0; i < j; ++i) ASSERT_EQ(v(i, j), 0.0);  // zeros above
+    ASSERT_EQ(v(j, j), 1.0);                                  // unit diagonal
+    for (index_t i = j + 1; i < n - 1; ++i) ASSERT_EQ(v(i, j), a(i + 1, j));
+  }
+  EXPECT_THROW(lapack::materialize_v(a.cview(), n - 1, 2), precondition_error);
+}
+
+TEST(ExtractHessenberg, ZeroesBelowSubdiagonal) {
+  Matrix<double> a = random_matrix(10, 10, 11);
+  Matrix<double> h = lapack::extract_hessenberg(a.cview());
+  for (index_t j = 0; j < 10; ++j) {
+    for (index_t i = 0; i <= std::min<index_t>(j + 1, 9); ++i) ASSERT_EQ(h(i, j), a(i, j));
+    for (index_t i = j + 2; i < 10; ++i) ASSERT_EQ(h(i, j), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace fth

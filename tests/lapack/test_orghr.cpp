@@ -1,0 +1,118 @@
+// orghr: explicit Q formation and the verification helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/blas3.hpp"
+#include "la/generate.hpp"
+#include "la/norms.hpp"
+#include "lapack/gehrd.hpp"
+#include "lapack/orghr.hpp"
+#include "lapack/verify.hpp"
+#include "test_utils.hpp"
+
+namespace fth {
+namespace {
+
+VectorView<double> tau_view(std::vector<double>& tau) {
+  return VectorView<double>(tau.data(), static_cast<index_t>(tau.size()));
+}
+VectorView<const double> tau_cview(const std::vector<double>& tau) {
+  return VectorView<const double>(tau.data(), static_cast<index_t>(tau.size()));
+}
+
+class OrghrParam : public ::testing::TestWithParam<std::tuple<index_t, index_t>> {};
+
+TEST_P(OrghrParam, QIsOrthogonalAndReconstructs) {
+  const auto [n, nb] = GetParam();
+  Matrix<double> a = random_matrix(n, n, 3 * static_cast<std::uint64_t>(n) + 1);
+  Matrix<double> orig(a.cview());
+  std::vector<double> tau(static_cast<std::size_t>(std::max<index_t>(n - 1, 0)));
+  lapack::gehrd(a.view(), tau_view(tau), {.nb = 8, .nx = 16});
+
+  Matrix<double> q = lapack::orghr(a.cview(), tau_cview(tau), nb);
+  EXPECT_LT(lapack::orthogonality_residual(q.cview()), 1e-14);
+
+  Matrix<double> h = lapack::extract_hessenberg(a.cview());
+  EXPECT_LT(lapack::hessenberg_residual(orig.cview(), q.cview(), h.cview()), 1e-15);
+
+  // Q must have first row/column e1 (Q = diag(1, Q̃)).
+  if (n > 0) {
+    EXPECT_EQ(q(0, 0), 1.0);
+    for (index_t i = 1; i < n; ++i) {
+      EXPECT_EQ(q(i, 0), 0.0);
+      EXPECT_EQ(q(0, i), 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SizesAndBlocks, OrghrParam,
+                         ::testing::Combine(::testing::Values<index_t>(1, 2, 3, 17, 64, 129),
+                                            ::testing::Values<index_t>(1, 7, 32)));
+
+TEST(Orghr, MatchesAccumulatedReflectors) {
+  // Q from orghr must equal the product of explicitly-formed reflectors.
+  const index_t n = 16;
+  Matrix<double> a = random_matrix(n, n, 5);
+  std::vector<double> tau(static_cast<std::size_t>(n - 1));
+  lapack::gehd2(a.view(), tau_view(tau));
+
+  Matrix<double> q_ref(n, n);
+  set_identity(q_ref.view());
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (index_t i = 0; i + 2 < n; ++i) {
+    // Dense H(i) acting on rows/cols i+1..n−1.
+    Matrix<double> hi(n, n);
+    set_identity(hi.view());
+    v.assign(static_cast<std::size_t>(n), 0.0);
+    v[static_cast<std::size_t>(i + 1)] = 1.0;
+    for (index_t r = i + 2; r < n; ++r) v[static_cast<std::size_t>(r)] = a(r, i);
+    for (index_t c = 0; c < n; ++c)
+      for (index_t r = 0; r < n; ++r)
+        hi(r, c) -= tau[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(r)] *
+                    v[static_cast<std::size_t>(c)];
+    Matrix<double> tmp(n, n);
+    blas::gemm(Trans::No, Trans::No, 1.0, q_ref.cview(), hi.cview(), 0.0, tmp.view());
+    q_ref.assign(tmp.cview());
+  }
+  Matrix<double> q = lapack::orghr(a.cview(), tau_cview(tau), 4);
+  test::expect_matrix_near(q.cview(), q_ref.cview(), 1e-12, "orghr vs product");
+}
+
+TEST(Verify, ResidualDetectsCorruption) {
+  const index_t n = 30;
+  Matrix<double> a = random_matrix(n, n, 6);
+  Matrix<double> orig(a.cview());
+  std::vector<double> tau(static_cast<std::size_t>(n - 1));
+  lapack::gehrd(a.view(), tau_view(tau), {.nb = 4, .nx = 8});
+  auto good = lapack::verify_reduction(orig.cview(), a.cview(), tau_cview(tau));
+  EXPECT_LT(good.residual, 1e-15);
+
+  // Corrupt one H element: residual must jump by orders of magnitude.
+  Matrix<double> bad(a.cview());
+  bad(2, 5) += 1.0;
+  auto b = lapack::verify_reduction(orig.cview(), bad.cview(), tau_cview(tau));
+  EXPECT_GT(b.residual, 1e-5);
+}
+
+TEST(Verify, OrthogonalityDetectsCorruptedReflector) {
+  const index_t n = 30;
+  Matrix<double> a = random_matrix(n, n, 7);
+  std::vector<double> tau(static_cast<std::size_t>(n - 1));
+  lapack::gehrd(a.view(), tau_view(tau), {.nb = 4, .nx = 8});
+  Matrix<double> bad(a.cview());
+  bad(10, 2) += 1.0;  // a Householder-vector entry (below subdiagonal)
+  Matrix<double> q = lapack::orghr(bad.cview(), tau_cview(tau));
+  EXPECT_GT(lapack::orthogonality_residual(q.cview()), 1e-6);
+}
+
+TEST(Verify, IsUpperHessenberg) {
+  Matrix<double> h = random_hessenberg_matrix(12, 8);
+  EXPECT_TRUE(lapack::is_upper_hessenberg(h.cview()));
+  h(5, 2) = 1e-13;
+  EXPECT_FALSE(lapack::is_upper_hessenberg(h.cview()));
+  EXPECT_TRUE(lapack::is_upper_hessenberg(h.cview(), 1e-12));
+}
+
+}  // namespace
+}  // namespace fth

@@ -1,0 +1,256 @@
+// Symmetric tridiagonal reduction: structure, residuals, blocked/unblocked
+// agreement, and the new symmetric BLAS kernels it depends on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/blas2.hpp"
+#include "la/blas3.hpp"
+#include "la/generate.hpp"
+#include "la/norms.hpp"
+#include "lapack/orghr.hpp"
+#include "lapack/sytrd.hpp"
+#include "lapack/verify.hpp"
+#include "test_utils.hpp"
+
+namespace fth {
+namespace {
+
+using test::cvec;
+using test::vec;
+
+// ---- symv / syr2 / syr2k ----------------------------------------------------
+
+TEST(Symv, MatchesDenseGemv) {
+  const index_t n = 37;
+  Matrix<double> s = random_symmetric_matrix(n, 1);
+  std::vector<double> x(static_cast<std::size_t>(n)), y0(static_cast<std::size_t>(n));
+  Rng rng(2);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : y0) v = rng.uniform(-1.0, 1.0);
+
+  for (Uplo uplo : {Uplo::Lower, Uplo::Upper}) {
+    auto y = y0;
+    blas::symv(uplo, 1.5, s.cview(), cvec(x), -0.5, vec(y));
+    auto expected = y0;
+    blas::gemv(Trans::No, 1.5, s.cview(), cvec(x), -0.5, vec(expected));
+    for (std::size_t i = 0; i < y.size(); ++i) ASSERT_NEAR(y[i], expected[i], 1e-12);
+  }
+}
+
+TEST(Symv, OnlyReferencedTriangleRead) {
+  const index_t n = 8;
+  Matrix<double> s = random_symmetric_matrix(n, 3);
+  Matrix<double> poisoned(s.cview());
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < j; ++i) poisoned(i, j) = std::nan("");  // poison upper
+  std::vector<double> x(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> y(static_cast<std::size_t>(n), 0.0);
+  blas::symv(Uplo::Lower, 1.0, poisoned.cview(), cvec(x), 0.0, vec(y));
+  for (double v : y) EXPECT_FALSE(std::isnan(v));
+}
+
+TEST(Symv, OnesVectorGivesSymmetrizedRowSums) {
+  // The FT detection path: symv(Lower, A, e) must equal the row sums of
+  // the full symmetric matrix.
+  const index_t n = 25;
+  Matrix<double> s = random_symmetric_matrix(n, 4);
+  std::vector<double> ones(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> y(static_cast<std::size_t>(n), 0.0);
+  blas::symv(Uplo::Lower, 1.0, s.cview(), cvec(ones), 0.0, vec(y));
+  for (index_t r = 0; r < n; ++r) {
+    double expect = 0.0;
+    for (index_t c = 0; c < n; ++c) expect += s(r, c);
+    ASSERT_NEAR(y[static_cast<std::size_t>(r)], expect, 1e-12);
+  }
+}
+
+TEST(Syr2, MatchesDenseUpdate) {
+  const index_t n = 13;
+  Matrix<double> s = random_symmetric_matrix(n, 5);
+  Matrix<double> full(s.cview());
+  std::vector<double> x(static_cast<std::size_t>(n)), y(static_cast<std::size_t>(n));
+  Rng rng(6);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : y) v = rng.uniform(-1.0, 1.0);
+
+  blas::syr2(Uplo::Lower, -2.0, cvec(x), cvec(y), s.view());
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j; i < n; ++i)
+      ASSERT_NEAR(s(i, j),
+                  full(i, j) - 2.0 * (x[static_cast<std::size_t>(i)] * y[static_cast<std::size_t>(j)] +
+                                      y[static_cast<std::size_t>(i)] * x[static_cast<std::size_t>(j)]),
+                  1e-13);
+  // Upper triangle untouched.
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < j; ++i) ASSERT_EQ(s(i, j), full(i, j));
+}
+
+class Syr2kParam : public ::testing::TestWithParam<std::tuple<index_t, index_t, int>> {};
+
+TEST_P(Syr2kParam, MatchesGemmPair) {
+  const auto [n, k, uc] = GetParam();
+  const Uplo uplo = uc == 0 ? Uplo::Lower : Uplo::Upper;
+  Matrix<double> a = random_matrix(n, k, 7);
+  Matrix<double> b = random_matrix(n, k, 8);
+  Matrix<double> c = random_symmetric_matrix(n, 9);
+
+  Matrix<double> expected(c.cview());
+  blas::gemm(Trans::No, Trans::Yes, -1.0, a.cview(), b.cview(), 1.0, expected.view());
+  blas::gemm(Trans::No, Trans::Yes, -1.0, b.cview(), a.cview(), 1.0, expected.view());
+
+  Matrix<double> got(c.cview());
+  blas::syr2k(uplo, Trans::No, -1.0, a.cview(), b.cview(), 1.0, got.view());
+  for (index_t j = 0; j < n; ++j) {
+    const index_t ilo = uplo == Uplo::Lower ? j : 0;
+    const index_t ihi = uplo == Uplo::Lower ? n : j + 1;
+    for (index_t i = ilo; i < ihi; ++i)
+      ASSERT_NEAR(got(i, j), expected(i, j), 1e-11) << i << "," << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, Syr2kParam,
+                         ::testing::Combine(::testing::Values<index_t>(5, 31, 64, 130),
+                                            ::testing::Values<index_t>(1, 8, 32),
+                                            ::testing::Values(0, 1)));
+
+// ---- sytd2 / latrd / sytrd ---------------------------------------------------
+
+struct SytrdOut {
+  Matrix<double> factored{0, 0};
+  std::vector<double> d, e, tau;
+};
+
+SytrdOut run_sytrd(const Matrix<double>& a0, index_t nb, index_t nx) {
+  const index_t n = a0.rows();
+  SytrdOut out{Matrix<double>(a0.cview()),
+               std::vector<double>(static_cast<std::size_t>(n)),
+               std::vector<double>(static_cast<std::size_t>(n - 1)),
+               std::vector<double>(static_cast<std::size_t>(n - 1))};
+  lapack::sytrd(out.factored.view(), vec(out.d), vec(out.e), vec(out.tau),
+                {.nb = nb, .nx = nx});
+  return out;
+}
+
+void verify_sytrd(const Matrix<double>& a0, const SytrdOut& out, double tol_res = 1e-15,
+                  double tol_orth = 1e-14) {
+  const index_t n = a0.rows();
+  Matrix<double> t = lapack::tridiagonal_from(cvec(out.d), cvec(out.e));
+  EXPECT_TRUE(lapack::is_tridiagonal(t.cview()));
+  Matrix<double> q = lapack::orghr(out.factored.cview(), cvec(out.tau));
+  EXPECT_LT(lapack::orthogonality_residual(q.cview()), tol_orth);
+  EXPECT_LT(lapack::hessenberg_residual(a0.cview(), q.cview(), t.cview()), tol_res)
+      << "n=" << n;
+}
+
+TEST(Sytd2, SmallKnownMatrix) {
+  // [[4,1,2],[1,2,0],[2,0,3]]: one reflector zeroing A(2,0).
+  Matrix<double> a(3, 3);
+  a(0, 0) = 4; a(1, 0) = 1; a(2, 0) = 2;
+  a(0, 1) = 1; a(1, 1) = 2; a(2, 1) = 0;
+  a(0, 2) = 2; a(1, 2) = 0; a(2, 2) = 3;
+  Matrix<double> orig(a.cview());
+  std::vector<double> d(3), e(2), tau(2);
+  lapack::sytd2(a.view(), vec(d), vec(e), vec(tau));
+  EXPECT_NEAR(std::abs(e[0]), std::sqrt(5.0), 1e-13);  // ||(1,2)||
+  EXPECT_NEAR(d[0], 4.0, 1e-13);                       // A(0,0) untouched
+  // Trace preserved: d sums to the original trace.
+  EXPECT_NEAR(d[0] + d[1] + d[2], 9.0, 1e-12);
+}
+
+TEST(Sytd2, TinySizes) {
+  for (index_t n : {1, 2}) {
+    Matrix<double> a = random_symmetric_matrix(n, 1);
+    std::vector<double> d(static_cast<std::size_t>(n));
+    std::vector<double> e(static_cast<std::size_t>(std::max<index_t>(n - 1, 0)));
+    std::vector<double> tau(e.size());
+    EXPECT_NO_THROW(lapack::sytd2(a.view(), vec(d), vec(e), vec(tau)));
+    EXPECT_EQ(d[0], a(0, 0));
+  }
+}
+
+class SytrdParam : public ::testing::TestWithParam<std::tuple<index_t, index_t, index_t>> {};
+
+TEST_P(SytrdParam, ResidualAndOrthogonality) {
+  const auto [n, nb, nx] = GetParam();
+  Matrix<double> a0 = random_symmetric_matrix(n, 17 + static_cast<std::uint64_t>(n));
+  verify_sytrd(a0, run_sytrd(a0, nb, nx));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndBlocks, SytrdParam,
+    ::testing::Combine(::testing::Values<index_t>(10, 33, 96, 158),
+                       ::testing::Values<index_t>(4, 8, 32),
+                       ::testing::Values<index_t>(8, 48)));
+
+TEST(Sytrd, BlockedMatchesUnblocked) {
+  const index_t n = 80;
+  Matrix<double> a0 = random_symmetric_matrix(n, 2);
+  Matrix<double> a1(a0.cview());
+  std::vector<double> d1(static_cast<std::size_t>(n)), e1(static_cast<std::size_t>(n - 1)),
+      t1(static_cast<std::size_t>(n - 1));
+  lapack::sytd2(a1.view(), vec(d1), vec(e1), vec(t1));
+
+  SytrdOut out = run_sytrd(a0, 16, 16);
+  for (std::size_t i = 0; i < d1.size(); ++i) ASSERT_NEAR(out.d[i], d1[i], 1e-10);
+  for (std::size_t i = 0; i < e1.size(); ++i) ASSERT_NEAR(out.e[i], e1[i], 1e-10);
+  EXPECT_LT(max_abs_diff(out.factored.cview(), a1.cview()), 1e-10);
+}
+
+TEST(Sytrd, TracePreserved) {
+  const index_t n = 67;
+  Matrix<double> a0 = random_symmetric_matrix(n, 3);
+  double tr = 0.0;
+  for (index_t i = 0; i < n; ++i) tr += a0(i, i);
+  SytrdOut out = run_sytrd(a0, 8, 8);
+  double td = 0.0;
+  for (double v : out.d) td += v;
+  EXPECT_NEAR(td, tr, 1e-11 * std::max(1.0, std::abs(tr)));
+}
+
+TEST(Sytrd, DiagonalMatrixIsFixedPoint) {
+  const index_t n = 20;
+  Matrix<double> a(n, n);
+  for (index_t i = 0; i < n; ++i) a(i, i) = static_cast<double>(i + 1);
+  SytrdOut out = run_sytrd(a, 8, 8);
+  for (index_t i = 0; i < n; ++i) EXPECT_EQ(out.d[static_cast<std::size_t>(i)], i + 1.0);
+  for (double v : out.e) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Sytrd, UpperTriangleNeverTouched) {
+  const index_t n = 40;
+  Matrix<double> a0 = random_symmetric_matrix(n, 4);
+  Matrix<double> a(a0.cview());
+  std::vector<double> d(static_cast<std::size_t>(n)), e(static_cast<std::size_t>(n - 1)),
+      tau(static_cast<std::size_t>(n - 1));
+  lapack::sytrd(a.view(), vec(d), vec(e), vec(tau), {.nb = 8, .nx = 8});
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < j; ++i) ASSERT_EQ(a(i, j), a0(i, j));
+}
+
+TEST(Sytrd, PreconditionChecks) {
+  Matrix<double> rect(4, 5);
+  std::vector<double> d(5), e(4), tau(4);
+  EXPECT_THROW(lapack::sytrd(rect.view(), vec(d), vec(e), vec(tau)), precondition_error);
+  Matrix<double> sq(6, 6);
+  std::vector<double> shortd(2);
+  EXPECT_THROW(lapack::sytrd(sq.view(), vec(shortd), vec(e), vec(tau)), precondition_error);
+}
+
+TEST(TridiagonalFrom, BuildsSymmetricBand) {
+  std::vector<double> d = {1, 2, 3};
+  std::vector<double> e = {4, 5};
+  Matrix<double> t = lapack::tridiagonal_from(cvec(d), cvec(e));
+  EXPECT_EQ(t(0, 0), 1.0);
+  EXPECT_EQ(t(1, 0), 4.0);
+  EXPECT_EQ(t(0, 1), 4.0);
+  EXPECT_EQ(t(2, 1), 5.0);
+  EXPECT_EQ(t(2, 0), 0.0);
+  EXPECT_TRUE(lapack::is_tridiagonal(t.cview()));
+  t(2, 0) = 1e-8;
+  EXPECT_FALSE(lapack::is_tridiagonal(t.cview()));
+  EXPECT_TRUE(lapack::is_tridiagonal(t.cview(), 1e-7));
+}
+
+}  // namespace
+}  // namespace fth
