@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_gebrd.dir/bench_ext_gebrd.cpp.o"
+  "CMakeFiles/bench_ext_gebrd.dir/bench_ext_gebrd.cpp.o.d"
+  "bench_ext_gebrd"
+  "bench_ext_gebrd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_gebrd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_sytrd.dir/bench_ext_sytrd.cpp.o"
+  "CMakeFiles/bench_ext_sytrd.dir/bench_ext_sytrd.cpp.o.d"
+  "bench_ext_sytrd"
+  "bench_ext_sytrd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_sytrd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ext_sytrd.
+# This may be replaced when dependencies are built.

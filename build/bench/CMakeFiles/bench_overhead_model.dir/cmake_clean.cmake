@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overhead_model.dir/bench_overhead_model.cpp.o"
+  "CMakeFiles/bench_overhead_model.dir/bench_overhead_model.cpp.o.d"
+  "bench_overhead_model"
+  "bench_overhead_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overhead_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

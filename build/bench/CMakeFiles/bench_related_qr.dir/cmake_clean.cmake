@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_related_qr.dir/bench_related_qr.cpp.o"
+  "CMakeFiles/bench_related_qr.dir/bench_related_qr.cpp.o.d"
+  "bench_related_qr"
+  "bench_related_qr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_related_qr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_stability.dir/bench_table2_stability.cpp.o"
+  "CMakeFiles/bench_table2_stability.dir/bench_table2_stability.cpp.o.d"
+  "bench_table2_stability"
+  "bench_table2_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

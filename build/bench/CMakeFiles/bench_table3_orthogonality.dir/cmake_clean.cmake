@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_orthogonality.dir/bench_table3_orthogonality.cpp.o"
+  "CMakeFiles/bench_table3_orthogonality.dir/bench_table3_orthogonality.cpp.o.d"
+  "bench_table3_orthogonality"
+  "bench_table3_orthogonality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_orthogonality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

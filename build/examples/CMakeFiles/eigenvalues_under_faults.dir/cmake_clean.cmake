@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eigenvalues_under_faults.dir/eigenvalues_under_faults.cpp.o"
+  "CMakeFiles/eigenvalues_under_faults.dir/eigenvalues_under_faults.cpp.o.d"
+  "eigenvalues_under_faults"
+  "eigenvalues_under_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eigenvalues_under_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/singular_values_under_faults.dir/singular_values_under_faults.cpp.o"
+  "CMakeFiles/singular_values_under_faults.dir/singular_values_under_faults.cpp.o.d"
+  "singular_values_under_faults"
+  "singular_values_under_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/singular_values_under_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

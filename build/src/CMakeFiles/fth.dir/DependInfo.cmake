@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/flops.cpp" "src/CMakeFiles/fth.dir/common/flops.cpp.o" "gcc" "src/CMakeFiles/fth.dir/common/flops.cpp.o.d"
+  "/root/repo/src/common/options.cpp" "src/CMakeFiles/fth.dir/common/options.cpp.o" "gcc" "src/CMakeFiles/fth.dir/common/options.cpp.o.d"
+  "/root/repo/src/eigen/hseqr.cpp" "src/CMakeFiles/fth.dir/eigen/hseqr.cpp.o" "gcc" "src/CMakeFiles/fth.dir/eigen/hseqr.cpp.o.d"
+  "/root/repo/src/eigen/steqr.cpp" "src/CMakeFiles/fth.dir/eigen/steqr.cpp.o" "gcc" "src/CMakeFiles/fth.dir/eigen/steqr.cpp.o.d"
+  "/root/repo/src/fault/campaign.cpp" "src/CMakeFiles/fth.dir/fault/campaign.cpp.o" "gcc" "src/CMakeFiles/fth.dir/fault/campaign.cpp.o.d"
+  "/root/repo/src/fault/injector.cpp" "src/CMakeFiles/fth.dir/fault/injector.cpp.o" "gcc" "src/CMakeFiles/fth.dir/fault/injector.cpp.o.d"
+  "/root/repo/src/ft/checksum.cpp" "src/CMakeFiles/fth.dir/ft/checksum.cpp.o" "gcc" "src/CMakeFiles/fth.dir/ft/checksum.cpp.o.d"
+  "/root/repo/src/ft/ft_gebrd.cpp" "src/CMakeFiles/fth.dir/ft/ft_gebrd.cpp.o" "gcc" "src/CMakeFiles/fth.dir/ft/ft_gebrd.cpp.o.d"
+  "/root/repo/src/ft/ft_gehrd.cpp" "src/CMakeFiles/fth.dir/ft/ft_gehrd.cpp.o" "gcc" "src/CMakeFiles/fth.dir/ft/ft_gehrd.cpp.o.d"
+  "/root/repo/src/ft/ft_sytrd.cpp" "src/CMakeFiles/fth.dir/ft/ft_sytrd.cpp.o" "gcc" "src/CMakeFiles/fth.dir/ft/ft_sytrd.cpp.o.d"
+  "/root/repo/src/ft/ftqr_post.cpp" "src/CMakeFiles/fth.dir/ft/ftqr_post.cpp.o" "gcc" "src/CMakeFiles/fth.dir/ft/ftqr_post.cpp.o.d"
+  "/root/repo/src/ft/locate.cpp" "src/CMakeFiles/fth.dir/ft/locate.cpp.o" "gcc" "src/CMakeFiles/fth.dir/ft/locate.cpp.o.d"
+  "/root/repo/src/ft/q_protect.cpp" "src/CMakeFiles/fth.dir/ft/q_protect.cpp.o" "gcc" "src/CMakeFiles/fth.dir/ft/q_protect.cpp.o.d"
+  "/root/repo/src/ft/reverse.cpp" "src/CMakeFiles/fth.dir/ft/reverse.cpp.o" "gcc" "src/CMakeFiles/fth.dir/ft/reverse.cpp.o.d"
+  "/root/repo/src/hybrid/dev_blas.cpp" "src/CMakeFiles/fth.dir/hybrid/dev_blas.cpp.o" "gcc" "src/CMakeFiles/fth.dir/hybrid/dev_blas.cpp.o.d"
+  "/root/repo/src/hybrid/device.cpp" "src/CMakeFiles/fth.dir/hybrid/device.cpp.o" "gcc" "src/CMakeFiles/fth.dir/hybrid/device.cpp.o.d"
+  "/root/repo/src/hybrid/hybrid_gebrd.cpp" "src/CMakeFiles/fth.dir/hybrid/hybrid_gebrd.cpp.o" "gcc" "src/CMakeFiles/fth.dir/hybrid/hybrid_gebrd.cpp.o.d"
+  "/root/repo/src/hybrid/hybrid_gehrd.cpp" "src/CMakeFiles/fth.dir/hybrid/hybrid_gehrd.cpp.o" "gcc" "src/CMakeFiles/fth.dir/hybrid/hybrid_gehrd.cpp.o.d"
+  "/root/repo/src/hybrid/hybrid_sytrd.cpp" "src/CMakeFiles/fth.dir/hybrid/hybrid_sytrd.cpp.o" "gcc" "src/CMakeFiles/fth.dir/hybrid/hybrid_sytrd.cpp.o.d"
+  "/root/repo/src/hybrid/stream.cpp" "src/CMakeFiles/fth.dir/hybrid/stream.cpp.o" "gcc" "src/CMakeFiles/fth.dir/hybrid/stream.cpp.o.d"
+  "/root/repo/src/la/generate.cpp" "src/CMakeFiles/fth.dir/la/generate.cpp.o" "gcc" "src/CMakeFiles/fth.dir/la/generate.cpp.o.d"
+  "/root/repo/src/la/io.cpp" "src/CMakeFiles/fth.dir/la/io.cpp.o" "gcc" "src/CMakeFiles/fth.dir/la/io.cpp.o.d"
+  "/root/repo/src/lapack/gebrd.cpp" "src/CMakeFiles/fth.dir/lapack/gebrd.cpp.o" "gcc" "src/CMakeFiles/fth.dir/lapack/gebrd.cpp.o.d"
+  "/root/repo/src/lapack/gehrd.cpp" "src/CMakeFiles/fth.dir/lapack/gehrd.cpp.o" "gcc" "src/CMakeFiles/fth.dir/lapack/gehrd.cpp.o.d"
+  "/root/repo/src/lapack/geqrf.cpp" "src/CMakeFiles/fth.dir/lapack/geqrf.cpp.o" "gcc" "src/CMakeFiles/fth.dir/lapack/geqrf.cpp.o.d"
+  "/root/repo/src/lapack/orghr.cpp" "src/CMakeFiles/fth.dir/lapack/orghr.cpp.o" "gcc" "src/CMakeFiles/fth.dir/lapack/orghr.cpp.o.d"
+  "/root/repo/src/lapack/reflectors.cpp" "src/CMakeFiles/fth.dir/lapack/reflectors.cpp.o" "gcc" "src/CMakeFiles/fth.dir/lapack/reflectors.cpp.o.d"
+  "/root/repo/src/lapack/sytrd.cpp" "src/CMakeFiles/fth.dir/lapack/sytrd.cpp.o" "gcc" "src/CMakeFiles/fth.dir/lapack/sytrd.cpp.o.d"
+  "/root/repo/src/lapack/verify.cpp" "src/CMakeFiles/fth.dir/lapack/verify.cpp.o" "gcc" "src/CMakeFiles/fth.dir/lapack/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for fth.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eigen_test_hseqr.dir/eigen/test_hseqr.cpp.o"
+  "CMakeFiles/eigen_test_hseqr.dir/eigen/test_hseqr.cpp.o.d"
+  "eigen_test_hseqr"
+  "eigen_test_hseqr.pdb"
+  "eigen_test_hseqr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eigen_test_hseqr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for eigen_test_hseqr.
+# This may be replaced when dependencies are built.

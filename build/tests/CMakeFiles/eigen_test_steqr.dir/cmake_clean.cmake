@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eigen_test_steqr.dir/eigen/test_steqr.cpp.o"
+  "CMakeFiles/eigen_test_steqr.dir/eigen/test_steqr.cpp.o.d"
+  "eigen_test_steqr"
+  "eigen_test_steqr.pdb"
+  "eigen_test_steqr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eigen_test_steqr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

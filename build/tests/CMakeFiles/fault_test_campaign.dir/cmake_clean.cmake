@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_test_campaign.dir/fault/test_campaign.cpp.o"
+  "CMakeFiles/fault_test_campaign.dir/fault/test_campaign.cpp.o.d"
+  "fault_test_campaign"
+  "fault_test_campaign.pdb"
+  "fault_test_campaign[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_test_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

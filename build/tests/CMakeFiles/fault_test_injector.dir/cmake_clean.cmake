@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_test_injector.dir/fault/test_injector.cpp.o"
+  "CMakeFiles/fault_test_injector.dir/fault/test_injector.cpp.o.d"
+  "fault_test_injector"
+  "fault_test_injector.pdb"
+  "fault_test_injector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_test_injector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_test_checksum.dir/ft/test_checksum.cpp.o"
+  "CMakeFiles/ft_test_checksum.dir/ft/test_checksum.cpp.o.d"
+  "ft_test_checksum"
+  "ft_test_checksum.pdb"
+  "ft_test_checksum[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_test_checksum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

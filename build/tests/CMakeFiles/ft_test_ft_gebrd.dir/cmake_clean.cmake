@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_test_ft_gebrd.dir/ft/test_ft_gebrd.cpp.o"
+  "CMakeFiles/ft_test_ft_gebrd.dir/ft/test_ft_gebrd.cpp.o.d"
+  "ft_test_ft_gebrd"
+  "ft_test_ft_gebrd.pdb"
+  "ft_test_ft_gebrd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_test_ft_gebrd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

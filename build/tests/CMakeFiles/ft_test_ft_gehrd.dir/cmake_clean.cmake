@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_test_ft_gehrd.dir/ft/test_ft_gehrd.cpp.o"
+  "CMakeFiles/ft_test_ft_gehrd.dir/ft/test_ft_gehrd.cpp.o.d"
+  "ft_test_ft_gehrd"
+  "ft_test_ft_gehrd.pdb"
+  "ft_test_ft_gehrd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_test_ft_gehrd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_test_ft_sytrd.dir/ft/test_ft_sytrd.cpp.o"
+  "CMakeFiles/ft_test_ft_sytrd.dir/ft/test_ft_sytrd.cpp.o.d"
+  "ft_test_ft_sytrd"
+  "ft_test_ft_sytrd.pdb"
+  "ft_test_ft_sytrd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_test_ft_sytrd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_test_ftqr_post.dir/ft/test_ftqr_post.cpp.o"
+  "CMakeFiles/ft_test_ftqr_post.dir/ft/test_ftqr_post.cpp.o.d"
+  "ft_test_ftqr_post"
+  "ft_test_ftqr_post.pdb"
+  "ft_test_ftqr_post[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_test_ftqr_post.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

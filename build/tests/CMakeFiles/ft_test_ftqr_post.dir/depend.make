@@ -1,0 +1,2 @@
+# Empty dependencies file for ft_test_ftqr_post.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_test_locate.dir/ft/test_locate.cpp.o"
+  "CMakeFiles/ft_test_locate.dir/ft/test_locate.cpp.o.d"
+  "ft_test_locate"
+  "ft_test_locate.pdb"
+  "ft_test_locate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_test_locate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

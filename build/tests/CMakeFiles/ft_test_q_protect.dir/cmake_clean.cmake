@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_test_q_protect.dir/ft/test_q_protect.cpp.o"
+  "CMakeFiles/ft_test_q_protect.dir/ft/test_q_protect.cpp.o.d"
+  "ft_test_q_protect"
+  "ft_test_q_protect.pdb"
+  "ft_test_q_protect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_test_q_protect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_test_reverse.dir/ft/test_reverse.cpp.o"
+  "CMakeFiles/ft_test_reverse.dir/ft/test_reverse.cpp.o.d"
+  "ft_test_reverse"
+  "ft_test_reverse.pdb"
+  "ft_test_reverse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_test_reverse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_test_robustness.dir/ft/test_robustness.cpp.o"
+  "CMakeFiles/ft_test_robustness.dir/ft/test_robustness.cpp.o.d"
+  "ft_test_robustness"
+  "ft_test_robustness.pdb"
+  "ft_test_robustness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_test_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_test_stress.dir/ft/test_stress.cpp.o"
+  "CMakeFiles/ft_test_stress.dir/ft/test_stress.cpp.o.d"
+  "ft_test_stress"
+  "ft_test_stress.pdb"
+  "ft_test_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_test_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_test_device.dir/hybrid/test_device.cpp.o"
+  "CMakeFiles/hybrid_test_device.dir/hybrid/test_device.cpp.o.d"
+  "hybrid_test_device"
+  "hybrid_test_device.pdb"
+  "hybrid_test_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_test_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

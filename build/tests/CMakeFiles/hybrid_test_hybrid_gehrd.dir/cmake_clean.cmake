@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_test_hybrid_gehrd.dir/hybrid/test_hybrid_gehrd.cpp.o"
+  "CMakeFiles/hybrid_test_hybrid_gehrd.dir/hybrid/test_hybrid_gehrd.cpp.o.d"
+  "hybrid_test_hybrid_gehrd"
+  "hybrid_test_hybrid_gehrd.pdb"
+  "hybrid_test_hybrid_gehrd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_test_hybrid_gehrd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hybrid_test_hybrid_gehrd.
+# This may be replaced when dependencies are built.

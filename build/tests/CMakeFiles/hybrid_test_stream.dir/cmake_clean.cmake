@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_test_stream.dir/hybrid/test_stream.cpp.o"
+  "CMakeFiles/hybrid_test_stream.dir/hybrid/test_stream.cpp.o.d"
+  "hybrid_test_stream"
+  "hybrid_test_stream.pdb"
+  "hybrid_test_stream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_test_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_test_blas1.dir/la/test_blas1.cpp.o"
+  "CMakeFiles/la_test_blas1.dir/la/test_blas1.cpp.o.d"
+  "la_test_blas1"
+  "la_test_blas1.pdb"
+  "la_test_blas1[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_test_blas1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_test_blas2.dir/la/test_blas2.cpp.o"
+  "CMakeFiles/la_test_blas2.dir/la/test_blas2.cpp.o.d"
+  "la_test_blas2"
+  "la_test_blas2.pdb"
+  "la_test_blas2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_test_blas2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_test_blas3.dir/la/test_blas3.cpp.o"
+  "CMakeFiles/la_test_blas3.dir/la/test_blas3.cpp.o.d"
+  "la_test_blas3"
+  "la_test_blas3.pdb"
+  "la_test_blas3[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_test_blas3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

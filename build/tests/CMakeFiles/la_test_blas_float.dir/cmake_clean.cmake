@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_test_blas_float.dir/la/test_blas_float.cpp.o"
+  "CMakeFiles/la_test_blas_float.dir/la/test_blas_float.cpp.o.d"
+  "la_test_blas_float"
+  "la_test_blas_float.pdb"
+  "la_test_blas_float[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_test_blas_float.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

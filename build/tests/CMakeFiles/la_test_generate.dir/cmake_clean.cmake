@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_test_generate.dir/la/test_generate.cpp.o"
+  "CMakeFiles/la_test_generate.dir/la/test_generate.cpp.o.d"
+  "la_test_generate"
+  "la_test_generate.pdb"
+  "la_test_generate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_test_generate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_test_io.dir/la/test_io.cpp.o"
+  "CMakeFiles/la_test_io.dir/la/test_io.cpp.o.d"
+  "la_test_io"
+  "la_test_io.pdb"
+  "la_test_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_test_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_test_matrix.dir/la/test_matrix.cpp.o"
+  "CMakeFiles/la_test_matrix.dir/la/test_matrix.cpp.o.d"
+  "la_test_matrix"
+  "la_test_matrix.pdb"
+  "la_test_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_test_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

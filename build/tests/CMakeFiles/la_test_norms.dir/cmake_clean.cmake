@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_test_norms.dir/la/test_norms.cpp.o"
+  "CMakeFiles/la_test_norms.dir/la/test_norms.cpp.o.d"
+  "la_test_norms"
+  "la_test_norms.pdb"
+  "la_test_norms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_test_norms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapack_test_gebrd.dir/lapack/test_gebrd.cpp.o"
+  "CMakeFiles/lapack_test_gebrd.dir/lapack/test_gebrd.cpp.o.d"
+  "lapack_test_gebrd"
+  "lapack_test_gebrd.pdb"
+  "lapack_test_gebrd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapack_test_gebrd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

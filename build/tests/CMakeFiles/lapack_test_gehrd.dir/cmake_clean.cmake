@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapack_test_gehrd.dir/lapack/test_gehrd.cpp.o"
+  "CMakeFiles/lapack_test_gehrd.dir/lapack/test_gehrd.cpp.o.d"
+  "lapack_test_gehrd"
+  "lapack_test_gehrd.pdb"
+  "lapack_test_gehrd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapack_test_gehrd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapack_test_orghr.dir/lapack/test_orghr.cpp.o"
+  "CMakeFiles/lapack_test_orghr.dir/lapack/test_orghr.cpp.o.d"
+  "lapack_test_orghr"
+  "lapack_test_orghr.pdb"
+  "lapack_test_orghr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapack_test_orghr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapack_test_reflectors.dir/lapack/test_reflectors.cpp.o"
+  "CMakeFiles/lapack_test_reflectors.dir/lapack/test_reflectors.cpp.o.d"
+  "lapack_test_reflectors"
+  "lapack_test_reflectors.pdb"
+  "lapack_test_reflectors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapack_test_reflectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lapack_test_sytrd.dir/lapack/test_sytrd.cpp.o"
+  "CMakeFiles/lapack_test_sytrd.dir/lapack/test_sytrd.cpp.o.d"
+  "lapack_test_sytrd"
+  "lapack_test_sytrd.pdb"
+  "lapack_test_sytrd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lapack_test_sytrd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
