@@ -36,7 +36,7 @@ double run_ft(hybrid::Device& dev, const Matrix<double>& a0, const ft::FtOptions
   return st.total_seconds;
 }
 
-void threshold_sweep(index_t n, index_t nb) {
+void threshold_sweep(index_t n, index_t nb, bench::Report& report) {
   std::printf("\n-- (1) detection-threshold sweep (n = %lld, nb = %lld) --\n",
               static_cast<long long>(n), static_cast<long long>(nb));
   std::printf("%12s %14s %14s %22s\n", "factor", "threshold", "clean gap", "min detected |delta|");
@@ -73,12 +73,19 @@ void threshold_sweep(index_t n, index_t nb) {
     std::printf("%12.0e %14.3e %14.3e %22.1e%s\n", factor, clean_rep.threshold,
                 clean_rep.max_fault_free_gap, min_detected,
                 false_positive ? "   FALSE POSITIVES on clean data!" : "");
+    report.row()
+        .set("study", "threshold_sweep")
+        .set("factor", factor)
+        .set("threshold", clean_rep.threshold)
+        .set("clean_gap", clean_rep.max_fault_free_gap)
+        .set("min_detected_delta", min_detected)
+        .set("false_positive", false_positive ? 1 : 0);
   }
   std::printf("take-away: factors ~1e2–1e4 leave orders of magnitude between the\n");
   std::printf("round-off gap and the smallest meaningful fault — the paper's guidance.\n");
 }
 
-void nb_sweep(index_t n, int trials) {
+void nb_sweep(index_t n, int trials, bench::Report& report) {
   std::printf("\n-- (2) block-size sweep (n = %lld, min of %d) --\n",
               static_cast<long long>(n), trials);
   std::printf("%8s %12s %12s %12s\n", "nb", "base (s)", "FT (s)", "overhead %");
@@ -99,10 +106,16 @@ void nb_sweep(index_t n, int trials) {
     }
     std::printf("%8lld %12.4f %12.4f %12.2f\n", static_cast<long long>(nb), best_base,
                 best_ft, 100.0 * (best_ft - best_base) / best_base);
+    report.row()
+        .set("study", "nb_sweep")
+        .set("nb", nb)
+        .set("base_seconds", best_base)
+        .set("ft_seconds", best_ft)
+        .set("overhead_pct", 100.0 * (best_ft - best_base) / best_base);
   }
 }
 
-void q_protection_cost(index_t n, int trials) {
+void q_protection_cost(index_t n, int trials, bench::Report& report) {
   std::printf("\n-- (3) Q-protection cost (n = %lld, min of %d) --\n",
               static_cast<long long>(n), trials);
   hybrid::Device dev;
@@ -117,6 +130,11 @@ void q_protection_cost(index_t n, int trials) {
     off.protect_q = false;
     without_q = std::min(without_q, run_ft(dev, a0, off, nullptr, nullptr));
   }
+  report.row()
+      .set("study", "q_protection")
+      .set("with_q_seconds", with_q)
+      .set("without_q_seconds", without_q)
+      .set("marginal_cost_pct", 100.0 * (with_q - without_q) / without_q);
   std::printf("with Q protection   : %.4f s\n", with_q);
   std::printf("without Q protection: %.4f s\n", without_q);
   std::printf("marginal cost       : %.2f%%  (the paper hides this on the idle CPU;\n"
@@ -134,8 +152,12 @@ int main(int argc, char** argv) {
 
   bench::banner("Ablations — threshold factor, block size, Q protection",
                 "Section IV-C threshold guidance; Section IV-E overlap; design choices");
-  threshold_sweep(n, nb);
-  nb_sweep(n, trials);
-  q_protection_cost(n, trials);
+  bench::Report report(opt);
+  report.note("n", n);
+  report.note("nb", nb);
+  report.note("trials", trials);
+  threshold_sweep(n, nb, report);
+  nb_sweep(n, trials, report);
+  q_protection_cost(n, trials, report);
   return 0;
 }

@@ -2,13 +2,20 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <deque>
+#include <fstream>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/options.hpp"
 #include "common/timer.hpp"
 #include "la/matrix.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fth::bench {
 
@@ -46,6 +53,151 @@ inline double gehrd_gflops(index_t n, double seconds) {
   const double dn = static_cast<double>(n);
   return seconds > 0 ? 10.0 / 3.0 * dn * dn * dn / seconds / 1e9 : 0.0;
 }
+
+namespace detail {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+/// Strip directories (and a Windows-style extension, defensively) from the
+/// program path so reports are named after the binary.
+inline std::string program_basename(const std::string& program) {
+  const std::size_t slash = program.find_last_of('/');
+  std::string name = slash == std::string::npos ? program : program.substr(slash + 1);
+  const std::size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) name = name.substr(0, dot);
+  return name.empty() ? "bench" : name;
+}
+
+}  // namespace detail
+
+/// Structured JSON run report. Every bench owns one: rows mirror the
+/// printed tables, and the report footer embeds a snapshot of the global
+/// fth::obs metrics registry, so a run leaves a machine-readable
+/// `<bench-name>.json` next to bench_output.txt.
+///
+/// Shared flags handled here so every bench speaks the same vocabulary:
+///   --report <path>   override the JSON output path
+///   --trace [path]    record a Chrome/Perfetto trace of the whole run
+///                     (default path `<bench-name>_trace.json`)
+class Report {
+ public:
+  /// One measurement row: ordered key → JSON value. set() returns *this so
+  /// call sites can chain one row per table line.
+  class Row {
+   public:
+    template <class T, std::enable_if_t<std::is_arithmetic_v<T>, int> = 0>
+    Row& set(const std::string& key, T value) {
+      if constexpr (std::is_floating_point_v<T>) {
+        fields_.emplace_back(key, detail::json_number(static_cast<double>(value)));
+      } else {
+        fields_.emplace_back(key, std::to_string(static_cast<long long>(value)));
+      }
+      return *this;
+    }
+    Row& set(const std::string& key, const std::string& value) {
+      fields_.emplace_back(key, "\"" + detail::json_escape(value) + "\"");
+      return *this;
+    }
+    Row& set(const std::string& key, const char* value) {
+      return set(key, std::string(value));
+    }
+
+   private:
+    friend class Report;
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  Report(const Options& opt, const std::string& name)
+      : name_(name), path_(opt.get("report", name + ".json")) {
+    if (opt.has("trace")) {
+      obs::trace_start(opt.get("trace", name + "_trace.json"));
+      started_trace_ = true;
+    }
+  }
+  explicit Report(const Options& opt)
+      : Report(opt, detail::program_basename(opt.program())) {}
+
+  Report(const Report&) = delete;
+  Report& operator=(const Report&) = delete;
+
+  ~Report() {
+    write();
+    if (started_trace_) obs::trace_stop();
+  }
+
+  /// Top-level annotation (run parameters: nb, trials, seed, ...).
+  template <class T>
+  void note(const std::string& key, T value) {
+    notes_.set(key, value);
+  }
+
+  /// Append a measurement row. The reference stays valid for the lifetime
+  /// of the report (deque storage).
+  Row& row() { return rows_.emplace_back(); }
+
+  /// Write the report JSON (also called by the destructor; idempotent by
+  /// overwrite). Schema: {"bench", "notes", "rows", "metrics"}.
+  void write() const {
+    std::ofstream os(path_);
+    if (!os) return;
+    os << "{\n  \"bench\": \"" << detail::json_escape(name_) << "\",\n";
+    os << "  \"notes\": ";
+    write_fields(os, notes_);
+    os << ",\n  \"rows\": [";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      os << (i == 0 ? "\n    " : ",\n    ");
+      write_fields(os, rows_[i]);
+    }
+    os << (rows_.empty() ? "]" : "\n  ]") << ",\n  \"metrics\": "
+       << obs::Registry::global().to_json() << "\n}\n";
+  }
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  static void write_fields(std::ostream& os, const Row& row) {
+    os << "{";
+    for (std::size_t i = 0; i < row.fields_.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << "\"" << detail::json_escape(row.fields_[i].first)
+         << "\": " << row.fields_[i].second;
+    }
+    os << "}";
+  }
+
+  std::string name_;
+  std::string path_;
+  Row notes_;
+  std::deque<Row> rows_;
+  bool started_trace_ = false;
+};
 
 /// Standard bench banner.
 inline void banner(const char* title, const char* paper_ref) {

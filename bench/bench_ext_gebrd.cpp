@@ -68,6 +68,10 @@ int main(int argc, char** argv) {
   std::printf("nb = %lld, trials = %d (minimum). One fault in area 2 at B/M/E.\n",
               static_cast<long long>(nb), trials);
 
+  bench::Report report(opt);
+  report.note("nb", nb);
+  report.note("trials", trials);
+
   std::printf("\n%8s %12s %12s %12s %12s %14s\n", "N", "hybrid GF/s", "FT GF/s", "ovh0 (%)",
               "ovh k=4 (%)", "fault band (%)");
   const fault::Moment moments[3] = {fault::Moment::Beginning, fault::Moment::Middle,
@@ -100,6 +104,14 @@ int main(int argc, char** argv) {
     std::printf("%8lld %12.2f %12.2f %12.2f %12.2f %6.2f–%-6.2f\n",
                 static_cast<long long>(n), gebrd_gflops(n, best_base),
                 gebrd_gflops(n, best_ft), ovh(best_ft), ovh(best_ft4), lo, hi);
+    report.row()
+        .set("n", n)
+        .set("hybrid_gflops", gebrd_gflops(n, best_base))
+        .set("ft_gflops", gebrd_gflops(n, best_ft))
+        .set("overhead_nofault_pct", ovh(best_ft))
+        .set("overhead_detect_every4_pct", ovh(best_ft4))
+        .set("fault_band_lo_pct", lo)
+        .set("fault_band_hi_pct", hi);
   }
   std::printf("\nshape check: overhead decreasing with N; amortized detection cheaper.\n");
   return 0;

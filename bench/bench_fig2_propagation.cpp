@@ -38,6 +38,11 @@ int main(int argc, char** argv) {
 
   bench::banner("Fig. 2 — propagation pattern of errors at different locations",
                 "Figure 2 (a)-(d), Section IV-A");
+
+  bench::Report report(opt);
+  report.note("n", n);
+  report.note("nb", nb);
+  report.note("magnitude", magnitude);
   std::printf("N = %lld, nb = %lld, error injected after iteration 1, delta = %g*max|A|\n\n",
               static_cast<long long>(n), static_cast<long long>(nb), magnitude);
 
@@ -78,6 +83,14 @@ int main(int argc, char** argv) {
       for (index_t i = 0; i < n; ++i) diff(i, j) = a(i, j) - clean(i, j);
 
     const index_t polluted = count_diff(a.cview(), clean.cview(), 1e-10 * scale);
+    report.row()
+        .set("label", c.label)
+        .set("row", c.row)
+        .set("col", c.col)
+        .set("area", fault::to_string(fault::classify(c.row, c.col, nb)))
+        .set("polluted_elements", polluted)
+        .set("polluted_pct",
+             100.0 * static_cast<double>(polluted) / static_cast<double>(n * n));
     std::printf("---- %s ----\n", c.label);
     std::printf("injected at (%lld, %lld) [paper 1-based: (%lld, %lld)], area %s\n",
                 static_cast<long long>(c.row), static_cast<long long>(c.col),

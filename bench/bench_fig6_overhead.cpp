@@ -59,7 +59,7 @@ double run_ft(hybrid::Device& dev, const Matrix<double>& a0, index_t nb,
 }
 
 void run_panel(int area, const std::vector<index_t>& sizes, index_t nb, int trials,
-               std::uint64_t seed) {
+               std::uint64_t seed, bench::Report& report) {
   if (area == 0) {
     std::printf("\n-- no-fault overhead (blue line of every Fig. 6 panel) --\n");
   } else {
@@ -98,8 +98,17 @@ void run_panel(int area, const std::vector<index_t>& sizes, index_t nb, int tria
     const double hi = faults ? std::max({ovh(2), ovh(3), ovh(4)}) : 0.0;
     std::printf("%8lld %12.2f %12.2f %12.2f", static_cast<long long>(n),
                 bench::gehrd_gflops(n, best[0]), bench::gehrd_gflops(n, best[1]), ovh(1));
+    auto& row = report.row()
+                    .set("area", area)
+                    .set("n", n)
+                    .set("magma_gflops", bench::gehrd_gflops(n, best[0]))
+                    .set("ft_gflops", bench::gehrd_gflops(n, best[1]))
+                    .set("overhead_nofault_pct", ovh(1));
     if (faults) {
       std::printf(" %12.2f %12.2f %12.2f %6.2f–%-6.2f\n", ovh(2), ovh(3), ovh(4), lo, hi);
+      row.set("overhead_beginning_pct", ovh(2))
+          .set("overhead_middle_pct", ovh(3))
+          .set("overhead_end_pct", ovh(4));
     } else {
       std::printf(" %12s %12s %12s %14s\n", "-", "-", "-", "-");
     }
@@ -116,6 +125,11 @@ int main(int argc, char** argv) {
   const long area = opt.get_long("area", -1);
   const std::uint64_t seed = static_cast<std::uint64_t>(opt.get_long("seed", 2016));
 
+  bench::Report report(opt);
+  report.note("nb", nb);
+  report.note("trials", trials);
+  report.note("seed", static_cast<long long>(seed));
+
   bench::banner("Fig. 6 — overhead of FT-Hess vs fault-prone hybrid Hessenberg",
                 "Figure 6 (a)(b)(c), Section VI-A");
   std::printf("nb = %lld, trials = %d (minimum taken). Expected shape: overhead\n"
@@ -124,9 +138,9 @@ int main(int argc, char** argv) {
               static_cast<long long>(nb), trials);
 
   if (area >= 0) {
-    run_panel(static_cast<int>(area), sizes, nb, trials, seed);
+    run_panel(static_cast<int>(area), sizes, nb, trials, seed, report);
   } else {
-    for (int a = 1; a <= 3; ++a) run_panel(a, sizes, nb, trials, seed);
+    for (int a = 1; a <= 3; ++a) run_panel(a, sizes, nb, trials, seed, report);
   }
   return 0;
 }

@@ -26,6 +26,9 @@ int main(int argc, char** argv) {
   bench::banner("Section V — measured extra FLOPs of the fault-tolerant algorithm",
                 "Section V analysis (FLOP_extra = O(N^2), overhead -> 0)");
   std::printf("nb = %lld\n\n", static_cast<long long>(nb));
+
+  bench::Report report(opt);
+  report.note("nb", nb);
   std::printf("%8s %16s %16s %14s %12s %12s %14s\n", "N", "FLOP base", "FLOP FT", "extra",
               "extra/N^2", "overhead %", "model 10/3N^3");
 
@@ -58,6 +61,13 @@ int main(int argc, char** argv) {
                 static_cast<long long>(n), static_cast<unsigned long long>(base),
                 static_cast<unsigned long long>(ftc), extra, extra / (dn * dn), ratio,
                 10.0 / 3.0 * dn * dn * dn);
+    report.row()
+        .set("n", n)
+        .set("flop_base", base)
+        .set("flop_ft", ftc)
+        .set("flop_extra", extra)
+        .set("extra_per_n2", extra / (dn * dn))
+        .set("overhead_pct", ratio);
     if (prev_ratio >= 0.0 && ratio > prev_ratio * 1.05) decays = false;
     prev_ratio = ratio;
   }

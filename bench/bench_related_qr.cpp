@@ -88,6 +88,10 @@ int main(int argc, char** argv) {
   std::printf("n = %lld, nb = %lld. k faults, one per panel boundary, distinct columns.\n\n",
               static_cast<long long>(n), static_cast<long long>(nb));
 
+  bench::Report report(opt);
+  report.note("n", n);
+  report.note("nb", nb);
+
   hybrid::Device dev;
   Matrix<double> a0 = random_matrix(n, n, 2016);
   const double scale = norm_max(a0.cview());
@@ -106,6 +110,12 @@ int main(int argc, char** argv) {
     std::snprintf(hmsg, sizeof hmsg, "%s (det %d, corr %d)",
                   h_ok ? "RECOVERED" : "FAILED", hrep.detections, hrep.data_corrections);
     std::printf("%4d | %-34s | %-34s\n", k, qmsg, hmsg);
+    report.row()
+        .set("k", k)
+        .set("post_qr_recovered", qr_ok ? 1 : 0)
+        .set("online_hess_recovered", h_ok ? 1 : 0)
+        .set("online_detections", hrep.detections)
+        .set("online_data_corrections", hrep.data_corrections);
   }
 
   std::printf("\nexpected shape (the paper's Section I claim): the post-processing scheme\n");

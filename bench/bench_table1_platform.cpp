@@ -87,6 +87,10 @@ int main(int argc, char** argv) {
   bench::banner("Table I — test platform specification (+ measured rooflines)",
                 "Table I, Section VI");
 
+  bench::Report report(opt);
+  report.note("trials", reps);
+  report.note("cpu", cpu_model());
+
   hybrid::Device dev;
   std::printf("\n%-22s | %-34s | %-34s\n", "", "Host (this machine)", "Device (simulated)");
   std::printf("%-22s | %-34s | %-34s\n", "Processor model", cpu_model().c_str(),
@@ -101,12 +105,16 @@ int main(int argc, char** argv) {
   std::printf("\nMeasured kernel rooflines (median of %d):\n", reps);
   std::printf("%-28s %12s\n", "kernel", "GF/s or GB/s");
   for (index_t n : opt.get_sizes("sizes", {256, 512, 1024})) {
-    std::printf("  dgemm  n=%-17lld %12.2f GF/s\n", static_cast<long long>(n),
-                bench_gemm(n, reps));
+    const double gf = bench_gemm(n, reps);
+    std::printf("  dgemm  n=%-17lld %12.2f GF/s\n", static_cast<long long>(n), gf);
+    report.row().set("kernel", "dgemm").set("n", n).set("gflops", gf);
   }
-  std::printf("  dgemv  n=%-17d %12.2f GF/s\n", 1024, bench_gemv(1024, reps));
-  std::printf("  h2d    n=%-17d %12.2f GB/s (memcpy; cost model off)\n", 1024,
-              bench_transfer(dev, 1024, reps));
+  const double gemv_gf = bench_gemv(1024, reps);
+  const double h2d_gb = bench_transfer(dev, 1024, reps);
+  std::printf("  dgemv  n=%-17d %12.2f GF/s\n", 1024, gemv_gf);
+  std::printf("  h2d    n=%-17d %12.2f GB/s (memcpy; cost model off)\n", 1024, h2d_gb);
+  report.row().set("kernel", "dgemv").set("n", 1024).set("gflops", gemv_gf);
+  report.row().set("kernel", "h2d").set("n", 1024).set("gbps", h2d_gb);
 
   std::printf("\nFT storage overhead at n=4096, nb=32 (Section V: S = nb*N + 4N):\n");
   const double s = (32.0 * 4096 + 4 * 4096) * sizeof(double) / 1e6;

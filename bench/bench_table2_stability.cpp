@@ -23,10 +23,15 @@ int main(int argc, char** argv) {
   std::printf("nb = %lld; one soft error per run (B/M/E = beginning/middle/end)\n\n",
               static_cast<long long>(nb));
 
+  bench::Report report(opt);
+  report.note("nb", nb);
+  report.note("residual", "||A - Q H Q^T||_1 / (N ||A||_1)");
+
   std::vector<bench::ResidualRow> rows;
   for (const index_t n : sizes)
     rows.push_back(bench::run_residual_row(n, nb, seed + static_cast<std::uint64_t>(n)));
   bench::print_residual_table(rows, 0);
+  bench::report_residual_rows(report, rows, 0);
 
   std::printf("\nshape check: A1/A2 columns ~ MAGMA column; A3 column larger but bounded\n");
   return 0;

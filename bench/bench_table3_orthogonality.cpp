@@ -22,10 +22,15 @@ int main(int argc, char** argv) {
   std::printf("nb = %lld; one soft error per run (B/M/E = beginning/middle/end)\n\n",
               static_cast<long long>(nb));
 
+  bench::Report report(opt);
+  report.note("nb", nb);
+  report.note("residual", "||Q Q^T - I||_1 / N");
+
   std::vector<bench::ResidualRow> rows;
   for (const index_t n : sizes)
     rows.push_back(bench::run_residual_row(n, nb, seed + static_cast<std::uint64_t>(n)));
   bench::print_residual_table(rows, 1);
+  bench::report_residual_rows(report, rows, 1);
 
   std::printf("\nshape check: A1/A2 columns ~ MAGMA column; A3 larger but comparable\n");
   return 0;

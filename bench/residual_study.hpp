@@ -71,4 +71,26 @@ inline void print_residual_table(const std::vector<ResidualRow>& rows, int which
   }
 }
 
+/// Mirror one residual table into the JSON report (same `which` selector).
+inline void report_residual_rows(Report& report, const std::vector<ResidualRow>& rows,
+                                 int which) {
+  auto pick = [&](const lapack::VerifyResult& v) {
+    return which == 0 ? v.residual : v.orthogonality;
+  };
+  static const char* kMoments[3] = {"beginning", "middle", "end"};
+  for (const auto& r : rows) {
+    report.row().set("n", r.n).set("variant", "magma").set("value", pick(r.magma));
+    for (int area = 1; area <= 3; ++area) {
+      for (int m = 0; m < 3; ++m) {
+        report.row()
+            .set("n", r.n)
+            .set("variant", "ft")
+            .set("area", area)
+            .set("moment", kMoments[m])
+            .set("value", pick(r.ft[area - 1][m]));
+      }
+    }
+  }
+}
+
 }  // namespace fth::bench

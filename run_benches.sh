@@ -1,7 +1,9 @@
 #!/bin/sh
 # Regenerates every table/figure of the paper plus the extension and
 # ablation studies. Output: bench_output.txt (see EXPERIMENTS.md for the
-# paper-vs-measured comparison).
+# paper-vs-measured comparison) plus one bench_*.json structured report per
+# bench (measurement rows + fth::obs metrics snapshot; schema in
+# EXPERIMENTS.md).
 set -e
 cd "$(dirname "$0")"
 {
@@ -15,5 +17,6 @@ cd "$(dirname "$0")"
   ./build/bench/bench_ext_sytrd --sizes 128,256,384,512 --trials 3
   ./build/bench/bench_ext_gebrd --sizes 128,256,384 --trials 3
   ./build/bench/bench_related_qr --n 256
-  ./build/bench/bench_kernels --benchmark_min_time=0.2
+  ./build/bench/bench_kernels --benchmark_min_time=0.2 \
+      --benchmark_out=bench_kernels.json --benchmark_out_format=json
 } 2>&1

@@ -29,7 +29,14 @@ class WallTimer {
 /// Accumulates time over multiple start/stop intervals (e.g. per-phase cost).
 class Accumulator {
  public:
-  void start() noexcept { timer_.reset(); running_ = true; }
+  /// Begin an interval. A start() while an interval is already running
+  /// banks that interval first (as if stop() had been called), so no time
+  /// is silently discarded.
+  void start() noexcept {
+    if (running_) { total_ += timer_.seconds(); ++laps_; }
+    timer_.reset();
+    running_ = true;
+  }
   void stop() noexcept {
     if (running_) { total_ += timer_.seconds(); ++laps_; running_ = false; }
   }

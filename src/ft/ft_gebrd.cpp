@@ -13,6 +13,8 @@
 #include "hybrid/dev_blas.hpp"
 #include "la/blas1.hpp"
 #include "la/norms.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "lapack/gebrd.hpp"
 #include "lapack/gebrd_impl.hpp"
 
@@ -109,6 +111,7 @@ class FtGebrdDriver {
  private:
   void encode() {
     WallTimer t;
+    obs::TraceSpan span("ft", "encode", "n", static_cast<double>(n_));
     copy_h2d_async(s_, MatrixView<const double>(a_), d_a_.view());
     hybrid::fill_async(s_, d_ones_.view(), 1.0);
     auto ones = VectorView<const double>(d_ones_.view().col(0));
@@ -126,145 +129,155 @@ class FtGebrdDriver {
     // Column panel, row panel, and both checksum vectors to the host;
     // checkpoint all four (diskless checkpointing).
     WallTimer panel_timer;
-    // Column panel rows ≥ i only: the rows above hold finished host data
-    // (P's Householder storage and the superdiagonal) whose device copy is
-    // stale by design.
-    copy_d2h_async(s_, MatrixView<const double>(d_a_.block(i, i, n_ - i, ib)),
-                   a_.block(i, i, n_ - i, ib));
-    copy_d2h_async(s_, MatrixView<const double>(d_a_.block(i, i + ib, ib, tn)),
-                   a_.block(i, i + ib, ib, tn));
-    copy_d2h_async(s_, MatrixView<const double>(d_chkc_.view()), ckpt_chkc_.view());
-    copy_d2h(s_, MatrixView<const double>(d_chkr_.view()), ckpt_chkr_.view());
-    fth::copy(MatrixView<const double>(a_.block(i, i, n_ - i, ib)),
-              ckpt_cols_.block(0, 0, n_ - i, ib));
-    fth::copy(MatrixView<const double>(a_.block(i, i + ib, ib, tn)),
-              ckpt_rows_.block(0, 0, ib, tn));
+    {
+      obs::TraceSpan ckpt_span("ft", "checkpoint_save", "col", static_cast<double>(i));
+      // Column panel rows ≥ i only: the rows above hold finished host data
+      // (P's Householder storage and the superdiagonal) whose device copy is
+      // stale by design.
+      copy_d2h_async(s_, MatrixView<const double>(d_a_.block(i, i, n_ - i, ib)),
+                     a_.block(i, i, n_ - i, ib));
+      copy_d2h_async(s_, MatrixView<const double>(d_a_.block(i, i + ib, ib, tn)),
+                     a_.block(i, i + ib, ib, tn));
+      copy_d2h_async(s_, MatrixView<const double>(d_chkc_.view()), ckpt_chkc_.view());
+      copy_d2h(s_, MatrixView<const double>(d_chkr_.view()), ckpt_chkr_.view());
+      fth::copy(MatrixView<const double>(a_.block(i, i, n_ - i, ib)),
+                ckpt_cols_.block(0, 0, n_ - i, ib));
+      fth::copy(MatrixView<const double>(a_.block(i, i + ib, ib, tn)),
+                ckpt_rows_.block(0, 0, ib, tn));
+    }
 
-    lapack::detail::labrd_panel(
-        a_, i, ib, d_.sub(i, ib), e_.sub(i, ib), tauq_.sub(i, ib), taup_.sub(i, ib),
-        x_host_.view(), y_host_.view(),
-        [&](index_t j, VectorView<const double> v, VectorView<double> ycol) {
-          const index_t cj = i + j;
-          const index_t mlen = n_ - cj;
-          const index_t nlen = n_ - cj - 1;
-          copy_h2d_async(s_, MatrixView<const double>(v.data(), mlen, 1, mlen),
-                         d_vec_.block(0, 0, mlen, 1));
-          hybrid::gemv_async(s_, Trans::Yes, 1.0,
-                             MatrixView<const double>(d_a_.block(cj, cj + 1, mlen, nlen)),
-                             VectorView<const double>(d_vec_.view().col(0).sub(0, mlen)), 0.0,
-                             d_res_.view().col(0).sub(0, nlen));
-          copy_d2h(s_, MatrixView<const double>(d_res_.block(0, 0, nlen, 1)),
-                   MatrixView<double>(ycol.data(), nlen, 1, nlen));
-        },
-        [&](index_t j, VectorView<const double> u, VectorView<double> xcol) {
-          const index_t cj = i + j;
-          const index_t nlen = n_ - cj - 1;
-          Matrix<double> dense(nlen, 1);
-          for (index_t r = 0; r < nlen; ++r) dense(r, 0) = u[r];
-          copy_h2d_async(s_, dense.cview(), d_vec_.block(0, 0, nlen, 1));
-          hybrid::gemv_async(s_, Trans::No, 1.0,
-                             MatrixView<const double>(d_a_.block(cj + 1, cj + 1, nlen, nlen)),
-                             VectorView<const double>(d_vec_.view().col(0).sub(0, nlen)), 0.0,
-                             d_res_.view().col(0).sub(0, nlen));
-          copy_d2h(s_, MatrixView<const double>(d_res_.block(0, 0, nlen, 1)),
-                   MatrixView<double>(xcol.data(), nlen, 1, nlen));
-        });
+    {
+      obs::TraceSpan panel_span("hybrid", "panel", "col", static_cast<double>(i));
+      lapack::detail::labrd_panel(
+          a_, i, ib, d_.sub(i, ib), e_.sub(i, ib), tauq_.sub(i, ib), taup_.sub(i, ib),
+          x_host_.view(), y_host_.view(),
+          [&](index_t j, VectorView<const double> v, VectorView<double> ycol) {
+            const index_t cj = i + j;
+            const index_t mlen = n_ - cj;
+            const index_t nlen = n_ - cj - 1;
+            copy_h2d_async(s_, MatrixView<const double>(v.data(), mlen, 1, mlen),
+                           d_vec_.block(0, 0, mlen, 1));
+            hybrid::gemv_async(s_, Trans::Yes, 1.0,
+                               MatrixView<const double>(d_a_.block(cj, cj + 1, mlen, nlen)),
+                               VectorView<const double>(d_vec_.view().col(0).sub(0, mlen)), 0.0,
+                               d_res_.view().col(0).sub(0, nlen));
+            copy_d2h(s_, MatrixView<const double>(d_res_.block(0, 0, nlen, 1)),
+                     MatrixView<double>(ycol.data(), nlen, 1, nlen));
+          },
+          [&](index_t j, VectorView<const double> u, VectorView<double> xcol) {
+            const index_t cj = i + j;
+            const index_t nlen = n_ - cj - 1;
+            Matrix<double> dense(nlen, 1);
+            for (index_t r = 0; r < nlen; ++r) dense(r, 0) = u[r];
+            copy_h2d_async(s_, dense.cview(), d_vec_.block(0, 0, nlen, 1));
+            hybrid::gemv_async(s_, Trans::No, 1.0,
+                               MatrixView<const double>(d_a_.block(cj + 1, cj + 1, nlen, nlen)),
+                               VectorView<const double>(d_vec_.view().col(0).sub(0, nlen)), 0.0,
+                               d_res_.view().col(0).sub(0, nlen));
+            copy_d2h(s_, MatrixView<const double>(d_res_.block(0, 0, nlen, 1)),
+                     MatrixView<double>(xcol.data(), nlen, 1, nlen));
+          });
+    }
     st_.panel_seconds += panel_timer.seconds();
 
     WallTimer update_timer;
-    // Ship the four trailing-update operands.
-    copy_h2d_async(s_, MatrixView<const double>(a_.block(i + ib, i, tn, ib)),
-                   d_v2_.block(0, 0, tn, ib));
-    copy_h2d_async(s_, MatrixView<const double>(y_host_.block(i + ib, 0, tn, ib)),
-                   d_y2_.block(0, 0, tn, ib));
-    copy_h2d_async(s_, MatrixView<const double>(x_host_.block(i + ib, 0, tn, ib)),
-                   d_x2_.block(0, 0, tn, ib));
-    copy_h2d_async(s_, MatrixView<const double>(a_.block(i, i + ib, ib, tn)),
-                   d_u2_.block(0, 0, ib, tn));
-    // The U2 transfer must observe the panel's unit entries; the host may
-    // only restore the pivots after it completed (see the wait below).
-    const hybrid::Event operands_shipped = s_.record();
+    {
+      obs::TraceSpan update_span("hybrid", "update", "col", static_cast<double>(i));
+      // Ship the four trailing-update operands.
+      copy_h2d_async(s_, MatrixView<const double>(a_.block(i + ib, i, tn, ib)),
+                     d_v2_.block(0, 0, tn, ib));
+      copy_h2d_async(s_, MatrixView<const double>(y_host_.block(i + ib, 0, tn, ib)),
+                     d_y2_.block(0, 0, tn, ib));
+      copy_h2d_async(s_, MatrixView<const double>(x_host_.block(i + ib, 0, tn, ib)),
+                     d_x2_.block(0, 0, tn, ib));
+      copy_h2d_async(s_, MatrixView<const double>(a_.block(i, i + ib, ib, tn)),
+                     d_u2_.block(0, 0, ib, tn));
+      // The U2 transfer must observe the panel's unit entries; the host may
+      // only restore the pivots after it completed (see the wait below).
+      const hybrid::Event operands_shipped = s_.record();
 
-    auto v2 = MatrixView<const double>(d_v2_.block(0, 0, tn, ib));
-    auto y2 = MatrixView<const double>(d_y2_.block(0, 0, tn, ib));
-    auto x2 = MatrixView<const double>(d_x2_.block(0, 0, tn, ib));
-    auto u2 = MatrixView<const double>(d_u2_.block(0, 0, ib, tn));
-    auto ones_tn = VectorView<const double>(d_ones_.view().col(0).sub(0, tn));
-    auto ones_ib = VectorView<const double>(d_ones_.view().col(0).sub(0, ib));
+      auto v2 = MatrixView<const double>(d_v2_.block(0, 0, tn, ib));
+      auto y2 = MatrixView<const double>(d_y2_.block(0, 0, tn, ib));
+      auto x2 = MatrixView<const double>(d_x2_.block(0, 0, tn, ib));
+      auto u2 = MatrixView<const double>(d_u2_.block(0, 0, ib, tn));
+      auto ones_tn = VectorView<const double>(d_ones_.view().col(0).sub(0, tn));
+      auto ones_ib = VectorView<const double>(d_ones_.view().col(0).sub(0, ib));
 
-    // Aggregate sums for the checksum algebra.
-    hybrid::gemv_async(s_, Trans::Yes, 1.0, y2, ones_tn, 0.0, d_sums_.view().col(0).sub(0, ib));
-    hybrid::gemv_async(s_, Trans::No, 1.0, u2, ones_tn, 0.0, d_sums_.view().col(1).sub(0, ib));
-    hybrid::gemv_async(s_, Trans::Yes, 1.0, v2, ones_tn, 0.0, d_sums_.view().col(2).sub(0, ib));
-    hybrid::gemv_async(s_, Trans::Yes, 1.0, x2, ones_tn, 0.0, d_sums_.view().col(3).sub(0, ib));
-    // Old panel-column / panel-row contributions (the device's panel data
-    // is still pristine start-of-iteration state).
-    hybrid::gemv_async(s_, Trans::No, 1.0,
-                       MatrixView<const double>(d_a_.block(i + ib, i, tn, ib)), ones_ib, 0.0,
-                       d_pc_.view().col(0).sub(0, tn));
-    hybrid::gemv_async(s_, Trans::Yes, 1.0,
-                       MatrixView<const double>(d_a_.block(i, i + ib, ib, tn)), ones_ib, 0.0,
-                       d_pc_.view().col(1).sub(0, tn));
+      // Aggregate sums for the checksum algebra.
+      hybrid::gemv_async(s_, Trans::Yes, 1.0, y2, ones_tn, 0.0, d_sums_.view().col(0).sub(0, ib));
+      hybrid::gemv_async(s_, Trans::No, 1.0, u2, ones_tn, 0.0, d_sums_.view().col(1).sub(0, ib));
+      hybrid::gemv_async(s_, Trans::Yes, 1.0, v2, ones_tn, 0.0, d_sums_.view().col(2).sub(0, ib));
+      hybrid::gemv_async(s_, Trans::Yes, 1.0, x2, ones_tn, 0.0, d_sums_.view().col(3).sub(0, ib));
+      // Old panel-column / panel-row contributions (the device's panel data
+      // is still pristine start-of-iteration state).
+      hybrid::gemv_async(s_, Trans::No, 1.0,
+                         MatrixView<const double>(d_a_.block(i + ib, i, tn, ib)), ones_ib, 0.0,
+                         d_pc_.view().col(0).sub(0, tn));
+      hybrid::gemv_async(s_, Trans::Yes, 1.0,
+                         MatrixView<const double>(d_a_.block(i, i + ib, ib, tn)), ones_ib, 0.0,
+                         d_pc_.view().col(1).sub(0, tn));
 
-    // Maintained checksums, trailing segments:
-    //   Δchk_col = −pc_cols − V2·(Y2ᵀe) − X2·(U2·e)
-    //   Δchk_row = −pc_rows − Y2·(V2ᵀe) − U2ᵀ·(X2ᵀe)
-    auto sy2 = VectorView<const double>(d_sums_.view().col(0).sub(0, ib));
-    auto su2 = VectorView<const double>(d_sums_.view().col(1).sub(0, ib));
-    auto sv2 = VectorView<const double>(d_sums_.view().col(2).sub(0, ib));
-    auto sx2 = VectorView<const double>(d_sums_.view().col(3).sub(0, ib));
-    auto chkc_tail = d_chkc_.view().col(0).sub(i + ib, tn);
-    auto chkr_tail = d_chkr_.view().col(0).sub(i + ib, tn);
-    hybrid::axpy_async(s_, -1.0, VectorView<const double>(d_pc_.view().col(0).sub(0, tn)),
-                       chkc_tail);
-    hybrid::gemv_async(s_, Trans::No, -1.0, v2, sy2, 1.0, chkc_tail);
-    hybrid::gemv_async(s_, Trans::No, -1.0, x2, su2, 1.0, chkc_tail);
-    hybrid::axpy_async(s_, -1.0, VectorView<const double>(d_pc_.view().col(1).sub(0, tn)),
-                       chkr_tail);
-    hybrid::gemv_async(s_, Trans::No, -1.0, y2, sv2, 1.0, chkr_tail);
-    hybrid::gemv_async(s_, Trans::Yes, -1.0, u2, sx2, 1.0, chkr_tail);
+      // Maintained checksums, trailing segments:
+      //   Δchk_col = −pc_cols − V2·(Y2ᵀe) − X2·(U2·e)
+      //   Δchk_row = −pc_rows − Y2·(V2ᵀe) − U2ᵀ·(X2ᵀe)
+      auto sy2 = VectorView<const double>(d_sums_.view().col(0).sub(0, ib));
+      auto su2 = VectorView<const double>(d_sums_.view().col(1).sub(0, ib));
+      auto sv2 = VectorView<const double>(d_sums_.view().col(2).sub(0, ib));
+      auto sx2 = VectorView<const double>(d_sums_.view().col(3).sub(0, ib));
+      auto chkc_tail = d_chkc_.view().col(0).sub(i + ib, tn);
+      auto chkr_tail = d_chkr_.view().col(0).sub(i + ib, tn);
+      hybrid::axpy_async(s_, -1.0, VectorView<const double>(d_pc_.view().col(0).sub(0, tn)),
+                         chkc_tail);
+      hybrid::gemv_async(s_, Trans::No, -1.0, v2, sy2, 1.0, chkc_tail);
+      hybrid::gemv_async(s_, Trans::No, -1.0, x2, su2, 1.0, chkc_tail);
+      hybrid::axpy_async(s_, -1.0, VectorView<const double>(d_pc_.view().col(1).sub(0, tn)),
+                         chkr_tail);
+      hybrid::gemv_async(s_, Trans::No, -1.0, y2, sv2, 1.0, chkr_tail);
+      hybrid::gemv_async(s_, Trans::Yes, -1.0, u2, sx2, 1.0, chkr_tail);
 
-    // Trailing update: A −= V2·Y2ᵀ + X2·U2.
-    hybrid::gemm_async(s_, Trans::No, Trans::Yes, -1.0, v2, y2, 1.0,
-                       d_a_.block(i + ib, i + ib, tn, tn));
-    hybrid::gemm_async(s_, Trans::No, Trans::No, -1.0, x2, u2, 1.0,
-                       d_a_.block(i + ib, i + ib, tn, tn));
+      // Trailing update: A −= V2·Y2ᵀ + X2·U2.
+      hybrid::gemm_async(s_, Trans::No, Trans::Yes, -1.0, v2, y2, 1.0,
+                         d_a_.block(i + ib, i + ib, tn, tn));
+      hybrid::gemm_async(s_, Trans::No, Trans::No, -1.0, x2, u2, 1.0,
+                         d_a_.block(i + ib, i + ib, tn, tn));
 
-    // Host work overlapped with the device GEMMs: pivots back in place,
-    // Householder-protection panel sums, transposed mirror of the rows.
-    operands_shipped.wait();
-    for (index_t j = 0; j < ib; ++j) {
-      a_(i + j, i + j) = d_[i + j];
-      a_(i + j, i + j + 1) = e_[i + j];
-    }
-    if (opt_.protect_qp) {
-      WallTimer qt;
-      pending_v_ = qp_v_.compute_panel(MatrixView<const double>(a_), i, ib);
+      // Host work overlapped with the device GEMMs: pivots back in place,
+      // Householder-protection panel sums, transposed mirror of the rows.
+      operands_shipped.wait();
+      for (index_t j = 0; j < ib; ++j) {
+        a_(i + j, i + j) = d_[i + j];
+        a_(i + j, i + j + 1) = e_[i + j];
+      }
+      if (opt_.protect_qp) {
+        WallTimer qt;
+        obs::TraceSpan q_span("ft", "q_checksum");
+        pending_v_ = qp_v_.compute_panel(MatrixView<const double>(a_), i, ib);
+        for (index_t j = 0; j < ib; ++j) {
+          const index_t r = i + j;
+          for (index_t c = 0; c < n_; ++c) at_mirror_(c, r) = a_(r, c);
+        }
+        pending_u_ = qp_u_.compute_panel(at_mirror_.cview(), i, ib);
+        rep_.q_seconds += qt.seconds();
+      }
+
+      // Finished panel rows/columns of the checksums: re-encode from the
+      // final bidiagonal data, and account the new coupling entry
+      // e_last = B(i+ib−1, i+ib) in the trailing column i+ib.
+      Matrix<double> seg(ib, 2);
       for (index_t j = 0; j < ib; ++j) {
         const index_t r = i + j;
-        for (index_t c = 0; c < n_; ++c) at_mirror_(c, r) = a_(r, c);
+        seg(j, 0) = a_(r, r) + a_(r, r + 1);                       // row sum of B row r
+        seg(j, 1) = a_(r, r) + (r > 0 ? a_(r - 1, r) : 0.0);       // col sum of B col r
       }
-      pending_u_ = qp_u_.compute_panel(at_mirror_.cview(), i, ib);
-      rep_.q_seconds += qt.seconds();
+      copy_h2d_async(s_, MatrixView<const double>(seg.block(0, 0, ib, 1)),
+                     MatrixView<double>(&d_chkc_.view()(i, 0), ib, 1, d_chkc_.view().ld()));
+      copy_h2d_async(s_, MatrixView<const double>(seg.block(0, 1, ib, 1)),
+                     MatrixView<double>(&d_chkr_.view()(i, 0), ib, 1, d_chkr_.view().ld()));
+      const double e_last = e_[i + ib - 1];
+      auto cr = d_chkr_.view();
+      s_.enqueue([cr, i, ib, e_last]() mutable { cr(i + ib, 0) += e_last; });
+      s_.synchronize();
     }
-
-    // Finished panel rows/columns of the checksums: re-encode from the
-    // final bidiagonal data, and account the new coupling entry
-    // e_last = B(i+ib−1, i+ib) in the trailing column i+ib.
-    Matrix<double> seg(ib, 2);
-    for (index_t j = 0; j < ib; ++j) {
-      const index_t r = i + j;
-      seg(j, 0) = a_(r, r) + a_(r, r + 1);                       // row sum of B row r
-      seg(j, 1) = a_(r, r) + (r > 0 ? a_(r - 1, r) : 0.0);       // col sum of B col r
-    }
-    copy_h2d_async(s_, MatrixView<const double>(seg.block(0, 0, ib, 1)),
-                   MatrixView<double>(&d_chkc_.view()(i, 0), ib, 1, d_chkc_.view().ld()));
-    copy_h2d_async(s_, MatrixView<const double>(seg.block(0, 1, ib, 1)),
-                   MatrixView<double>(&d_chkr_.view()(i, 0), ib, 1, d_chkr_.view().ld()));
-    const double e_last = e_[i + ib - 1];
-    auto cr = d_chkr_.view();
-    s_.enqueue([cr, i, ib, e_last]() mutable { cr(i + ib, 0) += e_last; });
-    s_.synchronize();
     st_.update_seconds += update_timer.seconds();
   }
 
@@ -341,14 +354,22 @@ class FtGebrdDriver {
     for (;;) {
       WallTimer dt;
       worst_gap_ = 0.0;
-      const Discrepancy disc = compare(i + ib, nullptr);
+      Discrepancy disc;
+      {
+        obs::TraceSpan det_span("ft", "detect");
+        disc = compare(i + ib, nullptr);
+      }
       rep_.detect_seconds += dt.seconds();
+      obs::histogram_metric("ft.detect_gap").observe(worst_gap_);
+      obs::counter("ft.detect_gap", worst_gap_);
       if (disc.clean()) {
         rep_.max_fault_free_gap = std::max(rep_.max_fault_free_gap, worst_gap_);
         return;
       }
 
       ++rep_.detections;
+      obs::instant("ft", "detection");
+      obs::counter_metric("ft.detections").add();
       if (++attempts > opt_.max_retries) {
         std::ostringstream os;
         os << "ft_gebrd: iteration " << boundary << " still inconsistent after "
@@ -360,18 +381,35 @@ class FtGebrdDriver {
       FtEvent ev;
       ev.boundary = boundary;
       ev.gap = worst_gap_;
-      rollback(i, ib);
+      {
+        obs::TraceSpan rb_span("ft", "rollback", "col", static_cast<double>(i));
+        rollback(i, ib);
+      }
       ++rep_.rollbacks;
+      obs::counter_metric("ft.rollbacks").add();
 
-      FreshSums fresh;
-      const Discrepancy pre = compare(i, &fresh);
-      const LocateResult res = locate(pre, fresh, threshold_);
-      apply_corrections(res, i, ev);
+      {
+        obs::TraceSpan loc_span("ft", "locate");
+        FreshSums fresh;
+        const Discrepancy pre = compare(i, &fresh);
+        const LocateResult res = locate(pre, fresh, threshold_);
+        ev.checkpoint_only = res.data_errors.empty() && res.chk_col_errors.empty() &&
+                             res.chk_row_errors.empty();
+        apply_corrections(res, i, ev);
+      }
       rep_.data_corrections += ev.data_corrections;
       rep_.checksum_corrections += ev.checksum_corrections;
+      obs::counter_metric("ft.data_corrections").add(static_cast<std::uint64_t>(ev.data_corrections));
+      obs::counter_metric("ft.checksum_corrections")
+          .add(static_cast<std::uint64_t>(ev.checksum_corrections));
+      if (ev.checkpoint_only) obs::counter_metric("ft.checkpoint_only_recoveries").add();
       rep_.events.push_back(std::move(ev));
 
-      run_iteration(i, ib);
+      {
+        obs::TraceSpan redo_span("ft", "reexec", "col", static_cast<double>(i));
+        obs::counter_metric("ft.reexecutions").add();
+        run_iteration(i, ib);
+      }
       rep_.recovery_seconds += rt.seconds();
     }
   }
@@ -388,6 +426,7 @@ class FtGebrdDriver {
                        MatrixView<const double>(d_u2_.block(0, 0, ib, tn)), 1.0,
                        d_a_.block(i + ib, i + ib, tn, tn));
     // Restore the checksum vectors and both host panels.
+    obs::TraceSpan restore_span("ft", "checkpoint_restore", "col", static_cast<double>(i));
     copy_h2d_async(s_, ckpt_chkc_.cview(), d_chkc_.view());
     copy_h2d(s_, ckpt_chkr_.cview(), d_chkr_.view());
     fth::copy(MatrixView<const double>(ckpt_cols_.block(0, 0, n_ - i, ib)),
@@ -445,6 +484,7 @@ class FtGebrdDriver {
     if (opt_.final_sweep) {
       rep_.final_sweep_ran = true;
       WallTimer t;
+      obs::TraceSpan sweep_span("ft", "final_sweep");
       FreshSums fresh;
       const Discrepancy disc = compare(n_ - 1, &fresh);
       if (!disc.clean()) {
@@ -454,6 +494,10 @@ class FtGebrdDriver {
         rep_.final_sweep_corrections = ev.data_corrections + ev.checksum_corrections;
         rep_.data_corrections += ev.data_corrections;
         rep_.checksum_corrections += ev.checksum_corrections;
+        obs::counter_metric("ft.data_corrections")
+            .add(static_cast<std::uint64_t>(ev.data_corrections));
+        obs::counter_metric("ft.checksum_corrections")
+            .add(static_cast<std::uint64_t>(ev.checksum_corrections));
         copy_d2h(s_, MatrixView<const double>(d_a_.block(n_ - 1, n_ - 1, 1, 1)),
                  a_.block(n_ - 1, n_ - 1, 1, 1));
       }
@@ -462,6 +506,7 @@ class FtGebrdDriver {
 
     if (opt_.protect_qp) {
       WallTimer qt;
+      obs::TraceSpan q_span("ft", "q_verify");
       const double q_tol =
           1e3 * eps<double>() * static_cast<double>(n_) * std::max(1.0, scale_max_);
       const auto vres = qp_v_.verify_and_correct(a_, n_ - 1, q_tol);
@@ -478,6 +523,8 @@ class FtGebrdDriver {
           for (index_t c = r + 2; c < n_; ++c) a_(r, c) = at_mirror_(c, r);
       }
       rep_.q_corrections += ures.corrections;
+      obs::counter_metric("ft.q_corrections")
+          .add(static_cast<std::uint64_t>(vres.corrections + ures.corrections));
       rep_.q_seconds += qt.seconds();
     }
 
@@ -552,9 +599,9 @@ void ft_gebrd(hybrid::Device& dev, MatrixView<double> a, VectorView<double> d,
   rep = {};
   st = {};
 
+  obs::TraceSpan run_span("ft", "gebrd", "n", static_cast<double>(n));
   WallTimer total;
-  const std::uint64_t h2d0 = dev.h2d_bytes();
-  const std::uint64_t d2h0 = dev.d2h_bytes();
+  const hybrid::detail::StatsScope scope(dev);
 
   if (n > 2) {
     FtGebrdDriver driver(dev, a, d, e, tauq, taup, opt, injector, rep, st);
@@ -565,8 +612,7 @@ void ft_gebrd(hybrid::Device& dev, MatrixView<double> a, VectorView<double> d,
   }
 
   st.total_seconds = total.seconds();
-  st.h2d_bytes = dev.h2d_bytes() - h2d0;
-  st.d2h_bytes = dev.d2h_bytes() - d2h0;
+  scope.finish(st);
 }
 
 }  // namespace fth::ft

@@ -15,6 +15,8 @@
 #include "la/blas2.hpp"
 #include "la/blas3.hpp"
 #include "la/norms.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "lapack/lahr2_impl.hpp"
 #include "lapack/orghr.hpp"
 #include "lapack/reflectors.hpp"
@@ -95,6 +97,7 @@ class FtDriver {
   // -- Algorithm 3 line 2: encode the matrix on the device. ----------------
   void encode() {
     WallTimer t;
+    obs::TraceSpan span("ft", "encode", "n", static_cast<double>(n_));
     copy_h2d_async(s_, MatrixView<const double>(a_), d_e_.block(0, 0, n_, n_));
     hybrid::fill_async(s_, d_ones_.view(), 1.0);
     auto ones_n = VectorView<const double>(d_ones_.view().col(0).data(), n_, 1);
@@ -125,127 +128,137 @@ class FtDriver {
     // those entries are re-encoded at the end of the iteration (see below)
     // and must be restorable on rollback.
     WallTimer panel_timer;
-    copy_d2h_async(s_, MatrixView<const double>(d_e_.block(0, i, n_, ib)),
-                   a_.block(0, i, n_, ib));
-    copy_d2h(s_, MatrixView<const double>(d_e_.block(n_, i, 1, ib)),
-             ckpt_chkrow_.block(0, 0, 1, ib));
-    fth::copy(MatrixView<const double>(a_.block(0, i, n_, ib)), ckpt_.block(0, 0, n_, ib));
+    {
+      obs::TraceSpan ckpt_span("ft", "checkpoint_save", "col", static_cast<double>(i));
+      copy_d2h_async(s_, MatrixView<const double>(d_e_.block(0, i, n_, ib)),
+                     a_.block(0, i, n_, ib));
+      copy_d2h(s_, MatrixView<const double>(d_e_.block(n_, i, 1, ib)),
+               ckpt_chkrow_.block(0, 0, 1, ib));
+      fth::copy(MatrixView<const double>(a_.block(0, i, n_, ib)), ckpt_.block(0, 0, n_, ib));
+    }
 
     // Line 5: host panel factorization; big Y products on the device.
-    lapack::detail::lahr2_panel(
-        a_, i, ib, t_host_.view(), y_host_.view(), tau_.sub(i, ib),
-        [&](index_t j, VectorView<const double> vj, VectorView<double> y_col) {
-          const index_t cj = i + j;
-          auto d_vcol = d_vce_.block(j, j, vj.size(), 1);
-          copy_h2d_async(s_, MatrixView<const double>(vj.data(), vj.size(), 1, vj.size()),
-                         d_vcol);
-          hybrid::gemv_async(
-              s_, Trans::No, 1.0,
-              MatrixView<const double>(d_e_.block(i + 1, cj + 1, vrows, n_ - cj - 1)),
-              VectorView<const double>(d_vcol.col(0)), 0.0,
-              d_yce_.block(i + 1, j, vrows, 1).col(0));
-          copy_d2h(s_, MatrixView<const double>(d_yce_.block(i + 1, j, vrows, 1)),
-                   MatrixView<double>(y_col.data(), vrows, 1, vrows));
-        });
+    {
+      obs::TraceSpan panel_span("hybrid", "panel", "col", static_cast<double>(i));
+      lapack::detail::lahr2_panel(
+          a_, i, ib, t_host_.view(), y_host_.view(), tau_.sub(i, ib),
+          [&](index_t j, VectorView<const double> vj, VectorView<double> y_col) {
+            const index_t cj = i + j;
+            auto d_vcol = d_vce_.block(j, j, vj.size(), 1);
+            copy_h2d_async(s_, MatrixView<const double>(vj.data(), vj.size(), 1, vj.size()),
+                           d_vcol);
+            hybrid::gemv_async(
+                s_, Trans::No, 1.0,
+                MatrixView<const double>(d_e_.block(i + 1, cj + 1, vrows, n_ - cj - 1)),
+                VectorView<const double>(d_vcol.col(0)), 0.0,
+                d_yce_.block(i + 1, j, vrows, 1).col(0));
+            copy_d2h(s_, MatrixView<const double>(d_yce_.block(i + 1, j, vrows, 1)),
+                     MatrixView<double>(y_col.data(), vrows, 1, vrows));
+          });
+    }
     st_.panel_seconds += panel_timer.seconds();
 
     WallTimer update_timer;
-    // Ship clean V / T / corrected lower Y.
-    Matrix<double> v = lapack::materialize_v(MatrixView<const double>(a_), i, ib);
-    copy_h2d_async(s_, v.cview(), d_vce_.block(0, 0, vrows, ib));
-    copy_h2d_async(s_, t_host_.block(0, 0, ib, ib), d_t_.block(0, 0, ib, ib));
-    copy_h2d_async(s_, y_host_.block(i + 1, 0, vrows, ib), d_yce_.block(i + 1, 0, vrows, ib));
+    {
+      obs::TraceSpan update_span("hybrid", "update", "col", static_cast<double>(i));
+      // Ship clean V / T / corrected lower Y.
+      Matrix<double> v = lapack::materialize_v(MatrixView<const double>(a_), i, ib);
+      copy_h2d_async(s_, v.cview(), d_vce_.block(0, 0, vrows, ib));
+      copy_h2d_async(s_, t_host_.block(0, 0, ib, ib), d_t_.block(0, 0, ib, ib));
+      copy_h2d_async(s_, y_host_.block(i + 1, 0, vrows, ib), d_yce_.block(i + 1, 0, vrows, ib));
 
-    // Line 7: column checksums of V (device GEMV with the ones vector).
-    auto ones_v = VectorView<const double>(d_ones_.view().col(0).data(), vrows, 1);
-    auto dv = d_vce_.view();
-    s_.enqueue([this, dv, ones_v, vrows, ib]() mutable {
-      WallTimer t;
-      blas::gemv(Trans::Yes, 1.0, MatrixView<const double>(dv.block(0, 0, vrows, ib)), ones_v,
-                 0.0, dv.row(vrows).sub(0, ib));
-      chk_update_seconds_ += t.seconds();
-    });
+      // Line 7: column checksums of V (device GEMV with the ones vector).
+      auto ones_v = VectorView<const double>(d_ones_.view().col(0).data(), vrows, 1);
+      auto dv = d_vce_.view();
+      s_.enqueue([this, dv, ones_v, vrows, ib]() mutable {
+        WallTimer t;
+        blas::gemv(Trans::Yes, 1.0, MatrixView<const double>(dv.block(0, 0, vrows, ib)), ones_v,
+                   0.0, dv.row(vrows).sub(0, ib));
+        chk_update_seconds_ += t.seconds();
+      });
 
-    // Top rows of Yce: Y(0:i+1,:) = A(0:i+1, i+1:n)·V·T.
-    hybrid::gemm_async(s_, Trans::No, Trans::No, 1.0,
-                       MatrixView<const double>(d_e_.block(0, i + 1, i + 1, vrows)),
-                       MatrixView<const double>(d_vce_.block(0, 0, vrows, ib)), 0.0,
-                       d_yce_.block(0, 0, i + 1, ib));
-    hybrid::trmm_async(s_, Side::Right, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0,
-                       MatrixView<const double>(d_t_.block(0, 0, ib, ib)),
-                       d_yce_.block(0, 0, i + 1, ib));
+      // Top rows of Yce: Y(0:i+1,:) = A(0:i+1, i+1:n)·V·T.
+      hybrid::gemm_async(s_, Trans::No, Trans::No, 1.0,
+                         MatrixView<const double>(d_e_.block(0, i + 1, i + 1, vrows)),
+                         MatrixView<const double>(d_vce_.block(0, 0, vrows, ib)), 0.0,
+                         d_yce_.block(0, 0, i + 1, ib));
+      hybrid::trmm_async(s_, Side::Right, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0,
+                         MatrixView<const double>(d_t_.block(0, 0, ib, ib)),
+                         d_yce_.block(0, 0, i + 1, ib));
 
-    // Line 6: checksum row of Y, Ychk = Ac_chk(i+1:n)·V·T (device).
-    auto dy = d_yce_.view();
-    auto dt = d_t_.view();
-    s_.enqueue([this, e, dv, dy, dt, i, ib, vrows]() mutable {
-      WallTimer t;
-      auto chk_seg = VectorView<const double>(&e(n_, i + 1), vrows, e.ld());
-      auto ychk = dy.row(n_).sub(0, ib);
-      blas::gemv(Trans::Yes, 1.0, MatrixView<const double>(dv.block(0, 0, vrows, ib)), chk_seg,
-                 0.0, ychk);
-      blas::trmv(Uplo::Upper, Trans::Yes, Diag::NonUnit,
-                 MatrixView<const double>(dt.block(0, 0, ib, ib)), ychk);
-      chk_update_seconds_ += t.seconds();
-    });
+      // Line 6: checksum row of Y, Ychk = Ac_chk(i+1:n)·V·T (device).
+      auto dy = d_yce_.view();
+      auto dt = d_t_.view();
+      s_.enqueue([this, e, dv, dy, dt, i, ib, vrows]() mutable {
+        WallTimer t;
+        auto chk_seg = VectorView<const double>(&e(n_, i + 1), vrows, e.ld());
+        auto ychk = dy.row(n_).sub(0, ib);
+        blas::gemv(Trans::Yes, 1.0, MatrixView<const double>(dv.block(0, 0, vrows, ib)), chk_seg,
+                   0.0, ychk);
+        blas::trmv(Uplo::Upper, Trans::Yes, Diag::NonUnit,
+                   MatrixView<const double>(dt.block(0, 0, ib, ib)), ychk);
+        chk_update_seconds_ += t.seconds();
+      });
 
-    // Fetch the finished top rows of Y for the host-side panel fix.
-    copy_d2h_async(s_, MatrixView<const double>(d_yce_.block(0, 0, i + 1, ib)),
-                   y_host_.block(0, 0, i + 1, ib));
-    const hybrid::Event y_upper_ready = s_.record();
+      // Fetch the finished top rows of Y for the host-side panel fix.
+      copy_d2h_async(s_, MatrixView<const double>(d_yce_.block(0, 0, i + 1, ib)),
+                     y_host_.block(0, 0, i + 1, ib));
+      const hybrid::Event y_upper_ready = s_.record();
 
-    // Line 8+10: extended right update, M and G plus both checksums in one
-    // GEMM over the trailing columns and the checksum column.
-    hybrid::gemm_async(s_, Trans::No, Trans::Yes, -1.0,
-                       MatrixView<const double>(d_yce_.block(0, 0, n_ + 1, ib)),
-                       MatrixView<const double>(d_vce_.block(ib - 1, 0, vrows - ib + 2, ib)),
-                       1.0, d_e_.block(0, i + ib, n_ + 1, width));
+      // Line 8+10: extended right update, M and G plus both checksums in one
+      // GEMM over the trailing columns and the checksum column.
+      hybrid::gemm_async(s_, Trans::No, Trans::Yes, -1.0,
+                         MatrixView<const double>(d_yce_.block(0, 0, n_ + 1, ib)),
+                         MatrixView<const double>(d_vce_.block(ib - 1, 0, vrows - ib + 2, ib)),
+                         1.0, d_e_.block(0, i + ib, n_ + 1, width));
 
-    // Host work overlapped with the device GEMM (the paper's line 9/line 10
-    // overlap, plus the Q checksum generation of Section IV-E).
-    if (opt_.protect_q) {
-      WallTimer qt;
-      pending_q_ = qp_.compute_panel(MatrixView<const double>(a_), i, ib);
-      rep_.q_seconds += qt.seconds();
+      // Host work overlapped with the device GEMM (the paper's line 9/line 10
+      // overlap, plus the Q checksum generation of Section IV-E).
+      if (opt_.protect_q) {
+        WallTimer qt;
+        obs::TraceSpan q_span("ft", "q_checksum");
+        pending_q_ = qp_.compute_panel(MatrixView<const double>(a_), i, ib);
+        rep_.q_seconds += qt.seconds();
+      }
+      y_upper_ready.wait();
+      blas::trmm(Side::Right, Uplo::Lower, Trans::Yes, Diag::Unit, 1.0,
+                 MatrixView<const double>(a_.block(i + 1, i, ib - 1, ib - 1)),
+                 y_host_.block(0, 0, i + 1, ib - 1));
+      for (index_t j = 0; j + 1 < ib; ++j) {
+        blas::axpy(-1.0, VectorView<const double>(y_host_.block(0, j, i + 1, 1).col(0)),
+                   a_.block(0, i + 1 + j, i + 1, 1).col(0));
+      }
+
+      // Line 11: extended left update; W is retained for reverse computation.
+      hybrid::gemm_async(s_, Trans::Yes, Trans::No, 1.0,
+                         MatrixView<const double>(d_vce_.block(0, 0, vrows, ib)),
+                         MatrixView<const double>(d_e_.block(i + 1, i + ib, vrows, width)), 0.0,
+                         d_w_.block(0, 0, ib, width));
+      hybrid::trmm_async(s_, Side::Left, Uplo::Upper, Trans::Yes, Diag::NonUnit, 1.0,
+                         MatrixView<const double>(d_t_.block(0, 0, ib, ib)),
+                         d_w_.block(0, 0, ib, width));
+      hybrid::gemm_async(s_, Trans::No, Trans::No, -1.0,
+                         MatrixView<const double>(d_vce_.block(0, 0, vrows + 1, ib)),
+                         MatrixView<const double>(d_w_.block(0, 0, ib, width)), 1.0,
+                         d_e_.block(i + 1, i + ib, vrows + 1, width));
+
+      // The panel columns transition from "trailing data" (checksummed over
+      // the full height) to "finished H columns" (checksummed over rows
+      // 0..c+1 only — the Householder entries below move under Q's
+      // protection). Re-encode the checksum-row segment for the finished
+      // columns from the final host data; the pre-image was checkpointed
+      // above so rollback can restore it.
+      for (index_t j = 0; j < ib; ++j) {
+        const index_t c = i + j;
+        double cs = 0.0;
+        const index_t last = std::min(c + 1, n_ - 1);
+        for (index_t r = 0; r <= last; ++r) cs += a_(r, c);
+        new_chkrow_(0, j) = cs;
+      }
+      copy_h2d_async(s_, MatrixView<const double>(new_chkrow_.block(0, 0, 1, ib)),
+                     d_e_.block(n_, i, 1, ib));
+      s_.synchronize();
     }
-    y_upper_ready.wait();
-    blas::trmm(Side::Right, Uplo::Lower, Trans::Yes, Diag::Unit, 1.0,
-               MatrixView<const double>(a_.block(i + 1, i, ib - 1, ib - 1)),
-               y_host_.block(0, 0, i + 1, ib - 1));
-    for (index_t j = 0; j + 1 < ib; ++j) {
-      blas::axpy(-1.0, VectorView<const double>(y_host_.block(0, j, i + 1, 1).col(0)),
-                 a_.block(0, i + 1 + j, i + 1, 1).col(0));
-    }
-
-    // Line 11: extended left update; W is retained for reverse computation.
-    hybrid::gemm_async(s_, Trans::Yes, Trans::No, 1.0,
-                       MatrixView<const double>(d_vce_.block(0, 0, vrows, ib)),
-                       MatrixView<const double>(d_e_.block(i + 1, i + ib, vrows, width)), 0.0,
-                       d_w_.block(0, 0, ib, width));
-    hybrid::trmm_async(s_, Side::Left, Uplo::Upper, Trans::Yes, Diag::NonUnit, 1.0,
-                       MatrixView<const double>(d_t_.block(0, 0, ib, ib)),
-                       d_w_.block(0, 0, ib, width));
-    hybrid::gemm_async(s_, Trans::No, Trans::No, -1.0,
-                       MatrixView<const double>(d_vce_.block(0, 0, vrows + 1, ib)),
-                       MatrixView<const double>(d_w_.block(0, 0, ib, width)), 1.0,
-                       d_e_.block(i + 1, i + ib, vrows + 1, width));
-
-    // The panel columns transition from "trailing data" (checksummed over
-    // the full height) to "finished H columns" (checksummed over rows
-    // 0..c+1 only — the Householder entries below move under Q's
-    // protection). Re-encode the checksum-row segment for the finished
-    // columns from the final host data; the pre-image was checkpointed
-    // above so rollback can restore it.
-    for (index_t j = 0; j < ib; ++j) {
-      const index_t c = i + j;
-      double cs = 0.0;
-      const index_t last = std::min(c + 1, n_ - 1);
-      for (index_t r = 0; r <= last; ++r) cs += a_(r, c);
-      new_chkrow_(0, j) = cs;
-    }
-    copy_h2d_async(s_, MatrixView<const double>(new_chkrow_.block(0, 0, 1, ib)),
-                   d_e_.block(n_, i, 1, ib));
-    s_.synchronize();
     st_.update_seconds += update_timer.seconds();
   }
 
@@ -259,6 +272,8 @@ class FtDriver {
         return;
       }
       ++rep_.detections;
+      obs::instant("ft", "detection");
+      obs::counter_metric("ft.detections").add();
       if (++attempts > opt_.max_retries) {
         std::ostringstream os;
         os << "ft_gehrd: iteration " << boundary << " still inconsistent after "
@@ -272,11 +287,22 @@ class FtDriver {
       ev.boundary = boundary;
       ev.gap = gap;
 
-      rollback(i, ib);
+      {
+        obs::TraceSpan rb_span("ft", "rollback", "col", static_cast<double>(i));
+        rollback(i, ib);
+      }
       ++rep_.rollbacks;
+      obs::counter_metric("ft.rollbacks").add();
 
-      const LocateResult res = locate_errors(i);
-      apply_corrections(res, i);
+      LocateResult res;
+      {
+        obs::TraceSpan loc_span("ft", "locate");
+        res = locate_errors(i);
+      }
+      {
+        obs::TraceSpan fix_span("ft", "correct");
+        apply_corrections(res, i);
+      }
       ev.errors = res.data_errors;
       ev.data_corrections = static_cast<int>(res.data_errors.size());
       ev.checksum_corrections =
@@ -285,15 +311,24 @@ class FtDriver {
                            res.chk_row_errors.empty();
       rep_.data_corrections += ev.data_corrections;
       rep_.checksum_corrections += ev.checksum_corrections;
+      obs::counter_metric("ft.data_corrections").add(static_cast<std::uint64_t>(ev.data_corrections));
+      obs::counter_metric("ft.checksum_corrections")
+          .add(static_cast<std::uint64_t>(ev.checksum_corrections));
+      if (ev.checkpoint_only) obs::counter_metric("ft.checkpoint_only_recoveries").add();
       rep_.events.push_back(std::move(ev));
 
-      run_iteration(i, ib);  // redo from the restored checkpoint
+      {
+        obs::TraceSpan redo_span("ft", "reexec", "col", static_cast<double>(i));
+        obs::counter_metric("ft.reexecutions").add();
+        run_iteration(i, ib);  // redo from the restored checkpoint
+      }
       rep_.recovery_seconds += rt.seconds();
     }
   }
 
   double detect() {
     WallTimer t;
+    obs::TraceSpan span("ft", "detect");
     double gap = 0.0;
     auto e = d_e_.view();
     s_.enqueue([e, n = n_, &gap] {
@@ -303,6 +338,8 @@ class FtDriver {
     });
     s_.synchronize();
     rep_.detect_seconds += t.seconds();
+    obs::histogram_metric("ft.detect_gap").observe(gap);
+    obs::counter("ft.detect_gap", gap);
     return gap;
   }
 
@@ -324,6 +361,7 @@ class FtDriver {
                            MatrixView<const double>(dv.block(ib - 1, 0, vrows - ib + 2, ib)));
     });
     // Restore the checksum-row segment the iteration re-encoded.
+    obs::TraceSpan restore_span("ft", "checkpoint_restore", "col", static_cast<double>(i));
     copy_h2d(s_, MatrixView<const double>(ckpt_chkrow_.block(0, 0, 1, ib)),
              d_e_.block(n_, i, 1, ib));
     // Restore the panel (and its host-side upper rows) from the checkpoint.
@@ -377,6 +415,7 @@ class FtDriver {
     if (opt_.final_sweep) {
       rep_.final_sweep_ran = true;
       WallTimer t;
+      obs::TraceSpan sweep_span("ft", "final_sweep");
       const LocateResult res = locate_errors(n_ - 1);
       apply_corrections(res, n_ - 1);
       rep_.final_sweep_corrections =
@@ -385,6 +424,9 @@ class FtDriver {
       rep_.data_corrections += static_cast<int>(res.data_errors.size());
       rep_.checksum_corrections +=
           static_cast<int>(res.chk_col_errors.size() + res.chk_row_errors.size());
+      obs::counter_metric("ft.data_corrections").add(res.data_errors.size());
+      obs::counter_metric("ft.checksum_corrections")
+          .add(res.chk_col_errors.size() + res.chk_row_errors.size());
       rep_.detect_seconds += t.seconds();
     }
 
@@ -395,10 +437,12 @@ class FtDriver {
     // Section IV-E: verify + correct the Householder storage once.
     if (opt_.protect_q) {
       WallTimer qt;
+      obs::TraceSpan q_span("ft", "q_verify");
       const double q_tol = 1e3 * eps<double>() * static_cast<double>(n_) *
                            std::max(1.0, scale_max_);
       const auto qres = qp_.verify_and_correct(a_, n_ - 1, q_tol);
       rep_.q_corrections += qres.corrections;
+      obs::counter_metric("ft.q_corrections").add(static_cast<std::uint64_t>(qres.corrections));
       rep_.q_seconds += qt.seconds();
     }
     rep_.checksum_update_seconds = chk_update_seconds_;
@@ -453,9 +497,9 @@ void ft_gehrd(hybrid::Device& dev, MatrixView<double> a, VectorView<double> tau,
   rep = {};
   st = {};
 
+  obs::TraceSpan run_span("ft", "gehrd", "n", static_cast<double>(n));
   WallTimer total;
-  const std::uint64_t h2d0 = dev.h2d_bytes();
-  const std::uint64_t d2h0 = dev.d2h_bytes();
+  const hybrid::detail::StatsScope scope(dev);
 
   if (n > 2) {
     FtDriver driver(dev, a, tau, opt, injector, rep, st);
@@ -465,8 +509,7 @@ void ft_gehrd(hybrid::Device& dev, MatrixView<double> a, VectorView<double> tau,
   }
 
   st.total_seconds = total.seconds();
-  st.h2d_bytes = dev.h2d_bytes() - h2d0;
-  st.d2h_bytes = dev.d2h_bytes() - d2h0;
+  scope.finish(st);
 }
 
 }  // namespace fth::ft

@@ -13,6 +13,8 @@
 #include "la/blas1.hpp"
 #include "la/blas2.hpp"
 #include "la/norms.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "lapack/orghr.hpp"
 #include "lapack/sytrd_impl.hpp"
 
@@ -105,6 +107,7 @@ class FtSytrdDriver {
  private:
   void encode() {
     WallTimer t;
+    obs::TraceSpan span("ft", "encode", "n", static_cast<double>(n_));
     copy_h2d_async(s_, MatrixView<const double>(a_), d_a_.view());
     hybrid::fill_async(s_, d_ones_.view(), 1.0);
     s_.enqueue([wv = d_wvec_.view()]() mutable {
@@ -128,117 +131,127 @@ class FtSytrdDriver {
     // checksum vectors — the vectors are O(n), so checkpointing beats
     // reverse-computing them).
     WallTimer panel_timer;
-    copy_d2h_async(s_, MatrixView<const double>(d_a_.block(0, i, n_, ib)),
-                   a_.block(0, i, n_, ib));
-    copy_d2h_async(s_, MatrixView<const double>(d_chke_.view()), ckpt_chke_.view());
-    copy_d2h(s_, MatrixView<const double>(d_chkw_.view()), ckpt_chkw_.view());
-    fth::copy(MatrixView<const double>(a_.block(0, i, n_, ib)), ckpt_.block(0, 0, n_, ib));
+    {
+      obs::TraceSpan ckpt_span("ft", "checkpoint_save", "col", static_cast<double>(i));
+      copy_d2h_async(s_, MatrixView<const double>(d_a_.block(0, i, n_, ib)),
+                     a_.block(0, i, n_, ib));
+      copy_d2h_async(s_, MatrixView<const double>(d_chke_.view()), ckpt_chke_.view());
+      copy_d2h(s_, MatrixView<const double>(d_chkw_.view()), ckpt_chkw_.view());
+      fth::copy(MatrixView<const double>(a_.block(0, i, n_, ib)), ckpt_.block(0, 0, n_, ib));
+    }
 
     // Host panel with device-assisted SYMV.
-    lapack::detail::latrd_panel(
-        a_, i, ib, e_.sub(i, ib), tau_.sub(i, ib), w_host_.view(),
-        [&](index_t j, VectorView<const double> vj, VectorView<double> w_col) {
-          const index_t cj = i + j;
-          const index_t vlen = n_ - cj - 1;
-          auto d_vcol = d_v_.block(j, j, vlen, 1);
-          copy_h2d_async(s_, MatrixView<const double>(vj.data(), vlen, 1, vlen), d_vcol);
-          hybrid::symv_async(s_, Uplo::Lower, 1.0,
-                             MatrixView<const double>(d_a_.block(cj + 1, cj + 1, vlen, vlen)),
-                             VectorView<const double>(d_vcol.col(0)),
-                             0.0, d_w_.block(j, j, vlen, 1).col(0));
-          copy_d2h(s_, MatrixView<const double>(d_w_.block(j, j, vlen, 1)),
-                   MatrixView<double>(w_col.data(), vlen, 1, vlen));
-        });
+    {
+      obs::TraceSpan panel_span("hybrid", "panel", "col", static_cast<double>(i));
+      lapack::detail::latrd_panel(
+          a_, i, ib, e_.sub(i, ib), tau_.sub(i, ib), w_host_.view(),
+          [&](index_t j, VectorView<const double> vj, VectorView<double> w_col) {
+            const index_t cj = i + j;
+            const index_t vlen = n_ - cj - 1;
+            auto d_vcol = d_v_.block(j, j, vlen, 1);
+            copy_h2d_async(s_, MatrixView<const double>(vj.data(), vlen, 1, vlen), d_vcol);
+            hybrid::symv_async(s_, Uplo::Lower, 1.0,
+                               MatrixView<const double>(d_a_.block(cj + 1, cj + 1, vlen, vlen)),
+                               VectorView<const double>(d_vcol.col(0)),
+                               0.0, d_w_.block(j, j, vlen, 1).col(0));
+            copy_d2h(s_, MatrixView<const double>(d_w_.block(j, j, vlen, 1)),
+                     MatrixView<double>(w_col.data(), vlen, 1, vlen));
+          });
+    }
     st_.panel_seconds += panel_timer.seconds();
 
     WallTimer update_timer;
-    // Clean V (explicit unit) and the finished W block to the device.
-    Matrix<double> v = lapack::materialize_v(MatrixView<const double>(a_), i, ib);
-    copy_h2d_async(s_, v.cview(), d_v_.block(0, 0, vrows, ib));
-    copy_h2d_async(s_, MatrixView<const double>(w_host_.block(i + 1, 0, vrows, ib)),
-                   d_w_.block(0, 0, vrows, ib));
+    {
+      obs::TraceSpan update_span("hybrid", "update", "col", static_cast<double>(i));
+      // Clean V (explicit unit) and the finished W block to the device.
+      Matrix<double> v = lapack::materialize_v(MatrixView<const double>(a_), i, ib);
+      copy_h2d_async(s_, v.cview(), d_v_.block(0, 0, vrows, ib));
+      copy_h2d_async(s_, MatrixView<const double>(w_host_.block(i + 1, 0, vrows, ib)),
+                     d_w_.block(0, 0, vrows, ib));
 
-    // --- Checksum maintenance --------------------------------------------
-    // After this iteration the logical row sum of a trailing row r ≥ i+ib is
-    //   old_sum(r) − (old panel-column entries of row r)        [zeroed]
-    //              − (V2·W2ᵀ + W2·V2ᵀ)(r, :)·vec  over c ≥ i+ib [rank-2k]
-    //              + e_last·vec(i+ib−1) for r == i+ib           [coupling]
-    // and panel rows i..i+ib−1 become plain tridiagonal rows, re-encoded
-    // from the finished host data (their pre-images are checkpointed).
-    const index_t tn = n_ - i - ib;
-    auto v2 = MatrixView<const double>(d_v_.block(ib - 1, 0, tn, ib));
-    auto w2 = MatrixView<const double>(d_w_.block(ib - 1, 0, tn, ib));
-    auto ones_tn = VectorView<const double>(d_ones_.view().col(0).sub(0, tn));
-    auto ones_ib = VectorView<const double>(d_ones_.view().col(0).sub(0, ib));
-    auto wvec_tail = VectorView<const double>(d_wvec_.view().col(0).sub(i + ib, tn));
-    auto wvec_panel = VectorView<const double>(d_wvec_.view().col(0).sub(i, ib));
+      // --- Checksum maintenance --------------------------------------------
+      // After this iteration the logical row sum of a trailing row r ≥ i+ib is
+      //   old_sum(r) − (old panel-column entries of row r)        [zeroed]
+      //              − (V2·W2ᵀ + W2·V2ᵀ)(r, :)·vec  over c ≥ i+ib [rank-2k]
+      //              + e_last·vec(i+ib−1) for r == i+ib           [coupling]
+      // and panel rows i..i+ib−1 become plain tridiagonal rows, re-encoded
+      // from the finished host data (their pre-images are checkpointed).
+      const index_t tn = n_ - i - ib;
+      auto v2 = MatrixView<const double>(d_v_.block(ib - 1, 0, tn, ib));
+      auto w2 = MatrixView<const double>(d_w_.block(ib - 1, 0, tn, ib));
+      auto ones_tn = VectorView<const double>(d_ones_.view().col(0).sub(0, tn));
+      auto ones_ib = VectorView<const double>(d_ones_.view().col(0).sub(0, ib));
+      auto wvec_tail = VectorView<const double>(d_wvec_.view().col(0).sub(i + ib, tn));
+      auto wvec_panel = VectorView<const double>(d_wvec_.view().col(0).sub(i, ib));
 
-    // Tail column sums of V2/W2 against e and ω (paper line 6/7 analogues).
-    hybrid::gemv_async(s_, Trans::Yes, 1.0, v2, ones_tn, 0.0, d_sums_.view().col(0).sub(0, ib));
-    hybrid::gemv_async(s_, Trans::Yes, 1.0, w2, ones_tn, 0.0, d_sums_.view().col(1).sub(0, ib));
-    hybrid::gemv_async(s_, Trans::Yes, 1.0, v2, wvec_tail, 0.0, d_sums_.view().col(2).sub(0, ib));
-    hybrid::gemv_async(s_, Trans::Yes, 1.0, w2, wvec_tail, 0.0, d_sums_.view().col(3).sub(0, ib));
-    // Old panel-column contributions of the trailing rows (the device's
-    // panel columns still hold the pristine start-of-iteration values).
-    auto panel_tail = MatrixView<const double>(d_a_.block(i + ib, i, tn, ib));
-    hybrid::gemv_async(s_, Trans::No, 1.0, panel_tail, ones_ib, 0.0,
-                       d_pc_.view().col(0).sub(0, tn));
-    hybrid::gemv_async(s_, Trans::No, 1.0, panel_tail, wvec_panel, 0.0,
-                       d_pc_.view().col(1).sub(0, tn));
+      // Tail column sums of V2/W2 against e and ω (paper line 6/7 analogues).
+      hybrid::gemv_async(s_, Trans::Yes, 1.0, v2, ones_tn, 0.0, d_sums_.view().col(0).sub(0, ib));
+      hybrid::gemv_async(s_, Trans::Yes, 1.0, w2, ones_tn, 0.0, d_sums_.view().col(1).sub(0, ib));
+      hybrid::gemv_async(s_, Trans::Yes, 1.0, v2, wvec_tail, 0.0, d_sums_.view().col(2).sub(0, ib));
+      hybrid::gemv_async(s_, Trans::Yes, 1.0, w2, wvec_tail, 0.0, d_sums_.view().col(3).sub(0, ib));
+      // Old panel-column contributions of the trailing rows (the device's
+      // panel columns still hold the pristine start-of-iteration values).
+      auto panel_tail = MatrixView<const double>(d_a_.block(i + ib, i, tn, ib));
+      hybrid::gemv_async(s_, Trans::No, 1.0, panel_tail, ones_ib, 0.0,
+                         d_pc_.view().col(0).sub(0, tn));
+      hybrid::gemv_async(s_, Trans::No, 1.0, panel_tail, wvec_panel, 0.0,
+                         d_pc_.view().col(1).sub(0, tn));
 
-    auto se_v2 = VectorView<const double>(d_sums_.view().col(0).sub(0, ib));
-    auto se_w2 = VectorView<const double>(d_sums_.view().col(1).sub(0, ib));
-    auto sw_v2 = VectorView<const double>(d_sums_.view().col(2).sub(0, ib));
-    auto sw_w2 = VectorView<const double>(d_sums_.view().col(3).sub(0, ib));
-    auto chke_tail = d_chke_.view().col(0).sub(i + ib, tn);
-    auto chkw_tail = d_chkw_.view().col(0).sub(i + ib, tn);
-    hybrid::axpy_async(s_, -1.0, VectorView<const double>(d_pc_.view().col(0).sub(0, tn)),
-                       chke_tail);
-    hybrid::gemv_async(s_, Trans::No, -1.0, v2, se_w2, 1.0, chke_tail);
-    hybrid::gemv_async(s_, Trans::No, -1.0, w2, se_v2, 1.0, chke_tail);
-    hybrid::axpy_async(s_, -1.0, VectorView<const double>(d_pc_.view().col(1).sub(0, tn)),
-                       chkw_tail);
-    hybrid::gemv_async(s_, Trans::No, -1.0, v2, sw_w2, 1.0, chkw_tail);
-    hybrid::gemv_async(s_, Trans::No, -1.0, w2, sw_v2, 1.0, chkw_tail);
+      auto se_v2 = VectorView<const double>(d_sums_.view().col(0).sub(0, ib));
+      auto se_w2 = VectorView<const double>(d_sums_.view().col(1).sub(0, ib));
+      auto sw_v2 = VectorView<const double>(d_sums_.view().col(2).sub(0, ib));
+      auto sw_w2 = VectorView<const double>(d_sums_.view().col(3).sub(0, ib));
+      auto chke_tail = d_chke_.view().col(0).sub(i + ib, tn);
+      auto chkw_tail = d_chkw_.view().col(0).sub(i + ib, tn);
+      hybrid::axpy_async(s_, -1.0, VectorView<const double>(d_pc_.view().col(0).sub(0, tn)),
+                         chke_tail);
+      hybrid::gemv_async(s_, Trans::No, -1.0, v2, se_w2, 1.0, chke_tail);
+      hybrid::gemv_async(s_, Trans::No, -1.0, w2, se_v2, 1.0, chke_tail);
+      hybrid::axpy_async(s_, -1.0, VectorView<const double>(d_pc_.view().col(1).sub(0, tn)),
+                         chkw_tail);
+      hybrid::gemv_async(s_, Trans::No, -1.0, v2, sw_w2, 1.0, chkw_tail);
+      hybrid::gemv_async(s_, Trans::No, -1.0, w2, sw_v2, 1.0, chkw_tail);
 
-    // Trailing rank-2k (lower triangle) on the device.
-    hybrid::syr2k_async(s_, Uplo::Lower, Trans::No, -1.0, v2, w2, 1.0,
-                        d_a_.block(i + ib, i + ib, tn, tn));
+      // Trailing rank-2k (lower triangle) on the device.
+      hybrid::syr2k_async(s_, Uplo::Lower, Trans::No, -1.0, v2, w2, 1.0,
+                          d_a_.block(i + ib, i + ib, tn, tn));
 
-    // Host work overlapped with the device update.
-    if (opt_.protect_q) {
-      WallTimer qt;
-      pending_q_ = qp_.compute_panel(MatrixView<const double>(a_), i, ib);
-      rep_.q_seconds += qt.seconds();
+      // Host work overlapped with the device update.
+      if (opt_.protect_q) {
+        WallTimer qt;
+        obs::TraceSpan q_span("ft", "q_checksum");
+        pending_q_ = qp_.compute_panel(MatrixView<const double>(a_), i, ib);
+        rep_.q_seconds += qt.seconds();
+      }
+      for (index_t j = 0; j < ib; ++j) {
+        a_(i + j + 1, i + j) = e_[i + j];  // replace the panel's unit entries
+      }
+
+      // Re-encode the finished panel rows of both checksums from the final
+      // tridiagonal data, and add the new coupling entry to row i+ib.
+      Matrix<double> seg(ib, 2);
+      for (index_t j = 0; j < ib; ++j) {
+        const index_t r = i + j;
+        const double dl = r > 0 ? a_(r, r - 1) : 0.0;
+        const double dd = a_(r, r);
+        const double du = a_(r + 1, r);  // superdiagonal by symmetry
+        seg(j, 0) = dl + dd + du;
+        seg(j, 1) = dl * static_cast<double>(r) + dd * static_cast<double>(r + 1) +
+                    du * static_cast<double>(r + 2);
+      }
+      copy_h2d_async(s_, MatrixView<const double>(seg.block(0, 0, ib, 1)),
+                     MatrixView<double>(&d_chke_.view()(i, 0), ib, 1, d_chke_.view().ld()));
+      copy_h2d_async(s_, MatrixView<const double>(seg.block(0, 1, ib, 1)),
+                     MatrixView<double>(&d_chkw_.view()(i, 0), ib, 1, d_chkw_.view().ld()));
+      const double e_last = e_[i + ib - 1];
+      auto ce = d_chke_.view();
+      auto cw = d_chkw_.view();
+      s_.enqueue([ce, cw, i, ib, e_last]() mutable {
+        ce(i + ib, 0) += e_last;
+        cw(i + ib, 0) += e_last * static_cast<double>(i + ib);  // weight of col i+ib−1
+      });
+      s_.synchronize();
     }
-    for (index_t j = 0; j < ib; ++j) {
-      a_(i + j + 1, i + j) = e_[i + j];  // replace the panel's unit entries
-    }
-
-    // Re-encode the finished panel rows of both checksums from the final
-    // tridiagonal data, and add the new coupling entry to row i+ib.
-    Matrix<double> seg(ib, 2);
-    for (index_t j = 0; j < ib; ++j) {
-      const index_t r = i + j;
-      const double dl = r > 0 ? a_(r, r - 1) : 0.0;
-      const double dd = a_(r, r);
-      const double du = a_(r + 1, r);  // superdiagonal by symmetry
-      seg(j, 0) = dl + dd + du;
-      seg(j, 1) = dl * static_cast<double>(r) + dd * static_cast<double>(r + 1) +
-                  du * static_cast<double>(r + 2);
-    }
-    copy_h2d_async(s_, MatrixView<const double>(seg.block(0, 0, ib, 1)),
-                   MatrixView<double>(&d_chke_.view()(i, 0), ib, 1, d_chke_.view().ld()));
-    copy_h2d_async(s_, MatrixView<const double>(seg.block(0, 1, ib, 1)),
-                   MatrixView<double>(&d_chkw_.view()(i, 0), ib, 1, d_chkw_.view().ld()));
-    const double e_last = e_[i + ib - 1];
-    auto ce = d_chke_.view();
-    auto cw = d_chkw_.view();
-    s_.enqueue([ce, cw, i, ib, e_last]() mutable {
-      ce(i + ib, 0) += e_last;
-      cw(i + ib, 0) += e_last * static_cast<double>(i + ib);  // weight of col i+ib−1
-    });
-    s_.synchronize();
     st_.update_seconds += update_timer.seconds();
   }
 
@@ -292,23 +305,30 @@ class FtSytrdDriver {
     int attempts = 0;
     for (;;) {
       WallTimer dt;
-      const std::vector<double> fresh = fresh_sums(i + ib, /*weighted=*/false);
-      const std::vector<double> chke = fetch_chk(false);
       double worst = 0.0;
       bool bad = false;
-      for (index_t r = 0; r < n_; ++r) {
-        const double gap = std::abs(fresh[static_cast<std::size_t>(r)] -
-                                    chke[static_cast<std::size_t>(r)]);
-        worst = std::max(worst, gap);
-        if (gap > threshold_) bad = true;
+      {
+        obs::TraceSpan det_span("ft", "detect");
+        const std::vector<double> fresh = fresh_sums(i + ib, /*weighted=*/false);
+        const std::vector<double> chke = fetch_chk(false);
+        for (index_t r = 0; r < n_; ++r) {
+          const double gap = std::abs(fresh[static_cast<std::size_t>(r)] -
+                                      chke[static_cast<std::size_t>(r)]);
+          worst = std::max(worst, gap);
+          if (gap > threshold_) bad = true;
+        }
       }
       rep_.detect_seconds += dt.seconds();
+      obs::histogram_metric("ft.detect_gap").observe(worst);
+      obs::counter("ft.detect_gap", worst);
       if (!bad) {
         rep_.max_fault_free_gap = std::max(rep_.max_fault_free_gap, worst);
         return;
       }
 
       ++rep_.detections;
+      obs::instant("ft", "detection");
+      obs::counter_metric("ft.detections").add();
       if (++attempts > opt_.max_retries) {
         std::ostringstream os;
         os << "ft_sytrd: iteration " << boundary << " still inconsistent after "
@@ -320,13 +340,28 @@ class FtSytrdDriver {
       FtEvent ev;
       ev.boundary = boundary;
       ev.gap = worst;
-      rollback(i, ib);
+      {
+        obs::TraceSpan rb_span("ft", "rollback", "col", static_cast<double>(i));
+        rollback(i, ib);
+      }
       ++rep_.rollbacks;
-      locate_and_correct(i, ev);
+      obs::counter_metric("ft.rollbacks").add();
+      {
+        obs::TraceSpan loc_span("ft", "locate");
+        locate_and_correct(i, ev);
+      }
       rep_.data_corrections += ev.data_corrections;
       rep_.checksum_corrections += ev.checksum_corrections;
+      obs::counter_metric("ft.data_corrections").add(static_cast<std::uint64_t>(ev.data_corrections));
+      obs::counter_metric("ft.checksum_corrections")
+          .add(static_cast<std::uint64_t>(ev.checksum_corrections));
+      if (ev.checkpoint_only) obs::counter_metric("ft.checkpoint_only_recoveries").add();
       rep_.events.push_back(std::move(ev));
-      run_iteration(i, ib);
+      {
+        obs::TraceSpan redo_span("ft", "reexec", "col", static_cast<double>(i));
+        obs::counter_metric("ft.reexecutions").add();
+        run_iteration(i, ib);
+      }
       rep_.recovery_seconds += rt.seconds();
     }
   }
@@ -340,6 +375,7 @@ class FtSytrdDriver {
                         MatrixView<const double>(d_w_.block(ib - 1, 0, tn, ib)), 1.0,
                         d_a_.block(i + ib, i + ib, tn, tn));
     // Restore both checksum vectors and the panel from the checkpoints.
+    obs::TraceSpan restore_span("ft", "checkpoint_restore", "col", static_cast<double>(i));
     copy_h2d_async(s_, ckpt_chke_.cview(), d_chke_.view());
     copy_h2d(s_, ckpt_chkw_.cview(), d_chkw_.view());
     fth::copy(MatrixView<const double>(ckpt_.block(0, 0, n_, ib)), a_.block(0, i, n_, ib));
@@ -452,6 +488,7 @@ class FtSytrdDriver {
     if (opt_.final_sweep) {
       rep_.final_sweep_ran = true;
       WallTimer t;
+      obs::TraceSpan sweep_span("ft", "final_sweep");
       FtEvent ev;
       // i = n−1: everything finished except the 1×1 trailing block.
       const std::vector<double> fresh_e = fresh_sums(n_ - 1, false);
@@ -466,6 +503,10 @@ class FtSytrdDriver {
         rep_.final_sweep_corrections = ev.data_corrections + ev.checksum_corrections;
         rep_.data_corrections += ev.data_corrections;
         rep_.checksum_corrections += ev.checksum_corrections;
+        obs::counter_metric("ft.data_corrections")
+            .add(static_cast<std::uint64_t>(ev.data_corrections));
+        obs::counter_metric("ft.checksum_corrections")
+            .add(static_cast<std::uint64_t>(ev.checksum_corrections));
         // Refresh the host copy of the last element if it was the target.
         copy_d2h(s_, MatrixView<const double>(d_a_.block(n_ - 1, n_ - 1, 1, 1)),
                  a_.block(n_ - 1, n_ - 1, 1, 1));
@@ -475,10 +516,12 @@ class FtSytrdDriver {
 
     if (opt_.protect_q) {
       WallTimer qt;
+      obs::TraceSpan q_span("ft", "q_verify");
       const double q_tol =
           1e3 * eps<double>() * static_cast<double>(n_) * std::max(1.0, scale_max_);
       const auto qres = qp_.verify_and_correct(a_, n_ - 1, q_tol);
       rep_.q_corrections += qres.corrections;
+      obs::counter_metric("ft.q_corrections").add(static_cast<std::uint64_t>(qres.corrections));
       rep_.q_seconds += qt.seconds();
     }
 
@@ -543,9 +586,9 @@ void ft_sytrd(hybrid::Device& dev, MatrixView<double> a, VectorView<double> d,
   rep = {};
   st = {};
 
+  obs::TraceSpan run_span("ft", "sytrd", "n", static_cast<double>(n));
   WallTimer total;
-  const std::uint64_t h2d0 = dev.h2d_bytes();
-  const std::uint64_t d2h0 = dev.d2h_bytes();
+  const hybrid::detail::StatsScope scope(dev);
 
   if (n > 2) {
     FtSytrdDriver driver(dev, a, d, e, tau, opt, injector, rep, st);
@@ -559,8 +602,7 @@ void ft_sytrd(hybrid::Device& dev, MatrixView<double> a, VectorView<double> d,
   }
 
   st.total_seconds = total.seconds();
-  st.h2d_bytes = dev.h2d_bytes() - h2d0;
-  st.d2h_bytes = dev.d2h_bytes() - d2h0;
+  scope.finish(st);
 }
 
 }  // namespace fth::ft

@@ -4,52 +4,78 @@
 #include "la/blas2.hpp"
 #include "la/blas3.hpp"
 #include "lapack/reflectors.hpp"
+#include "obs/trace.hpp"
 
 namespace fth::hybrid {
 
 void gemm_async(Stream& s, Trans ta, Trans tb, double alpha, MatrixView<const double> a,
                 MatrixView<const double> b, double beta, MatrixView<double> c) {
-  s.enqueue([=] { blas::gemm(ta, tb, alpha, a, b, beta, c); });
+  s.enqueue([=] {
+    obs::TraceSpan span("dev_blas", "gemm");
+    blas::gemm(ta, tb, alpha, a, b, beta, c);
+  });
 }
 
 void gemv_async(Stream& s, Trans trans, double alpha, MatrixView<const double> a,
                 VectorView<const double> x, double beta, VectorView<double> y) {
-  s.enqueue([=] { blas::gemv(trans, alpha, a, x, beta, y); });
+  s.enqueue([=] {
+    obs::TraceSpan span("dev_blas", "gemv");
+    blas::gemv(trans, alpha, a, x, beta, y);
+  });
 }
 
 void trmm_async(Stream& s, Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
                 MatrixView<const double> a, MatrixView<double> b) {
-  s.enqueue([=] { blas::trmm(side, uplo, trans, diag, alpha, a, b); });
+  s.enqueue([=] {
+    obs::TraceSpan span("dev_blas", "trmm");
+    blas::trmm(side, uplo, trans, diag, alpha, a, b);
+  });
 }
 
 void scal_async(Stream& s, double alpha, VectorView<double> x) {
-  s.enqueue([=] { blas::scal(alpha, x); });
+  s.enqueue([=] {
+    obs::TraceSpan span("dev_blas", "scal");
+    blas::scal(alpha, x);
+  });
 }
 
 void axpy_async(Stream& s, double alpha, VectorView<const double> x, VectorView<double> y) {
-  s.enqueue([=] { blas::axpy(alpha, x, y); });
+  s.enqueue([=] {
+    obs::TraceSpan span("dev_blas", "axpy");
+    blas::axpy(alpha, x, y);
+  });
 }
 
 void larfb_left_async(Stream& s, Trans trans, MatrixView<const double> v,
                       MatrixView<const double> t, MatrixView<double> c,
                       MatrixView<double> work) {
   s.enqueue([=] {
+    obs::TraceSpan span("dev_blas", "larfb");
     lapack::larfb(Side::Left, trans, Direction::Forward, StoreV::Columnwise, v, t, c, work);
   });
 }
 
 void symv_async(Stream& s, Uplo uplo, double alpha, MatrixView<const double> a,
                 VectorView<const double> x, double beta, VectorView<double> y) {
-  s.enqueue([=] { blas::symv(uplo, alpha, a, x, beta, y); });
+  s.enqueue([=] {
+    obs::TraceSpan span("dev_blas", "symv");
+    blas::symv(uplo, alpha, a, x, beta, y);
+  });
 }
 
 void syr2k_async(Stream& s, Uplo uplo, Trans trans, double alpha, MatrixView<const double> a,
                  MatrixView<const double> b, double beta, MatrixView<double> c) {
-  s.enqueue([=] { blas::syr2k(uplo, trans, alpha, a, b, beta, c); });
+  s.enqueue([=] {
+    obs::TraceSpan span("dev_blas", "syr2k");
+    blas::syr2k(uplo, trans, alpha, a, b, beta, c);
+  });
 }
 
 void fill_async(Stream& s, MatrixView<double> a, double value) {
-  s.enqueue([=] { fill(a, value); });
+  s.enqueue([=] {
+    obs::TraceSpan span("dev_blas", "fill");
+    fill(a, value);
+  });
 }
 
 }  // namespace fth::hybrid

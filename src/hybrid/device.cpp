@@ -4,6 +4,9 @@
 #include <new>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace fth::hybrid {
 
 Device::Device(DeviceConfig cfg) : cfg_(std::move(cfg)) {
@@ -37,11 +40,19 @@ void Device::reset_transfer_stats() noexcept {
 void Device::note_h2d(std::size_t bytes) noexcept {
   h2d_bytes_ += bytes;
   ++h2d_count_;
+  static obs::Counter& total = obs::counter_metric("device.h2d_bytes");
+  static obs::Counter& count = obs::counter_metric("device.h2d_count");
+  total.add(bytes);
+  count.add();
 }
 
 void Device::note_d2h(std::size_t bytes) noexcept {
   d2h_bytes_ += bytes;
   ++d2h_count_;
+  static obs::Counter& total = obs::counter_metric("device.d2h_bytes");
+  static obs::Counter& count = obs::counter_metric("device.d2h_count");
+  total.add(bytes);
+  count.add();
 }
 
 void Device::charge_transfer(std::size_t bytes, bool h2d) const {
@@ -71,6 +82,7 @@ std::size_t view_bytes(MatrixView<const double> v) {
 void copy_h2d_async(Stream& s, MatrixView<const double> host, MatrixView<double> dev) {
   const std::size_t bytes = view_bytes(host);
   s.enqueue([host, dev, bytes, d = s.device()] {
+    obs::TraceSpan span("device", "h2d", "bytes", static_cast<double>(bytes));
     if (d != nullptr) {
       d->charge_transfer(bytes, /*h2d=*/true);
       d->note_h2d(bytes);
@@ -82,6 +94,7 @@ void copy_h2d_async(Stream& s, MatrixView<const double> host, MatrixView<double>
 void copy_d2h_async(Stream& s, MatrixView<const double> dev, MatrixView<double> host) {
   const std::size_t bytes = view_bytes(dev);
   s.enqueue([dev, host, bytes, d = s.device()] {
+    obs::TraceSpan span("device", "d2h", "bytes", static_cast<double>(bytes));
     if (d != nullptr) {
       d->charge_transfer(bytes, /*h2d=*/false);
       d->note_d2h(bytes);

@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "hybrid/dev_blas.hpp"
+#include "obs/trace.hpp"
 #include "lapack/gebrd.hpp"
 #include "lapack/gebrd_impl.hpp"
 
@@ -22,12 +23,12 @@ void hybrid_gebrd(Device& dev, MatrixView<double> a, VectorView<double> d,
             "hybrid_gebrd: e/taup too short");
   FTH_CHECK(opt.nb >= 1, "hybrid_gebrd: block size must be positive");
 
+  obs::TraceSpan run_span("hybrid", "gebrd", "n", static_cast<double>(n));
   WallTimer total_timer;
   HybridGehrdStats local_stats;
   HybridGehrdStats& st = stats != nullptr ? *stats : local_stats;
   st = {};
-  const std::uint64_t h2d0 = dev.h2d_bytes();
-  const std::uint64_t d2h0 = dev.d2h_bytes();
+  const detail::StatsScope scope(dev);
 
   const index_t nb = opt.nb;
   const index_t nx = std::max(opt.nx, nb);
@@ -55,77 +56,83 @@ void hybrid_gebrd(Device& dev, MatrixView<double> a, VectorView<double> d,
       // the superdiagonal — and the device copy of them is stale) AND the
       // row panel.
       WallTimer panel_timer;
-      copy_d2h_async(s, MatrixView<const double>(d_a.block(i, i, n - i, ib)),
-                     a.block(i, i, n - i, ib));
-      copy_d2h(s, MatrixView<const double>(d_a.block(i, i + ib, ib, n - i - ib)),
-               a.block(i, i + ib, ib, n - i - ib));
+      {
+        obs::TraceSpan panel_span("hybrid", "panel", "col", static_cast<double>(i));
+        copy_d2h_async(s, MatrixView<const double>(d_a.block(i, i, n - i, ib)),
+                       a.block(i, i, n - i, ib));
+        copy_d2h(s, MatrixView<const double>(d_a.block(i, i + ib, ib, n - i - ib)),
+                 a.block(i, i + ib, ib, n - i - ib));
 
-      lapack::detail::labrd_panel(
-          a, i, ib, d.sub(i, ib), e.sub(i, ib), tauq.sub(i, ib), taup.sub(i, ib),
-          x_host.view(), y_host.view(),
-          [&](index_t j, VectorView<const double> v, VectorView<double> ycol) {
-            const index_t cj = i + j;
-            const index_t mlen = n - cj;
-            const index_t nlen = n - cj - 1;
-            copy_h2d_async(s, MatrixView<const double>(v.data(), mlen, 1, mlen),
-                           d_vec.block(0, 0, mlen, 1));
-            gemv_async(s, Trans::Yes, 1.0,
-                       MatrixView<const double>(d_a.block(cj, cj + 1, mlen, nlen)),
-                       VectorView<const double>(d_vec.view().col(0).sub(0, mlen)), 0.0,
-                       d_res.view().col(0).sub(0, nlen));
-            copy_d2h(s, MatrixView<const double>(d_res.block(0, 0, nlen, 1)),
-                     MatrixView<double>(ycol.data(), nlen, 1, nlen));
-          },
-          [&](index_t j, VectorView<const double> u, VectorView<double> xcol) {
-            const index_t cj = i + j;
-            const index_t nlen = n - cj - 1;
-            // u is a strided row view; stage it densely for the transfer.
-            Matrix<double> dense(nlen, 1);
-            for (index_t r = 0; r < nlen; ++r) dense(r, 0) = u[r];
-            copy_h2d_async(s, dense.cview(), d_vec.block(0, 0, nlen, 1));
-            gemv_async(s, Trans::No, 1.0,
-                       MatrixView<const double>(d_a.block(cj + 1, cj + 1, nlen, nlen)),
-                       VectorView<const double>(d_vec.view().col(0).sub(0, nlen)), 0.0,
-                       d_res.view().col(0).sub(0, nlen));
-            copy_d2h(s, MatrixView<const double>(d_res.block(0, 0, nlen, 1)),
-                     MatrixView<double>(xcol.data(), nlen, 1, nlen));
-          });
+        lapack::detail::labrd_panel(
+            a, i, ib, d.sub(i, ib), e.sub(i, ib), tauq.sub(i, ib), taup.sub(i, ib),
+            x_host.view(), y_host.view(),
+            [&](index_t j, VectorView<const double> v, VectorView<double> ycol) {
+              const index_t cj = i + j;
+              const index_t mlen = n - cj;
+              const index_t nlen = n - cj - 1;
+              copy_h2d_async(s, MatrixView<const double>(v.data(), mlen, 1, mlen),
+                             d_vec.block(0, 0, mlen, 1));
+              gemv_async(s, Trans::Yes, 1.0,
+                         MatrixView<const double>(d_a.block(cj, cj + 1, mlen, nlen)),
+                         VectorView<const double>(d_vec.view().col(0).sub(0, mlen)), 0.0,
+                         d_res.view().col(0).sub(0, nlen));
+              copy_d2h(s, MatrixView<const double>(d_res.block(0, 0, nlen, 1)),
+                       MatrixView<double>(ycol.data(), nlen, 1, nlen));
+            },
+            [&](index_t j, VectorView<const double> u, VectorView<double> xcol) {
+              const index_t cj = i + j;
+              const index_t nlen = n - cj - 1;
+              // u is a strided row view; stage it densely for the transfer.
+              Matrix<double> dense(nlen, 1);
+              for (index_t r = 0; r < nlen; ++r) dense(r, 0) = u[r];
+              copy_h2d_async(s, dense.cview(), d_vec.block(0, 0, nlen, 1));
+              gemv_async(s, Trans::No, 1.0,
+                         MatrixView<const double>(d_a.block(cj + 1, cj + 1, nlen, nlen)),
+                         VectorView<const double>(d_vec.view().col(0).sub(0, nlen)), 0.0,
+                         d_res.view().col(0).sub(0, nlen));
+              copy_d2h(s, MatrixView<const double>(d_res.block(0, 0, nlen, 1)),
+                       MatrixView<double>(xcol.data(), nlen, 1, nlen));
+            });
+      }
       st.panel_seconds += panel_timer.seconds();
 
       WallTimer update_timer;
-      const index_t tn = n - i - ib;
-      // Ship the four trailing-update operands (units are already in place
-      // in the host panel data exactly as LAPACK leaves them).
-      copy_h2d_async(s, MatrixView<const double>(a.block(i + ib, i, tn, ib)),
-                     d_v2.block(0, 0, tn, ib));
-      copy_h2d_async(s, MatrixView<const double>(y_host.block(i + ib, 0, tn, ib)),
-                     d_y2.block(0, 0, tn, ib));
-      copy_h2d_async(s, MatrixView<const double>(x_host.block(i + ib, 0, tn, ib)),
-                     d_x2.block(0, 0, tn, ib));
-      copy_h2d_async(s, MatrixView<const double>(a.block(i, i + ib, ib, tn)),
-                     d_u2.block(0, 0, ib, tn));
-      // The U2 transfer must observe the panel's unit entries; only after
-      // it completes may the host put the pivot values back (the GEMMs
-      // below still overlap with the host work).
-      const Event operands_shipped = s.record();
+      {
+        obs::TraceSpan update_span("hybrid", "update", "col", static_cast<double>(i));
+        const index_t tn = n - i - ib;
+        // Ship the four trailing-update operands (units are already in place
+        // in the host panel data exactly as LAPACK leaves them).
+        copy_h2d_async(s, MatrixView<const double>(a.block(i + ib, i, tn, ib)),
+                       d_v2.block(0, 0, tn, ib));
+        copy_h2d_async(s, MatrixView<const double>(y_host.block(i + ib, 0, tn, ib)),
+                       d_y2.block(0, 0, tn, ib));
+        copy_h2d_async(s, MatrixView<const double>(x_host.block(i + ib, 0, tn, ib)),
+                       d_x2.block(0, 0, tn, ib));
+        copy_h2d_async(s, MatrixView<const double>(a.block(i, i + ib, ib, tn)),
+                       d_u2.block(0, 0, ib, tn));
+        // The U2 transfer must observe the panel's unit entries; only after
+        // it completes may the host put the pivot values back (the GEMMs
+        // below still overlap with the host work).
+        const Event operands_shipped = s.record();
 
-      gemm_async(s, Trans::No, Trans::Yes, -1.0,
-                 MatrixView<const double>(d_v2.block(0, 0, tn, ib)),
-                 MatrixView<const double>(d_y2.block(0, 0, tn, ib)), 1.0,
-                 d_a.block(i + ib, i + ib, tn, tn));
-      gemm_async(s, Trans::No, Trans::No, -1.0,
-                 MatrixView<const double>(d_x2.block(0, 0, tn, ib)),
-                 MatrixView<const double>(d_u2.block(0, 0, ib, tn)), 1.0,
-                 d_a.block(i + ib, i + ib, tn, tn));
+        gemm_async(s, Trans::No, Trans::Yes, -1.0,
+                   MatrixView<const double>(d_v2.block(0, 0, tn, ib)),
+                   MatrixView<const double>(d_y2.block(0, 0, tn, ib)), 1.0,
+                   d_a.block(i + ib, i + ib, tn, tn));
+        gemm_async(s, Trans::No, Trans::No, -1.0,
+                   MatrixView<const double>(d_x2.block(0, 0, tn, ib)),
+                   MatrixView<const double>(d_u2.block(0, 0, ib, tn)), 1.0,
+                   d_a.block(i + ib, i + ib, tn, tn));
 
-      // Host bookkeeping overlapped with the device GEMMs: put the pivot
-      // values back in place of the panel's units.
-      operands_shipped.wait();
-      for (index_t j = 0; j < ib; ++j) {
-        a(i + j, i + j) = d[i + j];
-        a(i + j, i + j + 1) = e[i + j];
+        // Host bookkeeping overlapped with the device GEMMs: put the pivot
+        // values back in place of the panel's units.
+        operands_shipped.wait();
+        for (index_t j = 0; j < ib; ++j) {
+          a(i + j, i + j) = d[i + j];
+          a(i + j, i + j + 1) = e[i + j];
+        }
+        s.synchronize();
       }
-      s.synchronize();
       st.update_seconds += update_timer.seconds();
 
       i += ib;
@@ -145,6 +152,7 @@ void hybrid_gebrd(Device& dev, MatrixView<double> a, VectorView<double> d,
 
   WallTimer finish_timer;
   {
+    obs::TraceSpan finish_span("hybrid", "finish", "col", static_cast<double>(i));
     auto trail = a.block(i, i, n - i, n - i);
     lapack::gebd2(trail, d.sub(i, n - i),
                   (i < n - 1) ? e.sub(i, n - i - 1) : VectorView<double>(),
@@ -154,8 +162,7 @@ void hybrid_gebrd(Device& dev, MatrixView<double> a, VectorView<double> d,
   st.finish_seconds = finish_timer.seconds();
 
   st.total_seconds = total_timer.seconds();
-  st.h2d_bytes = dev.h2d_bytes() - h2d0;
-  st.d2h_bytes = dev.d2h_bytes() - d2h0;
+  scope.finish(st);
 }
 
 }  // namespace fth::hybrid

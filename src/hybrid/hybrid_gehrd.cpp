@@ -7,6 +7,7 @@
 #include "la/blas1.hpp"
 #include "la/blas3.hpp"
 #include "hybrid/dev_blas.hpp"
+#include "obs/trace.hpp"
 #include "lapack/gehrd.hpp"
 #include "lapack/lahr2_impl.hpp"
 #include "lapack/orghr.hpp"
@@ -22,12 +23,12 @@ void hybrid_gehrd(Device& dev, MatrixView<double> a, VectorView<double> tau,
   FTH_CHECK(tau.size() >= std::max<index_t>(n - 1, 0), "hybrid_gehrd: tau too short");
   FTH_CHECK(opt.nb >= 1, "hybrid_gehrd: block size must be positive");
 
+  obs::TraceSpan run_span("hybrid", "gehrd", "n", static_cast<double>(n));
   WallTimer total_timer;
   HybridGehrdStats local_stats;
   HybridGehrdStats& st = stats != nullptr ? *stats : local_stats;
   st = {};
-  const std::uint64_t h2d0 = dev.h2d_bytes();
-  const std::uint64_t d2h0 = dev.d2h_bytes();
+  const detail::StatsScope scope(dev);
 
   const index_t nb = opt.nb;
   const index_t nx = std::max(opt.nx, nb);
@@ -60,71 +61,77 @@ void hybrid_gehrd(Device& dev, MatrixView<double> a, VectorView<double> tau,
       // Line 4: host panel factorization; the big Y products run on the
       // device against the start-of-iteration trailing matrix.
       WallTimer panel_timer;
-      lapack::detail::lahr2_panel(
-          a, i, ib, t_host.view(), y_host.view(), tau.sub(i, ib),
-          [&](index_t j, VectorView<const double> vj, VectorView<double> y_col) {
-            const index_t cj = i + j;
-            // Ship the reflector vector, launch the device GEMV, fetch the
-            // raw product back (the host applies the corrections).
-            auto d_vcol = d_v.block(j, j, vj.size(), 1);
-            copy_h2d_async(s, MatrixView<const double>(vj.data(), vj.size(), 1, vj.size()),
-                           d_vcol);
-            gemv_async(s, Trans::No, 1.0,
-                       MatrixView<const double>(d_a.block(i + 1, cj + 1, vrows, n - cj - 1)),
-                       VectorView<const double>(d_vcol.col(0)), 0.0,
-                       d_y.block(i + 1, j, vrows, 1).col(0));
-            copy_d2h(s, MatrixView<const double>(d_y.block(i + 1, j, vrows, 1)),
-                     MatrixView<double>(y_col.data(), vrows, 1, vrows));
-          });
+      {
+        obs::TraceSpan panel_span("hybrid", "panel", "col", static_cast<double>(i));
+        lapack::detail::lahr2_panel(
+            a, i, ib, t_host.view(), y_host.view(), tau.sub(i, ib),
+            [&](index_t j, VectorView<const double> vj, VectorView<double> y_col) {
+              const index_t cj = i + j;
+              // Ship the reflector vector, launch the device GEMV, fetch the
+              // raw product back (the host applies the corrections).
+              auto d_vcol = d_v.block(j, j, vj.size(), 1);
+              copy_h2d_async(s, MatrixView<const double>(vj.data(), vj.size(), 1, vj.size()),
+                             d_vcol);
+              gemv_async(s, Trans::No, 1.0,
+                         MatrixView<const double>(d_a.block(i + 1, cj + 1, vrows, n - cj - 1)),
+                         VectorView<const double>(d_vcol.col(0)), 0.0,
+                         d_y.block(i + 1, j, vrows, 1).col(0));
+              copy_d2h(s, MatrixView<const double>(d_y.block(i + 1, j, vrows, 1)),
+                       MatrixView<double>(y_col.data(), vrows, 1, vrows));
+            });
+      }
       st.panel_seconds += panel_timer.seconds();
 
       WallTimer update_timer;
-      // Ship the clean V (explicit unit diagonal), T, and the corrected
-      // lower part of Y to the device.
-      Matrix<double> v = lapack::materialize_v(MatrixView<const double>(a), i, ib);
-      copy_h2d_async(s, v.cview(), d_v.block(0, 0, vrows, ib));
-      copy_h2d_async(s, t_host.block(0, 0, ib, ib), d_t.block(0, 0, ib, ib));
-      copy_h2d_async(s, y_host.block(0, 0, n, ib), d_y.block(0, 0, n, ib));
+      {
+        obs::TraceSpan update_span("hybrid", "update", "col", static_cast<double>(i));
+        // Ship the clean V (explicit unit diagonal), T, and the corrected
+        // lower part of Y to the device.
+        Matrix<double> v = lapack::materialize_v(MatrixView<const double>(a), i, ib);
+        copy_h2d_async(s, v.cview(), d_v.block(0, 0, vrows, ib));
+        copy_h2d_async(s, t_host.block(0, 0, ib, ib), d_t.block(0, 0, ib, ib));
+        copy_h2d_async(s, y_host.block(0, 0, n, ib), d_y.block(0, 0, n, ib));
 
-      // Top rows of Y on the device: Y(0:i+1,:) = A(0:i+1, i+1:n)·V·T.
-      gemm_async(s, Trans::No, Trans::No, 1.0,
-                 MatrixView<const double>(d_a.block(0, i + 1, i + 1, vrows)),
-                 MatrixView<const double>(d_v.block(0, 0, vrows, ib)), 0.0,
-                 d_y.block(0, 0, i + 1, ib));
-      trmm_async(s, Side::Right, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0,
-                 MatrixView<const double>(d_t.block(0, 0, ib, ib)), d_y.block(0, 0, i + 1, ib));
-      // The host needs those rows for the panel-column fix below; fetch
-      // them asynchronously and overlap with the big right update.
-      copy_d2h_async(s, MatrixView<const double>(d_y.block(0, 0, i + 1, ib)),
-                     y_host.block(0, 0, i + 1, ib));
-      const Event y_upper_ready = s.record();
+        // Top rows of Y on the device: Y(0:i+1,:) = A(0:i+1, i+1:n)·V·T.
+        gemm_async(s, Trans::No, Trans::No, 1.0,
+                   MatrixView<const double>(d_a.block(0, i + 1, i + 1, vrows)),
+                   MatrixView<const double>(d_v.block(0, 0, vrows, ib)), 0.0,
+                   d_y.block(0, 0, i + 1, ib));
+        trmm_async(s, Side::Right, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0,
+                   MatrixView<const double>(d_t.block(0, 0, ib, ib)), d_y.block(0, 0, i + 1, ib));
+        // The host needs those rows for the panel-column fix below; fetch
+        // them asynchronously and overlap with the big right update.
+        copy_d2h_async(s, MatrixView<const double>(d_y.block(0, 0, i + 1, ib)),
+                       y_host.block(0, 0, i + 1, ib));
+        const Event y_upper_ready = s.record();
 
-      // Line 7/8 right update (device): A(0:n, i+ib:n) −= Y·V2ᵀ where V2 is
-      // the part of V whose rows correspond to columns i+ib..n−1.
-      gemm_async(s, Trans::No, Trans::Yes, -1.0,
-                 MatrixView<const double>(d_y.block(0, 0, n, ib)),
-                 MatrixView<const double>(d_v.block(ib - 1, 0, n - i - ib, ib)),
-                 1.0, d_a.block(0, i + ib, n, n - i - ib));
+        // Line 7/8 right update (device): A(0:n, i+ib:n) −= Y·V2ᵀ where V2 is
+        // the part of V whose rows correspond to columns i+ib..n−1.
+        gemm_async(s, Trans::No, Trans::Yes, -1.0,
+                   MatrixView<const double>(d_y.block(0, 0, n, ib)),
+                   MatrixView<const double>(d_v.block(ib - 1, 0, n - i - ib, ib)),
+                   1.0, d_a.block(0, i + ib, n, n - i - ib));
 
-      // Host (overlapped with the device GEMM): finish the upper rows of
-      // the panel columns, A(0:i+1, i+1:i+ib) −= Y(0:i+1, 0:ib−1)·V1ᵀ.
-      y_upper_ready.wait();
-      blas::trmm(Side::Right, Uplo::Lower, Trans::Yes, Diag::Unit, 1.0,
-                 MatrixView<const double>(a.block(i + 1, i, ib - 1, ib - 1)),
-                 y_host.block(0, 0, i + 1, ib - 1));
-      for (index_t j = 0; j + 1 < ib; ++j) {
-        blas::axpy(-1.0, VectorView<const double>(y_host.block(0, j, i + 1, 1).col(0)),
-                   a.block(0, i + 1 + j, i + 1, 1).col(0));
+        // Host (overlapped with the device GEMM): finish the upper rows of
+        // the panel columns, A(0:i+1, i+1:i+ib) −= Y(0:i+1, 0:ib−1)·V1ᵀ.
+        y_upper_ready.wait();
+        blas::trmm(Side::Right, Uplo::Lower, Trans::Yes, Diag::Unit, 1.0,
+                   MatrixView<const double>(a.block(i + 1, i, ib - 1, ib - 1)),
+                   y_host.block(0, 0, i + 1, ib - 1));
+        for (index_t j = 0; j + 1 < ib; ++j) {
+          blas::axpy(-1.0, VectorView<const double>(y_host.block(0, j, i + 1, 1).col(0)),
+                     a.block(0, i + 1 + j, i + 1, 1).col(0));
+        }
+
+        // Left update (device): A(i+1:n, i+ib:n) := Hᵀ·A(i+1:n, i+ib:n).
+        larfb_left_async(s, Trans::Yes, MatrixView<const double>(d_v.block(0, 0, vrows, ib)),
+                         MatrixView<const double>(d_t.block(0, 0, ib, ib)),
+                         d_a.block(i + 1, i + ib, vrows, n - i - ib), d_work.view());
+
+        i += ib;
+        ++st.panels;
+        s.synchronize();
       }
-
-      // Left update (device): A(i+1:n, i+ib:n) := Hᵀ·A(i+1:n, i+ib:n).
-      larfb_left_async(s, Trans::Yes, MatrixView<const double>(d_v.block(0, 0, vrows, ib)),
-                       MatrixView<const double>(d_t.block(0, 0, ib, ib)),
-                       d_a.block(i + 1, i + ib, vrows, n - i - ib), d_work.view());
-
-      i += ib;
-      ++st.panels;
-      s.synchronize();
       st.update_seconds += update_timer.seconds();
 
       if (hook) {
@@ -140,6 +147,7 @@ void hybrid_gehrd(Device& dev, MatrixView<double> a, VectorView<double> tau,
     copy_d2h(s, MatrixView<const double>(d_a.block(0, i, n, n - i)), a.block(0, i, n, n - i));
 
     WallTimer finish_timer;
+    obs::TraceSpan finish_span("hybrid", "finish", "col", static_cast<double>(i));
     if (i + 1 < n) {
       std::vector<double> wbuf(static_cast<std::size_t>(n));
       VectorView<double> w(wbuf.data(), n);
@@ -159,13 +167,13 @@ void hybrid_gehrd(Device& dev, MatrixView<double> a, VectorView<double> tau,
   } else {
     // Problem too small for the hybrid path: plain host reduction.
     WallTimer finish_timer;
+    obs::TraceSpan finish_span("hybrid", "finish", "col", 0.0);
     lapack::gehd2(a, tau);
     st.finish_seconds = finish_timer.seconds();
   }
 
   st.total_seconds = total_timer.seconds();
-  st.h2d_bytes = dev.h2d_bytes() - h2d0;
-  st.d2h_bytes = dev.d2h_bytes() - d2h0;
+  scope.finish(st);
 }
 
 }  // namespace fth::hybrid

@@ -35,7 +35,9 @@ struct IterationHookContext {
 /// the next panel transfer), and once more after the final boundary.
 using IterationHook = std::function<void(const IterationHookContext&)>;
 
-/// Wall-clock decomposition of one run (for the overhead studies).
+/// Wall-clock decomposition of one run (for the overhead studies), plus
+/// the run's transfer/memory/overlap footprint pulled up from the Device
+/// and Stream so callers need not reach into device internals.
 struct HybridGehrdStats {
   double total_seconds = 0.0;
   double panel_seconds = 0.0;    ///< host panel factorization (incl. device Y gemv waits)
@@ -44,7 +46,43 @@ struct HybridGehrdStats {
   index_t panels = 0;
   std::uint64_t h2d_bytes = 0;
   std::uint64_t d2h_bytes = 0;
+  std::uint64_t h2d_count = 0;         ///< number of H2D transfers in this run
+  std::uint64_t d2h_count = 0;         ///< number of D2H transfers in this run
+  std::size_t dev_peak_bytes = 0;      ///< peak device-memory footprint (lifetime of `dev`)
+  std::uint64_t peak_queue_depth = 0;  ///< deepest stream backlog during the run
 };
+
+namespace detail {
+
+/// Snapshot of the device counters at the start of a driver run; finish()
+/// writes the per-run deltas (and the peaks) into the stats. Every hybrid
+/// and FT driver uses one so the footprint fields stay consistent.
+class StatsScope {
+ public:
+  explicit StatsScope(Device& dev)
+      : dev_(dev),
+        h2d_bytes0_(dev.h2d_bytes()),
+        d2h_bytes0_(dev.d2h_bytes()),
+        h2d_count0_(dev.h2d_count()),
+        d2h_count0_(dev.d2h_count()) {
+    dev.stream().reset_peak_queue_depth();
+  }
+
+  void finish(HybridGehrdStats& st) const {
+    st.h2d_bytes = dev_.h2d_bytes() - h2d_bytes0_;
+    st.d2h_bytes = dev_.d2h_bytes() - d2h_bytes0_;
+    st.h2d_count = dev_.h2d_count() - h2d_count0_;
+    st.d2h_count = dev_.d2h_count() - d2h_count0_;
+    st.dev_peak_bytes = dev_.peak_bytes();
+    st.peak_queue_depth = dev_.stream().peak_queue_depth();
+  }
+
+ private:
+  Device& dev_;
+  std::uint64_t h2d_bytes0_, d2h_bytes0_, h2d_count0_, d2h_count0_;
+};
+
+}  // namespace detail
 
 /// Reduce `a` (host memory) to Hessenberg form using `dev`. Drop-in
 /// equivalent of lapack::gehrd up to floating-point reassociation.

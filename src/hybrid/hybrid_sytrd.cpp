@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "hybrid/dev_blas.hpp"
+#include "obs/trace.hpp"
 #include "lapack/orghr.hpp"
 #include "lapack/sytrd.hpp"
 #include "lapack/sytrd_impl.hpp"
@@ -23,12 +24,12 @@ void hybrid_sytrd(Device& dev, MatrixView<double> a, VectorView<double> d,
             "hybrid_sytrd: e/tau too short");
   FTH_CHECK(opt.nb >= 1, "hybrid_sytrd: block size must be positive");
 
+  obs::TraceSpan run_span("hybrid", "sytrd", "n", static_cast<double>(n));
   WallTimer total_timer;
   HybridGehrdStats local_stats;
   HybridGehrdStats& st = stats != nullptr ? *stats : local_stats;
   st = {};
-  const std::uint64_t h2d0 = dev.h2d_bytes();
-  const std::uint64_t d2h0 = dev.d2h_bytes();
+  const detail::StatsScope scope(dev);
 
   const index_t nb = opt.nb;
   const index_t nx = std::max(opt.nx, nb);
@@ -49,11 +50,13 @@ void hybrid_sytrd(Device& dev, MatrixView<double> a, VectorView<double> d,
       // Panel columns to the host (full height; only rows ≥ i are live in
       // lower storage but the copy is simpler and the extra rows harmless).
       WallTimer panel_timer;
-      copy_d2h(s, MatrixView<const double>(d_a.block(0, i, n, ib)), a.block(0, i, n, ib));
+      {
+        obs::TraceSpan panel_span("hybrid", "panel", "col", static_cast<double>(i));
+        copy_d2h(s, MatrixView<const double>(d_a.block(0, i, n, ib)), a.block(0, i, n, ib));
 
-      // Host panel; each column's big SYMV runs on the device against the
-      // start-of-iteration trailing matrix.
-      lapack::detail::latrd_panel(
+        // Host panel; each column's big SYMV runs on the device against the
+        // start-of-iteration trailing matrix.
+        lapack::detail::latrd_panel(
           a, i, ib, e.sub(i, ib), tau.sub(i, ib), w_host.view(),
           [&](index_t j, VectorView<const double> vj, VectorView<double> w_col) {
             const index_t cj = i + j;
@@ -67,9 +70,12 @@ void hybrid_sytrd(Device& dev, MatrixView<double> a, VectorView<double> d,
             copy_d2h(s, MatrixView<const double>(d_w.block(cj + 1 - i, j, vlen, 1)),
                      MatrixView<double>(w_col.data(), vlen, 1, vlen));
           });
+      }
       st.panel_seconds += panel_timer.seconds();
 
       WallTimer update_timer;
+      {
+        obs::TraceSpan update_span("hybrid", "update", "col", static_cast<double>(i));
       // Ship clean V (explicit unit diagonal) and the finished W columns.
       Matrix<double> v = lapack::materialize_v(MatrixView<const double>(a), i, ib);
       const index_t vrows = n - i - 1;
@@ -89,7 +95,8 @@ void hybrid_sytrd(Device& dev, MatrixView<double> a, VectorView<double> d,
         a(i + j + 1, i + j) = e[i + j];  // replace the panel's unit entries
         d[i + j] = a(i + j, i + j);
       }
-      s.synchronize();
+        s.synchronize();
+      }
       st.update_seconds += update_timer.seconds();
 
       i += ib;
@@ -110,6 +117,7 @@ void hybrid_sytrd(Device& dev, MatrixView<double> a, VectorView<double> d,
 
   WallTimer finish_timer;
   {
+    obs::TraceSpan finish_span("hybrid", "finish", "col", static_cast<double>(i));
     auto trail = a.block(i, i, n - i, n - i);
     lapack::sytd2(trail, d.sub(i, n - i),
                   (i < n - 1) ? e.sub(i, n - i - 1) : VectorView<double>(),
@@ -118,8 +126,7 @@ void hybrid_sytrd(Device& dev, MatrixView<double> a, VectorView<double> d,
   st.finish_seconds = finish_timer.seconds();
 
   st.total_seconds = total_timer.seconds();
-  st.h2d_bytes = dev.h2d_bytes() - h2d0;
-  st.d2h_bytes = dev.d2h_bytes() - d2h0;
+  scope.finish(st);
 }
 
 }  // namespace fth::hybrid

@@ -1,6 +1,7 @@
 #include "hybrid/stream.hpp"
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace fth::hybrid {
 
@@ -12,6 +13,7 @@ bool Event::ready() const {
 
 void Event::wait() const {
   if (!state_) return;
+  obs::TraceSpan span("stream", "event_wait");
   std::unique_lock lock(state_->m);
   state_->cv.wait(lock, [&] { return state_->done; });
 }
@@ -32,13 +34,19 @@ void Stream::enqueue(std::function<void()> task) {
   {
     std::lock_guard lock(m_);
     queue_.push_back(std::move(task));
+    const std::uint64_t depth = queue_.size() + (busy_ ? 1 : 0);
+    if (depth > peak_depth_) peak_depth_ = depth;
+    obs::counter("stream.queue_depth", static_cast<double>(depth));
   }
   cv_worker_.notify_one();
 }
 
 void Stream::synchronize() {
   std::unique_lock lock(m_);
-  cv_idle_.wait(lock, [&] { return queue_.empty() && !busy_; });
+  if (!queue_.empty() || busy_) {
+    obs::TraceSpan span("stream", "synchronize");
+    cv_idle_.wait(lock, [&] { return queue_.empty() && !busy_; });
+  }
   if (pending_error_) {
     const std::exception_ptr e = pending_error_;
     pending_error_ = nullptr;
@@ -69,7 +77,18 @@ std::uint64_t Stream::tasks_executed() const {
   return executed_;
 }
 
+std::uint64_t Stream::peak_queue_depth() const {
+  std::lock_guard lock(m_);
+  return peak_depth_;
+}
+
+void Stream::reset_peak_queue_depth() {
+  std::lock_guard lock(m_);
+  peak_depth_ = queue_.size() + (busy_ ? 1 : 0);
+}
+
 void Stream::worker_loop() {
+  obs::set_thread_name("device-stream");
   for (;;) {
     std::function<void()> task;
     {
@@ -84,6 +103,7 @@ void Stream::worker_loop() {
       busy_ = true;
     }
     try {
+      obs::TraceSpan span("stream", "task");
       task();
     } catch (...) {
       std::lock_guard lock(m_);
@@ -95,6 +115,7 @@ void Stream::worker_loop() {
       std::lock_guard lock(m_);
       busy_ = false;
       ++executed_;
+      obs::counter("stream.queue_depth", static_cast<double>(queue_.size()));
       if (queue_.empty()) cv_idle_.notify_all();
     }
   }

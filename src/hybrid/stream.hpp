@@ -71,6 +71,13 @@ class Stream {
   /// Number of tasks executed over the stream's lifetime.
   [[nodiscard]] std::uint64_t tasks_executed() const;
 
+  /// Deepest backlog observed (tasks queued + the one executing) since
+  /// construction or the last reset_peak_queue_depth(). A proxy for how
+  /// far ahead of the device the host got — the overlap the hybrid
+  /// algorithms live on.
+  [[nodiscard]] std::uint64_t peak_queue_depth() const;
+  void reset_peak_queue_depth();
+
  private:
   void worker_loop();
 
@@ -81,6 +88,7 @@ class Stream {
   std::deque<std::function<void()>> queue_;
   std::exception_ptr pending_error_;
   std::uint64_t executed_ = 0;
+  std::uint64_t peak_depth_ = 0;
   bool busy_ = false;
   bool stop_ = false;
   std::thread worker_;

@@ -1,0 +1,138 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace fth::obs {
+
+int Histogram::bucket_of(double v) noexcept {
+  if (!(v > 0.0)) return 0;  // zero, negatives and NaN land in the underflow bucket
+  if (std::isinf(v)) return kBuckets - 1;  // the int cast below would be UB
+  const int exp = static_cast<int>(std::floor(std::log10(v)));
+  if (exp < kMinExp) return 0;
+  if (exp > kMaxExp) return kBuckets - 1;
+  return exp - kMinExp + 1;
+}
+
+void Histogram::observe(double v) noexcept {
+  std::lock_guard lock(m_);
+  if (data_.count == 0) {
+    data_.min = v;
+    data_.max = v;
+  } else {
+    data_.min = std::min(data_.min, v);
+    data_.max = std::max(data_.max, v);
+  }
+  ++data_.count;
+  data_.sum += v;
+  ++data_.buckets[static_cast<std::size_t>(bucket_of(v))];
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard lock(m_);
+  return data_;
+}
+
+void Histogram::reset() {
+  std::lock_guard lock(m_);
+  data_ = Snapshot{};
+}
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard lock(m_);
+  return counters_[name];  // value-constructed at zero on first use
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard lock(m_);
+  return histograms_[name];
+}
+
+void Registry::reset() {
+  std::lock_guard lock(m_);
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+namespace {
+
+void append_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char hex[8];
+      std::snprintf(hex, sizeof hex, "\\u%04x", c);
+      os << hex;
+    } else {
+      os << c;
+    }
+  }
+  os << '"';
+}
+
+void append_double(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {  // JSON has no inf/nan
+    os << "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+
+}  // namespace
+
+void Registry::write_json(std::ostream& os) const {
+  std::lock_guard lock(m_);
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ',';
+    first = false;
+    append_json_string(os, name);
+    os << ':' << c.value();
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ',';
+    first = false;
+    const auto s = h.snapshot();
+    append_json_string(os, name);
+    os << ":{\"count\":" << s.count << ",\"sum\":";
+    append_double(os, s.sum);
+    os << ",\"min\":";
+    append_double(os, s.count > 0 ? s.min : 0.0);
+    os << ",\"max\":";
+    append_double(os, s.count > 0 ? s.max : 0.0);
+    os << ",\"min_exp\":" << Histogram::kMinExp << ",\"buckets\":[";
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      if (b > 0) os << ',';
+      os << s.buckets[static_cast<std::size_t>(b)];
+    }
+    os << "]}";
+  }
+  os << "}}";
+}
+
+std::string Registry::to_json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+Counter& counter_metric(const std::string& name) { return Registry::global().counter(name); }
+
+Histogram& histogram_metric(const std::string& name) {
+  return Registry::global().histogram(name);
+}
+
+}  // namespace fth::obs

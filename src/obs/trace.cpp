@@ -1,0 +1,243 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace fth::obs {
+
+namespace {
+
+struct TraceEvent {
+  double ts_us = 0.0;
+  double value = 0.0;        // counter value or span argument
+  const char* cat = "";      // string literal (see trace.hpp contract)
+  const char* name = "";     // string literal
+  const char* arg_key = "";  // optional span argument name (string literal)
+  std::uint32_t tid = 0;
+  char ph = '?';
+};
+
+/// Per-thread event buffer. Each thread locks only its own (uncontended)
+/// mutex on the enabled path; the writer locks all of them at flush time.
+struct ThreadBuffer {
+  std::mutex m;
+  std::vector<TraceEvent> events;
+  std::string thread_name;
+  std::uint32_t tid = 0;
+};
+
+class Recorder {
+ public:
+  static Recorder& instance() {
+    static Recorder r;
+    return r;
+  }
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  void start(const std::string& path) {
+    std::lock_guard lock(registry_m_);
+    path_ = path;
+    for (auto& b : buffers_) {
+      std::lock_guard bl(b->m);
+      b->events.clear();
+    }
+    if (!atexit_registered_) {
+      atexit_registered_ = true;
+      std::atexit([] { trace_stop(); });
+    }
+    enabled_.store(true, std::memory_order_relaxed);
+  }
+
+  std::size_t stop() {
+    if (!enabled()) return 0;
+    enabled_.store(false, std::memory_order_relaxed);
+    std::lock_guard lock(registry_m_);
+    std::vector<TraceEvent> all;
+    for (auto& b : buffers_) {
+      std::lock_guard bl(b->m);
+      all.insert(all.end(), b->events.begin(), b->events.end());
+      b->events.clear();
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) { return a.ts_us < b.ts_us; });
+    write_file(all);
+    return all.size();
+  }
+
+  void record(TraceEvent ev) noexcept {
+    ThreadBuffer& b = local_buffer();
+    ev.ts_us = now_us();
+    ev.tid = b.tid;
+    std::lock_guard lock(b.m);
+    b.events.push_back(ev);
+  }
+
+  void name_thread(const char* name) {
+    ThreadBuffer& b = local_buffer();
+    std::lock_guard lock(b.m);
+    b.thread_name = name;
+  }
+
+ private:
+  Recorder() : t0_(std::chrono::steady_clock::now()) {}
+
+  [[nodiscard]] double now_us() const noexcept {
+    return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0_)
+        .count();
+  }
+
+  ThreadBuffer& local_buffer() {
+    thread_local std::shared_ptr<ThreadBuffer> buf = [this] {
+      auto b = std::make_shared<ThreadBuffer>();
+      std::lock_guard lock(registry_m_);
+      b->tid = next_tid_++;
+      buffers_.push_back(b);
+      return b;
+    }();
+    return *buf;
+  }
+
+  static void append_escaped(std::string& out, const char* s) {
+    for (; *s != '\0'; ++s) {
+      const char c = *s;
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char hex[8];
+        std::snprintf(hex, sizeof hex, "\\u%04x", c);
+        out += hex;
+      } else {
+        out.push_back(c);
+      }
+    }
+  }
+
+  void write_file(const std::vector<TraceEvent>& events) const {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "fth::obs: cannot open trace output '%s'\n", path_.c_str());
+      return;
+    }
+    const long pid = 1;  // single-process library; a stable dummy keeps tools happy
+    std::string line;
+    std::fprintf(f, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    bool first = true;
+    auto emit = [&](const std::string& s) {
+      std::fprintf(f, "%s%s", first ? "" : ",\n", s.c_str());
+      first = false;
+    };
+    // Track-name metadata first (tools accept it anywhere; first is tidy).
+    for (const auto& b : buffers_) {
+      if (b->thread_name.empty()) continue;
+      line.clear();
+      line += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" + std::to_string(pid) +
+              ",\"tid\":" + std::to_string(b->tid) + ",\"args\":{\"name\":\"";
+      append_escaped(line, b->thread_name.c_str());
+      line += "\"}}";
+      emit(line);
+    }
+    char num[64];
+    for (const auto& ev : events) {
+      line.clear();
+      line += "{\"ph\":\"";
+      line.push_back(ev.ph);
+      line += "\",\"pid\":" + std::to_string(pid) + ",\"tid\":" + std::to_string(ev.tid);
+      std::snprintf(num, sizeof num, "%.3f", ev.ts_us);
+      line += ",\"ts\":";
+      line += num;
+      if (ev.ph != 'E') {
+        line += ",\"cat\":\"";
+        append_escaped(line, ev.cat);
+        line += "\",\"name\":\"";
+        append_escaped(line, ev.name);
+        line += "\"";
+      }
+      if (ev.ph == 'i') line += ",\"s\":\"t\"";
+      if (ev.ph == 'C') {
+        std::snprintf(num, sizeof num, "%.17g", ev.value);
+        line += ",\"args\":{\"value\":";
+        line += num;
+        line += "}";
+      } else if (ev.ph == 'B' && ev.arg_key[0] != '\0') {
+        std::snprintf(num, sizeof num, "%.17g", ev.value);
+        line += ",\"args\":{\"";
+        append_escaped(line, ev.arg_key);
+        line += "\":";
+        line += num;
+        line += "}";
+      }
+      line += "}";
+      emit(line);
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+  }
+
+  std::atomic<bool> enabled_{false};
+  std::mutex registry_m_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::string path_;
+  std::uint32_t next_tid_ = 0;
+  bool atexit_registered_ = false;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+// Honour FTH_TRACE for any binary linking the library, independent of which
+// entry point it uses. Idempotent; benches call trace_init_from_env() again.
+[[maybe_unused]] const bool g_env_init = [] {
+  trace_init_from_env();
+  return true;
+}();
+
+}  // namespace
+
+bool trace_enabled() noexcept { return Recorder::instance().enabled(); }
+
+void trace_start(const std::string& path) { Recorder::instance().start(path); }
+
+std::size_t trace_stop() { return Recorder::instance().stop(); }
+
+void trace_init_from_env() {
+  const char* path = std::getenv("FTH_TRACE");
+  if (path != nullptr && path[0] != '\0' && !trace_enabled()) trace_start(path);
+}
+
+void set_thread_name(const char* name) { Recorder::instance().name_thread(name); }
+
+namespace detail {
+
+void begin_span(const char* cat, const char* name) noexcept {
+  Recorder::instance().record(TraceEvent{.cat = cat, .name = name, .ph = 'B'});
+}
+
+void begin_span(const char* cat, const char* name, const char* arg_key,
+                double arg_value) noexcept {
+  Recorder::instance().record(
+      TraceEvent{.value = arg_value, .cat = cat, .name = name, .arg_key = arg_key, .ph = 'B'});
+}
+
+void end_span() noexcept { Recorder::instance().record(TraceEvent{.ph = 'E'}); }
+
+}  // namespace detail
+
+void instant(const char* cat, const char* name) noexcept {
+  if (!trace_enabled()) return;
+  Recorder::instance().record(TraceEvent{.cat = cat, .name = name, .ph = 'i'});
+}
+
+void counter(const char* name, double value) noexcept {
+  if (!trace_enabled()) return;
+  Recorder::instance().record(TraceEvent{.value = value, .cat = "counter", .name = name, .ph = 'C'});
+}
+
+}  // namespace fth::obs

@@ -1,0 +1,85 @@
+// fth::obs tracing — Chrome/Perfetto `trace_event` JSON recorder.
+//
+// Scoped spans (B/E pairs), instant events, and counter tracks, recorded
+// into per-thread buffers and written as a single JSON file the Perfetto UI
+// (https://ui.perfetto.dev) or chrome://tracing opens directly. Designed so
+// the disabled path costs one relaxed atomic load per call site: spans and
+// events check `trace_enabled()` and bail before touching any state.
+//
+// Enabling:
+//  * environment: `FTH_TRACE=<path>` traces the whole process and writes
+//    the file at trace_stop() or process exit;
+//  * programmatic: trace_start(path) ... trace_stop().
+//
+// Event names and categories must be string literals (or otherwise outlive
+// the recorder) — the recorder stores the pointers, never copies, which is
+// what keeps the enabled path allocation-free. DESIGN.md §8 documents the
+// event taxonomy and track layout used across the library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fth::obs {
+
+/// True between trace_start() and trace_stop(). Relaxed load — safe to
+/// call from any thread at any frequency.
+[[nodiscard]] bool trace_enabled() noexcept;
+
+/// Start recording; events accumulate in memory until trace_stop(), which
+/// writes `path`. Calling trace_start() while active just replaces the
+/// output path. Registers an atexit hook so a crash-free process always
+/// flushes.
+void trace_start(const std::string& path);
+
+/// Stop recording and write the accumulated trace (no-op when inactive).
+/// Returns the number of events written.
+std::size_t trace_stop();
+
+/// Honour `FTH_TRACE=<path>` if set. Called once automatically from a
+/// static initializer in trace.cpp; benches also call it explicitly so the
+/// behaviour does not depend on static-init order.
+void trace_init_from_env();
+
+/// Name the calling thread's track in the trace (e.g. "device-stream").
+/// Cheap and callable before tracing starts; the name is emitted as a
+/// `thread_name` metadata event at write time.
+void set_thread_name(const char* name);
+
+namespace detail {
+void begin_span(const char* cat, const char* name) noexcept;
+void begin_span(const char* cat, const char* name, const char* arg_key,
+                double arg_value) noexcept;
+void end_span() noexcept;
+}  // namespace detail
+
+/// RAII scoped span: emits a `ph:"B"` event at construction and the
+/// matching `ph:"E"` at destruction, on the calling thread's track.
+class TraceSpan {
+ public:
+  TraceSpan(const char* cat, const char* name) noexcept : armed_(trace_enabled()) {
+    if (armed_) detail::begin_span(cat, name);
+  }
+  /// Span with one numeric argument shown in the UI (e.g. bytes moved).
+  TraceSpan(const char* cat, const char* name, const char* arg_key,
+            double arg_value) noexcept
+      : armed_(trace_enabled()) {
+    if (armed_) detail::begin_span(cat, name, arg_key, arg_value);
+  }
+  ~TraceSpan() {
+    if (armed_) detail::end_span();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  bool armed_;
+};
+
+/// Thread-scoped instant event (`ph:"i"`, scope "t").
+void instant(const char* cat, const char* name) noexcept;
+
+/// Sample on a counter track (`ph:"C"`): one named series per `name`.
+void counter(const char* name, double value) noexcept;
+
+}  // namespace fth::obs

@@ -150,6 +150,19 @@ TEST(Accumulator, SumsIntervals) {
   EXPECT_EQ(acc.laps(), 0);
 }
 
+TEST(Accumulator, DoubleStartBanksRunningInterval) {
+  // Regression: start() while running used to silently discard the
+  // in-flight interval; it must bank it (as if stop() had been called).
+  Accumulator acc;
+  acc.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  acc.start();  // must bank the ~15 ms interval, not drop it
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  acc.stop();
+  EXPECT_EQ(acc.laps(), 2);
+  EXPECT_GE(acc.total_seconds(), 0.015);
+}
+
 // ---- Flops -------------------------------------------------------------------
 
 TEST(Flops, ScopeEnablesAndRestores) {

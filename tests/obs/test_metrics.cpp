@@ -1,0 +1,279 @@
+// fth::obs metrics: counter/histogram semantics, the global registry, the
+// JSON snapshot, and the fault-injection campaign cross-check that the
+// always-on metrics agree with the per-run FtReport / HybridGehrdStats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "ft/ft_gehrd.hpp"
+#include "hybrid/hybrid_gehrd.hpp"
+#include "la/generate.hpp"
+#include "obs/metrics.hpp"
+
+namespace fth {
+namespace {
+
+using obs::Counter;
+using obs::Histogram;
+using obs::Registry;
+
+VectorView<double> vec_view(std::vector<double>& v) {
+  return VectorView<double>(v.data(), static_cast<index_t>(v.size()));
+}
+
+// ---- Counter ----------------------------------------------------------------
+
+TEST(ObsCounter, AddValueReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsCounter, ConcurrentAddsDoNotLoseIncrements) {
+  Counter c;
+  constexpr int kThreads = 4, kAdds = 20000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&c] {
+      for (int i = 0; i < kAdds; ++i) c.add();
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+// ---- Histogram --------------------------------------------------------------
+
+TEST(ObsHistogram, BucketOfEdges) {
+  // Zero, negatives and NaN land in the underflow bucket.
+  EXPECT_EQ(Histogram::bucket_of(0.0), 0);
+  EXPECT_EQ(Histogram::bucket_of(-3.5), 0);
+  EXPECT_EQ(Histogram::bucket_of(std::numeric_limits<double>::quiet_NaN()), 0);
+  // Below the smallest resolved decade: underflow.
+  EXPECT_EQ(Histogram::bucket_of(2e-19), 0);
+  // Inside the smallest decade (avoid exact powers of ten: log10 rounding).
+  EXPECT_EQ(Histogram::bucket_of(2e-18), 1);
+  // Exponent 0 sits at offset -kMinExp + 1.
+  EXPECT_EQ(Histogram::bucket_of(1.0), -Histogram::kMinExp + 1);
+  EXPECT_EQ(Histogram::bucket_of(5.0), -Histogram::kMinExp + 1);
+  // Largest resolved decade and beyond: overflow-clamped.
+  EXPECT_EQ(Histogram::bucket_of(5e12), Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::bucket_of(2e13), Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::bucket_of(std::numeric_limits<double>::infinity()),
+            Histogram::kBuckets - 1);
+}
+
+TEST(ObsHistogram, ObserveSnapshotReset) {
+  Histogram h;
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(50.0);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.sum, 55.5);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 50.0);
+  std::uint64_t total = 0;
+  for (const auto b : s.buckets) total += b;
+  EXPECT_EQ(total, 3u);
+  EXPECT_EQ(s.buckets[static_cast<std::size_t>(Histogram::bucket_of(0.5))], 1u);
+  EXPECT_EQ(s.buckets[static_cast<std::size_t>(Histogram::bucket_of(5.0))], 1u);
+  EXPECT_EQ(s.buckets[static_cast<std::size_t>(Histogram::bucket_of(50.0))], 1u);
+  h.reset();
+  const auto z = h.snapshot();
+  EXPECT_EQ(z.count, 0u);
+  EXPECT_DOUBLE_EQ(z.sum, 0.0);
+}
+
+// ---- Registry ---------------------------------------------------------------
+
+TEST(ObsRegistry, ReturnsStableReferences) {
+  Registry r;
+  Counter& a = r.counter("x");
+  a.add(7);
+  Counter& b = r.counter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 7u);
+  Histogram& h1 = r.histogram("h");
+  Histogram& h2 = r.histogram("h");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(ObsRegistry, ResetZeroesEveryInstrument) {
+  Registry r;
+  r.counter("a").add(3);
+  r.histogram("h").observe(1.5);
+  r.reset();
+  EXPECT_EQ(r.counter("a").value(), 0u);
+  EXPECT_EQ(r.histogram("h").snapshot().count, 0u);
+}
+
+TEST(ObsRegistry, JsonSnapshotShape) {
+  Registry r;
+  r.counter("runs").add(2);
+  r.counter("we\"ird\\name").add(1);
+  r.histogram("gap").observe(0.25);
+  const std::string json = r.to_json();
+  // Counters section, with escaping applied to hostile names.
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"runs\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"we\\\"ird\\\\name\":1"), std::string::npos);
+  // Histogram section carries the decode key (min_exp) and the bucket array.
+  EXPECT_NE(json.find("\"histograms\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"gap\":{\"count\":1,\"sum\":0.25"), std::string::npos);
+  EXPECT_NE(json.find("\"min_exp\":-18"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":["), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+// ---- Driver stats surfacing (Device/Stream footprint) ------------------------
+
+TEST(HybridStats, TransferFootprintSurfaced) {
+  const index_t n = 96, nb = 16;
+  hybrid::Device dev;
+  Matrix<double> a0 = random_matrix(n, n, 21);
+
+  Matrix<double> a(a0.cview());
+  std::vector<double> tau(static_cast<std::size_t>(n - 1));
+  hybrid::HybridGehrdStats st;
+  hybrid::hybrid_gehrd(dev, a.view(), vec_view(tau), {.nb = nb, .nx = nb}, &st);
+
+  // The whole matrix goes down at least once and the factored columns come
+  // back; every field the drivers surface from Device/Stream must be live.
+  const auto matrix_bytes = static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n) * 8;
+  EXPECT_GE(st.h2d_bytes, matrix_bytes);
+  EXPECT_GT(st.d2h_bytes, 0u);
+  EXPECT_GT(st.h2d_count, 0u);
+  EXPECT_GT(st.d2h_count, 0u);
+  EXPECT_GE(st.dev_peak_bytes, static_cast<std::size_t>(matrix_bytes));
+  EXPECT_GE(st.peak_queue_depth, 1u);
+
+  // A second identical run on the same device reports per-run deltas, not
+  // device-lifetime totals.
+  Matrix<double> b(a0.cview());
+  hybrid::HybridGehrdStats st2;
+  hybrid::hybrid_gehrd(dev, b.view(), vec_view(tau), {.nb = nb, .nx = nb}, &st2);
+  EXPECT_EQ(st2.h2d_bytes, st.h2d_bytes);
+  EXPECT_EQ(st2.d2h_bytes, st.d2h_bytes);
+  EXPECT_EQ(st2.h2d_count, st.h2d_count);
+  EXPECT_EQ(st2.d2h_count, st.d2h_count);
+}
+
+// ---- Fault-injection campaign: metrics vs FtReport ---------------------------
+
+TEST(FtCampaign, MetricsAgreeWithReports) {
+  const index_t n = 96, nb = 16;
+  hybrid::Device dev;
+  Registry::global().reset();
+
+  int detections = 0, rollbacks = 0, data_corrections = 0, checksum_corrections = 0;
+  int q_corrections = 0, checkpoint_only = 0;
+  std::uint64_t h2d_bytes = 0, d2h_bytes = 0, h2d_count = 0, d2h_count = 0;
+  std::size_t online_injections = 0;
+
+  auto accumulate = [&](const ft::FtReport& rep, const hybrid::HybridGehrdStats& st) {
+    detections += rep.detections;
+    rollbacks += rep.rollbacks;
+    data_corrections += rep.data_corrections;
+    checksum_corrections += rep.checksum_corrections;
+    q_corrections += rep.q_corrections;
+    for (const auto& ev : rep.events) checkpoint_only += ev.checkpoint_only ? 1 : 0;
+    h2d_bytes += st.h2d_bytes;
+    d2h_bytes += st.d2h_bytes;
+    h2d_count += st.h2d_count;
+    d2h_count += st.d2h_count;
+  };
+
+  // On-line detectable campaign: trailing-matrix faults at moments the
+  // per-iteration check sees (End-moment faults fall to the final sweep).
+  const fault::Area areas[] = {fault::Area::LowerTrailing, fault::Area::UpperTrailing};
+  const fault::Moment moments[] = {fault::Moment::Beginning, fault::Moment::Middle};
+  std::uint64_t seed = 100;
+  for (const auto area : areas) {
+    for (const auto moment : moments) {
+      fault::FaultSpec spec;
+      spec.area = area;
+      spec.moment = moment;
+      fault::Injector inj(spec, ++seed);
+      Matrix<double> a = random_matrix(n, n, seed);
+      std::vector<double> tau(static_cast<std::size_t>(n - 1));
+      ft::FtReport rep;
+      hybrid::HybridGehrdStats st;
+      ft::ft_gehrd(dev, a.view(), vec_view(tau), {.nb = nb}, &inj, &rep, &st);
+      EXPECT_EQ(inj.history().size(), 1u);
+      online_injections += inj.history().size();
+      accumulate(rep, st);
+    }
+  }
+
+  // One Q-panel fault (caught by the end-of-run Q verification, not the
+  // per-iteration check) and one clean run (nothing may fire).
+  {
+    fault::FaultSpec spec;
+    spec.area = fault::Area::QPanel;
+    fault::Injector inj(spec, ++seed);
+    Matrix<double> a = random_matrix(n, n, seed);
+    std::vector<double> tau(static_cast<std::size_t>(n - 1));
+    ft::FtReport rep;
+    hybrid::HybridGehrdStats st;
+    ft::ft_gehrd(dev, a.view(), vec_view(tau), {.nb = nb}, &inj, &rep, &st);
+    EXPECT_EQ(rep.detections, 0);
+    EXPECT_GE(rep.q_corrections, 1);
+    accumulate(rep, st);
+  }
+  {
+    Matrix<double> a = random_matrix(n, n, ++seed);
+    std::vector<double> tau(static_cast<std::size_t>(n - 1));
+    ft::FtReport rep;
+    hybrid::HybridGehrdStats st;
+    ft::ft_gehrd(dev, a.view(), vec_view(tau), {.nb = nb}, nullptr, &rep, &st);
+    EXPECT_EQ(rep.detections, 0);
+    accumulate(rep, st);
+  }
+
+  // Every on-line-visible injection was detected, exactly once.
+  EXPECT_EQ(detections, static_cast<int>(online_injections));
+  EXPECT_GE(rollbacks, static_cast<int>(online_injections));
+  EXPECT_GT(data_corrections + checksum_corrections + checkpoint_only, 0);
+
+  // The global metrics saw exactly what the per-run reports saw.
+  EXPECT_EQ(obs::counter_metric("ft.detections").value(),
+            static_cast<std::uint64_t>(detections));
+  EXPECT_EQ(obs::counter_metric("ft.rollbacks").value(),
+            static_cast<std::uint64_t>(rollbacks));
+  EXPECT_EQ(obs::counter_metric("ft.data_corrections").value(),
+            static_cast<std::uint64_t>(data_corrections));
+  EXPECT_EQ(obs::counter_metric("ft.checksum_corrections").value(),
+            static_cast<std::uint64_t>(checksum_corrections));
+  EXPECT_EQ(obs::counter_metric("ft.q_corrections").value(),
+            static_cast<std::uint64_t>(q_corrections));
+  EXPECT_EQ(obs::counter_metric("ft.checkpoint_only_recoveries").value(),
+            static_cast<std::uint64_t>(checkpoint_only));
+  // One re-execution per rollback, by construction of the retry loop.
+  EXPECT_EQ(obs::counter_metric("ft.reexecutions").value(),
+            obs::counter_metric("ft.rollbacks").value());
+
+  // The drift histogram sampled every per-iteration check, detections included.
+  const auto gap = obs::histogram_metric("ft.detect_gap").snapshot();
+  EXPECT_GT(gap.count, 0u);
+  EXPECT_GE(gap.count, static_cast<std::uint64_t>(detections));
+  EXPECT_GE(gap.max, 0.0);
+
+  // Device transfer counters match the per-run deltas the drivers surfaced.
+  EXPECT_EQ(obs::counter_metric("device.h2d_bytes").value(), h2d_bytes);
+  EXPECT_EQ(obs::counter_metric("device.d2h_bytes").value(), d2h_bytes);
+  EXPECT_EQ(obs::counter_metric("device.h2d_count").value(), h2d_count);
+  EXPECT_EQ(obs::counter_metric("device.d2h_count").value(), d2h_count);
+}
+
+}  // namespace
+}  // namespace fth
