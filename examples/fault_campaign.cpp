@@ -4,8 +4,18 @@
 // moments, and magnitudes.
 //
 //   ./fault_campaign [--n 128] [--nb 32] [--trials 10] [--faults 1] [--area 0..4]
+//                    [--inflight] [--alg 0..2] [--report <path>]
+//
+// With --inflight the campaign arms asynchronous FaultPlane faults instead
+// of boundary-only deltas: IEEE-754 bit flips, NaN/Inf poisoning, checksum
+// and checkpoint strikes, transfer corruption, and faults during an ongoing
+// recovery, cycling through all eight soak classes (DESIGN.md §9). With
+// --report the run also writes the soak-campaign JSON documented in
+// EXPERIMENTS.md (one row per trial, obs metrics snapshot in the footer).
 #include <cstdio>
+#include <memory>
 
+#include "../bench/bench_common.hpp"
 #include "common/options.hpp"
 #include "fault/campaign.hpp"
 
@@ -14,6 +24,7 @@ using namespace fth;
 int main(int argc, char** argv) {
   const Options opt(argc, argv);
   fault::CampaignConfig cfg;
+  cfg.algorithm = static_cast<fault::Algorithm>(opt.get_long("alg", 0));
   cfg.n = opt.get_long("n", 128);
   cfg.nb = opt.get_long("nb", 32);
   cfg.trials = static_cast<int>(opt.get_long("trials", 10));
@@ -21,15 +32,53 @@ int main(int argc, char** argv) {
   cfg.area = static_cast<fault::Area>(opt.get_long("area", 0));
   cfg.magnitude = opt.get_double("magnitude", 100.0);
   cfg.seed = static_cast<std::uint64_t>(opt.get_long("seed", 2026));
+  cfg.in_flight = opt.has("inflight");
 
-  std::printf("Fault-injection campaign: n=%lld nb=%lld trials=%d faults/trial=%d area=%s\n\n",
-              static_cast<long long>(cfg.n), static_cast<long long>(cfg.nb), cfg.trials,
-              cfg.faults_per_trial, fault::to_string(cfg.area).c_str());
+  std::printf("Fault-injection campaign: alg=%s n=%lld nb=%lld trials=%d faults/trial=%d %s\n\n",
+              fault::to_string(cfg.algorithm).c_str(), static_cast<long long>(cfg.n),
+              static_cast<long long>(cfg.nb), cfg.trials, cfg.faults_per_trial,
+              cfg.in_flight ? "mode=in-flight soak"
+                            : ("area=" + fault::to_string(cfg.area)).c_str());
 
   const fault::CampaignResult res = fault::run_campaign(cfg);
 
-  std::printf("%6s %28s %6s %6s %10s %14s %s\n", "trial", "fault(s) (row,col)@boundary",
-              "det", "corr", "recovered", "max |Δ|", "note");
+  if (opt.has("report")) {
+    bench::Report report(opt, "fault_campaign");
+    report.note("alg", fault::to_string(cfg.algorithm));
+    report.note("n", cfg.n);
+    report.note("nb", cfg.nb);
+    report.note("trials", cfg.trials);
+    report.note("seed", static_cast<long long>(cfg.seed));
+    report.note("mode", cfg.in_flight ? "in-flight" : "boundary");
+    report.note("detected", res.detected_count);
+    report.note("recovered", res.recovered_count);
+    report.note("correct", res.correct_count);
+    report.note("aborted", res.aborted_count);
+    report.note("fired", res.fired_count);
+    report.note("worst_error_vs_clean", res.worst_error_vs_clean);
+    int trial = 0;
+    for (const auto& t : res.trials) {
+      report.row()
+          .set("trial", trial++)
+          .set("class", fault::to_string(t.fault_class))
+          .set("injected", static_cast<long long>(t.injected.size()))
+          .set("fired", static_cast<long long>(t.in_flight_fired.size()))
+          .set("detections", t.detections)
+          .set("corrections", t.corrections)
+          .set("detected", static_cast<int>(t.detected))
+          .set("recovered", static_cast<int>(t.recovered))
+          .set("result_correct", static_cast<int>(t.result_correct))
+          .set("max_error_vs_clean", t.max_error_vs_clean)
+          .set("status", ft::to_string(t.outcome.status))
+          .set("abort_reason", ft::to_string(t.outcome.reason))
+          .set("abort_boundary", static_cast<long long>(t.outcome.boundary))
+          .set("attempts", t.outcome.attempts)
+          .set("failure", t.failure);
+    }
+  }
+
+  std::printf("%6s %-18s %28s %6s %6s %10s %14s %s\n", "trial", "class",
+              "fault(s) (row,col)@boundary", "det", "corr", "recovered", "max |Δ|", "note");
   int t = 0;
   for (const auto& trial : res.trials) {
     std::string where;
@@ -37,16 +86,22 @@ int main(int argc, char** argv) {
       where += "(" + std::to_string(f.row) + "," + std::to_string(f.col) + ")@" +
                std::to_string(f.boundary) + " ";
     }
-    std::printf("%6d %28s %6d %6d %10s %14.3e %s\n", t++, where.c_str(), trial.detections,
-                trial.corrections, trial.recovered ? "yes" : "NO",
-                trial.max_error_vs_clean,
+    for (const auto& f : trial.in_flight_fired) {
+      where += "(" + std::to_string(f.row) + "," + std::to_string(f.col) + ")#" +
+               std::to_string(f.trigger_index) + " ";
+    }
+    std::printf("%6d %-18s %28s %6d %6d %10s %14.3e %s\n", t++,
+                cfg.in_flight ? fault::to_string(trial.fault_class).c_str() : "boundary",
+                where.c_str(), trial.detections, trial.corrections,
+                trial.recovered ? "yes" : "NO", trial.max_error_vs_clean,
                 trial.failure.empty() ? (trial.result_correct ? "" : "RESIDUAL DRIFT")
                                       : trial.failure.c_str());
   }
 
-  std::printf("\nsummary: %d/%zu recovered, %d/%zu bit-correct vs fault-free run, "
-              "worst drift %.3e\n",
-              res.recovered_count, res.trials.size(), res.correct_count, res.trials.size(),
+  std::printf("\nsummary: %d/%zu detected, %d/%zu recovered, %d/%zu bit-correct vs "
+              "fault-free run, %d structured aborts, worst drift %.3e\n",
+              res.detected_count, res.trials.size(), res.recovered_count, res.trials.size(),
+              res.correct_count, res.trials.size(), res.aborted_count,
               res.worst_error_vs_clean);
-  return res.recovered_count == static_cast<int>(res.trials.size()) ? 0 : 1;
+  return res.recovered_count + res.aborted_count == static_cast<int>(res.trials.size()) ? 0 : 1;
 }

@@ -1,6 +1,7 @@
 // Error handling: precondition checks that throw, and debug-only asserts.
 #pragma once
 
+#include <cstdint>
 #include <source_location>
 #include <sstream>
 #include <stdexcept>
@@ -21,9 +22,33 @@ class internal_error : public std::logic_error {
 };
 
 /// Thrown when fault recovery is impossible (e.g. rectangular error pattern).
+/// Carries the structured context of the abandoned recovery so campaigns can
+/// aggregate outcomes without parsing the message: the iteration boundary
+/// that was given up on, the number of recovery attempts spent, and the
+/// detection gap/threshold pair observed on the last attempt. Fields are
+/// negative/zero when the throw site had no iteration context (e.g. a bare
+/// locate() failure outside a driver).
 class recovery_error : public std::runtime_error {
  public:
-  using std::runtime_error::runtime_error;
+  explicit recovery_error(const std::string& msg) : std::runtime_error(msg) {}
+  recovery_error(const std::string& msg, std::int64_t boundary, int attempts, double gap,
+                 double threshold)
+      : std::runtime_error(msg),
+        boundary_(boundary),
+        attempts_(attempts),
+        gap_(gap),
+        threshold_(threshold) {}
+
+  [[nodiscard]] std::int64_t boundary() const noexcept { return boundary_; }
+  [[nodiscard]] int attempts() const noexcept { return attempts_; }
+  [[nodiscard]] double gap() const noexcept { return gap_; }
+  [[nodiscard]] double threshold() const noexcept { return threshold_; }
+
+ private:
+  std::int64_t boundary_ = -1;
+  int attempts_ = 0;
+  double gap_ = 0.0;
+  double threshold_ = 0.0;
 };
 
 namespace detail {

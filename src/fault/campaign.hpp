@@ -3,11 +3,24 @@
 // Runs the fault-tolerant reduction many times with randomized faults and
 // aggregates detection/correction statistics and result quality — the
 // experimental harness behind the examples and the robustness tests.
+//
+// Two modes:
+//  * boundary mode (default): the classic Injector plants additive faults
+//    between iterations, the paper's Section VI setup;
+//  * in-flight soak mode (`in_flight = true`): each trial arms a FaultPlane
+//    fault of one SoakClass — IEEE-754 bit flips, NaN/Inf poisoning,
+//    checksum/checkpoint strikes, transfer corruption, faults during an
+//    ongoing recovery — fired asynchronously mid-run. Countdowns are drawn
+//    from the trigger counts of a per-trial clean reference run, so strikes
+//    land uniformly across the factorization's real schedule.
 #pragma once
 
 #include <vector>
 
+#include "fault/fault_plane.hpp"
 #include "fault/injector.hpp"
+#include "ft/ft_gehrd.hpp"  // FtReport
+#include "ft/recovery.hpp"
 #include "la/matrix.hpp"
 
 namespace fth::fault {
@@ -21,31 +34,61 @@ enum class Algorithm {
 
 std::string to_string(Algorithm a);
 
+/// Fault class of one in-flight soak trial.
+enum class SoakClass {
+  BoundaryDelta,     ///< classic additive boundary fault (Injector)
+  InFlightBitFlip,   ///< mantissa/exponent/sign flip in the trailing matrix mid-run
+  InFlightNaN,       ///< quiet-NaN poisoning of a trailing-matrix element
+  InFlightInf,       ///< ±Inf poisoning of a trailing-matrix element
+  ChecksumStrike,    ///< bit flip on a maintained checksum vector
+  TransferStrike,    ///< corruption inside a transfer landing in the protected domain
+  CheckpointStrike,  ///< host checkpoint corrupted, then a boundary fault forces its use
+  DuringRecovery,    ///< a second fault strikes while a recovery re-executes
+};
+
+std::string to_string(SoakClass c);
+
 struct CampaignConfig {
   Algorithm algorithm = Algorithm::Gehrd;
   index_t n = 256;            ///< matrix size
   index_t nb = 32;            ///< panel width
   int trials = 20;            ///< independent runs
   int faults_per_trial = 1;   ///< simultaneous faults per run
-  Area area = Area::Any;      ///< region to strike
+  Area area = Area::Any;      ///< region to strike (boundary mode)
   double magnitude = 100.0;   ///< relative fault magnitude
   std::uint64_t seed = 2026;  ///< master seed (matrix + fault placement)
+  /// Soak mode: arm FaultPlane faults instead of (or paired with) boundary
+  /// faults. Trials cycle through `classes` (all eight when empty).
+  bool in_flight = false;
+  std::vector<SoakClass> classes;
 };
 
 struct TrialOutcome {
-  std::vector<InjectionRecord> injected;
+  std::vector<InjectionRecord> injected;    ///< boundary faults planted
+  std::vector<FiredFault> in_flight_fired;  ///< in-flight faults that struck
+  SoakClass fault_class = SoakClass::BoundaryDelta;  ///< soak class (in-flight mode)
   int detections = 0;
-  int corrections = 0;  ///< data + checksum + Q corrections
+  int corrections = 0;     ///< data + checksum + Q corrections
+  bool detected = false;   ///< any FT mechanism saw the fault (see run_campaign)
   bool recovered = false;
   bool result_correct = false;  ///< matches the fault-free factorization
   double max_error_vs_clean = 0.0;
   std::string failure;  ///< non-empty when recovery threw
+  /// Structured end-of-run outcome (mirrors FtReport.outcome; filled even
+  /// when the run aborted — that is the point of the structured ladder).
+  ft::RecoveryOutcome outcome;
+  /// The faulty run's full resilience report (per-mechanism counters and
+  /// per-recovery events) for cross-checking against the obs layer.
+  ft::FtReport report;
 };
 
 struct CampaignResult {
   std::vector<TrialOutcome> trials;
   int recovered_count = 0;
   int correct_count = 0;
+  int detected_count = 0;  ///< trials where some FT mechanism fired
+  int aborted_count = 0;   ///< structured Unrecoverable outcomes (not crashes)
+  int fired_count = 0;     ///< trials whose armed in-flight faults all struck
   double worst_error_vs_clean = 0.0;
 };
 

@@ -1,0 +1,191 @@
+// In-flight fault plane: transient errors that strike *while* the
+// factorization runs, not just at iteration boundaries.
+//
+// The paper's failure model (Section IV-A) is a silent element change at an
+// arbitrary point in time. The boundary Injector approximates that by
+// striking between iterations; the FaultPlane removes the approximation.
+// It installs hooks into the hybrid layer (Stream task hook, Device
+// transfer hook) and fires armed faults asynchronously on the stream
+// worker thread: after the k-th task, inside an h2d/d2h transfer, between
+// the right and left block updates, or while a recovery is re-executing.
+//
+// Targets are *surfaces* the FT drivers register (trailing matrix,
+// checksum row/column, host checkpoint buffer), so a fired fault always
+// lands somewhere the ABFT scheme claims to protect. Striking a shipped
+// operand (V, W, T) instead would be self-consistent under the checksum
+// relation — Theorem 1 holds for whatever V the update actually used — and
+// therefore silently undetectable by construction; DESIGN.md §9 records
+// that capability boundary.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "fault/injector.hpp"
+#include "hybrid/device.hpp"
+#include "la/matrix.hpp"
+
+namespace fth::fault {
+
+/// When an in-flight fault is allowed to fire. Each eligible occurrence of
+/// the trigger decrements the fault's countdown; the fault fires when it
+/// reaches zero.
+enum class When {
+  StreamTask,      ///< after any stream task (the k-th eligible task)
+  TransferH2D,     ///< inside an h2d transfer whose destination is a registered surface
+  TransferD2H,     ///< inside a d2h transfer whose destination is a registered surface
+  BetweenUpdates,  ///< between the right and left block updates of an iteration
+  DuringRecovery,  ///< after a stream task, but only while a recovery re-executes
+};
+
+/// Which protected surface the corruption lands on. The FT driver registers
+/// the concrete memory for each surface it maintains; Transfer* triggers
+/// ignore the requested surface and corrupt the transfer destination.
+enum class Surface {
+  TrailingMatrix,  ///< the device trailing matrix / extended matrix data block
+  ChecksumRow,     ///< the maintained checksum row (column sums)
+  ChecksumCol,     ///< the maintained checksum column (row sums)
+  Checkpoint,      ///< the host panel-checkpoint buffers
+};
+
+/// How the registered view is populated, so the element picker never lands
+/// on storage the algorithm ignores (e.g. the strictly upper triangle of a
+/// symmetric device matrix — corrupting it would be a silent no-op and
+/// break the campaign's detection accounting).
+enum class SurfaceShape { Full, LowerTriangle };
+
+std::string to_string(When w);
+std::string to_string(Surface s);
+
+/// One armed in-flight fault.
+struct InFlightFault {
+  When when = When::StreamTask;
+  Surface surface = Surface::TrailingMatrix;  ///< ignored for Transfer* triggers
+  FaultKind kind = FaultKind::BitFlip;
+  std::uint64_t countdown = 1;  ///< fires on the countdown-th eligible trigger
+  int bit = -1;                 ///< explicit bit for flip kinds (< 0 draws per kind)
+  double delta = 0.0;           ///< AddDelta payload
+  /// Minimum |after − before| for flip kinds: the picker redraws bit and
+  /// element (bounded retries) until the change is at least this large or
+  /// non-finite, so a campaign asserting 100% detection is not defeated by
+  /// a low-mantissa flip on a subnormal. 0 accepts any change.
+  double min_impact = 0.0;
+};
+
+/// What actually happened when a fault fired.
+struct FiredFault {
+  When when = When::StreamTask;
+  Surface surface = Surface::TrailingMatrix;
+  FaultKind kind = FaultKind::BitFlip;
+  index_t row = 0;  ///< coordinates within the struck view
+  index_t col = 0;
+  double before = 0.0;
+  double after = 0.0;
+  int bit = -1;
+  std::uint64_t trigger_index = 0;  ///< eligible-trigger count at fire time
+};
+
+/// Counts of eligible trigger occurrences, for deriving countdown ranges
+/// from a clean reference run.
+struct TriggerCounts {
+  std::uint64_t tasks = 0;            ///< stream tasks after mark_encoded()
+  std::uint64_t h2d = 0;              ///< eligible h2d transfers
+  std::uint64_t d2h = 0;              ///< eligible d2h transfers
+  std::uint64_t between_updates = 0;  ///< BetweenUpdates phase marks
+};
+
+/// Arms faults, hooks the hybrid layer, and fires corruptions from the
+/// stream worker thread. Thread-safe; one plane serves one factorization
+/// run (bind → run → unbind). A plane with no armed faults is a pure
+/// trigger counter, which is how campaigns measure a clean reference run
+/// before drawing random countdowns for the faulty run.
+class FaultPlane {
+ public:
+  explicit FaultPlane(std::uint64_t seed = 0xB17F11Bull);
+  ~FaultPlane();
+
+  FaultPlane(const FaultPlane&) = delete;
+  FaultPlane& operator=(const FaultPlane&) = delete;
+
+  /// Arm one fault. May be called repeatedly before (not during) a run.
+  void arm(const InFlightFault& f);
+
+  // --- driver-facing wiring -------------------------------------------
+  /// Install the stream-task and transfer hooks on `dev`. The driver calls
+  /// this once in its constructor when options carry a plane.
+  void bind(hybrid::Device& dev);
+  /// Remove the hooks and forget registered surfaces. Idempotent; also run
+  /// by the destructor so a throwing driver cannot leave hooks dangling.
+  void unbind();
+  /// Register (or replace) the memory behind a surface. Views must stay
+  /// valid until unbind(). Device surfaces are only dereferenced from the
+  /// worker thread, host surfaces only between tasks — both race-free.
+  void register_surface(Surface s, MatrixView<double> view,
+                        SurfaceShape shape = SurfaceShape::Full);
+  void clear_surface(Surface s);
+  /// Additionally mark a transfer destination as fault-eligible under the
+  /// given surface label. Transfer* triggers fire only on transfers whose
+  /// destination overlaps a registered surface or one of these targets —
+  /// that keeps transfer faults inside the protected domain (striking a
+  /// shipped operand would be silently undetectable, see above).
+  void add_transfer_target(Surface tag, MatrixView<double> view);
+  void clear_transfer_targets();
+  /// Triggers are gated until the driver finished its initial encoding: a
+  /// strike before the checksums exist is encoded consistently and becomes
+  /// indistinguishable from a different input matrix (see DESIGN.md §9).
+  void mark_encoded();
+  /// The driver marks the window between the right and left block updates;
+  /// BetweenUpdates faults are enqueued on `s` so they execute in order
+  /// inside that window.
+  void on_between_updates(hybrid::Stream& s);
+  /// The driver brackets recovery re-execution; DuringRecovery faults only
+  /// count triggers while active.
+  void set_in_recovery(bool active);
+
+  // --- results ---------------------------------------------------------
+  [[nodiscard]] std::vector<FiredFault> fired() const;
+  [[nodiscard]] bool all_fired() const;
+  [[nodiscard]] int armed_remaining() const;
+  [[nodiscard]] TriggerCounts trigger_counts() const;
+
+ private:
+  struct ArmedFault {
+    InFlightFault spec;
+    std::uint64_t remaining = 1;
+    bool fired = false;
+  };
+  struct Registered {
+    bool valid = false;
+    MatrixView<double> view{};
+    SurfaceShape shape = SurfaceShape::Full;
+  };
+  struct TransferTarget {
+    Surface tag = Surface::Checkpoint;
+    MatrixView<double> view{};
+  };
+
+  void on_task_hook(std::uint64_t task_index);
+  void on_transfer_hook(hybrid::TransferDir dir, MatrixView<double> dst);
+  // All fire paths run on the worker thread (or inside an enqueued task)
+  // with m_ held; they corrupt memory directly.
+  void tick(When trigger, std::uint64_t trigger_index);
+  void fire_on_surface(ArmedFault& a, std::uint64_t trigger_index);
+  void fire_on_view(ArmedFault& a, MatrixView<double> view, SurfaceShape shape,
+                    Surface surface, When when, std::uint64_t trigger_index);
+  [[nodiscard]] const Registered* surface_for(Surface s) const;
+
+  mutable std::mutex m_;
+  Rng rng_;
+  hybrid::Device* dev_ = nullptr;
+  bool encoded_ = false;
+  bool in_recovery_ = false;
+  Registered surfaces_[4];
+  std::vector<TransferTarget> transfer_targets_;
+  std::vector<ArmedFault> armed_;
+  std::vector<FiredFault> fired_;
+  TriggerCounts counts_;
+};
+
+}  // namespace fth::fault

@@ -1,10 +1,72 @@
 #include "fault/injector.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
 
 #include "common/error.hpp"
 
 namespace fth::fault {
+
+std::string to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::AddDelta: return "add-delta";
+    case FaultKind::BitFlip: return "bit-flip";
+    case FaultKind::SignFlip: return "sign-flip";
+    case FaultKind::ExponentFlip: return "exponent-flip";
+    case FaultKind::MantissaFlip: return "mantissa-flip";
+    case FaultKind::QuietNaN: return "quiet-nan";
+    case FaultKind::Infinity: return "infinity";
+  }
+  return "?";
+}
+
+double flip_bit(double x, int bit) {
+  FTH_CHECK(bit >= 0 && bit < 64, "flip_bit: bit out of range");
+  const auto u = std::bit_cast<std::uint64_t>(x) ^ (std::uint64_t{1} << bit);
+  return std::bit_cast<double>(u);
+}
+
+double corrupt_value(double x, FaultKind k, int bit, double delta, Rng& rng) {
+  switch (k) {
+    case FaultKind::AddDelta:
+      return x + delta;
+    case FaultKind::BitFlip:
+      if (bit < 0) bit = static_cast<int>(rng.below(64));
+      return flip_bit(x, bit);
+    case FaultKind::SignFlip:
+      return flip_bit(x, 63);
+    case FaultKind::ExponentFlip:
+      if (bit < 0 || bit < 52 || bit > 62) bit = 52 + static_cast<int>(rng.below(11));
+      return flip_bit(x, bit);
+    case FaultKind::MantissaFlip:
+      if (bit < 0 || bit > 51) bit = static_cast<int>(rng.below(52));
+      return flip_bit(x, bit);
+    case FaultKind::QuietNaN:
+      return std::numeric_limits<double>::quiet_NaN();
+    case FaultKind::Infinity:
+      return std::copysign(std::numeric_limits<double>::infinity(),
+                           x == 0.0 ? 1.0 : x);
+  }
+  return x;
+}
+
+double PendingFault::apply(double x) const {
+  switch (kind) {
+    case FaultKind::AddDelta:
+      return x + delta;
+    case FaultKind::QuietNaN:
+      return std::numeric_limits<double>::quiet_NaN();
+    case FaultKind::Infinity:
+      return std::copysign(std::numeric_limits<double>::infinity(),
+                           x == 0.0 ? 1.0 : x);
+    default:
+      // Flip kinds have their bit resolved by Injector::due().
+      return flip_bit(x, bit >= 0 ? bit : 0);
+  }
+}
 
 Area classify(index_t row, index_t col, index_t i) {
   if (col >= i) return row < i ? Area::UpperTrailing : Area::LowerTrailing;
@@ -61,6 +123,25 @@ std::vector<PendingFault> Injector::due(index_t boundary, index_t total_boundari
 
     PendingFault f;
     f.delta = a.spec.relative ? a.spec.magnitude * scale : a.spec.magnitude;
+    f.kind = a.spec.kind;
+    switch (a.spec.kind) {
+      case FaultKind::BitFlip:
+        f.bit = a.spec.bit >= 0 ? a.spec.bit : static_cast<int>(rng_.below(64));
+        break;
+      case FaultKind::SignFlip:
+        f.bit = 63;
+        break;
+      case FaultKind::ExponentFlip:
+        f.bit = (a.spec.bit >= 52 && a.spec.bit <= 62) ? a.spec.bit
+                                                       : 52 + static_cast<int>(rng_.below(11));
+        break;
+      case FaultKind::MantissaFlip:
+        f.bit = (a.spec.bit >= 0 && a.spec.bit <= 51) ? a.spec.bit
+                                                      : static_cast<int>(rng_.below(52));
+        break;
+      default:
+        break;
+    }
     if (a.spec.row >= 0 && a.spec.col >= 0) {
       f.row = a.spec.row;
       f.col = a.spec.col;
@@ -111,7 +192,7 @@ std::vector<PendingFault> Injector::due(index_t boundary, index_t total_boundari
 }
 
 void Injector::record(index_t boundary, const PendingFault& f) {
-  history_.push_back({boundary, f.row, f.col, f.delta, f.area});
+  history_.push_back({boundary, f.row, f.col, f.delta, f.area, f.kind});
 }
 
 bool Injector::all_fired() const {

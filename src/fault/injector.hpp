@@ -40,6 +40,31 @@ Area classify(index_t row, index_t col, index_t i);
 std::string to_string(Area a);
 std::string to_string(Moment m);
 
+/// How the struck element's value is corrupted. AddDelta is the paper's
+/// additive model; the flip kinds corrupt the IEEE-754 bit pattern the way
+/// a real transient upset does (a mantissa flip may be tiny, an exponent
+/// flip enormous, and a targeted pattern can produce Inf or NaN).
+enum class FaultKind {
+  AddDelta,      ///< x += delta (the paper's Section IV-A model)
+  BitFlip,       ///< flip one uniformly random bit of the 64-bit pattern
+  SignFlip,      ///< flip bit 63
+  ExponentFlip,  ///< flip one of bits 52..62
+  MantissaFlip,  ///< flip one of bits 0..51
+  QuietNaN,      ///< replace with a quiet NaN (all-ones exponent, payload set)
+  Infinity,      ///< replace with ±Inf, keeping the sign
+};
+
+std::string to_string(FaultKind k);
+
+/// Flip bit `bit` (0 = LSB of the mantissa, 63 = sign) of `x`'s IEEE-754
+/// representation.
+double flip_bit(double x, int bit);
+
+/// Apply a corruption of kind `k` to `x`. `bit` selects the flipped bit
+/// where relevant (< 0 draws uniformly from the kind's range using `rng`);
+/// `delta` is the AddDelta payload.
+double corrupt_value(double x, FaultKind k, int bit, double delta, Rng& rng);
+
 /// One planned soft error.
 struct FaultSpec {
   Area area = Area::LowerTrailing;  ///< region to strike (coordinates drawn at random)
@@ -49,6 +74,8 @@ struct FaultSpec {
   index_t col = -1;
   double magnitude = 100.0;  ///< delta added to the element (× matrix scale if `relative`)
   bool relative = true;
+  FaultKind kind = FaultKind::AddDelta;
+  int bit = -1;  ///< explicit bit for the flip kinds (< 0 draws at random)
 };
 
 /// What actually happened for one fault.
@@ -58,6 +85,7 @@ struct InjectionRecord {
   index_t col = 0;
   double delta = 0.0;
   Area area = Area::Any;
+  FaultKind kind = FaultKind::AddDelta;
 };
 
 /// A fault with resolved coordinates, ready to be applied by the driver.
@@ -66,6 +94,11 @@ struct PendingFault {
   index_t col = 0;
   double delta = 0.0;
   Area area = Area::Any;
+  FaultKind kind = FaultKind::AddDelta;
+  int bit = -1;  ///< resolved bit for flip kinds
+
+  /// The corrupted value replacing `x` when this fault strikes.
+  [[nodiscard]] double apply(double x) const;
 };
 
 /// Resolves fault specs into concrete injections as the factorization

@@ -75,16 +75,19 @@ Discrepancy compare_checksums(const FreshSums& fresh, MatrixView<const double> e
                 static_cast<index_t>(fresh.col.size()) == n,
             "compare_checksums: sum length mismatch");
   Discrepancy d;
+  // Negated comparisons so a NaN delta (fresh or maintained sum poisoned by
+  // a non-finite element) is *flagged* rather than silently passing: for
+  // NaN, `abs(delta) > tol` is false but `!(abs(delta) <= tol)` is true.
   for (index_t r = 0; r < n; ++r) {
     const double delta = fresh.row[static_cast<std::size_t>(r)] - ext(r, n);
-    if (std::abs(delta) > tol) {
+    if (!(std::abs(delta) <= tol)) {
       d.rows.push_back(r);
       d.row_delta.push_back(delta);
     }
   }
   for (index_t c = 0; c < n; ++c) {
     const double delta = fresh.col[static_cast<std::size_t>(c)] - ext(n, c);
-    if (std::abs(delta) > tol) {
+    if (!(std::abs(delta) <= tol)) {
       d.cols.push_back(c);
       d.col_delta.push_back(delta);
     }

@@ -2,14 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <limits>
 #include <sstream>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "fault/fault_plane.hpp"
 #include "ft/checksum.hpp"
 #include "ft/locate.hpp"
 #include "ft/q_protect.hpp"
+#include "ft/recovery.hpp"
 #include "hybrid/dev_blas.hpp"
 #include "la/blas1.hpp"
 #include "la/norms.hpp"
@@ -36,6 +40,28 @@ using hybrid::copy_d2h;
 using hybrid::copy_d2h_async;
 using hybrid::copy_h2d;
 using hybrid::copy_h2d_async;
+
+/// Thrown by the panel tripwires when a device-assisted product comes back
+/// non-finite: applying the reflector pair would smear NaN/Inf across the
+/// whole trailing matrix, so the panel is abandoned before any update.
+struct panel_poisoned_error {};
+
+/// RAII bracket telling the fault plane a recovery re-execution is active
+/// (DuringRecovery faults only count triggers inside the bracket).
+class RecoveryScope {
+ public:
+  explicit RecoveryScope(fault::FaultPlane* p) : p_(p) {
+    if (p_ != nullptr) p_->set_in_recovery(true);
+  }
+  ~RecoveryScope() {
+    if (p_ != nullptr) p_->set_in_recovery(false);
+  }
+  RecoveryScope(const RecoveryScope&) = delete;
+  RecoveryScope& operator=(const RecoveryScope&) = delete;
+
+ private:
+  fault::FaultPlane* p_;
+};
 
 class FtGebrdDriver {
  public:
@@ -84,6 +110,20 @@ class FtGebrdDriver {
                            static_cast<double>(std::max<index_t>(n_, 1));
     total_boundaries_ = ft_gebrd_boundaries(n_, opt.nb);
     rep_.threshold = threshold_;
+    plane_ = opt.fault_plane;
+    if (plane_ != nullptr) plane_->bind(dev);
+  }
+
+  ~FtGebrdDriver() {
+    if (plane_ != nullptr) {
+      // Drain the stream so no hook invocation is in flight when the hooks
+      // come down (the plane may be destroyed right after the driver).
+      try {
+        s_.synchronize();
+      } catch (...) {  // NOLINT(bugprone-empty-catch): unwinding already
+      }
+      plane_->unbind();
+    }
   }
 
   void run() {
@@ -92,12 +132,14 @@ class FtGebrdDriver {
     index_t boundary = 0;
     while (i < n_ - 1) {
       const index_t ib = std::min(opt_.nb, n_ - 1 - i);
-      run_iteration(i, ib);
+      const bool completed = run_iteration(i, ib);
       ++boundary;
       if (inj_ != nullptr) inject_at_boundary(boundary, i + ib);
       const bool check_now = opt_.detect_every <= 1 ||
                              boundary % opt_.detect_every == 0 || i + ib >= n_ - 1;
-      if (check_now) ensure_clean(boundary, i, ib);
+      // A poisoned panel forces a check regardless of the amortization
+      // knob: the next iteration would otherwise consume the damage.
+      if (check_now || !completed) ensure_clean(boundary, i, ib, completed);
       if (opt_.protect_qp) {
         qp_v_.commit(pending_v_);
         qp_u_.commit(pending_u_);
@@ -106,6 +148,14 @@ class FtGebrdDriver {
       i += ib;
     }
     final_phase();
+    // Clean means NOTHING fired: a run that survived only because a
+    // checkpoint was re-derived, a non-finite element reconstructed, or a
+    // poisoned panel abandoned was still a recovery.
+    rep_.outcome.status = (rep_.detections > 0 || rep_.final_sweep_corrections > 0 ||
+                           rep_.q_corrections > 0 || rep_.ckpt_rederivations > 0 ||
+                           rep_.reconstructions > 0 || rep_.panel_aborts > 0)
+                              ? RecoveryStatus::Recovered
+                              : RecoveryStatus::Clean;
   }
 
  private:
@@ -121,10 +171,41 @@ class FtGebrdDriver {
                        d_chkr_.view().col(0));
     s_.synchronize();
     rep_.encode_seconds += t.seconds();
+    // Faults are gated until the codes exist: an earlier strike would be
+    // encoded consistently and become a different (but protected) input.
+    if (plane_ != nullptr) plane_->mark_encoded();
   }
 
-  void run_iteration(index_t i, index_t ib) {
+  // Returns false if a panel tripwire abandoned the iteration before any
+  // update touched the trailing matrix (caller rolls back and redoes).
+  bool run_iteration(index_t i, index_t ib) {
     const index_t tn = n_ - i - ib;
+
+    // Re-aim the fault plane at this iteration's live regions. The device
+    // panel column/row blocks are excluded: their truth lives on the host
+    // during the iteration and the finished segments are re-encoded from
+    // host data, so a strike there is consistent-wrong dead storage the
+    // accounting cannot see. The checkpoint surface is registered only
+    // after its integrity sums are taken.
+    if (plane_ != nullptr) {
+      plane_->register_surface(fault::Surface::TrailingMatrix,
+                               d_a_.block(i + ib, i + ib, tn, tn));
+      // Trailing segments only: the panel segments [i, i+ib) are re-encoded
+      // from host data at the end of the iteration, so a strike there before
+      // the re-encode is dead storage the comparison can never see.
+      plane_->register_surface(fault::Surface::ChecksumCol,
+                               d_chkc_.block(i + ib, 0, tn, 1));
+      plane_->register_surface(fault::Surface::ChecksumRow,
+                               d_chkr_.block(i + ib, 0, tn, 1));
+      plane_->clear_surface(fault::Surface::Checkpoint);
+      plane_->clear_transfer_targets();
+      // Fault-eligible transfer destinations inside the protected domain:
+      // the checkpointed checksum-vector pre-images (d2h, checkpoint save).
+      // The panel d2h lands in host a_, the reliable domain by the paper's
+      // model — corrupting it would be a silently wrong result everywhere.
+      plane_->add_transfer_target(fault::Surface::Checkpoint, ckpt_chkc_.view());
+      plane_->add_transfer_target(fault::Surface::Checkpoint, ckpt_chkr_.view());
+    }
 
     // Column panel, row panel, and both checksum vectors to the host;
     // checkpoint all four (diskless checkpointing).
@@ -144,41 +225,69 @@ class FtGebrdDriver {
                 ckpt_cols_.block(0, 0, n_ - i, ib));
       fth::copy(MatrixView<const double>(a_.block(i, i + ib, ib, tn)),
                 ckpt_rows_.block(0, 0, ib, tn));
+      // The d2h that filled the vector checkpoints is itself fault-eligible
+      // and the dual-sum verify can only vouch for what was stored, not for
+      // the transfer. Cross-check bitwise against the device's maintained
+      // vectors via a raw task readback (not a copy_* transfer, hence not
+      // fault-eligible) and repair on mismatch.
+      verify_chk_checkpoint_save();
+      save_checkpoint_sums(i, ib);
+      if (plane_ != nullptr)
+        plane_->register_surface(fault::Surface::Checkpoint,
+                                 ckpt_cols_.block(0, 0, n_ - i, ib));
     }
 
+    bool poisoned = false;
     {
       obs::TraceSpan panel_span("hybrid", "panel", "col", static_cast<double>(i));
-      lapack::detail::labrd_panel(
-          a_, i, ib, d_.sub(i, ib), e_.sub(i, ib), tauq_.sub(i, ib), taup_.sub(i, ib),
-          x_host_.view(), y_host_.view(),
-          [&](index_t j, VectorView<const double> v, VectorView<double> ycol) {
-            const index_t cj = i + j;
-            const index_t mlen = n_ - cj;
-            const index_t nlen = n_ - cj - 1;
-            copy_h2d_async(s_, MatrixView<const double>(v.data(), mlen, 1, mlen),
-                           d_vec_.block(0, 0, mlen, 1));
-            hybrid::gemv_async(s_, Trans::Yes, 1.0,
-                               MatrixView<const double>(d_a_.block(cj, cj + 1, mlen, nlen)),
-                               VectorView<const double>(d_vec_.view().col(0).sub(0, mlen)), 0.0,
-                               d_res_.view().col(0).sub(0, nlen));
-            copy_d2h(s_, MatrixView<const double>(d_res_.block(0, 0, nlen, 1)),
-                     MatrixView<double>(ycol.data(), nlen, 1, nlen));
-          },
-          [&](index_t j, VectorView<const double> u, VectorView<double> xcol) {
-            const index_t cj = i + j;
-            const index_t nlen = n_ - cj - 1;
-            Matrix<double> dense(nlen, 1);
-            for (index_t r = 0; r < nlen; ++r) dense(r, 0) = u[r];
-            copy_h2d_async(s_, dense.cview(), d_vec_.block(0, 0, nlen, 1));
-            hybrid::gemv_async(s_, Trans::No, 1.0,
-                               MatrixView<const double>(d_a_.block(cj + 1, cj + 1, nlen, nlen)),
-                               VectorView<const double>(d_vec_.view().col(0).sub(0, nlen)), 0.0,
-                               d_res_.view().col(0).sub(0, nlen));
-            copy_d2h(s_, MatrixView<const double>(d_res_.block(0, 0, nlen, 1)),
-                     MatrixView<double>(xcol.data(), nlen, 1, nlen));
-          });
+      try {
+        lapack::detail::labrd_panel(
+            a_, i, ib, d_.sub(i, ib), e_.sub(i, ib), tauq_.sub(i, ib), taup_.sub(i, ib),
+            x_host_.view(), y_host_.view(),
+            [&](index_t j, VectorView<const double> v, VectorView<double> ycol) {
+              const index_t cj = i + j;
+              const index_t mlen = n_ - cj;
+              const index_t nlen = n_ - cj - 1;
+              copy_h2d_async(s_, MatrixView<const double>(v.data(), mlen, 1, mlen),
+                             d_vec_.block(0, 0, mlen, 1));
+              hybrid::gemv_async(s_, Trans::Yes, 1.0,
+                                 MatrixView<const double>(d_a_.block(cj, cj + 1, mlen, nlen)),
+                                 VectorView<const double>(d_vec_.view().col(0).sub(0, mlen)), 0.0,
+                                 d_res_.view().col(0).sub(0, nlen));
+              copy_d2h(s_, MatrixView<const double>(d_res_.block(0, 0, nlen, 1)),
+                       MatrixView<double>(ycol.data(), nlen, 1, nlen));
+              // Tripwire: a non-finite product means a NaN/Inf strike
+              // reached the trailing matrix mid-panel.
+              for (index_t r = 0; r < nlen; ++r)
+                if (!std::isfinite(ycol[r])) throw panel_poisoned_error{};
+            },
+            [&](index_t j, VectorView<const double> u, VectorView<double> xcol) {
+              const index_t cj = i + j;
+              const index_t nlen = n_ - cj - 1;
+              Matrix<double> dense(nlen, 1);
+              for (index_t r = 0; r < nlen; ++r) dense(r, 0) = u[r];
+              copy_h2d_async(s_, dense.cview(), d_vec_.block(0, 0, nlen, 1));
+              hybrid::gemv_async(s_, Trans::No, 1.0,
+                                 MatrixView<const double>(d_a_.block(cj + 1, cj + 1, nlen, nlen)),
+                                 VectorView<const double>(d_vec_.view().col(0).sub(0, nlen)), 0.0,
+                                 d_res_.view().col(0).sub(0, nlen));
+              copy_d2h(s_, MatrixView<const double>(d_res_.block(0, 0, nlen, 1)),
+                       MatrixView<double>(xcol.data(), nlen, 1, nlen));
+              for (index_t r = 0; r < nlen; ++r)
+                if (!std::isfinite(xcol[r])) throw panel_poisoned_error{};
+            });
+      } catch (const panel_poisoned_error&) {
+        poisoned = true;
+      }
     }
     st_.panel_seconds += panel_timer.seconds();
+    if (poisoned) {
+      s_.synchronize();
+      ++rep_.panel_aborts;
+      obs::counter_metric("ft.panel_aborts").add();
+      obs::instant("ft", "panel_abort");
+      return false;
+    }
 
     WallTimer update_timer;
     {
@@ -235,9 +344,12 @@ class FtGebrdDriver {
       hybrid::gemv_async(s_, Trans::No, -1.0, y2, sv2, 1.0, chkr_tail);
       hybrid::gemv_async(s_, Trans::Yes, -1.0, u2, sx2, 1.0, chkr_tail);
 
-      // Trailing update: A −= V2·Y2ᵀ + X2·U2.
+      // Trailing update: A −= V2·Y2ᵀ + X2·U2 — the right (Q-side) and left
+      // (P-side) halves; the seam between them is the between-updates
+      // window of the fault plane.
       hybrid::gemm_async(s_, Trans::No, Trans::Yes, -1.0, v2, y2, 1.0,
                          d_a_.block(i + ib, i + ib, tn, tn));
+      if (plane_ != nullptr) plane_->on_between_updates(s_);
       hybrid::gemm_async(s_, Trans::No, Trans::No, -1.0, x2, u2, 1.0,
                          d_a_.block(i + ib, i + ib, tn, tn));
 
@@ -279,6 +391,7 @@ class FtGebrdDriver {
       s_.synchronize();
     }
     st_.update_seconds += update_timer.seconds();
+    return true;
   }
 
   /// Fresh logical row sums (col == false) or column sums (col == true) of
@@ -322,81 +435,118 @@ class FtGebrdDriver {
   }
 
   /// One full fresh-vs-maintained comparison at finished boundary `i2`.
+  /// NaN-safe: a non-finite delta always flags its line (the plain
+  /// `> threshold` comparison is false for NaN) and raises has_nonfinite_.
   Discrepancy compare(index_t i2, FreshSums* fresh_out) {
     FreshSums fresh;
     fresh.row = fresh_sums(i2, false);
     fresh.col = fresh_sums(i2, true);
     const std::vector<double> chkc = fetch_chk(false);
     const std::vector<double> chkr = fetch_chk(true);
+    has_nonfinite_ = false;
     Discrepancy d;
     for (index_t r = 0; r < n_; ++r) {
       const double delta = fresh.row[static_cast<std::size_t>(r)] - chkc[static_cast<std::size_t>(r)];
-      if (std::abs(delta) > threshold_) {
+      if (!(std::abs(delta) <= threshold_)) {
         d.rows.push_back(r);
         d.row_delta.push_back(delta);
       }
-      worst_gap_ = std::max(worst_gap_, std::abs(delta));
+      if (std::isfinite(delta)) {
+        worst_gap_ = std::max(worst_gap_, std::abs(delta));
+      } else {
+        has_nonfinite_ = true;
+      }
     }
     for (index_t c = 0; c < n_; ++c) {
       const double delta = fresh.col[static_cast<std::size_t>(c)] - chkr[static_cast<std::size_t>(c)];
-      if (std::abs(delta) > threshold_) {
+      if (!(std::abs(delta) <= threshold_)) {
         d.cols.push_back(c);
         d.col_delta.push_back(delta);
       }
-      worst_gap_ = std::max(worst_gap_, std::abs(delta));
+      if (std::isfinite(delta)) {
+        worst_gap_ = std::max(worst_gap_, std::abs(delta));
+      } else {
+        has_nonfinite_ = true;
+      }
     }
     if (fresh_out != nullptr) *fresh_out = std::move(fresh);
     return d;
   }
 
-  void ensure_clean(index_t boundary, index_t i, index_t ib) {
+  void ensure_clean(index_t boundary, index_t i, index_t ib, bool completed) {
     int attempts = 0;
     for (;;) {
       WallTimer dt;
       worst_gap_ = 0.0;
       Discrepancy disc;
-      {
+      bool clean;
+      if (completed) {
         obs::TraceSpan det_span("ft", "detect");
         disc = compare(i + ib, nullptr);
+        clean = disc.clean();
+      } else {
+        // The panel tripwire already proved the iteration unusable; there
+        // is nothing meaningful to measure, so synthesize the detection.
+        has_nonfinite_ = true;
+        clean = false;
       }
       rep_.detect_seconds += dt.seconds();
-      obs::histogram_metric("ft.detect_gap").observe(worst_gap_);
-      obs::counter("ft.detect_gap", worst_gap_);
-      if (disc.clean()) {
+      if (!has_nonfinite_) {
+        obs::histogram_metric("ft.detect_gap").observe(worst_gap_);
+        obs::counter("ft.detect_gap", worst_gap_);
+      }
+      if (clean) {
         rep_.max_fault_free_gap = std::max(rep_.max_fault_free_gap, worst_gap_);
         return;
       }
+      const double gap =
+          has_nonfinite_ ? std::numeric_limits<double>::quiet_NaN() : worst_gap_;
 
       ++rep_.detections;
       obs::instant("ft", "detection");
       obs::counter_metric("ft.detections").add();
+      if (has_nonfinite_) obs::counter_metric("ft.nonfinite_detections").add();
       if (++attempts > opt_.max_retries) {
         std::ostringstream os;
-        os << "ft_gebrd: iteration " << boundary << " still inconsistent after "
-           << opt_.max_retries << " recovery attempts";
-        throw recovery_error(os.str());
+        os << "gap " << gap << " > threshold " << threshold_
+           << " after exhausting retries";
+        abort_recovery(rep_.outcome, "ft_gebrd", AbortReason::RetriesExhausted, boundary,
+                       attempts - 1, gap, threshold_, os.str());
       }
 
       WallTimer rt;
       FtEvent ev;
       ev.boundary = boundary;
-      ev.gap = worst_gap_;
+      ev.gap = gap;
+      ev.panel_poisoned = !completed;
       {
         obs::TraceSpan rb_span("ft", "rollback", "col", static_cast<double>(i));
-        rollback(i, ib);
+        rollback(i, ib, completed);
       }
       ++rep_.rollbacks;
       obs::counter_metric("ft.rollbacks").add();
 
-      {
-        obs::TraceSpan loc_span("ft", "locate");
-        FreshSums fresh;
-        const Discrepancy pre = compare(i, &fresh);
-        const LocateResult res = locate(pre, fresh, threshold_);
-        ev.checkpoint_only = res.data_errors.empty() && res.chk_col_errors.empty() &&
-                             res.chk_row_errors.empty();
-        apply_corrections(res, i, ev);
+      try {
+        // Pass 1 may reconstruct non-finite elements from the orthogonal
+        // code; a second pass mops up finite residue and re-encodes any
+        // checksum storage the damage propagated through.
+        for (int pass = 0; pass < 2; ++pass) {
+          obs::TraceSpan loc_span("ft", "locate");
+          FreshSums fresh;
+          const Discrepancy pre = compare(i, &fresh);
+          const LocateResult res = locate(pre, fresh, threshold_);
+          apply_corrections(res, i, ev);
+          if (res.reconstructions.empty()) break;
+        }
+      } catch (const recovery_error& e) {
+        const AbortReason why = has_nonfinite_ ? AbortReason::NonfiniteDamage
+                                               : AbortReason::AmbiguousPattern;
+        rep_.events.push_back(std::move(ev));
+        abort_recovery(rep_.outcome, "ft_gebrd", why, boundary, attempts, gap, threshold_,
+                       e.what());
       }
+      ev.checkpoint_only = ev.data_corrections == 0 && ev.checksum_corrections == 0 &&
+                           ev.reconstructions == 0;
       rep_.data_corrections += ev.data_corrections;
       rep_.checksum_corrections += ev.checksum_corrections;
       obs::counter_metric("ft.data_corrections").add(static_cast<std::uint64_t>(ev.data_corrections));
@@ -408,31 +558,223 @@ class FtGebrdDriver {
       {
         obs::TraceSpan redo_span("ft", "reexec", "col", static_cast<double>(i));
         obs::counter_metric("ft.reexecutions").add();
-        run_iteration(i, ib);
+        const RecoveryScope in_recovery(plane_);
+        completed = run_iteration(i, ib);
       }
       rep_.recovery_seconds += rt.seconds();
     }
   }
 
-  void rollback(index_t i, index_t ib) {
+  void rollback(index_t i, index_t ib, bool completed) {
     const index_t tn = n_ - i - ib;
-    // Reverse the two trailing GEMMs exactly (retained operands).
-    hybrid::gemm_async(s_, Trans::No, Trans::Yes, 1.0,
-                       MatrixView<const double>(d_v2_.block(0, 0, tn, ib)),
-                       MatrixView<const double>(d_y2_.block(0, 0, tn, ib)), 1.0,
-                       d_a_.block(i + ib, i + ib, tn, tn));
-    hybrid::gemm_async(s_, Trans::No, Trans::No, 1.0,
-                       MatrixView<const double>(d_x2_.block(0, 0, tn, ib)),
-                       MatrixView<const double>(d_u2_.block(0, 0, ib, tn)), 1.0,
-                       d_a_.block(i + ib, i + ib, tn, tn));
-    // Restore the checksum vectors and both host panels.
+    if (completed) {
+      // Reverse the two trailing GEMMs exactly (retained operands). A
+      // poisoned panel never applied them.
+      hybrid::gemm_async(s_, Trans::No, Trans::Yes, 1.0,
+                         MatrixView<const double>(d_v2_.block(0, 0, tn, ib)),
+                         MatrixView<const double>(d_y2_.block(0, 0, tn, ib)), 1.0,
+                         d_a_.block(i + ib, i + ib, tn, tn));
+      hybrid::gemm_async(s_, Trans::No, Trans::No, 1.0,
+                         MatrixView<const double>(d_x2_.block(0, 0, tn, ib)),
+                         MatrixView<const double>(d_u2_.block(0, 0, ib, tn)), 1.0,
+                         d_a_.block(i + ib, i + ib, tn, tn));
+    }
+    // Drain before touching the checkpoints from the host: in-flight faults
+    // fire on the worker thread and may target the checkpoint buffers.
+    s_.synchronize();
     obs::TraceSpan restore_span("ft", "checkpoint_restore", "col", static_cast<double>(i));
-    copy_h2d_async(s_, ckpt_chkc_.cview(), d_chkc_.view());
-    copy_h2d(s_, ckpt_chkr_.cview(), d_chkr_.view());
+    verify_or_rederive_panel_checkpoints(i, ib);
     fth::copy(MatrixView<const double>(ckpt_cols_.block(0, 0, n_ - i, ib)),
               a_.block(i, i, n_ - i, ib));
     fth::copy(MatrixView<const double>(ckpt_rows_.block(0, 0, ib, tn)),
               a_.block(i, i + ib, ib, tn));
+    // The vector checkpoints are verified after the data rollback so that a
+    // corrupt one can be re-derived from the restored state; only then are
+    // they pushed back to the device.
+    verify_or_rederive_chk_checkpoints(i);
+    copy_h2d_async(s_, ckpt_chkc_.cview(), d_chkc_.view());
+    copy_h2d(s_, ckpt_chkr_.cview(), d_chkr_.view());
+  }
+
+  // -- Checkpoint integrity (the checkpoint itself is a fault target). ------
+  // Dual sums (plain + position-weighted) compared bitwise at restore time:
+  // any corruption of the host buffers between save and restore — including
+  // NaN, which is unequal to itself — flips at least one sum. Panels and
+  // checksum vectors carry separate sum pairs because their re-derivation
+  // sources differ.
+  static bool bits_equal(double a, double b) {
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+  }
+
+  void panel_checkpoint_sums(double& s1, double& s2, index_t i, index_t ib) const {
+    const index_t tn = n_ - i - ib;
+    s1 = 0.0;
+    s2 = 0.0;
+    for (index_t j = 0; j < ib; ++j) {
+      for (index_t r = 0; r < n_ - i; ++r) {
+        const double v = ckpt_cols_(r, j);
+        s1 += v;
+        s2 += v * static_cast<double>((r + 1) + (j + 1) * n_);
+      }
+      for (index_t c = 0; c < tn; ++c) {
+        const double v = ckpt_rows_(j, c);
+        s1 += v;
+        s2 += v * static_cast<double>((c + 1) + (j + 1) * (n_ + 7));
+      }
+    }
+  }
+
+  void chk_checkpoint_sums(double& s1, double& s2) const {
+    s1 = 0.0;
+    s2 = 0.0;
+    for (index_t r = 0; r < n_; ++r) {
+      s1 += ckpt_chkc_(r, 0) + ckpt_chkr_(r, 0);
+      s2 += ckpt_chkc_(r, 0) * static_cast<double>(r + 1) +
+            ckpt_chkr_(r, 0) * static_cast<double>(n_ + r + 1);
+    }
+  }
+
+  void save_checkpoint_sums(index_t i, index_t ib) {
+    panel_checkpoint_sums(ckpt_sum1_, ckpt_sum2_, i, ib);
+    chk_checkpoint_sums(ckpt_csum1_, ckpt_csum2_);
+  }
+
+  /// Bitwise cross-check of the freshly saved vector checkpoints against
+  /// the device's maintained vectors (raw task readback, not a transfer —
+  /// so a transfer fault cannot strike both sides).
+  void verify_chk_checkpoint_save() {
+    Matrix<double> ref(n_, 2);
+    auto rv = ref.view();
+    auto cc = d_chkc_.view();
+    auto cr = d_chkr_.view();
+    s_.enqueue([rv, cc, cr, n = n_]() mutable {
+      for (index_t r = 0; r < n; ++r) {
+        rv(r, 0) = cc(r, 0);
+        rv(r, 1) = cr(r, 0);
+      }
+    });
+    s_.synchronize();
+    for (index_t r = 0; r < n_; ++r) {
+      if (!bits_equal(ckpt_chkc_(r, 0), ref(r, 0))) {
+        ckpt_chkc_(r, 0) = ref(r, 0);
+        ++rep_.ckpt_rederivations;
+        obs::counter_metric("ft.ckpt_rederivations").add();
+        obs::instant("ft", "ckpt_rederive");
+      }
+      if (!bits_equal(ckpt_chkr_(r, 0), ref(r, 1))) {
+        ckpt_chkr_(r, 0) = ref(r, 1);
+        ++rep_.ckpt_rederivations;
+        obs::counter_metric("ft.ckpt_rederivations").add();
+        obs::instant("ft", "ckpt_rederive");
+      }
+    }
+  }
+
+  void verify_or_rederive_panel_checkpoints(index_t i, index_t ib) {
+    double s1 = 0.0;
+    double s2 = 0.0;
+    panel_checkpoint_sums(s1, s2, i, ib);
+    if (bits_equal(s1, ckpt_sum1_) && bits_equal(s2, ckpt_sum2_)) return;
+    // Struck after save. The device's panel blocks are never written during
+    // the iteration (the panels are factored on the host, the GEMMs start
+    // at i+ib), so they still hold the exact pre-iteration image.
+    const index_t tn = n_ - i - ib;
+    copy_d2h_async(s_, MatrixView<const double>(d_a_.block(i, i, n_ - i, ib)),
+                   ckpt_cols_.block(0, 0, n_ - i, ib));
+    copy_d2h(s_, MatrixView<const double>(d_a_.block(i, i + ib, ib, tn)),
+             ckpt_rows_.block(0, 0, ib, tn));
+    panel_checkpoint_sums(ckpt_sum1_, ckpt_sum2_, i, ib);
+    ++rep_.ckpt_rederivations;
+    obs::counter_metric("ft.ckpt_rederivations").add();
+    obs::instant("ft", "ckpt_rederive");
+  }
+
+  void verify_or_rederive_chk_checkpoints(index_t i) {
+    double s1 = 0.0;
+    double s2 = 0.0;
+    chk_checkpoint_sums(s1, s2);
+    if (bits_equal(s1, ckpt_csum1_) && bits_equal(s2, ckpt_csum2_)) return;
+    // Struck after save: re-derive both codes from the rolled-back data
+    // (the caller restored the trailing matrix and the panels first). An
+    // undetected fault older than the last check would be encoded
+    // consistently here — the residual double-fault window DESIGN.md §9
+    // documents.
+    const std::vector<double> fc = fresh_sums(i, /*col=*/false);
+    const std::vector<double> fr = fresh_sums(i, /*col=*/true);
+    for (index_t r = 0; r < n_; ++r) {
+      ckpt_chkc_(r, 0) = fc[static_cast<std::size_t>(r)];
+      ckpt_chkr_(r, 0) = fr[static_cast<std::size_t>(r)];
+    }
+    chk_checkpoint_sums(ckpt_csum1_, ckpt_csum2_);
+    ++rep_.ckpt_rederivations;
+    obs::counter_metric("ft.ckpt_rederivations").add();
+    obs::instant("ft", "ckpt_rederive");
+  }
+
+  void set_element(index_t row, index_t col, double v, index_t i) {
+    if (row >= i && col >= i) {
+      auto da = d_a_.view();
+      s_.enqueue([da, row, col, v]() mutable { da(row, col) = v; });
+      s_.synchronize();
+    } else {
+      a_(row, col) = v;
+    }
+  }
+
+  // -- Non-finite recovery: element reconstruction from the orthogonal code.
+  // Rollback cannot cancel NaN/Inf; locate() hands back line-confined
+  // targets. Re-derive each element as (maintained code) − (line sum with
+  // the damaged elements zeroed), then re-encode any checksum storage the
+  // damage propagated through.
+  void reconstruct(const std::vector<ReconstructTarget>& targets, index_t i, FtEvent& ev) {
+    for (const auto& t : targets) set_element(t.row, t.col, 0.0, i);
+    const std::vector<double> base_row = fresh_sums(i, false);
+    const std::vector<double> base_col = fresh_sums(i, true);
+    const std::vector<double> chkc = fetch_chk(false);
+    const std::vector<double> chkr = fetch_chk(true);
+    for (const auto& t : targets) {
+      const double code = t.use_row_code ? chkc[static_cast<std::size_t>(t.row)]
+                                         : chkr[static_cast<std::size_t>(t.col)];
+      const double rest = t.use_row_code ? base_row[static_cast<std::size_t>(t.row)]
+                                         : base_col[static_cast<std::size_t>(t.col)];
+      if (!std::isfinite(code) || !std::isfinite(rest)) {
+        throw recovery_error(
+            "ft_gebrd: non-finite damage: the code needed for element "
+            "reconstruction is itself lost");
+      }
+      set_element(t.row, t.col, code - rest, i);
+      ev.errors.push_back({t.row, t.col, 0.0});
+      ++ev.reconstructions;
+      ++rep_.reconstructions;
+      obs::counter_metric("ft.reconstructions").add();
+      obs::instant("ft", "reconstruction");
+    }
+    // Checksum storage the non-finite values propagated through is
+    // re-encoded from the now-finite data.
+    const std::vector<double> fixed_row = fresh_sums(i, false);
+    const std::vector<double> fixed_col = fresh_sums(i, true);
+    auto cc = d_chkc_.view();
+    auto cr = d_chkr_.view();
+    bool synced = false;
+    for (index_t r = 0; r < n_; ++r) {
+      if (!std::isfinite(chkc[static_cast<std::size_t>(r)])) {
+        const double f = fixed_row[static_cast<std::size_t>(r)];
+        if (!std::isfinite(f))
+          throw recovery_error("ft_gebrd: non-finite checksum with non-finite fresh sum");
+        s_.enqueue([cc, r, f]() mutable { cc(r, 0) = f; });
+        synced = true;
+        ++ev.checksum_corrections;
+      }
+      if (!std::isfinite(chkr[static_cast<std::size_t>(r)])) {
+        const double f = fixed_col[static_cast<std::size_t>(r)];
+        if (!std::isfinite(f))
+          throw recovery_error("ft_gebrd: non-finite checksum with non-finite fresh sum");
+        s_.enqueue([cr, r, f]() mutable { cr(r, 0) = f; });
+        synced = true;
+        ++ev.checksum_corrections;
+      }
+    }
+    if (synced) s_.synchronize();
   }
 
   void apply_corrections(const LocateResult& res, index_t i, FtEvent& ev) {
@@ -458,23 +800,28 @@ class FtGebrdDriver {
       ++ev.checksum_corrections;
     }
     s_.synchronize();
+    if (!res.reconstructions.empty()) reconstruct(res.reconstructions, i, ev);
   }
 
   void inject_at_boundary(index_t boundary, index_t i_next) {
     const auto due = inj_->due(boundary, total_boundaries_, i_next, n_, scale_max_);
+    bool device_faults = false;
     for (const auto& f : due) {
       if (f.row >= i_next && f.col >= i_next) {
         auto da = d_a_.view();
         const auto ff = f;
-        s_.enqueue([da, ff]() mutable { da(ff.row, ff.col) += ff.delta; });
-        s_.synchronize();
+        s_.enqueue([da, ff]() mutable { da(ff.row, ff.col) = ff.apply(da(ff.row, ff.col)); });
+        device_faults = true;
       } else {
         // Finished rows hold P's Householder storage; finished columns
         // hold Q's; the bidiagonal band itself is host data too.
-        a_(f.row, f.col) += f.delta;
+        a_(f.row, f.col) = f.apply(a_(f.row, f.col));
       }
       inj_->record(boundary, f);
     }
+    // One drain for the whole batch: a per-fault synchronize would
+    // serialize multi-fault injection for no benefit.
+    if (device_faults) s_.synchronize();
   }
 
   void final_phase() {
@@ -485,13 +832,21 @@ class FtGebrdDriver {
       rep_.final_sweep_ran = true;
       WallTimer t;
       obs::TraceSpan sweep_span("ft", "final_sweep");
+      worst_gap_ = 0.0;
       FreshSums fresh;
       const Discrepancy disc = compare(n_ - 1, &fresh);
       if (!disc.clean()) {
         FtEvent ev;
-        const LocateResult res = locate(disc, fresh, threshold_);
-        apply_corrections(res, n_ - 1, ev);
-        rep_.final_sweep_corrections = ev.data_corrections + ev.checksum_corrections;
+        try {
+          const LocateResult res = locate(disc, fresh, threshold_);
+          apply_corrections(res, n_ - 1, ev);
+        } catch (const recovery_error& e) {
+          abort_recovery(rep_.outcome, "ft_gebrd", AbortReason::AmbiguousPattern,
+                         total_boundaries_, 0, 0.0, threshold_,
+                         std::string("final sweep: ") + e.what());
+        }
+        rep_.final_sweep_corrections =
+            ev.data_corrections + ev.checksum_corrections + ev.reconstructions;
         rep_.data_corrections += ev.data_corrections;
         rep_.checksum_corrections += ev.checksum_corrections;
         obs::counter_metric("ft.data_corrections")
@@ -549,7 +904,13 @@ class FtGebrdDriver {
   double threshold_ = 0.0;
   double scale_max_ = 0.0;
   double worst_gap_ = 0.0;
+  bool has_nonfinite_ = false;
   index_t total_boundaries_ = 0;
+  fault::FaultPlane* plane_ = nullptr;
+  double ckpt_sum1_ = 0.0;
+  double ckpt_sum2_ = 0.0;
+  double ckpt_csum1_ = 0.0;
+  double ckpt_csum2_ = 0.0;
 
   hybrid::DeviceMatrix<double> d_a_;
   hybrid::DeviceMatrix<double> d_v2_;

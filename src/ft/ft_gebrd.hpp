@@ -34,6 +34,8 @@ struct FtGebrdOptions {
   bool final_sweep = true;
   int max_retries = 3;
   index_t detect_every = 1;  ///< same amortization knob as ft_sytrd
+  /// Optional in-flight fault plane (see FtOptions::fault_plane).
+  fault::FaultPlane* fault_plane = nullptr;
 };
 
 /// Reduce the square matrix `a` to upper bidiagonal form with

@@ -19,7 +19,12 @@
 
 #include "fault/injector.hpp"
 #include "ft/locate.hpp"
+#include "ft/recovery.hpp"
 #include "hybrid/hybrid_gehrd.hpp"
+
+namespace fth::fault {
+class FaultPlane;
+}
 
 namespace fth::ft {
 
@@ -35,6 +40,10 @@ struct FtOptions {
   bool protect_q = true;   ///< maintain + verify the Q checksums
   bool final_sweep = true; ///< full checksum verification after the last iteration
   int max_retries = 3;     ///< re-executions of a single iteration before giving up
+  /// Optional in-flight fault plane: the driver binds it to the device,
+  /// registers its protected surfaces, and brackets recovery re-execution
+  /// so armed faults can strike mid-update / mid-transfer / mid-recovery.
+  fault::FaultPlane* fault_plane = nullptr;
 };
 
 /// One detection + recovery episode.
@@ -43,7 +52,9 @@ struct FtEvent {
   double gap = 0.0;      ///< |Sre − Sce| observed
   int data_corrections = 0;
   int checksum_corrections = 0;
+  int reconstructions = 0;       ///< non-finite elements re-derived from the codes
   bool checkpoint_only = false;  ///< rollback+restore sufficed (error was in the panel copy)
+  bool panel_poisoned = false;   ///< the panel tripwire aborted mid-factorization
   std::vector<LocatedError> errors;
 };
 
@@ -53,6 +64,9 @@ struct FtReport {
   int data_corrections = 0;
   int checksum_corrections = 0;
   int q_corrections = 0;
+  int reconstructions = 0;      ///< non-finite elements re-derived from the codes
+  int ckpt_rederivations = 0;   ///< corrupt checkpoints rebuilt from the device pre-image
+  int panel_aborts = 0;         ///< panel factorizations aborted by the non-finite tripwire
   bool final_sweep_ran = false;
   int final_sweep_corrections = 0;
   double threshold = 0.0;
@@ -64,6 +78,10 @@ struct FtReport {
   double recovery_seconds = 0.0;  ///< rollback + locate + correct + redo
   double q_seconds = 0.0;
   std::vector<FtEvent> events;
+  /// How the run ended. Clean/Recovered on normal return; Unrecoverable is
+  /// filled in before the structured recovery_error is thrown, so a caller
+  /// catching the throw still gets the full context here.
+  RecoveryOutcome outcome;
 };
 
 /// Reduce `a` to Hessenberg form with transient-error resilience.

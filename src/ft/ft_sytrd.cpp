@@ -2,13 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <limits>
 #include <sstream>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "fault/fault_plane.hpp"
 #include "ft/checksum.hpp"
 #include "ft/q_protect.hpp"
+#include "ft/recovery.hpp"
 #include "hybrid/dev_blas.hpp"
 #include "la/blas1.hpp"
 #include "la/blas2.hpp"
@@ -36,6 +40,41 @@ using hybrid::copy_d2h;
 using hybrid::copy_d2h_async;
 using hybrid::copy_h2d;
 using hybrid::copy_h2d_async;
+
+/// Thrown by the panel tripwire when a device-assisted SYMV column comes
+/// back non-finite: the reflector chain would smear NaN/Inf across the
+/// whole trailing matrix, so the panel is abandoned before any update.
+struct panel_poisoned_error {};
+
+/// RAII bracket telling the fault plane a recovery re-execution is active
+/// (DuringRecovery faults only count triggers inside the bracket).
+class RecoveryScope {
+ public:
+  explicit RecoveryScope(fault::FaultPlane* p) : p_(p) {
+    if (p_ != nullptr) p_->set_in_recovery(true);
+  }
+  ~RecoveryScope() {
+    if (p_ != nullptr) p_->set_in_recovery(false);
+  }
+  RecoveryScope(const RecoveryScope&) = delete;
+  RecoveryScope& operator=(const RecoveryScope&) = delete;
+
+ private:
+  fault::FaultPlane* p_;
+};
+
+/// Per-check detection result: the worst finite per-row gap plus a flag
+/// for non-finite discrepancies (a NaN gap must count as detected — the
+/// plain `gap > threshold` comparison is false for NaN and would wave the
+/// corruption straight through).
+struct SytrdDetect {
+  double worst = 0.0;
+  bool bad = false;
+  bool nonfinite = false;
+  [[nodiscard]] double gap() const {
+    return nonfinite ? std::numeric_limits<double>::quiet_NaN() : worst;
+  }
+};
 
 class FtSytrdDriver {
  public:
@@ -78,6 +117,20 @@ class FtSytrdDriver {
     threshold_ *= 50.0;
     total_boundaries_ = ft_sytrd_boundaries(n_, opt.nb);
     rep_.threshold = threshold_;
+    plane_ = opt.fault_plane;
+    if (plane_ != nullptr) plane_->bind(dev);
+  }
+
+  ~FtSytrdDriver() {
+    if (plane_ != nullptr) {
+      // Drain the stream so no hook invocation is in flight when the hooks
+      // come down (the plane may be destroyed right after the driver).
+      try {
+        s_.synchronize();
+      } catch (...) {  // NOLINT(bugprone-empty-catch): unwinding already
+      }
+      plane_->unbind();
+    }
   }
 
   void run() {
@@ -86,7 +139,7 @@ class FtSytrdDriver {
     index_t boundary = 0;
     while (i < n_ - 1) {
       const index_t ib = std::min(opt_.nb, n_ - 1 - i);
-      run_iteration(i, ib);
+      const bool completed = run_iteration(i, ib);
       ++boundary;
       // Faults strike at the boundary, i.e. before the end-of-iteration
       // check — so a hit anywhere (including the next panel's interior) is
@@ -96,12 +149,22 @@ class FtSytrdDriver {
       if (inj_ != nullptr) inject_at_boundary(boundary, i + ib);
       const bool check_now = opt_.detect_every <= 1 ||
                              boundary % opt_.detect_every == 0 || i + ib >= n_ - 1;
-      if (check_now) ensure_clean(boundary, i, ib);
+      // A poisoned panel forces a check regardless of the amortization
+      // knob: the next iteration would otherwise consume the damage.
+      if (check_now || !completed) ensure_clean(boundary, i, ib, completed);
       if (opt_.protect_q) qp_.commit(pending_q_);
       ++st_.panels;
       i += ib;
     }
     final_phase();
+    // Clean means NOTHING fired: a run that survived only because a
+    // checkpoint was re-derived, a non-finite element reconstructed, or a
+    // poisoned panel abandoned was still a recovery.
+    rep_.outcome.status = (rep_.detections > 0 || rep_.final_sweep_corrections > 0 ||
+                           rep_.q_corrections > 0 || rep_.ckpt_rederivations > 0 ||
+                           rep_.reconstructions > 0 || rep_.panel_aborts > 0)
+                              ? RecoveryStatus::Recovered
+                              : RecoveryStatus::Clean;
   }
 
  private:
@@ -122,10 +185,46 @@ class FtSytrdDriver {
                        d_chkw_.view().col(0));
     s_.synchronize();
     rep_.encode_seconds += t.seconds();
+    // Faults are gated until the codes exist: an earlier strike would be
+    // encoded consistently and become a different (but protected) input.
+    if (plane_ != nullptr) plane_->mark_encoded();
   }
 
-  void run_iteration(index_t i, index_t ib) {
+  // Returns false if the panel tripwire abandoned the iteration before any
+  // update touched the trailing matrix (caller rolls back and redoes).
+  bool run_iteration(index_t i, index_t ib) {
     const index_t vrows = n_ - i - 1;
+    const index_t tn = n_ - i - ib;
+
+    // Re-aim the fault plane at this iteration's live regions. The device
+    // panel columns are excluded: the panel is factored from host data and
+    // the finished rows are re-encoded from host values, so a strike there
+    // becomes consistent-wrong dead storage the accounting cannot see. The
+    // strictly upper triangle of d_a_ is likewise never read (LowerTriangle
+    // shape). The checkpoint surface is registered only after its integrity
+    // sums are taken, so a strike cannot pre-date the reference.
+    if (plane_ != nullptr) {
+      plane_->register_surface(fault::Surface::TrailingMatrix,
+                               d_a_.block(i + ib, i + ib, tn, tn),
+                               fault::SurfaceShape::LowerTriangle);
+      // Trailing segments only: the panel segments [i, i+ib) are re-encoded
+      // from the finished host rows at the end of the iteration, so a strike
+      // there before the re-encode is dead storage the comparison never sees.
+      plane_->register_surface(fault::Surface::ChecksumCol,
+                               d_chke_.block(i + ib, 0, tn, 1));
+      // The weighted code rides under the ChecksumRow label — sytrd has no
+      // checksum row; its second line of defense is the ω-weighted column.
+      plane_->register_surface(fault::Surface::ChecksumRow,
+                               d_chkw_.block(i + ib, 0, tn, 1));
+      plane_->clear_surface(fault::Surface::Checkpoint);
+      plane_->clear_transfer_targets();
+      // Fault-eligible transfer destinations inside the protected domain:
+      // the checkpointed checksum-vector pre-images (d2h, checkpoint save).
+      // The panel d2h lands in host a_, the reliable domain by the paper's
+      // model — corrupting it would be a silently wrong result everywhere.
+      plane_->add_transfer_target(fault::Surface::Checkpoint, ckpt_chke_.view());
+      plane_->add_transfer_target(fault::Surface::Checkpoint, ckpt_chkw_.view());
+    }
 
     // Panel to host + diskless checkpoints (panel pre-image and both
     // checksum vectors — the vectors are O(n), so checkpointing beats
@@ -138,27 +237,53 @@ class FtSytrdDriver {
       copy_d2h_async(s_, MatrixView<const double>(d_chke_.view()), ckpt_chke_.view());
       copy_d2h(s_, MatrixView<const double>(d_chkw_.view()), ckpt_chkw_.view());
       fth::copy(MatrixView<const double>(a_.block(0, i, n_, ib)), ckpt_.block(0, 0, n_, ib));
+      // The d2h that filled the vector checkpoints is itself fault-eligible
+      // and the dual-sum verify can only vouch for what was stored, not for
+      // the transfer. Cross-check bitwise against the device's maintained
+      // vectors via a raw task readback (not a copy_* transfer, hence not
+      // fault-eligible) and repair on mismatch.
+      verify_chk_checkpoint_save();
+      save_checkpoint_sums(ib);
+      if (plane_ != nullptr)
+        plane_->register_surface(fault::Surface::Checkpoint, ckpt_.block(0, 0, n_, ib));
     }
 
     // Host panel with device-assisted SYMV.
+    bool poisoned = false;
     {
       obs::TraceSpan panel_span("hybrid", "panel", "col", static_cast<double>(i));
-      lapack::detail::latrd_panel(
-          a_, i, ib, e_.sub(i, ib), tau_.sub(i, ib), w_host_.view(),
-          [&](index_t j, VectorView<const double> vj, VectorView<double> w_col) {
-            const index_t cj = i + j;
-            const index_t vlen = n_ - cj - 1;
-            auto d_vcol = d_v_.block(j, j, vlen, 1);
-            copy_h2d_async(s_, MatrixView<const double>(vj.data(), vlen, 1, vlen), d_vcol);
-            hybrid::symv_async(s_, Uplo::Lower, 1.0,
-                               MatrixView<const double>(d_a_.block(cj + 1, cj + 1, vlen, vlen)),
-                               VectorView<const double>(d_vcol.col(0)),
-                               0.0, d_w_.block(j, j, vlen, 1).col(0));
-            copy_d2h(s_, MatrixView<const double>(d_w_.block(j, j, vlen, 1)),
-                     MatrixView<double>(w_col.data(), vlen, 1, vlen));
-          });
+      try {
+        lapack::detail::latrd_panel(
+            a_, i, ib, e_.sub(i, ib), tau_.sub(i, ib), w_host_.view(),
+            [&](index_t j, VectorView<const double> vj, VectorView<double> w_col) {
+              const index_t cj = i + j;
+              const index_t vlen = n_ - cj - 1;
+              auto d_vcol = d_v_.block(j, j, vlen, 1);
+              copy_h2d_async(s_, MatrixView<const double>(vj.data(), vlen, 1, vlen), d_vcol);
+              hybrid::symv_async(s_, Uplo::Lower, 1.0,
+                                 MatrixView<const double>(d_a_.block(cj + 1, cj + 1, vlen, vlen)),
+                                 VectorView<const double>(d_vcol.col(0)),
+                                 0.0, d_w_.block(j, j, vlen, 1).col(0));
+              copy_d2h(s_, MatrixView<const double>(d_w_.block(j, j, vlen, 1)),
+                       MatrixView<double>(w_col.data(), vlen, 1, vlen));
+              // Tripwire: a non-finite w means a NaN/Inf strike reached the
+              // trailing matrix mid-panel. Abandon the panel before any
+              // update smears it.
+              for (index_t r = 0; r < vlen; ++r)
+                if (!std::isfinite(w_col[r])) throw panel_poisoned_error{};
+            });
+      } catch (const panel_poisoned_error&) {
+        poisoned = true;
+      }
     }
     st_.panel_seconds += panel_timer.seconds();
+    if (poisoned) {
+      s_.synchronize();
+      ++rep_.panel_aborts;
+      obs::counter_metric("ft.panel_aborts").add();
+      obs::instant("ft", "panel_abort");
+      return false;
+    }
 
     WallTimer update_timer;
     {
@@ -176,7 +301,6 @@ class FtSytrdDriver {
       //              + e_last·vec(i+ib−1) for r == i+ib           [coupling]
       // and panel rows i..i+ib−1 become plain tridiagonal rows, re-encoded
       // from the finished host data (their pre-images are checkpointed).
-      const index_t tn = n_ - i - ib;
       auto v2 = MatrixView<const double>(d_v_.block(ib - 1, 0, tn, ib));
       auto w2 = MatrixView<const double>(d_w_.block(ib - 1, 0, tn, ib));
       auto ones_tn = VectorView<const double>(d_ones_.view().col(0).sub(0, tn));
@@ -211,6 +335,10 @@ class FtSytrdDriver {
                          chkw_tail);
       hybrid::gemv_async(s_, Trans::No, -1.0, v2, sw_w2, 1.0, chkw_tail);
       hybrid::gemv_async(s_, Trans::No, -1.0, w2, sw_v2, 1.0, chkw_tail);
+
+      // The window between the checksum maintenance and the rank-2k data
+      // update is sytrd's analogue of gehrd's between-updates window.
+      if (plane_ != nullptr) plane_->on_between_updates(s_);
 
       // Trailing rank-2k (lower triangle) on the device.
       hybrid::syr2k_async(s_, Uplo::Lower, Trans::No, -1.0, v2, w2, 1.0,
@@ -253,6 +381,7 @@ class FtSytrdDriver {
       s_.synchronize();
     }
     st_.update_seconds += update_timer.seconds();
+    return true;
   }
 
   /// Fresh logical row sums of the current state: finished rows from the
@@ -301,55 +430,85 @@ class FtSytrdDriver {
     return out;
   }
 
-  void ensure_clean(index_t boundary, index_t i, index_t ib) {
+  SytrdDetect detect(index_t i2) {
+    SytrdDetect det;
+    const std::vector<double> fresh = fresh_sums(i2, /*weighted=*/false);
+    const std::vector<double> chke = fetch_chk(false);
+    for (index_t r = 0; r < n_; ++r) {
+      const double gap = std::abs(fresh[static_cast<std::size_t>(r)] -
+                                  chke[static_cast<std::size_t>(r)]);
+      if (!std::isfinite(gap)) {
+        det.nonfinite = true;
+        det.bad = true;
+      } else {
+        det.worst = std::max(det.worst, gap);
+        if (gap > threshold_) det.bad = true;
+      }
+    }
+    return det;
+  }
+
+  void ensure_clean(index_t boundary, index_t i, index_t ib, bool completed) {
     int attempts = 0;
     for (;;) {
       WallTimer dt;
-      double worst = 0.0;
-      bool bad = false;
-      {
+      SytrdDetect det;
+      if (completed) {
         obs::TraceSpan det_span("ft", "detect");
-        const std::vector<double> fresh = fresh_sums(i + ib, /*weighted=*/false);
-        const std::vector<double> chke = fetch_chk(false);
-        for (index_t r = 0; r < n_; ++r) {
-          const double gap = std::abs(fresh[static_cast<std::size_t>(r)] -
-                                      chke[static_cast<std::size_t>(r)]);
-          worst = std::max(worst, gap);
-          if (gap > threshold_) bad = true;
-        }
+        det = detect(i + ib);
+      } else {
+        // The panel tripwire already proved the iteration unusable; there
+        // is nothing meaningful to measure, so synthesize the detection.
+        det.bad = true;
+        det.nonfinite = true;
       }
       rep_.detect_seconds += dt.seconds();
-      obs::histogram_metric("ft.detect_gap").observe(worst);
-      obs::counter("ft.detect_gap", worst);
-      if (!bad) {
-        rep_.max_fault_free_gap = std::max(rep_.max_fault_free_gap, worst);
+      if (std::isfinite(det.gap())) {
+        obs::histogram_metric("ft.detect_gap").observe(det.worst);
+        obs::counter("ft.detect_gap", det.worst);
+      }
+      if (!det.bad) {
+        rep_.max_fault_free_gap = std::max(rep_.max_fault_free_gap, det.worst);
         return;
       }
 
       ++rep_.detections;
       obs::instant("ft", "detection");
       obs::counter_metric("ft.detections").add();
+      if (det.nonfinite) obs::counter_metric("ft.nonfinite_detections").add();
       if (++attempts > opt_.max_retries) {
         std::ostringstream os;
-        os << "ft_sytrd: iteration " << boundary << " still inconsistent after "
-           << opt_.max_retries << " recovery attempts (worst gap " << worst << ")";
-        throw recovery_error(os.str());
+        os << "per-row gap " << det.gap() << " > threshold " << threshold_
+           << " after exhausting retries";
+        abort_recovery(rep_.outcome, "ft_sytrd", AbortReason::RetriesExhausted, boundary,
+                       attempts - 1, det.gap(), threshold_, os.str());
       }
 
       WallTimer rt;
       FtEvent ev;
       ev.boundary = boundary;
-      ev.gap = worst;
+      ev.gap = det.gap();
+      ev.panel_poisoned = !completed;
       {
         obs::TraceSpan rb_span("ft", "rollback", "col", static_cast<double>(i));
-        rollback(i, ib);
+        rollback(i, ib, completed);
       }
       ++rep_.rollbacks;
       obs::counter_metric("ft.rollbacks").add();
-      {
+      try {
         obs::TraceSpan loc_span("ft", "locate");
         locate_and_correct(i, ev);
+      } catch (const recovery_error& e) {
+        // Location gave up: the pattern exceeds the two-code capability.
+        // Record the abandoned iteration, then abort with the cause.
+        const AbortReason why = det.nonfinite ? AbortReason::NonfiniteDamage
+                                              : AbortReason::AmbiguousPattern;
+        rep_.events.push_back(std::move(ev));
+        abort_recovery(rep_.outcome, "ft_sytrd", why, boundary, attempts, det.gap(),
+                       threshold_, e.what());
       }
+      ev.checkpoint_only = ev.data_corrections == 0 && ev.checksum_corrections == 0 &&
+                           ev.reconstructions == 0;
       rep_.data_corrections += ev.data_corrections;
       rep_.checksum_corrections += ev.checksum_corrections;
       obs::counter_metric("ft.data_corrections").add(static_cast<std::uint64_t>(ev.data_corrections));
@@ -360,31 +519,232 @@ class FtSytrdDriver {
       {
         obs::TraceSpan redo_span("ft", "reexec", "col", static_cast<double>(i));
         obs::counter_metric("ft.reexecutions").add();
-        run_iteration(i, ib);
+        const RecoveryScope in_recovery(plane_);
+        completed = run_iteration(i, ib);
       }
       rep_.recovery_seconds += rt.seconds();
     }
   }
 
-  void rollback(index_t i, index_t ib) {
+  void rollback(index_t i, index_t ib, bool completed) {
     const index_t tn = n_ - i - ib;
-    // Reverse the trailing rank-2k exactly (deterministic kernel, same
-    // retained operands).
-    hybrid::syr2k_async(s_, Uplo::Lower, Trans::No, 1.0,
-                        MatrixView<const double>(d_v_.block(ib - 1, 0, tn, ib)),
-                        MatrixView<const double>(d_w_.block(ib - 1, 0, tn, ib)), 1.0,
-                        d_a_.block(i + ib, i + ib, tn, tn));
-    // Restore both checksum vectors and the panel from the checkpoints.
+    if (completed) {
+      // Reverse the trailing rank-2k exactly (deterministic kernel, same
+      // retained operands). A poisoned panel never applied it.
+      hybrid::syr2k_async(s_, Uplo::Lower, Trans::No, 1.0,
+                          MatrixView<const double>(d_v_.block(ib - 1, 0, tn, ib)),
+                          MatrixView<const double>(d_w_.block(ib - 1, 0, tn, ib)), 1.0,
+                          d_a_.block(i + ib, i + ib, tn, tn));
+    }
+    // Drain before touching the checkpoints from the host: in-flight faults
+    // fire on the worker thread and may target the checkpoint buffers.
+    s_.synchronize();
     obs::TraceSpan restore_span("ft", "checkpoint_restore", "col", static_cast<double>(i));
+    verify_or_rederive_panel_checkpoint(i, ib);
+    fth::copy(MatrixView<const double>(ckpt_.block(0, 0, n_, ib)), a_.block(0, i, n_, ib));
+    // The vector checkpoints are verified after the data rollback so that a
+    // corrupt one can be re-derived from the restored state; only then are
+    // they pushed back to the device.
+    verify_or_rederive_chk_checkpoints(i);
     copy_h2d_async(s_, ckpt_chke_.cview(), d_chke_.view());
     copy_h2d(s_, ckpt_chkw_.cview(), d_chkw_.view());
-    fth::copy(MatrixView<const double>(ckpt_.block(0, 0, n_, ib)), a_.block(0, i, n_, ib));
+  }
+
+  // -- Checkpoint integrity (the checkpoint itself is a fault target). ------
+  // Dual sums (plain + position-weighted) compared bitwise at restore time:
+  // any corruption of the host buffers between save and restore — including
+  // NaN, which is unequal to itself — flips at least one sum. The panel and
+  // the checksum vectors carry separate sum pairs because their
+  // re-derivation sources differ.
+  static bool bits_equal(double a, double b) {
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+  }
+
+  void panel_checkpoint_sums(double& s1, double& s2, index_t ib) const {
+    s1 = 0.0;
+    s2 = 0.0;
+    for (index_t j = 0; j < ib; ++j) {
+      for (index_t r = 0; r < n_; ++r) {
+        const double v = ckpt_(r, j);
+        s1 += v;
+        s2 += v * static_cast<double>((r + 1) + (j + 1) * n_);
+      }
+    }
+  }
+
+  void chk_checkpoint_sums(double& s1, double& s2) const {
+    s1 = 0.0;
+    s2 = 0.0;
+    for (index_t r = 0; r < n_; ++r) {
+      s1 += ckpt_chke_(r, 0) + ckpt_chkw_(r, 0);
+      s2 += ckpt_chke_(r, 0) * static_cast<double>(r + 1) +
+            ckpt_chkw_(r, 0) * static_cast<double>(n_ + r + 1);
+    }
+  }
+
+  void save_checkpoint_sums(index_t ib) {
+    panel_checkpoint_sums(ckpt_sum1_, ckpt_sum2_, ib);
+    chk_checkpoint_sums(ckpt_csum1_, ckpt_csum2_);
+  }
+
+  /// Bitwise cross-check of the freshly saved vector checkpoints against
+  /// the device's maintained vectors (raw task readback, not a transfer —
+  /// so a transfer fault cannot strike both sides).
+  void verify_chk_checkpoint_save() {
+    Matrix<double> ref(n_, 2);
+    auto rv = ref.view();
+    auto ce = d_chke_.view();
+    auto cw = d_chkw_.view();
+    s_.enqueue([rv, ce, cw, n = n_]() mutable {
+      for (index_t r = 0; r < n; ++r) {
+        rv(r, 0) = ce(r, 0);
+        rv(r, 1) = cw(r, 0);
+      }
+    });
+    s_.synchronize();
+    for (index_t r = 0; r < n_; ++r) {
+      if (!bits_equal(ckpt_chke_(r, 0), ref(r, 0))) {
+        ckpt_chke_(r, 0) = ref(r, 0);
+        ++rep_.ckpt_rederivations;
+        obs::counter_metric("ft.ckpt_rederivations").add();
+        obs::instant("ft", "ckpt_rederive");
+      }
+      if (!bits_equal(ckpt_chkw_(r, 0), ref(r, 1))) {
+        ckpt_chkw_(r, 0) = ref(r, 1);
+        ++rep_.ckpt_rederivations;
+        obs::counter_metric("ft.ckpt_rederivations").add();
+        obs::instant("ft", "ckpt_rederive");
+      }
+    }
+  }
+
+  void verify_or_rederive_panel_checkpoint(index_t i, index_t ib) {
+    double s1 = 0.0;
+    double s2 = 0.0;
+    panel_checkpoint_sums(s1, s2, ib);
+    if (bits_equal(s1, ckpt_sum1_) && bits_equal(s2, ckpt_sum2_)) return;
+    // The diskless panel checkpoint was struck after save. The device's
+    // panel columns are never written during the iteration (the panel is
+    // factored on the host, the rank-2k starts at column i+ib), so they
+    // still hold the exact pre-iteration image.
+    copy_d2h(s_, MatrixView<const double>(d_a_.block(0, i, n_, ib)), ckpt_.block(0, 0, n_, ib));
+    panel_checkpoint_sums(ckpt_sum1_, ckpt_sum2_, ib);
+    ++rep_.ckpt_rederivations;
+    obs::counter_metric("ft.ckpt_rederivations").add();
+    obs::instant("ft", "ckpt_rederive");
+  }
+
+  void verify_or_rederive_chk_checkpoints(index_t i) {
+    double s1 = 0.0;
+    double s2 = 0.0;
+    chk_checkpoint_sums(s1, s2);
+    if (bits_equal(s1, ckpt_csum1_) && bits_equal(s2, ckpt_csum2_)) return;
+    // Struck after save: re-derive both codes from the rolled-back data
+    // (the caller restored the trailing matrix and the panel first). An
+    // undetected fault older than the last check would be encoded
+    // consistently here — the residual double-fault window DESIGN.md §9
+    // documents.
+    const std::vector<double> fe = fresh_sums(i, /*weighted=*/false);
+    const std::vector<double> fw = fresh_sums(i, /*weighted=*/true);
+    for (index_t r = 0; r < n_; ++r) {
+      ckpt_chke_(r, 0) = fe[static_cast<std::size_t>(r)];
+      ckpt_chkw_(r, 0) = fw[static_cast<std::size_t>(r)];
+    }
+    chk_checkpoint_sums(ckpt_csum1_, ckpt_csum2_);
+    ++rep_.ckpt_rederivations;
+    obs::counter_metric("ft.ckpt_rederivations").add();
+    obs::instant("ft", "ckpt_rederive");
+  }
+
+  // -- Non-finite recovery: element reconstruction from the plain code. -----
+  // Rollback cannot cancel NaN/Inf (x + NaN − NaN stays NaN). A non-finite
+  // strike at stored element (p,q) poisons exactly the fresh sums of rows p
+  // and q (SYMV reads it for both); re-derive the element as
+  // chk_e(p) − (row-p sum with the element zeroed).
+  void reconstruct_nonfinite(const std::vector<index_t>& nf_rows, index_t i, FtEvent& ev) {
+    if (nf_rows.size() > 2) {
+      throw recovery_error(
+          "ft_sytrd: non-finite contamination spans more than one stored element");
+    }
+    const index_t p = nf_rows.back();
+    const index_t q = nf_rows.front();  // p == q → diagonal element
+    if (q >= i) {
+      auto da = d_a_.view();
+      s_.enqueue([da, p, q]() mutable { da(p, q) = 0.0; });
+      s_.synchronize();
+    } else {
+      a_(p, q) = 0.0;
+    }
+    const std::vector<double> base = fresh_sums(i, /*weighted=*/false);
+    const std::vector<double> chke = fetch_chk(false);
+    const double code = chke[static_cast<std::size_t>(p)];
+    const double rest = base[static_cast<std::size_t>(p)];
+    if (!std::isfinite(code) || !std::isfinite(rest)) {
+      throw recovery_error(
+          "ft_sytrd: non-finite damage: the code needed for element "
+          "reconstruction is itself lost");
+    }
+    const double v = code - rest;
+    if (q >= i) {
+      auto da = d_a_.view();
+      s_.enqueue([da, p, q, v]() mutable { da(p, q) = v; });
+      s_.synchronize();
+    } else {
+      a_(p, q) = v;
+    }
+    ev.errors.push_back({p, q, 0.0});
+    ++ev.reconstructions;
+    ++rep_.reconstructions;
+    obs::counter_metric("ft.reconstructions").add();
+    obs::instant("ft", "reconstruction");
   }
 
   void locate_and_correct(index_t i, FtEvent& ev) {
-    const std::vector<double> fresh_e = fresh_sums(i, false);
+    std::vector<double> fresh_e = fresh_sums(i, false);
+    std::vector<double> chke = fetch_chk(false);
+
+    // Non-finite pre-pass. Data damage shows as non-finite fresh sums and
+    // is reconstructed element-wise from the plain code; non-finite
+    // checksum storage with finite fresh sums is re-encoded directly. Any
+    // residue is caught by the caller's retry loop.
+    std::vector<index_t> nf_rows;
+    for (index_t r = 0; r < n_; ++r) {
+      if (!std::isfinite(fresh_e[static_cast<std::size_t>(r)])) nf_rows.push_back(r);
+    }
+    if (!nf_rows.empty()) {
+      reconstruct_nonfinite(nf_rows, i, ev);
+      fresh_e = fresh_sums(i, false);
+    }
+    {
+      auto ce = d_chke_.view();
+      auto cw = d_chkw_.view();
+      std::vector<double> fresh_w_nf;  // computed lazily, only if chkw is damaged
+      const std::vector<double> chkw_now = fetch_chk(true);
+      bool synced = false;
+      for (index_t r = 0; r < n_; ++r) {
+        const double fe = fresh_e[static_cast<std::size_t>(r)];
+        if (!std::isfinite(chke[static_cast<std::size_t>(r)]) && std::isfinite(fe)) {
+          s_.enqueue([ce, r, fe]() mutable { ce(r, 0) = fe; });
+          synced = true;
+          ++ev.checksum_corrections;
+        }
+        if (!std::isfinite(chkw_now[static_cast<std::size_t>(r)])) {
+          if (fresh_w_nf.empty()) fresh_w_nf = fresh_sums(i, true);
+          const double fw = fresh_w_nf[static_cast<std::size_t>(r)];
+          if (std::isfinite(fw)) {
+            s_.enqueue([cw, r, fw]() mutable { cw(r, 0) = fw; });
+            synced = true;
+            ++ev.checksum_corrections;
+          }
+        }
+      }
+      if (synced) {
+        s_.synchronize();
+        chke = fetch_chk(false);
+      }
+    }
+
     const std::vector<double> fresh_w = fresh_sums(i, true);
-    const std::vector<double> chke = fetch_chk(false);
     const std::vector<double> chkw = fetch_chk(true);
 
     struct Flag {
@@ -395,6 +755,9 @@ class FtSytrdDriver {
     for (index_t r = 0; r < n_; ++r) {
       const double de = fresh_e[static_cast<std::size_t>(r)] - chke[static_cast<std::size_t>(r)];
       const double dw = fresh_w[static_cast<std::size_t>(r)] - chkw[static_cast<std::size_t>(r)];
+      if (!std::isfinite(de) || !std::isfinite(dw)) {
+        throw recovery_error("ft_sytrd: non-finite discrepancy survived reconstruction");
+      }
       if (std::abs(de) > threshold_ || std::abs(dw) > threshold_ * static_cast<double>(n_)) {
         flags.push_back({r, de, dw});
       }
@@ -464,20 +827,23 @@ class FtSytrdDriver {
 
   void inject_at_boundary(index_t boundary, index_t i_next) {
     const auto due = inj_->due(boundary, total_boundaries_, i_next, n_, scale_max_);
+    bool device_faults = false;
     for (auto f : due) {
       // Symmetric lower storage: fold the coordinates into the triangle.
       const index_t p = std::max(f.row, f.col);
       const index_t q = std::min(f.row, f.col);
       if (q >= i_next) {
         auto da = d_a_.view();
-        const double delta = f.delta;
-        s_.enqueue([da, p, q, delta]() mutable { da(p, q) += delta; });
-        s_.synchronize();
+        s_.enqueue([da, p, q, f]() mutable { da(p, q) = f.apply(da(p, q)); });
+        device_faults = true;
       } else {
-        a_(p, q) += f.delta;
+        a_(p, q) = f.apply(a_(p, q));
       }
       inj_->record(boundary, f);
     }
+    // One drain for the whole batch: a per-fault synchronize would
+    // serialize multi-fault injection for no benefit.
+    if (device_faults) s_.synchronize();
   }
 
   void final_phase() {
@@ -490,17 +856,32 @@ class FtSytrdDriver {
       WallTimer t;
       obs::TraceSpan sweep_span("ft", "final_sweep");
       FtEvent ev;
-      // i = n−1: everything finished except the 1×1 trailing block.
+      // i = n−1: everything finished except the 1×1 trailing block. Sweep
+      // both codes so a strike on the weighted vector (invisible to the
+      // plain-code online check) is still found and repaired here.
       const std::vector<double> fresh_e = fresh_sums(n_ - 1, false);
+      const std::vector<double> fresh_w = fresh_sums(n_ - 1, true);
       const std::vector<double> chke = fetch_chk(false);
+      const std::vector<double> chkw = fetch_chk(true);
       bool bad = false;
       for (index_t r = 0; r < n_ && !bad; ++r) {
-        bad = std::abs(fresh_e[static_cast<std::size_t>(r)] -
-                       chke[static_cast<std::size_t>(r)]) > threshold_;
+        const double ge = std::abs(fresh_e[static_cast<std::size_t>(r)] -
+                                   chke[static_cast<std::size_t>(r)]);
+        const double gw = std::abs(fresh_w[static_cast<std::size_t>(r)] -
+                                   chkw[static_cast<std::size_t>(r)]);
+        // NaN-safe: a non-finite gap must trigger the sweep.
+        bad = !(ge <= threshold_) || !(gw <= threshold_ * static_cast<double>(n_));
       }
       if (bad) {
-        locate_and_correct(n_ - 1, ev);
-        rep_.final_sweep_corrections = ev.data_corrections + ev.checksum_corrections;
+        try {
+          locate_and_correct(n_ - 1, ev);
+        } catch (const recovery_error& e) {
+          abort_recovery(rep_.outcome, "ft_sytrd", AbortReason::AmbiguousPattern,
+                         total_boundaries_, 0, 0.0, threshold_,
+                         std::string("final sweep: ") + e.what());
+        }
+        rep_.final_sweep_corrections =
+            ev.data_corrections + ev.checksum_corrections + ev.reconstructions;
         rep_.data_corrections += ev.data_corrections;
         rep_.checksum_corrections += ev.checksum_corrections;
         obs::counter_metric("ft.data_corrections")
@@ -545,6 +926,11 @@ class FtSytrdDriver {
   double threshold_ = 0.0;
   double scale_max_ = 0.0;
   index_t total_boundaries_ = 0;
+  fault::FaultPlane* plane_ = nullptr;
+  double ckpt_sum1_ = 0.0;
+  double ckpt_sum2_ = 0.0;
+  double ckpt_csum1_ = 0.0;
+  double ckpt_csum2_ = 0.0;
 
   hybrid::DeviceMatrix<double> d_a_;
   hybrid::DeviceMatrix<double> d_v_;

@@ -41,6 +41,8 @@ struct FtSytrdOptions {
   /// overhead but recovery is only guaranteed for errors struck since the
   /// previous check — a documented trade-off knob for the ablation bench.
   index_t detect_every = 1;
+  /// Optional in-flight fault plane (see FtOptions::fault_plane).
+  fault::FaultPlane* fault_plane = nullptr;
 };
 
 /// Reduce the symmetric matrix `a` (lower triangle authoritative) to

@@ -38,9 +38,73 @@ int count_matchings(const std::vector<double>& rd, const std::vector<double>& cd
 
 }  // namespace
 
+namespace {
+
+/// Indices (into d.rows / d.cols) whose delta is non-finite.
+std::vector<std::size_t> nonfinite_indices(const std::vector<double>& deltas) {
+  std::vector<std::size_t> out;
+  for (std::size_t t = 0; t < deltas.size(); ++t)
+    if (!std::isfinite(deltas[t])) out.push_back(t);
+  return out;
+}
+
+}  // namespace
+
 LocateResult locate(const Discrepancy& d, const FreshSums& fresh, double tol) {
   LocateResult out;
   if (d.clean()) return out;
+
+  // Non-finite deltas first: NaN/Inf poisons magnitude matching, but it is
+  // also self-locating — every line the damage touches flags non-finite.
+  // Damage confined to one row or one column is reconstructible element by
+  // element from the orthogonal code; anything wider has lost both codes.
+  const std::vector<std::size_t> nf_rows = nonfinite_indices(d.row_delta);
+  const std::vector<std::size_t> nf_cols = nonfinite_indices(d.col_delta);
+  if (!nf_rows.empty() || !nf_cols.empty()) {
+    if (!nf_rows.empty() && nf_cols.empty()) {
+      // Data rows are clean (no column flagged non-finite) → the checksum
+      // column storage itself went non-finite; the fresh row sums are the
+      // correct replacements.
+      for (const std::size_t t : nf_rows) {
+        const double f = fresh.row[static_cast<std::size_t>(d.rows[t])];
+        if (!std::isfinite(f))
+          throw recovery_error(
+              "non-finite checksum-column entry with non-finite fresh row sum");
+        out.chk_col_errors.push_back({d.rows[t], f});
+      }
+      return out;
+    }
+    if (!nf_cols.empty() && nf_rows.empty()) {
+      for (const std::size_t t : nf_cols) {
+        const double f = fresh.col[static_cast<std::size_t>(d.cols[t])];
+        if (!std::isfinite(f))
+          throw recovery_error(
+              "non-finite checksum-row entry with non-finite fresh column sum");
+        out.chk_row_errors.push_back({d.cols[t], f});
+      }
+      return out;
+    }
+    if (nf_cols.size() == 1) {
+      // All non-finite damage confined to one column (the typical shape of
+      // a NaN/Inf strike propagated by a block update): one damaged element
+      // per flagged row, each recoverable from its row code.
+      const index_t c = d.cols[nf_cols.front()];
+      for (const std::size_t t : nf_rows)
+        out.reconstructions.push_back({d.rows[t], c, /*use_row_code=*/true});
+      return out;
+    }
+    if (nf_rows.size() == 1) {
+      const index_t r = d.rows[nf_rows.front()];
+      for (const std::size_t t : nf_cols)
+        out.reconstructions.push_back({r, d.cols[t], /*use_row_code=*/false});
+      return out;
+    }
+    std::ostringstream os;
+    os << "unrecoverable non-finite contamination: " << nf_rows.size()
+       << " rows x " << nf_cols.size()
+       << " columns poisoned (both codes lost, reconstruction impossible)";
+    throw recovery_error(os.str());
+  }
 
   // Only rows mismatch → the checksum column itself was corrupted.
   if (d.cols.empty()) {
@@ -60,6 +124,32 @@ LocateResult locate(const Discrepancy& d, const FreshSums& fresh, double tol) {
   }
 
   if (d.rows.size() != d.cols.size()) {
+    // Line-confined pattern: k errors in a single column flag k rows (one
+    // delta each) and one column (the summed delta), or transposed. Each
+    // element's own line delta is its exact correction, so this stays
+    // within the code distance as long as the sums agree.
+    if (d.cols.size() == 1 || d.rows.size() == 1) {
+      const bool by_rows = d.cols.size() == 1;
+      const auto& line_deltas = by_rows ? d.row_delta : d.col_delta;
+      const double total = by_rows ? d.col_delta.front() : d.row_delta.front();
+      double sum = 0.0;
+      double scale = 1.0;
+      for (const double v : line_deltas) {
+        sum += v;
+        scale = std::max(scale, std::abs(v));
+      }
+      const double line_tol =
+          static_cast<double>(line_deltas.size() + 1) * tol + 1e-9 * scale;
+      if (std::abs(sum - total) <= line_tol) {
+        for (std::size_t t = 0; t < line_deltas.size(); ++t) {
+          if (by_rows)
+            out.data_errors.push_back({d.rows[t], d.cols.front(), d.row_delta[t]});
+          else
+            out.data_errors.push_back({d.rows.front(), d.cols[t], d.col_delta[t]});
+        }
+        return out;
+      }
+    }
     std::ostringstream os;
     os << "unrecoverable error pattern: " << d.rows.size() << " mismatched rows vs "
        << d.cols.size() << " mismatched columns (errors sharing a row or column "

@@ -28,10 +28,25 @@ struct ChecksumError {
   double fresh = 0.0;  ///< the recomputed, correct value
 };
 
+/// An element whose true value must be re-derived from a maintained code:
+/// delta subtraction is meaningless because the stored value (or the delta)
+/// is NaN/Inf. `use_row_code` selects the checksum-column (row-sum) code;
+/// otherwise the checksum-row (column-sum) code is used. Non-finite damage
+/// is self-locating — any line it touches flags with a non-finite delta —
+/// so as long as the damage is confined to one row or one column, each
+/// element is recoverable from the orthogonal code (the driver zeroes the
+/// element, re-sums the line, and subtracts from the maintained checksum).
+struct ReconstructTarget {
+  index_t row = 0;
+  index_t col = 0;
+  bool use_row_code = true;
+};
+
 struct LocateResult {
   std::vector<LocatedError> data_errors;
   std::vector<ChecksumError> chk_col_errors;  ///< errors in the checksum column
   std::vector<ChecksumError> chk_row_errors;  ///< errors in the checksum row
+  std::vector<ReconstructTarget> reconstructions;  ///< non-finite elements to re-derive
 };
 
 /// Resolve a discrepancy into error positions.

@@ -55,6 +55,23 @@ void Device::note_d2h(std::size_t bytes) noexcept {
   count.add();
 }
 
+void Device::set_transfer_hook(TransferHook hook) {
+  std::lock_guard lock(hook_m_);
+  if (hook)
+    transfer_hook_ = std::make_shared<const TransferHook>(std::move(hook));
+  else
+    transfer_hook_.reset();
+}
+
+void Device::call_transfer_hook(TransferDir dir, MatrixView<double> dst) const {
+  std::shared_ptr<const TransferHook> hook;
+  {
+    std::lock_guard lock(hook_m_);
+    hook = transfer_hook_;
+  }
+  if (hook) (*hook)(dir, dst);
+}
+
 void Device::charge_transfer(std::size_t bytes, bool h2d) const {
   const double gbps = h2d ? cfg_.h2d_gbps : cfg_.d2h_gbps;
   if (gbps <= 0.0) return;
@@ -88,6 +105,7 @@ void copy_h2d_async(Stream& s, MatrixView<const double> host, MatrixView<double>
       d->note_h2d(bytes);
     }
     copy_view(host, dev);
+    if (d != nullptr) d->call_transfer_hook(TransferDir::H2D, dev);
   });
 }
 
@@ -100,6 +118,7 @@ void copy_d2h_async(Stream& s, MatrixView<const double> dev, MatrixView<double> 
       d->note_d2h(bytes);
     }
     copy_view(dev, host);
+    if (d != nullptr) d->call_transfer_hook(TransferDir::D2H, host);
   });
 }
 

@@ -9,7 +9,9 @@
 
 #include <atomic>
 #include <cstddef>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/error.hpp"
@@ -17,6 +19,9 @@
 #include "hybrid/stream.hpp"
 
 namespace fth::hybrid {
+
+/// Direction of a host↔device transfer, as seen by a transfer hook.
+enum class TransferDir { H2D, D2H };
 
 /// Static description + cost model of a simulated device.
 struct DeviceConfig {
@@ -62,8 +67,21 @@ class Device {
   /// when the relevant bandwidth is 0).
   void charge_transfer(std::size_t bytes, bool h2d) const;
 
+  /// Install a hook invoked inside each transfer task right after the copy
+  /// completes, with the transfer direction and the *destination* view
+  /// (device memory for H2D, host memory for D2H). Runs on the stream
+  /// worker thread, so mutating the destination is race-free. The fault
+  /// plane uses this to corrupt data in flight. Pass nullptr to clear.
+  using TransferHook = std::function<void(TransferDir, MatrixView<double>)>;
+  void set_transfer_hook(TransferHook hook);
+  /// Internal: invoke the installed hook (no-op when none). Called from
+  /// transfer tasks on the worker thread.
+  void call_transfer_hook(TransferDir dir, MatrixView<double> dst) const;
+
  private:
   DeviceConfig cfg_;
+  mutable std::mutex hook_m_;
+  std::shared_ptr<const TransferHook> transfer_hook_;
   std::atomic<std::size_t> in_use_{0};
   std::atomic<std::size_t> peak_{0};
   std::atomic<std::uint64_t> h2d_bytes_{0};

@@ -87,6 +87,11 @@ void Stream::reset_peak_queue_depth() {
   peak_depth_ = queue_.size() + (busy_ ? 1 : 0);
 }
 
+void Stream::set_task_hook(std::function<void(std::uint64_t)> hook) {
+  std::lock_guard lock(m_);
+  task_hook_ = std::move(hook);
+}
+
 void Stream::worker_loop() {
   obs::set_thread_name("device-stream");
   for (;;) {
@@ -110,6 +115,23 @@ void Stream::worker_loop() {
       // Keep only the first error; later tasks still run (matching the
       // "stream keeps executing" semantics of real runtimes).
       if (!pending_error_) pending_error_ = std::current_exception();
+    }
+    std::function<void(std::uint64_t)> hook;
+    std::uint64_t task_index;
+    {
+      std::lock_guard lock(m_);
+      hook = task_hook_;
+      task_index = executed_;
+    }
+    if (hook) {
+      // Invoked between tasks, so the hook owns the device memory for the
+      // duration of the call — same discipline as a task body.
+      try {
+        hook(task_index);
+      } catch (...) {
+        std::lock_guard lock(m_);
+        if (!pending_error_) pending_error_ = std::current_exception();
+      }
     }
     {
       std::lock_guard lock(m_);

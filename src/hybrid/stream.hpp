@@ -78,6 +78,13 @@ class Stream {
   [[nodiscard]] std::uint64_t peak_queue_depth() const;
   void reset_peak_queue_depth();
 
+  /// Install a hook invoked on the worker thread after each task finishes
+  /// (argument: the task's lifetime index). Because it runs between tasks,
+  /// the hook may touch device memory without racing the task sequence —
+  /// the fault plane uses this to land in-flight corruptions. Pass nullptr
+  /// to clear. A hook that throws is treated like a failing task.
+  void set_task_hook(std::function<void(std::uint64_t)> hook);
+
  private:
   void worker_loop();
 
@@ -86,6 +93,7 @@ class Stream {
   std::condition_variable cv_worker_;
   std::condition_variable cv_idle_;
   std::deque<std::function<void()>> queue_;
+  std::function<void(std::uint64_t)> task_hook_;
   std::exception_ptr pending_error_;
   std::uint64_t executed_ = 0;
   std::uint64_t peak_depth_ = 0;

@@ -73,6 +73,61 @@ TEST(Campaign, DeterministicGivenSeed) {
   }
 }
 
+TEST(Campaign, InFlightModePopulatesSoakFields) {
+  CampaignConfig cfg;
+  cfg.n = 96;
+  cfg.nb = 16;
+  cfg.trials = 8;  // one trial per soak class
+  cfg.in_flight = true;
+  cfg.seed = 505;
+  const CampaignResult res = run_campaign(cfg);
+  ASSERT_EQ(res.trials.size(), 8u);
+  EXPECT_EQ(res.fired_count, 8);
+  EXPECT_EQ(res.detected_count, 8);
+  for (const auto& t : res.trials) {
+    EXPECT_TRUE(t.detected) << to_string(t.fault_class);
+    if (t.fault_class == SoakClass::BoundaryDelta) {
+      EXPECT_FALSE(t.injected.empty());
+    } else if (t.fault_class != SoakClass::CheckpointStrike &&
+               t.fault_class != SoakClass::DuringRecovery) {
+      // Pure in-flight classes plant no boundary faults.
+      EXPECT_TRUE(t.injected.empty()) << to_string(t.fault_class);
+      EXPECT_FALSE(t.in_flight_fired.empty()) << to_string(t.fault_class);
+    }
+    if (t.recovered) {
+      EXPECT_EQ(t.outcome.status == ft::RecoveryStatus::Unrecoverable, false);
+      EXPECT_TRUE(t.result_correct) << to_string(t.fault_class);
+    } else {
+      EXPECT_EQ(t.outcome.status, ft::RecoveryStatus::Unrecoverable);
+      EXPECT_NE(t.outcome.reason, ft::AbortReason::None);
+    }
+  }
+}
+
+TEST(Campaign, InFlightModeDeterministicGivenSeed) {
+  CampaignConfig cfg;
+  cfg.n = 64;
+  cfg.nb = 16;
+  cfg.trials = 8;
+  cfg.in_flight = true;
+  cfg.seed = 99;
+  const CampaignResult a = run_campaign(cfg);
+  const CampaignResult b = run_campaign(cfg);
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  for (std::size_t i = 0; i < a.trials.size(); ++i) {
+    EXPECT_EQ(a.trials[i].fault_class, b.trials[i].fault_class);
+    ASSERT_EQ(a.trials[i].in_flight_fired.size(), b.trials[i].in_flight_fired.size());
+    for (std::size_t f = 0; f < a.trials[i].in_flight_fired.size(); ++f) {
+      EXPECT_EQ(a.trials[i].in_flight_fired[f].row, b.trials[i].in_flight_fired[f].row);
+      EXPECT_EQ(a.trials[i].in_flight_fired[f].col, b.trials[i].in_flight_fired[f].col);
+      EXPECT_EQ(a.trials[i].in_flight_fired[f].trigger_index,
+                b.trials[i].in_flight_fired[f].trigger_index);
+    }
+    EXPECT_EQ(a.trials[i].recovered, b.trials[i].recovered);
+    EXPECT_EQ(a.trials[i].detections, b.trials[i].detections);
+  }
+}
+
 TEST(Campaign, BadConfigRejected) {
   CampaignConfig cfg;
   cfg.n = 2;

@@ -1,0 +1,295 @@
+// FaultPlane unit tests: corruption primitives, countdown semantics,
+// surface targeting, transfer eligibility, recovery gating, determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "fault/fault_plane.hpp"
+#include "hybrid/device.hpp"
+#include "la/generate.hpp"
+
+namespace fth::fault {
+namespace {
+
+// ---- corruption primitives ------------------------------------------------
+
+TEST(Corrupt, FlipBitIsInvolutive) {
+  const double x = 3.14159265358979;
+  for (int bit : {0, 17, 51, 52, 62, 63}) {
+    const double y = flip_bit(x, bit);
+    EXPECT_NE(y, x) << "bit " << bit;
+    EXPECT_EQ(flip_bit(y, bit), x) << "bit " << bit;
+  }
+}
+
+TEST(Corrupt, SignFlipNegates) {
+  EXPECT_EQ(flip_bit(2.5, 63), -2.5);
+  EXPECT_EQ(flip_bit(-7.0, 63), 7.0);
+}
+
+TEST(Corrupt, KindsProduceTheirEncoding) {
+  Rng rng(42);
+  const double nanv = corrupt_value(1.0, FaultKind::QuietNaN, -1, 0.0, rng);
+  EXPECT_TRUE(std::isnan(nanv));
+  const double pinf = corrupt_value(2.0, FaultKind::Infinity, -1, 0.0, rng);
+  EXPECT_TRUE(std::isinf(pinf));
+  EXPECT_GT(pinf, 0.0);  // sign preserved
+  const double ninf = corrupt_value(-2.0, FaultKind::Infinity, -1, 0.0, rng);
+  EXPECT_TRUE(std::isinf(ninf));
+  EXPECT_LT(ninf, 0.0);
+  const double add = corrupt_value(1.5, FaultKind::AddDelta, -1, 10.0, rng);
+  EXPECT_DOUBLE_EQ(add, 11.5);
+  // Exponent flips always change magnitude (bits 52..62 of a normal value).
+  for (int trial = 0; trial < 16; ++trial) {
+    const double e = corrupt_value(1.75, FaultKind::ExponentFlip, -1, 0.0, rng);
+    EXPECT_NE(e, 1.75);
+  }
+}
+
+// ---- countdown + surface semantics ---------------------------------------
+
+/// Count the elements of `m` differing from `ref`.
+int diff_count(MatrixView<const double> m, MatrixView<const double> ref) {
+  int c = 0;
+  for (index_t j = 0; j < m.cols(); ++j)
+    for (index_t r = 0; r < m.rows(); ++r)
+      if (std::memcmp(&m(r, j), &ref(r, j), sizeof(double)) != 0) ++c;
+  return c;
+}
+
+TEST(FaultPlane, FiresOnTheCountdownthTask) {
+  hybrid::Device dev;
+  Matrix<double> surf = random_matrix(8, 8, 7);
+  Matrix<double> ref(surf.cview());
+
+  FaultPlane plane(11);
+  InFlightFault f;
+  f.when = When::StreamTask;
+  f.surface = Surface::TrailingMatrix;
+  f.kind = FaultKind::ExponentFlip;
+  f.countdown = 3;
+  plane.arm(f);
+  plane.bind(dev);
+  plane.register_surface(Surface::TrailingMatrix, surf.view());
+  plane.mark_encoded();
+
+  for (int t = 0; t < 2; ++t) dev.stream().enqueue([] {});
+  dev.stream().synchronize();
+  EXPECT_TRUE(plane.fired().empty()) << "fired before the countdown elapsed";
+  EXPECT_EQ(plane.armed_remaining(), 1);
+
+  dev.stream().enqueue([] {});
+  dev.stream().synchronize();
+  const auto fired = plane.fired();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].trigger_index, 3u);
+  EXPECT_TRUE(plane.all_fired());
+  EXPECT_EQ(diff_count(surf.cview(), ref.cview()), 1);
+  EXPECT_EQ(surf(fired[0].row, fired[0].col), fired[0].after);
+  plane.unbind();
+}
+
+TEST(FaultPlane, GatedUntilEncoded) {
+  hybrid::Device dev;
+  Matrix<double> surf = random_matrix(6, 6, 3);
+
+  FaultPlane plane(5);
+  InFlightFault f;
+  f.countdown = 1;
+  plane.arm(f);
+  plane.bind(dev);
+  plane.register_surface(Surface::TrailingMatrix, surf.view());
+
+  for (int t = 0; t < 5; ++t) dev.stream().enqueue([] {});
+  dev.stream().synchronize();
+  EXPECT_TRUE(plane.fired().empty()) << "fired before mark_encoded()";
+
+  plane.mark_encoded();
+  dev.stream().enqueue([] {});
+  dev.stream().synchronize();
+  EXPECT_EQ(plane.fired().size(), 1u);
+  plane.unbind();
+}
+
+TEST(FaultPlane, RetriesUntilSurfaceRegistered) {
+  hybrid::Device dev;
+  Matrix<double> ckpt = random_matrix(5, 5, 9);
+
+  FaultPlane plane(17);
+  InFlightFault f;
+  f.surface = Surface::Checkpoint;
+  f.countdown = 1;
+  plane.arm(f);
+  plane.bind(dev);
+  plane.mark_encoded();
+
+  // Countdown expires with no Checkpoint surface: the fault must stay
+  // armed instead of being silently dropped.
+  for (int t = 0; t < 4; ++t) dev.stream().enqueue([] {});
+  dev.stream().synchronize();
+  EXPECT_TRUE(plane.fired().empty());
+  EXPECT_EQ(plane.armed_remaining(), 1);
+
+  plane.register_surface(Surface::Checkpoint, ckpt.view());
+  dev.stream().enqueue([] {});
+  dev.stream().synchronize();
+  EXPECT_EQ(plane.fired().size(), 1u);
+  plane.unbind();
+}
+
+TEST(FaultPlane, LowerTriangleShapeRespected) {
+  hybrid::Device dev;
+  Matrix<double> surf = random_matrix(12, 12, 21);
+
+  FaultPlane plane(31);
+  for (int k = 0; k < 6; ++k) {
+    InFlightFault f;
+    f.kind = FaultKind::SignFlip;
+    f.countdown = static_cast<std::uint64_t>(k + 1);
+    plane.arm(f);
+  }
+  plane.bind(dev);
+  plane.register_surface(Surface::TrailingMatrix, surf.view(), SurfaceShape::LowerTriangle);
+  plane.mark_encoded();
+  for (int t = 0; t < 6; ++t) dev.stream().enqueue([] {});
+  dev.stream().synchronize();
+  const auto fired = plane.fired();
+  ASSERT_EQ(fired.size(), 6u);
+  for (const auto& rec : fired) EXPECT_GE(rec.row, rec.col);
+  plane.unbind();
+}
+
+TEST(FaultPlane, DuringRecoveryOnlyCountsInsideTheBracket) {
+  hybrid::Device dev;
+  Matrix<double> surf = random_matrix(6, 6, 13);
+
+  FaultPlane plane(23);
+  InFlightFault f;
+  f.when = When::DuringRecovery;
+  f.countdown = 2;
+  plane.arm(f);
+  plane.bind(dev);
+  plane.register_surface(Surface::TrailingMatrix, surf.view());
+  plane.mark_encoded();
+
+  for (int t = 0; t < 10; ++t) dev.stream().enqueue([] {});
+  dev.stream().synchronize();
+  EXPECT_TRUE(plane.fired().empty()) << "DuringRecovery fault fired outside recovery";
+
+  plane.set_in_recovery(true);
+  for (int t = 0; t < 2; ++t) dev.stream().enqueue([] {});
+  dev.stream().synchronize();
+  ASSERT_EQ(plane.fired().size(), 1u);
+  EXPECT_EQ(plane.fired()[0].when, When::DuringRecovery);
+  plane.set_in_recovery(false);
+  plane.unbind();
+}
+
+TEST(FaultPlane, TransferFaultsRequireAProtectedDestination) {
+  hybrid::Device dev;
+  hybrid::DeviceMatrix<double> d_src(dev, 6, 6);
+  Matrix<double> protected_dst(6, 6);
+  Matrix<double> operand_dst(6, 6);
+
+  FaultPlane plane(29);
+  InFlightFault f;
+  f.when = When::TransferD2H;
+  f.kind = FaultKind::SignFlip;
+  f.countdown = 1;
+  plane.arm(f);
+  plane.bind(dev);
+  plane.add_transfer_target(Surface::Checkpoint, protected_dst.view());
+  plane.mark_encoded();
+
+  // A transfer into unprotected memory (a shipped-operand stand-in) is not
+  // an eligible trigger: the countdown must not move.
+  hybrid::copy_d2h(dev.stream(), MatrixView<const double>(d_src.view()), operand_dst.view());
+  EXPECT_TRUE(plane.fired().empty());
+  EXPECT_EQ(plane.trigger_counts().d2h, 0u);
+
+  hybrid::copy_d2h(dev.stream(), MatrixView<const double>(d_src.view()), protected_dst.view());
+  const auto fired = plane.fired();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].when, When::TransferD2H);
+  EXPECT_EQ(fired[0].surface, Surface::Checkpoint);
+  plane.unbind();
+}
+
+TEST(FaultPlane, CountsTriggersWhenNothingIsArmed) {
+  hybrid::Device dev;
+  hybrid::DeviceMatrix<double> d(dev, 4, 4);
+  Matrix<double> host(4, 4);
+
+  FaultPlane plane(1);
+  plane.bind(dev);
+  plane.register_surface(Surface::TrailingMatrix, d.view());
+  plane.mark_encoded();
+  for (int t = 0; t < 3; ++t) dev.stream().enqueue([] {});
+  hybrid::copy_d2h(dev.stream(), MatrixView<const double>(d.view()), host.view());
+  plane.add_transfer_target(Surface::Checkpoint, host.view());
+  hybrid::copy_d2h(dev.stream(), MatrixView<const double>(d.view()), host.view());
+  dev.stream().synchronize();
+  const TriggerCounts c = plane.trigger_counts();
+  EXPECT_GE(c.tasks, 3u);
+  // First d2h landed on an unprotected host buffer (not yet a target); only
+  // the second was eligible... unless the d2h dst overlapped the registered
+  // device surface, which it cannot (separate address spaces here).
+  EXPECT_EQ(c.d2h, 1u);
+  plane.unbind();
+}
+
+TEST(FaultPlane, MinImpactRedrawsWeakFlips) {
+  hybrid::Device dev;
+  Matrix<double> surf = random_matrix(16, 16, 77);
+
+  FaultPlane plane(3);
+  InFlightFault f;
+  f.kind = FaultKind::MantissaFlip;  // unconstrained, usually a tiny change
+  f.countdown = 1;
+  f.min_impact = 0.05;  // reachable on a [-1,1) surface only via high mantissa bits
+  plane.arm(f);
+  plane.bind(dev);
+  plane.register_surface(Surface::TrailingMatrix, surf.view());
+  plane.mark_encoded();
+  dev.stream().enqueue([] {});
+  dev.stream().synchronize();
+  const auto fired = plane.fired();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_GE(std::abs(fired[0].after - fired[0].before), 0.05);
+  plane.unbind();
+}
+
+TEST(FaultPlane, DeterministicGivenSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    hybrid::Device dev;
+    Matrix<double> surf = random_matrix(10, 10, 5);
+    FaultPlane plane(seed);
+    for (int k = 0; k < 3; ++k) {
+      InFlightFault f;
+      f.kind = FaultKind::BitFlip;
+      f.countdown = static_cast<std::uint64_t>(2 * k + 1);
+      plane.arm(f);
+    }
+    plane.bind(dev);
+    plane.register_surface(Surface::TrailingMatrix, surf.view());
+    plane.mark_encoded();
+    for (int t = 0; t < 8; ++t) dev.stream().enqueue([] {});
+    dev.stream().synchronize();
+    plane.unbind();
+    return plane.fired();
+  };
+  const auto a = run_once(99);
+  const auto b = run_once(99);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.size(), 3u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].row, b[i].row);
+    EXPECT_EQ(a[i].col, b[i].col);
+    EXPECT_EQ(a[i].bit, b[i].bit);
+    EXPECT_EQ(a[i].trigger_index, b[i].trigger_index);
+  }
+}
+
+}  // namespace
+}  // namespace fth::fault

@@ -85,18 +85,41 @@ TEST(Locate, RectangleWithEqualMagnitudesIsAmbiguous) {
   EXPECT_THROW(s.run(), recovery_error);
 }
 
-TEST(Locate, SameRowTwoErrorsUnrecoverable) {
+TEST(Locate, SameRowTwoErrorsRecoveredFromColumnDeltas) {
+  // One mismatched row, two mismatched columns. The shared row's delta is
+  // the sum of the column deltas, and each column delta is itself the exact
+  // per-element correction — line-confined patterns stay within the code
+  // distance of the orthogonal code.
   Scenario s(14);
   s.ext(6, 3) += 1.0;
-  s.ext(6, 10) += 2.0;  // one mismatched row, two mismatched columns
-  EXPECT_THROW(s.run(), recovery_error);
+  s.ext(6, 10) += 2.0;
+  const LocateResult r = s.run();
+  ASSERT_EQ(r.data_errors.size(), 2u);
+  for (const auto& e : r.data_errors) s.ext(e.row, e.col) -= e.delta;
+  EXPECT_TRUE(s.run().data_errors.empty());
 }
 
-TEST(Locate, SameColumnTwoErrorsUnrecoverable) {
+TEST(Locate, SameColumnTwoErrorsRecoveredFromRowDeltas) {
   Scenario s(14);
   s.ext(2, 8) += 1.0;
   s.ext(9, 8) += 2.0;
-  EXPECT_THROW(s.run(), recovery_error);
+  const LocateResult r = s.run();
+  ASSERT_EQ(r.data_errors.size(), 2u);
+  for (const auto& e : r.data_errors) s.ext(e.row, e.col) -= e.delta;
+  EXPECT_TRUE(s.run().data_errors.empty());
+}
+
+TEST(Locate, SameColumnThreeErrorsRecovered) {
+  // Rectangle faults stay excluded, but k errors confined to one line are
+  // now corrected element-wise.
+  Scenario s(16);
+  s.ext(1, 5) += 1.5;
+  s.ext(7, 5) += -2.0;
+  s.ext(12, 5) += 4.25;
+  const LocateResult r = s.run();
+  ASSERT_EQ(r.data_errors.size(), 3u);
+  for (const auto& e : r.data_errors) s.ext(e.row, e.col) -= e.delta;
+  EXPECT_TRUE(s.run().data_errors.empty());
 }
 
 TEST(Locate, ChecksumColumnErrorIdentified) {
@@ -120,8 +143,23 @@ TEST(Locate, ChecksumRowErrorIdentified) {
   EXPECT_EQ(r.chk_row_errors[0].index, 7);
 }
 
-TEST(Locate, MismatchedCountsThrow) {
-  // Three rows vs one column cannot be explained by one-per-line errors.
+TEST(Locate, MismatchedCountsThrowWhenSumsDisagree) {
+  // Three rows vs one column is only a line-confined pattern if the row
+  // deltas add up to the column's delta; an inconsistent total means the
+  // pattern cannot be explained by errors in one column and must be
+  // rejected.
+  Discrepancy d;
+  d.rows = {1, 2, 3};
+  d.row_delta = {1.0, 2.0, 3.0};
+  d.cols = {4};
+  d.col_delta = {10.0};  // ≠ 1+2+3
+  FreshSums fs;
+  fs.row.assign(10, 0.0);
+  fs.col.assign(10, 0.0);
+  EXPECT_THROW(locate(d, fs, 1e-9), recovery_error);
+}
+
+TEST(Locate, MismatchedCountsRecoveredWhenSumsAgree) {
   Discrepancy d;
   d.rows = {1, 2, 3};
   d.row_delta = {1.0, 2.0, 3.0};
@@ -130,7 +168,13 @@ TEST(Locate, MismatchedCountsThrow) {
   FreshSums fs;
   fs.row.assign(10, 0.0);
   fs.col.assign(10, 0.0);
-  EXPECT_THROW(locate(d, fs, 1e-9), recovery_error);
+  const LocateResult r = locate(d, fs, 1e-9);
+  ASSERT_EQ(r.data_errors.size(), 3u);
+  EXPECT_EQ(r.data_errors[0].row, 1);
+  EXPECT_EQ(r.data_errors[0].col, 4);
+  EXPECT_NEAR(r.data_errors[0].delta, 1.0, 1e-12);
+  EXPECT_EQ(r.data_errors[2].row, 3);
+  EXPECT_NEAR(r.data_errors[2].delta, 3.0, 1e-12);
 }
 
 TEST(Locate, TooManyErrorsRejected) {

@@ -1,0 +1,112 @@
+// Structured recovery escalation: patterns beyond the code's correction
+// capability must end in a recovery_error carrying boundary/attempts/gap/
+// threshold — and a matching RecoveryOutcome in FtReport — never a hang,
+// never a bare abort.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "fault/injector.hpp"
+#include "ft/ft_gehrd.hpp"
+#include "la/generate.hpp"
+
+namespace fth::ft {
+namespace {
+
+constexpr index_t kN = 96;
+constexpr index_t kNb = 32;
+
+struct Attempt {
+  bool threw = false;
+  recovery_error err{"", -1, 0, 0.0, 0.0};
+  FtReport rep;
+};
+
+Attempt run_gehrd(const Matrix<double>& a0, const FtOptions& opt, fault::Injector* inj) {
+  hybrid::Device dev;
+  Attempt out;
+  Matrix<double> a(a0.cview());
+  std::vector<double> tau(static_cast<std::size_t>(kN - 1));
+  try {
+    ft_gehrd(dev, a.view(), VectorView<double>(tau.data(), kN - 1), opt, inj, &out.rep);
+  } catch (const recovery_error& e) {
+    out.threw = true;
+    out.err = e;
+  }
+  return out;
+}
+
+// Satellite: two equal-magnitude faults at (r1,c1),(r2,c2) with distinct
+// rows and columns form the paper's rectangle pattern — row and column
+// deltas pair two ways, so locate() cannot resolve the positions. The run
+// must fail gracefully within max_retries with structured fields set.
+TEST(Escalation, RectanglePatternAbortsWithStructuredError) {
+  Matrix<double> a0 = random_matrix(kN, kN, 401);
+
+  std::vector<fault::FaultSpec> specs(2);
+  specs[0].row = 50;
+  specs[0].col = 60;
+  specs[1].row = 70;
+  specs[1].col = 80;
+  for (auto& s : specs) {
+    s.boundary = 1;
+    s.magnitude = 1000.0;
+    s.relative = false;  // identical deltas → ambiguous matching
+  }
+  fault::Injector inj(specs, 7);
+
+  FtOptions opt;
+  opt.nb = kNb;
+  opt.max_retries = 3;
+  const Attempt out = run_gehrd(a0, opt, &inj);
+
+  ASSERT_TRUE(out.threw) << "rectangle pattern must not be silently 'corrected'";
+  // Boundary-1 faults are planted after boundary 1's comparison, so the
+  // detection that abandons the run fires at boundary 2.
+  EXPECT_EQ(out.err.boundary(), 2);
+  EXPECT_GE(out.err.attempts(), 1);
+  EXPECT_LE(out.err.attempts(), opt.max_retries);
+  EXPECT_GT(out.err.gap(), 0.0);
+  EXPECT_GT(out.err.threshold(), 0.0);
+  EXPECT_GT(out.err.gap(), out.err.threshold());
+
+  EXPECT_EQ(out.rep.outcome.status, RecoveryStatus::Unrecoverable);
+  EXPECT_EQ(out.rep.outcome.reason, AbortReason::AmbiguousPattern);
+  EXPECT_EQ(out.rep.outcome.boundary, out.err.boundary());
+  EXPECT_FALSE(out.rep.outcome.detail.empty());
+  EXPECT_GE(out.rep.detections, 1);
+  // The abandoned attempt is on record as an event with its error noted.
+  ASSERT_FALSE(out.rep.events.empty());
+  EXPECT_EQ(out.rep.events.back().boundary, out.err.boundary());
+}
+
+// A detection that locate() cannot act on (tolerance swallows the deltas)
+// keeps re-firing; the ladder must cut it off after max_retries attempts
+// with RetriesExhausted rather than looping forever.
+TEST(Escalation, UncorrectableDetectionExhaustsRetries) {
+  Matrix<double> a0 = random_matrix(kN, kN, 402);
+
+  fault::FaultSpec spec;
+  spec.area = fault::Area::LowerTrailing;
+  spec.boundary = 1;
+  fault::Injector inj(spec, 11);
+
+  FtOptions opt;
+  opt.nb = kNb;
+  opt.max_retries = 2;
+  opt.locate_tol = 1e9;  // locate sees a clean delta → nothing gets fixed
+  const Attempt out = run_gehrd(a0, opt, &inj);
+
+  ASSERT_TRUE(out.threw);
+  EXPECT_EQ(out.rep.outcome.status, RecoveryStatus::Unrecoverable);
+  EXPECT_EQ(out.rep.outcome.reason, AbortReason::RetriesExhausted);
+  EXPECT_EQ(out.err.attempts(), opt.max_retries);
+  EXPECT_EQ(out.rep.outcome.attempts, out.err.attempts());
+  EXPECT_EQ(out.rep.outcome.boundary, out.err.boundary());
+  EXPECT_EQ(out.rep.outcome.gap, out.err.gap());
+  EXPECT_EQ(out.rep.outcome.threshold, out.err.threshold());
+}
+
+}  // namespace
+}  // namespace fth::ft

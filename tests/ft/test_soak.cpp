@@ -1,0 +1,66 @@
+// The acceptance soak: a randomized in-flight campaign across every fault
+// class — bit flips incl. NaN/Inf, checksum strikes, checkpoint strikes,
+// transfer corruption, faults during recovery — demanding 100% detection,
+// ≥95% full recovery, zero crashes/hangs, structured outcomes for every
+// abandoned trial, and obs counters consistent with the campaign's books.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fault/campaign.hpp"
+#include "obs/metrics.hpp"
+
+namespace fth::fault {
+namespace {
+
+TEST(Soak, InFlightCampaignMeetsTheAcceptanceBar) {
+  obs::Registry::global().reset();
+
+  CampaignConfig cfg;
+  cfg.algorithm = Algorithm::Gehrd;
+  cfg.n = 256;
+  cfg.nb = 32;
+  cfg.trials = 56;  // 7 full passes over the eight-class mix
+  cfg.in_flight = true;
+  cfg.seed = 20260805;
+  const CampaignResult res = run_campaign(cfg);  // a hang here IS the failure
+
+  ASSERT_EQ(res.trials.size(), 56u);
+  // Every armed fault must actually have struck, or the trial tested nothing.
+  EXPECT_EQ(res.fired_count, cfg.trials);
+  // 100% detection.
+  EXPECT_EQ(res.detected_count, cfg.trials);
+  // ≥95% full recovery with a correct result.
+  EXPECT_GE(res.recovered_count, (cfg.trials * 95 + 99) / 100);
+  EXPECT_EQ(res.correct_count, res.recovered_count);
+
+  std::size_t fired_total = 0;
+  int detections_total = 0;
+  for (const auto& t : res.trials) {
+    fired_total += t.in_flight_fired.size();
+    detections_total += t.detections;
+    if (t.recovered) continue;
+    // Every non-recovered trial must carry a structured outcome, not a
+    // bare exception string.
+    EXPECT_EQ(t.outcome.status, ft::RecoveryStatus::Unrecoverable)
+        << to_string(t.fault_class) << ": " << t.failure;
+    EXPECT_NE(t.outcome.reason, ft::AbortReason::None) << to_string(t.fault_class);
+    EXPECT_GE(t.outcome.boundary, 0) << to_string(t.fault_class);
+    EXPECT_GE(t.outcome.attempts, 1) << to_string(t.fault_class);
+    EXPECT_FALSE(t.failure.empty()) << to_string(t.fault_class);
+  }
+  EXPECT_EQ(res.aborted_count, cfg.trials - res.recovered_count)
+      << "a non-recovered trial ended without a structured abort";
+
+  // The obs layer must tell the same story as the campaign's bookkeeping.
+  EXPECT_EQ(obs::counter_metric("fault.inflight_fired").value(),
+            static_cast<std::uint64_t>(fired_total));
+  EXPECT_EQ(obs::counter_metric("ft.detections").value(),
+            static_cast<std::uint64_t>(detections_total));
+  EXPECT_EQ(obs::counter_metric("ft.unrecoverable").value(),
+            static_cast<std::uint64_t>(res.aborted_count));
+}
+
+}  // namespace
+}  // namespace fth::fault
