@@ -15,6 +15,7 @@
 #include "common/timer.hpp"
 #include "la/matrix.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 
 namespace fth::bench {
@@ -99,13 +100,20 @@ inline std::string program_basename(const std::string& program) {
 
 /// Structured JSON run report. Every bench owns one: rows mirror the
 /// printed tables, and the report footer embeds a snapshot of the global
-/// fth::obs metrics registry, so a run leaves a machine-readable
-/// `<bench-name>.json` next to bench_output.txt.
+/// fth::obs metrics registry plus a `profile` section (per-phase times,
+/// host/device overlap, GF/s attribution — obs/profile.hpp), so a run
+/// leaves a machine-readable `<bench-name>.json` next to bench_output.txt.
+/// The profile window opens at construction and closes at the first
+/// write(), so it covers exactly the measured run.
 ///
 /// Shared flags handled here so every bench speaks the same vocabulary:
-///   --report <path>   override the JSON output path
-///   --trace [path]    record a Chrome/Perfetto trace of the whole run
-///                     (default path `<bench-name>_trace.json`)
+///   --report <path>    override the JSON output path
+///   --trace [path]     record a Chrome/Perfetto trace of the whole run
+///                      (default path `<bench-name>_trace.json`)
+///   --profile          also print the attribution table to stdout
+///   --roofline <gf/s>  dgemm roofline used as the GF/s denominator
+///                      (FTH_ROOFLINE_GFLOPS env works too; run_benches.sh
+///                      measures it once via tools/fth_roofline)
 class Report {
  public:
   /// One measurement row: ordered key → JSON value. set() returns *this so
@@ -135,11 +143,16 @@ class Report {
   };
 
   Report(const Options& opt, const std::string& name)
-      : name_(name), path_(opt.get("report", name + ".json")) {
+      : name_(name),
+        path_(opt.get("report", name + ".json")),
+        print_profile_(opt.has("profile")) {
     if (opt.has("trace")) {
       obs::trace_start(opt.get("trace", name + "_trace.json"));
       started_trace_ = true;
     }
+    obs::profile_start();  // the FTH_ROOFLINE_GFLOPS env is read here
+    if (const double roof = opt.get_double("roofline", 0.0); roof > 0.0)
+      obs::set_profile_roofline(roof);
   }
   explicit Report(const Options& opt)
       : Report(opt, detail::program_basename(opt.program())) {}
@@ -163,8 +176,15 @@ class Report {
   Row& row() { return rows_.emplace_back(); }
 
   /// Write the report JSON (also called by the destructor; idempotent by
-  /// overwrite). Schema: {"bench", "notes", "rows", "metrics"}.
+  /// overwrite). Schema: {"bench", "notes", "rows", "metrics", "profile"}.
+  /// The first write() closes the profile window (and prints the table
+  /// under --profile); later writes reuse the captured section.
   void write() const {
+    if (profile_json_.empty() && obs::profile_enabled()) {
+      const obs::ProfileReport prof = obs::profile_stop();
+      profile_json_ = prof.to_json();
+      if (print_profile_) prof.print_table(stdout);
+    }
     std::ofstream os(path_);
     if (!os) return;
     os << "{\n  \"bench\": \"" << detail::json_escape(name_) << "\",\n";
@@ -176,7 +196,8 @@ class Report {
       write_fields(os, rows_[i]);
     }
     os << (rows_.empty() ? "]" : "\n  ]") << ",\n  \"metrics\": "
-       << obs::Registry::global().to_json() << "\n}\n";
+       << obs::Registry::global().to_json() << ",\n  \"profile\": "
+       << (profile_json_.empty() ? "{}" : profile_json_) << "\n}\n";
   }
 
   [[nodiscard]] const std::string& path() const { return path_; }
@@ -197,6 +218,8 @@ class Report {
   Row notes_;
   std::deque<Row> rows_;
   bool started_trace_ = false;
+  bool print_profile_ = false;
+  mutable std::string profile_json_;  // captured at the first write()
 };
 
 /// Standard bench banner.

@@ -72,6 +72,10 @@ void run_panel(int area, const std::vector<index_t>& sizes, index_t nb, int tria
   const fault::Moment moments[3] = {fault::Moment::Beginning, fault::Moment::Middle,
                                     fault::Moment::End};
   for (const index_t n : sizes) {
+    // Dynamically built label: intern_name gives it the process lifetime the
+    // recorder's pointer contract requires (a temporary's c_str() would
+    // dangle by write time).
+    const obs::TraceSpan size_span("bench", obs::intern_name("n=" + std::to_string(n)));
     hybrid::Device dev;
     Matrix<double> a0 = random_matrix(n, n, seed + static_cast<std::uint64_t>(n));
 

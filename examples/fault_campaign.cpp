@@ -14,6 +14,7 @@
 // EXPERIMENTS.md (one row per trial, obs metrics snapshot in the footer).
 #include <cstdio>
 #include <memory>
+#include <optional>
 
 #include "../bench/bench_common.hpp"
 #include "common/options.hpp"
@@ -40,10 +41,15 @@ int main(int argc, char** argv) {
               cfg.in_flight ? "mode=in-flight soak"
                             : ("area=" + fault::to_string(cfg.area)).c_str());
 
+  // Construct the report before the campaign so its --trace window and
+  // profile section cover the runs themselves, not just the summary.
+  std::optional<bench::Report> report_holder;
+  if (opt.has("report")) report_holder.emplace(opt, "fault_campaign");
+
   const fault::CampaignResult res = fault::run_campaign(cfg);
 
-  if (opt.has("report")) {
-    bench::Report report(opt, "fault_campaign");
+  if (report_holder.has_value()) {
+    bench::Report& report = *report_holder;
     report.note("alg", fault::to_string(cfg.algorithm));
     report.note("n", cfg.n);
     report.note("nb", cfg.nb);
@@ -58,8 +64,8 @@ int main(int argc, char** argv) {
     report.note("worst_error_vs_clean", res.worst_error_vs_clean);
     int trial = 0;
     for (const auto& t : res.trials) {
-      report.row()
-          .set("trial", trial++)
+      auto& row = report.row();
+      row.set("trial", trial++)
           .set("class", fault::to_string(t.fault_class))
           .set("injected", static_cast<long long>(t.injected.size()))
           .set("fired", static_cast<long long>(t.in_flight_fired.size()))
@@ -74,6 +80,16 @@ int main(int argc, char** argv) {
           .set("abort_boundary", static_cast<long long>(t.outcome.boundary))
           .set("attempts", t.outcome.attempts)
           .set("failure", t.failure);
+      // Per-trial counter deltas (snapshot around the faulty run), so the
+      // footer's cumulative metrics can be attributed to individual trials.
+      const auto delta = [&t](const char* name) -> long long {
+        const auto it = t.metric_deltas.find(name);
+        return it == t.metric_deltas.end() ? 0 : static_cast<long long>(it->second);
+      };
+      row.set("d_ft_detections", delta("ft.detections"))
+          .set("d_ft_rollbacks", delta("ft.rollbacks"))
+          .set("d_ft_data_corrections", delta("ft.data_corrections"))
+          .set("d_ft_unrecoverable", delta("ft.unrecoverable"));
     }
   }
 

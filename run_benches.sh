@@ -2,21 +2,50 @@
 # Regenerates every table/figure of the paper plus the extension and
 # ablation studies. Output: bench_output.txt (see EXPERIMENTS.md for the
 # paper-vs-measured comparison) plus one bench_*.json structured report per
-# bench (measurement rows + fth::obs metrics snapshot; schema in
-# EXPERIMENTS.md).
+# bench (measurement rows + fth::obs metrics snapshot + profile section;
+# schema in EXPERIMENTS.md).
+#
+# Pass-through observability flags for the whole sweep:
+#   ./run_benches.sh --profile            # print attribution tables too
+#   ./run_benches.sh --trace              # one Chrome trace per bench
 set -e
 cd "$(dirname "$0")"
+
+EXTRA=""
+for arg in "$@"; do
+  case "$arg" in
+    --profile) EXTRA="$EXTRA --profile" ;;
+    --trace)   TRACE=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+# Measure the dgemm roofline once so every bench attributes per-phase GF/s
+# against the same denominator (profile section / --profile tables).
+FTH_ROOFLINE_GFLOPS="$(./build/tools/fth_roofline)"
+export FTH_ROOFLINE_GFLOPS
+echo "dgemm roofline: ${FTH_ROOFLINE_GFLOPS} GF/s (shared profile denominator)"
+
+run() {
+  name="$(basename "$1")"
+  if [ -n "$TRACE" ]; then
+    "$@" $EXTRA --trace "${name}_trace.json"
+  else
+    "$@" $EXTRA
+  fi
+}
+
 {
-  ./build/bench/bench_table1_platform --trials 5
-  ./build/bench/bench_fig2_propagation
-  ./build/bench/bench_fig6_overhead --sizes 128,256,512,768,1022 --trials 5
-  ./build/bench/bench_table2_stability --sizes 128,192,256,384,512
-  ./build/bench/bench_table3_orthogonality --sizes 128,192,256,384,512
-  ./build/bench/bench_overhead_model --sizes 128,192,256,384,512,768
-  ./build/bench/bench_ablation --n 256 --trials 3
-  ./build/bench/bench_ext_sytrd --sizes 128,256,384,512 --trials 3
-  ./build/bench/bench_ext_gebrd --sizes 128,256,384 --trials 3
-  ./build/bench/bench_related_qr --n 256
+  run ./build/bench/bench_table1_platform --trials 5
+  run ./build/bench/bench_fig2_propagation
+  run ./build/bench/bench_fig6_overhead --sizes 128,256,512,768,1022 --trials 5
+  run ./build/bench/bench_table2_stability --sizes 128,192,256,384,512
+  run ./build/bench/bench_table3_orthogonality --sizes 128,192,256,384,512
+  run ./build/bench/bench_overhead_model --sizes 128,192,256,384,512,768
+  run ./build/bench/bench_ablation --n 256 --trials 3
+  run ./build/bench/bench_ext_sytrd --sizes 128,256,384,512 --trials 3
+  run ./build/bench/bench_ext_gebrd --sizes 128,256,384 --trials 3
+  run ./build/bench/bench_related_qr --n 256
   ./build/bench/bench_kernels --benchmark_min_time=0.2 \
       --benchmark_out=bench_kernels.json --benchmark_out_format=json
 } 2>&1

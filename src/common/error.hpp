@@ -7,6 +7,13 @@
 #include <stdexcept>
 #include <string>
 
+namespace fth::obs {
+// Defined in obs/trace.cpp; declared here (identically to obs/trace.hpp) so
+// recovery_error can trigger a flight-recorder dump without common/ pulling
+// in the obs headers. No-op returning "" when the recorder is inactive.
+std::string flight_dump(const char* reason) noexcept;
+}  // namespace fth::obs
+
 namespace fth {
 
 /// Thrown when a routine's documented precondition is violated.
@@ -30,14 +37,18 @@ class internal_error : public std::logic_error {
 /// locate() failure outside a driver).
 class recovery_error : public std::runtime_error {
  public:
-  explicit recovery_error(const std::string& msg) : std::runtime_error(msg) {}
+  explicit recovery_error(const std::string& msg) : std::runtime_error(msg) {
+    obs::flight_dump("recovery_error");
+  }
   recovery_error(const std::string& msg, std::int64_t boundary, int attempts, double gap,
                  double threshold)
       : std::runtime_error(msg),
         boundary_(boundary),
         attempts_(attempts),
         gap_(gap),
-        threshold_(threshold) {}
+        threshold_(threshold) {
+    obs::flight_dump("recovery_error");
+  }
 
   [[nodiscard]] std::int64_t boundary() const noexcept { return boundary_; }
   [[nodiscard]] int attempts() const noexcept { return attempts_; }

@@ -16,6 +16,10 @@ namespace fth::flops {
 namespace detail {
 inline std::atomic<std::uint64_t> g_count{0};
 inline std::atomic<bool> g_enabled{false};
+// Per-thread shadow of g_count, sampled by the profiler at span boundaries
+// so FLOPs are attributed to the phase (and thread) that executed them —
+// the global total alone cannot separate concurrent host and device work.
+inline thread_local std::uint64_t t_count = 0;
 }  // namespace detail
 
 /// Enable or disable counting. Disabled by default (zero overhead path
@@ -27,11 +31,18 @@ inline bool enabled() noexcept { return detail::g_enabled.load(std::memory_order
 
 /// Record `n` floating point operations (no-op when disabled).
 inline void add(std::uint64_t n) noexcept {
-  if (enabled()) detail::g_count.fetch_add(n, std::memory_order_relaxed);
+  if (enabled()) {
+    detail::g_count.fetch_add(n, std::memory_order_relaxed);
+    detail::t_count += n;
+  }
 }
 
 /// Current counter value.
 inline std::uint64_t count() noexcept { return detail::g_count.load(std::memory_order_relaxed); }
+
+/// FLOPs recorded by the calling thread (monotonic, never reset — consumers
+/// take deltas). Plain thread-local, so it is cheaper than the global add.
+inline std::uint64_t thread_count() noexcept { return detail::t_count; }
 
 /// Reset the counter to zero.
 inline void reset() noexcept { detail::g_count.store(0, std::memory_order_relaxed); }

@@ -284,6 +284,8 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
     Injector inj(specs, fseed ^ 0x51CA5EULL);
 
     ft::FtReport rep;
+    const obs::Registry::CounterValues counters_before =
+        obs::Registry::global().counter_values();
     try {
       Matrix<double> faulty =
           run_algorithm(dev, cfg.algorithm, a0, cfg.nb, specs.empty() ? nullptr : &inj,
@@ -293,6 +295,8 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
     } catch (const recovery_error& e) {
       out.failure = e.what();
     }
+    out.metric_deltas =
+        obs::Registry::counter_delta(obs::Registry::global().counter_values(), counters_before);
     out.injected = inj.history();
     out.in_flight_fired = plane.fired();
     out.detections = rep.detections;

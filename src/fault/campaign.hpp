@@ -22,6 +22,7 @@
 #include "ft/ft_gehrd.hpp"  // FtReport
 #include "ft/recovery.hpp"
 #include "la/matrix.hpp"
+#include "obs/metrics.hpp"
 
 namespace fth::fault {
 
@@ -80,6 +81,10 @@ struct TrialOutcome {
   /// The faulty run's full resilience report (per-mechanism counters and
   /// per-recovery events) for cross-checking against the obs layer.
   ft::FtReport report;
+  /// Global-registry counters this trial's *faulty* run moved (snapshot
+  /// delta around the run; the clean reference run is excluded), so soak
+  /// counters are attributable per trial instead of cumulative.
+  obs::Registry::CounterValues metric_deltas;
 };
 
 struct CampaignResult {

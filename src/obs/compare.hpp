@@ -1,0 +1,75 @@
+// Bench-report regression comparison (the core of tools/bench_compare).
+//
+// Two bench_*.json reports produced by the same bench configuration are
+// flattened to dotted numeric paths ("rows.0.ft_gflops",
+// "metrics.counters.ft.detections", "profile.overlap.overlap_fraction") and
+// diffed under a list of threshold rules. The first rule whose glob pattern
+// matches a path decides how that metric is judged; unmatched paths are
+// ignored, so a threshold file states exactly what is gated.
+// EXPERIMENTS.md documents the threshold file format; the committed
+// BENCH_baseline.json plus tools/thresholds_*.txt form the CI perf gate.
+#pragma once
+
+#include <cstdio>
+#include <istream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace fth::obs {
+
+struct ThresholdRule {
+  enum class Mode {
+    Rel,          ///< |cand − base| ≤ tol · max(|base|, |cand|)
+    Abs,          ///< |cand − base| ≤ tol
+    MaxIncrease,  ///< cand may exceed base by at most tol · |base| (times, bytes)
+    MaxDecrease,  ///< cand may fall short of base by at most tol · |base| (GF/s)
+    Ignore,       ///< matched paths are not gated
+  };
+  std::string pattern;  ///< glob over the dotted path: '*' any run, '?' one char
+  Mode mode = Mode::Ignore;
+  double tol = 0.0;
+};
+
+/// One judged metric.
+struct Comparison {
+  std::string path;
+  double base = 0.0;
+  double cand = 0.0;
+  double rel_delta = 0.0;  ///< (cand − base) / max(|base|, |cand|, eps)
+  bool violated = false;
+  bool missing = false;  ///< present in base, absent in candidate (a violation)
+  std::string rule;      ///< the pattern that matched
+};
+
+struct CompareResult {
+  std::vector<Comparison> gated;  ///< every non-ignored metric, judged
+  int violations = 0;
+  [[nodiscard]] bool ok() const noexcept { return violations == 0; }
+};
+
+/// '*' matches any (possibly empty) run of characters, '?' exactly one.
+[[nodiscard]] bool glob_match(const std::string& pattern, const std::string& text);
+
+/// Depth-first flatten of every numeric leaf (bools and strings skipped);
+/// object keys joined with '.', array elements by index.
+void flatten_numbers(const json::Value& v, const std::string& prefix,
+                     std::map<std::string, double>& out);
+
+/// Parse a threshold file: one `pattern mode tolerance` triple per line
+/// (mode ∈ rel|abs|max_increase|max_decrease|ignore; ignore takes no
+/// tolerance). '#' starts a comment. Throws json::parse_error on bad lines
+/// (reusing the tooling error type).
+[[nodiscard]] std::vector<ThresholdRule> parse_thresholds(std::istream& in);
+
+/// Judge `cand` against `base` under `rules` (first match wins; unmatched
+/// paths are ignored).
+[[nodiscard]] CompareResult compare_reports(const json::Value& base, const json::Value& cand,
+                                            const std::vector<ThresholdRule>& rules);
+
+/// Human-readable verdict table (every gated metric, violations flagged).
+void print_comparison(const CompareResult& res, std::FILE* out);
+
+}  // namespace fth::obs

@@ -1,18 +1,32 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 namespace fth::obs {
 
 int Histogram::bucket_of(double v) noexcept {
   if (!(v > 0.0)) return 0;  // zero, negatives and NaN land in the underflow bucket
-  if (std::isinf(v)) return kBuckets - 1;  // the int cast below would be UB
-  const int exp = static_cast<int>(std::floor(std::log10(v)));
-  if (exp < kMinExp) return 0;
-  if (exp > kMaxExp) return kBuckets - 1;
-  return exp - kMinExp + 1;
+  // Boundary table instead of floor(log10(v)): log10 is not guaranteed
+  // correctly rounded, so exact decade boundaries (1e-18, 1e12, ...) could
+  // land one bucket off. The boundaries are parsed with strtod, which IS
+  // correctly rounded and therefore bit-identical to the literals callers
+  // compare against. bounds[i] = 10^(kMinExp+i), one past each decade, so
+  // the bucket index is simply the count of boundaries ≤ v: 0 = underflow,
+  // kBuckets-1 = overflow (reached at 10^(kMaxExp+1), and by ±inf).
+  static const std::array<double, kBuckets - 1> bounds = [] {
+    std::array<double, kBuckets - 1> b{};
+    for (int i = 0; i < kBuckets - 1; ++i) {
+      char lit[16];
+      std::snprintf(lit, sizeof lit, "1e%d", kMinExp + i);
+      b[static_cast<std::size_t>(i)] = std::strtod(lit, nullptr);
+    }
+    return b;
+  }();
+  return static_cast<int>(std::upper_bound(bounds.begin(), bounds.end(), v) - bounds.begin());
 }
 
 void Histogram::observe(double v) noexcept {
@@ -58,6 +72,24 @@ void Registry::reset() {
   std::lock_guard lock(m_);
   for (auto& [name, c] : counters_) c.reset();
   for (auto& [name, h] : histograms_) h.reset();
+}
+
+Registry::CounterValues Registry::counter_values() const {
+  std::lock_guard lock(m_);
+  CounterValues out;
+  for (const auto& [name, c] : counters_) out.emplace(name, c.value());
+  return out;
+}
+
+Registry::CounterValues Registry::counter_delta(const CounterValues& now,
+                                                const CounterValues& base) {
+  CounterValues out;
+  for (const auto& [name, v] : now) {
+    const auto it = base.find(name);
+    const std::uint64_t b = it == base.end() ? 0 : it->second;
+    if (v > b) out.emplace(name, v - b);
+  }
+  return out;
 }
 
 namespace {

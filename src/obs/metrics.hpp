@@ -46,7 +46,8 @@ class Histogram {
  public:
   static constexpr int kMinExp = -18;  ///< smallest resolved decade, 1e-18
   static constexpr int kMaxExp = 12;   ///< largest resolved decade, 1e12
-  static constexpr int kBuckets = kMaxExp - kMinExp + 2;  // underflow + decades + overflow
+  /// underflow + one bucket per decade kMinExp..kMaxExp (inclusive) + overflow
+  static constexpr int kBuckets = kMaxExp - kMinExp + 3;
 
   void observe(double v) noexcept;
 
@@ -80,6 +81,19 @@ class Registry {
 
   /// Zero every registered instrument (for tests and per-bench scoping).
   void reset();
+
+  /// Plain-value snapshot of every registered counter. Counters are
+  /// monotonic and process-global, so attribution to one unit of work
+  /// (a campaign trial, a bench size) is done by snapshot-delta:
+  /// take counter_values() before and after, then counter_delta().
+  using CounterValues = std::map<std::string, std::uint64_t>;
+  [[nodiscard]] CounterValues counter_values() const;
+
+  /// Per-name `now − base`; names absent from `base` count from zero, and
+  /// names whose delta is zero are omitted (so a trial's map holds exactly
+  /// the counters it moved).
+  [[nodiscard]] static CounterValues counter_delta(const CounterValues& now,
+                                                   const CounterValues& base);
 
   /// Snapshot as a JSON object: {"counters":{name:value,...},
   /// "histograms":{name:{count,sum,min,max,buckets:[...]},...}}.

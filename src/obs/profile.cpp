@@ -1,0 +1,522 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <unordered_map>
+
+#include "common/flops.hpp"
+#include "obs/trace.hpp"
+
+namespace fth::obs {
+
+namespace profile_detail {
+std::atomic<bool> g_active{false};
+}  // namespace profile_detail
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Aggregation core, shared by the live profiler (one Agg per thread) and the
+// offline ProfileBuilder (one Agg per trace tid). Spans are keyed by their
+// (cat, name) pointers but hashed/compared by content, so literals and
+// interned names merge correctly.
+
+struct PhaseKey {
+  const char* cat;
+  const char* name;
+  bool operator==(const PhaseKey& o) const noexcept {
+    return std::strcmp(cat, o.cat) == 0 && std::strcmp(name, o.name) == 0;
+  }
+};
+
+struct PhaseKeyHash {
+  std::size_t operator()(const PhaseKey& k) const noexcept {
+    std::size_t h = 1469598103934665603ull;
+    const auto mix = [&h](const char* p) {
+      for (; *p != '\0'; ++p) h = (h ^ static_cast<unsigned char>(*p)) * 1099511628211ull;
+    };
+    mix(k.cat);
+    h = (h ^ 0x2F) * 1099511628211ull;
+    mix(k.name);
+    return h;
+  }
+};
+
+struct PhaseAccum {
+  std::uint64_t calls = 0;
+  double wall_us = 0.0;
+  double self_us = 0.0;
+  std::uint64_t flops = 0;
+  double arg_sum = 0.0;
+};
+
+struct Frame {
+  PhaseKey key;
+  double t0 = 0.0;
+  double mark_ts = 0.0;           // start of the current self segment
+  std::uint64_t mark_flops = 0;   // thread-flops at the segment start
+  double arg = 0.0;
+  double self_us = 0.0;
+  std::uint64_t self_flops = 0;
+  bool is_task = false, is_wait = false, is_panel = false, is_update = false;
+};
+
+struct Interval {
+  double b, e;
+};
+
+struct Agg {
+  std::vector<Frame> stack;
+  std::unordered_map<PhaseKey, PhaseAccum, PhaseKeyHash> phases;
+  std::vector<Interval> device_busy;  // stream/task spans (device worker)
+  std::vector<Interval> host_wait;    // stream/synchronize + stream/event_wait
+  bool is_device = false;
+  double pending_panel_t0 = -1.0;  // panel begin awaiting its update end
+  std::uint64_t iters = 0;
+  double iter_sum_us = 0.0;
+  double iter_max_us = 0.0;
+  double first_ts = 0.0, last_ts = 0.0;
+  bool any = false;
+
+  void note_ts(double ts) {
+    if (!any) {
+      first_ts = last_ts = ts;
+      any = true;
+    } else {
+      first_ts = std::min(first_ts, ts);
+      last_ts = std::max(last_ts, ts);
+    }
+  }
+
+  void begin(const char* cat, const char* name, double ts, double arg, std::uint64_t fl) {
+    note_ts(ts);
+    if (!stack.empty()) {
+      Frame& p = stack.back();
+      p.self_us += ts - p.mark_ts;
+      p.self_flops += fl - p.mark_flops;
+    }
+    Frame f;
+    f.key = PhaseKey{cat, name};
+    f.t0 = f.mark_ts = ts;
+    f.mark_flops = fl;
+    f.arg = arg;
+    const bool stream_cat = std::strcmp(cat, "stream") == 0;
+    f.is_task = stream_cat && std::strcmp(name, "task") == 0;
+    f.is_wait = stream_cat && (std::strcmp(name, "synchronize") == 0 ||
+                               std::strcmp(name, "event_wait") == 0);
+    const bool hybrid_cat = std::strcmp(cat, "hybrid") == 0;
+    f.is_panel = hybrid_cat && std::strcmp(name, "panel") == 0;
+    f.is_update = hybrid_cat && std::strcmp(name, "update") == 0;
+    if (f.is_task) is_device = true;
+    stack.push_back(f);
+  }
+
+  void end(double ts, std::uint64_t fl) {
+    if (stack.empty()) return;  // the span began before the window opened
+    note_ts(ts);
+    Frame f = stack.back();
+    stack.pop_back();
+    f.self_us += ts - f.mark_ts;
+    f.self_flops += fl - f.mark_flops;
+    PhaseAccum& a = phases[f.key];
+    ++a.calls;
+    a.wall_us += ts - f.t0;
+    a.self_us += f.self_us;
+    a.flops += f.self_flops;
+    a.arg_sum += f.arg;
+    if (!stack.empty()) {
+      stack.back().mark_ts = ts;
+      stack.back().mark_flops = fl;
+    }
+    if (f.is_task) {
+      device_busy.push_back(Interval{f.t0, ts});
+    } else if (f.is_wait) {
+      host_wait.push_back(Interval{f.t0, ts});
+    } else if (f.is_panel) {
+      pending_panel_t0 = f.t0;
+    } else if (f.is_update && pending_panel_t0 >= 0.0) {
+      const double d = ts - pending_panel_t0;
+      ++iters;
+      iter_sum_us += d;
+      iter_max_us = std::max(iter_max_us, d);
+      pending_panel_t0 = -1.0;
+    }
+  }
+
+  /// Attribute still-open spans up to `ts` (window close mid-span). No new
+  /// FLOPs are credited: the closing thread cannot read the owner's counter.
+  void close_open(double ts) {
+    while (!stack.empty()) end(ts, stack.back().mark_flops);
+  }
+};
+
+/// Sort + merge in place; returns total covered length (µs).
+double merge_union(std::vector<Interval>& v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end(), [](const Interval& a, const Interval& b) { return a.b < b.b; });
+  std::size_t out = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i].b <= v[out].e) {
+      v[out].e = std::max(v[out].e, v[i].e);
+    } else {
+      v[++out] = v[i];
+    }
+  }
+  v.resize(out + 1);
+  double len = 0.0;
+  for (const Interval& iv : v) len += iv.e - iv.b;
+  return len;
+}
+
+/// Overlap length of two already-merged interval lists (µs).
+double intersect_len(const std::vector<Interval>& a, const std::vector<Interval>& b) {
+  double len = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const double lo = std::max(a[i].b, b[j].b);
+    const double hi = std::min(a[i].e, b[j].e);
+    if (hi > lo) len += hi - lo;
+    if (a[i].e < b[j].e) ++i;
+    else ++j;
+  }
+  return len;
+}
+
+ProfileReport build_report(const std::vector<Agg*>& aggs, double roofline, double wall_hint_s,
+                           std::uint64_t total_flops) {
+  ProfileReport rep;
+  rep.roofline_gflops = roofline;
+  rep.total_flops = total_flops;
+
+  std::map<std::tuple<std::string, std::string, std::string>, PhaseAccum> merged;
+  std::vector<Interval> dev, wait;
+  bool any = false;
+  double first = 0.0, last = 0.0;
+  for (Agg* a : aggs) {
+    const char* track = a->is_device ? "device" : "host";
+    for (const auto& [k, acc] : a->phases) {
+      PhaseAccum& m = merged[{track, k.cat, k.name}];
+      m.calls += acc.calls;
+      m.wall_us += acc.wall_us;
+      m.self_us += acc.self_us;
+      m.flops += acc.flops;
+      m.arg_sum += acc.arg_sum;
+    }
+    dev.insert(dev.end(), a->device_busy.begin(), a->device_busy.end());
+    wait.insert(wait.end(), a->host_wait.begin(), a->host_wait.end());
+    rep.iterations += a->iters;
+    rep.iter_max_s = std::max(rep.iter_max_s, a->iter_max_us / 1e6);
+    rep.iter_avg_s += a->iter_sum_us;  // sum for now; divided below
+    if (a->any) {
+      if (!any) {
+        first = a->first_ts;
+        last = a->last_ts;
+        any = true;
+      } else {
+        first = std::min(first, a->first_ts);
+        last = std::max(last, a->last_ts);
+      }
+    }
+  }
+  rep.wall_s = wall_hint_s > 0.0 ? wall_hint_s : (any ? (last - first) / 1e6 : 0.0);
+
+  rep.device_busy_s = merge_union(dev) / 1e6;
+  rep.host_wait_s = merge_union(wait) / 1e6;
+  const double both_s = intersect_len(dev, wait) / 1e6;
+  rep.overlapped_s = rep.device_busy_s - both_s;
+  rep.overlap_fraction = rep.device_busy_s > 0.0 ? rep.overlapped_s / rep.device_busy_s : 0.0;
+  rep.stream_occupancy = rep.wall_s > 0.0 ? rep.device_busy_s / rep.wall_s : 0.0;
+
+  rep.iter_avg_s = rep.iterations > 0 ? rep.iter_avg_s / 1e6 / static_cast<double>(rep.iterations)
+                                      : 0.0;
+  const auto avg_of = [&merged](const char* cat, const char* name) {
+    const auto it = merged.find({"host", cat, name});
+    if (it == merged.end() || it->second.calls == 0) return 0.0;
+    return it->second.wall_us / 1e6 / static_cast<double>(it->second.calls);
+  };
+  rep.iter_avg_panel_s = avg_of("hybrid", "panel");
+  rep.iter_avg_update_s = avg_of("hybrid", "update");
+
+  for (const auto& [key, acc] : merged) {
+    ProfilePhase p;
+    p.track = std::get<0>(key);
+    p.cat = std::get<1>(key);
+    p.name = std::get<2>(key);
+    p.calls = acc.calls;
+    p.wall_s = acc.wall_us / 1e6;
+    p.self_s = acc.self_us / 1e6;
+    p.flops = acc.flops;
+    p.arg_sum = acc.arg_sum;
+    p.gflops = p.self_s > 0.0 ? static_cast<double>(p.flops) / p.self_s / 1e9 : 0.0;
+    p.roofline_frac = roofline > 0.0 ? p.gflops / roofline : 0.0;
+    rep.phases.push_back(std::move(p));
+  }
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// Live profiler: per-thread Agg behind an uncontended mutex (the owning
+// thread locks on every span boundary, the stopping thread at window close)
+// — the same discipline as the trace recorder's ThreadBuffers.
+
+struct LiveState {
+  std::mutex m;
+  Agg agg;
+};
+
+class LiveProfiler {
+ public:
+  static LiveProfiler& instance() {
+    static LiveProfiler p;
+    return p;
+  }
+
+  void start() {
+    std::lock_guard lock(registry_m_);
+    profile_detail::g_active.store(false, std::memory_order_relaxed);
+    for (auto& s : states_) {
+      std::lock_guard sl(s->m);
+      s->agg = Agg{};
+    }
+    if (const char* env = std::getenv("FTH_ROOFLINE_GFLOPS");
+        env != nullptr && env[0] != '\0') {
+      const double v = std::strtod(env, nullptr);
+      if (v > 0.0) roofline_.store(v, std::memory_order_relaxed);
+    }
+    prev_flops_enabled_ = flops::enabled();
+    flops::enable(true);
+    flops0_ = flops::count();
+    start_ts_ = detail::now_us();
+    running_ = true;
+    profile_detail::g_active.store(true, std::memory_order_relaxed);
+  }
+
+  ProfileReport stop() {
+    std::lock_guard lock(registry_m_);
+    if (!running_) return ProfileReport{};
+    profile_detail::g_active.store(false, std::memory_order_relaxed);
+    running_ = false;
+    const double stop_ts = detail::now_us();
+    const std::uint64_t total = flops::count() - flops0_;
+    flops::enable(prev_flops_enabled_);
+    std::vector<std::unique_lock<std::mutex>> locks;
+    std::vector<Agg*> aggs;
+    locks.reserve(states_.size());
+    for (auto& s : states_) {
+      locks.emplace_back(s->m);
+      s->agg.close_open(stop_ts);
+      aggs.push_back(&s->agg);
+    }
+    return build_report(aggs, roofline_.load(std::memory_order_relaxed),
+                        (stop_ts - start_ts_) / 1e6, total);
+  }
+
+  void on_event(char ph, const char* cat, const char* name, double ts, double arg) noexcept {
+    LiveState& s = local();
+    std::lock_guard lock(s.m);
+    const std::uint64_t fl = flops::thread_count();
+    if (ph == 'B') s.agg.begin(cat, name, ts, arg, fl);
+    else if (ph == 'E') s.agg.end(ts, fl);
+  }
+
+  void set_roofline(double v) noexcept { roofline_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double roofline() const noexcept {
+    return roofline_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  LiveState& local() {
+    thread_local std::shared_ptr<LiveState> st = [this] {
+      auto s = std::make_shared<LiveState>();
+      std::lock_guard lock(registry_m_);
+      states_.push_back(s);
+      return s;
+    }();
+    return *st;
+  }
+
+  std::mutex registry_m_;
+  std::vector<std::shared_ptr<LiveState>> states_;
+  std::atomic<double> roofline_{0.0};
+  double start_ts_ = 0.0;
+  std::uint64_t flops0_ = 0;
+  bool prev_flops_enabled_ = false;
+  bool running_ = false;
+};
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char hex[8];
+      std::snprintf(hex, sizeof hex, "\\u%04x", c);
+      out += hex;
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+void append_num(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+bool profile_enabled() noexcept { return profile_detail::active(); }
+
+void profile_start() { LiveProfiler::instance().start(); }
+
+ProfileReport profile_stop() { return LiveProfiler::instance().stop(); }
+
+void set_profile_roofline(double gflops) noexcept {
+  LiveProfiler::instance().set_roofline(gflops);
+}
+
+double profile_roofline() noexcept { return LiveProfiler::instance().roofline(); }
+
+namespace profile_detail {
+void on_event(char ph, const char* cat, const char* name, double ts_us,
+              double arg_value) noexcept {
+  LiveProfiler::instance().on_event(ph, cat, name, ts_us, arg_value);
+}
+}  // namespace profile_detail
+
+// --- ProfileBuilder (offline replay) ----------------------------------------
+
+struct ProfileBuilder::Impl {
+  std::map<std::uint64_t, Agg> threads;
+};
+
+ProfileBuilder::ProfileBuilder() : impl_(std::make_unique<Impl>()) {}
+ProfileBuilder::~ProfileBuilder() = default;
+
+void ProfileBuilder::begin(std::uint64_t tid, const char* cat, const char* name, double ts_us,
+                           double arg_value, std::uint64_t flops_now) {
+  impl_->threads[tid].begin(cat, name, ts_us, arg_value, flops_now);
+}
+
+void ProfileBuilder::end(std::uint64_t tid, double ts_us, std::uint64_t flops_now) {
+  impl_->threads[tid].end(ts_us, flops_now);
+}
+
+ProfileReport ProfileBuilder::finish(double roofline_gflops, double wall_hint_s) {
+  std::vector<Agg*> aggs;
+  std::uint64_t total = 0;
+  for (auto& [tid, agg] : impl_->threads) {
+    agg.close_open(agg.last_ts);  // a truncated trace may end mid-span
+    aggs.push_back(&agg);
+    for (const auto& [k, acc] : agg.phases) total += acc.flops;
+  }
+  return build_report(aggs, roofline_gflops, wall_hint_s, total);
+}
+
+// --- Report rendering --------------------------------------------------------
+
+std::string ProfileReport::to_json() const {
+  std::string out;
+  out.reserve(512 + phases.size() * 160);
+  out += "{\"wall_s\":";
+  append_num(out, wall_s);
+  out += ",\"roofline_gflops\":";
+  append_num(out, roofline_gflops);
+  out += ",\"total_flops\":" + std::to_string(total_flops);
+  out += ",\"overlap\":{\"device_busy_s\":";
+  append_num(out, device_busy_s);
+  out += ",\"host_wait_s\":";
+  append_num(out, host_wait_s);
+  out += ",\"overlapped_s\":";
+  append_num(out, overlapped_s);
+  out += ",\"overlap_fraction\":";
+  append_num(out, overlap_fraction);
+  out += ",\"stream_occupancy\":";
+  append_num(out, stream_occupancy);
+  out += "},\"iterations\":{\"count\":" + std::to_string(iterations);
+  out += ",\"avg_panel_s\":";
+  append_num(out, iter_avg_panel_s);
+  out += ",\"avg_update_s\":";
+  append_num(out, iter_avg_update_s);
+  out += ",\"avg_s\":";
+  append_num(out, iter_avg_s);
+  out += ",\"max_s\":";
+  append_num(out, iter_max_s);
+  out += "},\"phases\":[";
+  bool first = true;
+  for (const ProfilePhase& p : phases) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"track\":\"";
+    append_escaped(out, p.track);
+    out += "\",\"cat\":\"";
+    append_escaped(out, p.cat);
+    out += "\",\"name\":\"";
+    append_escaped(out, p.name);
+    out += "\",\"calls\":" + std::to_string(p.calls);
+    out += ",\"wall_s\":";
+    append_num(out, p.wall_s);
+    out += ",\"self_s\":";
+    append_num(out, p.self_s);
+    out += ",\"flops\":" + std::to_string(p.flops);
+    out += ",\"gflops\":";
+    append_num(out, p.gflops);
+    out += ",\"roofline_frac\":";
+    append_num(out, p.roofline_frac);
+    out += ",\"arg_sum\":";
+    append_num(out, p.arg_sum);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void ProfileReport::print_table(std::FILE* out) const {
+  std::fprintf(out, "\n-- profile: wall %.4f s", wall_s);
+  if (roofline_gflops > 0.0) std::fprintf(out, ", roofline %.2f GF/s", roofline_gflops);
+  if (total_flops > 0) std::fprintf(out, ", %.3g GFLOP total", static_cast<double>(total_flops) / 1e9);
+  std::fprintf(out, " --\n");
+  std::fprintf(out,
+               "overlap: device busy %.4f s (occupancy %.1f%%), host wait %.4f s, "
+               "overlapped %.4f s (%.1f%% of device busy)\n",
+               device_busy_s, 100.0 * stream_occupancy, host_wait_s, overlapped_s,
+               100.0 * overlap_fraction);
+  if (iterations > 0) {
+    std::fprintf(out,
+                 "iterations: %llu, avg panel %.3f ms, avg update %.3f ms, "
+                 "critical path avg %.3f ms / max %.3f ms\n",
+                 static_cast<unsigned long long>(iterations), 1e3 * iter_avg_panel_s,
+                 1e3 * iter_avg_update_s, 1e3 * iter_avg_s, 1e3 * iter_max_s);
+  }
+  std::vector<const ProfilePhase*> by_self;
+  by_self.reserve(phases.size());
+  for (const ProfilePhase& p : phases) by_self.push_back(&p);
+  std::sort(by_self.begin(), by_self.end(), [](const ProfilePhase* a, const ProfilePhase* b) {
+    return a->self_s > b->self_s;
+  });
+  std::fprintf(out, "%-7s %-9s %-18s %8s %11s %11s %9s %7s\n", "track", "cat", "name", "calls",
+               "wall (s)", "self (s)", "GF/s", "%roof");
+  for (const ProfilePhase* p : by_self) {
+    char roof[16] = "-";
+    if (roofline_gflops > 0.0 && p->flops > 0)
+      std::snprintf(roof, sizeof roof, "%.1f", 100.0 * p->roofline_frac);
+    char gf[16] = "-";
+    if (p->flops > 0) std::snprintf(gf, sizeof gf, "%.2f", p->gflops);
+    std::fprintf(out, "%-7s %-9s %-18s %8llu %11.4f %11.4f %9s %7s\n", p->track.c_str(),
+                 p->cat.c_str(), p->name.c_str(), static_cast<unsigned long long>(p->calls),
+                 p->wall_s, p->self_s, gf, roof);
+  }
+}
+
+}  // namespace fth::obs

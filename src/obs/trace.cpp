@@ -1,13 +1,21 @@
 #include "obs/trace.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
+
+#include "obs/profile.hpp"
 
 namespace fth::obs {
 
@@ -16,18 +24,23 @@ namespace {
 struct TraceEvent {
   double ts_us = 0.0;
   double value = 0.0;        // counter value or span argument
-  const char* cat = "";      // string literal (see trace.hpp contract)
-  const char* name = "";     // string literal
+  const char* cat = "";      // string literal or interned (see trace.hpp contract)
+  const char* name = "";     // string literal or interned
   const char* arg_key = "";  // optional span argument name (string literal)
   std::uint32_t tid = 0;
   char ph = '?';
 };
 
-/// Per-thread event buffer. Each thread locks only its own (uncontended)
-/// mutex on the enabled path; the writer locks all of them at flush time.
+/// Per-thread buffers. Each thread locks only its own (uncontended) mutex on
+/// the enabled path; the writer locks all of them at flush time. The trace
+/// file uses the unbounded `events` vector; the flight recorder a bounded
+/// ring that keeps only the newest `ring.size()` events.
 struct ThreadBuffer {
   std::mutex m;
   std::vector<TraceEvent> events;
+  std::vector<TraceEvent> ring;
+  std::size_t ring_next = 0;
+  bool ring_wrapped = false;
   std::string thread_name;
   std::uint32_t tid = 0;
 };
@@ -40,7 +53,12 @@ class Recorder {
   }
 
   [[nodiscard]] bool enabled() const noexcept {
-    return enabled_.load(std::memory_order_relaxed);
+    return trace_on_.load(std::memory_order_relaxed) ||
+           flight_on_.load(std::memory_order_relaxed) || profile_detail::active();
+  }
+
+  [[nodiscard]] bool trace_file_active() const noexcept {
+    return trace_on_.load(std::memory_order_relaxed);
   }
 
   void start(const std::string& path) {
@@ -50,16 +68,13 @@ class Recorder {
       std::lock_guard bl(b->m);
       b->events.clear();
     }
-    if (!atexit_registered_) {
-      atexit_registered_ = true;
-      std::atexit([] { trace_stop(); });
-    }
-    enabled_.store(true, std::memory_order_relaxed);
+    register_atexit();
+    trace_on_.store(true, std::memory_order_relaxed);
   }
 
   std::size_t stop() {
-    if (!enabled()) return 0;
-    enabled_.store(false, std::memory_order_relaxed);
+    if (!trace_on_.load(std::memory_order_relaxed)) return 0;
+    trace_on_.store(false, std::memory_order_relaxed);
     std::lock_guard lock(registry_m_);
     std::vector<TraceEvent> all;
     for (auto& b : buffers_) {
@@ -69,16 +84,103 @@ class Recorder {
     }
     std::stable_sort(all.begin(), all.end(),
                      [](const TraceEvent& a, const TraceEvent& b) { return a.ts_us < b.ts_us; });
-    write_file(all);
+    write_file(path_, all);
     return all.size();
+  }
+
+  void flight_start(std::size_t capacity) {
+    capacity = std::max<std::size_t>(capacity, 16);
+    std::lock_guard lock(registry_m_);
+    flight_capacity_.store(capacity, std::memory_order_relaxed);
+    for (auto& b : buffers_) {
+      std::lock_guard bl(b->m);
+      reset_ring(*b, capacity);
+    }
+    install_signal_handlers();
+    flight_on_.store(true, std::memory_order_relaxed);
+  }
+
+  void flight_stop() {
+    flight_on_.store(false, std::memory_order_relaxed);
+    std::lock_guard lock(registry_m_);
+    for (auto& b : buffers_) {
+      std::lock_guard bl(b->m);
+      b->ring.clear();
+      b->ring.shrink_to_fit();
+      b->ring_next = 0;
+      b->ring_wrapped = false;
+    }
+  }
+
+  [[nodiscard]] bool flight_active() const noexcept {
+    return flight_on_.load(std::memory_order_relaxed);
+  }
+
+  /// Best-effort when called from a signal handler: try-lock everything and
+  /// skip what cannot be acquired rather than deadlock on a lock the
+  /// interrupted thread holds.
+  std::string flight_dump(const char* reason, bool best_effort) noexcept {
+    if (!flight_active()) return "";
+    std::unique_lock<std::mutex> lock(registry_m_, std::defer_lock);
+    if (best_effort) {
+      if (!lock.try_lock()) return "";
+    } else {
+      lock.lock();
+    }
+    std::vector<TraceEvent> all;
+    for (auto& b : buffers_) {
+      std::unique_lock<std::mutex> bl(b->m, std::defer_lock);
+      if (best_effort) {
+        if (!bl.try_lock()) continue;
+      } else {
+        bl.lock();
+      }
+      // Oldest-first ring order: [next, end) then [0, next) once wrapped.
+      if (b->ring_wrapped)
+        all.insert(all.end(), b->ring.begin() + static_cast<std::ptrdiff_t>(b->ring_next),
+                   b->ring.end());
+      all.insert(all.end(), b->ring.begin(),
+                 b->ring.begin() + static_cast<std::ptrdiff_t>(b->ring_next));
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) { return a.ts_us < b.ts_us; });
+    // Stamp why the dump happened as a final instant on the dumping track.
+    TraceEvent why;
+    why.ts_us = now_us();
+    why.cat = "flight";
+    why.name = reason;
+    why.ph = 'i';
+    all.push_back(why);
+    std::string path;
+    if (const char* env = std::getenv("FTH_FLIGHT_PATH"); env != nullptr && env[0] != '\0') {
+      path = env;
+    } else {
+      path = "fth_flight_" + std::to_string(static_cast<long>(::getpid())) + ".json";
+    }
+    if (!write_file(path, all)) return "";
+    return path;
   }
 
   void record(TraceEvent ev) noexcept {
     ThreadBuffer& b = local_buffer();
     ev.ts_us = now_us();
     ev.tid = b.tid;
+    if (profile_detail::active() && (ev.ph == 'B' || ev.ph == 'E'))
+      profile_detail::on_event(ev.ph, ev.cat, ev.name, ev.ts_us, ev.value);
+    const bool to_trace = trace_on_.load(std::memory_order_relaxed);
+    const bool to_flight = flight_on_.load(std::memory_order_relaxed);
+    if (!to_trace && !to_flight) return;
     std::lock_guard lock(b.m);
-    b.events.push_back(ev);
+    if (to_trace) b.events.push_back(ev);
+    if (to_flight) {
+      const std::size_t cap = flight_capacity_.load(std::memory_order_relaxed);
+      if (b.ring.size() != cap) reset_ring(b, cap);  // thread registered before flight_start
+      b.ring[b.ring_next] = ev;
+      if (++b.ring_next == b.ring.size()) {
+        b.ring_next = 0;
+        b.ring_wrapped = true;
+      }
+    }
   }
 
   void name_thread(const char* name) {
@@ -87,12 +189,41 @@ class Recorder {
     b.thread_name = name;
   }
 
- private:
-  Recorder() : t0_(std::chrono::steady_clock::now()) {}
-
   [[nodiscard]] double now_us() const noexcept {
     return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0_)
         .count();
+  }
+
+ private:
+  Recorder() : t0_(std::chrono::steady_clock::now()) {}
+
+  static void reset_ring(ThreadBuffer& b, std::size_t capacity) {
+    b.ring.assign(capacity, TraceEvent{});
+    b.ring_next = 0;
+    b.ring_wrapped = false;
+  }
+
+  void register_atexit() {
+    if (atexit_registered_) return;
+    atexit_registered_ = true;
+    std::atexit([] { trace_stop(); });
+  }
+
+  void install_signal_handlers() {
+    if (signals_installed_) return;
+    signals_installed_ = true;
+    for (const int sig : {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT}) {
+      std::signal(sig, [](int s) {
+        // One dump attempt, then the default disposition so the crash is
+        // still a crash (core dump, non-zero exit). Not strictly
+        // async-signal-safe — a post-mortem best effort, nothing more.
+        static std::atomic<bool> dumping{false};
+        if (!dumping.exchange(true))
+          Recorder::instance().flight_dump("fatal-signal", /*best_effort=*/true);
+        std::signal(s, SIG_DFL);
+        std::raise(s);
+      });
+    }
   }
 
   ThreadBuffer& local_buffer() {
@@ -122,11 +253,11 @@ class Recorder {
     }
   }
 
-  void write_file(const std::vector<TraceEvent>& events) const {
-    std::FILE* f = std::fopen(path_.c_str(), "w");
+  bool write_file(const std::string& path, const std::vector<TraceEvent>& events) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
-      std::fprintf(stderr, "fth::obs: cannot open trace output '%s'\n", path_.c_str());
-      return;
+      std::fprintf(stderr, "fth::obs: cannot open trace output '%s'\n", path.c_str());
+      return false;
     }
     const long pid = 1;  // single-process library; a stable dummy keeps tools happy
     std::string line;
@@ -181,19 +312,24 @@ class Recorder {
     }
     std::fprintf(f, "\n]}\n");
     std::fclose(f);
+    return true;
   }
 
-  std::atomic<bool> enabled_{false};
+  std::atomic<bool> trace_on_{false};
+  std::atomic<bool> flight_on_{false};
+  std::atomic<std::size_t> flight_capacity_{0};
   std::mutex registry_m_;
   std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
   std::string path_;
   std::uint32_t next_tid_ = 0;
   bool atexit_registered_ = false;
+  bool signals_installed_ = false;
   std::chrono::steady_clock::time_point t0_;
 };
 
-// Honour FTH_TRACE for any binary linking the library, independent of which
-// entry point it uses. Idempotent; benches call trace_init_from_env() again.
+// Honour FTH_TRACE / FTH_FLIGHT for any binary linking the library,
+// independent of which entry point it uses. Idempotent; benches call
+// trace_init_from_env() again.
 [[maybe_unused]] const bool g_env_init = [] {
   trace_init_from_env();
   return true;
@@ -209,12 +345,44 @@ std::size_t trace_stop() { return Recorder::instance().stop(); }
 
 void trace_init_from_env() {
   const char* path = std::getenv("FTH_TRACE");
-  if (path != nullptr && path[0] != '\0' && !trace_enabled()) trace_start(path);
+  if (path != nullptr && path[0] != '\0' && !Recorder::instance().trace_file_active())
+    trace_start(path);
+  const char* flight = std::getenv("FTH_FLIGHT");
+  if (flight != nullptr && flight[0] != '\0' && !flight_active()) {
+    const long n = std::strtol(flight, nullptr, 10);
+    if (n > 0) flight_start(static_cast<std::size_t>(n));
+  }
 }
 
 void set_thread_name(const char* name) { Recorder::instance().name_thread(name); }
 
+const char* intern_name(std::string_view name) {
+  static std::mutex m;
+  // Leaked on purpose: interned names must outlive every static destructor
+  // and atexit flush that might still reference them.
+  static auto* storage = new std::deque<std::string>();
+  static auto* index = new std::unordered_map<std::string_view, const char*>();
+  std::lock_guard lock(m);
+  if (const auto it = index->find(name); it != index->end()) return it->second;
+  storage->emplace_back(name);
+  const std::string& stored = storage->back();
+  index->emplace(std::string_view(stored), stored.c_str());
+  return stored.c_str();
+}
+
+void flight_start(std::size_t capacity) { Recorder::instance().flight_start(capacity); }
+
+bool flight_active() noexcept { return Recorder::instance().flight_active(); }
+
+std::string flight_dump(const char* reason) noexcept {
+  return Recorder::instance().flight_dump(reason, /*best_effort=*/false);
+}
+
+void flight_stop() { Recorder::instance().flight_stop(); }
+
 namespace detail {
+
+double now_us() noexcept { return Recorder::instance().now_us(); }
 
 void begin_span(const char* cat, const char* name) noexcept {
   Recorder::instance().record(TraceEvent{.cat = cat, .name = name, .ph = 'B'});

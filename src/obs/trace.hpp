@@ -1,4 +1,5 @@
-// fth::obs tracing — Chrome/Perfetto `trace_event` JSON recorder.
+// fth::obs tracing — Chrome/Perfetto `trace_event` JSON recorder, with a
+// bounded flight-recorder mode and a live feed into the profiler.
 //
 // Scoped spans (B/E pairs), instant events, and counter tracks, recorded
 // into per-thread buffers and written as a single JSON file the Perfetto UI
@@ -6,24 +7,31 @@
 // the disabled path costs one relaxed atomic load per call site: spans and
 // events check `trace_enabled()` and bail before touching any state.
 //
-// Enabling:
-//  * environment: `FTH_TRACE=<path>` traces the whole process and writes
-//    the file at trace_stop() or process exit;
-//  * programmatic: trace_start(path) ... trace_stop().
+// Three sinks share the same instrumentation points; any combination can be
+// active, and `trace_enabled()` is true while at least one is:
+//  * trace file — unbounded buffers, written at trace_stop() / process exit
+//    (`FTH_TRACE=<path>` or trace_start());
+//  * flight recorder — a bounded per-thread ring that keeps only the last
+//    `capacity` events, cheap enough to leave on for whole fault campaigns
+//    (`FTH_FLIGHT=<n_events>` or flight_start()). It is auto-dumped to a
+//    trace file when recovery escalates to abort (recovery_error) or on a
+//    fatal signal, so post-mortems carry the last milliseconds of timeline;
+//  * profiler — per-phase aggregation, see obs/profile.hpp.
 //
-// Event names and categories must be string literals (or otherwise outlive
-// the recorder) — the recorder stores the pointers, never copies, which is
-// what keeps the enabled path allocation-free. DESIGN.md §8 documents the
-// event taxonomy and track layout used across the library.
+// Event names and categories must be string literals or pointers obtained
+// from intern_name() — the recorder stores the pointers, never copies,
+// which is what keeps the enabled path allocation-free. DESIGN.md §8
+// documents the event taxonomy and track layout used across the library.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace fth::obs {
 
-/// True between trace_start() and trace_stop(). Relaxed load — safe to
-/// call from any thread at any frequency.
+/// True while any sink (trace file, flight recorder, profiler) is active.
+/// Relaxed load — safe to call from any thread at any frequency.
 [[nodiscard]] bool trace_enabled() noexcept;
 
 /// Start recording; events accumulate in memory until trace_stop(), which
@@ -32,13 +40,13 @@ namespace fth::obs {
 /// flushes.
 void trace_start(const std::string& path);
 
-/// Stop recording and write the accumulated trace (no-op when inactive).
-/// Returns the number of events written.
+/// Stop file tracing and write the accumulated trace (no-op when no file
+/// trace is active). Returns the number of events written.
 std::size_t trace_stop();
 
-/// Honour `FTH_TRACE=<path>` if set. Called once automatically from a
-/// static initializer in trace.cpp; benches also call it explicitly so the
-/// behaviour does not depend on static-init order.
+/// Honour `FTH_TRACE=<path>` and `FTH_FLIGHT=<n_events>` if set. Called
+/// once automatically from a static initializer in trace.cpp; benches also
+/// call it explicitly so the behaviour does not depend on static-init order.
 void trace_init_from_env();
 
 /// Name the calling thread's track in the trace (e.g. "device-stream").
@@ -46,7 +54,44 @@ void trace_init_from_env();
 /// `thread_name` metadata event at write time.
 void set_thread_name(const char* name);
 
+/// Copy `name` into process-lifetime storage and return a stable pointer,
+/// deduplicated by content. This is the supported way to use a dynamically
+/// built string (e.g. a per-size bench label) as an event name or category
+/// — passing a temporary's .c_str() directly would dangle, since the
+/// recorder keeps pointers until write time. Interned names survive until
+/// process exit; intern each distinct label once and reuse the pointer.
+[[nodiscard]] const char* intern_name(std::string_view name);
+
+// --- Flight recorder --------------------------------------------------------
+
+/// Start the flight recorder: each thread keeps (up to) the last `capacity`
+/// events in a preallocated ring. Enabled for the whole process by
+/// `FTH_FLIGHT=<n_events>`. Also installs best-effort fatal-signal handlers
+/// (SIGSEGV/SIGBUS/SIGILL/SIGFPE/SIGABRT) that dump the ring before
+/// re-raising.
+void flight_start(std::size_t capacity);
+
+/// True between flight_start() and flight_stop().
+[[nodiscard]] bool flight_active() noexcept;
+
+/// Write the current ring contents as a Chrome trace file and return its
+/// path ("" when the recorder is inactive or the file cannot be written).
+/// The dump carries an instant event named after `reason` on a synthetic
+/// track, and does not clear the rings — later dumps overwrite the file
+/// with fresher history. Path: `FTH_FLIGHT_PATH` if set, else
+/// `fth_flight_<pid>.json` in the working directory. Called automatically
+/// from the recovery_error constructor and the fatal-signal handlers;
+/// noexcept so it is safe mid-unwind.
+std::string flight_dump(const char* reason) noexcept;
+
+/// Stop the flight recorder (without dumping) and release the rings.
+void flight_stop();
+
 namespace detail {
+/// Microseconds on the recorder's clock (steady, zero at process start) —
+/// the timebase of every recorded event. The profiler uses it so window
+/// boundaries and span timestamps are directly comparable.
+[[nodiscard]] double now_us() noexcept;
 void begin_span(const char* cat, const char* name) noexcept;
 void begin_span(const char* cat, const char* name, const char* arg_key,
                 double arg_value) noexcept;

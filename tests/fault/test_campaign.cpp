@@ -26,6 +26,26 @@ TEST(Campaign, SingleFaultAlwaysRecovered) {
   }
 }
 
+TEST(Campaign, PerTrialMetricDeltasMatchReports) {
+  CampaignConfig cfg;
+  cfg.n = 96;
+  cfg.nb = 16;
+  cfg.trials = 5;
+  cfg.area = Area::LowerTrailing;  // online-detectable: every trial detects
+  const CampaignResult res = run_campaign(cfg);
+  ASSERT_EQ(res.trials.size(), 5u);
+  for (const auto& t : res.trials) {
+    // The Registry snapshot-delta around the faulty run must agree with
+    // the per-run report — the whole point of the scoping is that global,
+    // cumulative counters become attributable to one trial.
+    const auto it = t.metric_deltas.find("ft.detections");
+    ASSERT_NE(it, t.metric_deltas.end());
+    EXPECT_EQ(it->second, static_cast<std::uint64_t>(t.detections));
+    // Unchanged counters are omitted from the delta entirely.
+    EXPECT_EQ(t.metric_deltas.count("ft.unrecoverable"), 0u);
+  }
+}
+
 TEST(Campaign, TrailingAreaFaultsDetectedOnline) {
   CampaignConfig cfg;
   cfg.n = 96;

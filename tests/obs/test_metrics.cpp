@@ -59,16 +59,40 @@ TEST(ObsHistogram, BucketOfEdges) {
   EXPECT_EQ(Histogram::bucket_of(std::numeric_limits<double>::quiet_NaN()), 0);
   // Below the smallest resolved decade: underflow.
   EXPECT_EQ(Histogram::bucket_of(2e-19), 0);
-  // Inside the smallest decade (avoid exact powers of ten: log10 rounding).
+  EXPECT_EQ(Histogram::bucket_of(9e-19), 0);
+  // Inside the smallest decade, and exactly on its lower boundary: a decade
+  // bucket is [10^e, 10^(e+1)), so 1e-18 itself belongs to bucket 1.
   EXPECT_EQ(Histogram::bucket_of(2e-18), 1);
+  EXPECT_EQ(Histogram::bucket_of(1e-18), 1);
   // Exponent 0 sits at offset -kMinExp + 1.
   EXPECT_EQ(Histogram::bucket_of(1.0), -Histogram::kMinExp + 1);
   EXPECT_EQ(Histogram::bucket_of(5.0), -Histogram::kMinExp + 1);
-  // Largest resolved decade and beyond: overflow-clamped.
-  EXPECT_EQ(Histogram::bucket_of(5e12), Histogram::kBuckets - 1);
+  // The largest resolved decade [1e12, 1e13) is a real bucket of its own
+  // (kBuckets - 2); only values ≥ 1e13 overflow-clamp.
+  EXPECT_EQ(Histogram::bucket_of(1e12), Histogram::kBuckets - 2);
+  EXPECT_EQ(Histogram::bucket_of(5e12), Histogram::kBuckets - 2);
+  EXPECT_EQ(Histogram::bucket_of(1e13), Histogram::kBuckets - 1);
   EXPECT_EQ(Histogram::bucket_of(2e13), Histogram::kBuckets - 1);
   EXPECT_EQ(Histogram::bucket_of(std::numeric_limits<double>::infinity()),
             Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::bucket_of(-std::numeric_limits<double>::infinity()), 0);
+  EXPECT_EQ(Histogram::bucket_of(std::numeric_limits<double>::denorm_min()), 0);
+}
+
+TEST(ObsRegistry, CounterValuesAndDelta) {
+  Registry r;
+  r.counter("a").add(3);
+  r.counter("b").add(5);
+  const auto base = r.counter_values();
+  EXPECT_EQ(base.at("a"), 3u);
+  EXPECT_EQ(base.at("b"), 5u);
+  r.counter("b").add(2);
+  r.counter("c").add(1);
+  const auto delta = Registry::counter_delta(r.counter_values(), base);
+  // Unchanged counters are omitted; new and bumped ones report the delta.
+  EXPECT_EQ(delta.count("a"), 0u);
+  EXPECT_EQ(delta.at("b"), 2u);
+  EXPECT_EQ(delta.at("c"), 1u);
 }
 
 TEST(ObsHistogram, ObserveSnapshotReset) {

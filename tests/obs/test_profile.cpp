@@ -1,0 +1,213 @@
+// fth::obs profiler: the offline aggregation core (ProfileBuilder over
+// synthetic timestamps, where every expected number can be computed by
+// hand), the live window around a real FT run, name interning, and the
+// JSON emission round-tripped through the in-repo json reader.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "fault/injector.hpp"
+#include "ft/ft_gehrd.hpp"
+#include "la/generate.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+
+namespace fth {
+namespace {
+
+const obs::ProfilePhase* find_phase(const obs::ProfileReport& rep, const std::string& track,
+                                    const std::string& cat, const std::string& name) {
+  for (const auto& p : rep.phases) {
+    if (p.track == track && p.cat == cat && p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+// ---- ProfileBuilder: hand-computable synthetic trace ------------------------
+
+TEST(ProfileBuilder, AttributionOverlapAndCriticalPath) {
+  obs::ProfileBuilder b;
+  // Host track (tid 0): panel [0,100), then update [100,300) with a nested
+  // synchronize [150,200). Device track (tid 1): one task [50,250).
+  b.begin(0, "hybrid", "panel", 0.0);
+  b.end(0, 100.0);
+  b.begin(0, "hybrid", "update", 100.0);
+  b.begin(0, "stream", "synchronize", 150.0);
+  b.end(0, 200.0);
+  b.end(0, 300.0);
+  b.begin(1, "stream", "task", 50.0, /*arg=*/0.0, /*flops=*/0);
+  b.end(1, 250.0, /*flops=*/2000000);
+
+  const obs::ProfileReport rep = b.finish(/*roofline=*/1.0);
+
+  // Window length derives from the event range: 300 µs.
+  EXPECT_NEAR(rep.wall_s, 300e-6, 1e-12);
+
+  // Per-phase inclusive/self times.
+  const auto* panel = find_phase(rep, "host", "hybrid", "panel");
+  ASSERT_NE(panel, nullptr);
+  EXPECT_EQ(panel->calls, 1u);
+  EXPECT_NEAR(panel->wall_s, 100e-6, 1e-12);
+  EXPECT_NEAR(panel->self_s, 100e-6, 1e-12);
+
+  const auto* update = find_phase(rep, "host", "hybrid", "update");
+  ASSERT_NE(update, nullptr);
+  EXPECT_NEAR(update->wall_s, 200e-6, 1e-12);
+  EXPECT_NEAR(update->self_s, 150e-6, 1e-12);  // minus the nested synchronize
+
+  const auto* task = find_phase(rep, "device", "stream", "task");
+  ASSERT_NE(task, nullptr);
+  EXPECT_NEAR(task->wall_s, 200e-6, 1e-12);
+  EXPECT_EQ(task->flops, 2000000u);
+  // 2 MFLOP in 200 µs = 10 GF/s; against a 1 GF/s roofline that is 10x.
+  EXPECT_NEAR(task->gflops, 0.01 * 1000.0, 1e-6);
+  EXPECT_NEAR(task->roofline_frac, task->gflops, 1e-9);
+
+  // Overlap: device busy [50,250) = 200 µs; host waits [150,200) = 50 µs of
+  // it, so 150 µs of device work overlapped useful host work.
+  EXPECT_NEAR(rep.device_busy_s, 200e-6, 1e-12);
+  EXPECT_NEAR(rep.host_wait_s, 50e-6, 1e-12);
+  EXPECT_NEAR(rep.overlapped_s, 150e-6, 1e-12);
+  EXPECT_NEAR(rep.overlap_fraction, 0.75, 1e-9);
+  EXPECT_NEAR(rep.stream_occupancy, 200.0 / 300.0, 1e-9);
+
+  // Critical path: panel begin (0) → update end (300).
+  EXPECT_EQ(rep.iterations, 1u);
+  EXPECT_NEAR(rep.iter_avg_s, 300e-6, 1e-12);
+  EXPECT_NEAR(rep.iter_max_s, 300e-6, 1e-12);
+  EXPECT_NEAR(rep.iter_avg_panel_s, 100e-6, 1e-12);
+  EXPECT_NEAR(rep.iter_avg_update_s, 200e-6, 1e-12);
+}
+
+TEST(ProfileBuilder, UnmatchedEndsIgnoredAndLiteralInternedNamesMerge) {
+  obs::ProfileBuilder b;
+  b.end(0, 5.0);  // stray end before any begin: dropped, not a crash
+  // Same (cat, name) content through a literal and an interned copy must
+  // aggregate into one phase (pointer identity is not the key).
+  b.begin(0, "test", "phase", 10.0);
+  b.end(0, 20.0);
+  b.begin(0, obs::intern_name(std::string("te") + "st"),
+          obs::intern_name(std::string("pha") + "se"), 30.0);
+  b.end(0, 40.0);
+  const obs::ProfileReport rep = b.finish(0.0);
+  ASSERT_EQ(rep.phases.size(), 1u);
+  EXPECT_EQ(rep.phases[0].calls, 2u);
+  EXPECT_NEAR(rep.phases[0].wall_s, 20e-6, 1e-12);
+}
+
+TEST(ProfileBuilder, OpenSpansAreClosedAtFinish) {
+  obs::ProfileBuilder b;
+  b.begin(0, "test", "open", 0.0);
+  b.begin(0, "test", "inner", 40.0);
+  // finish() with no explicit wall hint closes both at the last seen ts.
+  const obs::ProfileReport rep = b.finish(0.0);
+  const auto* open = find_phase(rep, "host", "test", "open");
+  const auto* inner = find_phase(rep, "host", "test", "inner");
+  ASSERT_NE(open, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(open->calls, 1u);
+  EXPECT_EQ(inner->calls, 1u);
+}
+
+// ---- name interning ---------------------------------------------------------
+
+TEST(InternName, StableAndDeduplicated) {
+  const std::string dynamic = "n=" + std::to_string(128);
+  const char* a = obs::intern_name(dynamic);
+  const char* b = obs::intern_name("n=128");
+  const char* c = obs::intern_name("n=256");
+  EXPECT_STREQ(a, "n=128");
+  EXPECT_EQ(a, b) << "equal content must intern to one pointer";
+  EXPECT_NE(a, c);
+  // The pointer outlives the source string (copied into interned storage).
+  EXPECT_NE(static_cast<const void*>(a), static_cast<const void*>(dynamic.c_str()));
+}
+
+// ---- live profiler over a real FT run ---------------------------------------
+
+TEST(ProfileLive, FtRunProducesAttributedReport) {
+  const index_t n = 64, nb = 16;
+  hybrid::Device dev;
+  Matrix<double> a = random_matrix(n, n, 5);
+  std::vector<double> tau(static_cast<std::size_t>(n - 1));
+  fault::FaultSpec spec;
+  spec.area = fault::Area::LowerTrailing;
+  fault::Injector inj(spec, 5);
+  ft::FtReport ftrep;
+
+  obs::set_profile_roofline(25.0);
+  obs::profile_start();
+  ASSERT_TRUE(obs::profile_enabled());
+  ft::ft_gehrd(dev, a.view(), VectorView<double>(tau.data(), n - 1), {.nb = nb}, &inj, &ftrep);
+  const obs::ProfileReport rep = obs::profile_stop();
+  EXPECT_FALSE(obs::profile_enabled());
+  ASSERT_GE(ftrep.detections, 1);
+
+  EXPECT_GT(rep.wall_s, 0.0);
+  EXPECT_GT(rep.total_flops, 0u);
+  EXPECT_DOUBLE_EQ(rep.roofline_gflops, 25.0);
+  ASSERT_FALSE(rep.phases.empty());
+
+  // The driver's panel/update loop and the device worker must both show up.
+  EXPECT_NE(find_phase(rep, "host", "hybrid", "panel"), nullptr);
+  EXPECT_NE(find_phase(rep, "host", "hybrid", "update"), nullptr);
+  const auto* task = find_phase(rep, "device", "stream", "task");
+  ASSERT_NE(task, nullptr) << "device worker spans must land on a device track";
+  EXPECT_GT(task->calls, 0u);
+  EXPECT_GT(task->flops, 0u) << "trailing-update FLOPs execute inside stream tasks";
+  EXPECT_GT(task->gflops, 0.0);
+  EXPECT_GT(task->roofline_frac, 0.0);
+
+  // Overlap quantities are well-formed.
+  EXPECT_GT(rep.device_busy_s, 0.0);
+  EXPECT_GE(rep.overlap_fraction, 0.0);
+  EXPECT_LE(rep.overlap_fraction, 1.0);
+  EXPECT_GT(rep.stream_occupancy, 0.0);
+  EXPECT_LE(rep.overlapped_s, rep.device_busy_s + 1e-12);
+
+  // One blocked iteration per panel, and the critical path bounds its parts.
+  EXPECT_GT(rep.iterations, 0u);
+  EXPECT_GT(rep.iter_avg_s, 0.0);
+  EXPECT_GE(rep.iter_max_s, rep.iter_avg_s - 1e-12);
+
+  // Self time never exceeds inclusive time.
+  for (const auto& p : rep.phases) {
+    EXPECT_LE(p.self_s, p.wall_s + 1e-9) << p.cat << "/" << p.name;
+    EXPECT_GT(p.calls, 0u);
+  }
+
+  // The emitted JSON parses with the repo's reader and carries the schema
+  // EXPERIMENTS.md documents.
+  json::Value v;
+  ASSERT_NO_THROW(v = json::parse(rep.to_json()));
+  EXPECT_GT(v.at("wall_s").as_number(), 0.0);
+  EXPECT_EQ(v.at("roofline_gflops").as_number(), 25.0);
+  EXPECT_GT(v.at("total_flops").as_number(), 0.0);
+  EXPECT_GE(v.at("overlap").at("overlap_fraction").as_number(), 0.0);
+  EXPECT_GT(v.at("iterations").at("count").as_number(), 0.0);
+  ASSERT_TRUE(v.at("phases").is_array());
+  EXPECT_EQ(v.at("phases").as_array().size(), rep.phases.size());
+}
+
+TEST(ProfileLive, WindowsAreIndependent) {
+  obs::profile_start();
+  {
+    obs::TraceSpan span("test", "first-window");
+  }
+  const obs::ProfileReport first = obs::profile_stop();
+  EXPECT_NE(find_phase(first, "host", "test", "first-window"), nullptr);
+
+  obs::profile_start();
+  const obs::ProfileReport second = obs::profile_stop();
+  EXPECT_EQ(find_phase(second, "host", "test", "first-window"), nullptr)
+      << "a new window must not inherit the previous window's spans";
+
+  // Stopping without a window open is a harmless no-op.
+  const obs::ProfileReport none = obs::profile_stop();
+  EXPECT_TRUE(none.phases.empty());
+}
+
+}  // namespace
+}  // namespace fth

@@ -1,0 +1,74 @@
+// bench_compare — diff two bench report JSON files (or any JSON documents)
+// under a threshold file and exit non-zero when a gated metric regresses.
+// This is the CI perf gate: the committed BENCH_baseline.json is the
+// baseline, the freshly produced smoke-bench report the candidate, and
+// tools/thresholds_*.txt decide which metrics are gated and how tightly
+// (format documented in EXPERIMENTS.md).
+//
+//   bench_compare <baseline.json> <candidate.json> [--thresholds <file>]
+//                 [--quiet]
+//
+// Exit status: 0 all gated metrics within tolerance, 1 at least one
+// violation, 2 usage / unreadable input.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.hpp"
+#include "common/options.hpp"
+#include "obs/compare.hpp"
+
+using namespace fth;
+
+namespace {
+
+// Default gate when no --thresholds file is given: times may grow ≤10%,
+// GF/s may drop ≤10%, everything else is informational.
+constexpr const char* kDefaultThresholds =
+    "rows.*.seconds    max_increase 0.10\n"
+    "rows.*.gflops     max_decrease 0.10\n"
+    "rows.*.*_gflops   max_decrease 0.10\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt(argc, argv);
+  if (opt.positional().size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_compare <baseline.json> <candidate.json>"
+                 " [--thresholds <file>] [--quiet]\n");
+    return 2;
+  }
+
+  json::Value base, cand;
+  try {
+    base = json::parse_file(opt.positional()[0]);
+    cand = json::parse_file(opt.positional()[1]);
+  } catch (const json::parse_error& e) {
+    std::fprintf(stderr, "bench_compare: %s\n", e.what());
+    return 2;
+  }
+
+  std::vector<obs::ThresholdRule> rules;
+  try {
+    if (opt.has("thresholds")) {
+      const std::string path = opt.get("thresholds", "");
+      std::ifstream in(path);
+      if (!in) {
+        std::fprintf(stderr, "bench_compare: cannot open thresholds file '%s'\n", path.c_str());
+        return 2;
+      }
+      rules = obs::parse_thresholds(in);
+    } else {
+      std::istringstream in(kDefaultThresholds);
+      rules = obs::parse_thresholds(in);
+    }
+  } catch (const json::parse_error& e) {
+    std::fprintf(stderr, "bench_compare: %s\n", e.what());
+    return 2;
+  }
+
+  const obs::CompareResult res = obs::compare_reports(base, cand, rules);
+  if (!opt.has("quiet")) obs::print_comparison(res, stdout);
+  return res.ok() ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+// fth_prof — replay a recorded trace file (--trace / FTH_TRACE output, or a
+// flight-recorder dump) through the same aggregation core the live profiler
+// uses, and print the attribution report: per-phase wall/self time,
+// host/device overlap, stream occupancy, and the per-iteration critical
+// path. FLOP attribution is live-only (the trace does not carry FLOP
+// counts), so GF/s columns read "-" here.
+//
+//   fth_prof <trace.json> [--roofline <gf/s>] [--json]
+#include <cstdio>
+#include <string>
+
+#include "common/json.hpp"
+#include "common/options.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+
+using namespace fth;
+
+int main(int argc, char** argv) {
+  const Options opt(argc, argv);
+  if (opt.positional().size() != 1) {
+    std::fprintf(stderr, "usage: fth_prof <trace.json> [--roofline <gf/s>] [--json]\n");
+    return 2;
+  }
+
+  json::Value root;
+  try {
+    root = json::parse_file(opt.positional()[0]);
+  } catch (const json::parse_error& e) {
+    std::fprintf(stderr, "fth_prof: %s: %s\n", opt.positional()[0].c_str(), e.what());
+    return 2;
+  }
+
+  const json::Value* events = root.find("traceEvents");
+  if (events == nullptr || events->type() != json::Type::Array) {
+    std::fprintf(stderr, "fth_prof: %s: no traceEvents array\n", opt.positional()[0].c_str());
+    return 2;
+  }
+
+  obs::ProfileBuilder builder;
+  for (const json::Value& ev : events->as_array()) {
+    if (ev.type() != json::Type::Object) continue;
+    const json::Value* ph = ev.find("ph");
+    const json::Value* tid = ev.find("tid");
+    const json::Value* ts = ev.find("ts");
+    if (ph == nullptr || tid == nullptr || ph->type() != json::Type::String) continue;
+    const std::string& kind = ph->as_string();
+    const auto t = static_cast<std::uint64_t>(tid->as_number());
+    if (kind == "B") {
+      const json::Value* cat = ev.find("cat");
+      const json::Value* name = ev.find("name");
+      if (cat == nullptr || name == nullptr || ts == nullptr) continue;
+      double arg = 0.0;
+      if (const json::Value* args = ev.find("args");
+          args != nullptr && args->type() == json::Type::Object && !args->as_object().empty())
+        if (const json::Value& first = args->as_object().front().second;
+            first.type() == json::Type::Number)
+          arg = first.as_number();
+      // Parsed strings are temporaries; intern them to satisfy the
+      // builder's pointer-lifetime contract (and to merge repeats).
+      builder.begin(t, obs::intern_name(cat->as_string()), obs::intern_name(name->as_string()),
+                    ts->as_number(), arg);
+    } else if (kind == "E") {
+      if (ts != nullptr) builder.end(t, ts->as_number());
+    }
+    // 'M' thread_name metadata, 'i' instants and 'C' counters carry no
+    // duration; the builder classifies tracks behaviorally (stream/task
+    // spans), so thread names are not needed for the report.
+  }
+
+  const obs::ProfileReport report = builder.finish(opt.get_double("roofline", 0.0));
+  if (opt.has("json")) {
+    std::printf("%s\n", report.to_json().c_str());
+  } else {
+    report.print_table(stdout);
+  }
+  return 0;
+}

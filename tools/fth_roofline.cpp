@@ -1,0 +1,49 @@
+// fth_roofline — measure the dgemm roofline (GF/s) of this machine/build
+// once and print a single number, so every bench in a run_benches.sh sweep
+// shares the same per-phase GF/s denominator:
+//
+//   export FTH_ROOFLINE_GFLOPS=$(./tools/fth_roofline)
+//
+//   --n <size>   matrix size (default 512 — big enough to saturate the
+//                blocked kernel, small enough to stay under a second here)
+//   --trials     repetitions, median taken (default 3)
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/options.hpp"
+#include "common/timer.hpp"
+#include "la/blas3.hpp"
+#include "la/generate.hpp"
+#include "la/matrix.hpp"
+
+using namespace fth;
+
+namespace {
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t mid = v.size() / 2;
+  return v.size() % 2 == 1 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt(argc, argv);
+  const index_t n = opt.get_long("n", 512);
+  const int trials = static_cast<int>(opt.get_long("trials", 3));
+
+  Matrix<double> a = random_matrix(n, n, 1);
+  Matrix<double> b = random_matrix(n, n, 2);
+  Matrix<double> c(n, n);
+  std::vector<double> t;
+  for (int r = 0; r < trials; ++r) {
+    WallTimer timer;
+    blas::gemm(Trans::No, Trans::No, 1.0, a.cview(), b.cview(), 0.0, c.view());
+    t.push_back(timer.seconds());
+  }
+  const double dn = static_cast<double>(n);
+  std::printf("%.2f\n", 2.0 * dn * dn * dn / median(t) / 1e9);
+  return 0;
+}
