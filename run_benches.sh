@@ -20,6 +20,11 @@ for arg in "$@"; do
   esac
 done
 
+# Zero-overhead guard: every number below is meaningless if the fth::check
+# access/race checker is compiled into this tree (it must exist only in
+# Debug builds / -DFTH_CHECKER=ON trees, never where the benches run).
+./build/tools/fth_checkinfo --expect-off
+
 # Measure the dgemm roofline once so every bench attributes per-phase GF/s
 # against the same denominator (profile section / --profile tables).
 FTH_ROOFLINE_GFLOPS="$(./build/tools/fth_roofline)"

@@ -1,0 +1,170 @@
+// fth::check — device-space access checker and happens-before race detector.
+//
+// Two invariants of the hybrid design (CLAUDE.md, DESIGN.md §7) are
+// enforced here instead of merely documented:
+//
+//  1. Device memory is only dereferenced inside stream tasks or transfer
+//     routines. The compile-time half is the MemSpace tag on
+//     MatrixView/VectorView (a device-tagged view has no operator()/data();
+//     see la/matrix.hpp). The runtime half validates every explicit unwrap
+//     (.in_task(), hybrid::host_view) against the calling thread's context
+//     and the tracked device-allocation registry.
+//
+//  2. Host code must not touch memory an enqueued async transfer reads or
+//     writes until a happens-before edge orders the transfer before the
+//     access (the U2 race class). The checker keeps a graph over stream
+//     tasks, Event record/wait, and synchronize(): a transfer enqueued at
+//     ticket k of stream S stays "in flight" until the HOST observes an
+//     ordering edge covering k — completion on the worker alone does not
+//     retire it. That makes detection deterministic: a missing wait_event
+//     is reported on 100% of runs, independent of scheduler timing.
+//
+// Violations carry the allocation site (DeviceMatrix label), the current /
+// offending task label (interned via obs::intern_name), and for races the
+// exact missing edge ("wait an Event recorded at or after ticket N"). The
+// first violation triggers a flight-recorder dump (obs/trace.hpp) and all
+// of them bump the `check.violations` metric. FTH_CHECK_ABORT=1 upgrades
+// unexpected violations to abort for CI. DESIGN.md §10 documents the model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/hooks.hpp"
+#include "common/types.hpp"
+
+namespace fth::check {
+
+enum class ViolationKind {
+  HostDerefDevice,     ///< device view unwrapped / device range accessed from host context
+  HostViewOverDevice,  ///< host-space view constructed over device memory from host context
+  TransferRace,        ///< host touched memory of an in-flight transfer without an ordering edge
+  StreamNotIdle,       ///< host_view(view, stream) taken while the stream still had work queued
+};
+
+const char* to_string(ViolationKind k) noexcept;
+
+/// One detected violation. `alloc_site` / `task_label` are interned or
+/// static strings ("" when unknown).
+struct Violation {
+  ViolationKind kind = ViolationKind::HostDerefDevice;
+  std::string message;            ///< full human-readable report line
+  const char* alloc_site = "";    ///< DeviceMatrix / raw_allocate label, if the range is tracked
+  const char* task_label = "";    ///< label of the racing transfer / current task
+  std::uint64_t ticket = 0;       ///< stream ticket of the racing transfer (races only)
+  std::string missing_edge;       ///< the happens-before edge that would fix it (races only)
+};
+
+/// Runtime switch (meaningful only when compiled_in()). Defaults to on,
+/// overridable with FTH_CHECK=0/1 in the environment.
+void set_active(bool on) noexcept;
+
+/// Total violations recorded since process start (monotonic, survives
+/// take_violations()).
+std::uint64_t violation_count() noexcept;
+
+/// Drain and return the recorded violations (bounded; the first
+/// kMaxStoredViolations are kept, the count keeps incrementing beyond).
+std::vector<Violation> take_violations();
+
+/// Scoped expectation for seeded-violation self-tests: while at least one
+/// scope is alive, violations are still recorded and counted but neither
+/// printed to stderr nor escalated to abort (FTH_CHECK_ABORT). Scopes may
+/// nest; taken() drains only violations recorded since this scope opened.
+class ExpectViolations {
+ public:
+  ExpectViolations();
+  ~ExpectViolations();
+  ExpectViolations(const ExpectViolations&) = delete;
+  ExpectViolations& operator=(const ExpectViolations&) = delete;
+
+  /// Violations recorded since construction (drains them from the store).
+  std::vector<Violation> taken();
+
+ private:
+  std::uint64_t start_count_ = 0;
+};
+
+// --- Runtime wiring (called by hybrid::Stream / Device / transfers). -------
+// All of these are cheap no-op stubs when the checker is compiled out, and
+// bail on one relaxed load when compiled in but inactive.
+
+#if FTH_CHECK_ENABLED
+
+/// Register / release a device allocation. `site` must be a static or
+/// interned string; it becomes the "allocation site" of every report that
+/// touches the range. Each registration gets a fresh epoch.
+void on_device_alloc(const void* p, std::size_t bytes, const char* site) noexcept;
+void on_device_free(const void* p) noexcept;
+
+/// RAII worker-thread task context (stream worker loop, between-task hooks).
+class TaskScope {
+ public:
+  TaskScope(const void* stream, const char* label, std::uint64_t ticket) noexcept {
+    auto& ctx = detail::t_ctx;
+    prev_ = ctx;
+    ctx.stream = stream;
+    ctx.task_label = label;
+    ctx.ticket = ticket;
+    ++ctx.depth;
+  }
+  ~TaskScope() { detail::t_ctx = prev_; }
+  TaskScope(const TaskScope&) = delete;
+  TaskScope& operator=(const TaskScope&) = delete;
+
+ private:
+  detail::ThreadCtx prev_;
+};
+
+/// An async transfer was enqueued at `ticket` on `stream`. The host-side
+/// rectangle {p, rows, cols, ld} (elements of size `elem`) becomes a live
+/// range; `host_is_dst` tells the conflict rule (d2h writes the host range,
+/// so even host reads race; h2d only reads it, so host reads are fine).
+/// `dev_base` is the device side, used to resolve the allocation site.
+void on_transfer_enqueued(const void* stream, std::uint64_t ticket, bool host_is_dst,
+                          const char* label, const void* p, std::size_t elem,
+                          index_t rows, index_t cols, index_t ld,
+                          const void* dev_base) noexcept;
+
+/// The HOST thread observed completion of everything up to `ticket` on
+/// `stream` (Event::wait / Event::ready()==true on an event recorded at
+/// `ticket`, or Stream::synchronize covering the tail). Retires transfers
+/// and propagates cross-stream edges.
+void on_host_ordered(const void* stream, std::uint64_t ticket) noexcept;
+
+/// A worker thread (stream `waiter`, inside the task at `wait_ticket`)
+/// waits on an event recorded at `src_ticket` of `src`: once the host
+/// orders `waiter` past `wait_ticket`, it has transitively ordered `src`
+/// up to `src_ticket`.
+void on_cross_stream_wait(const void* waiter, std::uint64_t wait_ticket,
+                          const void* src, std::uint64_t src_ticket) noexcept;
+
+/// Stream teardown: the destructor joins the worker after the queue
+/// drains, which is a host-side ordering of the whole stream.
+void on_stream_destroyed(const void* stream, std::uint64_t tail_ticket) noexcept;
+
+/// host_view(view, stream) gate: flags when the stream was not idle.
+void require_stream_idle(bool idle, const void* p, const char* what) noexcept;
+
+#else
+
+class TaskScope {
+ public:
+  TaskScope(const void*, const char*, std::uint64_t) noexcept {}
+};
+inline void on_device_alloc(const void*, std::size_t, const char*) noexcept {}
+inline void on_device_free(const void*) noexcept {}
+inline void on_transfer_enqueued(const void*, std::uint64_t, bool, const char*,
+                                 const void*, std::size_t, index_t, index_t,
+                                 index_t, const void*) noexcept {}
+inline void on_host_ordered(const void*, std::uint64_t) noexcept {}
+inline void on_cross_stream_wait(const void*, std::uint64_t, const void*,
+                                 std::uint64_t) noexcept {}
+inline void on_stream_destroyed(const void*, std::uint64_t) noexcept {}
+inline void require_stream_idle(bool, const void*, const char*) noexcept {}
+
+#endif  // FTH_CHECK_ENABLED
+
+}  // namespace fth::check

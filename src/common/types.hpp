@@ -11,6 +11,13 @@ namespace fth {
 /// reverse loops and differences are safe (C++ Core Guidelines ES.100-107).
 using index_t = std::int64_t;
 
+/// Memory space a view's storage lives in. Views are tagged with their
+/// space (see la/matrix.hpp); device-tagged views cannot be dereferenced
+/// by host code without going through an explicit, checked gate, which is
+/// what turns the "device memory is only touched inside stream tasks or
+/// transfer routines" convention into a type error (DESIGN.md §10).
+enum class MemSpace : unsigned char { Host, Device };
+
 /// Operation applied to a matrix operand of a BLAS call.
 enum class Trans : char { No = 'N', Yes = 'T' };
 

@@ -124,6 +124,14 @@ class FaultPlane {
   /// worker thread, host surfaces only between tasks — both race-free.
   void register_surface(Surface s, MatrixView<double> view,
                         SurfaceShape shape = SurfaceShape::Full);
+  /// Device-surface overload. The plane dereferences device surfaces only
+  /// from the stream worker thread (every fire path runs inside a task or
+  /// the task/transfer hooks), so unwrapping the space tag here does not
+  /// widen the discipline the checker enforces elsewhere.
+  void register_surface(Surface s, MatrixView<double, MemSpace::Device> view,
+                        SurfaceShape shape = SurfaceShape::Full) {
+    register_surface(s, view.unchecked_host_view(), shape);
+  }
   void clear_surface(Surface s);
   /// Additionally mark a transfer destination as fault-eligible under the
   /// given surface label. Transfer* triggers fire only on transfers whose
@@ -131,6 +139,9 @@ class FaultPlane {
   /// that keeps transfer faults inside the protected domain (striking a
   /// shipped operand would be silently undetectable, see above).
   void add_transfer_target(Surface tag, MatrixView<double> view);
+  void add_transfer_target(Surface tag, MatrixView<double, MemSpace::Device> view) {
+    add_transfer_target(tag, view.unchecked_host_view());
+  }
   void clear_transfer_targets();
   /// Triggers are gated until the driver finished its initial encoding: a
   /// strike before the checksums exist is encoded consistently and becomes

@@ -80,19 +80,19 @@ class FtGebrdDriver {
         rep_(rep),
         st_(st),
         n_(a.rows()),
-        d_a_(dev, n_, n_),
-        d_v2_(dev, n_, std::max<index_t>(opt.nb, 1)),
-        d_y2_(dev, n_, std::max<index_t>(opt.nb, 1)),
-        d_x2_(dev, n_, std::max<index_t>(opt.nb, 1)),
-        d_u2_(dev, std::max<index_t>(opt.nb, 1), n_),
-        d_chkc_(dev, n_, 1),
-        d_chkr_(dev, n_, 1),
-        d_ones_(dev, n_, 1),
-        d_vec_(dev, n_, 1),
-        d_res_(dev, n_, 1),
-        d_sums_(dev, std::max<index_t>(opt.nb, 1), 4),
-        d_pc_(dev, n_, 2),
-        d_fresh_(dev, n_, 2),
+        d_a_(dev, n_, n_, "gebrd.ft.d_a"),
+        d_v2_(dev, n_, std::max<index_t>(opt.nb, 1), "gebrd.ft.d_v2"),
+        d_y2_(dev, n_, std::max<index_t>(opt.nb, 1), "gebrd.ft.d_y2"),
+        d_x2_(dev, n_, std::max<index_t>(opt.nb, 1), "gebrd.ft.d_x2"),
+        d_u2_(dev, std::max<index_t>(opt.nb, 1), n_, "gebrd.ft.d_u2"),
+        d_chkc_(dev, n_, 1, "gebrd.ft.d_chkc"),
+        d_chkr_(dev, n_, 1, "gebrd.ft.d_chkr"),
+        d_ones_(dev, n_, 1, "gebrd.ft.d_ones"),
+        d_vec_(dev, n_, 1, "gebrd.ft.d_vec"),
+        d_res_(dev, n_, 1, "gebrd.ft.d_res"),
+        d_sums_(dev, std::max<index_t>(opt.nb, 1), 4, "gebrd.ft.d_sums"),
+        d_pc_(dev, n_, 2, "gebrd.ft.d_pc"),
+        d_fresh_(dev, n_, 2, "gebrd.ft.d_fresh"),
         x_host_(n_, std::max<index_t>(opt.nb, 1)),
         y_host_(n_, std::max<index_t>(opt.nb, 1)),
         ckpt_cols_(n_, std::max<index_t>(opt.nb, 1)),
@@ -164,11 +164,9 @@ class FtGebrdDriver {
     obs::TraceSpan span("ft", "encode", "n", static_cast<double>(n_));
     copy_h2d_async(s_, MatrixView<const double>(a_), d_a_.view());
     hybrid::fill_async(s_, d_ones_.view(), 1.0);
-    auto ones = VectorView<const double>(d_ones_.view().col(0));
-    hybrid::gemv_async(s_, Trans::No, 1.0, MatrixView<const double>(d_a_.view()), ones, 0.0,
-                       d_chkc_.view().col(0));
-    hybrid::gemv_async(s_, Trans::Yes, 1.0, MatrixView<const double>(d_a_.view()), ones, 0.0,
-                       d_chkr_.view().col(0));
+    auto ones = d_ones_.view().col(0);
+    hybrid::gemv_async(s_, Trans::No, 1.0, d_a_.view(), ones, 0.0, d_chkc_.view().col(0));
+    hybrid::gemv_async(s_, Trans::Yes, 1.0, d_a_.view(), ones, 0.0, d_chkr_.view().col(0));
     s_.synchronize();
     rep_.encode_seconds += t.seconds();
     // Faults are gated until the codes exist: an earlier strike would be
@@ -215,12 +213,10 @@ class FtGebrdDriver {
       // Column panel rows ≥ i only: the rows above hold finished host data
       // (P's Householder storage and the superdiagonal) whose device copy is
       // stale by design.
-      copy_d2h_async(s_, MatrixView<const double>(d_a_.block(i, i, n_ - i, ib)),
-                     a_.block(i, i, n_ - i, ib));
-      copy_d2h_async(s_, MatrixView<const double>(d_a_.block(i, i + ib, ib, tn)),
-                     a_.block(i, i + ib, ib, tn));
-      copy_d2h_async(s_, MatrixView<const double>(d_chkc_.view()), ckpt_chkc_.view());
-      copy_d2h(s_, MatrixView<const double>(d_chkr_.view()), ckpt_chkr_.view());
+      copy_d2h_async(s_, d_a_.block(i, i, n_ - i, ib), a_.block(i, i, n_ - i, ib));
+      copy_d2h_async(s_, d_a_.block(i, i + ib, ib, tn), a_.block(i, i + ib, ib, tn));
+      copy_d2h_async(s_, d_chkc_.view(), ckpt_chkc_.view());
+      copy_d2h(s_, d_chkr_.view(), ckpt_chkr_.view());
       fth::copy(MatrixView<const double>(a_.block(i, i, n_ - i, ib)),
                 ckpt_cols_.block(0, 0, n_ - i, ib));
       fth::copy(MatrixView<const double>(a_.block(i, i + ib, ib, tn)),
@@ -250,11 +246,10 @@ class FtGebrdDriver {
               const index_t nlen = n_ - cj - 1;
               copy_h2d_async(s_, MatrixView<const double>(v.data(), mlen, 1, mlen),
                              d_vec_.block(0, 0, mlen, 1));
-              hybrid::gemv_async(s_, Trans::Yes, 1.0,
-                                 MatrixView<const double>(d_a_.block(cj, cj + 1, mlen, nlen)),
-                                 VectorView<const double>(d_vec_.view().col(0).sub(0, mlen)), 0.0,
+              hybrid::gemv_async(s_, Trans::Yes, 1.0, d_a_.block(cj, cj + 1, mlen, nlen),
+                                 d_vec_.view().col(0).sub(0, mlen), 0.0,
                                  d_res_.view().col(0).sub(0, nlen));
-              copy_d2h(s_, MatrixView<const double>(d_res_.block(0, 0, nlen, 1)),
+              copy_d2h(s_, d_res_.block(0, 0, nlen, 1),
                        MatrixView<double>(ycol.data(), nlen, 1, nlen));
               // Tripwire: a non-finite product means a NaN/Inf strike
               // reached the trailing matrix mid-panel.
@@ -267,11 +262,10 @@ class FtGebrdDriver {
               Matrix<double> dense(nlen, 1);
               for (index_t r = 0; r < nlen; ++r) dense(r, 0) = u[r];
               copy_h2d_async(s_, dense.cview(), d_vec_.block(0, 0, nlen, 1));
-              hybrid::gemv_async(s_, Trans::No, 1.0,
-                                 MatrixView<const double>(d_a_.block(cj + 1, cj + 1, nlen, nlen)),
-                                 VectorView<const double>(d_vec_.view().col(0).sub(0, nlen)), 0.0,
+              hybrid::gemv_async(s_, Trans::No, 1.0, d_a_.block(cj + 1, cj + 1, nlen, nlen),
+                                 d_vec_.view().col(0).sub(0, nlen), 0.0,
                                  d_res_.view().col(0).sub(0, nlen));
-              copy_d2h(s_, MatrixView<const double>(d_res_.block(0, 0, nlen, 1)),
+              copy_d2h(s_, d_res_.block(0, 0, nlen, 1),
                        MatrixView<double>(xcol.data(), nlen, 1, nlen));
               for (index_t r = 0; r < nlen; ++r)
                 if (!std::isfinite(xcol[r])) throw panel_poisoned_error{};
@@ -305,12 +299,12 @@ class FtGebrdDriver {
       // only restore the pivots after it completed (see the wait below).
       const hybrid::Event operands_shipped = s_.record();
 
-      auto v2 = MatrixView<const double>(d_v2_.block(0, 0, tn, ib));
-      auto y2 = MatrixView<const double>(d_y2_.block(0, 0, tn, ib));
-      auto x2 = MatrixView<const double>(d_x2_.block(0, 0, tn, ib));
-      auto u2 = MatrixView<const double>(d_u2_.block(0, 0, ib, tn));
-      auto ones_tn = VectorView<const double>(d_ones_.view().col(0).sub(0, tn));
-      auto ones_ib = VectorView<const double>(d_ones_.view().col(0).sub(0, ib));
+      auto v2 = d_v2_.block(0, 0, tn, ib);
+      auto y2 = d_y2_.block(0, 0, tn, ib);
+      auto x2 = d_x2_.block(0, 0, tn, ib);
+      auto u2 = d_u2_.block(0, 0, ib, tn);
+      auto ones_tn = d_ones_.view().col(0).sub(0, tn);
+      auto ones_ib = d_ones_.view().col(0).sub(0, ib);
 
       // Aggregate sums for the checksum algebra.
       hybrid::gemv_async(s_, Trans::Yes, 1.0, y2, ones_tn, 0.0, d_sums_.view().col(0).sub(0, ib));
@@ -319,28 +313,24 @@ class FtGebrdDriver {
       hybrid::gemv_async(s_, Trans::Yes, 1.0, x2, ones_tn, 0.0, d_sums_.view().col(3).sub(0, ib));
       // Old panel-column / panel-row contributions (the device's panel data
       // is still pristine start-of-iteration state).
-      hybrid::gemv_async(s_, Trans::No, 1.0,
-                         MatrixView<const double>(d_a_.block(i + ib, i, tn, ib)), ones_ib, 0.0,
+      hybrid::gemv_async(s_, Trans::No, 1.0, d_a_.block(i + ib, i, tn, ib), ones_ib, 0.0,
                          d_pc_.view().col(0).sub(0, tn));
-      hybrid::gemv_async(s_, Trans::Yes, 1.0,
-                         MatrixView<const double>(d_a_.block(i, i + ib, ib, tn)), ones_ib, 0.0,
+      hybrid::gemv_async(s_, Trans::Yes, 1.0, d_a_.block(i, i + ib, ib, tn), ones_ib, 0.0,
                          d_pc_.view().col(1).sub(0, tn));
 
       // Maintained checksums, trailing segments:
       //   Δchk_col = −pc_cols − V2·(Y2ᵀe) − X2·(U2·e)
       //   Δchk_row = −pc_rows − Y2·(V2ᵀe) − U2ᵀ·(X2ᵀe)
-      auto sy2 = VectorView<const double>(d_sums_.view().col(0).sub(0, ib));
-      auto su2 = VectorView<const double>(d_sums_.view().col(1).sub(0, ib));
-      auto sv2 = VectorView<const double>(d_sums_.view().col(2).sub(0, ib));
-      auto sx2 = VectorView<const double>(d_sums_.view().col(3).sub(0, ib));
+      auto sy2 = d_sums_.view().col(0).sub(0, ib);
+      auto su2 = d_sums_.view().col(1).sub(0, ib);
+      auto sv2 = d_sums_.view().col(2).sub(0, ib);
+      auto sx2 = d_sums_.view().col(3).sub(0, ib);
       auto chkc_tail = d_chkc_.view().col(0).sub(i + ib, tn);
       auto chkr_tail = d_chkr_.view().col(0).sub(i + ib, tn);
-      hybrid::axpy_async(s_, -1.0, VectorView<const double>(d_pc_.view().col(0).sub(0, tn)),
-                         chkc_tail);
+      hybrid::axpy_async(s_, -1.0, d_pc_.view().col(0).sub(0, tn), chkc_tail);
       hybrid::gemv_async(s_, Trans::No, -1.0, v2, sy2, 1.0, chkc_tail);
       hybrid::gemv_async(s_, Trans::No, -1.0, x2, su2, 1.0, chkc_tail);
-      hybrid::axpy_async(s_, -1.0, VectorView<const double>(d_pc_.view().col(1).sub(0, tn)),
-                         chkr_tail);
+      hybrid::axpy_async(s_, -1.0, d_pc_.view().col(1).sub(0, tn), chkr_tail);
       hybrid::gemv_async(s_, Trans::No, -1.0, y2, sv2, 1.0, chkr_tail);
       hybrid::gemv_async(s_, Trans::Yes, -1.0, u2, sx2, 1.0, chkr_tail);
 
@@ -381,13 +371,11 @@ class FtGebrdDriver {
         seg(j, 0) = a_(r, r) + a_(r, r + 1);                       // row sum of B row r
         seg(j, 1) = a_(r, r) + (r > 0 ? a_(r - 1, r) : 0.0);       // col sum of B col r
       }
-      copy_h2d_async(s_, MatrixView<const double>(seg.block(0, 0, ib, 1)),
-                     MatrixView<double>(&d_chkc_.view()(i, 0), ib, 1, d_chkc_.view().ld()));
-      copy_h2d_async(s_, MatrixView<const double>(seg.block(0, 1, ib, 1)),
-                     MatrixView<double>(&d_chkr_.view()(i, 0), ib, 1, d_chkr_.view().ld()));
+      copy_h2d_async(s_, seg.block(0, 0, ib, 1), d_chkc_.block(i, 0, ib, 1));
+      copy_h2d_async(s_, seg.block(0, 1, ib, 1), d_chkr_.block(i, 0, ib, 1));
       const double e_last = e_[i + ib - 1];
       auto cr = d_chkr_.view();
-      s_.enqueue([cr, i, ib, e_last]() mutable { cr(i + ib, 0) += e_last; });
+      s_.enqueue("ft.couple", [cr, i, ib, e_last] { cr.in_task()(i + ib, 0) += e_last; });
       s_.synchronize();
     }
     st_.update_seconds += update_timer.seconds();
@@ -406,13 +394,12 @@ class FtGebrdDriver {
     }
     if (i2 >= n_) return fresh;
     const index_t tn = n_ - i2;
-    hybrid::gemv_async(s_, col ? Trans::Yes : Trans::No, 1.0,
-                       MatrixView<const double>(d_a_.block(i2, i2, tn, tn)),
-                       VectorView<const double>(d_ones_.view().col(0).sub(0, tn)), 0.0,
+    hybrid::gemv_async(s_, col ? Trans::Yes : Trans::No, 1.0, d_a_.block(i2, i2, tn, tn),
+                       d_ones_.view().col(0).sub(0, tn), 0.0,
                        d_fresh_.view().col(0).sub(0, tn));
     std::vector<double> trail(static_cast<std::size_t>(tn));
-    s_.enqueue([this, tn, &trail] {
-      auto f = d_fresh_.view().col(0);
+    s_.enqueue("ft.fresh_readback", [this, tn, &trail] {
+      auto f = d_fresh_.view().col(0).in_task();
       for (index_t r = 0; r < tn; ++r) trail[static_cast<std::size_t>(r)] = f[r];
     });
     s_.synchronize();
@@ -426,8 +413,8 @@ class FtGebrdDriver {
 
   std::vector<double> fetch_chk(bool col) {
     std::vector<double> out(static_cast<std::size_t>(n_));
-    s_.enqueue([this, &out, col] {
-      auto c = (col ? d_chkr_.view() : d_chkc_.view()).col(0);
+    s_.enqueue("ft.chk_readback", [this, &out, col] {
+      auto c = (col ? d_chkr_.view() : d_chkc_.view()).col(0).in_task();
       for (index_t r = 0; r < n_; ++r) out[static_cast<std::size_t>(r)] = c[r];
     });
     s_.synchronize();
@@ -570,13 +557,11 @@ class FtGebrdDriver {
     if (completed) {
       // Reverse the two trailing GEMMs exactly (retained operands). A
       // poisoned panel never applied them.
-      hybrid::gemm_async(s_, Trans::No, Trans::Yes, 1.0,
-                         MatrixView<const double>(d_v2_.block(0, 0, tn, ib)),
-                         MatrixView<const double>(d_y2_.block(0, 0, tn, ib)), 1.0,
+      hybrid::gemm_async(s_, Trans::No, Trans::Yes, 1.0, d_v2_.block(0, 0, tn, ib),
+                         d_y2_.block(0, 0, tn, ib), 1.0,
                          d_a_.block(i + ib, i + ib, tn, tn));
-      hybrid::gemm_async(s_, Trans::No, Trans::No, 1.0,
-                         MatrixView<const double>(d_x2_.block(0, 0, tn, ib)),
-                         MatrixView<const double>(d_u2_.block(0, 0, ib, tn)), 1.0,
+      hybrid::gemm_async(s_, Trans::No, Trans::No, 1.0, d_x2_.block(0, 0, tn, ib),
+                         d_u2_.block(0, 0, ib, tn), 1.0,
                          d_a_.block(i + ib, i + ib, tn, tn));
     }
     // Drain before touching the checkpoints from the host: in-flight faults
@@ -647,10 +632,12 @@ class FtGebrdDriver {
     auto rv = ref.view();
     auto cc = d_chkc_.view();
     auto cr = d_chkr_.view();
-    s_.enqueue([rv, cc, cr, n = n_]() mutable {
+    s_.enqueue("ft.ckpt_readback", [rv, cc, cr, n = n_]() mutable {
+      auto cch = cc.in_task();
+      auto crh = cr.in_task();
       for (index_t r = 0; r < n; ++r) {
-        rv(r, 0) = cc(r, 0);
-        rv(r, 1) = cr(r, 0);
+        rv(r, 0) = cch(r, 0);
+        rv(r, 1) = crh(r, 0);
       }
     });
     s_.synchronize();
@@ -679,10 +666,8 @@ class FtGebrdDriver {
     // the iteration (the panels are factored on the host, the GEMMs start
     // at i+ib), so they still hold the exact pre-iteration image.
     const index_t tn = n_ - i - ib;
-    copy_d2h_async(s_, MatrixView<const double>(d_a_.block(i, i, n_ - i, ib)),
-                   ckpt_cols_.block(0, 0, n_ - i, ib));
-    copy_d2h(s_, MatrixView<const double>(d_a_.block(i, i + ib, ib, tn)),
-             ckpt_rows_.block(0, 0, ib, tn));
+    copy_d2h_async(s_, d_a_.block(i, i, n_ - i, ib), ckpt_cols_.block(0, 0, n_ - i, ib));
+    copy_d2h(s_, d_a_.block(i, i + ib, ib, tn), ckpt_rows_.block(0, 0, ib, tn));
     panel_checkpoint_sums(ckpt_sum1_, ckpt_sum2_, i, ib);
     ++rep_.ckpt_rederivations;
     obs::counter_metric("ft.ckpt_rederivations").add();
@@ -714,7 +699,7 @@ class FtGebrdDriver {
   void set_element(index_t row, index_t col, double v, index_t i) {
     if (row >= i && col >= i) {
       auto da = d_a_.view();
-      s_.enqueue([da, row, col, v]() mutable { da(row, col) = v; });
+      s_.enqueue("ft.correct", [da, row, col, v] { da.in_task()(row, col) = v; });
       s_.synchronize();
     } else {
       a_(row, col) = v;
@@ -761,7 +746,7 @@ class FtGebrdDriver {
         const double f = fixed_row[static_cast<std::size_t>(r)];
         if (!std::isfinite(f))
           throw recovery_error("ft_gebrd: non-finite checksum with non-finite fresh sum");
-        s_.enqueue([cc, r, f]() mutable { cc(r, 0) = f; });
+        s_.enqueue("ft.correct", [cc, r, f] { cc.in_task()(r, 0) = f; });
         synced = true;
         ++ev.checksum_corrections;
       }
@@ -769,7 +754,7 @@ class FtGebrdDriver {
         const double f = fixed_col[static_cast<std::size_t>(r)];
         if (!std::isfinite(f))
           throw recovery_error("ft_gebrd: non-finite checksum with non-finite fresh sum");
-        s_.enqueue([cr, r, f]() mutable { cr(r, 0) = f; });
+        s_.enqueue("ft.correct", [cr, r, f] { cr.in_task()(r, 0) = f; });
         synced = true;
         ++ev.checksum_corrections;
       }
@@ -781,7 +766,7 @@ class FtGebrdDriver {
     auto da = d_a_.view();
     for (const auto& err : res.data_errors) {
       if (err.row >= i && err.col >= i) {
-        s_.enqueue([da, err]() mutable { da(err.row, err.col) -= err.delta; });
+        s_.enqueue("ft.correct", [da, err] { da.in_task()(err.row, err.col) -= err.delta; });
         s_.synchronize();
       } else {
         a_(err.row, err.col) -= err.delta;
@@ -791,12 +776,12 @@ class FtGebrdDriver {
     }
     auto cc = d_chkc_.view();
     for (const auto& c : res.chk_col_errors) {
-      s_.enqueue([cc, c]() mutable { cc(c.index, 0) = c.fresh; });
+      s_.enqueue("ft.correct", [cc, c] { cc.in_task()(c.index, 0) = c.fresh; });
       ++ev.checksum_corrections;
     }
     auto cr = d_chkr_.view();
     for (const auto& c : res.chk_row_errors) {
-      s_.enqueue([cr, c]() mutable { cr(c.index, 0) = c.fresh; });
+      s_.enqueue("ft.correct", [cr, c] { cr.in_task()(c.index, 0) = c.fresh; });
       ++ev.checksum_corrections;
     }
     s_.synchronize();
@@ -810,7 +795,10 @@ class FtGebrdDriver {
       if (f.row >= i_next && f.col >= i_next) {
         auto da = d_a_.view();
         const auto ff = f;
-        s_.enqueue([da, ff]() mutable { da(ff.row, ff.col) = ff.apply(da(ff.row, ff.col)); });
+        s_.enqueue("fault.inject", [da, ff] {
+          auto dah = da.in_task();
+          dah(ff.row, ff.col) = ff.apply(dah(ff.row, ff.col));
+        });
         device_faults = true;
       } else {
         // Finished rows hold P's Householder storage; finished columns
@@ -825,8 +813,7 @@ class FtGebrdDriver {
   }
 
   void final_phase() {
-    copy_d2h(s_, MatrixView<const double>(d_a_.block(n_ - 1, n_ - 1, 1, 1)),
-             a_.block(n_ - 1, n_ - 1, 1, 1));
+    copy_d2h(s_, d_a_.block(n_ - 1, n_ - 1, 1, 1), a_.block(n_ - 1, n_ - 1, 1, 1));
 
     if (opt_.final_sweep) {
       rep_.final_sweep_ran = true;
@@ -853,8 +840,7 @@ class FtGebrdDriver {
             .add(static_cast<std::uint64_t>(ev.data_corrections));
         obs::counter_metric("ft.checksum_corrections")
             .add(static_cast<std::uint64_t>(ev.checksum_corrections));
-        copy_d2h(s_, MatrixView<const double>(d_a_.block(n_ - 1, n_ - 1, 1, 1)),
-                 a_.block(n_ - 1, n_ - 1, 1, 1));
+        copy_d2h(s_, d_a_.block(n_ - 1, n_ - 1, 1, 1), a_.block(n_ - 1, n_ - 1, 1, 1));
       }
       rep_.detect_seconds += t.seconds();
     }

@@ -94,12 +94,12 @@ class FtDriver {
         rep_(rep),
         st_(st),
         n_(a.rows()),
-        d_e_(dev, n_ + 1, n_ + 1),
-        d_vce_(dev, n_, std::max<index_t>(opt.nb, 1)),
-        d_t_(dev, std::max<index_t>(opt.nb, 1), std::max<index_t>(opt.nb, 1)),
-        d_yce_(dev, n_ + 1, std::max<index_t>(opt.nb, 1)),
-        d_w_(dev, std::max<index_t>(opt.nb, 1), n_ + 1),
-        d_ones_(dev, n_ + 1, 1),
+        d_e_(dev, n_ + 1, n_ + 1, "ft.d_e"),
+        d_vce_(dev, n_, std::max<index_t>(opt.nb, 1), "ft.d_vce"),
+        d_t_(dev, std::max<index_t>(opt.nb, 1), std::max<index_t>(opt.nb, 1), "ft.d_t"),
+        d_yce_(dev, n_ + 1, std::max<index_t>(opt.nb, 1), "ft.d_yce"),
+        d_w_(dev, std::max<index_t>(opt.nb, 1), n_ + 1, "ft.d_w"),
+        d_ones_(dev, n_ + 1, 1, "ft.d_ones"),
         t_host_(std::max<index_t>(opt.nb, 1), std::max<index_t>(opt.nb, 1)),
         y_host_(n_, std::max<index_t>(opt.nb, 1)),
         ckpt_(n_, std::max<index_t>(opt.nb, 1)),
@@ -162,18 +162,17 @@ class FtDriver {
     obs::TraceSpan span("ft", "encode", "n", static_cast<double>(n_));
     copy_h2d_async(s_, MatrixView<const double>(a_), d_e_.block(0, 0, n_, n_));
     hybrid::fill_async(s_, d_ones_.view(), 1.0);
-    auto ones_n = VectorView<const double>(d_ones_.view().col(0).data(), n_, 1);
+    auto ones_n = d_ones_.view().col(0).sub(0, n_);
     // Checksum column: row sums.
-    hybrid::gemv_async(s_, Trans::No, 1.0,
-                       MatrixView<const double>(d_e_.block(0, 0, n_, n_)), ones_n, 0.0,
+    hybrid::gemv_async(s_, Trans::No, 1.0, d_e_.block(0, 0, n_, n_), ones_n, 0.0,
                        d_e_.block(0, n_, n_, 1).col(0));
     // Checksum row: column sums; corner: grand total.
     auto e = d_e_.view();
-    hybrid::gemv_async(s_, Trans::Yes, 1.0,
-                       MatrixView<const double>(d_e_.block(0, 0, n_, n_)), ones_n, 0.0,
+    hybrid::gemv_async(s_, Trans::Yes, 1.0, d_e_.block(0, 0, n_, n_), ones_n, 0.0,
                        e.row(n_).sub(0, n_));
-    s_.enqueue([e, n = n_]() mutable {
-      e(n, n) = blas::sum(VectorView<const double>(e.row(n).sub(0, n).data(), n, e.ld()));
+    s_.enqueue("ft.encode_corner", [e, n = n_] {
+      auto eh = e.in_task();
+      eh(n, n) = blas::sum(VectorView<const double>(eh.row(n).sub(0, n)));
     });
     s_.synchronize();
     rep_.encode_seconds += t.seconds();
@@ -219,9 +218,9 @@ class FtDriver {
     WallTimer panel_timer;
     {
       obs::TraceSpan ckpt_span("ft", "checkpoint_save", "col", static_cast<double>(i));
-      copy_d2h_async(s_, MatrixView<const double>(d_e_.block(0, i, n_, ib)),
+      copy_d2h_async(s_, d_e_.block(0, i, n_, ib),
                      a_.block(0, i, n_, ib));
-      copy_d2h(s_, MatrixView<const double>(d_e_.block(n_, i, 1, ib)),
+      copy_d2h(s_, d_e_.block(n_, i, 1, ib),
                ckpt_chkrow_.block(0, 0, 1, ib));
       fth::copy(MatrixView<const double>(a_.block(0, i, n_, ib)), ckpt_.block(0, 0, n_, ib));
       // The d2h that filled ckpt_chkrow_ is itself fault-eligible, and the
@@ -251,12 +250,11 @@ class FtDriver {
               auto d_vcol = d_vce_.block(j, j, vj.size(), 1);
               copy_h2d_async(s_, MatrixView<const double>(vj.data(), vj.size(), 1, vj.size()),
                              d_vcol);
-              hybrid::gemv_async(
-                  s_, Trans::No, 1.0,
-                  MatrixView<const double>(d_e_.block(i + 1, cj + 1, vrows, n_ - cj - 1)),
-                  VectorView<const double>(d_vcol.col(0)), 0.0,
-                  d_yce_.block(i + 1, j, vrows, 1).col(0));
-              copy_d2h(s_, MatrixView<const double>(d_yce_.block(i + 1, j, vrows, 1)),
+              hybrid::gemv_async(s_, Trans::No, 1.0,
+                                 d_e_.block(i + 1, cj + 1, vrows, n_ - cj - 1),
+                                 d_vcol.col(0), 0.0,
+                                 d_yce_.block(i + 1, j, vrows, 1).col(0));
+              copy_d2h(s_, d_yce_.block(i + 1, j, vrows, 1),
                        MatrixView<double>(y_col.data(), vrows, 1, vrows));
               // Tripwire: a non-finite y means a NaN/Inf strike reached the
               // trailing matrix mid-panel. Applying the reflector chain
@@ -288,49 +286,48 @@ class FtDriver {
       copy_h2d_async(s_, y_host_.block(i + 1, 0, vrows, ib), d_yce_.block(i + 1, 0, vrows, ib));
 
       // Line 7: column checksums of V (device GEMV with the ones vector).
-      auto ones_v = VectorView<const double>(d_ones_.view().col(0).data(), vrows, 1);
+      auto ones_v = d_ones_.view().col(0).sub(0, vrows);
       auto dv = d_vce_.view();
-      s_.enqueue([this, dv, ones_v, vrows, ib]() mutable {
+      s_.enqueue("ft.v_chk", [this, dv, ones_v, vrows, ib] {
         WallTimer t;
-        blas::gemv(Trans::Yes, 1.0, MatrixView<const double>(dv.block(0, 0, vrows, ib)), ones_v,
-                   0.0, dv.row(vrows).sub(0, ib));
+        auto dvh = dv.in_task();
+        blas::gemv(Trans::Yes, 1.0, MatrixView<const double>(dvh.block(0, 0, vrows, ib)),
+                   VectorView<const double>(ones_v.in_task()), 0.0,
+                   dvh.row(vrows).sub(0, ib));
         chk_update_seconds_ += t.seconds();
       });
 
       // Top rows of Yce: Y(0:i+1,:) = A(0:i+1, i+1:n)·V·T.
-      hybrid::gemm_async(s_, Trans::No, Trans::No, 1.0,
-                         MatrixView<const double>(d_e_.block(0, i + 1, i + 1, vrows)),
-                         MatrixView<const double>(d_vce_.block(0, 0, vrows, ib)), 0.0,
-                         d_yce_.block(0, 0, i + 1, ib));
+      hybrid::gemm_async(s_, Trans::No, Trans::No, 1.0, d_e_.block(0, i + 1, i + 1, vrows),
+                         d_vce_.block(0, 0, vrows, ib), 0.0, d_yce_.block(0, 0, i + 1, ib));
       hybrid::trmm_async(s_, Side::Right, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0,
-                         MatrixView<const double>(d_t_.block(0, 0, ib, ib)),
-                         d_yce_.block(0, 0, i + 1, ib));
+                         d_t_.block(0, 0, ib, ib), d_yce_.block(0, 0, i + 1, ib));
 
       // Line 6: checksum row of Y, Ychk = Ac_chk(i+1:n)·V·T (device).
       auto dy = d_yce_.view();
       auto dt = d_t_.view();
-      s_.enqueue([this, e, dv, dy, dt, i, ib, vrows]() mutable {
+      s_.enqueue("ft.y_chk", [this, e, dv, dy, dt, i, ib, vrows] {
         WallTimer t;
-        auto chk_seg = VectorView<const double>(&e(n_, i + 1), vrows, e.ld());
-        auto ychk = dy.row(n_).sub(0, ib);
-        blas::gemv(Trans::Yes, 1.0, MatrixView<const double>(dv.block(0, 0, vrows, ib)), chk_seg,
-                   0.0, ychk);
+        auto eh = e.in_task();
+        auto chk_seg = VectorView<const double>(eh.row(n_).sub(i + 1, vrows));
+        auto ychk = dy.in_task().row(n_).sub(0, ib);
+        blas::gemv(Trans::Yes, 1.0, MatrixView<const double>(dv.in_task().block(0, 0, vrows, ib)),
+                   chk_seg, 0.0, ychk);
         blas::trmv(Uplo::Upper, Trans::Yes, Diag::NonUnit,
-                   MatrixView<const double>(dt.block(0, 0, ib, ib)), ychk);
+                   MatrixView<const double>(dt.in_task().block(0, 0, ib, ib)), ychk);
         chk_update_seconds_ += t.seconds();
       });
 
       // Fetch the finished top rows of Y for the host-side panel fix.
-      copy_d2h_async(s_, MatrixView<const double>(d_yce_.block(0, 0, i + 1, ib)),
+      copy_d2h_async(s_, d_yce_.block(0, 0, i + 1, ib),
                      y_host_.block(0, 0, i + 1, ib));
       const hybrid::Event y_upper_ready = s_.record();
 
       // Line 8+10: extended right update, M and G plus both checksums in one
       // GEMM over the trailing columns and the checksum column.
-      hybrid::gemm_async(s_, Trans::No, Trans::Yes, -1.0,
-                         MatrixView<const double>(d_yce_.block(0, 0, n_ + 1, ib)),
-                         MatrixView<const double>(d_vce_.block(ib - 1, 0, vrows - ib + 2, ib)),
-                         1.0, d_e_.block(0, i + ib, n_ + 1, width));
+      hybrid::gemm_async(s_, Trans::No, Trans::Yes, -1.0, d_yce_.block(0, 0, n_ + 1, ib),
+                         d_vce_.block(ib - 1, 0, vrows - ib + 2, ib), 1.0,
+                         d_e_.block(0, i + ib, n_ + 1, width));
 
       // BetweenUpdates faults strike here: after the extended right update,
       // before the left one (enqueued, so ordering on the stream is exact).
@@ -354,16 +351,13 @@ class FtDriver {
       }
 
       // Line 11: extended left update; W is retained for reverse computation.
-      hybrid::gemm_async(s_, Trans::Yes, Trans::No, 1.0,
-                         MatrixView<const double>(d_vce_.block(0, 0, vrows, ib)),
-                         MatrixView<const double>(d_e_.block(i + 1, i + ib, vrows, width)), 0.0,
+      hybrid::gemm_async(s_, Trans::Yes, Trans::No, 1.0, d_vce_.block(0, 0, vrows, ib),
+                         d_e_.block(i + 1, i + ib, vrows, width), 0.0,
                          d_w_.block(0, 0, ib, width));
       hybrid::trmm_async(s_, Side::Left, Uplo::Upper, Trans::Yes, Diag::NonUnit, 1.0,
-                         MatrixView<const double>(d_t_.block(0, 0, ib, ib)),
-                         d_w_.block(0, 0, ib, width));
-      hybrid::gemm_async(s_, Trans::No, Trans::No, -1.0,
-                         MatrixView<const double>(d_vce_.block(0, 0, vrows + 1, ib)),
-                         MatrixView<const double>(d_w_.block(0, 0, ib, width)), 1.0,
+                         d_t_.block(0, 0, ib, ib), d_w_.block(0, 0, ib, width));
+      hybrid::gemm_async(s_, Trans::No, Trans::No, -1.0, d_vce_.block(0, 0, vrows + 1, ib),
+                         d_w_.block(0, 0, ib, width), 1.0,
                          d_e_.block(i + 1, i + ib, vrows + 1, width));
 
       // The panel columns transition from "trailing data" (checksummed over
@@ -495,16 +489,17 @@ class FtDriver {
     obs::TraceSpan span("ft", "detect");
     DetectResult det;
     auto e = d_e_.view();
-    s_.enqueue([e, n = n_, first_col, &det] {
-      const double sre = blas::sum(VectorView<const double>(&e(0, n), n, 1));
-      const double sce = blas::sum(VectorView<const double>(&e(n, 0), n, e.ld()));
+    s_.enqueue("ft.detect", [e, n = n_, first_col, &det] {
+      auto eh = e.in_task();
+      const double sre = blas::sum(VectorView<const double>(eh.col(n).sub(0, n)));
+      const double sce = blas::sum(VectorView<const double>(eh.row(n).sub(0, n)));
       det.gap = std::abs(sre - sce);
       index_t nf = 0;
       for (index_t c = first_col; c <= n; ++c)
         for (index_t r = 0; r <= n; ++r)
-          if (!std::isfinite(e(r, c))) ++nf;
+          if (!std::isfinite(eh(r, c))) ++nf;
       for (index_t c = 0; c < first_col; ++c)
-        if (!std::isfinite(e(n, c))) ++nf;
+        if (!std::isfinite(eh(n, c))) ++nf;
       det.nonfinite = nf;
     });
     s_.synchronize();
@@ -525,14 +520,16 @@ class FtDriver {
     auto dy = d_yce_.view();
     auto dw = d_w_.view();
     if (completed) {
-      s_.enqueue([e, dv, dy, dw, i, ib, vrows, width]() mutable {
+      s_.enqueue("ft.reverse_update", [e, dv, dy, dw, i, ib, vrows, width] {
         // Undo the left update first (it was applied last), then the right.
-        reverse_left_update(e.block(i + 1, i + ib, vrows + 1, width),
-                            MatrixView<const double>(dv.block(0, 0, vrows + 1, ib)),
-                            MatrixView<const double>(dw.block(0, 0, ib, width)));
-        reverse_right_update(e.block(0, i + ib, e.rows(), width),
-                             MatrixView<const double>(dy.block(0, 0, e.rows(), ib)),
-                             MatrixView<const double>(dv.block(ib - 1, 0, vrows - ib + 2, ib)));
+        auto eh = e.in_task();
+        auto dvh = dv.in_task();
+        reverse_left_update(eh.block(i + 1, i + ib, vrows + 1, width),
+                            dvh.block(0, 0, vrows + 1, ib),
+                            dw.in_task().block(0, 0, ib, width));
+        reverse_right_update(eh.block(0, i + ib, eh.rows(), width),
+                             dy.in_task().block(0, 0, eh.rows(), ib),
+                             dvh.block(ib - 1, 0, vrows - ib + 2, ib));
       });
     }
     // Drain before touching the checkpoint from the host: in-flight faults
@@ -547,8 +544,7 @@ class FtDriver {
     // re-encodes the segment anyway).
     fth::copy(MatrixView<const double>(ckpt_.block(0, 0, n_, ib)), a_.block(0, i, n_, ib));
     if (completed) {
-      copy_h2d(s_, MatrixView<const double>(ckpt_chkrow_.block(0, 0, 1, ib)),
-               d_e_.block(n_, i, 1, ib));
+      copy_h2d(s_, ckpt_chkrow_.block(0, 0, 1, ib), d_e_.block(n_, i, 1, ib));
     }
   }
 
@@ -597,8 +593,9 @@ class FtDriver {
     Matrix<double> ref(1, ib);
     auto e = d_e_.view();
     auto rv = ref.view();
-    s_.enqueue([e, rv, i, ib, n = n_]() mutable {
-      for (index_t j = 0; j < ib; ++j) rv(0, j) = e(n, i + j);
+    s_.enqueue("ft.chkrow_readback", [e, rv, i, ib, n = n_]() mutable {
+      auto eh = e.in_task();
+      for (index_t j = 0; j < ib; ++j) rv(0, j) = eh(n, i + j);
     });
     s_.synchronize();
     for (index_t j = 0; j < ib; ++j) {
@@ -622,7 +619,7 @@ class FtDriver {
       // pre-image is NOT touched here — its truth is the maintained code,
       // which may legitimately disagree with the panel data (that
       // disagreement locates a fault that was saved into the checkpoint).
-      copy_d2h(s_, MatrixView<const double>(d_e_.block(0, i, n_, ib)), ckpt_.block(0, 0, n_, ib));
+      copy_d2h(s_, d_e_.block(0, i, n_, ib), ckpt_.block(0, 0, n_, ib));
       panel_checkpoint_sums(ckpt_sum1_, ckpt_sum2_, ib);
       ++rep_.ckpt_rederivations;
       obs::counter_metric("ft.ckpt_rederivations").add();
@@ -644,8 +641,9 @@ class FtDriver {
       if (!completed) {
         auto e = d_e_.view();
         auto cv = ckpt_chkrow_.view();
-        s_.enqueue([e, cv, i, ib, n = n_]() mutable {
-          for (index_t j = 0; j < ib; ++j) cv(0, j) = e(n, i + j);
+        s_.enqueue("ft.chkrow_readback", [e, cv, i, ib, n = n_]() mutable {
+          auto eh = e.in_task();
+          for (index_t j = 0; j < ib; ++j) cv(0, j) = eh(n, i + j);
         });
         s_.synchronize();
       } else {
@@ -677,16 +675,16 @@ class FtDriver {
     auto e = d_e_.view();
     for (const auto& err : res.data_errors) {
       if (err.col >= i) {
-        s_.enqueue([e, err]() mutable { e(err.row, err.col) -= err.delta; });
+        s_.enqueue("ft.correct", [e, err] { e.in_task()(err.row, err.col) -= err.delta; });
       } else {
         a_(err.row, err.col) -= err.delta;
       }
     }
     for (const auto& c : res.chk_col_errors) {
-      s_.enqueue([e, c, n = n_]() mutable { e(c.index, n) = c.fresh; });
+      s_.enqueue("ft.correct", [e, c, n = n_] { e.in_task()(c.index, n) = c.fresh; });
     }
     for (const auto& c : res.chk_row_errors) {
-      s_.enqueue([e, c, n = n_]() mutable { e(n, c.index) = c.fresh; });
+      s_.enqueue("ft.correct", [e, c, n = n_] { e.in_task()(n, c.index) = c.fresh; });
     }
     int chk_repairs = 0;
     if (!res.reconstructions.empty()) chk_repairs = reconstruct(res.reconstructions, i);
@@ -719,7 +717,7 @@ class FtDriver {
       const double v = code - rest;
       ext(t.row, t.col) = v;
       if (t.col >= i) {
-        s_.enqueue([e, t, v]() mutable { e(t.row, t.col) = v; });
+        s_.enqueue("ft.reconstruct", [e, t, v] { e.in_task()(t.row, t.col) = v; });
       } else {
         a_(t.row, t.col) = v;
       }
@@ -739,7 +737,7 @@ class FtDriver {
       if (!std::isfinite(f))
         throw recovery_error("non-finite checksum column with non-finite fresh row sum");
       ext(r, n_) = f;
-      s_.enqueue([e, r, n = n_, f]() mutable { e(r, n) = f; });
+      s_.enqueue("ft.reconstruct", [e, r, n = n_, f] { e.in_task()(r, n) = f; });
       ++chk_repairs;
     }
     for (index_t c = 0; c < n_; ++c) {
@@ -748,14 +746,14 @@ class FtDriver {
       if (!std::isfinite(f))
         throw recovery_error("non-finite checksum row with non-finite fresh column sum");
       ext(n_, c) = f;
-      s_.enqueue([e, c, n = n_, f]() mutable { e(n, c) = f; });
+      s_.enqueue("ft.reconstruct", [e, c, n = n_, f] { e.in_task()(n, c) = f; });
       ++chk_repairs;
     }
     if (!std::isfinite(ext(n_, n_))) {
       double corner = 0.0;
       for (index_t c = 0; c < n_; ++c) corner += ext(n_, c);
       ext(n_, n_) = corner;
-      s_.enqueue([e, n = n_, corner]() mutable { e(n, n) = corner; });
+      s_.enqueue("ft.reconstruct", [e, n = n_, corner] { e.in_task()(n, n) = corner; });
       ++chk_repairs;
     }
     return chk_repairs;
@@ -767,7 +765,10 @@ class FtDriver {
     bool device_faults = false;
     for (const auto& f : due) {
       if (f.col >= i_next) {
-        s_.enqueue([e, f]() mutable { e(f.row, f.col) = f.apply(e(f.row, f.col)); });
+        s_.enqueue("fault.inject", [e, f] {
+          auto eh = e.in_task();
+          eh(f.row, f.col) = f.apply(eh(f.row, f.col));
+        });
         device_faults = true;
       } else {
         a_(f.row, f.col) = f.apply(a_(f.row, f.col));
@@ -811,8 +812,7 @@ class FtDriver {
     }
 
     // Bring down the last column (never part of any panel).
-    copy_d2h(s_, MatrixView<const double>(d_e_.block(0, n_ - 1, n_, 1)),
-             a_.block(0, n_ - 1, n_, 1));
+    copy_d2h(s_, d_e_.block(0, n_ - 1, n_, 1), a_.block(0, n_ - 1, n_, 1));
 
     // Section IV-E: verify + correct the Householder storage once.
     if (opt_.protect_q) {

@@ -91,16 +91,16 @@ class FtSytrdDriver {
         rep_(rep),
         st_(st),
         n_(a.rows()),
-        d_a_(dev, n_, n_),
-        d_v_(dev, n_, std::max<index_t>(opt.nb, 1)),
-        d_w_(dev, n_, std::max<index_t>(opt.nb, 1)),
-        d_chke_(dev, n_, 1),
-        d_chkw_(dev, n_, 1),
-        d_ones_(dev, n_, 1),
-        d_wvec_(dev, n_, 1),
-        d_sums_(dev, std::max<index_t>(opt.nb, 1), 4),
-        d_pc_(dev, n_, 2),
-        d_fresh_(dev, n_, 1),
+        d_a_(dev, n_, n_, "sytrd.ft.d_a"),
+        d_v_(dev, n_, std::max<index_t>(opt.nb, 1), "sytrd.ft.d_v"),
+        d_w_(dev, n_, std::max<index_t>(opt.nb, 1), "sytrd.ft.d_w"),
+        d_chke_(dev, n_, 1, "sytrd.ft.d_chke"),
+        d_chkw_(dev, n_, 1, "sytrd.ft.d_chkw"),
+        d_ones_(dev, n_, 1, "sytrd.ft.d_ones"),
+        d_wvec_(dev, n_, 1, "sytrd.ft.d_wvec"),
+        d_sums_(dev, std::max<index_t>(opt.nb, 1), 4, "sytrd.ft.d_sums"),
+        d_pc_(dev, n_, 2, "sytrd.ft.d_pc"),
+        d_fresh_(dev, n_, 1, "sytrd.ft.d_fresh"),
         w_host_(n_, std::max<index_t>(opt.nb, 1)),
         ckpt_(n_, std::max<index_t>(opt.nb, 1)),
         ckpt_chke_(n_, 1),
@@ -173,15 +173,14 @@ class FtSytrdDriver {
     obs::TraceSpan span("ft", "encode", "n", static_cast<double>(n_));
     copy_h2d_async(s_, MatrixView<const double>(a_), d_a_.view());
     hybrid::fill_async(s_, d_ones_.view(), 1.0);
-    s_.enqueue([wv = d_wvec_.view()]() mutable {
-      for (index_t r = 0; r < wv.rows(); ++r) wv(r, 0) = static_cast<double>(r + 1);
+    s_.enqueue("ft.iota", [wv = d_wvec_.view()] {
+      auto wvh = wv.in_task();
+      for (index_t r = 0; r < wvh.rows(); ++r) wvh(r, 0) = static_cast<double>(r + 1);
     });
     // chk_e = A_sym·e, chk_w = A_sym·ω (device SYMVs over the lower triangle).
-    hybrid::symv_async(s_, Uplo::Lower, 1.0, MatrixView<const double>(d_a_.view()),
-                       VectorView<const double>(d_ones_.view().col(0)), 0.0,
+    hybrid::symv_async(s_, Uplo::Lower, 1.0, d_a_.view(), d_ones_.view().col(0), 0.0,
                        d_chke_.view().col(0));
-    hybrid::symv_async(s_, Uplo::Lower, 1.0, MatrixView<const double>(d_a_.view()),
-                       VectorView<const double>(d_wvec_.view().col(0)), 0.0,
+    hybrid::symv_async(s_, Uplo::Lower, 1.0, d_a_.view(), d_wvec_.view().col(0), 0.0,
                        d_chkw_.view().col(0));
     s_.synchronize();
     rep_.encode_seconds += t.seconds();
@@ -232,10 +231,9 @@ class FtSytrdDriver {
     WallTimer panel_timer;
     {
       obs::TraceSpan ckpt_span("ft", "checkpoint_save", "col", static_cast<double>(i));
-      copy_d2h_async(s_, MatrixView<const double>(d_a_.block(0, i, n_, ib)),
-                     a_.block(0, i, n_, ib));
-      copy_d2h_async(s_, MatrixView<const double>(d_chke_.view()), ckpt_chke_.view());
-      copy_d2h(s_, MatrixView<const double>(d_chkw_.view()), ckpt_chkw_.view());
+      copy_d2h_async(s_, d_a_.block(0, i, n_, ib), a_.block(0, i, n_, ib));
+      copy_d2h_async(s_, d_chke_.view(), ckpt_chke_.view());
+      copy_d2h(s_, d_chkw_.view(), ckpt_chkw_.view());
       fth::copy(MatrixView<const double>(a_.block(0, i, n_, ib)), ckpt_.block(0, 0, n_, ib));
       // The d2h that filled the vector checkpoints is itself fault-eligible
       // and the dual-sum verify can only vouch for what was stored, not for
@@ -261,10 +259,9 @@ class FtSytrdDriver {
               auto d_vcol = d_v_.block(j, j, vlen, 1);
               copy_h2d_async(s_, MatrixView<const double>(vj.data(), vlen, 1, vlen), d_vcol);
               hybrid::symv_async(s_, Uplo::Lower, 1.0,
-                                 MatrixView<const double>(d_a_.block(cj + 1, cj + 1, vlen, vlen)),
-                                 VectorView<const double>(d_vcol.col(0)),
-                                 0.0, d_w_.block(j, j, vlen, 1).col(0));
-              copy_d2h(s_, MatrixView<const double>(d_w_.block(j, j, vlen, 1)),
+                                 d_a_.block(cj + 1, cj + 1, vlen, vlen), d_vcol.col(0), 0.0,
+                                 d_w_.block(j, j, vlen, 1).col(0));
+              copy_d2h(s_, d_w_.block(j, j, vlen, 1),
                        MatrixView<double>(w_col.data(), vlen, 1, vlen));
               // Tripwire: a non-finite w means a NaN/Inf strike reached the
               // trailing matrix mid-panel. Abandon the panel before any
@@ -301,12 +298,12 @@ class FtSytrdDriver {
       //              + e_last·vec(i+ib−1) for r == i+ib           [coupling]
       // and panel rows i..i+ib−1 become plain tridiagonal rows, re-encoded
       // from the finished host data (their pre-images are checkpointed).
-      auto v2 = MatrixView<const double>(d_v_.block(ib - 1, 0, tn, ib));
-      auto w2 = MatrixView<const double>(d_w_.block(ib - 1, 0, tn, ib));
-      auto ones_tn = VectorView<const double>(d_ones_.view().col(0).sub(0, tn));
-      auto ones_ib = VectorView<const double>(d_ones_.view().col(0).sub(0, ib));
-      auto wvec_tail = VectorView<const double>(d_wvec_.view().col(0).sub(i + ib, tn));
-      auto wvec_panel = VectorView<const double>(d_wvec_.view().col(0).sub(i, ib));
+      auto v2 = d_v_.block(ib - 1, 0, tn, ib);
+      auto w2 = d_w_.block(ib - 1, 0, tn, ib);
+      auto ones_tn = d_ones_.view().col(0).sub(0, tn);
+      auto ones_ib = d_ones_.view().col(0).sub(0, ib);
+      auto wvec_tail = d_wvec_.view().col(0).sub(i + ib, tn);
+      auto wvec_panel = d_wvec_.view().col(0).sub(i, ib);
 
       // Tail column sums of V2/W2 against e and ω (paper line 6/7 analogues).
       hybrid::gemv_async(s_, Trans::Yes, 1.0, v2, ones_tn, 0.0, d_sums_.view().col(0).sub(0, ib));
@@ -315,24 +312,22 @@ class FtSytrdDriver {
       hybrid::gemv_async(s_, Trans::Yes, 1.0, w2, wvec_tail, 0.0, d_sums_.view().col(3).sub(0, ib));
       // Old panel-column contributions of the trailing rows (the device's
       // panel columns still hold the pristine start-of-iteration values).
-      auto panel_tail = MatrixView<const double>(d_a_.block(i + ib, i, tn, ib));
+      auto panel_tail = d_a_.block(i + ib, i, tn, ib);
       hybrid::gemv_async(s_, Trans::No, 1.0, panel_tail, ones_ib, 0.0,
                          d_pc_.view().col(0).sub(0, tn));
       hybrid::gemv_async(s_, Trans::No, 1.0, panel_tail, wvec_panel, 0.0,
                          d_pc_.view().col(1).sub(0, tn));
 
-      auto se_v2 = VectorView<const double>(d_sums_.view().col(0).sub(0, ib));
-      auto se_w2 = VectorView<const double>(d_sums_.view().col(1).sub(0, ib));
-      auto sw_v2 = VectorView<const double>(d_sums_.view().col(2).sub(0, ib));
-      auto sw_w2 = VectorView<const double>(d_sums_.view().col(3).sub(0, ib));
+      auto se_v2 = d_sums_.view().col(0).sub(0, ib);
+      auto se_w2 = d_sums_.view().col(1).sub(0, ib);
+      auto sw_v2 = d_sums_.view().col(2).sub(0, ib);
+      auto sw_w2 = d_sums_.view().col(3).sub(0, ib);
       auto chke_tail = d_chke_.view().col(0).sub(i + ib, tn);
       auto chkw_tail = d_chkw_.view().col(0).sub(i + ib, tn);
-      hybrid::axpy_async(s_, -1.0, VectorView<const double>(d_pc_.view().col(0).sub(0, tn)),
-                         chke_tail);
+      hybrid::axpy_async(s_, -1.0, d_pc_.view().col(0).sub(0, tn), chke_tail);
       hybrid::gemv_async(s_, Trans::No, -1.0, v2, se_w2, 1.0, chke_tail);
       hybrid::gemv_async(s_, Trans::No, -1.0, w2, se_v2, 1.0, chke_tail);
-      hybrid::axpy_async(s_, -1.0, VectorView<const double>(d_pc_.view().col(1).sub(0, tn)),
-                         chkw_tail);
+      hybrid::axpy_async(s_, -1.0, d_pc_.view().col(1).sub(0, tn), chkw_tail);
       hybrid::gemv_async(s_, Trans::No, -1.0, v2, sw_w2, 1.0, chkw_tail);
       hybrid::gemv_async(s_, Trans::No, -1.0, w2, sw_v2, 1.0, chkw_tail);
 
@@ -367,16 +362,14 @@ class FtSytrdDriver {
         seg(j, 1) = dl * static_cast<double>(r) + dd * static_cast<double>(r + 1) +
                     du * static_cast<double>(r + 2);
       }
-      copy_h2d_async(s_, MatrixView<const double>(seg.block(0, 0, ib, 1)),
-                     MatrixView<double>(&d_chke_.view()(i, 0), ib, 1, d_chke_.view().ld()));
-      copy_h2d_async(s_, MatrixView<const double>(seg.block(0, 1, ib, 1)),
-                     MatrixView<double>(&d_chkw_.view()(i, 0), ib, 1, d_chkw_.view().ld()));
+      copy_h2d_async(s_, seg.block(0, 0, ib, 1), d_chke_.block(i, 0, ib, 1));
+      copy_h2d_async(s_, seg.block(0, 1, ib, 1), d_chkw_.block(i, 0, ib, 1));
       const double e_last = e_[i + ib - 1];
       auto ce = d_chke_.view();
       auto cw = d_chkw_.view();
-      s_.enqueue([ce, cw, i, ib, e_last]() mutable {
-        ce(i + ib, 0) += e_last;
-        cw(i + ib, 0) += e_last * static_cast<double>(i + ib);  // weight of col i+ib−1
+      s_.enqueue("ft.couple", [ce, cw, i, ib, e_last] {
+        ce.in_task()(i + ib, 0) += e_last;
+        cw.in_task()(i + ib, 0) += e_last * static_cast<double>(i + ib);  // weight of col i+ib−1
       });
       s_.synchronize();
     }
@@ -402,13 +395,11 @@ class FtSytrdDriver {
     const index_t tn = n_ - i2;
     auto vec = weighted ? d_wvec_.view().col(0).sub(i2, tn)
                         : d_ones_.view().col(0).sub(0, tn);
-    hybrid::symv_async(s_, Uplo::Lower, 1.0,
-                       MatrixView<const double>(d_a_.block(i2, i2, tn, tn)),
-                       VectorView<const double>(vec), 0.0,
+    hybrid::symv_async(s_, Uplo::Lower, 1.0, d_a_.block(i2, i2, tn, tn), vec, 0.0,
                        d_fresh_.view().col(0).sub(0, tn));
     std::vector<double> trail(static_cast<std::size_t>(tn));
-    s_.enqueue([this, tn, &trail] {
-      auto f = d_fresh_.view().col(0);
+    s_.enqueue("ft.fresh_readback", [this, tn, &trail] {
+      auto f = d_fresh_.view().col(0).in_task();
       for (index_t r = 0; r < tn; ++r) trail[static_cast<std::size_t>(r)] = f[r];
     });
     s_.synchronize();
@@ -422,8 +413,8 @@ class FtSytrdDriver {
 
   std::vector<double> fetch_chk(bool weighted) {
     std::vector<double> out(static_cast<std::size_t>(n_));
-    s_.enqueue([this, &out, weighted] {
-      auto c = (weighted ? d_chkw_.view() : d_chke_.view()).col(0);
+    s_.enqueue("ft.chk_readback", [this, &out, weighted] {
+      auto c = (weighted ? d_chkw_.view() : d_chke_.view()).col(0).in_task();
       for (index_t r = 0; r < n_; ++r) out[static_cast<std::size_t>(r)] = c[r];
     });
     s_.synchronize();
@@ -531,9 +522,8 @@ class FtSytrdDriver {
     if (completed) {
       // Reverse the trailing rank-2k exactly (deterministic kernel, same
       // retained operands). A poisoned panel never applied it.
-      hybrid::syr2k_async(s_, Uplo::Lower, Trans::No, 1.0,
-                          MatrixView<const double>(d_v_.block(ib - 1, 0, tn, ib)),
-                          MatrixView<const double>(d_w_.block(ib - 1, 0, tn, ib)), 1.0,
+      hybrid::syr2k_async(s_, Uplo::Lower, Trans::No, 1.0, d_v_.block(ib - 1, 0, tn, ib),
+                          d_w_.block(ib - 1, 0, tn, ib), 1.0,
                           d_a_.block(i + ib, i + ib, tn, tn));
     }
     // Drain before touching the checkpoints from the host: in-flight faults
@@ -595,10 +585,12 @@ class FtSytrdDriver {
     auto rv = ref.view();
     auto ce = d_chke_.view();
     auto cw = d_chkw_.view();
-    s_.enqueue([rv, ce, cw, n = n_]() mutable {
+    s_.enqueue("ft.ckpt_readback", [rv, ce, cw, n = n_]() mutable {
+      auto ceh = ce.in_task();
+      auto cwh = cw.in_task();
       for (index_t r = 0; r < n; ++r) {
-        rv(r, 0) = ce(r, 0);
-        rv(r, 1) = cw(r, 0);
+        rv(r, 0) = ceh(r, 0);
+        rv(r, 1) = cwh(r, 0);
       }
     });
     s_.synchronize();
@@ -627,7 +619,7 @@ class FtSytrdDriver {
     // panel columns are never written during the iteration (the panel is
     // factored on the host, the rank-2k starts at column i+ib), so they
     // still hold the exact pre-iteration image.
-    copy_d2h(s_, MatrixView<const double>(d_a_.block(0, i, n_, ib)), ckpt_.block(0, 0, n_, ib));
+    copy_d2h(s_, d_a_.block(0, i, n_, ib), ckpt_.block(0, 0, n_, ib));
     panel_checkpoint_sums(ckpt_sum1_, ckpt_sum2_, ib);
     ++rep_.ckpt_rederivations;
     obs::counter_metric("ft.ckpt_rederivations").add();
@@ -670,7 +662,7 @@ class FtSytrdDriver {
     const index_t q = nf_rows.front();  // p == q → diagonal element
     if (q >= i) {
       auto da = d_a_.view();
-      s_.enqueue([da, p, q]() mutable { da(p, q) = 0.0; });
+      s_.enqueue("ft.reconstruct", [da, p, q] { da.in_task()(p, q) = 0.0; });
       s_.synchronize();
     } else {
       a_(p, q) = 0.0;
@@ -687,7 +679,7 @@ class FtSytrdDriver {
     const double v = code - rest;
     if (q >= i) {
       auto da = d_a_.view();
-      s_.enqueue([da, p, q, v]() mutable { da(p, q) = v; });
+      s_.enqueue("ft.reconstruct", [da, p, q, v] { da.in_task()(p, q) = v; });
       s_.synchronize();
     } else {
       a_(p, q) = v;
@@ -724,7 +716,7 @@ class FtSytrdDriver {
       for (index_t r = 0; r < n_; ++r) {
         const double fe = fresh_e[static_cast<std::size_t>(r)];
         if (!std::isfinite(chke[static_cast<std::size_t>(r)]) && std::isfinite(fe)) {
-          s_.enqueue([ce, r, fe]() mutable { ce(r, 0) = fe; });
+          s_.enqueue("ft.correct", [ce, r, fe] { ce.in_task()(r, 0) = fe; });
           synced = true;
           ++ev.checksum_corrections;
         }
@@ -732,7 +724,7 @@ class FtSytrdDriver {
           if (fresh_w_nf.empty()) fresh_w_nf = fresh_sums(i, true);
           const double fw = fresh_w_nf[static_cast<std::size_t>(r)];
           if (std::isfinite(fw)) {
-            s_.enqueue([cw, r, fw]() mutable { cw(r, 0) = fw; });
+            s_.enqueue("ft.correct", [cw, r, fw] { cw.in_task()(r, 0) = fw; });
             synced = true;
             ++ev.checksum_corrections;
           }
@@ -775,7 +767,7 @@ class FtSytrdDriver {
         // Repair by re-encoding from the fresh value.
         auto cw = d_chkw_.view();
         const double fw = fresh_w[static_cast<std::size_t>(f.row)];
-        s_.enqueue([cw, f, fw]() mutable { cw(f.row, 0) = fw; });
+        s_.enqueue("ft.correct", [cw, f, fw] { cw.in_task()(f.row, 0) = fw; });
         s_.synchronize();
         ++ev.checksum_corrections;
         continue;
@@ -791,7 +783,7 @@ class FtSytrdDriver {
         if (std::abs(f.dw) <= threshold_ * static_cast<double>(n_)) {
           auto ce = d_chke_.view();
           const double fe = fresh_e[static_cast<std::size_t>(f.row)];
-          s_.enqueue([ce, f, fe]() mutable { ce(f.row, 0) = fe; });
+          s_.enqueue("ft.correct", [ce, f, fe] { ce.in_task()(f.row, 0) = fe; });
           s_.synchronize();
           ++ev.checksum_corrections;
           continue;
@@ -805,7 +797,7 @@ class FtSytrdDriver {
       const double delta = f.de;
       if (qq >= i) {
         auto da = d_a_.view();
-        s_.enqueue([da, p, qq, delta]() mutable { da(p, qq) -= delta; });
+        s_.enqueue("ft.correct", [da, p, qq, delta] { da.in_task()(p, qq) -= delta; });
         s_.synchronize();
       } else {
         a_(p, qq) -= delta;  // finished (tridiagonal) region on the host
@@ -834,7 +826,10 @@ class FtSytrdDriver {
       const index_t q = std::min(f.row, f.col);
       if (q >= i_next) {
         auto da = d_a_.view();
-        s_.enqueue([da, p, q, f]() mutable { da(p, q) = f.apply(da(p, q)); });
+        s_.enqueue("fault.inject", [da, p, q, f] {
+          auto dah = da.in_task();
+          dah(p, q) = f.apply(dah(p, q));
+        });
         device_faults = true;
       } else {
         a_(p, q) = f.apply(a_(p, q));
@@ -848,8 +843,7 @@ class FtSytrdDriver {
 
   void final_phase() {
     // Fetch the last diagonal element (never part of a panel).
-    copy_d2h(s_, MatrixView<const double>(d_a_.block(n_ - 1, n_ - 1, 1, 1)),
-             a_.block(n_ - 1, n_ - 1, 1, 1));
+    copy_d2h(s_, d_a_.block(n_ - 1, n_ - 1, 1, 1), a_.block(n_ - 1, n_ - 1, 1, 1));
 
     if (opt_.final_sweep) {
       rep_.final_sweep_ran = true;
@@ -889,8 +883,7 @@ class FtSytrdDriver {
         obs::counter_metric("ft.checksum_corrections")
             .add(static_cast<std::uint64_t>(ev.checksum_corrections));
         // Refresh the host copy of the last element if it was the target.
-        copy_d2h(s_, MatrixView<const double>(d_a_.block(n_ - 1, n_ - 1, 1, 1)),
-                 a_.block(n_ - 1, n_ - 1, 1, 1));
+        copy_d2h(s_, d_a_.block(n_ - 1, n_ - 1, 1, 1), a_.block(n_ - 1, n_ - 1, 1, 1));
       }
       rep_.detect_seconds += t.seconds();
     }

@@ -8,73 +8,74 @@
 
 namespace fth::hybrid {
 
-void gemm_async(Stream& s, Trans ta, Trans tb, double alpha, MatrixView<const double> a,
-                MatrixView<const double> b, double beta, MatrixView<double> c) {
-  s.enqueue([=] {
+void gemm_async(Stream& s, Trans ta, Trans tb, double alpha, DMatrixView<const double> a,
+                DMatrixView<const double> b, double beta, DMatrixView<double> c) {
+  s.enqueue("dev.gemm", [=] {
     obs::TraceSpan span("dev_blas", "gemm");
-    blas::gemm(ta, tb, alpha, a, b, beta, c);
+    blas::gemm(ta, tb, alpha, a.in_task(), b.in_task(), beta, c.in_task());
   });
 }
 
-void gemv_async(Stream& s, Trans trans, double alpha, MatrixView<const double> a,
-                VectorView<const double> x, double beta, VectorView<double> y) {
-  s.enqueue([=] {
+void gemv_async(Stream& s, Trans trans, double alpha, DMatrixView<const double> a,
+                DVectorView<const double> x, double beta, DVectorView<double> y) {
+  s.enqueue("dev.gemv", [=] {
     obs::TraceSpan span("dev_blas", "gemv");
-    blas::gemv(trans, alpha, a, x, beta, y);
+    blas::gemv(trans, alpha, a.in_task(), x.in_task(), beta, y.in_task());
   });
 }
 
 void trmm_async(Stream& s, Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
-                MatrixView<const double> a, MatrixView<double> b) {
-  s.enqueue([=] {
+                DMatrixView<const double> a, DMatrixView<double> b) {
+  s.enqueue("dev.trmm", [=] {
     obs::TraceSpan span("dev_blas", "trmm");
-    blas::trmm(side, uplo, trans, diag, alpha, a, b);
+    blas::trmm(side, uplo, trans, diag, alpha, a.in_task(), b.in_task());
   });
 }
 
-void scal_async(Stream& s, double alpha, VectorView<double> x) {
-  s.enqueue([=] {
+void scal_async(Stream& s, double alpha, DVectorView<double> x) {
+  s.enqueue("dev.scal", [=] {
     obs::TraceSpan span("dev_blas", "scal");
-    blas::scal(alpha, x);
+    blas::scal(alpha, x.in_task());
   });
 }
 
-void axpy_async(Stream& s, double alpha, VectorView<const double> x, VectorView<double> y) {
-  s.enqueue([=] {
+void axpy_async(Stream& s, double alpha, DVectorView<const double> x, DVectorView<double> y) {
+  s.enqueue("dev.axpy", [=] {
     obs::TraceSpan span("dev_blas", "axpy");
-    blas::axpy(alpha, x, y);
+    blas::axpy(alpha, x.in_task(), y.in_task());
   });
 }
 
-void larfb_left_async(Stream& s, Trans trans, MatrixView<const double> v,
-                      MatrixView<const double> t, MatrixView<double> c,
-                      MatrixView<double> work) {
-  s.enqueue([=] {
+void larfb_left_async(Stream& s, Trans trans, DMatrixView<const double> v,
+                      DMatrixView<const double> t, DMatrixView<double> c,
+                      DMatrixView<double> work) {
+  s.enqueue("dev.larfb", [=] {
     obs::TraceSpan span("dev_blas", "larfb");
-    lapack::larfb(Side::Left, trans, Direction::Forward, StoreV::Columnwise, v, t, c, work);
+    lapack::larfb(Side::Left, trans, Direction::Forward, StoreV::Columnwise, v.in_task(),
+                  t.in_task(), c.in_task(), work.in_task());
   });
 }
 
-void symv_async(Stream& s, Uplo uplo, double alpha, MatrixView<const double> a,
-                VectorView<const double> x, double beta, VectorView<double> y) {
-  s.enqueue([=] {
+void symv_async(Stream& s, Uplo uplo, double alpha, DMatrixView<const double> a,
+                DVectorView<const double> x, double beta, DVectorView<double> y) {
+  s.enqueue("dev.symv", [=] {
     obs::TraceSpan span("dev_blas", "symv");
-    blas::symv(uplo, alpha, a, x, beta, y);
+    blas::symv(uplo, alpha, a.in_task(), x.in_task(), beta, y.in_task());
   });
 }
 
-void syr2k_async(Stream& s, Uplo uplo, Trans trans, double alpha, MatrixView<const double> a,
-                 MatrixView<const double> b, double beta, MatrixView<double> c) {
-  s.enqueue([=] {
+void syr2k_async(Stream& s, Uplo uplo, Trans trans, double alpha, DMatrixView<const double> a,
+                 DMatrixView<const double> b, double beta, DMatrixView<double> c) {
+  s.enqueue("dev.syr2k", [=] {
     obs::TraceSpan span("dev_blas", "syr2k");
-    blas::syr2k(uplo, trans, alpha, a, b, beta, c);
+    blas::syr2k(uplo, trans, alpha, a.in_task(), b.in_task(), beta, c.in_task());
   });
 }
 
-void fill_async(Stream& s, MatrixView<double> a, double value) {
-  s.enqueue([=] {
+void fill_async(Stream& s, DMatrixView<double> a, double value) {
+  s.enqueue("dev.fill", [=] {
     obs::TraceSpan span("dev_blas", "fill");
-    fill(a, value);
+    fill(a.in_task(), value);
   });
 }
 

@@ -13,7 +13,7 @@ Device::Device(DeviceConfig cfg) : cfg_(std::move(cfg)) {
   default_stream_ = std::make_unique<Stream>(this);
 }
 
-void* Device::raw_allocate(std::size_t bytes) {
+void* Device::raw_allocate(std::size_t bytes, const char* site) {
   const std::size_t now = in_use_.fetch_add(bytes) + bytes;
   if (cfg_.memory_limit != 0 && now > cfg_.memory_limit) {
     in_use_.fetch_sub(bytes);
@@ -22,10 +22,13 @@ void* Device::raw_allocate(std::size_t bytes) {
   std::size_t peak = peak_.load();
   while (now > peak && !peak_.compare_exchange_weak(peak, now)) {
   }
-  return ::operator new(bytes);
+  void* p = ::operator new(bytes);
+  check::on_device_alloc(p, bytes, site);
+  return p;
 }
 
 void Device::raw_deallocate(void* p, std::size_t bytes) noexcept {
+  check::on_device_free(p);
   in_use_.fetch_sub(bytes);
   ::operator delete(p);
 }
@@ -96,38 +99,49 @@ std::size_t view_bytes(MatrixView<const double> v) {
 
 }  // namespace
 
-void copy_h2d_async(Stream& s, MatrixView<const double> host, MatrixView<double> dev) {
+void copy_h2d_async(Stream& s, MatrixView<const double> host, DMatrixView<double> dev) {
   const std::size_t bytes = view_bytes(host);
-  s.enqueue([host, dev, bytes, d = s.device()] {
+  const std::uint64_t ticket = s.enqueue("h2d", [host, dev, bytes, d = s.device()] {
     obs::TraceSpan span("device", "h2d", "bytes", static_cast<double>(bytes));
     if (d != nullptr) {
       d->charge_transfer(bytes, /*h2d=*/true);
       d->note_h2d(bytes);
     }
-    copy_view(host, dev);
-    if (d != nullptr) d->call_transfer_hook(TransferDir::H2D, dev);
+    MatrixView<double> dev_h = dev.in_task();
+    copy_view(host, dev_h);
+    if (d != nullptr) d->call_transfer_hook(TransferDir::H2D, dev_h);
   });
+  // Transfer-routine context: taking the host view's base pointer for
+  // registration must not itself count as a racing host access.
+  check::TaskScope setup(&s, "h2d", ticket);
+  check::on_transfer_enqueued(&s, ticket, /*host_is_dst=*/false, "h2d", host.data(),
+                              sizeof(double), host.rows(), host.cols(), host.ld(),
+                              dev.raw_data());
 }
 
-void copy_d2h_async(Stream& s, MatrixView<const double> dev, MatrixView<double> host) {
-  const std::size_t bytes = view_bytes(dev);
-  s.enqueue([dev, host, bytes, d = s.device()] {
+void copy_d2h_async(Stream& s, DMatrixView<const double> dev, MatrixView<double> host) {
+  const std::size_t bytes = view_bytes(host);
+  const std::uint64_t ticket = s.enqueue("d2h", [dev, host, bytes, d = s.device()] {
     obs::TraceSpan span("device", "d2h", "bytes", static_cast<double>(bytes));
     if (d != nullptr) {
       d->charge_transfer(bytes, /*h2d=*/false);
       d->note_d2h(bytes);
     }
-    copy_view(dev, host);
+    copy_view(dev.in_task(), host);
     if (d != nullptr) d->call_transfer_hook(TransferDir::D2H, host);
   });
+  check::TaskScope setup(&s, "d2h", ticket);
+  check::on_transfer_enqueued(&s, ticket, /*host_is_dst=*/true, "d2h", host.data(),
+                              sizeof(double), host.rows(), host.cols(), host.ld(),
+                              dev.raw_data());
 }
 
-void copy_h2d(Stream& s, MatrixView<const double> host, MatrixView<double> dev) {
+void copy_h2d(Stream& s, MatrixView<const double> host, DMatrixView<double> dev) {
   copy_h2d_async(s, host, dev);
   s.synchronize();
 }
 
-void copy_d2h(Stream& s, MatrixView<const double> dev, MatrixView<double> host) {
+void copy_d2h(Stream& s, DMatrixView<const double> dev, MatrixView<double> host) {
   copy_d2h_async(s, dev, host);
   s.synchronize();
 }

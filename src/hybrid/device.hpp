@@ -5,6 +5,14 @@
 // transfers, device-side BLAS, host/device overlap — is preserved; only
 // the silicon is simulated. An optional cost model charges transfer time
 // per byte so PCIe-bound behaviour can be studied.
+//
+// DeviceMatrix hands out *device-tagged* views (DMatrixView/DVectorView,
+// see la/matrix.hpp): geometry-only handles host code cannot dereference.
+// Stream tasks unwrap them with .in_task(); host code that legitimately
+// needs the data after a synchronize() goes through hybrid::host_view().
+// Allocations are registered with fth::check under a site label, and the
+// async copy routines register every transfer with the happens-before race
+// detector (check/access.hpp).
 #pragma once
 
 #include <atomic>
@@ -14,6 +22,7 @@
 #include <mutex>
 #include <string>
 
+#include "check/access.hpp"
 #include "common/error.hpp"
 #include "la/matrix.hpp"
 #include "hybrid/stream.hpp"
@@ -44,7 +53,9 @@ class Device {
   [[nodiscard]] const DeviceConfig& config() const noexcept { return cfg_; }
 
   /// Allocate `bytes` of device memory (throws std::bad_alloc on limit).
-  [[nodiscard]] void* raw_allocate(std::size_t bytes);
+  /// `site` (a static or interned string) labels the allocation in checker
+  /// reports — pass the owning buffer's name.
+  [[nodiscard]] void* raw_allocate(std::size_t bytes, const char* site = "device");
   void raw_deallocate(void* p, std::size_t bytes) noexcept;
 
   [[nodiscard]] std::size_t bytes_in_use() const noexcept { return in_use_.load(); }
@@ -70,8 +81,9 @@ class Device {
   /// Install a hook invoked inside each transfer task right after the copy
   /// completes, with the transfer direction and the *destination* view
   /// (device memory for H2D, host memory for D2H). Runs on the stream
-  /// worker thread, so mutating the destination is race-free. The fault
-  /// plane uses this to corrupt data in flight. Pass nullptr to clear.
+  /// worker thread, so mutating the destination is race-free — the view is
+  /// already unwrapped for task context. The fault plane uses this to
+  /// corrupt data in flight. Pass nullptr to clear.
   using TransferHook = std::function<void(TransferDir, MatrixView<double>)>;
   void set_transfer_hook(TransferHook hook);
   /// Internal: invoke the installed hook (no-op when none). Called from
@@ -91,15 +103,16 @@ class Device {
   std::unique_ptr<Stream> default_stream_;
 };
 
-/// RAII column-major matrix living in a device's memory space.
+/// RAII column-major matrix living in a device's memory space. `site`
+/// names the buffer in checker reports ("gehrd.d_a", "ft.d_e", ...).
 template <class T>
 class DeviceMatrix {
  public:
-  DeviceMatrix(Device& dev, index_t rows, index_t cols)
+  DeviceMatrix(Device& dev, index_t rows, index_t cols, const char* site = "device_matrix")
       : dev_(&dev), rows_(rows), cols_(cols), ld_(std::max<index_t>(1, rows)) {
     FTH_CHECK(rows >= 0 && cols >= 0, "device matrix dimensions must be non-negative");
     bytes_ = static_cast<std::size_t>(ld_) * static_cast<std::size_t>(cols_) * sizeof(T);
-    data_ = static_cast<T*>(dev.raw_allocate(bytes_));
+    data_ = static_cast<T*>(dev.raw_allocate(bytes_, site));
     std::fill_n(data_, static_cast<std::size_t>(ld_) * static_cast<std::size_t>(cols_), T{});
   }
 
@@ -129,15 +142,19 @@ class DeviceMatrix {
   [[nodiscard]] index_t cols() const noexcept { return cols_; }
   [[nodiscard]] Device& device() const noexcept { return *dev_; }
 
-  /// Views of the device data. By convention only stream tasks and the
-  /// transfer routines dereference these (the compiler cannot enforce a
-  /// memory-space split in a software device, but the library code keeps
-  /// the discipline so the structure matches a real accelerator).
-  [[nodiscard]] MatrixView<T> view() noexcept { return MatrixView<T>(data_, rows_, cols_, ld_); }
-  [[nodiscard]] MatrixView<const T> view() const noexcept {
-    return MatrixView<const T>(data_, rows_, cols_, ld_);
+  /// Device-tagged views: geometry-only on the host. Stream tasks unwrap
+  /// with .in_task(); host code uses hybrid::host_view() after a sync.
+  [[nodiscard]] DMatrixView<T> view() noexcept {
+    return DMatrixView<T>(data_, rows_, cols_, ld_);
   }
-  [[nodiscard]] MatrixView<T> block(index_t i, index_t j, index_t m, index_t n) noexcept {
+  [[nodiscard]] DMatrixView<const T> view() const noexcept {
+    return DMatrixView<const T>(data_, rows_, cols_, ld_);
+  }
+  [[nodiscard]] DMatrixView<T> block(index_t i, index_t j, index_t m, index_t n) noexcept {
+    return view().block(i, j, m, n);
+  }
+  [[nodiscard]] DMatrixView<const T> block(index_t i, index_t j, index_t m,
+                                           index_t n) const noexcept {
     return view().block(i, j, m, n);
   }
 
@@ -150,12 +167,27 @@ class DeviceMatrix {
   std::size_t bytes_ = 0;
 };
 
+/// Checked host-side unwrap of a device view: legitimate only in the
+/// host-exclusive window after the stream drained (synchronize() /
+/// destructor), e.g. examples and benches reading results in place. The
+/// checker flags a StreamNotIdle violation when the stream still has work.
+template <class T>
+[[nodiscard]] MatrixView<T> host_view(MatrixView<T, MemSpace::Device> dv, const Stream& s) {
+  check::require_stream_idle(s.idle(), dv.raw_data(), "hybrid::host_view");
+  return dv.unchecked_host_view();
+}
+template <class T>
+[[nodiscard]] VectorView<T> host_view(VectorView<T, MemSpace::Device> dv, const Stream& s) {
+  check::require_stream_idle(s.idle(), dv.raw_data(), "hybrid::host_view");
+  return dv.unchecked_host_view();
+}
+
 /// Asynchronous host→device copy, enqueued on `s`.
-void copy_h2d_async(Stream& s, MatrixView<const double> host, MatrixView<double> dev);
+void copy_h2d_async(Stream& s, MatrixView<const double> host, DMatrixView<double> dev);
 /// Asynchronous device→host copy, enqueued on `s`.
-void copy_d2h_async(Stream& s, MatrixView<const double> dev, MatrixView<double> host);
+void copy_d2h_async(Stream& s, DMatrixView<const double> dev, MatrixView<double> host);
 /// Synchronous variants (enqueue + wait for completion).
-void copy_h2d(Stream& s, MatrixView<const double> host, MatrixView<double> dev);
-void copy_d2h(Stream& s, MatrixView<const double> dev, MatrixView<double> host);
+void copy_h2d(Stream& s, MatrixView<const double> host, DMatrixView<double> dev);
+void copy_d2h(Stream& s, DMatrixView<const double> dev, MatrixView<double> host);
 
 }  // namespace fth::hybrid

@@ -36,17 +36,17 @@ void hybrid_gebrd(Device& dev, MatrixView<double> a, VectorView<double> d,
 
   index_t i = 0;
   if (n > nx + 1) {
-    DeviceMatrix<double> d_a(dev, n, n);
+    DeviceMatrix<double> d_a(dev, n, n, "gebrd.d_a");
     copy_h2d(s, MatrixView<const double>(a), d_a.view());
 
     Matrix<double> x_host(n, nb);
     Matrix<double> y_host(n, nb);
-    DeviceMatrix<double> d_vec(dev, n, 1);   // staging for v/u vectors
-    DeviceMatrix<double> d_res(dev, n, 1);   // staging for the big products
-    DeviceMatrix<double> d_v2(dev, n, nb);
-    DeviceMatrix<double> d_y2(dev, n, nb);
-    DeviceMatrix<double> d_x2(dev, n, nb);
-    DeviceMatrix<double> d_u2(dev, nb, n);
+    DeviceMatrix<double> d_vec(dev, n, 1, "gebrd.d_vec");  // staging for v/u vectors
+    DeviceMatrix<double> d_res(dev, n, 1, "gebrd.d_res");  // staging for the big products
+    DeviceMatrix<double> d_v2(dev, n, nb, "gebrd.d_v2");
+    DeviceMatrix<double> d_y2(dev, n, nb, "gebrd.d_y2");
+    DeviceMatrix<double> d_x2(dev, n, nb, "gebrd.d_x2");
+    DeviceMatrix<double> d_u2(dev, nb, n, "gebrd.d_u2");
 
     while (n - i > nx + 1) {
       const index_t ib = std::min(nb, n - i - 1);
@@ -58,9 +58,9 @@ void hybrid_gebrd(Device& dev, MatrixView<double> a, VectorView<double> d,
       WallTimer panel_timer;
       {
         obs::TraceSpan panel_span("hybrid", "panel", "col", static_cast<double>(i));
-        copy_d2h_async(s, MatrixView<const double>(d_a.block(i, i, n - i, ib)),
+        copy_d2h_async(s, d_a.block(i, i, n - i, ib),
                        a.block(i, i, n - i, ib));
-        copy_d2h(s, MatrixView<const double>(d_a.block(i, i + ib, ib, n - i - ib)),
+        copy_d2h(s, d_a.block(i, i + ib, ib, n - i - ib),
                  a.block(i, i + ib, ib, n - i - ib));
 
         lapack::detail::labrd_panel(
@@ -73,10 +73,10 @@ void hybrid_gebrd(Device& dev, MatrixView<double> a, VectorView<double> d,
               copy_h2d_async(s, MatrixView<const double>(v.data(), mlen, 1, mlen),
                              d_vec.block(0, 0, mlen, 1));
               gemv_async(s, Trans::Yes, 1.0,
-                         MatrixView<const double>(d_a.block(cj, cj + 1, mlen, nlen)),
-                         VectorView<const double>(d_vec.view().col(0).sub(0, mlen)), 0.0,
+                         d_a.block(cj, cj + 1, mlen, nlen),
+                         d_vec.view().col(0).sub(0, mlen), 0.0,
                          d_res.view().col(0).sub(0, nlen));
-              copy_d2h(s, MatrixView<const double>(d_res.block(0, 0, nlen, 1)),
+              copy_d2h(s, d_res.block(0, 0, nlen, 1),
                        MatrixView<double>(ycol.data(), nlen, 1, nlen));
             },
             [&](index_t j, VectorView<const double> u, VectorView<double> xcol) {
@@ -87,10 +87,10 @@ void hybrid_gebrd(Device& dev, MatrixView<double> a, VectorView<double> d,
               for (index_t r = 0; r < nlen; ++r) dense(r, 0) = u[r];
               copy_h2d_async(s, dense.cview(), d_vec.block(0, 0, nlen, 1));
               gemv_async(s, Trans::No, 1.0,
-                         MatrixView<const double>(d_a.block(cj + 1, cj + 1, nlen, nlen)),
-                         VectorView<const double>(d_vec.view().col(0).sub(0, nlen)), 0.0,
+                         d_a.block(cj + 1, cj + 1, nlen, nlen),
+                         d_vec.view().col(0).sub(0, nlen), 0.0,
                          d_res.view().col(0).sub(0, nlen));
-              copy_d2h(s, MatrixView<const double>(d_res.block(0, 0, nlen, 1)),
+              copy_d2h(s, d_res.block(0, 0, nlen, 1),
                        MatrixView<double>(xcol.data(), nlen, 1, nlen));
             });
       }
@@ -116,12 +116,12 @@ void hybrid_gebrd(Device& dev, MatrixView<double> a, VectorView<double> d,
         const Event operands_shipped = s.record();
 
         gemm_async(s, Trans::No, Trans::Yes, -1.0,
-                   MatrixView<const double>(d_v2.block(0, 0, tn, ib)),
-                   MatrixView<const double>(d_y2.block(0, 0, tn, ib)), 1.0,
+                   d_v2.block(0, 0, tn, ib),
+                   d_y2.block(0, 0, tn, ib), 1.0,
                    d_a.block(i + ib, i + ib, tn, tn));
         gemm_async(s, Trans::No, Trans::No, -1.0,
-                   MatrixView<const double>(d_x2.block(0, 0, tn, ib)),
-                   MatrixView<const double>(d_u2.block(0, 0, ib, tn)), 1.0,
+                   d_x2.block(0, 0, tn, ib),
+                   d_u2.block(0, 0, ib, tn), 1.0,
                    d_a.block(i + ib, i + ib, tn, tn));
 
         // Host bookkeeping overlapped with the device GEMMs: put the pivot
@@ -142,11 +142,11 @@ void hybrid_gebrd(Device& dev, MatrixView<double> a, VectorView<double> d,
                                   .next_panel = i,
                                   .nb = nb,
                                   .host_a = a,
-                                  .dev_a = d_a.view()});
+                                  .dev_a = host_view(d_a.view(), s)});
       }
     }
 
-    copy_d2h(s, MatrixView<const double>(d_a.block(i, i, n - i, n - i)),
+    copy_d2h(s, d_a.block(i, i, n - i, n - i),
              a.block(i, i, n - i, n - i));
   }
 

@@ -36,17 +36,17 @@ void hybrid_gehrd(Device& dev, MatrixView<double> a, VectorView<double> tau,
 
   if (n > nx + 1) {
     // Device mirror of the matrix (Algorithm 2, line 1).
-    DeviceMatrix<double> d_a(dev, n, n);
+    DeviceMatrix<double> d_a(dev, n, n, "gehrd.d_a");
     copy_h2d(s, MatrixView<const double>(a), d_a.view());
 
     // Host-side workspaces.
     Matrix<double> t_host(nb, nb);
     Matrix<double> y_host(n, nb);
     // Device workspaces.
-    DeviceMatrix<double> d_v(dev, n, nb);
-    DeviceMatrix<double> d_t(dev, nb, nb);
-    DeviceMatrix<double> d_y(dev, n, nb);
-    DeviceMatrix<double> d_work(dev, n, nb);
+    DeviceMatrix<double> d_v(dev, n, nb, "gehrd.d_v");
+    DeviceMatrix<double> d_t(dev, nb, nb, "gehrd.d_t");
+    DeviceMatrix<double> d_y(dev, n, nb, "gehrd.d_y");
+    DeviceMatrix<double> d_work(dev, n, nb, "gehrd.d_work");
 
     index_t i = 0;
     while (n - i > nx + 1) {
@@ -73,10 +73,10 @@ void hybrid_gehrd(Device& dev, MatrixView<double> a, VectorView<double> tau,
               copy_h2d_async(s, MatrixView<const double>(vj.data(), vj.size(), 1, vj.size()),
                              d_vcol);
               gemv_async(s, Trans::No, 1.0,
-                         MatrixView<const double>(d_a.block(i + 1, cj + 1, vrows, n - cj - 1)),
-                         VectorView<const double>(d_vcol.col(0)), 0.0,
+                         d_a.block(i + 1, cj + 1, vrows, n - cj - 1),
+                         d_vcol.col(0), 0.0,
                          d_y.block(i + 1, j, vrows, 1).col(0));
-              copy_d2h(s, MatrixView<const double>(d_y.block(i + 1, j, vrows, 1)),
+              copy_d2h(s, d_y.block(i + 1, j, vrows, 1),
                        MatrixView<double>(y_col.data(), vrows, 1, vrows));
             });
       }
@@ -94,22 +94,22 @@ void hybrid_gehrd(Device& dev, MatrixView<double> a, VectorView<double> tau,
 
         // Top rows of Y on the device: Y(0:i+1,:) = A(0:i+1, i+1:n)·V·T.
         gemm_async(s, Trans::No, Trans::No, 1.0,
-                   MatrixView<const double>(d_a.block(0, i + 1, i + 1, vrows)),
-                   MatrixView<const double>(d_v.block(0, 0, vrows, ib)), 0.0,
+                   d_a.block(0, i + 1, i + 1, vrows),
+                   d_v.block(0, 0, vrows, ib), 0.0,
                    d_y.block(0, 0, i + 1, ib));
         trmm_async(s, Side::Right, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0,
-                   MatrixView<const double>(d_t.block(0, 0, ib, ib)), d_y.block(0, 0, i + 1, ib));
+                   d_t.block(0, 0, ib, ib), d_y.block(0, 0, i + 1, ib));
         // The host needs those rows for the panel-column fix below; fetch
         // them asynchronously and overlap with the big right update.
-        copy_d2h_async(s, MatrixView<const double>(d_y.block(0, 0, i + 1, ib)),
+        copy_d2h_async(s, d_y.block(0, 0, i + 1, ib),
                        y_host.block(0, 0, i + 1, ib));
         const Event y_upper_ready = s.record();
 
         // Line 7/8 right update (device): A(0:n, i+ib:n) −= Y·V2ᵀ where V2 is
         // the part of V whose rows correspond to columns i+ib..n−1.
         gemm_async(s, Trans::No, Trans::Yes, -1.0,
-                   MatrixView<const double>(d_y.block(0, 0, n, ib)),
-                   MatrixView<const double>(d_v.block(ib - 1, 0, n - i - ib, ib)),
+                   d_y.block(0, 0, n, ib),
+                   d_v.block(ib - 1, 0, n - i - ib, ib),
                    1.0, d_a.block(0, i + ib, n, n - i - ib));
 
         // Host (overlapped with the device GEMM): finish the upper rows of
@@ -124,8 +124,8 @@ void hybrid_gehrd(Device& dev, MatrixView<double> a, VectorView<double> tau,
         }
 
         // Left update (device): A(i+1:n, i+ib:n) := Hᵀ·A(i+1:n, i+ib:n).
-        larfb_left_async(s, Trans::Yes, MatrixView<const double>(d_v.block(0, 0, vrows, ib)),
-                         MatrixView<const double>(d_t.block(0, 0, ib, ib)),
+        larfb_left_async(s, Trans::Yes, d_v.block(0, 0, vrows, ib),
+                         d_t.block(0, 0, ib, ib),
                          d_a.block(i + 1, i + ib, vrows, n - i - ib), d_work.view());
 
         i += ib;
@@ -139,12 +139,12 @@ void hybrid_gehrd(Device& dev, MatrixView<double> a, VectorView<double> tau,
                                   .next_panel = i,
                                   .nb = nb,
                                   .host_a = a,
-                                  .dev_a = d_a.view()});
+                                  .dev_a = host_view(d_a.view(), s)});
       }
     }
 
     // Fetch the remaining trailing columns and finish on the host.
-    copy_d2h(s, MatrixView<const double>(d_a.block(0, i, n, n - i)), a.block(0, i, n, n - i));
+    copy_d2h(s, d_a.block(0, i, n, n - i), a.block(0, i, n, n - i));
 
     WallTimer finish_timer;
     obs::TraceSpan finish_span("hybrid", "finish", "col", static_cast<double>(i));

@@ -37,12 +37,12 @@ void hybrid_sytrd(Device& dev, MatrixView<double> a, VectorView<double> d,
 
   index_t i = 0;
   if (n > nx + 1) {
-    DeviceMatrix<double> d_a(dev, n, n);
+    DeviceMatrix<double> d_a(dev, n, n, "sytrd.d_a");
     copy_h2d(s, MatrixView<const double>(a), d_a.view());
 
     Matrix<double> w_host(n, nb);
-    DeviceMatrix<double> d_v(dev, n, nb);
-    DeviceMatrix<double> d_w(dev, n, nb);
+    DeviceMatrix<double> d_v(dev, n, nb, "sytrd.d_v");
+    DeviceMatrix<double> d_w(dev, n, nb, "sytrd.d_w");
 
     while (n - i > nx + 1) {
       const index_t ib = std::min(nb, n - i - 1);
@@ -52,7 +52,7 @@ void hybrid_sytrd(Device& dev, MatrixView<double> a, VectorView<double> d,
       WallTimer panel_timer;
       {
         obs::TraceSpan panel_span("hybrid", "panel", "col", static_cast<double>(i));
-        copy_d2h(s, MatrixView<const double>(d_a.block(0, i, n, ib)), a.block(0, i, n, ib));
+        copy_d2h(s, d_a.block(0, i, n, ib), a.block(0, i, n, ib));
 
         // Host panel; each column's big SYMV runs on the device against the
         // start-of-iteration trailing matrix.
@@ -64,10 +64,10 @@ void hybrid_sytrd(Device& dev, MatrixView<double> a, VectorView<double> d,
             auto d_vcol = d_v.block(j, j, vlen, 1);
             copy_h2d_async(s, MatrixView<const double>(vj.data(), vlen, 1, vlen), d_vcol);
             symv_async(s, Uplo::Lower, 1.0,
-                       MatrixView<const double>(d_a.block(cj + 1, cj + 1, vlen, vlen)),
-                       VectorView<const double>(d_vcol.col(0)), 0.0,
+                       d_a.block(cj + 1, cj + 1, vlen, vlen),
+                       d_vcol.col(0), 0.0,
                        d_w.block(cj + 1 - i, j, vlen, 1).col(0));
-            copy_d2h(s, MatrixView<const double>(d_w.block(cj + 1 - i, j, vlen, 1)),
+            copy_d2h(s, d_w.block(cj + 1 - i, j, vlen, 1),
                      MatrixView<double>(w_col.data(), vlen, 1, vlen));
           });
       }
@@ -86,8 +86,8 @@ void hybrid_sytrd(Device& dev, MatrixView<double> a, VectorView<double> d,
       // Trailing rank-2k on the device (lower triangle).
       const index_t tn = n - i - ib;
       syr2k_async(s, Uplo::Lower, Trans::No, -1.0,
-                  MatrixView<const double>(d_v.block(ib - 1, 0, tn, ib)),
-                  MatrixView<const double>(d_w.block(ib - 1, 0, tn, ib)), 1.0,
+                  d_v.block(ib - 1, 0, tn, ib),
+                  d_w.block(ib - 1, 0, tn, ib), 1.0,
                   d_a.block(i + ib, i + ib, tn, tn));
 
       // Host-side bookkeeping overlapped with the device update.
@@ -106,12 +106,12 @@ void hybrid_sytrd(Device& dev, MatrixView<double> a, VectorView<double> d,
                                   .next_panel = i,
                                   .nb = nb,
                                   .host_a = a,
-                                  .dev_a = d_a.view()});
+                                  .dev_a = host_view(d_a.view(), s)});
       }
     }
 
     // Fetch the remaining trailing block and finish on the host.
-    copy_d2h(s, MatrixView<const double>(d_a.block(i, i, n - i, n - i)),
+    copy_d2h(s, d_a.block(i, i, n - i, n - i),
              a.block(i, i, n - i, n - i));
   }
 

@@ -1,21 +1,47 @@
 #include "hybrid/stream.hpp"
 
+#include "check/access.hpp"
 #include "common/error.hpp"
 #include "obs/trace.hpp"
 
 namespace fth::hybrid {
 
+namespace {
+
+/// Report the happens-before edge an observed-complete event implies.
+/// From a host thread it is a host-ordering (retires in-flight transfers
+/// up to the recording ticket); from a stream worker (wait_event task) it
+/// is a cross-stream edge that resolves once the host orders the waiter.
+void note_event_observed(const void* stream, std::uint64_t ticket) {
+  if (stream == nullptr) return;
+  if (check::in_task_context())
+    check::on_cross_stream_wait(check::current_stream(), check::current_ticket(),
+                                stream, ticket);
+  else
+    check::on_host_ordered(stream, ticket);
+}
+
+}  // namespace
+
 bool Event::ready() const {
   if (!state_) return true;  // default-constructed event is trivially ready
-  std::lock_guard lock(state_->m);
-  return state_->done;
+  bool done = false;
+  {
+    std::lock_guard lock(state_->m);
+    done = state_->done;
+  }
+  if (done) note_event_observed(state_->stream, state_->ticket);
+  return done;
 }
 
 void Event::wait() const {
   if (!state_) return;
-  obs::TraceSpan span("stream", "event_wait");
-  std::unique_lock lock(state_->m);
-  state_->cv.wait(lock, [&] { return state_->done; });
+  {
+    obs::TraceSpan span("stream", "event_wait");
+    std::unique_lock lock(state_->m);
+    state_->cv.wait(lock, [&] { return state_->done; });
+  }
+  note_event_observed(state_->stream, state_->ticket);
 }
 
 Stream::Stream(Device* device) : device_(device), worker_([this] { worker_loop(); }) {}
@@ -27,26 +53,37 @@ Stream::~Stream() {
   }
   cv_worker_.notify_all();
   worker_.join();
+  // Joining the drained worker is a host-side ordering of the whole stream.
+  check::on_stream_destroyed(this, next_ticket_ - 1);
 }
 
-void Stream::enqueue(std::function<void()> task) {
+std::uint64_t Stream::enqueue(const char* label, std::function<void()> task) {
   FTH_CHECK(task != nullptr, "stream task must be callable");
+  std::uint64_t ticket = 0;
   {
     std::lock_guard lock(m_);
-    queue_.push_back(std::move(task));
+    ticket = next_ticket_++;
+    queue_.push_back(Task{std::move(task), label != nullptr ? label : "task", ticket});
     const std::uint64_t depth = queue_.size() + (busy_ ? 1 : 0);
     if (depth > peak_depth_) peak_depth_ = depth;
     obs::counter("stream.queue_depth", static_cast<double>(depth));
   }
   cv_worker_.notify_one();
+  return ticket;
 }
 
 void Stream::synchronize() {
-  std::unique_lock lock(m_);
-  if (!queue_.empty() || busy_) {
-    obs::TraceSpan span("stream", "synchronize");
-    cv_idle_.wait(lock, [&] { return queue_.empty() && !busy_; });
+  std::uint64_t tail = 0;
+  {
+    std::unique_lock lock(m_);
+    if (!queue_.empty() || busy_) {
+      obs::TraceSpan span("stream", "synchronize");
+      cv_idle_.wait(lock, [&] { return queue_.empty() && !busy_; });
+    }
+    tail = next_ticket_ - 1;
   }
+  check::on_host_ordered(this, tail);
+  std::lock_guard lock(m_);
   if (pending_error_) {
     const std::exception_ptr e = pending_error_;
     pending_error_ = nullptr;
@@ -58,18 +95,35 @@ Event Stream::record() {
   Event e;
   e.state_ = std::make_shared<Event::State>();
   auto state = e.state_;
-  enqueue([state] {
+  const std::uint64_t ticket = enqueue("event_record", [state] {
     {
       std::lock_guard lock(state->m);
       state->done = true;
     }
     state->cv.notify_all();
   });
+  // Nobody else can observe the Event before record() returns, so filling
+  // in the checker identity after the enqueue is race-free (the marker
+  // task itself never reads these fields).
+  state->stream = this;
+  state->ticket = ticket;
   return e;
 }
 
 void Stream::wait_event(const Event& e) {
-  enqueue([e] { e.wait(); });
+  // Not labeled "event_wait": that name means a *host* wait to the profiler;
+  // the worker stalling on a cross-stream event is device-busy time.
+  enqueue("dev.wait_event", [e] { e.wait(); });
+}
+
+bool Stream::idle() const {
+  std::lock_guard lock(m_);
+  return queue_.empty() && !busy_;
+}
+
+std::uint64_t Stream::tail_ticket() const {
+  std::lock_guard lock(m_);
+  return next_ticket_ - 1;
 }
 
 std::uint64_t Stream::tasks_executed() const {
@@ -95,7 +149,7 @@ void Stream::set_task_hook(std::function<void(std::uint64_t)> hook) {
 void Stream::worker_loop() {
   obs::set_thread_name("device-stream");
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock lock(m_);
       cv_worker_.wait(lock, [&] { return stop_ || !queue_.empty(); });
@@ -108,8 +162,9 @@ void Stream::worker_loop() {
       busy_ = true;
     }
     try {
-      obs::TraceSpan span("stream", "task");
-      task();
+      obs::TraceSpan span("stream", task.label);
+      check::TaskScope scope(this, task.label, task.ticket);
+      task.fn();
     } catch (...) {
       std::lock_guard lock(m_);
       // Keep only the first error; later tasks still run (matching the
@@ -127,6 +182,7 @@ void Stream::worker_loop() {
       // Invoked between tasks, so the hook owns the device memory for the
       // duration of the call — same discipline as a task body.
       try {
+        check::TaskScope scope(this, "task_hook", task.ticket);
         hook(task_index);
       } catch (...) {
         std::lock_guard lock(m_);

@@ -6,9 +6,17 @@
 // fault-tolerant Hessenberg driver relies on this to overlap host-side
 // checksum work with device-side trailing-matrix updates exactly as the
 // paper's Algorithm 3 does.
+//
+// Every task carries a label and a monotonically increasing ticket; both
+// feed fth::check (see check/access.hpp): the worker runs each task inside
+// a check::TaskScope (so device-view unwraps via .in_task() validate), and
+// Event::wait / Event::ready() / synchronize() report the happens-before
+// edges the host observes, which is what retires in-flight transfers in
+// the race detector.
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -26,6 +34,8 @@ class Event {
   Event() = default;
 
   /// True once every task enqueued before the recording has finished.
+  /// Observing true from a host thread is a happens-before edge: it
+  /// retires transfers enqueued at or before the recording ticket.
   [[nodiscard]] bool ready() const;
 
   /// Block the calling thread until ready().
@@ -37,6 +47,8 @@ class Event {
     std::mutex m;
     std::condition_variable cv;
     bool done = false;
+    const void* stream = nullptr;  ///< recording stream (checker identity)
+    std::uint64_t ticket = 0;      ///< ticket of the recording marker task
   };
   std::shared_ptr<State> state_;
 };
@@ -51,8 +63,13 @@ class Stream {
   Stream(const Stream&) = delete;
   Stream& operator=(const Stream&) = delete;
 
-  /// Enqueue a task; returns immediately. Tasks run strictly in order.
-  void enqueue(std::function<void()> task);
+  /// Enqueue a task; returns its ticket immediately. Tasks run strictly
+  /// in order. `label` must be a static or interned string; it names the
+  /// task in checker reports and traces.
+  std::uint64_t enqueue(const char* label, std::function<void()> task);
+  std::uint64_t enqueue(std::function<void()> task) {
+    return enqueue("task", std::move(task));
+  }
 
   /// Block until every enqueued task has completed. Rethrows the first
   /// exception thrown by any task since the last synchronize().
@@ -64,6 +81,14 @@ class Stream {
   /// Make this stream wait (asynchronously) until `e` is ready before
   /// running subsequently enqueued tasks.
   void wait_event(const Event& e);
+
+  /// True when no task is queued or executing. (A snapshot: another thread
+  /// may enqueue immediately after. The hybrid drivers are single-host-
+  /// threaded, so the gate hybrid::host_view builds on this is sound.)
+  [[nodiscard]] bool idle() const;
+
+  /// Ticket of the most recently enqueued task (0 if none yet).
+  [[nodiscard]] std::uint64_t tail_ticket() const;
 
   /// Device this stream belongs to (may be null for a free-standing stream).
   [[nodiscard]] Device* device() const noexcept { return device_; }
@@ -86,15 +111,22 @@ class Stream {
   void set_task_hook(std::function<void(std::uint64_t)> hook);
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    const char* label = "task";
+    std::uint64_t ticket = 0;
+  };
+
   void worker_loop();
 
   Device* device_;
   mutable std::mutex m_;
   std::condition_variable cv_worker_;
   std::condition_variable cv_idle_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::function<void(std::uint64_t)> task_hook_;
   std::exception_ptr pending_error_;
+  std::uint64_t next_ticket_ = 1;
   std::uint64_t executed_ = 0;
   std::uint64_t peak_depth_ = 0;
   bool busy_ = false;

@@ -3,118 +3,262 @@
 // All higher layers (BLAS kernels, LAPACK subset, the hybrid runtime, and
 // the fault-tolerant core) traffic exclusively in MatrixView/VectorView, so
 // sub-matrix operations never copy. Matrix owns storage; views borrow it.
+//
+// Views carry a compile-time MemSpace tag (DESIGN.md §10). Host-tagged
+// views (the default — every pre-existing spelling like MatrixView<double>
+// is a host view) behave exactly as before. Device-tagged views
+// (DMatrixView/DVectorView, produced by hybrid::DeviceMatrix) expose only
+// geometry: they have no data()/operator(), so host code cannot dereference
+// device memory by accident. The only ways through are
+//   .in_task()            — runtime-checked: caller must be a stream worker
+//                           inside a task (or transfer routine),
+//   hybrid::host_view()   — runtime-checked: the stream must be idle,
+//   .unchecked_host_view()— no check; restricted by tools/fth_lint to the
+//                           src/hybrid/ + src/fault/ allowlist.
+// In checked builds (see check/hooks.hpp) host-view construction and every
+// element access additionally validate against the device-allocation
+// registry and the in-flight-transfer happens-before window.
 #pragma once
 
 #include <algorithm>
 #include <type_traits>
 #include <vector>
 
+#include "check/hooks.hpp"
 #include "common/error.hpp"
 #include "common/types.hpp"
 
 namespace fth {
 
-/// Non-owning strided vector view. `T` may be const-qualified.
+namespace detail {
+/// Tag selecting the hook-free view constructor. Only the sanctioned
+/// unwrap gates spell this; tools/fth_lint flags any other use.
+struct unchecked_view_t {
+  explicit unchecked_view_t() = default;
+};
+inline constexpr unchecked_view_t unchecked_view{};
+}  // namespace detail
+
+template <class T, MemSpace S = MemSpace::Host>
+class VectorView;
+template <class T, MemSpace S = MemSpace::Host>
+class MatrixView;
+
+/// Device-space view aliases: geometry-only handles to stream-owned memory.
 template <class T>
+using DVectorView = VectorView<T, MemSpace::Device>;
+template <class T>
+using DMatrixView = MatrixView<T, MemSpace::Device>;
+
+/// Non-owning strided vector view. `T` may be const-qualified.
+template <class T, MemSpace S>
 class VectorView {
  public:
   using value_type = std::remove_const_t<T>;
+  static constexpr MemSpace space = S;
 
   VectorView() = default;
   VectorView(T* data, index_t n, index_t inc = 1) : data_(data), n_(n), inc_(inc) {
     FTH_CHECK(n >= 0, "vector length must be non-negative");
     FTH_CHECK(inc != 0, "vector stride must be non-zero");
+    if constexpr (S == MemSpace::Host)
+      check::note_host_view(data_, sizeof(value_type), 1, n_, inc_,
+                            !std::is_const_v<T>);
   }
 
-  /// Implicit widening from mutable to const view.
-  template <class U = T, class = std::enable_if_t<std::is_const_v<U>>>
-  VectorView(const VectorView<value_type>& other)  // NOLINT(google-explicit-constructor)
-      : data_(other.data()), n_(other.size()), inc_(other.inc()) {}
+  /// Hook-free constructor for the checked unwrap gates (see file header).
+  VectorView(detail::unchecked_view_t, T* data, index_t n, index_t inc) noexcept
+      : data_(data), n_(n), inc_(inc) {}
+
+  /// Implicit widening from mutable to const view (same space).
+  template <class U = T>
+    requires std::is_const_v<U>
+  VectorView(const VectorView<value_type, S>& other) noexcept  // NOLINT(google-explicit-constructor)
+      : data_(other.data_), n_(other.n_), inc_(other.inc_) {}
 
   [[nodiscard]] index_t size() const noexcept { return n_; }
   [[nodiscard]] index_t inc() const noexcept { return inc_; }
-  [[nodiscard]] T* data() const noexcept { return data_; }
   [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
 
-  T& operator[](index_t i) const {
-    FTH_ASSERT(i >= 0 && i < n_, "vector index out of range");
-    return data_[i * inc_];
+  [[nodiscard]] T* data() const noexcept
+    requires(S == MemSpace::Host)
+  {
+    check::note_host_view(data_, sizeof(value_type), 1, n_, inc_,
+                          !std::is_const_v<T>);
+    return data_;
   }
 
-  /// Sub-vector [first, first+len).
+  T& operator[](index_t i) const
+    requires(S == MemSpace::Host)
+  {
+    FTH_ASSERT(i >= 0 && i < n_, "vector index out of range");
+    T& e = data_[i * inc_];
+    check::note_host_touch(&e, sizeof(value_type), 1, 1, 1, !std::is_const_v<T>);
+    return e;
+  }
+
+  /// Sub-vector [first, first+len) (space-preserving).
   [[nodiscard]] VectorView sub(index_t first, index_t len) const {
     FTH_CHECK(first >= 0 && len >= 0 && first + len <= n_, "sub-vector out of range");
-    return VectorView(data_ + first * inc_, len, inc_);
+    return VectorView(detail::unchecked_view, data_ + first * inc_, len, inc_);
+  }
+
+  /// Unwrap a device view for the calling stream-worker task. Checked:
+  /// reports a violation when called outside a task context or on a range
+  /// whose backing device allocation is gone.
+  [[nodiscard]] VectorView<T, MemSpace::Host> in_task() const
+    requires(S == MemSpace::Device)
+  {
+    check::require_task_context(data_, extent_bytes(), "VectorView::in_task()");
+    return VectorView<T, MemSpace::Host>(detail::unchecked_view, data_, n_, inc_);
+  }
+
+  /// Unchecked escape hatch (lint-restricted; see file header).
+  [[nodiscard]] VectorView<T, MemSpace::Host> unchecked_host_view() const noexcept
+    requires(S == MemSpace::Device)
+  {
+    return VectorView<T, MemSpace::Host>(detail::unchecked_view, data_, n_, inc_);
+  }
+
+  /// Device base address as an opaque pointer: identity / checker
+  /// registration only, never dereferenced on the host (lint-restricted).
+  [[nodiscard]] T* raw_data() const noexcept
+    requires(S == MemSpace::Device)
+  {
+    return data_;
   }
 
  private:
+  template <class, MemSpace>
+  friend class VectorView;
+
+  [[nodiscard]] std::size_t extent_bytes() const noexcept {
+    if (n_ == 0) return 0;
+    const index_t span = (n_ - 1) * (inc_ < 0 ? -inc_ : inc_) + 1;
+    return static_cast<std::size_t>(span) * sizeof(value_type);
+  }
+
   T* data_ = nullptr;
   index_t n_ = 0;
   index_t inc_ = 1;
 };
 
 /// Non-owning view of a column-major matrix block. `T` may be const.
-template <class T>
+template <class T, MemSpace S>
 class MatrixView {
  public:
   using value_type = std::remove_const_t<T>;
+  static constexpr MemSpace space = S;
 
   MatrixView() = default;
   MatrixView(T* data, index_t rows, index_t cols, index_t ld)
       : data_(data), rows_(rows), cols_(cols), ld_(ld) {
     FTH_CHECK(rows >= 0 && cols >= 0, "matrix dimensions must be non-negative");
     FTH_CHECK(ld >= std::max<index_t>(1, rows), "leading dimension too small");
+    if constexpr (S == MemSpace::Host)
+      check::note_host_view(data_, sizeof(value_type), rows_, cols_, ld_,
+                            !std::is_const_v<T>);
   }
 
-  /// Implicit widening from mutable to const view.
-  template <class U = T, class = std::enable_if_t<std::is_const_v<U>>>
-  MatrixView(const MatrixView<value_type>& other)  // NOLINT(google-explicit-constructor)
-      : data_(other.data()), rows_(other.rows()), cols_(other.cols()), ld_(other.ld()) {}
+  /// Hook-free constructor for the checked unwrap gates (see file header).
+  MatrixView(detail::unchecked_view_t, T* data, index_t rows, index_t cols,
+             index_t ld) noexcept
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {}
+
+  /// Implicit widening from mutable to const view (same space).
+  template <class U = T>
+    requires std::is_const_v<U>
+  MatrixView(const MatrixView<value_type, S>& other) noexcept  // NOLINT(google-explicit-constructor)
+      : data_(other.data_), rows_(other.rows_), cols_(other.cols_), ld_(other.ld_) {}
 
   [[nodiscard]] index_t rows() const noexcept { return rows_; }
   [[nodiscard]] index_t cols() const noexcept { return cols_; }
   [[nodiscard]] index_t ld() const noexcept { return ld_; }
-  [[nodiscard]] T* data() const noexcept { return data_; }
   [[nodiscard]] bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
 
-  T& operator()(index_t i, index_t j) const {
-    FTH_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_, "matrix index out of range");
-    return data_[i + j * ld_];
+  [[nodiscard]] T* data() const noexcept
+    requires(S == MemSpace::Host)
+  {
+    check::note_host_view(data_, sizeof(value_type), rows_, cols_, ld_,
+                          !std::is_const_v<T>);
+    return data_;
   }
 
-  /// m×n sub-block with top-left corner (i, j).
+  T& operator()(index_t i, index_t j) const
+    requires(S == MemSpace::Host)
+  {
+    FTH_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_, "matrix index out of range");
+    T& e = data_[i + j * ld_];
+    check::note_host_touch(&e, sizeof(value_type), 1, 1, 1, !std::is_const_v<T>);
+    return e;
+  }
+
+  /// m×n sub-block with top-left corner (i, j) (space-preserving).
   [[nodiscard]] MatrixView block(index_t i, index_t j, index_t m, index_t n) const {
     FTH_CHECK(i >= 0 && j >= 0 && m >= 0 && n >= 0, "block corner/extent must be non-negative");
     FTH_CHECK(i + m <= rows_ && j + n <= cols_, "block exceeds matrix bounds");
-    return MatrixView(data_ + i + j * ld_, m, n, ld_);
+    return MatrixView(detail::unchecked_view, data_ + i + j * ld_, m, n, ld_);
   }
 
-  /// Column j as a unit-stride vector.
-  [[nodiscard]] VectorView<T> col(index_t j) const {
+  /// Column j as a unit-stride vector (space-preserving).
+  [[nodiscard]] VectorView<T, S> col(index_t j) const {
     FTH_CHECK(j >= 0 && j < cols_, "column index out of range");
-    return VectorView<T>(data_ + j * ld_, rows_, 1);
+    return VectorView<T, S>(detail::unchecked_view, data_ + j * ld_, rows_, 1);
   }
 
-  /// Row i as a stride-ld vector.
-  [[nodiscard]] VectorView<T> row(index_t i) const {
+  /// Row i as a stride-ld vector (space-preserving).
+  [[nodiscard]] VectorView<T, S> row(index_t i) const {
     FTH_CHECK(i >= 0 && i < rows_, "row index out of range");
-    return VectorView<T>(data_ + i, cols_, ld_);
+    return VectorView<T, S>(detail::unchecked_view, data_ + i, cols_, ld_);
   }
 
-  /// The main diagonal as a stride-(ld+1) vector.
-  [[nodiscard]] VectorView<T> diag() const {
+  /// The main diagonal as a stride-(ld+1) vector (space-preserving).
+  [[nodiscard]] VectorView<T, S> diag() const {
     const index_t n = std::min(rows_, cols_);
-    return VectorView<T>(data_, n, ld_ + 1);
+    return VectorView<T, S>(detail::unchecked_view, data_, n, ld_ + 1);
+  }
+
+  /// Unwrap a device view for the calling stream-worker task. Checked:
+  /// reports a violation when called outside a task context or on a range
+  /// whose backing device allocation is gone.
+  [[nodiscard]] MatrixView<T, MemSpace::Host> in_task() const
+    requires(S == MemSpace::Device)
+  {
+    check::require_task_context(data_, extent_bytes(), "MatrixView::in_task()");
+    return MatrixView<T, MemSpace::Host>(detail::unchecked_view, data_, rows_, cols_, ld_);
+  }
+
+  /// Unchecked escape hatch (lint-restricted; see file header).
+  [[nodiscard]] MatrixView<T, MemSpace::Host> unchecked_host_view() const noexcept
+    requires(S == MemSpace::Device)
+  {
+    return MatrixView<T, MemSpace::Host>(detail::unchecked_view, data_, rows_, cols_, ld_);
+  }
+
+  /// Device base address as an opaque pointer: identity / checker
+  /// registration only, never dereferenced on the host (lint-restricted).
+  [[nodiscard]] T* raw_data() const noexcept
+    requires(S == MemSpace::Device)
+  {
+    return data_;
   }
 
  private:
+  template <class, MemSpace>
+  friend class MatrixView;
+
+  [[nodiscard]] std::size_t extent_bytes() const noexcept {
+    if (rows_ == 0 || cols_ == 0) return 0;
+    return static_cast<std::size_t>((cols_ - 1) * ld_ + rows_) * sizeof(value_type);
+  }
+
   T* data_ = nullptr;
   index_t rows_ = 0;
   index_t cols_ = 0;
   index_t ld_ = 1;
 };
 
-/// Owning column-major dense matrix.
+/// Owning column-major dense matrix (always host memory).
 template <class T>
 class Matrix {
   static_assert(!std::is_const_v<T>, "Matrix owns storage and must be mutable");
@@ -138,26 +282,37 @@ class Matrix {
   [[nodiscard]] index_t rows() const noexcept { return rows_; }
   [[nodiscard]] index_t cols() const noexcept { return cols_; }
   [[nodiscard]] index_t ld() const noexcept { return ld_; }
-  [[nodiscard]] T* data() noexcept { return storage_.data(); }
-  [[nodiscard]] const T* data() const noexcept { return storage_.data(); }
   [[nodiscard]] bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+
+  [[nodiscard]] T* data() noexcept {
+    check::note_host_touch(storage_.data(), sizeof(T), rows_, cols_, ld_, true);
+    return storage_.data();
+  }
+  [[nodiscard]] const T* data() const noexcept {
+    check::note_host_touch(storage_.data(), sizeof(T), rows_, cols_, ld_, false);
+    return storage_.data();
+  }
 
   T& operator()(index_t i, index_t j) {
     FTH_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_, "matrix index out of range");
-    return storage_[static_cast<std::size_t>(i + j * ld_)];
+    T& e = storage_[static_cast<std::size_t>(i + j * ld_)];
+    check::note_host_touch(&e, sizeof(T), 1, 1, 1, true);
+    return e;
   }
   const T& operator()(index_t i, index_t j) const {
     FTH_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_, "matrix index out of range");
-    return storage_[static_cast<std::size_t>(i + j * ld_)];
+    const T& e = storage_[static_cast<std::size_t>(i + j * ld_)];
+    check::note_host_touch(&e, sizeof(T), 1, 1, 1, false);
+    return e;
   }
 
   /// Whole-matrix mutable view.
   [[nodiscard]] MatrixView<T> view() noexcept {
-    return MatrixView<T>(storage_.data(), rows_, cols_, ld_);
+    return MatrixView<T>(detail::unchecked_view, storage_.data(), rows_, cols_, ld_);
   }
   /// Whole-matrix const view.
   [[nodiscard]] MatrixView<const T> view() const noexcept {
-    return MatrixView<const T>(storage_.data(), rows_, cols_, ld_);
+    return MatrixView<const T>(detail::unchecked_view, storage_.data(), rows_, cols_, ld_);
   }
   [[nodiscard]] MatrixView<const T> cview() const noexcept { return view(); }
 
@@ -177,7 +332,10 @@ class Matrix {
   }
 
   /// Set every element to `value`.
-  void fill(T value) { std::fill(storage_.begin(), storage_.end(), value); }
+  void fill(T value) {
+    check::note_host_touch(storage_.data(), sizeof(T), rows_, cols_, ld_, true);
+    std::fill(storage_.begin(), storage_.end(), value);
+  }
 
  private:
   index_t rows_ = 0;

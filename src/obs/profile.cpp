@@ -106,9 +106,11 @@ struct Agg {
     f.mark_flops = fl;
     f.arg = arg;
     const bool stream_cat = std::strcmp(cat, "stream") == 0;
-    f.is_task = stream_cat && std::strcmp(name, "task") == 0;
     f.is_wait = stream_cat && (std::strcmp(name, "synchronize") == 0 ||
                                std::strcmp(name, "event_wait") == 0);
+    // Any other stream-category span is a worker task (they carry per-task
+    // labels — "dev.gemm", "h2d", "ft.detect", plain "task", ...).
+    f.is_task = stream_cat && !f.is_wait;
     const bool hybrid_cat = std::strcmp(cat, "hybrid") == 0;
     f.is_panel = hybrid_cat && std::strcmp(name, "panel") == 0;
     f.is_update = hybrid_cat && std::strcmp(name, "update") == 0;

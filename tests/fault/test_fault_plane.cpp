@@ -204,11 +204,11 @@ TEST(FaultPlane, TransferFaultsRequireAProtectedDestination) {
 
   // A transfer into unprotected memory (a shipped-operand stand-in) is not
   // an eligible trigger: the countdown must not move.
-  hybrid::copy_d2h(dev.stream(), MatrixView<const double>(d_src.view()), operand_dst.view());
+  hybrid::copy_d2h(dev.stream(), d_src.view(), operand_dst.view());
   EXPECT_TRUE(plane.fired().empty());
   EXPECT_EQ(plane.trigger_counts().d2h, 0u);
 
-  hybrid::copy_d2h(dev.stream(), MatrixView<const double>(d_src.view()), protected_dst.view());
+  hybrid::copy_d2h(dev.stream(), d_src.view(), protected_dst.view());
   const auto fired = plane.fired();
   ASSERT_EQ(fired.size(), 1u);
   EXPECT_EQ(fired[0].when, When::TransferD2H);
@@ -226,9 +226,9 @@ TEST(FaultPlane, CountsTriggersWhenNothingIsArmed) {
   plane.register_surface(Surface::TrailingMatrix, d.view());
   plane.mark_encoded();
   for (int t = 0; t < 3; ++t) dev.stream().enqueue([] {});
-  hybrid::copy_d2h(dev.stream(), MatrixView<const double>(d.view()), host.view());
+  hybrid::copy_d2h(dev.stream(), d.view(), host.view());
   plane.add_transfer_target(Surface::Checkpoint, host.view());
-  hybrid::copy_d2h(dev.stream(), MatrixView<const double>(d.view()), host.view());
+  hybrid::copy_d2h(dev.stream(), d.view(), host.view());
   dev.stream().synchronize();
   const TriggerCounts c = plane.trigger_counts();
   EXPECT_GE(c.tasks, 3u);

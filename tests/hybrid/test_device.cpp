@@ -40,19 +40,19 @@ TEST(Device, MemoryLimitEnforced) {
 TEST(Device, DeviceMatrixZeroInitialized) {
   Device dev;
   DeviceMatrix<double> a(dev, 7, 3);
-  EXPECT_EQ(norm_max(MatrixView<const double>(a.view())), 0.0);
+  EXPECT_EQ(norm_max(MatrixView<const double>(host_view(a.view(), dev.stream()))), 0.0);
 }
 
 TEST(Device, DeviceMatrixMoveSemantics) {
   Device dev;
   DeviceMatrix<double> a(dev, 4, 4);
-  a.view()(1, 1) = 5.0;
+  host_view(a.view(), dev.stream())(1, 1) = 5.0;
   DeviceMatrix<double> b(std::move(a));
-  EXPECT_EQ(b.view()(1, 1), 5.0);
+  EXPECT_EQ(host_view(b.view(), dev.stream())(1, 1), 5.0);
   EXPECT_EQ(dev.bytes_in_use(), 16 * sizeof(double));
   DeviceMatrix<double> c(dev, 2, 2);
   c = std::move(b);
-  EXPECT_EQ(c.view()(1, 1), 5.0);
+  EXPECT_EQ(host_view(c.view(), dev.stream())(1, 1), 5.0);
   EXPECT_EQ(dev.bytes_in_use(), 16 * sizeof(double));
 }
 
@@ -62,7 +62,7 @@ TEST(Transfers, RoundTripPreservesData) {
   DeviceMatrix<double> d(dev, 23, 17);
   copy_h2d(dev.stream(), host.cview(), d.view());
   Matrix<double> back(23, 17);
-  copy_d2h(dev.stream(), MatrixView<const double>(d.view()), back.view());
+  copy_d2h(dev.stream(), d.view(), back.view());
   EXPECT_EQ(max_abs_diff(host.cview(), back.cview()), 0.0);
 }
 
@@ -73,7 +73,7 @@ TEST(Transfers, SubBlockTransfers) {
   copy_h2d(dev.stream(), MatrixView<const double>(host.block(3, 4, 5, 6)),
            d.block(10, 10, 5, 6));
   Matrix<double> back(5, 6);
-  copy_d2h(dev.stream(), MatrixView<const double>(d.block(10, 10, 5, 6)), back.view());
+  copy_d2h(dev.stream(), d.block(10, 10, 5, 6), back.view());
   EXPECT_EQ(max_abs_diff(MatrixView<const double>(host.block(3, 4, 5, 6)), back.cview()),
             0.0);
 }
@@ -93,7 +93,7 @@ TEST(Transfers, StatsAccumulate) {
   DeviceMatrix<double> d(dev, 8, 8);
   copy_h2d(dev.stream(), host.cview(), d.view());
   copy_h2d(dev.stream(), host.cview(), d.view());
-  copy_d2h(dev.stream(), MatrixView<const double>(d.view()), host.view());
+  copy_d2h(dev.stream(), d.view(), host.view());
   EXPECT_EQ(dev.h2d_bytes(), 2 * 64 * sizeof(double));
   EXPECT_EQ(dev.d2h_bytes(), 64 * sizeof(double));
   EXPECT_EQ(dev.h2d_count(), 2u);
@@ -112,7 +112,7 @@ TEST(Transfers, CostModelChargesTime) {
   EXPECT_GT(t.seconds(), 0.08);
   // D2H bandwidth unset ⇒ no charge.
   WallTimer t2;
-  copy_d2h(dev.stream(), MatrixView<const double>(d.view()), host.view());
+  copy_d2h(dev.stream(), d.view(), host.view());
   EXPECT_LT(t2.seconds(), 0.08);
 }
 

@@ -1,0 +1,143 @@
+// hybrid::Event semantics: record/wait ordering against the FIFO stream,
+// idempotent waits, waiting before the marker task has run, cross-stream
+// edges via wait_event, and the deterministic U2-race reproduction — the
+// missing-Event bug from DESIGN.md §7 expressed as a checker violation, not
+// as a timing-dependent data corruption.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "check/access.hpp"
+#include "hybrid/device.hpp"
+#include "hybrid/stream.hpp"
+
+namespace fth::hybrid {
+namespace {
+
+TEST(Event, DefaultConstructedIsTriviallyReady) {
+  Event e;
+  EXPECT_TRUE(e.ready());
+  e.wait();  // returns immediately, no stream attached
+  e.wait();
+}
+
+TEST(Event, WaitObservesEveryTaskEnqueuedBeforeRecord) {
+  Device dev;
+  Stream& s = dev.stream();
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i)
+    s.enqueue("tick", [&done] { done.fetch_add(1); });
+  Event e = s.record();
+  e.wait();
+  // FIFO stream: the marker task runs only after all eight tasks.
+  EXPECT_EQ(done.load(), 8);
+  s.synchronize();
+}
+
+TEST(Event, WaitBeforeMarkerRunsBlocksUntilRecorded) {
+  Device dev;
+  Stream& s = dev.stream();
+  std::atomic<bool> release{false};
+  std::atomic<bool> task_ran{false};
+  s.enqueue("gate", [&] {
+    while (!release.load()) std::this_thread::yield();
+    task_ran.store(true);
+  });
+  Event e = s.record();  // marker queued behind the gated task
+  EXPECT_FALSE(e.ready()) << "marker cannot have run while the gate blocks";
+
+  std::atomic<bool> waiter_done{false};
+  std::thread waiter([&] {
+    e.wait();
+    // The wait returning proves the gated task finished first.
+    EXPECT_TRUE(task_ran.load());
+    waiter_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(waiter_done.load()) << "wait() must block until the marker runs";
+  release.store(true);
+  waiter.join();
+  EXPECT_TRUE(waiter_done.load());
+  s.synchronize();
+}
+
+TEST(Event, DoubleWaitAndReadyAreIdempotent) {
+  Device dev;
+  Stream& s = dev.stream();
+  std::atomic<int> runs{0};
+  s.enqueue("once", [&runs] { runs.fetch_add(1); });
+  Event e = s.record();
+  e.wait();
+  e.wait();  // second wait is a no-op, not a hang or re-execution
+  EXPECT_TRUE(e.ready());
+  EXPECT_TRUE(e.ready());
+  EXPECT_EQ(runs.load(), 1);
+  // A copy shares the recorded state.
+  Event copy = e;
+  EXPECT_TRUE(copy.ready());
+  copy.wait();
+  s.synchronize();
+}
+
+TEST(Event, WaitEventOrdersAcrossStreams) {
+  Device dev;
+  Stream& a = dev.stream();
+  Stream b(&dev);
+  std::atomic<int> value{0};
+  std::atomic<bool> release{false};
+  a.enqueue("producer", [&] {
+    while (!release.load()) std::this_thread::yield();
+    value.store(7);
+  });
+  Event produced = a.record();
+  b.wait_event(produced);
+  std::atomic<int> seen{-1};
+  b.enqueue("consumer", [&] { seen.store(value.load()); });
+  release.store(true);
+  b.synchronize();
+  EXPECT_EQ(seen.load(), 7) << "wait_event must delay the consumer stream";
+  a.synchronize();
+}
+
+// ---- the U2 race, reproduced deterministically ------------------------------
+
+TEST(Event, MissingWaitIsACheckerViolationNotATimingBug) {
+  if (!check::compiled_in()) GTEST_SKIP() << "checker compiled out of this build";
+  check::set_active(true);
+  Device dev;
+  Stream& s = dev.stream();
+  DeviceMatrix<double> d_u2(dev, 16, 16, "event_test.d_u2");
+  Matrix<double> pivots(16, 16);
+
+  // Buggy shape (the original U2 race): ship the operand, then update the
+  // host copy without waiting. Flagged on every run — the transfer stays
+  // live until the host observes an ordering edge, so detection does not
+  // depend on whether the worker already finished the memcpy.
+  copy_h2d_async(s, pivots.view(), d_u2.view());
+  {
+    check::ExpectViolations ex;
+    pivots(0, 0) = 1.0;
+    const auto vs = ex.taken();
+    ASSERT_FALSE(vs.empty());
+    EXPECT_EQ(vs[0].kind, check::ViolationKind::TransferRace);
+    EXPECT_STREQ(vs[0].task_label, "h2d");
+    EXPECT_STREQ(vs[0].alloc_site, "event_test.d_u2");
+  }
+  s.synchronize();
+
+  // Fixed shape (ft_gebrd's operands_shipped pattern): record + wait, then
+  // the host write is ordered after the transfer and nothing fires.
+  copy_h2d_async(s, pivots.view(), d_u2.view());
+  Event operands_shipped = s.record();
+  operands_shipped.wait();
+  const auto before = check::violation_count();
+  pivots(0, 0) = 2.0;
+  EXPECT_EQ(check::violation_count(), before);
+  s.synchronize();
+}
+
+}  // namespace
+}  // namespace fth::hybrid

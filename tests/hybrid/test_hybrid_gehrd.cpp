@@ -126,10 +126,10 @@ TEST(DevBlas, AsyncKernelsMatchHostBlas) {
   copy_h2d_async(s, ha.cview(), da.view());
   copy_h2d_async(s, hb.cview(), db.view());
   copy_h2d_async(s, hc.cview(), dc.view());
-  gemm_async(s, Trans::No, Trans::No, 1.5, MatrixView<const double>(da.view()),
-             MatrixView<const double>(db.view()), 0.5, dc.view());
+  gemm_async(s, Trans::No, Trans::No, 1.5, da.view(),
+             db.view(), 0.5, dc.view());
   Matrix<double> back(m, n);
-  copy_d2h(s, MatrixView<const double>(dc.view()), back.view());
+  copy_d2h(s, dc.view(), back.view());
 
   Matrix<double> expected = test::ref_gemm(Trans::No, Trans::No, 1.5, ha.cview(), hb.cview(),
                                            0.5, hc.cview());
@@ -142,7 +142,7 @@ TEST(DevBlas, FillAsync) {
   fill_async(dev.stream(), d.view(), 3.25);
   dev.stream().synchronize();
   Matrix<double> back(6, 6);
-  copy_d2h(dev.stream(), MatrixView<const double>(d.view()), back.view());
+  copy_d2h(dev.stream(), d.view(), back.view());
   EXPECT_EQ(norm_max(back.cview()), 3.25);
   EXPECT_EQ(back(5, 5), 3.25);
 }
