@@ -1,5 +1,7 @@
 #include "check/access.hpp"
 
+#include "check/effects.hpp"
+
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -18,6 +20,7 @@ const char* to_string(ViolationKind k) noexcept {
     case ViolationKind::HostViewOverDevice: return "HostViewOverDevice";
     case ViolationKind::TransferRace: return "TransferRace";
     case ViolationKind::StreamNotIdle: return "StreamNotIdle";
+    case ViolationKind::EffectMismatch: return "EffectMismatch";
   }
   return "?";
 }
@@ -29,6 +32,11 @@ std::atomic<bool> g_active{false};
 std::atomic<std::uint32_t> g_live_transfers{0};
 std::atomic<std::uint32_t> g_device_allocs{0};
 }  // namespace detail
+
+namespace {
+/// Effect-conformance mode (FTH_CHECK_EFFECTS=1 / set_effects_active).
+std::atomic<bool> g_effects_active{false};
+}  // namespace
 
 namespace {
 
@@ -98,6 +106,9 @@ struct EnvInit {
     detail::g_active.store(on, std::memory_order_relaxed);
     if (const char* a = std::getenv("FTH_CHECK_ABORT"); a != nullptr)
       st().abort_on_violation = !(a[0] == '0' && a[1] == '\0');
+    if (const char* f = std::getenv("FTH_CHECK_EFFECTS"); f != nullptr)
+      g_effects_active.store(!(f[0] == '0' && f[1] == '\0'),
+                             std::memory_order_relaxed);
   }
 };
 const EnvInit env_init;
@@ -270,7 +281,32 @@ void require_task_context(const void* p, std::size_t bytes, const char* what) no
   auto& s = st();
   std::lock_guard lock(s.m);
   const auto* a = find_alloc(p);
-  if (in_task_context() && a != nullptr) return;
+  if (in_task_context() && a != nullptr) {
+    // Effect conformance (FTH_CHECK_EFFECTS=1): a task that declared
+    // FTH_TASK_EFFECTS must unwrap only ranges inside its declared set.
+    // Unwraps don't carry read/write intent, so containment is tested
+    // against the union of declared reads and writes.
+    const TaskEffects* eff = detail::t_ctx.effects;
+    if (eff != nullptr && g_effects_active.load(std::memory_order_relaxed) &&
+        !eff->covers(p, bytes, /*write=*/false)) {
+      Violation v;
+      v.kind = ViolationKind::EffectMismatch;
+      v.alloc_site = a->second.site;
+      v.task_label = detail::t_ctx.task_label;
+      v.ticket = detail::t_ctx.ticket;
+      char buf[320];
+      std::snprintf(buf, sizeof buf,
+                    "%s on device allocation '%s' (%zu bytes at %p) inside task "
+                    "'%s' (ticket %" PRIu64
+                    ") lies outside the task's declared FTH_READS/FTH_WRITES set "
+                    "(%d range(s) declared)",
+                    what, a->second.site, bytes, p, v.task_label, v.ticket,
+                    eff->size());
+      v.message = buf;
+      record_violation(std::move(v));
+    }
+    return;
+  }
   Violation v;
   v.kind = ViolationKind::HostDerefDevice;
   v.alloc_site = a != nullptr ? a->second.site : "<unregistered>";
@@ -414,6 +450,14 @@ void set_active(bool on) noexcept {
   detail::g_active.store(on, std::memory_order_relaxed);
 }
 
+void set_effects_active(bool on) noexcept {
+  g_effects_active.store(on, std::memory_order_relaxed);
+}
+
+bool effects_active() noexcept {
+  return g_effects_active.load(std::memory_order_relaxed);
+}
+
 std::uint64_t violation_count() noexcept {
   auto& s = st();
   std::lock_guard lock(s.m);
@@ -460,6 +504,8 @@ std::vector<Violation> ExpectViolations::taken() {
 #else  // !FTH_CHECK_ENABLED — minimal stubs so callers link in any build.
 
 void set_active(bool) noexcept {}
+void set_effects_active(bool) noexcept {}
+bool effects_active() noexcept { return false; }
 std::uint64_t violation_count() noexcept { return 0; }
 std::vector<Violation> take_violations() { return {}; }
 ExpectViolations::ExpectViolations() = default;

@@ -42,6 +42,7 @@ enum class ViolationKind {
   HostViewOverDevice,  ///< host-space view constructed over device memory from host context
   TransferRace,        ///< host touched memory of an in-flight transfer without an ordering edge
   StreamNotIdle,       ///< host_view(view, stream) taken while the stream still had work queued
+  EffectMismatch,      ///< task accessed memory outside its declared FTH_READS/FTH_WRITES set
 };
 
 const char* to_string(ViolationKind k) noexcept;
@@ -60,6 +61,16 @@ struct Violation {
 /// Runtime switch (meaningful only when compiled_in()). Defaults to on,
 /// overridable with FTH_CHECK=0/1 in the environment.
 void set_active(bool on) noexcept;
+
+/// Effect-conformance mode: when on (FTH_CHECK_EFFECTS=1, or
+/// set_effects_active(true)), every device-view unwrap inside a task that
+/// declared FTH_TASK_EFFECTS must land inside a declared range, else an
+/// EffectMismatch violation is reported. Off by default — declarations are
+/// free to carry, the conformance sweep is opt-in per run. Compiled-out
+/// builds: effects_active() is constant false and set_effects_active a
+/// no-op (asserted by fth_checkinfo --expect-off).
+void set_effects_active(bool on) noexcept;
+bool effects_active() noexcept;
 
 /// Total violations recorded since process start (monotonic, survives
 /// take_violations()).
@@ -100,14 +111,18 @@ void on_device_alloc(const void* p, std::size_t bytes, const char* site) noexcep
 void on_device_free(const void* p) noexcept;
 
 /// RAII worker-thread task context (stream worker loop, between-task hooks).
+/// `effects` (may be null) is the task's declared FTH_TASK_EFFECTS set; it
+/// must outlive the scope (the stream's Task object does).
 class TaskScope {
  public:
-  TaskScope(const void* stream, const char* label, std::uint64_t ticket) noexcept {
+  TaskScope(const void* stream, const char* label, std::uint64_t ticket,
+            const TaskEffects* effects = nullptr) noexcept {
     auto& ctx = detail::t_ctx;
     prev_ = ctx;
     ctx.stream = stream;
     ctx.task_label = label;
     ctx.ticket = ticket;
+    ctx.effects = effects;
     ++ctx.depth;
   }
   ~TaskScope() { detail::t_ctx = prev_; }
@@ -152,7 +167,8 @@ void require_stream_idle(bool idle, const void* p, const char* what) noexcept;
 
 class TaskScope {
  public:
-  TaskScope(const void*, const char*, std::uint64_t) noexcept {}
+  TaskScope(const void*, const char*, std::uint64_t,
+            const TaskEffects* = nullptr) noexcept {}
 };
 inline void on_device_alloc(const void*, std::size_t, const char*) noexcept {}
 inline void on_device_free(const void*) noexcept {}

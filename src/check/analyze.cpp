@@ -1,0 +1,467 @@
+#include "check/analyze.hpp"
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/analyze_lex.hpp"
+
+namespace fth::check::analyze {
+
+namespace {
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::char_traits<char>::length(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/// Words that cannot be the host-buffer root of a transfer argument:
+/// type spellings, namespaces, and qualifiers that precede the actual
+/// variable in expressions like `a.view(...)` or `host.cview()`.
+bool is_type_word(const std::string& id) {
+  static const std::set<std::string> kWords = {
+      "MatrixView", "VectorView", "DMatrixView", "DVectorView",
+      "Matrix",     "Vector",     "const",       "double",
+      "float",      "int",        "auto",        "void",
+      "char",       "bool",       "unsigned",    "index_t",
+      "std",        "hybrid",     "detail",      "lapack",
+      "blas",       "check",      "fth",         "static_cast",
+      "size_t",     "uint64_t",   "int64_t",
+  };
+  return kWords.count(id) > 0;
+}
+
+/// One still-in-flight asynchronous copy: the symbolic analogue of the
+/// runtime checker's transfer table (access.cpp host_touch_locked).
+struct Transfer {
+  char dir = 'h';    ///< 'h' = h2d (host side is read), 'd' = d2h (host side is written)
+  std::string root;  ///< host-buffer root symbol, e.g. y_host
+  std::uint64_t ticket = 0;
+  int line = 0;  ///< line the copy was enqueued on
+};
+
+struct Engine {
+  std::string file;
+  std::vector<Token> t;
+  std::vector<Finding> findings;
+  Stats stats;
+  bool effects_scoped = false;  ///< undeclared-task rule applies to this file
+
+  // ---- per-function symbolic stream state ----
+  std::uint64_t ticket = 0;  ///< tickets issued so far (tail of the stream)
+  std::uint64_t synced = 0;  ///< highest ticket known host-ordered
+  std::vector<Transfer> live;
+  std::map<std::string, std::uint64_t> events;  ///< Event name -> marker ticket
+  std::set<std::string> dedupe;
+
+  void reset_function_state() {
+    ticket = 0;
+    synced = 0;
+    live.clear();
+    events.clear();
+  }
+
+  // ---- token helpers ----
+  bool is_punct(std::size_t i, const char* p) const {
+    return i < t.size() && t[i].kind == Tok::Punct && t[i].text == p;
+  }
+  bool is_ident(std::size_t i) const { return i < t.size() && t[i].kind == Tok::Ident; }
+
+  /// Index of the `)` matching the `(` at `open` (paren depth only;
+  /// literals are already tokenized away). Clamps on imbalance.
+  std::size_t close_paren(std::size_t open) const {
+    int d = 0;
+    for (std::size_t j = open; j < t.size(); ++j) {
+      if (t[j].kind != Tok::Punct) continue;
+      if (t[j].text == "(") {
+        ++d;
+      } else if (t[j].text == ")") {
+        if (--d == 0) return j;
+      }
+    }
+    return t.empty() ? 0 : t.size() - 1;
+  }
+
+  std::size_t close_square(std::size_t open) const {
+    int d = 0;
+    for (std::size_t j = open; j < t.size(); ++j) {
+      if (t[j].kind != Tok::Punct) continue;
+      if (t[j].text == "[") {
+        ++d;
+      } else if (t[j].text == "]") {
+        if (--d == 0) return j;
+      }
+    }
+    return t.empty() ? 0 : t.size() - 1;
+  }
+
+  /// Top-level argument ranges of the call whose `(` is at `open`.
+  /// Commas nested in parens, braces (lambda bodies) or squares
+  /// (captures, subscripts) do not split.
+  std::vector<std::pair<std::size_t, std::size_t>> split_args(std::size_t open,
+                                                              std::size_t close) const {
+    std::vector<std::pair<std::size_t, std::size_t>> args;
+    int pd = 0, bd = 0, sd = 0;
+    std::size_t b = open + 1;
+    for (std::size_t j = open; j <= close && j < t.size(); ++j) {
+      if (t[j].kind != Tok::Punct) continue;
+      const std::string& x = t[j].text;
+      if (x == "(") {
+        ++pd;
+      } else if (x == ")") {
+        if (--pd == 0) {
+          if (j > b) args.push_back({b, j});
+          break;
+        }
+      } else if (x == "{") {
+        ++bd;
+      } else if (x == "}") {
+        --bd;
+      } else if (x == "[") {
+        ++sd;
+      } else if (x == "]") {
+        --sd;
+      } else if (x == "," && pd == 1 && bd == 0 && sd == 0) {
+        args.push_back({b, j});
+        b = j + 1;
+      }
+    }
+    return args;
+  }
+
+  /// A `(` at `open` is a *call* (not a declaration) iff the first
+  /// argument reads like an expression: an identifier followed by `,`
+  /// or `.`. Parameter lists read `Type& name` / `MatrixView<...>`.
+  bool is_call(std::size_t open) const {
+    return is_ident(open + 1) && (is_punct(open + 2, ",") || is_punct(open + 2, "."));
+  }
+
+  /// The `{` at `bi` opens a function body iff, skipping trailing
+  /// cv/noexcept-style qualifiers, it is preceded by `)`. Namespace,
+  /// class and initializer braces are preceded by identifiers or `=`.
+  bool opens_function(std::size_t bi) const {
+    if (bi == 0) return false;
+    std::size_t j = bi - 1;
+    while (j > 0 && t[j].kind == Tok::Ident &&
+           (t[j].text == "const" || t[j].text == "noexcept" || t[j].text == "override" ||
+            t[j].text == "final" || t[j].text == "mutable"))
+      --j;
+    return t[j].kind == Tok::Punct && t[j].text == ")";
+  }
+
+  /// First plausible host-buffer symbol in an argument range: an
+  /// identifier that is not a type/namespace word, not qualified
+  /// (`x::`) or templated (`x<`), and stands where a variable would
+  /// (`a`, `a.view(...)`, `a[...]`).
+  std::string root_of(std::size_t b, std::size_t e) const {
+    for (std::size_t j = b; j < e && j < t.size(); ++j) {
+      if (t[j].kind != Tok::Ident) continue;
+      const std::string& id = t[j].text;
+      if (is_type_word(id)) continue;
+      if (j + 1 < e && t[j + 1].kind == Tok::Punct &&
+          (t[j + 1].text == "::" || t[j + 1].text == "<"))
+        continue;
+      if (j + 1 >= e) return id;
+      if (t[j + 1].kind == Tok::Punct) {
+        const std::string& nx = t[j + 1].text;
+        if (nx == "." || nx == "," || nx == ")" || nx == "[") return id;
+      }
+    }
+    return {};
+  }
+
+  /// Does the postfix expression starting at the identifier at `i` end
+  /// up on the left of an assignment? Mirrors the runtime rule that a
+  /// live h2d transfer races host *writes* only.
+  bool is_write(std::size_t i) const {
+    std::size_t j = i + 1;
+    while (j < t.size() && t[j].kind == Tok::Punct) {
+      if (t[j].text == "(") {
+        j = close_paren(j) + 1;
+      } else if (t[j].text == "[") {
+        j = close_square(j) + 1;
+      } else if ((t[j].text == "." || t[j].text == "->") && is_ident(j + 1)) {
+        j += 2;
+      } else {
+        break;
+      }
+    }
+    return j < t.size() && t[j].kind == Tok::Punct &&
+           (t[j].text == "=" || t[j].text == "+=" || t[j].text == "-=" ||
+            t[j].text == "*=" || t[j].text == "/=");
+  }
+
+  void report(int line, const char* rule, std::string message, std::string edge = {}) {
+    std::string key = std::to_string(line);
+    key += ':';
+    key += rule;
+    if (!dedupe.insert(std::move(key)).second) return;
+    findings.push_back({file, line, rule, std::move(message), std::move(edge)});
+  }
+
+  // ---- symbolic stream operations ----
+
+  void retire_through(std::uint64_t thru) {
+    std::vector<Transfer> keep;
+    for (auto& tr : live)
+      if (tr.ticket > thru) keep.push_back(std::move(tr));
+    live.swap(keep);
+    if (thru > synced) synced = thru;
+  }
+
+  void retire_all() {
+    live.clear();
+    synced = ticket;
+  }
+
+  void drop_root(const std::string& root) {
+    std::vector<Transfer> keep;
+    for (auto& tr : live)
+      if (tr.root != root) keep.push_back(std::move(tr));
+    live.swap(keep);
+  }
+
+  /// h2d destination writes into the gehrd checksum row iff it spells
+  /// `d_e_ ... .block(n_, ...)` — the one device region whose stale
+  /// copy silently corrupts detection (DESIGN.md §7).
+  bool dest_is_chkrow(std::size_t b, std::size_t e) const {
+    bool saw_de = false;
+    for (std::size_t j = b; j < e && j < t.size(); ++j) {
+      if (t[j].kind != Tok::Ident) continue;
+      if (t[j].text == "d_e_") saw_de = true;
+      if (saw_de && t[j].text == "block" && is_punct(j + 1, "(") && is_ident(j + 2) &&
+          t[j + 2].text == "n_")
+        return true;
+    }
+    return false;
+  }
+
+  std::size_t handle_transfer(const std::string& id, std::size_t i, std::size_t open) {
+    const std::size_t close = close_paren(open);
+    const bool is_async = ends_with(id, "_async");
+    const char dir = id.find("h2d") != std::string::npos ? 'h' : 'd';
+    ++ticket;
+    ++stats.transfers;
+    const auto args = split_args(open, close);
+    std::string root;
+    if (args.size() >= 3) {
+      const auto& host_arg = dir == 'h' ? args[1] : args.back();
+      root = root_of(host_arg.first, host_arg.second);
+      if (dir == 'h') {
+        const auto& dest = args.back();
+        if (dest_is_chkrow(dest.first, dest.second) && root != "new_chkrow_" &&
+            root != "ckpt_chkrow_") {
+          report(t[i].line, "chkrow-reencode",
+                 "h2d into the checksum row d_e_.block(n_, ...) sourced from '" + root +
+                     "'; the row must be re-encoded from host data (new_chkrow_) or "
+                     "restored from the rollback checkpoint (ckpt_chkrow_)");
+        }
+      }
+    }
+    if (is_async) {
+      if (!root.empty()) live.push_back({dir, root, ticket, t[i].line});
+    } else {
+      // Synchronous copy = enqueue + synchronize(): everything earlier
+      // (itself included) is host-ordered when the call returns.
+      retire_all();
+    }
+    return close;
+  }
+
+  std::size_t handle_enqueue(std::size_t i, std::size_t open) {
+    const std::size_t close = close_paren(open);
+    ++ticket;
+    ++stats.enqueues;
+    if (effects_scoped) {
+      bool has_effects = false;
+      for (std::size_t j = open; j < close; ++j) {
+        if (t[j].kind == Tok::Ident && t[j].text == "FTH_TASK_EFFECTS") {
+          has_effects = true;
+          break;
+        }
+      }
+      if (!has_effects) {
+        const std::string label =
+            open + 1 < close && t[open + 1].kind == Tok::String ? t[open + 1].text : "?";
+        report(t[i].line, "undeclared-task",
+               "stream task \"" + label +
+                   "\" enqueued without FTH_TASK_EFFECTS(...); declare its "
+                   "FTH_READS/FTH_WRITES footprint so fth::analyze and "
+                   "FTH_CHECK_EFFECTS=1 can see it");
+      }
+    }
+    return close;  // the task lambda runs in task context, not here
+  }
+
+  void handle_mention(std::size_t i) {
+    const std::string& id = t[i].text;
+    // `x.id` / `x->id` / `ns::id` names a member of something else,
+    // never the tracked local buffer.
+    if (i > 0 && t[i - 1].kind == Tok::Punct &&
+        (t[i - 1].text == "." || t[i - 1].text == "->" || t[i - 1].text == "::"))
+      return;
+    const Transfer* hit = nullptr;
+    for (const auto& tr : live) {
+      if (tr.root != id) continue;
+      if (tr.dir == 'd') {  // d2h writes the host side: any mention races
+        hit = &tr;
+        break;
+      }
+      if (hit == nullptr) hit = &tr;  // h2d candidate; keep looking for a d2h
+    }
+    if (hit == nullptr) return;
+    if (hit->dir == 'h' && !is_write(i)) return;  // h2d only reads host memory
+    const std::string nticket = std::to_string(hit->ticket);
+    report(t[i].line, "transfer-race",
+           "host " + std::string(hit->dir == 'h' ? "write to '" : "access to '") + id +
+               "' races the in-flight " + (hit->dir == 'h' ? "h2d" : "d2h") +
+               " transfer enqueued at line " + std::to_string(hit->line) + " (ticket " +
+               nticket + "): no happens-before edge orders the transfer first",
+           "wait on an Event recorded at/after ticket " + nticket +
+               " of the stream (or synchronize()) before this access");
+    drop_root(id);  // one missing edge -> one finding, not one per mention
+  }
+
+  void run() {
+    int depth = 0;
+    bool in_func = false;
+    int func_depth = 0;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      const Token& tk = t[i];
+      if (tk.kind == Tok::Punct) {
+        if (tk.text == "{") {
+          if (!in_func && opens_function(i)) {
+            in_func = true;
+            func_depth = depth;
+            reset_function_state();
+            ++stats.functions;
+          }
+          ++depth;
+        } else if (tk.text == "}") {
+          --depth;
+          if (in_func && depth == func_depth) in_func = false;
+        }
+        continue;
+      }
+      if (!in_func || tk.kind != Tok::Ident) continue;
+
+      const std::string& id = tk.text;
+      const bool dotted = i > 0 && is_punct(i - 1, ".");
+      const std::size_t open = is_punct(i + 1, "(") ? i + 1 : 0;
+
+      if (open != 0 &&
+          (id == "copy_h2d_async" || id == "copy_d2h_async" || id == "copy_h2d" ||
+           id == "copy_d2h") &&
+          is_call(open)) {
+        i = handle_transfer(id, i, open);
+        continue;
+      }
+      if (open != 0 && id == "enqueue" &&
+          (dotted || (open + 1 < t.size() && t[open + 1].kind == Tok::String))) {
+        i = handle_enqueue(i, open);
+        continue;
+      }
+      if (open != 0 && dotted && id == "record" && is_punct(open + 1, ")")) {
+        ++ticket;  // the record marker is itself an enqueued task
+        if (i >= 4 && is_ident(i - 2) && is_punct(i - 3, "=") && is_ident(i - 4)) {
+          events[t[i - 4].text] = ticket;
+          ++stats.records;
+        }
+        i = open + 1;
+        continue;
+      }
+      if (open != 0 && dotted && (id == "wait" || id == "ready")) {
+        const std::string receiver = i >= 2 && is_ident(i - 2) ? t[i - 2].text : "";
+        const auto it = events.find(receiver);
+        if (it != events.end()) {
+          retire_through(it->second);
+          ++stats.waits;
+          i = close_paren(open);
+        }
+        // Unknown receiver (condition_variable etc.): not an ordering
+        // edge; its arguments are plain host code, keep scanning.
+        continue;
+      }
+      if (open != 0 && dotted && id == "synchronize") {
+        retire_all();
+        ++stats.syncs;
+        i = close_paren(open);
+        continue;
+      }
+      if (open != 0 && id == "host_view" && is_call(open)) {
+        if (synced < ticket) {
+          report(tk.line, "stream-not-idle",
+                 "hybrid::host_view() reached with enqueued work possibly in flight "
+                 "(tail ticket " +
+                     std::to_string(ticket) + ", host-ordered through " +
+                     std::to_string(synced) + ")",
+                 "synchronize() the stream (or wait on an Event recorded at/after "
+                 "ticket " +
+                     std::to_string(ticket) + ") before taking a host view");
+          retire_all();  // the runtime gate would stop here; avoid cascades
+        }
+        i = close_paren(open);
+        continue;
+      }
+      if (dotted && id == "in_task") {
+        report(tk.line, "in-task-context",
+               ".in_task() outside an enqueued stream task; host code takes "
+               "hybrid::host_view() after the stream drained");
+        continue;
+      }
+      if (open != 0 && ends_with(id, "_async") && is_call(open)) {
+        ++ticket;  // device kernel launch: FIFO-ordered, no host footprint
+        i = close_paren(open);
+        continue;
+      }
+      handle_mention(i);
+    }
+  }
+};
+
+}  // namespace
+
+bool in_scope(const std::string& rel_path) {
+  if (!(ends_with(rel_path, ".hpp") || ends_with(rel_path, ".cpp"))) return false;
+  return starts_with(rel_path, "src/hybrid/") || starts_with(rel_path, "src/ft/") ||
+         starts_with(rel_path, "examples/") || starts_with(rel_path, "bench/");
+}
+
+std::vector<Finding> analyze_source(const std::string& rel_path, const std::string& content,
+                                    Stats* stats) {
+  if (!in_scope(rel_path)) return {};
+  Engine engine;
+  engine.file = rel_path;
+  engine.t = lex(content);
+  // stream.hpp's label-only forwarder is the sanctioned hatch for
+  // generic tasks (tests, tools); everything in the drivers declares.
+  engine.effects_scoped =
+      (starts_with(rel_path, "src/hybrid/") || starts_with(rel_path, "src/ft/")) &&
+      rel_path != "src/hybrid/stream.hpp";
+  engine.run();
+  if (stats != nullptr) stats->accumulate(engine.stats);
+  return std::move(engine.findings);
+}
+
+std::string format(const Finding& finding) {
+  std::string out = finding.file;
+  out += ':';
+  out += std::to_string(finding.line);
+  out += ": [";
+  out += finding.rule;
+  out += "] ";
+  out += finding.message;
+  if (!finding.missing_edge.empty()) {
+    out += "\n    required: ";
+    out += finding.missing_edge;
+  }
+  return out;
+}
+
+}  // namespace fth::check::analyze

@@ -1,0 +1,91 @@
+#pragma once
+// fth::analyze — declared-effect static dataflow analysis of the
+// transfer/Event discipline (DESIGN.md §11).
+//
+// The runtime checker (check/access.hpp, §10) catches a missing
+// happens-before edge when the offending path *executes*. This pass
+// proves the same rules from the source text alone, before anything
+// runs: it reconstructs, per function, a symbolic timeline of stream
+// tickets — every enqueue, h2d/d2h transfer, Event record/wait and
+// synchronize() in program order — and walks host code against the
+// set of still-in-flight transfers.
+//
+// Rules (finding `rule` strings):
+//   transfer-race    host code touches the host side of an in-flight
+//                    async transfer with no dominating Event wait /
+//                    synchronize(). Mirrors the runtime checker's U2
+//                    rule: a live d2h races ANY host mention of the
+//                    buffer; a live h2d races host WRITES only.
+//   stream-not-idle  hybrid::host_view() reached while enqueued work
+//                    may still be in flight (no dominating sync edge).
+//   in-task-context  .in_task() spelled outside an enqueued stream
+//                    task lambda — host code must never unwrap.
+//   undeclared-task  Stream::enqueue in src/hybrid/ or src/ft/ whose
+//                    argument list carries no FTH_TASK_EFFECTS(...)
+//                    declaration (src/hybrid/stream.hpp's label-only
+//                    forwarder is the one sanctioned hatch).
+//   chkrow-reencode  h2d into the gehrd checksum row d_e_.block(n_,..)
+//                    from anything other than the freshly re-encoded
+//                    new_chkrow_ or the rollback checkpoint
+//                    ckpt_chkrow_ (the §7 gotcha, made structural).
+//
+// The analysis is a single linear pass per function: no loop
+// unrolling, no branch joins. That is sound-enough here by
+// construction — every driver loop body is self-synchronizing (it
+// ends in a synchronize()/sync-copy), which the analyzer itself
+// verifies, so iteration 1 sees every edge the steady state needs.
+//
+// Whole-tree gate: tools/fth_analyze.cpp, wired as the analyze.repo
+// ctest. Unlike the §10 checker this pass has no runtime hooks and is
+// compiled into every build type.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fth::check::analyze {
+
+struct Finding {
+  std::string file;          ///< repo-relative path
+  int line = 0;              ///< 1-based
+  std::string rule;          ///< see header comment
+  std::string message;       ///< what is wrong, runtime-checker flavoured
+  std::string missing_edge;  ///< the happens-before edge that would fix it
+};
+
+/// Aggregate counters, mostly for the golden "the analyzer actually saw
+/// the tree" assertions in tests/check/test_analyze.cpp.
+struct Stats {
+  std::size_t functions = 0;
+  std::size_t enqueues = 0;   ///< explicit Stream::enqueue calls
+  std::size_t transfers = 0;  ///< copy_{h2d,d2h}[_async] calls
+  std::size_t records = 0;    ///< Event = stream.record() bindings
+  std::size_t waits = 0;      ///< waits/ready() on recorded Events
+  std::size_t syncs = 0;      ///< synchronize() calls
+  void accumulate(const Stats& o) {
+    functions += o.functions;
+    enqueues += o.enqueues;
+    transfers += o.transfers;
+    records += o.records;
+    waits += o.waits;
+    syncs += o.syncs;
+  }
+};
+
+/// True for the sources the discipline applies to: C++ files under the
+/// hybrid runtime, the FT drivers, and the user-facing surfaces.
+bool in_scope(const std::string& rel_path);
+
+/// Analyze one translation unit's text. `rel_path` selects per-layer
+/// rule scoping (and is stamped into findings); out-of-scope paths
+/// yield no findings. Pure function of its arguments — the seeded
+/// regression tests run it on mutated in-memory copies of the real
+/// drivers.
+std::vector<Finding> analyze_source(const std::string& rel_path, const std::string& content,
+                                    Stats* stats = nullptr);
+
+/// "file:line: [rule] message" + an indented `required:` edge line, the
+/// same shape tools/fth_lint.cpp prints.
+std::string format(const Finding& finding);
+
+}  // namespace fth::check::analyze

@@ -1,0 +1,160 @@
+// fth::check declared-effect layer (DESIGN.md §11).
+//
+// A TaskEffects value is a bounded list of memory rectangles a stream task
+// promises to touch, split into reads and writes. It serves two consumers:
+//
+//  * tools/fth_analyze (src/check/analyze.cpp) reads the declarations
+//    *statically*: every Stream::enqueue in src/hybrid/ and src/ft/ must
+//    carry one (rule `undeclared-task`), which is what lets the dataflow
+//    engine reason about what each enqueued lambda may access without
+//    seeing through std::function.
+//  * The runtime checker validates the declarations *dynamically* when
+//    FTH_CHECK_EFFECTS=1 (Debug builds): every device-view unwrap via
+//    .in_task() inside a task that declared effects must land inside a
+//    declared range, otherwise ViolationKind::EffectMismatch is reported.
+//    That closes the loop — the annotations the static pass trusts are
+//    themselves checked against what the task really does.
+//
+// Spelling (the analyzer parses exactly this shape):
+//
+//   s.enqueue("dev.gemm",
+//             FTH_TASK_EFFECTS(FTH_READS(a, b) FTH_WRITES(c)),
+//             [=] { ... });
+//
+// FTH_READS/FTH_WRITES accept any mix of host/device Matrix/Vector views;
+// note the juxtaposition (no comma) between the two groups — they chain
+// builder calls on one TaskEffects temporary. A task that touches nothing
+// (pure marker) declares FTH_TASK_EFFECTS() — an empty set is a declaration
+// too, and any unwrap under it is a violation.
+//
+// Everything here compiles to an empty struct when FTH_CHECK_ENABLED is 0,
+// so Release builds carry no per-task storage and no code (asserted by
+// tools/fth_checkinfo --expect-off).
+#pragma once
+
+#include <cstddef>
+
+#include "check/hooks.hpp"
+#include "la/matrix.hpp"
+
+namespace fth::check {
+
+/// True when TaskEffects actually stores ranges in this build (mirrors
+/// compiled_in(); separate name so fth_checkinfo can report both).
+constexpr bool effects_compiled_in() noexcept { return FTH_CHECK_ENABLED != 0; }
+
+#if FTH_CHECK_ENABLED
+
+/// Hook-free view introspection for effect declaration. Reading a view's
+/// base pointer to *declare* it must not itself count as a host access
+/// (note_host_view would misreport a declared-upon in-flight rectangle as
+/// a race), hence this friend backdoor instead of .data()/.raw_data().
+struct EffectAccess {
+  template <class T, MemSpace S>
+  static const void* base(const MatrixView<T, S>& v) noexcept {
+    return v.data_;
+  }
+  template <class T, MemSpace S>
+  static std::size_t bytes(const MatrixView<T, S>& v) noexcept {
+    return v.extent_bytes();
+  }
+  template <class T, MemSpace S>
+  static const void* base(const VectorView<T, S>& v) noexcept {
+    return v.data_;
+  }
+  template <class T, MemSpace S>
+  static std::size_t bytes(const VectorView<T, S>& v) noexcept {
+    return v.extent_bytes();
+  }
+};
+
+/// One declared rectangle, flattened to its byte extent. Strided views are
+/// over-approximated by [base, base + extent) — containment checks stay
+/// conservative in the accepting direction only for ranges the task really
+/// declared, so a false "covered" requires overlapping declarations.
+struct EffectRange {
+  const void* base = nullptr;
+  std::size_t bytes = 0;
+  bool write = false;
+};
+
+/// Bounded builder of declared ranges. Copied by value into the stream's
+/// Task; kMax covers the widest annotated task in the tree (larfb: 4).
+class TaskEffects {
+ public:
+  static constexpr int kMax = 12;
+
+  template <class... Vs>
+  TaskEffects& r(const Vs&... vs) noexcept {
+    (add(vs, /*write=*/false), ...);
+    return *this;
+  }
+  template <class... Vs>
+  TaskEffects& w(const Vs&... vs) noexcept {
+    (add(vs, /*write=*/true), ...);
+    return *this;
+  }
+
+  [[nodiscard]] int size() const noexcept { return n_; }
+  [[nodiscard]] bool overflowed() const noexcept { return overflow_; }
+  [[nodiscard]] const EffectRange* begin() const noexcept { return ranges_; }
+  [[nodiscard]] const EffectRange* end() const noexcept { return ranges_ + n_; }
+
+  /// True when [p, p+bytes) lies inside a declared range. Write accesses
+  /// require a declared write range; reads are satisfied by either kind.
+  /// An overflowed declaration accepts everything (never a false report).
+  [[nodiscard]] bool covers(const void* p, std::size_t bytes, bool write) const noexcept {
+    if (overflow_) return true;
+    const char* const a = static_cast<const char*>(p);
+    for (int i = 0; i < n_; ++i) {
+      const EffectRange& e = ranges_[i];
+      if (write && !e.write) continue;
+      const char* const b = static_cast<const char*>(e.base);
+      if (a >= b && a + bytes <= b + e.bytes) return true;
+    }
+    return false;
+  }
+
+ private:
+  template <class V>
+  void add(const V& v, bool write) noexcept {
+    const void* base = EffectAccess::base(v);
+    const std::size_t bytes = EffectAccess::bytes(v);
+    if (base == nullptr || bytes == 0) return;
+    if (n_ == kMax) {
+      overflow_ = true;
+      return;
+    }
+    ranges_[n_] = EffectRange{base, bytes, write};
+    ++n_;
+  }
+
+  EffectRange ranges_[kMax] = {};
+  int n_ = 0;
+  bool overflow_ = false;
+};
+
+#else  // !FTH_CHECK_ENABLED — declarations evaporate.
+
+class TaskEffects {
+ public:
+  template <class... Vs>
+  TaskEffects& r(const Vs&...) noexcept {
+    return *this;
+  }
+  template <class... Vs>
+  TaskEffects& w(const Vs&...) noexcept {
+    return *this;
+  }
+};
+
+#endif  // FTH_CHECK_ENABLED
+
+}  // namespace fth::check
+
+// The annotation spelling. FTH_TASK_EFFECTS juxtaposes its groups instead
+// of comma-separating them so the whole declaration is one expression:
+//   FTH_TASK_EFFECTS(FTH_READS(a, b) FTH_WRITES(c))
+#define FTH_READS(...) .r(__VA_ARGS__)
+#define FTH_WRITES(...) .w(__VA_ARGS__)
+#define FTH_TASK_EFFECTS(...) (::fth::check::TaskEffects{} __VA_ARGS__)

@@ -35,6 +35,8 @@ namespace fth::check {
 /// run_benches.sh zero-overhead guard asserts this via tools/fth_checkinfo.
 constexpr bool compiled_in() noexcept { return FTH_CHECK_ENABLED != 0; }
 
+class TaskEffects;  // declared-effect set (check/effects.hpp)
+
 #if FTH_CHECK_ENABLED
 
 namespace detail {
@@ -52,6 +54,11 @@ struct ThreadCtx {
   const char* task_label = nullptr;
   std::uint64_t ticket = 0;
   int depth = 0;
+  /// Declared effects of the task this worker is executing (null when the
+  /// task declared none, and always null in between-task hooks — a hook
+  /// must not inherit the finished task's declaration). Checked by
+  /// require_task_context when FTH_CHECK_EFFECTS=1.
+  const TaskEffects* effects = nullptr;
 };
 inline thread_local ThreadCtx t_ctx;
 

@@ -30,11 +30,27 @@ std::string trim(const std::string& s) {
 std::vector<std::string> code_lines(const std::string& content) {
   std::vector<std::string> lines;
   std::string cur;
-  enum class St { Code, Slash, Line, Block, BlockStar, Str, StrEsc, Chr, ChrEsc };
+  enum class St { Code, Slash, Line, Block, BlockStar, Str, StrEsc, Chr, ChrEsc, RawDelim, Raw };
   St st = St::Code;
+  std::string raw_delim;      // delimiter of the raw literal being scanned
+  std::size_t raw_match = 0;  // delimiter chars matched after a ')' (Raw state)
+  bool raw_matching = false;  // a ')' opened a close-sequence candidate
+  // A '"' opens a *raw* literal iff the identifier characters immediately
+  // before it are exactly a raw-string prefix (R, LR, uR, UR, u8R). A longer
+  // identifier ending in R (e.g. FOOR"x") is an ordinary literal after a
+  // macro/identifier token.
+  const auto is_raw_prefix = [](const std::string& code) {
+    std::size_t b = code.size();
+    while (b > 0 && (std::isalnum(static_cast<unsigned char>(code[b - 1])) != 0 ||
+                     code[b - 1] == '_'))
+      --b;
+    const std::string id = code.substr(b);
+    return id == "R" || id == "LR" || id == "uR" || id == "UR" || id == "u8R";
+  };
   for (const char c : content) {
     if (c == '\n') {
-      // Line comments end; block comments continue across the newline.
+      // Line comments end; block comments (and raw literals) continue
+      // across the newline.
       if (st == St::Line || st == St::Slash) st = St::Code;
       lines.push_back(cur);
       cur.clear();
@@ -45,7 +61,14 @@ std::vector<std::string> code_lines(const std::string& content) {
         if (c == '/') {
           st = St::Slash;
         } else {
-          if (c == '"') st = St::Str;
+          if (c == '"') {
+            if (is_raw_prefix(cur)) {
+              st = St::RawDelim;
+              raw_delim.clear();
+            } else {
+              st = St::Str;
+            }
+          }
           if (c == '\'') st = St::Chr;
           cur.push_back(c);
         }
@@ -59,9 +82,17 @@ std::vector<std::string> code_lines(const std::string& content) {
           cur.push_back(' ');
         } else {
           cur.push_back('/');
-          if (c == '"') st = St::Str;
-          else if (c == '\'') st = St::Chr;
-          else st = St::Code;
+          if (c == '"') {
+            if (is_raw_prefix(cur)) {
+              st = St::RawDelim;
+              raw_delim.clear();
+            } else {
+              st = St::Str;
+            }
+          } else if (c == '\'')
+            st = St::Chr;
+          else
+            st = St::Code;
           if (st != St::Slash) cur.push_back(c);
         }
         break;
@@ -92,6 +123,34 @@ std::vector<std::string> code_lines(const std::string& content) {
         break;
       case St::ChrEsc:
         st = St::Chr;
+        cur.push_back(' ');
+        break;
+      case St::RawDelim:
+        // Collect the d-char-seq of R"delim( — everything up to the '('.
+        if (c == '(') {
+          st = St::Raw;
+          raw_matching = false;
+          raw_match = 0;
+        } else {
+          raw_delim.push_back(c);
+        }
+        cur.push_back(' ');
+        break;
+      case St::Raw:
+        // No escapes inside a raw literal: it ends only at )delim". The
+        // delimiter cannot contain ')', so a ')' always (re)opens the
+        // close-sequence candidate.
+        if (raw_matching && raw_match == raw_delim.size() && c == '"') {
+          st = St::Code;
+          cur.push_back('"');
+          break;
+        }
+        if (raw_matching && raw_match < raw_delim.size() && c == raw_delim[raw_match]) {
+          ++raw_match;
+        } else {
+          raw_matching = c == ')';
+          raw_match = 0;
+        }
         cur.push_back(' ');
         break;
     }

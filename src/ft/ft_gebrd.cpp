@@ -375,7 +375,8 @@ class FtGebrdDriver {
       copy_h2d_async(s_, seg.block(0, 1, ib, 1), d_chkr_.block(i, 0, ib, 1));
       const double e_last = e_[i + ib - 1];
       auto cr = d_chkr_.view();
-      s_.enqueue("ft.couple", [cr, i, ib, e_last] { cr.in_task()(i + ib, 0) += e_last; });
+      s_.enqueue("ft.couple", FTH_TASK_EFFECTS(FTH_WRITES(cr)),
+                 [cr, i, ib, e_last] { cr.in_task()(i + ib, 0) += e_last; });
       s_.synchronize();
     }
     st_.update_seconds += update_timer.seconds();
@@ -398,7 +399,8 @@ class FtGebrdDriver {
                        d_ones_.view().col(0).sub(0, tn), 0.0,
                        d_fresh_.view().col(0).sub(0, tn));
     std::vector<double> trail(static_cast<std::size_t>(tn));
-    s_.enqueue("ft.fresh_readback", [this, tn, &trail] {
+    s_.enqueue("ft.fresh_readback", FTH_TASK_EFFECTS(FTH_READS(d_fresh_.view())),
+                [this, tn, &trail] {
       auto f = d_fresh_.view().col(0).in_task();
       for (index_t r = 0; r < tn; ++r) trail[static_cast<std::size_t>(r)] = f[r];
     });
@@ -413,7 +415,9 @@ class FtGebrdDriver {
 
   std::vector<double> fetch_chk(bool col) {
     std::vector<double> out(static_cast<std::size_t>(n_));
-    s_.enqueue("ft.chk_readback", [this, &out, col] {
+    s_.enqueue("ft.chk_readback",
+                FTH_TASK_EFFECTS(FTH_READS(d_chkc_.view(), d_chkr_.view())),
+                [this, &out, col] {
       auto c = (col ? d_chkr_.view() : d_chkc_.view()).col(0).in_task();
       for (index_t r = 0; r < n_; ++r) out[static_cast<std::size_t>(r)] = c[r];
     });
@@ -632,7 +636,8 @@ class FtGebrdDriver {
     auto rv = ref.view();
     auto cc = d_chkc_.view();
     auto cr = d_chkr_.view();
-    s_.enqueue("ft.ckpt_readback", [rv, cc, cr, n = n_]() mutable {
+    s_.enqueue("ft.ckpt_readback", FTH_TASK_EFFECTS(FTH_READS(cc, cr) FTH_WRITES(rv)),
+                [rv, cc, cr, n = n_]() mutable {
       auto cch = cc.in_task();
       auto crh = cr.in_task();
       for (index_t r = 0; r < n; ++r) {
@@ -699,7 +704,8 @@ class FtGebrdDriver {
   void set_element(index_t row, index_t col, double v, index_t i) {
     if (row >= i && col >= i) {
       auto da = d_a_.view();
-      s_.enqueue("ft.correct", [da, row, col, v] { da.in_task()(row, col) = v; });
+      s_.enqueue("ft.correct", FTH_TASK_EFFECTS(FTH_WRITES(da)),
+                  [da, row, col, v] { da.in_task()(row, col) = v; });
       s_.synchronize();
     } else {
       a_(row, col) = v;
@@ -746,7 +752,8 @@ class FtGebrdDriver {
         const double f = fixed_row[static_cast<std::size_t>(r)];
         if (!std::isfinite(f))
           throw recovery_error("ft_gebrd: non-finite checksum with non-finite fresh sum");
-        s_.enqueue("ft.correct", [cc, r, f] { cc.in_task()(r, 0) = f; });
+        s_.enqueue("ft.correct", FTH_TASK_EFFECTS(FTH_WRITES(cc)),
+                   [cc, r, f] { cc.in_task()(r, 0) = f; });
         synced = true;
         ++ev.checksum_corrections;
       }
@@ -754,7 +761,8 @@ class FtGebrdDriver {
         const double f = fixed_col[static_cast<std::size_t>(r)];
         if (!std::isfinite(f))
           throw recovery_error("ft_gebrd: non-finite checksum with non-finite fresh sum");
-        s_.enqueue("ft.correct", [cr, r, f] { cr.in_task()(r, 0) = f; });
+        s_.enqueue("ft.correct", FTH_TASK_EFFECTS(FTH_WRITES(cr)),
+                   [cr, r, f] { cr.in_task()(r, 0) = f; });
         synced = true;
         ++ev.checksum_corrections;
       }
@@ -766,7 +774,8 @@ class FtGebrdDriver {
     auto da = d_a_.view();
     for (const auto& err : res.data_errors) {
       if (err.row >= i && err.col >= i) {
-        s_.enqueue("ft.correct", [da, err] { da.in_task()(err.row, err.col) -= err.delta; });
+        s_.enqueue("ft.correct", FTH_TASK_EFFECTS(FTH_WRITES(da)),
+                   [da, err] { da.in_task()(err.row, err.col) -= err.delta; });
         s_.synchronize();
       } else {
         a_(err.row, err.col) -= err.delta;
@@ -776,12 +785,14 @@ class FtGebrdDriver {
     }
     auto cc = d_chkc_.view();
     for (const auto& c : res.chk_col_errors) {
-      s_.enqueue("ft.correct", [cc, c] { cc.in_task()(c.index, 0) = c.fresh; });
+      s_.enqueue("ft.correct", FTH_TASK_EFFECTS(FTH_WRITES(cc)),
+                 [cc, c] { cc.in_task()(c.index, 0) = c.fresh; });
       ++ev.checksum_corrections;
     }
     auto cr = d_chkr_.view();
     for (const auto& c : res.chk_row_errors) {
-      s_.enqueue("ft.correct", [cr, c] { cr.in_task()(c.index, 0) = c.fresh; });
+      s_.enqueue("ft.correct", FTH_TASK_EFFECTS(FTH_WRITES(cr)),
+                 [cr, c] { cr.in_task()(c.index, 0) = c.fresh; });
       ++ev.checksum_corrections;
     }
     s_.synchronize();
@@ -795,7 +806,7 @@ class FtGebrdDriver {
       if (f.row >= i_next && f.col >= i_next) {
         auto da = d_a_.view();
         const auto ff = f;
-        s_.enqueue("fault.inject", [da, ff] {
+        s_.enqueue("fault.inject", FTH_TASK_EFFECTS(FTH_WRITES(da)), [da, ff] {
           auto dah = da.in_task();
           dah(ff.row, ff.col) = ff.apply(dah(ff.row, ff.col));
         });

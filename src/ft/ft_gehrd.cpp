@@ -170,7 +170,7 @@ class FtDriver {
     auto e = d_e_.view();
     hybrid::gemv_async(s_, Trans::Yes, 1.0, d_e_.block(0, 0, n_, n_), ones_n, 0.0,
                        e.row(n_).sub(0, n_));
-    s_.enqueue("ft.encode_corner", [e, n = n_] {
+    s_.enqueue("ft.encode_corner", FTH_TASK_EFFECTS(FTH_WRITES(e)), [e, n = n_] {
       auto eh = e.in_task();
       eh(n, n) = blas::sum(VectorView<const double>(eh.row(n).sub(0, n)));
     });
@@ -288,7 +288,8 @@ class FtDriver {
       // Line 7: column checksums of V (device GEMV with the ones vector).
       auto ones_v = d_ones_.view().col(0).sub(0, vrows);
       auto dv = d_vce_.view();
-      s_.enqueue("ft.v_chk", [this, dv, ones_v, vrows, ib] {
+      s_.enqueue("ft.v_chk", FTH_TASK_EFFECTS(FTH_READS(ones_v) FTH_WRITES(dv)),
+                 [this, dv, ones_v, vrows, ib] {
         WallTimer t;
         auto dvh = dv.in_task();
         blas::gemv(Trans::Yes, 1.0, MatrixView<const double>(dvh.block(0, 0, vrows, ib)),
@@ -306,7 +307,8 @@ class FtDriver {
       // Line 6: checksum row of Y, Ychk = Ac_chk(i+1:n)·V·T (device).
       auto dy = d_yce_.view();
       auto dt = d_t_.view();
-      s_.enqueue("ft.y_chk", [this, e, dv, dy, dt, i, ib, vrows] {
+      s_.enqueue("ft.y_chk", FTH_TASK_EFFECTS(FTH_READS(e, dv, dt) FTH_WRITES(dy)),
+                 [this, e, dv, dy, dt, i, ib, vrows] {
         WallTimer t;
         auto eh = e.in_task();
         auto chk_seg = VectorView<const double>(eh.row(n_).sub(i + 1, vrows));
@@ -489,7 +491,7 @@ class FtDriver {
     obs::TraceSpan span("ft", "detect");
     DetectResult det;
     auto e = d_e_.view();
-    s_.enqueue("ft.detect", [e, n = n_, first_col, &det] {
+    s_.enqueue("ft.detect", FTH_TASK_EFFECTS(FTH_READS(e)), [e, n = n_, first_col, &det] {
       auto eh = e.in_task();
       const double sre = blas::sum(VectorView<const double>(eh.col(n).sub(0, n)));
       const double sce = blas::sum(VectorView<const double>(eh.row(n).sub(0, n)));
@@ -520,7 +522,8 @@ class FtDriver {
     auto dy = d_yce_.view();
     auto dw = d_w_.view();
     if (completed) {
-      s_.enqueue("ft.reverse_update", [e, dv, dy, dw, i, ib, vrows, width] {
+      s_.enqueue("ft.reverse_update", FTH_TASK_EFFECTS(FTH_READS(dv, dy) FTH_WRITES(e, dw)),
+                  [e, dv, dy, dw, i, ib, vrows, width] {
         // Undo the left update first (it was applied last), then the right.
         auto eh = e.in_task();
         auto dvh = dv.in_task();
@@ -593,7 +596,8 @@ class FtDriver {
     Matrix<double> ref(1, ib);
     auto e = d_e_.view();
     auto rv = ref.view();
-    s_.enqueue("ft.chkrow_readback", [e, rv, i, ib, n = n_]() mutable {
+    s_.enqueue("ft.chkrow_readback", FTH_TASK_EFFECTS(FTH_READS(e) FTH_WRITES(rv)),
+                [e, rv, i, ib, n = n_]() mutable {
       auto eh = e.in_task();
       for (index_t j = 0; j < ib; ++j) rv(0, j) = eh(n, i + j);
     });
@@ -641,7 +645,8 @@ class FtDriver {
       if (!completed) {
         auto e = d_e_.view();
         auto cv = ckpt_chkrow_.view();
-        s_.enqueue("ft.chkrow_readback", [e, cv, i, ib, n = n_]() mutable {
+        s_.enqueue("ft.chkrow_readback", FTH_TASK_EFFECTS(FTH_READS(e) FTH_WRITES(cv)),
+                    [e, cv, i, ib, n = n_]() mutable {
           auto eh = e.in_task();
           for (index_t j = 0; j < ib; ++j) cv(0, j) = eh(n, i + j);
         });
@@ -675,16 +680,19 @@ class FtDriver {
     auto e = d_e_.view();
     for (const auto& err : res.data_errors) {
       if (err.col >= i) {
-        s_.enqueue("ft.correct", [e, err] { e.in_task()(err.row, err.col) -= err.delta; });
+        s_.enqueue("ft.correct", FTH_TASK_EFFECTS(FTH_WRITES(e)),
+                   [e, err] { e.in_task()(err.row, err.col) -= err.delta; });
       } else {
         a_(err.row, err.col) -= err.delta;
       }
     }
     for (const auto& c : res.chk_col_errors) {
-      s_.enqueue("ft.correct", [e, c, n = n_] { e.in_task()(c.index, n) = c.fresh; });
+      s_.enqueue("ft.correct", FTH_TASK_EFFECTS(FTH_WRITES(e)),
+                 [e, c, n = n_] { e.in_task()(c.index, n) = c.fresh; });
     }
     for (const auto& c : res.chk_row_errors) {
-      s_.enqueue("ft.correct", [e, c, n = n_] { e.in_task()(n, c.index) = c.fresh; });
+      s_.enqueue("ft.correct", FTH_TASK_EFFECTS(FTH_WRITES(e)),
+                 [e, c, n = n_] { e.in_task()(n, c.index) = c.fresh; });
     }
     int chk_repairs = 0;
     if (!res.reconstructions.empty()) chk_repairs = reconstruct(res.reconstructions, i);
@@ -717,7 +725,8 @@ class FtDriver {
       const double v = code - rest;
       ext(t.row, t.col) = v;
       if (t.col >= i) {
-        s_.enqueue("ft.reconstruct", [e, t, v] { e.in_task()(t.row, t.col) = v; });
+        s_.enqueue("ft.reconstruct", FTH_TASK_EFFECTS(FTH_WRITES(e)),
+                    [e, t, v] { e.in_task()(t.row, t.col) = v; });
       } else {
         a_(t.row, t.col) = v;
       }
@@ -737,7 +746,8 @@ class FtDriver {
       if (!std::isfinite(f))
         throw recovery_error("non-finite checksum column with non-finite fresh row sum");
       ext(r, n_) = f;
-      s_.enqueue("ft.reconstruct", [e, r, n = n_, f] { e.in_task()(r, n) = f; });
+      s_.enqueue("ft.reconstruct", FTH_TASK_EFFECTS(FTH_WRITES(e)),
+                  [e, r, n = n_, f] { e.in_task()(r, n) = f; });
       ++chk_repairs;
     }
     for (index_t c = 0; c < n_; ++c) {
@@ -746,14 +756,16 @@ class FtDriver {
       if (!std::isfinite(f))
         throw recovery_error("non-finite checksum row with non-finite fresh column sum");
       ext(n_, c) = f;
-      s_.enqueue("ft.reconstruct", [e, c, n = n_, f] { e.in_task()(n, c) = f; });
+      s_.enqueue("ft.reconstruct", FTH_TASK_EFFECTS(FTH_WRITES(e)),
+                  [e, c, n = n_, f] { e.in_task()(n, c) = f; });
       ++chk_repairs;
     }
     if (!std::isfinite(ext(n_, n_))) {
       double corner = 0.0;
       for (index_t c = 0; c < n_; ++c) corner += ext(n_, c);
       ext(n_, n_) = corner;
-      s_.enqueue("ft.reconstruct", [e, n = n_, corner] { e.in_task()(n, n) = corner; });
+      s_.enqueue("ft.reconstruct", FTH_TASK_EFFECTS(FTH_WRITES(e)),
+                  [e, n = n_, corner] { e.in_task()(n, n) = corner; });
       ++chk_repairs;
     }
     return chk_repairs;
@@ -765,7 +777,7 @@ class FtDriver {
     bool device_faults = false;
     for (const auto& f : due) {
       if (f.col >= i_next) {
-        s_.enqueue("fault.inject", [e, f] {
+        s_.enqueue("fault.inject", FTH_TASK_EFFECTS(FTH_WRITES(e)), [e, f] {
           auto eh = e.in_task();
           eh(f.row, f.col) = f.apply(eh(f.row, f.col));
         });

@@ -173,7 +173,8 @@ class FtSytrdDriver {
     obs::TraceSpan span("ft", "encode", "n", static_cast<double>(n_));
     copy_h2d_async(s_, MatrixView<const double>(a_), d_a_.view());
     hybrid::fill_async(s_, d_ones_.view(), 1.0);
-    s_.enqueue("ft.iota", [wv = d_wvec_.view()] {
+    s_.enqueue("ft.iota", FTH_TASK_EFFECTS(FTH_WRITES(d_wvec_.view())),
+                [wv = d_wvec_.view()] {
       auto wvh = wv.in_task();
       for (index_t r = 0; r < wvh.rows(); ++r) wvh(r, 0) = static_cast<double>(r + 1);
     });
@@ -367,7 +368,7 @@ class FtSytrdDriver {
       const double e_last = e_[i + ib - 1];
       auto ce = d_chke_.view();
       auto cw = d_chkw_.view();
-      s_.enqueue("ft.couple", [ce, cw, i, ib, e_last] {
+      s_.enqueue("ft.couple", FTH_TASK_EFFECTS(FTH_WRITES(ce, cw)), [ce, cw, i, ib, e_last] {
         ce.in_task()(i + ib, 0) += e_last;
         cw.in_task()(i + ib, 0) += e_last * static_cast<double>(i + ib);  // weight of col i+ib−1
       });
@@ -398,7 +399,8 @@ class FtSytrdDriver {
     hybrid::symv_async(s_, Uplo::Lower, 1.0, d_a_.block(i2, i2, tn, tn), vec, 0.0,
                        d_fresh_.view().col(0).sub(0, tn));
     std::vector<double> trail(static_cast<std::size_t>(tn));
-    s_.enqueue("ft.fresh_readback", [this, tn, &trail] {
+    s_.enqueue("ft.fresh_readback", FTH_TASK_EFFECTS(FTH_READS(d_fresh_.view())),
+                [this, tn, &trail] {
       auto f = d_fresh_.view().col(0).in_task();
       for (index_t r = 0; r < tn; ++r) trail[static_cast<std::size_t>(r)] = f[r];
     });
@@ -413,7 +415,9 @@ class FtSytrdDriver {
 
   std::vector<double> fetch_chk(bool weighted) {
     std::vector<double> out(static_cast<std::size_t>(n_));
-    s_.enqueue("ft.chk_readback", [this, &out, weighted] {
+    s_.enqueue("ft.chk_readback",
+                FTH_TASK_EFFECTS(FTH_READS(d_chke_.view(), d_chkw_.view())),
+                [this, &out, weighted] {
       auto c = (weighted ? d_chkw_.view() : d_chke_.view()).col(0).in_task();
       for (index_t r = 0; r < n_; ++r) out[static_cast<std::size_t>(r)] = c[r];
     });
@@ -585,7 +589,8 @@ class FtSytrdDriver {
     auto rv = ref.view();
     auto ce = d_chke_.view();
     auto cw = d_chkw_.view();
-    s_.enqueue("ft.ckpt_readback", [rv, ce, cw, n = n_]() mutable {
+    s_.enqueue("ft.ckpt_readback", FTH_TASK_EFFECTS(FTH_READS(ce, cw) FTH_WRITES(rv)),
+                [rv, ce, cw, n = n_]() mutable {
       auto ceh = ce.in_task();
       auto cwh = cw.in_task();
       for (index_t r = 0; r < n; ++r) {
@@ -662,7 +667,8 @@ class FtSytrdDriver {
     const index_t q = nf_rows.front();  // p == q → diagonal element
     if (q >= i) {
       auto da = d_a_.view();
-      s_.enqueue("ft.reconstruct", [da, p, q] { da.in_task()(p, q) = 0.0; });
+      s_.enqueue("ft.reconstruct", FTH_TASK_EFFECTS(FTH_WRITES(da)),
+                  [da, p, q] { da.in_task()(p, q) = 0.0; });
       s_.synchronize();
     } else {
       a_(p, q) = 0.0;
@@ -679,7 +685,8 @@ class FtSytrdDriver {
     const double v = code - rest;
     if (q >= i) {
       auto da = d_a_.view();
-      s_.enqueue("ft.reconstruct", [da, p, q, v] { da.in_task()(p, q) = v; });
+      s_.enqueue("ft.reconstruct", FTH_TASK_EFFECTS(FTH_WRITES(da)),
+                  [da, p, q, v] { da.in_task()(p, q) = v; });
       s_.synchronize();
     } else {
       a_(p, q) = v;
@@ -716,7 +723,8 @@ class FtSytrdDriver {
       for (index_t r = 0; r < n_; ++r) {
         const double fe = fresh_e[static_cast<std::size_t>(r)];
         if (!std::isfinite(chke[static_cast<std::size_t>(r)]) && std::isfinite(fe)) {
-          s_.enqueue("ft.correct", [ce, r, fe] { ce.in_task()(r, 0) = fe; });
+          s_.enqueue("ft.correct", FTH_TASK_EFFECTS(FTH_WRITES(ce)),
+                     [ce, r, fe] { ce.in_task()(r, 0) = fe; });
           synced = true;
           ++ev.checksum_corrections;
         }
@@ -724,7 +732,8 @@ class FtSytrdDriver {
           if (fresh_w_nf.empty()) fresh_w_nf = fresh_sums(i, true);
           const double fw = fresh_w_nf[static_cast<std::size_t>(r)];
           if (std::isfinite(fw)) {
-            s_.enqueue("ft.correct", [cw, r, fw] { cw.in_task()(r, 0) = fw; });
+            s_.enqueue("ft.correct", FTH_TASK_EFFECTS(FTH_WRITES(cw)),
+                       [cw, r, fw] { cw.in_task()(r, 0) = fw; });
             synced = true;
             ++ev.checksum_corrections;
           }
@@ -767,7 +776,8 @@ class FtSytrdDriver {
         // Repair by re-encoding from the fresh value.
         auto cw = d_chkw_.view();
         const double fw = fresh_w[static_cast<std::size_t>(f.row)];
-        s_.enqueue("ft.correct", [cw, f, fw] { cw.in_task()(f.row, 0) = fw; });
+        s_.enqueue("ft.correct", FTH_TASK_EFFECTS(FTH_WRITES(cw)),
+                   [cw, f, fw] { cw.in_task()(f.row, 0) = fw; });
         s_.synchronize();
         ++ev.checksum_corrections;
         continue;
@@ -783,7 +793,8 @@ class FtSytrdDriver {
         if (std::abs(f.dw) <= threshold_ * static_cast<double>(n_)) {
           auto ce = d_chke_.view();
           const double fe = fresh_e[static_cast<std::size_t>(f.row)];
-          s_.enqueue("ft.correct", [ce, f, fe] { ce.in_task()(f.row, 0) = fe; });
+          s_.enqueue("ft.correct", FTH_TASK_EFFECTS(FTH_WRITES(ce)),
+                     [ce, f, fe] { ce.in_task()(f.row, 0) = fe; });
           s_.synchronize();
           ++ev.checksum_corrections;
           continue;
@@ -797,7 +808,8 @@ class FtSytrdDriver {
       const double delta = f.de;
       if (qq >= i) {
         auto da = d_a_.view();
-        s_.enqueue("ft.correct", [da, p, qq, delta] { da.in_task()(p, qq) -= delta; });
+        s_.enqueue("ft.correct", FTH_TASK_EFFECTS(FTH_WRITES(da)),
+                   [da, p, qq, delta] { da.in_task()(p, qq) -= delta; });
         s_.synchronize();
       } else {
         a_(p, qq) -= delta;  // finished (tridiagonal) region on the host
@@ -826,7 +838,7 @@ class FtSytrdDriver {
       const index_t q = std::min(f.row, f.col);
       if (q >= i_next) {
         auto da = d_a_.view();
-        s_.enqueue("fault.inject", [da, p, q, f] {
+        s_.enqueue("fault.inject", FTH_TASK_EFFECTS(FTH_WRITES(da)), [da, p, q, f] {
           auto dah = da.in_task();
           dah(p, q) = f.apply(dah(p, q));
         });

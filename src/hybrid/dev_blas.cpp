@@ -10,7 +10,7 @@ namespace fth::hybrid {
 
 void gemm_async(Stream& s, Trans ta, Trans tb, double alpha, DMatrixView<const double> a,
                 DMatrixView<const double> b, double beta, DMatrixView<double> c) {
-  s.enqueue("dev.gemm", [=] {
+  s.enqueue("dev.gemm", FTH_TASK_EFFECTS(FTH_READS(a, b) FTH_WRITES(c)), [=] {
     obs::TraceSpan span("dev_blas", "gemm");
     blas::gemm(ta, tb, alpha, a.in_task(), b.in_task(), beta, c.in_task());
   });
@@ -18,7 +18,7 @@ void gemm_async(Stream& s, Trans ta, Trans tb, double alpha, DMatrixView<const d
 
 void gemv_async(Stream& s, Trans trans, double alpha, DMatrixView<const double> a,
                 DVectorView<const double> x, double beta, DVectorView<double> y) {
-  s.enqueue("dev.gemv", [=] {
+  s.enqueue("dev.gemv", FTH_TASK_EFFECTS(FTH_READS(a, x) FTH_WRITES(y)), [=] {
     obs::TraceSpan span("dev_blas", "gemv");
     blas::gemv(trans, alpha, a.in_task(), x.in_task(), beta, y.in_task());
   });
@@ -26,21 +26,21 @@ void gemv_async(Stream& s, Trans trans, double alpha, DMatrixView<const double> 
 
 void trmm_async(Stream& s, Side side, Uplo uplo, Trans trans, Diag diag, double alpha,
                 DMatrixView<const double> a, DMatrixView<double> b) {
-  s.enqueue("dev.trmm", [=] {
+  s.enqueue("dev.trmm", FTH_TASK_EFFECTS(FTH_READS(a) FTH_WRITES(b)), [=] {
     obs::TraceSpan span("dev_blas", "trmm");
     blas::trmm(side, uplo, trans, diag, alpha, a.in_task(), b.in_task());
   });
 }
 
 void scal_async(Stream& s, double alpha, DVectorView<double> x) {
-  s.enqueue("dev.scal", [=] {
+  s.enqueue("dev.scal", FTH_TASK_EFFECTS(FTH_WRITES(x)), [=] {
     obs::TraceSpan span("dev_blas", "scal");
     blas::scal(alpha, x.in_task());
   });
 }
 
 void axpy_async(Stream& s, double alpha, DVectorView<const double> x, DVectorView<double> y) {
-  s.enqueue("dev.axpy", [=] {
+  s.enqueue("dev.axpy", FTH_TASK_EFFECTS(FTH_READS(x) FTH_WRITES(y)), [=] {
     obs::TraceSpan span("dev_blas", "axpy");
     blas::axpy(alpha, x.in_task(), y.in_task());
   });
@@ -49,7 +49,7 @@ void axpy_async(Stream& s, double alpha, DVectorView<const double> x, DVectorVie
 void larfb_left_async(Stream& s, Trans trans, DMatrixView<const double> v,
                       DMatrixView<const double> t, DMatrixView<double> c,
                       DMatrixView<double> work) {
-  s.enqueue("dev.larfb", [=] {
+  s.enqueue("dev.larfb", FTH_TASK_EFFECTS(FTH_READS(v, t) FTH_WRITES(c, work)), [=] {
     obs::TraceSpan span("dev_blas", "larfb");
     lapack::larfb(Side::Left, trans, Direction::Forward, StoreV::Columnwise, v.in_task(),
                   t.in_task(), c.in_task(), work.in_task());
@@ -58,7 +58,7 @@ void larfb_left_async(Stream& s, Trans trans, DMatrixView<const double> v,
 
 void symv_async(Stream& s, Uplo uplo, double alpha, DMatrixView<const double> a,
                 DVectorView<const double> x, double beta, DVectorView<double> y) {
-  s.enqueue("dev.symv", [=] {
+  s.enqueue("dev.symv", FTH_TASK_EFFECTS(FTH_READS(a, x) FTH_WRITES(y)), [=] {
     obs::TraceSpan span("dev_blas", "symv");
     blas::symv(uplo, alpha, a.in_task(), x.in_task(), beta, y.in_task());
   });
@@ -66,14 +66,14 @@ void symv_async(Stream& s, Uplo uplo, double alpha, DMatrixView<const double> a,
 
 void syr2k_async(Stream& s, Uplo uplo, Trans trans, double alpha, DMatrixView<const double> a,
                  DMatrixView<const double> b, double beta, DMatrixView<double> c) {
-  s.enqueue("dev.syr2k", [=] {
+  s.enqueue("dev.syr2k", FTH_TASK_EFFECTS(FTH_READS(a, b) FTH_WRITES(c)), [=] {
     obs::TraceSpan span("dev_blas", "syr2k");
     blas::syr2k(uplo, trans, alpha, a.in_task(), b.in_task(), beta, c.in_task());
   });
 }
 
 void fill_async(Stream& s, DMatrixView<double> a, double value) {
-  s.enqueue("dev.fill", [=] {
+  s.enqueue("dev.fill", FTH_TASK_EFFECTS(FTH_WRITES(a)), [=] {
     obs::TraceSpan span("dev_blas", "fill");
     fill(a.in_task(), value);
   });

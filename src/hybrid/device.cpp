@@ -101,16 +101,18 @@ std::size_t view_bytes(MatrixView<const double> v) {
 
 void copy_h2d_async(Stream& s, MatrixView<const double> host, DMatrixView<double> dev) {
   const std::size_t bytes = view_bytes(host);
-  const std::uint64_t ticket = s.enqueue("h2d", [host, dev, bytes, d = s.device()] {
-    obs::TraceSpan span("device", "h2d", "bytes", static_cast<double>(bytes));
-    if (d != nullptr) {
-      d->charge_transfer(bytes, /*h2d=*/true);
-      d->note_h2d(bytes);
-    }
-    MatrixView<double> dev_h = dev.in_task();
-    copy_view(host, dev_h);
-    if (d != nullptr) d->call_transfer_hook(TransferDir::H2D, dev_h);
-  });
+  const std::uint64_t ticket = s.enqueue(
+      "h2d", FTH_TASK_EFFECTS(FTH_READS(host) FTH_WRITES(dev)),
+      [host, dev, bytes, d = s.device()] {
+        obs::TraceSpan span("device", "h2d", "bytes", static_cast<double>(bytes));
+        if (d != nullptr) {
+          d->charge_transfer(bytes, /*h2d=*/true);
+          d->note_h2d(bytes);
+        }
+        MatrixView<double> dev_h = dev.in_task();
+        copy_view(host, dev_h);
+        if (d != nullptr) d->call_transfer_hook(TransferDir::H2D, dev_h);
+      });
   // Transfer-routine context: taking the host view's base pointer for
   // registration must not itself count as a racing host access.
   check::TaskScope setup(&s, "h2d", ticket);
@@ -121,15 +123,17 @@ void copy_h2d_async(Stream& s, MatrixView<const double> host, DMatrixView<double
 
 void copy_d2h_async(Stream& s, DMatrixView<const double> dev, MatrixView<double> host) {
   const std::size_t bytes = view_bytes(host);
-  const std::uint64_t ticket = s.enqueue("d2h", [dev, host, bytes, d = s.device()] {
-    obs::TraceSpan span("device", "d2h", "bytes", static_cast<double>(bytes));
-    if (d != nullptr) {
-      d->charge_transfer(bytes, /*h2d=*/false);
-      d->note_d2h(bytes);
-    }
-    copy_view(dev.in_task(), host);
-    if (d != nullptr) d->call_transfer_hook(TransferDir::D2H, host);
-  });
+  const std::uint64_t ticket = s.enqueue(
+      "d2h", FTH_TASK_EFFECTS(FTH_READS(dev) FTH_WRITES(host)),
+      [dev, host, bytes, d = s.device()] {
+        obs::TraceSpan span("device", "d2h", "bytes", static_cast<double>(bytes));
+        if (d != nullptr) {
+          d->charge_transfer(bytes, /*h2d=*/false);
+          d->note_d2h(bytes);
+        }
+        copy_view(dev.in_task(), host);
+        if (d != nullptr) d->call_transfer_hook(TransferDir::D2H, host);
+      });
   check::TaskScope setup(&s, "d2h", ticket);
   check::on_transfer_enqueued(&s, ticket, /*host_is_dst=*/true, "d2h", host.data(),
                               sizeof(double), host.rows(), host.cols(), host.ld(),

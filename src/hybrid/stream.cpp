@@ -58,12 +58,34 @@ Stream::~Stream() {
 }
 
 std::uint64_t Stream::enqueue(const char* label, std::function<void()> task) {
-  FTH_CHECK(task != nullptr, "stream task must be callable");
+  Task t;
+  t.fn = std::move(task);
+  t.label = label != nullptr ? label : "task";
+  return enqueue_task(std::move(t));
+}
+
+std::uint64_t Stream::enqueue(const char* label, check::TaskEffects effects,
+                              std::function<void()> task) {
+  Task t;
+  t.fn = std::move(task);
+  t.label = label != nullptr ? label : "task";
+#if FTH_CHECK_ENABLED
+  t.effects = effects;
+  t.has_effects = true;
+#else
+  (void)effects;  // declarations evaporate in Release (empty TaskEffects)
+#endif
+  return enqueue_task(std::move(t));
+}
+
+std::uint64_t Stream::enqueue_task(Task&& t) {
+  FTH_CHECK(t.fn != nullptr, "stream task must be callable");
   std::uint64_t ticket = 0;
   {
     std::lock_guard lock(m_);
     ticket = next_ticket_++;
-    queue_.push_back(Task{std::move(task), label != nullptr ? label : "task", ticket});
+    t.ticket = ticket;
+    queue_.push_back(std::move(t));
     const std::uint64_t depth = queue_.size() + (busy_ ? 1 : 0);
     if (depth > peak_depth_) peak_depth_ = depth;
     obs::counter("stream.queue_depth", static_cast<double>(depth));
@@ -95,7 +117,8 @@ Event Stream::record() {
   Event e;
   e.state_ = std::make_shared<Event::State>();
   auto state = e.state_;
-  const std::uint64_t ticket = enqueue("event_record", [state] {
+  // Pure marker: touches no matrix memory, so it declares the empty set.
+  const std::uint64_t ticket = enqueue("event_record", FTH_TASK_EFFECTS(), [state] {
     {
       std::lock_guard lock(state->m);
       state->done = true;
@@ -113,7 +136,7 @@ Event Stream::record() {
 void Stream::wait_event(const Event& e) {
   // Not labeled "event_wait": that name means a *host* wait to the profiler;
   // the worker stalling on a cross-stream event is device-busy time.
-  enqueue("dev.wait_event", [e] { e.wait(); });
+  enqueue("dev.wait_event", FTH_TASK_EFFECTS(), [e] { e.wait(); });
 }
 
 bool Stream::idle() const {
@@ -163,7 +186,12 @@ void Stream::worker_loop() {
     }
     try {
       obs::TraceSpan span("stream", task.label);
+#if FTH_CHECK_ENABLED
+      check::TaskScope scope(this, task.label, task.ticket,
+                             task.has_effects ? &task.effects : nullptr);
+#else
       check::TaskScope scope(this, task.label, task.ticket);
+#endif
       task.fn();
     } catch (...) {
       std::lock_guard lock(m_);

@@ -24,6 +24,8 @@
 #include <mutex>
 #include <thread>
 
+#include "check/effects.hpp"
+
 namespace fth::hybrid {
 
 class Device;
@@ -71,6 +73,14 @@ class Stream {
     return enqueue("task", std::move(task));
   }
 
+  /// Enqueue with a declared effect set (check/effects.hpp): the
+  /// FTH_TASK_EFFECTS declaration travels with the task and is installed
+  /// in its TaskScope, so FTH_CHECK_EFFECTS=1 runs validate every device
+  /// unwrap against it. tools/fth_analyze requires this overload for every
+  /// enqueue in src/hybrid/ and src/ft/ (rule `undeclared-task`).
+  std::uint64_t enqueue(const char* label, check::TaskEffects effects,
+                        std::function<void()> task);
+
   /// Block until every enqueued task has completed. Rethrows the first
   /// exception thrown by any task since the last synchronize().
   void synchronize();
@@ -115,8 +125,13 @@ class Stream {
     std::function<void()> fn;
     const char* label = "task";
     std::uint64_t ticket = 0;
+#if FTH_CHECK_ENABLED
+    check::TaskEffects effects;  ///< declared set; meaningful iff has_effects
+    bool has_effects = false;
+#endif
   };
 
+  std::uint64_t enqueue_task(Task&& t);
   void worker_loop();
 
   Device* device_;

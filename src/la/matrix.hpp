@@ -30,6 +30,10 @@
 
 namespace fth {
 
+namespace check {
+struct EffectAccess;  // hook-free view introspection (check/effects.hpp)
+}  // namespace check
+
 namespace detail {
 /// Tag selecting the hook-free view constructor. Only the sanctioned
 /// unwrap gates spell this; tools/fth_lint flags any other use.
@@ -131,6 +135,7 @@ class VectorView {
  private:
   template <class, MemSpace>
   friend class VectorView;
+  friend struct check::EffectAccess;
 
   [[nodiscard]] std::size_t extent_bytes() const noexcept {
     if (n_ == 0) return 0;
@@ -246,6 +251,7 @@ class MatrixView {
  private:
   template <class, MemSpace>
   friend class MatrixView;
+  friend struct check::EffectAccess;
 
   [[nodiscard]] std::size_t extent_bytes() const noexcept {
     if (rows_ == 0 || cols_ == 0) return 0;

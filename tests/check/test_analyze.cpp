@@ -1,0 +1,369 @@
+// fth::analyze — the static transfer/Event-discipline pass (DESIGN.md §11).
+//
+// Two layers of proof:
+//  1. Engine unit tests on synthetic snippets: every rule fires on its
+//     seed and stays quiet on the idiomatic spelling (the analysis is a
+//     pure function of the source text, so these are deterministic).
+//  2. Seeded regressions on the REAL driver sources: load each hybrid/FT
+//     driver from FTH_REPO_ROOT, delete exactly one ordering edge (the
+//     Event wait or synchronize() the U2 discipline depends on), and
+//     assert the analyzer reports exactly that missing edge at the known
+//     access site — plus the clean-tree golden: the unmodified sources
+//     produce zero findings. The whole-tree gate is the analyze.repo
+//     ctest (tools/fth_analyze.cpp).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/analyze.hpp"
+
+namespace fth::check::analyze {
+namespace {
+
+std::vector<Finding> run(const std::string& path, const std::string& content,
+                         Stats* stats = nullptr) {
+  return analyze_source(path, content, stats);
+}
+
+// ---- scope ------------------------------------------------------------------
+
+TEST(AnalyzeScope, HybridFtAndUserFacingSurfacesOnly) {
+  EXPECT_TRUE(in_scope("src/hybrid/hybrid_gehrd.cpp"));
+  EXPECT_TRUE(in_scope("src/ft/ft_sytrd.cpp"));
+  EXPECT_TRUE(in_scope("examples/ex_hybrid.cpp"));
+  EXPECT_TRUE(in_scope("bench/bench_table1_platform.cpp"));
+  EXPECT_FALSE(in_scope("src/lapack/gehrd.cpp"));
+  EXPECT_FALSE(in_scope("tests/hybrid/test_stream.cpp"));
+  EXPECT_FALSE(in_scope("src/hybrid/README.md"));
+  EXPECT_TRUE(run("src/lapack/x.cpp", "void f(Stream& s) { dv.in_task(); }").empty())
+      << "out-of-scope paths produce no findings at all";
+}
+
+// ---- transfer-race ----------------------------------------------------------
+
+TEST(AnalyzeRace, D2hAnyMentionWithoutEdgeRaces) {
+  const auto f = run("src/hybrid/x.cpp",
+                     "void f(Stream& s) {\n"
+                     "  copy_d2h_async(s, d_y.cview(), y.view());\n"
+                     "  blas::trmm(y.view());\n"
+                     "}\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "transfer-race");
+  EXPECT_EQ(f[0].line, 3);
+  EXPECT_NE(f[0].message.find("'y'"), std::string::npos);
+  EXPECT_NE(f[0].message.find("d2h"), std::string::npos);
+  EXPECT_NE(f[0].missing_edge.find("wait on an Event recorded at/after ticket 1"),
+            std::string::npos)
+      << "the fix-it edge mirrors the runtime checker's wording";
+}
+
+TEST(AnalyzeRace, H2dRacesHostWritesOnly) {
+  // A live h2d only *reads* the host buffer: concurrent host reads are
+  // fine, writes race — same asymmetry as the runtime checker.
+  const auto f = run("src/hybrid/x.cpp",
+                     "void f(Stream& s) {\n"
+                     "  copy_h2d_async(s, y.cview(), d_y.view());\n"
+                     "  double t = y(0, 0);\n"
+                     "  y(0, 0) = 1.0;\n"
+                     "}\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "transfer-race");
+  EXPECT_EQ(f[0].line, 4);
+  EXPECT_NE(f[0].message.find("write"), std::string::npos);
+}
+
+TEST(AnalyzeRace, EventWaitIsAnOrderingEdge) {
+  EXPECT_TRUE(run("src/hybrid/x.cpp",
+                  "void f(Stream& s) {\n"
+                  "  copy_d2h_async(s, d_y.cview(), y.view());\n"
+                  "  const Event done = s.record();\n"
+                  "  done.wait();\n"
+                  "  blas::trmm(y.view());\n"
+                  "}\n")
+                  .empty());
+}
+
+TEST(AnalyzeRace, EventRecordedBeforeTheTransferDoesNotCover) {
+  const auto f = run("src/hybrid/x.cpp",
+                     "void f(Stream& s) {\n"
+                     "  const Event early = s.record();\n"
+                     "  copy_d2h_async(s, d_y.cview(), y.view());\n"
+                     "  early.wait();\n"
+                     "  y(0, 0) = 1.0;\n"
+                     "}\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "transfer-race");
+  EXPECT_EQ(f[0].line, 5);
+}
+
+TEST(AnalyzeRace, SynchronizeAndSyncCopiesRetireEverything) {
+  EXPECT_TRUE(run("src/hybrid/x.cpp",
+                  "void f(Stream& s) {\n"
+                  "  copy_d2h_async(s, d_y.cview(), y.view());\n"
+                  "  s.synchronize();\n"
+                  "  y(0, 0) = 1.0;\n"
+                  "}\n")
+                  .empty());
+  EXPECT_TRUE(run("src/hybrid/x.cpp",
+                  "void f(Stream& s) {\n"
+                  "  copy_h2d_async(s, y.cview(), d_y.view());\n"
+                  "  copy_d2h(s, d_z.cview(), z.view());\n"
+                  "  y(0, 0) = 1.0;\n"
+                  "}\n")
+                  .empty())
+      << "a synchronous copy is enqueue + synchronize";
+}
+
+TEST(AnalyzeRace, TransferAndKernelArgumentsAreNotHostAccesses) {
+  // Mentioning the buffer inside another stream operation's argument
+  // list is FIFO-ordered device work, not a host touch.
+  EXPECT_TRUE(run("src/hybrid/x.cpp",
+                  "void f(Stream& s) {\n"
+                  "  copy_d2h_async(s, d_y.cview(), y.view());\n"
+                  "  gemm_async(s, 1.0, y.cview(), d_b.cview(), 0.0, d_c.view());\n"
+                  "  s.synchronize();\n"
+                  "}\n")
+                  .empty());
+}
+
+TEST(AnalyzeRace, FunctionBoundariesResetTheSymbolicStream) {
+  // The pass is per-function: a transfer left pending at the end of one
+  // function must not leak races into the next.
+  EXPECT_TRUE(run("src/hybrid/x.cpp",
+                  "void f(Stream& s) { copy_d2h_async(s, d_y.cview(), y.view()); }\n"
+                  "void g(Stream& s) { y(0, 0) = 1.0; }\n")
+                  .empty());
+}
+
+// ---- stream-not-idle --------------------------------------------------------
+
+TEST(AnalyzeIdle, HostViewRequiresADrainedStream) {
+  const auto f = run("src/hybrid/x.cpp",
+                     "void f(Stream& s) {\n"
+                     "  s.enqueue(\"dev.k\", FTH_TASK_EFFECTS(FTH_WRITES(d_y)),\n"
+                     "            [=] { d_y.in_task()(0, 0) = 1.0; });\n"
+                     "  auto h = host_view(d_y.view(), s);\n"
+                     "}\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "stream-not-idle");
+  EXPECT_EQ(f[0].line, 4);
+  EXPECT_NE(f[0].missing_edge.find("synchronize()"), std::string::npos);
+
+  EXPECT_TRUE(run("src/hybrid/x.cpp",
+                  "void f(Stream& s) {\n"
+                  "  s.enqueue(\"dev.k\", FTH_TASK_EFFECTS(), [=] { g(); });\n"
+                  "  s.synchronize();\n"
+                  "  auto h = host_view(d_y.view(), s);\n"
+                  "}\n")
+                  .empty());
+}
+
+// ---- in-task-context --------------------------------------------------------
+
+TEST(AnalyzeInTask, UnwrapOutsideAnEnqueuedLambdaIsFlagged) {
+  const auto f = run("src/ft/x.cpp", "void f() { auto h = dv.in_task(); }\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "in-task-context");
+  // Inside the enqueued task lambda it is the sanctioned unwrap (the
+  // AnalyzeIdle seed above already exercises that path staying quiet).
+}
+
+// ---- undeclared-task --------------------------------------------------------
+
+TEST(AnalyzeEffects, TasksInTheDisciplinedLayersMustDeclare) {
+  const std::string bare = "void f(Stream& s) { s.enqueue(\"ft.x\", [=] { g(); }); }\n";
+  const auto f = run("src/ft/x.cpp", bare);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "undeclared-task");
+  EXPECT_NE(f[0].message.find("\"ft.x\""), std::string::npos);
+  EXPECT_NE(f[0].message.find("FTH_TASK_EFFECTS"), std::string::npos);
+
+  EXPECT_TRUE(run("src/ft/x.cpp",
+                  "void f(Stream& s) {\n"
+                  "  s.enqueue(\"ft.x\", FTH_TASK_EFFECTS(FTH_READS(a)), [=] { g(); });\n"
+                  "}\n")
+                  .empty());
+  EXPECT_TRUE(run("src/hybrid/stream.hpp", bare).empty())
+      << "the label-only forwarder in stream.hpp is the sanctioned hatch";
+  EXPECT_TRUE(run("bench/x.cpp", bare).empty())
+      << "the declared-effect rule is scoped to src/hybrid + src/ft";
+}
+
+// ---- chkrow-reencode --------------------------------------------------------
+
+TEST(AnalyzeChkrow, ChecksumRowWritesMustComeFromReencodeOrCheckpoint) {
+  const auto f = run(
+      "src/ft/x.cpp",
+      "void f(Stream& s_) {\n"
+      "  copy_h2d_async(s_, a_.block(0, 0, 1, ib), d_e_.block(n_, i, 1, ib));\n"
+      "  s_.synchronize();\n"
+      "}\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "chkrow-reencode");
+  EXPECT_EQ(f[0].line, 2);
+  EXPECT_NE(f[0].message.find("new_chkrow_"), std::string::npos);
+
+  for (const char* good : {"new_chkrow_", "ckpt_chkrow_"}) {
+    EXPECT_TRUE(run("src/ft/x.cpp",
+                    "void f(Stream& s_) {\n  copy_h2d_async(s_, " + std::string(good) +
+                        ".block(0, 0, 1, ib), d_e_.block(n_, i, 1, ib));\n"
+                        "  s_.synchronize();\n}\n")
+                    .empty())
+        << good;
+  }
+}
+
+// ---- the analysis reads code, not text --------------------------------------
+
+TEST(AnalyzeLexing, CommentsStringsAndDeclarationsAreNotStreamOps) {
+  Stats stats;
+  EXPECT_TRUE(run("src/hybrid/x.cpp",
+                  "// copy_d2h_async(s, d_y.cview(), y.view());\n"
+                  "void copy_d2h_async(Stream& s, DMatrixView<const double> dev,\n"
+                  "                    MatrixView<double> host);\n"
+                  "void f(Stream& s) {\n"
+                  "  const char* doc = \"copy_d2h_async(s, d.cview(), y.view())\";\n"
+                  "  auto re = R\"(then y_upper_ready.wait(); fires)\";\n"
+                  "  y(0, 0) = 1.0;\n"
+                  "}\n",
+                  &stats)
+                  .empty());
+  EXPECT_EQ(stats.transfers, 0u) << "neither the comment, the string, nor the "
+                                    "declaration is a transfer call";
+  EXPECT_EQ(stats.functions, 1u);
+}
+
+// ---- report format ----------------------------------------------------------
+
+TEST(AnalyzeFormat, CarriesFileLineRuleAndRequiredEdge) {
+  const auto f = run("src/hybrid/x.cpp",
+                     "void f(Stream& s) {\n"
+                     "  copy_d2h_async(s, d_y.cview(), y.view());\n"
+                     "  y(0, 0) = 1.0;\n"
+                     "}\n");
+  ASSERT_EQ(f.size(), 1u);
+  const std::string s = format(f[0]);
+  EXPECT_NE(s.find("src/hybrid/x.cpp:3"), std::string::npos);
+  EXPECT_NE(s.find("[transfer-race]"), std::string::npos);
+  EXPECT_NE(s.find("required: wait on an Event"), std::string::npos);
+}
+
+// ---- seeded regressions on the real drivers ---------------------------------
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string repo_file(const std::string& rel) {
+  const std::string content = slurp(fs::path(FTH_REPO_ROOT) / rel);
+  EXPECT_FALSE(content.empty()) << rel;
+  return content;
+}
+
+/// Delete the first occurrence of `needle` (the newline stays, so every
+/// later line number is preserved).
+std::string without(std::string content, const std::string& needle) {
+  const std::size_t pos = content.find(needle);
+  EXPECT_NE(pos, std::string::npos) << "seed not found: " << needle;
+  if (pos != std::string::npos) content.erase(pos, needle.size());
+  return content;
+}
+
+struct SeededEdge {
+  const char* file;        ///< repo-relative driver source
+  const char* deleted;     ///< the one ordering edge removed
+  const char* rule;        ///< expected finding
+  int line;                ///< expected access site
+  const char* mentions;    ///< substring the message must carry
+};
+
+// One entry per U2-critical edge in the hybrid and FT drivers. The line
+// numbers are the actual access sites in the current sources; if a
+// driver is edited these update with it (the clean-tree golden below
+// catches drift the other way).
+const SeededEdge kSeeds[] = {
+    {"src/hybrid/hybrid_gehrd.cpp", "y_upper_ready.wait();", "transfer-race", 120, "'y_host'"},
+    {"src/hybrid/hybrid_gebrd.cpp", "operands_shipped.wait();", "transfer-race", 131, "'a'"},
+    {"src/hybrid/hybrid_sytrd.cpp", "s.synchronize();", "stream-not-idle", 109, "host_view"},
+    {"src/ft/ft_gehrd.cpp", "y_upper_ready.wait();", "transfer-race", 349, "'y_host_'"},
+    {"src/ft/ft_gebrd.cpp", "operands_shipped.wait();", "transfer-race", 350, "'a_'"},
+};
+
+TEST(AnalyzeSeeded, DeletingEachOrderingEdgeIsCaughtAtTheAccessSite) {
+  for (const auto& seed : kSeeds) {
+    const auto f = run(seed.file, without(repo_file(seed.file), seed.deleted));
+    ASSERT_EQ(f.size(), 1u) << seed.file << " minus `" << seed.deleted << "`";
+    EXPECT_EQ(f[0].rule, seed.rule) << seed.file;
+    EXPECT_EQ(f[0].line, seed.line) << seed.file;
+    EXPECT_EQ(f[0].file, seed.file);
+    EXPECT_NE(f[0].message.find(seed.mentions), std::string::npos)
+        << seed.file << ": " << f[0].message;
+    EXPECT_FALSE(f[0].missing_edge.empty())
+        << "every discipline finding names the edge that would fix it";
+  }
+}
+
+TEST(AnalyzeSeeded, RetargetingTheChecksumRowReencodeIsCaught) {
+  // The §7 gotcha, made structural: sourcing the checksum-row h2d from
+  // the (stale) trailing matrix instead of the re-encoded row.
+  const auto f = run("src/ft/ft_gehrd.cpp",
+                     [] {
+                       std::string c = repo_file("src/ft/ft_gehrd.cpp");
+                       const std::string from = "MatrixView<const double>(new_chkrow_";
+                       const std::size_t pos = c.find(from);
+                       EXPECT_NE(pos, std::string::npos);
+                       c.replace(pos, from.size(), "MatrixView<const double>(scratch_");
+                       return c;
+                     }());
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "chkrow-reencode");
+}
+
+TEST(AnalyzeSeeded, StrippingATaskEffectDeclarationIsCaught) {
+  const auto f = run("src/hybrid/dev_blas.cpp",
+                     without(repo_file("src/hybrid/dev_blas.cpp"), "FTH_TASK_EFFECTS"));
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "undeclared-task");
+}
+
+TEST(AnalyzeGolden, CleanTreeHasZeroFindingsAndFullCoverage) {
+  Stats stats;
+  std::size_t files = 0;
+  std::vector<Finding> findings;
+  for (const char* dir : {"src/hybrid", "src/ft", "examples", "bench"}) {
+    const fs::path top = fs::path(FTH_REPO_ROOT) / dir;
+    if (!fs::exists(top)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(top)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string rel =
+          entry.path().lexically_relative(fs::path(FTH_REPO_ROOT)).generic_string();
+      if (!in_scope(rel)) continue;
+      ++files;
+      auto found = analyze_source(rel, slurp(entry.path()), &stats);
+      findings.insert(findings.end(), found.begin(), found.end());
+    }
+  }
+  for (const auto& finding : findings) ADD_FAILURE() << format(finding);
+  EXPECT_GE(files, 20u);
+  // The pass must actually be *seeing* the discipline, not skipping it:
+  // all four overlap Events (hybrid/ft × gehrd/gebrd) and their waits,
+  // every driver's transfers and declared tasks.
+  EXPECT_EQ(stats.records, 4u);
+  EXPECT_EQ(stats.waits, 4u);
+  EXPECT_GE(stats.transfers, 60u);
+  EXPECT_GE(stats.enqueues, 40u);
+  EXPECT_GE(stats.syncs, 30u);
+  EXPECT_GE(stats.functions, 150u);
+}
+
+}  // namespace
+}  // namespace fth::check::analyze

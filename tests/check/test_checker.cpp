@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "check/access.hpp"
+#include "check/effects.hpp"
 #include "fault/fault_plane.hpp"
 #include "fault/injector.hpp"
 #include "ft/ft_gehrd.hpp"
@@ -156,6 +157,68 @@ TEST(CheckerSpace, HostViewGateFlagsBusyStreamAndPassesIdleStream) {
   const auto before = check::violation_count();
   auto h = hybrid::host_view(dm.view(), dev.stream());  // idle: legitimate
   h(0, 0) = 1.0;
+  EXPECT_EQ(check::violation_count(), before);
+}
+
+// ---- declared-effect conformance (FTH_CHECK_EFFECTS=1) ----------------------
+
+TEST(CheckerEffects, UnwrapOutsideDeclaredSetIsFlagged) {
+  SKIP_UNLESS_CHECKED();
+  check::set_effects_active(true);
+  hybrid::Device dev;
+  hybrid::DeviceMatrix<double> declared(dev, 4, 4, "checker_test.d_declared");
+  hybrid::DeviceMatrix<double> undeclared(dev, 4, 4, "checker_test.d_undeclared");
+
+  ExpectViolations ex;
+  auto dv_ok = declared.view();
+  auto dv_bad = undeclared.view();
+  dev.stream().enqueue("checker_test.narrow", FTH_TASK_EFFECTS(FTH_WRITES(dv_ok)),
+                       [dv_ok, dv_bad] {
+                         dv_ok.in_task()(0, 0) = 1.0;   // declared: fine
+                         (void)dv_bad.in_task()(1, 1);  // undeclared: mismatch
+                       });
+  dev.stream().synchronize();
+  check::set_effects_active(false);
+  const auto vs = ex.taken();
+  const auto* v = find_kind(vs, ViolationKind::EffectMismatch);
+  ASSERT_NE(v, nullptr);
+  EXPECT_STREQ(v->alloc_site, "checker_test.d_undeclared");
+  EXPECT_STREQ(v->task_label, "checker_test.narrow");
+  EXPECT_NE(v->message.find("FTH_READS/FTH_WRITES"), std::string::npos);
+}
+
+TEST(CheckerEffects, EmptyDeclarationRejectsAnyUnwrap) {
+  SKIP_UNLESS_CHECKED();
+  check::set_effects_active(true);
+  hybrid::Device dev;
+  hybrid::DeviceMatrix<double> dm(dev, 4, 4, "checker_test.d_marker");
+
+  ExpectViolations ex;
+  auto dv = dm.view();
+  // A pure-marker declaration promises to touch nothing; touching
+  // anything under it is exactly the drifted-annotation bug class.
+  dev.stream().enqueue("checker_test.marker", FTH_TASK_EFFECTS(),
+                       [dv] { (void)dv.in_task()(0, 0); });
+  dev.stream().synchronize();
+  check::set_effects_active(false);
+  ASSERT_NE(find_kind(ex.taken(), ViolationKind::EffectMismatch), nullptr);
+}
+
+TEST(CheckerEffects, UndeclaredTasksAndInactiveModeStayUnchecked) {
+  SKIP_UNLESS_CHECKED();
+  check::set_effects_active(false);  // the env may have turned it on
+  hybrid::Device dev;
+  hybrid::DeviceMatrix<double> dm(dev, 4, 4, "checker_test.d_free");
+  const auto before = check::violation_count();
+  auto dv = dm.view();
+  // Label-only overload: no declaration, nothing to conform to.
+  dev.stream().enqueue("checker_test.legacy", [dv] { dv.in_task()(0, 0) = 1.0; });
+  dev.stream().synchronize();
+  // Declared but conformance mode off: declarations are documentation
+  // for the static pass, not a runtime constraint.
+  dev.stream().enqueue("checker_test.off", FTH_TASK_EFFECTS(),
+                       [dv] { dv.in_task()(2, 2) = 1.0; });
+  dev.stream().synchronize();
   EXPECT_EQ(check::violation_count(), before);
 }
 

@@ -98,6 +98,42 @@ TEST(LintText, CommentsAndLiteralsDoNotFire) {
                    .empty());
 }
 
+// ---- raw string literals ----------------------------------------------------
+
+TEST(LintRawString, RawLiteralContentsAreBlankedToTheClosingDelimiter) {
+  // Before the Raw state existed, the scanner left string mode at the first
+  // interior '"', so the rest of the literal — here a rule token — was
+  // mis-scanned as live code and fired device-unwrap.
+  EXPECT_TRUE(run("src/ft/x.cpp",
+                  "static const std::regex re(R\"re(say \" then .raw_data( wow)re\");\n")
+                  .empty());
+  // The delimiter must match: )x" inside an R"re( literal does not end it.
+  EXPECT_TRUE(run("src/ft/x.cpp",
+                  "auto s = R\"re(a )x\" b .unchecked_host_view( c)re\";\n")
+                  .empty());
+  // Multi-line raw literal: contents stay blanked across the newline.
+  EXPECT_TRUE(run("src/ft/x.cpp",
+                  "auto s = R\"(line one \"\n"
+                  "dv.raw_data( on line two)\";\n")
+                  .empty());
+  // Encoding prefixes also open raw literals.
+  EXPECT_TRUE(run("src/ft/x.cpp",
+                  "auto s = u8R\"(quote \" then .raw_data( here)\";\n")
+                  .empty());
+}
+
+TEST(LintRawString, CodeAfterAndAroundRawLiteralsStillFires) {
+  // Live code after a closed raw literal is scanned normally again.
+  EXPECT_TRUE(has_rule(run("src/ft/x.cpp",
+                           "auto s = R\"re(text \" more)re\"; auto h = dv.raw_data();\n"),
+                       "device-unwrap"));
+  // An identifier merely *ending* in R does not open a raw literal: the
+  // ordinary string that follows it terminates at its first '"'.
+  EXPECT_TRUE(has_rule(run("src/ft/x.cpp",
+                           "auto s = FOOR\"text\"; auto h = dv.raw_data();\n"),
+                       "device-unwrap"));
+}
+
 // ---- int-index --------------------------------------------------------------
 
 TEST(LintIntIndex, FlagsIntDimensionParams) {

@@ -1,0 +1,73 @@
+// fth_analyze — static transfer/Event-discipline gate (engine in
+// src/check/analyze.hpp, rules in DESIGN.md §11).
+//
+//   fth_analyze [repo-root]
+//
+// Walks src/hybrid/, src/ft/, examples/, bench/ under the given root
+// (default: the current directory), runs the fth::analyze symbolic
+// dataflow pass over every .hpp/.cpp, prints each finding as
+// file:line: [rule] message (+ the happens-before edge that would fix
+// it), and exits non-zero when anything fired. Registered as the
+// `analyze.repo` ctest: deleting an Event wait, a synchronize(), or a
+// task's FTH_TASK_EFFECTS declaration fails the suite before any test
+// executes the broken path.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/analyze.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Repo-relative path with forward slashes.
+std::string rel_slash(const fs::path& p, const fs::path& root) {
+  return p.lexically_relative(root).generic_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const fs::path root = argc > 1 ? fs::path(argv[1]) : fs::current_path();
+  if (!fs::exists(root / "src")) {
+    std::fprintf(stderr, "fth_analyze: %s does not look like the repo root (no src/)\n",
+                 root.string().c_str());
+    return 2;
+  }
+
+  std::vector<fth::check::analyze::Finding> findings;
+  fth::check::analyze::Stats stats;
+  std::size_t files = 0;
+  for (const char* dir : {"src/hybrid", "src/ft", "examples", "bench"}) {
+    const fs::path top = root / dir;
+    if (!fs::exists(top)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(top)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string rel = rel_slash(entry.path(), root);
+      if (!fth::check::analyze::in_scope(rel)) continue;
+      ++files;
+      auto found = fth::check::analyze::analyze_source(rel, slurp(entry.path()), &stats);
+      findings.insert(findings.end(), found.begin(), found.end());
+    }
+  }
+
+  for (const auto& finding : findings)
+    std::fprintf(stderr, "%s\n", fth::check::analyze::format(finding).c_str());
+  std::printf(
+      "fth_analyze: %zu file(s), %zu function(s), %zu task(s), %zu transfer(s), "
+      "%zu event(s)/%zu wait(s), %zu sync(s) analyzed, %zu finding(s)\n",
+      files, stats.functions, stats.enqueues, stats.transfers, stats.records, stats.waits,
+      stats.syncs, findings.size());
+  return findings.empty() ? 0 : 1;
+}

@@ -1,37 +1,45 @@
-// fth_checkinfo — reports whether the fth::check access/race checker is
-// compiled into this build. run_benches.sh uses it to assert the checker
-// is compiled OUT of the Release tree the benches run in (the zero-overhead
-// guarantee of check/hooks.hpp); CI uses it to assert the checker is
-// compiled IN for the Debug + FTH_CHECK=1 job.
+// fth_checkinfo — reports whether the fth::check access/race checker (and
+// its declared-effect conformance layer) is compiled into this build.
+// run_benches.sh uses it to assert both are compiled OUT of the Release
+// tree the benches run in (the zero-overhead guarantee of check/hooks.hpp
+// and check/effects.hpp); CI uses it to assert they are compiled IN for
+// the Debug + FTH_CHECK=1 job.
 //
 //   fth_checkinfo             prints key=value lines, exits 0
-//   fth_checkinfo --expect-off  exits 1 if the checker is compiled in
-//   fth_checkinfo --expect-on   exits 1 if the checker is compiled out
+//   fth_checkinfo --expect-off  exits 1 if the checker or the effects
+//                               layer is compiled in
+//   fth_checkinfo --expect-on   exits 1 if either is compiled out
 #include <cstdio>
 #include <cstring>
 
 #include "check/access.hpp"
+#include "check/effects.hpp"
 
 int main(int argc, char** argv) {
   const bool in = fth::check::compiled_in();
+  const bool eff_in = fth::check::effects_compiled_in();
   std::printf("checker_compiled_in=%d\n", in ? 1 : 0);
   std::printf("checker_active=%d\n", fth::check::active() ? 1 : 0);
+  std::printf("effects_compiled_in=%d\n", eff_in ? 1 : 0);
+  std::printf("effects_active=%d\n", fth::check::effects_active() ? 1 : 0);
 #ifdef NDEBUG
   std::printf("build_ndebug=1\n");
 #else
   std::printf("build_ndebug=0\n");
 #endif
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--expect-off") == 0 && in) {
+    if (std::strcmp(argv[i], "--expect-off") == 0 && (in || eff_in)) {
       std::fprintf(stderr,
-                   "fth_checkinfo: checker is compiled in but --expect-off was "
-                   "given (Release benches must run checker-free)\n");
+                   "fth_checkinfo: %s compiled in but --expect-off was given "
+                   "(Release benches must run checker-free)\n",
+                   in ? "checker is" : "effects layer is");
       return 1;
     }
-    if (std::strcmp(argv[i], "--expect-on") == 0 && !in) {
+    if (std::strcmp(argv[i], "--expect-on") == 0 && (!in || !eff_in)) {
       std::fprintf(stderr,
-                   "fth_checkinfo: checker is compiled out but --expect-on was "
-                   "given (the checked CI job would be vacuous)\n");
+                   "fth_checkinfo: %s compiled out but --expect-on was given "
+                   "(the checked CI job would be vacuous)\n",
+                   !in ? "checker is" : "effects layer is");
       return 1;
     }
   }
