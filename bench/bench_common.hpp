@@ -14,6 +14,7 @@
 #include "common/options.hpp"
 #include "common/timer.hpp"
 #include "la/matrix.hpp"
+#include "obs/dag.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
@@ -111,6 +112,10 @@ inline std::string program_basename(const std::string& program) {
 ///   --trace [path]     record a Chrome/Perfetto trace of the whole run
 ///                      (default path `<bench-name>_trace.json`)
 ///   --profile          also print the attribution table to stdout
+///   --dag [path]       record the execution DAG (obs/dag.hpp): dumps the
+///                      full graph to `<bench-name>_dag.json` (for
+///                      tools/fth_why), prints the critical-path/blocking
+///                      summary, and embeds the `dag` section in the report
 ///   --roofline <gf/s>  dgemm roofline used as the GF/s denominator
 ///                      (FTH_ROOFLINE_GFLOPS env works too; run_benches.sh
 ///                      measures it once via tools/fth_roofline)
@@ -150,6 +155,11 @@ class Report {
       obs::trace_start(opt.get("trace", name + "_trace.json"));
       started_trace_ = true;
     }
+    if (opt.has("dag")) {
+      dag_path_ = opt.get("dag", name + "_dag.json");
+      obs::dag::start();
+      started_dag_ = true;
+    }
     obs::profile_start();  // the FTH_ROOFLINE_GFLOPS env is read here
     if (const double roof = opt.get_double("roofline", 0.0); roof > 0.0)
       obs::set_profile_roofline(roof);
@@ -184,6 +194,7 @@ class Report {
       const obs::ProfileReport prof = obs::profile_stop();
       profile_json_ = prof.to_json();
       if (print_profile_) prof.print_table(stdout);
+      if (started_dag_) capture_dag(prof);
     }
     std::ofstream os(path_);
     if (!os) return;
@@ -197,7 +208,8 @@ class Report {
     }
     os << (rows_.empty() ? "]" : "\n  ]") << ",\n  \"metrics\": "
        << obs::Registry::global().to_json() << ",\n  \"profile\": "
-       << (profile_json_.empty() ? "{}" : profile_json_) << "\n}\n";
+       << (profile_json_.empty() ? "{}" : profile_json_) << ",\n  \"dag\": "
+       << (dag_json_.empty() ? "{}" : dag_json_) << "\n}\n";
   }
 
   [[nodiscard]] const std::string& path() const { return path_; }
@@ -213,13 +225,38 @@ class Report {
     os << "}";
   }
 
+  /// Stop the DAG recorder, dump the full graph for fth_why, and build the
+  /// report's `dag` section (analysis + standard what-if table). The
+  /// roofline-gemm scenario compares against the measured device dgemm
+  /// rate when both it and a roofline are available.
+  void capture_dag(const obs::ProfileReport& prof) const {
+    const obs::dag::Graph g = obs::dag::stop();
+    if (!dag_path_.empty()) {
+      std::ofstream dos(dag_path_);
+      if (dos) dos << g.to_json() << "\n";
+    }
+    double dev_scale = 1.0;
+    if (prof.roofline_gflops > 0.0)
+      for (const obs::ProfilePhase& p : prof.phases)
+        if (p.name == "gemm" && p.gflops > 0.0) dev_scale = p.gflops / prof.roofline_gflops;
+    const obs::dag::Analysis analysis = obs::dag::analyze(g);
+    std::vector<obs::dag::Prediction> what_if;
+    for (const obs::dag::Scenario& sc : obs::dag::default_scenarios(dev_scale))
+      what_if.push_back(obs::dag::simulate(g, sc));
+    dag_json_ = obs::dag::section_json(g, analysis, what_if);
+    obs::dag::print_analysis(g, analysis, what_if, stdout);
+  }
+
   std::string name_;
   std::string path_;
+  std::string dag_path_;
   Row notes_;
   std::deque<Row> rows_;
   bool started_trace_ = false;
+  bool started_dag_ = false;
   bool print_profile_ = false;
   mutable std::string profile_json_;  // captured at the first write()
+  mutable std::string dag_json_;      // `dag` section, captured with it
 };
 
 /// Standard bench banner.

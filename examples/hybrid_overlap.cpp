@@ -3,13 +3,19 @@
 // including a run with a non-zero transfer cost model to show how the
 // asynchronous design hides communication.
 //
-//   ./hybrid_overlap [--n 512] [--nb 32] [--gbps 0]
+//   ./hybrid_overlap [--n 512] [--nb 32] [--gbps 0] [--dag]
+//
+// --dag records the FT run's execution DAG (obs/dag.hpp) and prints the
+// critical path, the top host-blocking edges (which synchronize/event
+// wait, at which call site, waiting on which task), and the what-if
+// overlap predictions — the interactive twin of `fth_why` on a bench dump.
 #include <cstdio>
 
 #include "common/options.hpp"
 #include "ft/ft_gehrd.hpp"
 #include "hybrid/hybrid_gehrd.hpp"
 #include "la/generate.hpp"
+#include "obs/dag.hpp"
 
 using namespace fth;
 
@@ -50,6 +56,8 @@ int main(int argc, char** argv) {
   // FT run: same skeleton + checksums; the paper's claim is that the extra
   // work hides behind the device updates and the idle CPU.
   {
+    const bool dag = opt.has("dag");
+    if (dag) obs::dag::start();
     hybrid::Device dev;
     Matrix<double> a(a0.cview());
     hybrid::HybridGehrdStats st;
@@ -60,6 +68,15 @@ int main(int argc, char** argv) {
     std::printf("%-26s encode %.4f s | Vce/Yce %.4f s | detect %.4f s | Q chks %.4f s\n",
                 "  resilience breakdown:", rep.encode_seconds,
                 rep.checksum_update_seconds, rep.detect_seconds, rep.q_seconds);
+    if (dag) {
+      const obs::dag::Graph g = obs::dag::stop();
+      const obs::dag::Analysis an = obs::dag::analyze(g);
+      std::vector<obs::dag::Prediction> what_if;
+      for (const obs::dag::Scenario& sc : obs::dag::default_scenarios(1.0))
+        what_if.push_back(obs::dag::simulate(g, sc));
+      std::printf("\nexecution DAG of the FT run (critical path / blocking / what-if):\n");
+      obs::dag::print_analysis(g, an, what_if, stdout);
+    }
   }
 
   // With a simulated transfer cost: the per-column panel exchanges become

@@ -8,6 +8,9 @@
 # Pass-through observability flags for the whole sweep:
 #   ./run_benches.sh --profile            # print attribution tables too
 #   ./run_benches.sh --trace              # one Chrome trace per bench
+#   ./run_benches.sh --dag                # one execution DAG per bench, plus
+#                                         # an fth_why critical-path/what-if
+#                                         # report for the fig6 run
 set -e
 cd "$(dirname "$0")"
 
@@ -16,6 +19,7 @@ for arg in "$@"; do
   case "$arg" in
     --profile) EXTRA="$EXTRA --profile" ;;
     --trace)   TRACE=1 ;;
+    --dag)     DAG=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -33,11 +37,10 @@ echo "dgemm roofline: ${FTH_ROOFLINE_GFLOPS} GF/s (shared profile denominator)"
 
 run() {
   name="$(basename "$1")"
-  if [ -n "$TRACE" ]; then
-    "$@" $EXTRA --trace "${name}_trace.json"
-  else
-    "$@" $EXTRA
-  fi
+  flags="$EXTRA"
+  if [ -n "$TRACE" ]; then flags="$flags --trace ${name}_trace.json"; fi
+  if [ -n "$DAG" ]; then flags="$flags --dag ${name}_dag.json"; fi
+  "$@" $flags
 }
 
 {
@@ -53,4 +56,9 @@ run() {
   run ./build/bench/bench_related_qr --n 256
   ./build/bench/bench_kernels --benchmark_min_time=0.2 \
       --benchmark_out=bench_kernels.json --benchmark_out_format=json
+  if [ -n "$DAG" ]; then
+    echo ""
+    echo "== fth_why: offline critical-path / what-if replay (fig6 DAG) =="
+    ./build/tools/fth_why bench_fig6_overhead_dag.json
+  fi
 } 2>&1

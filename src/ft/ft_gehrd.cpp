@@ -19,6 +19,7 @@
 #include "la/blas2.hpp"
 #include "la/blas3.hpp"
 #include "la/norms.hpp"
+#include "obs/dag.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "lapack/lahr2_impl.hpp"
@@ -423,6 +424,10 @@ class FtDriver {
       ev.panel_poisoned = !completed;
 
       {
+        // The DAG mark makes recovery episodes visible on the host chain,
+        // so fth_why can separate rollback-induced stalls from steady-state
+        // pipeline waits.
+        obs::dag::mark("ft.rollback");
         obs::TraceSpan rb_span("ft", "rollback", "col", static_cast<double>(i));
         rollback(i, ib, completed);
       }
@@ -473,6 +478,7 @@ class FtDriver {
       rep_.events.push_back(std::move(ev));
 
       {
+        obs::dag::mark("ft.reexec");
         obs::TraceSpan redo_span("ft", "reexec", "col", static_cast<double>(i));
         obs::counter_metric("ft.reexecutions").add();
         const RecoveryScope in_recovery(plane_);

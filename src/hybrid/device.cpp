@@ -4,6 +4,7 @@
 #include <new>
 #include <thread>
 
+#include "obs/dag.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -113,6 +114,7 @@ void copy_h2d_async(Stream& s, MatrixView<const double> host, DMatrixView<double
         copy_view(host, dev_h);
         if (d != nullptr) d->call_transfer_hook(TransferDir::H2D, dev_h);
       });
+  obs::dag::detail::on_transfer(s.obs_id(), ticket, static_cast<double>(bytes));
   // Transfer-routine context: taking the host view's base pointer for
   // registration must not itself count as a racing host access.
   check::TaskScope setup(&s, "h2d", ticket);
@@ -134,20 +136,23 @@ void copy_d2h_async(Stream& s, DMatrixView<const double> dev, MatrixView<double>
         copy_view(dev.in_task(), host);
         if (d != nullptr) d->call_transfer_hook(TransferDir::D2H, host);
       });
+  obs::dag::detail::on_transfer(s.obs_id(), ticket, static_cast<double>(bytes));
   check::TaskScope setup(&s, "d2h", ticket);
   check::on_transfer_enqueued(&s, ticket, /*host_is_dst=*/true, "d2h", host.data(),
                               sizeof(double), host.rows(), host.cols(), host.ld(),
                               dev.raw_data());
 }
 
-void copy_h2d(Stream& s, MatrixView<const double> host, DMatrixView<double> dev) {
+void copy_h2d(Stream& s, MatrixView<const double> host, DMatrixView<double> dev,
+              std::source_location loc) {
   copy_h2d_async(s, host, dev);
-  s.synchronize();
+  s.synchronize(loc);
 }
 
-void copy_d2h(Stream& s, DMatrixView<const double> dev, MatrixView<double> host) {
+void copy_d2h(Stream& s, DMatrixView<const double> dev, MatrixView<double> host,
+              std::source_location loc) {
   copy_d2h_async(s, dev, host);
-  s.synchronize();
+  s.synchronize(loc);
 }
 
 }  // namespace fth::hybrid

@@ -186,8 +186,12 @@ template <class T>
 void copy_h2d_async(Stream& s, MatrixView<const double> host, DMatrixView<double> dev);
 /// Asynchronous device→host copy, enqueued on `s`.
 void copy_d2h_async(Stream& s, DMatrixView<const double> dev, MatrixView<double> host);
-/// Synchronous variants (enqueue + wait for completion).
-void copy_h2d(Stream& s, MatrixView<const double> host, DMatrixView<double> dev);
-void copy_d2h(Stream& s, DMatrixView<const double> dev, MatrixView<double> host);
+/// Synchronous variants (enqueue + wait for completion). The (defaulted)
+/// call site is forwarded to the synchronize, so the wait is attributed to
+/// the caller rather than to device.cpp in profiles and DAG reports.
+void copy_h2d(Stream& s, MatrixView<const double> host, DMatrixView<double> dev,
+              std::source_location loc = std::source_location::current());
+void copy_d2h(Stream& s, DMatrixView<const double> dev, MatrixView<double> host,
+              std::source_location loc = std::source_location::current());
 
 }  // namespace fth::hybrid

@@ -1,12 +1,18 @@
 #include "hybrid/stream.hpp"
 
+#include <atomic>
+
 #include "check/access.hpp"
 #include "common/error.hpp"
+#include "obs/dag.hpp"
 #include "obs/trace.hpp"
 
 namespace fth::hybrid {
 
 namespace {
+
+/// DAG identities are never reused, unlike `this` pointers (see obs_id()).
+std::atomic<std::uint64_t> g_next_stream_obs_id{1};
 
 /// Report the happens-before edge an observed-complete event implies.
 /// From a host thread it is a host-ordering (retires in-flight transfers
@@ -34,17 +40,30 @@ bool Event::ready() const {
   return done;
 }
 
-void Event::wait() const {
+void Event::wait(std::source_location loc) const {
   if (!state_) return;
+  // Per-site span name ("event_wait@file:line") when any sink is live: the
+  // profiler splits its wait phases by site, and the DAG recorder needs the
+  // site for blocking-edge attribution.
+  const char* site = obs::trace_enabled()
+                         ? obs::site_label("event_wait", loc.file_name(),
+                                           static_cast<unsigned>(loc.line()))
+                         : nullptr;
+  obs::dag::detail::on_wait_begin("event_wait", site != nullptr ? site : "",
+                                  state_->stream_obs_id, state_->ticket);
   {
-    obs::TraceSpan span("stream", "event_wait");
+    obs::TraceSpan span("stream", site != nullptr ? site : "event_wait");
     std::unique_lock lock(state_->m);
     state_->cv.wait(lock, [&] { return state_->done; });
   }
+  obs::dag::detail::on_wait_end();
   note_event_observed(state_->stream, state_->ticket);
 }
 
-Stream::Stream(Device* device) : device_(device), worker_([this] { worker_loop(); }) {}
+Stream::Stream(Device* device)
+    : device_(device),
+      obs_id_(g_next_stream_obs_id.fetch_add(1, std::memory_order_relaxed)),
+      worker_([this] { worker_loop(); }) {}
 
 Stream::~Stream() {
   {
@@ -80,6 +99,7 @@ std::uint64_t Stream::enqueue(const char* label, check::TaskEffects effects,
 
 std::uint64_t Stream::enqueue_task(Task&& t) {
   FTH_CHECK(t.fn != nullptr, "stream task must be callable");
+  const char* label = t.label;
   std::uint64_t ticket = 0;
   {
     std::lock_guard lock(m_);
@@ -90,19 +110,30 @@ std::uint64_t Stream::enqueue_task(Task&& t) {
     if (depth > peak_depth_) peak_depth_ = depth;
     obs::counter("stream.queue_depth", static_cast<double>(depth));
   }
+  obs::dag::detail::on_enqueue(obs_id_, ticket, label);
   cv_worker_.notify_one();
   return ticket;
 }
 
-void Stream::synchronize() {
+void Stream::synchronize(std::source_location loc) {
+  const char* site = obs::trace_enabled()
+                         ? obs::site_label("synchronize", loc.file_name(),
+                                           static_cast<unsigned>(loc.line()))
+                         : nullptr;
   std::uint64_t tail = 0;
   {
     std::unique_lock lock(m_);
+    // The wait's cause is the newest ticket at entry (same value on exit:
+    // the hybrid drivers are single-host-threaded). Recorded even when the
+    // queue is already drained — a zero-duration Wait node keeps the DAG's
+    // node counts deterministic.
+    tail = next_ticket_ - 1;
+    obs::dag::detail::on_wait_begin("synchronize", site != nullptr ? site : "", obs_id_, tail);
     if (!queue_.empty() || busy_) {
-      obs::TraceSpan span("stream", "synchronize");
+      obs::TraceSpan span("stream", site != nullptr ? site : "synchronize");
       cv_idle_.wait(lock, [&] { return queue_.empty() && !busy_; });
     }
-    tail = next_ticket_ - 1;
+    obs::dag::detail::on_wait_end();
   }
   check::on_host_ordered(this, tail);
   std::lock_guard lock(m_);
@@ -130,6 +161,7 @@ Event Stream::record() {
   // task itself never reads these fields).
   state->stream = this;
   state->ticket = ticket;
+  state->stream_obs_id = obs_id_;
   return e;
 }
 
@@ -184,6 +216,7 @@ void Stream::worker_loop() {
       queue_.pop_front();
       busy_ = true;
     }
+    obs::dag::detail::on_task_begin(obs_id_, task.ticket, task.label);
     try {
       obs::TraceSpan span("stream", task.label);
 #if FTH_CHECK_ENABLED
@@ -199,6 +232,7 @@ void Stream::worker_loop() {
       // "stream keeps executing" semantics of real runtimes).
       if (!pending_error_) pending_error_ = std::current_exception();
     }
+    obs::dag::detail::on_task_end(obs_id_, task.ticket);
     std::function<void(std::uint64_t)> hook;
     std::uint64_t task_index;
     {

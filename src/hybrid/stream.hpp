@@ -22,6 +22,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <source_location>
 #include <thread>
 
 #include "check/effects.hpp"
@@ -40,8 +41,10 @@ class Event {
   /// retires transfers enqueued at or before the recording ticket.
   [[nodiscard]] bool ready() const;
 
-  /// Block the calling thread until ready().
-  void wait() const;
+  /// Block the calling thread until ready(). The (defaulted) call site
+  /// names the wait in traces, the profiler, and the DAG recorder's
+  /// blocking-edge attribution.
+  void wait(std::source_location loc = std::source_location::current()) const;
 
  private:
   friend class Stream;
@@ -49,8 +52,9 @@ class Event {
     std::mutex m;
     std::condition_variable cv;
     bool done = false;
-    const void* stream = nullptr;  ///< recording stream (checker identity)
-    std::uint64_t ticket = 0;      ///< ticket of the recording marker task
+    const void* stream = nullptr;     ///< recording stream (checker identity)
+    std::uint64_t ticket = 0;         ///< ticket of the recording marker task
+    std::uint64_t stream_obs_id = 0;  ///< recording stream's DAG identity
   };
   std::shared_ptr<State> state_;
 };
@@ -82,8 +86,10 @@ class Stream {
                         std::function<void()> task);
 
   /// Block until every enqueued task has completed. Rethrows the first
-  /// exception thrown by any task since the last synchronize().
-  void synchronize();
+  /// exception thrown by any task since the last synchronize(). The
+  /// (defaulted) call site names the wait in traces/profiles and in the
+  /// DAG recorder's blocking-edge attribution.
+  void synchronize(std::source_location loc = std::source_location::current());
 
   /// Record an event at the current tail of the queue.
   [[nodiscard]] Event record();
@@ -102,6 +108,11 @@ class Stream {
 
   /// Device this stream belongs to (may be null for a free-standing stream).
   [[nodiscard]] Device* device() const noexcept { return device_; }
+
+  /// Process-unique stream identity for the DAG recorder. Stable across the
+  /// stream's life and never reused (unlike `this`, which the allocator may
+  /// recycle across sequentially constructed Devices).
+  [[nodiscard]] std::uint64_t obs_id() const noexcept { return obs_id_; }
 
   /// Number of tasks executed over the stream's lifetime.
   [[nodiscard]] std::uint64_t tasks_executed() const;
@@ -135,6 +146,7 @@ class Stream {
   void worker_loop();
 
   Device* device_;
+  const std::uint64_t obs_id_;  // initialized before worker_ starts
   mutable std::mutex m_;
   std::condition_variable cv_worker_;
   std::condition_variable cv_idle_;

@@ -98,6 +98,12 @@ CompareResult compare_reports(const json::Value& base, const json::Value& cand,
     cmp.rule = rule->pattern;
     const auto it = c.find(path);
     if (it == c.end()) {
+      // Legacy baselines recorded a meaningless roofline_frac=0 when no
+      // roofline was measured; newer reports omit the key. Absent-vs-0 is
+      // "still unmeasured", not a regression.
+      if (bv == 0.0 && path.size() >= 14 &&
+          path.compare(path.size() - 14, 14, ".roofline_frac") == 0)
+        continue;
       cmp.missing = true;
       cmp.violated = true;  // a gated metric disappearing IS a regression
     } else {

@@ -106,8 +106,11 @@ struct Agg {
     f.mark_flops = fl;
     f.arg = arg;
     const bool stream_cat = std::strcmp(cat, "stream") == 0;
-    f.is_wait = stream_cat && (std::strcmp(name, "synchronize") == 0 ||
-                               std::strcmp(name, "event_wait") == 0);
+    // Prefix match: waits carry per-site names ("synchronize@file:line")
+    // when any sink is live, so fth_prof can show which of the hundreds of
+    // synchronize sites dominates instead of one aggregate row.
+    f.is_wait = stream_cat && (std::strncmp(name, "synchronize", 11) == 0 ||
+                               std::strncmp(name, "event_wait", 10) == 0);
     // Any other stream-category span is a worker task (they carry per-task
     // labels — "dev.gemm", "h2d", "ft.detect", plain "task", ...).
     f.is_task = stream_cat && !f.is_wait;
@@ -474,8 +477,12 @@ std::string ProfileReport::to_json() const {
     out += ",\"flops\":" + std::to_string(p.flops);
     out += ",\"gflops\":";
     append_num(out, p.gflops);
-    out += ",\"roofline_frac\":";
-    append_num(out, p.roofline_frac);
+    // Omitted (not 0) when no roofline was configured: a meaningless zero
+    // would read as a catastrophic regression to bench_compare.
+    if (roofline_gflops > 0.0) {
+      out += ",\"roofline_frac\":";
+      append_num(out, p.roofline_frac);
+    }
     out += ",\"arg_sum\":";
     append_num(out, p.arg_sum);
     out += "}";

@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/dag.hpp"
 #include "obs/profile.hpp"
 
 namespace fth::obs {
@@ -54,7 +55,8 @@ class Recorder {
 
   [[nodiscard]] bool enabled() const noexcept {
     return trace_on_.load(std::memory_order_relaxed) ||
-           flight_on_.load(std::memory_order_relaxed) || profile_detail::active();
+           flight_on_.load(std::memory_order_relaxed) || profile_detail::active() ||
+           dag::detail::active();
   }
 
   [[nodiscard]] bool trace_file_active() const noexcept {
@@ -167,6 +169,8 @@ class Recorder {
     ev.tid = b.tid;
     if (profile_detail::active() && (ev.ph == 'B' || ev.ph == 'E'))
       profile_detail::on_event(ev.ph, ev.cat, ev.name, ev.ts_us, ev.value);
+    if (dag::detail::active() && (ev.ph == 'B' || ev.ph == 'E'))
+      dag::detail::on_span(ev.ph, ev.cat, ev.name, ev.ts_us);
     const bool to_trace = trace_on_.load(std::memory_order_relaxed);
     const bool to_flight = flight_on_.load(std::memory_order_relaxed);
     if (!to_trace && !to_flight) return;
@@ -182,6 +186,18 @@ class Recorder {
       }
     }
   }
+
+  /// Pre-stamped append to the trace-file buffer of the calling thread —
+  /// the DAG recorder uses it to inject flow events at assembly time, after
+  /// the fact, on the tracks the flows refer to.
+  void record_raw(const TraceEvent& ev) noexcept {
+    if (!trace_on_.load(std::memory_order_relaxed)) return;
+    ThreadBuffer& b = local_buffer();
+    std::lock_guard lock(b.m);
+    b.events.push_back(ev);
+  }
+
+  [[nodiscard]] std::uint32_t current_tid() noexcept { return local_buffer().tid; }
 
   void name_thread(const char* name) {
     ThreadBuffer& b = local_buffer();
@@ -294,6 +310,13 @@ class Recorder {
         line += "\"";
       }
       if (ev.ph == 'i') line += ",\"s\":\"t\"";
+      if (ev.ph == 's' || ev.ph == 'f') {
+        // Flow events (the DAG's cause edges): shared "id" binds the pair;
+        // "bp":"e" makes the arrow terminate at the enclosing slice's end,
+        // which is where the wait actually released.
+        line += ",\"id\":" + std::to_string(static_cast<long long>(ev.value));
+        if (ev.ph == 'f') line += ",\"bp\":\"e\"";
+      }
       if (ev.ph == 'C') {
         std::snprintf(num, sizeof num, "%.17g", ev.value);
         line += ",\"args\":{\"value\":";
@@ -352,6 +375,7 @@ void trace_init_from_env() {
     const long n = std::strtol(flight, nullptr, 10);
     if (n > 0) flight_start(static_cast<std::size_t>(n));
   }
+  dag::init_from_env();  // FTH_DAG rides the same env hook
 }
 
 void set_thread_name(const char* name) { Recorder::instance().name_thread(name); }
@@ -368,6 +392,40 @@ const char* intern_name(std::string_view name) {
   const std::string& stored = storage->back();
   index->emplace(std::string_view(stored), stored.c_str());
   return stored.c_str();
+}
+
+const char* site_label(const char* kind, const char* file, unsigned line) {
+  struct SiteKey {
+    const char* kind;
+    const char* file;
+    unsigned line;
+    bool operator==(const SiteKey&) const = default;
+  };
+  struct SiteHash {
+    std::size_t operator()(const SiteKey& s) const noexcept {
+      std::size_t h = std::hash<const void*>()(s.kind);
+      h = h * 31 + std::hash<const void*>()(s.file);
+      return h * 31 + s.line;
+    }
+  };
+  static std::mutex m;
+  // Leaked like intern_name's tables, and for the same reason: sites are
+  // referenced from buffered events until the atexit flush.
+  static auto* cache = new std::unordered_map<SiteKey, const char*, SiteHash>();
+  std::lock_guard lock(m);
+  const SiteKey key{kind, file, line};
+  if (const auto it = cache->find(key); it != cache->end()) return it->second;
+  std::string_view base(file);
+  if (const auto slash = base.rfind('/'); slash != std::string_view::npos)
+    base.remove_prefix(slash + 1);
+  std::string label(kind);
+  label += '@';
+  label += base;
+  label += ':';
+  label += std::to_string(line);
+  const char* interned = intern_name(label);
+  cache->emplace(key, interned);
+  return interned;
 }
 
 void flight_start(std::size_t capacity) { Recorder::instance().flight_start(capacity); }
@@ -395,6 +453,16 @@ void begin_span(const char* cat, const char* name, const char* arg_key,
 }
 
 void end_span() noexcept { Recorder::instance().record(TraceEvent{.ph = 'E'}); }
+
+std::uint32_t current_tid() noexcept { return Recorder::instance().current_tid(); }
+
+bool trace_file_active() noexcept { return Recorder::instance().trace_file_active(); }
+
+void raw_event(char ph, const char* cat, const char* name, double ts_us, std::uint32_t tid,
+               double value) noexcept {
+  Recorder::instance().record_raw(
+      TraceEvent{.ts_us = ts_us, .value = value, .cat = cat, .name = name, .tid = tid, .ph = ph});
+}
 
 }  // namespace detail
 

@@ -62,6 +62,12 @@ void set_thread_name(const char* name);
 /// process exit; intern each distinct label once and reuse the pointer.
 [[nodiscard]] const char* intern_name(std::string_view name);
 
+/// Interned `"<kind>@<basename(file)>:<line>"` call-site label — the per-site
+/// span names Stream::synchronize / Event::wait record so the profiler and
+/// the DAG recorder can attribute waits to source locations. Cached per
+/// (kind, file, line), so repeat calls from the same site are a map hit.
+[[nodiscard]] const char* site_label(const char* kind, const char* file, unsigned line);
+
 // --- Flight recorder --------------------------------------------------------
 
 /// Start the flight recorder: each thread keeps (up to) the last `capacity`
@@ -96,6 +102,20 @@ void begin_span(const char* cat, const char* name) noexcept;
 void begin_span(const char* cat, const char* name, const char* arg_key,
                 double arg_value) noexcept;
 void end_span() noexcept;
+/// The calling thread's trace track id (registers the thread's buffer on
+/// first use). The DAG recorder tags its buffers with this so its nodes —
+/// and the flow events it emits — land on the same Perfetto tracks as the
+/// spans.
+[[nodiscard]] std::uint32_t current_tid() noexcept;
+/// True while a trace file is being recorded (the flight recorder and the
+/// profiler do not count). Used by dag::stop() to decide whether emitting
+/// flow events has anywhere to go.
+[[nodiscard]] bool trace_file_active() noexcept;
+/// Append a pre-stamped event (no re-timestamping) to the trace file
+/// buffers; no-op unless a trace file is active. `ph` 's'/'f' are
+/// Chrome-trace flow events: `value` carries the flow id.
+void raw_event(char ph, const char* cat, const char* name, double ts_us, std::uint32_t tid,
+               double value) noexcept;
 }  // namespace detail
 
 /// RAII scoped span: emits a `ph:"B"` event at construction and the

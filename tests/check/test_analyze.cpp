@@ -294,7 +294,7 @@ const SeededEdge kSeeds[] = {
     {"src/hybrid/hybrid_gehrd.cpp", "y_upper_ready.wait();", "transfer-race", 120, "'y_host'"},
     {"src/hybrid/hybrid_gebrd.cpp", "operands_shipped.wait();", "transfer-race", 131, "'a'"},
     {"src/hybrid/hybrid_sytrd.cpp", "s.synchronize();", "stream-not-idle", 109, "host_view"},
-    {"src/ft/ft_gehrd.cpp", "y_upper_ready.wait();", "transfer-race", 349, "'y_host_'"},
+    {"src/ft/ft_gehrd.cpp", "y_upper_ready.wait();", "transfer-race", 350, "'y_host_'"},
     {"src/ft/ft_gebrd.cpp", "operands_shipped.wait();", "transfer-race", 350, "'a_'"},
 };
 

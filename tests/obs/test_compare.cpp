@@ -122,6 +122,23 @@ TEST(CompareReports, MissingGatedMetricIsAViolation) {
   EXPECT_TRUE(res.gated[1].violated);
 }
 
+TEST(CompareReports, AbsentRooflineFracAgainstZeroBaseIsNotARegression) {
+  // Legacy baselines recorded roofline_frac=0 when no roofline was set;
+  // newer reports omit the key entirely. Absent-vs-0 must not gate, but a
+  // measured baseline fraction disappearing still must.
+  const json::Value base = json::parse(
+      R"({"profile":{"phases":[{"gflops":1.0,"roofline_frac":0.0},)"
+      R"({"gflops":2.0,"roofline_frac":0.5}]}})");
+  const json::Value cand =
+      json::parse(R"({"profile":{"phases":[{"gflops":1.0},{"gflops":2.0}]}})");
+  std::istringstream in("profile.phases.*.roofline_frac max_decrease 0.10\n");
+  const CompareResult res = compare_reports(base, cand, parse_thresholds(in));
+  ASSERT_EQ(res.gated.size(), 1u) << "the zero-base absent key is skipped entirely";
+  EXPECT_EQ(res.gated[0].path, "profile.phases.1.roofline_frac");
+  EXPECT_TRUE(res.gated[0].missing);
+  EXPECT_TRUE(res.gated[0].violated);
+}
+
 TEST(CompareReports, FirstMatchWinsAndUnmatchedIgnored) {
   const json::Value base = json::parse(R"({"a":1.0,"b":1.0,"c":1.0})");
   const json::Value cand = json::parse(R"({"a":5.0,"b":5.0})");  // c missing too

@@ -10,6 +10,7 @@
 #include "common/json.hpp"
 #include "fault/injector.hpp"
 #include "ft/ft_gehrd.hpp"
+#include "hybrid/hybrid_gehrd.hpp"
 #include "la/generate.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
@@ -199,6 +200,58 @@ TEST(ProfileLive, FtRunProducesAttributedReport) {
   EXPECT_GT(v.at("iterations").at("count").as_number(), 0.0);
   ASSERT_TRUE(v.at("phases").is_array());
   EXPECT_EQ(v.at("phases").as_array().size(), rep.phases.size());
+}
+
+TEST(ProfileLive, WaitPhasesSplitByCallSite) {
+  const index_t n = 48, nb = 16;
+  hybrid::Device dev;
+  Matrix<double> a = random_matrix(n, n, 9);
+  std::vector<double> tau(static_cast<std::size_t>(n - 1));
+  obs::profile_start();
+  hybrid::hybrid_gehrd(dev, a.view(), VectorView<double>(tau.data(), n - 1),
+                       {.nb = nb, .nx = nb}, nullptr);
+  const obs::ProfileReport rep = obs::profile_stop();
+
+  // With an observability window open, host wait spans carry their interned
+  // call-site label ("synchronize@file:line"), so the formerly aggregated
+  // stream.synchronize phase splits per site — and the prefix-matched wait
+  // classification still counts every one of them as blocked host time.
+  bool split = false;
+  for (const auto& p : rep.phases) {
+    if (p.track != "host" || p.cat != "stream") continue;
+    if (p.name.rfind("synchronize@", 0) == 0 &&
+        p.name.find(':') != std::string::npos)
+      split = true;
+  }
+  EXPECT_TRUE(split) << "synchronize phases must be keyed by call site";
+  EXPECT_EQ(find_phase(rep, "host", "stream", "synchronize"), nullptr)
+      << "no aggregated site-less synchronize phase should remain";
+  EXPECT_GT(rep.host_wait_s, 0.0)
+      << "per-site wait names must still classify as waits";
+}
+
+TEST(ProfileJson, RooflineFracOmittedWhenNoRooflineConfigured) {
+  obs::ProfileBuilder b;
+  b.begin(0, "stream", "task", 0.0, /*arg=*/0.0, /*flops=*/0);
+  b.end(0, 100.0, /*flops=*/1000);
+  {
+    const obs::ProfileReport rep = b.finish(/*roofline=*/0.0);
+    const json::Value v = json::parse(rep.to_json());
+    ASSERT_FALSE(v.at("phases").as_array().empty());
+    EXPECT_EQ(v.at("phases").as_array()[0].find("roofline_frac"), nullptr)
+        << "a meaningless roofline_frac=0 would gate as a catastrophic "
+           "regression in bench_compare";
+  }
+  obs::ProfileBuilder b2;
+  b2.begin(0, "stream", "task", 0.0, 0.0, 0);
+  b2.end(0, 100.0, 1000);
+  {
+    const obs::ProfileReport rep = b2.finish(/*roofline=*/25.0);
+    const json::Value v = json::parse(rep.to_json());
+    ASSERT_FALSE(v.at("phases").as_array().empty());
+    EXPECT_NE(v.at("phases").as_array()[0].find("roofline_frac"), nullptr)
+        << "with a roofline the fraction is still emitted";
+  }
 }
 
 TEST(ProfileLive, WindowsAreIndependent) {

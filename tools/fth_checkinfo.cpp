@@ -14,21 +14,33 @@
 
 #include "check/access.hpp"
 #include "check/effects.hpp"
+#include "obs/dag.hpp"
+#include "obs/trace.hpp"
 
 int main(int argc, char** argv) {
+  fth::obs::trace_init_from_env();  // arm FTH_DAG exactly as a bench would
   const bool in = fth::check::compiled_in();
   const bool eff_in = fth::check::effects_compiled_in();
+  const bool dag_on = fth::obs::dag::enabled();
   std::printf("checker_compiled_in=%d\n", in ? 1 : 0);
   std::printf("checker_active=%d\n", fth::check::active() ? 1 : 0);
   std::printf("effects_compiled_in=%d\n", eff_in ? 1 : 0);
   std::printf("effects_active=%d\n", fth::check::effects_active() ? 1 : 0);
+  std::printf("dag_enabled=%d\n", dag_on ? 1 : 0);
 #ifdef NDEBUG
   std::printf("build_ndebug=1\n");
 #else
   std::printf("build_ndebug=0\n");
 #endif
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--expect-off") == 0 && (in || eff_in)) {
+    if (std::strcmp(argv[i], "--expect-off") == 0 && (in || eff_in || dag_on)) {
+      if (dag_on) {
+        std::fprintf(stderr,
+                     "fth_checkinfo: FTH_DAG is armed in this environment but "
+                     "--expect-off was given (the DAG recorder must be the "
+                     "zero-overhead stub for Release bench numbers)\n");
+        return 1;
+      }
       std::fprintf(stderr,
                    "fth_checkinfo: %s compiled in but --expect-off was given "
                    "(Release benches must run checker-free)\n",

@@ -1,0 +1,63 @@
+// fth_why — offline analyzer for a recorded execution DAG (the *_dag.json a
+// bench dumps under --dag, or FTH_DAG=<path>). Answers "why was the host
+// blocked": critical path with per-kind composition, the top blocking edges
+// attributing host_wait_s to file:line call sites, and the what-if list
+// scheduler's predictions under hypothetical lookahead/stream/roofline
+// configurations (DESIGN.md §12).
+//
+//   fth_why <run_dag.json> [--lookahead <k> --streams <s>] [--dev-scale <x>]
+//           [--json]
+//
+// Without --lookahead/--streams the standard scenario table is simulated
+// (--dev-scale < 1 adds the roofline-gemm scenario); with them, a single
+// custom scenario is appended.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/options.hpp"
+#include "obs/dag.hpp"
+
+using namespace fth;
+
+int main(int argc, char** argv) {
+  const Options opt(argc, argv);
+  if (opt.positional().size() != 1) {
+    std::fprintf(stderr,
+                 "usage: fth_why <run_dag.json> [--lookahead <k> --streams <s>] "
+                 "[--dev-scale <x>] [--json]\n");
+    return 2;
+  }
+
+  obs::dag::Graph g;
+  try {
+    g = obs::dag::parse_graph(json::parse_file(opt.positional()[0]));
+  } catch (const json::parse_error& e) {
+    std::fprintf(stderr, "fth_why: %s: %s\n", opt.positional()[0].c_str(), e.what());
+    return 2;
+  }
+
+  const obs::dag::Analysis analysis = obs::dag::analyze(g);
+
+  const double dev_scale = opt.get_double("dev-scale", 1.0);
+  std::vector<obs::dag::Scenario> scenarios = obs::dag::default_scenarios(dev_scale);
+  if (opt.has("lookahead") || opt.has("streams")) {
+    obs::dag::Scenario custom;
+    custom.name = "custom";
+    custom.lookahead = static_cast<int>(opt.get_double("lookahead", 0.0));
+    custom.streams = static_cast<int>(opt.get_double("streams", 1.0));
+    custom.dev_scale = dev_scale;
+    scenarios.push_back(std::move(custom));
+  }
+  std::vector<obs::dag::Prediction> what_if;
+  what_if.reserve(scenarios.size());
+  for (const obs::dag::Scenario& sc : scenarios) what_if.push_back(obs::dag::simulate(g, sc));
+
+  if (opt.has("json")) {
+    std::printf("%s\n", obs::dag::section_json(g, analysis, what_if).c_str());
+  } else {
+    obs::dag::print_analysis(g, analysis, what_if, stdout);
+  }
+  return 0;
+}
