@@ -11,18 +11,28 @@
 #   ./run_benches.sh --dag                # one execution DAG per bench, plus
 #                                         # an fth_why critical-path/what-if
 #                                         # report for the fig6 run
+#   ./run_benches.sh --devices 1,3,5      # pool widths for the device-pool
+#                                         # scaling bench (default 1,3)
 set -e
 cd "$(dirname "$0")"
 
 EXTRA=""
+DEVICES="1,3"
+expect_devices=""
 for arg in "$@"; do
+  if [ -n "$expect_devices" ]; then
+    DEVICES="$arg"; expect_devices=""; continue
+  fi
   case "$arg" in
     --profile) EXTRA="$EXTRA --profile" ;;
     --trace)   TRACE=1 ;;
     --dag)     DAG=1 ;;
+    --devices) expect_devices=1 ;;       # pool widths for bench_pool_devices
+    --devices=*) DEVICES="${arg#--devices=}" ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
+if [ -n "$expect_devices" ]; then echo "--devices needs a value" >&2; exit 2; fi
 
 # Zero-overhead guard: every number below is meaningless if the fth::check
 # access/race checker is compiled into this tree (it must exist only in
@@ -54,6 +64,7 @@ run() {
   run ./build/bench/bench_ext_sytrd --sizes 128,256,384,512 --trials 3
   run ./build/bench/bench_ext_gebrd --sizes 128,256,384 --trials 3
   run ./build/bench/bench_related_qr --n 256
+  run ./build/bench/bench_pool_devices --devices "$DEVICES" --sizes 128,256 --trials 3
   ./build/bench/bench_kernels --benchmark_min_time=0.2 \
       --benchmark_out=bench_kernels.json --benchmark_out_format=json
   if [ -n "$DAG" ]; then

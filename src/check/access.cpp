@@ -21,6 +21,7 @@ const char* to_string(ViolationKind k) noexcept {
     case ViolationKind::TransferRace: return "TransferRace";
     case ViolationKind::StreamNotIdle: return "StreamNotIdle";
     case ViolationKind::EffectMismatch: return "EffectMismatch";
+    case ViolationKind::CrossDeviceAccess: return "CrossDeviceAccess";
   }
   return "?";
 }
@@ -48,6 +49,7 @@ struct AllocRec {
   std::size_t bytes = 0;
   const char* site = "";
   std::uint64_t epoch = 0;
+  int device = -1;  ///< owning pool ordinal (-1 = untagged single-device)
 };
 
 /// A column-major byte rectangle: columns of `row_bytes` at stride
@@ -282,6 +284,29 @@ void require_task_context(const void* p, std::size_t bytes, const char* what) no
   std::lock_guard lock(s.m);
   const auto* a = find_alloc(p);
   if (in_task_context() && a != nullptr) {
+    // Cross-device isolation: each pool member is its own memory space, so
+    // a task running on device X must not unwrap device Y's allocation —
+    // transfers between spaces have to go through the host. Only enforced
+    // when both sides carry an ordinal (untagged = legacy single-device).
+    const int tdev = detail::t_ctx.device;
+    if (tdev >= 0 && a->second.device >= 0 && tdev != a->second.device) {
+      Violation v;
+      v.kind = ViolationKind::CrossDeviceAccess;
+      v.alloc_site = a->second.site;
+      v.task_label = detail::t_ctx.task_label;
+      v.ticket = detail::t_ctx.ticket;
+      char buf[320];
+      std::snprintf(buf, sizeof buf,
+                    "%s on device-%d allocation '%s' (epoch %" PRIu64
+                    ") from a task on device %d ('%s', ticket %" PRIu64
+                    ") — pool members are separate memory spaces; route the "
+                    "data through the host",
+                    what, a->second.device, a->second.site, a->second.epoch,
+                    tdev, v.task_label, v.ticket);
+      v.message = buf;
+      record_violation(std::move(v));
+      return;
+    }
     // Effect conformance (FTH_CHECK_EFFECTS=1): a task that declared
     // FTH_TASK_EFFECTS must unwrap only ranges inside its declared set.
     // Unwraps don't carry read/write intent, so containment is tested
@@ -328,11 +353,12 @@ void require_task_context(const void* p, std::size_t bytes, const char* what) no
   record_violation(std::move(v));
 }
 
-void on_device_alloc(const void* p, std::size_t bytes, const char* site) noexcept {
+void on_device_alloc(const void* p, std::size_t bytes, const char* site,
+                     int device) noexcept {
   if (!active() || p == nullptr) return;
   auto& s = st();
   std::lock_guard lock(s.m);
-  s.allocs[p] = AllocRec{bytes, site != nullptr ? site : "", s.next_epoch++};
+  s.allocs[p] = AllocRec{bytes, site != nullptr ? site : "", s.next_epoch++, device};
   detail::g_device_allocs.store(static_cast<std::uint32_t>(s.allocs.size()),
                                 std::memory_order_relaxed);
 }
@@ -427,13 +453,33 @@ void on_stream_destroyed(const void* stream, std::uint64_t tail_ticket) noexcept
   s.hb.erase(stream);
 }
 
-void require_stream_idle(bool idle, const void* p, const char* what) noexcept {
-  if (!active() || idle) return;
+void require_stream_idle(bool idle, const void* p, const char* what,
+                         int device) noexcept {
+  if (!active()) return;
   auto& s = st();
   std::lock_guard lock(s.m);
+  const auto* a = find_alloc(p);
+  // An idle stream only grants a host-exclusive window over its own
+  // device's memory: gating device-1 data on device-0's stream is a
+  // cross-device confusion even when that stream is idle.
+  if (device >= 0 && a != nullptr && a->second.device >= 0 &&
+      a->second.device != device) {
+    Violation v;
+    v.kind = ViolationKind::CrossDeviceAccess;
+    v.alloc_site = a->second.site;
+    v.task_label = "host";
+    char buf[320];
+    std::snprintf(buf, sizeof buf,
+                  "%s gated on a device-%d stream, but the allocation '%s' "
+                  "belongs to device %d — pass the owning device's stream",
+                  what, device, a->second.site, a->second.device);
+    v.message = buf;
+    record_violation(std::move(v));
+    return;
+  }
+  if (idle) return;
   Violation v;
   v.kind = ViolationKind::StreamNotIdle;
-  const auto* a = find_alloc(p);
   v.alloc_site = a != nullptr ? a->second.site : "";
   v.task_label = "host";
   char buf[256];

@@ -43,6 +43,7 @@ enum class ViolationKind {
   TransferRace,        ///< host touched memory of an in-flight transfer without an ordering edge
   StreamNotIdle,       ///< host_view(view, stream) taken while the stream still had work queued
   EffectMismatch,      ///< task accessed memory outside its declared FTH_READS/FTH_WRITES set
+  CrossDeviceAccess,   ///< task (or host_view gate) on one device touched another device's memory
 };
 
 const char* to_string(ViolationKind k) noexcept;
@@ -106,8 +107,13 @@ class ExpectViolations {
 
 /// Register / release a device allocation. `site` must be a static or
 /// interned string; it becomes the "allocation site" of every report that
-/// touches the range. Each registration gets a fresh epoch.
-void on_device_alloc(const void* p, std::size_t bytes, const char* site) noexcept;
+/// touches the range. Each registration gets a fresh epoch. `device` is
+/// the owning device's pool ordinal (-1 = untagged): when both the current
+/// task context and the allocation carry an ordinal and they differ, the
+/// unwrap is a CrossDeviceAccess violation — pool members are independent
+/// memory spaces.
+void on_device_alloc(const void* p, std::size_t bytes, const char* site,
+                     int device = -1) noexcept;
 void on_device_free(const void* p) noexcept;
 
 /// RAII worker-thread task context (stream worker loop, between-task hooks).
@@ -116,13 +122,14 @@ void on_device_free(const void* p) noexcept;
 class TaskScope {
  public:
   TaskScope(const void* stream, const char* label, std::uint64_t ticket,
-            const TaskEffects* effects = nullptr) noexcept {
+            const TaskEffects* effects = nullptr, int device = -1) noexcept {
     auto& ctx = detail::t_ctx;
     prev_ = ctx;
     ctx.stream = stream;
     ctx.task_label = label;
     ctx.ticket = ticket;
     ctx.effects = effects;
+    ctx.device = device;
     ++ctx.depth;
   }
   ~TaskScope() { detail::t_ctx = prev_; }
@@ -160,17 +167,21 @@ void on_cross_stream_wait(const void* waiter, std::uint64_t wait_ticket,
 /// drains, which is a host-side ordering of the whole stream.
 void on_stream_destroyed(const void* stream, std::uint64_t tail_ticket) noexcept;
 
-/// host_view(view, stream) gate: flags when the stream was not idle.
-void require_stream_idle(bool idle, const void* p, const char* what) noexcept;
+/// host_view(view, stream) gate: flags when the stream was not idle, and
+/// (when both ids are tagged) when the stream belongs to a different
+/// device than the allocation — an idle stream on device 0 grants no
+/// host-exclusive window over device 1's memory.
+void require_stream_idle(bool idle, const void* p, const char* what,
+                         int device = -1) noexcept;
 
 #else
 
 class TaskScope {
  public:
   TaskScope(const void*, const char*, std::uint64_t,
-            const TaskEffects* = nullptr) noexcept {}
+            const TaskEffects* = nullptr, int = -1) noexcept {}
 };
-inline void on_device_alloc(const void*, std::size_t, const char*) noexcept {}
+inline void on_device_alloc(const void*, std::size_t, const char*, int = -1) noexcept {}
 inline void on_device_free(const void*) noexcept {}
 inline void on_transfer_enqueued(const void*, std::uint64_t, bool, const char*,
                                  const void*, std::size_t, index_t, index_t,
@@ -179,7 +190,7 @@ inline void on_host_ordered(const void*, std::uint64_t) noexcept {}
 inline void on_cross_stream_wait(const void*, std::uint64_t, const void*,
                                  std::uint64_t) noexcept {}
 inline void on_stream_destroyed(const void*, std::uint64_t) noexcept {}
-inline void require_stream_idle(bool, const void*, const char*) noexcept {}
+inline void require_stream_idle(bool, const void*, const char*, int = -1) noexcept {}
 
 #endif  // FTH_CHECK_ENABLED
 

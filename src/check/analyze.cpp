@@ -42,6 +42,7 @@ bool is_type_word(const std::string& id) {
 struct Transfer {
   char dir = 'h';    ///< 'h' = h2d (host side is read), 'd' = d2h (host side is written)
   std::string root;  ///< host-buffer root symbol, e.g. y_host
+  std::string stream;  ///< stream argument's root symbol, e.g. s_ / sd (pool drivers)
   std::uint64_t ticket = 0;
   int line = 0;  ///< line the copy was enqueued on
 };
@@ -58,6 +59,13 @@ struct Engine {
   std::uint64_t synced = 0;  ///< highest ticket known host-ordered
   std::vector<Transfer> live;
   std::map<std::string, std::uint64_t> events;  ///< Event name -> marker ticket
+  /// Event name -> stream the record() ran on; pool drivers use this to
+  /// prove cross-stream wait_event edges (DESIGN.md §13).
+  std::map<std::string, std::string> event_stream;
+  /// consumer stream -> producer stream -> highest marker ticket a
+  /// wait_event edge carries across. Device-side ordering, so host
+  /// retirement (synced) never changes it.
+  std::map<std::string, std::map<std::string, std::uint64_t>> xedges;
   std::set<std::string> dedupe;
 
   void reset_function_state() {
@@ -65,6 +73,8 @@ struct Engine {
     synced = 0;
     live.clear();
     events.clear();
+    event_stream.clear();
+    xedges.clear();
   }
 
   // ---- token helpers ----
@@ -250,6 +260,8 @@ struct Engine {
     ++stats.transfers;
     const auto args = split_args(open, close);
     std::string root;
+    std::string stream;
+    if (!args.empty()) stream = root_of(args[0].first, args[0].second);
     if (args.size() >= 3) {
       const auto& host_arg = dir == 'h' ? args[1] : args.back();
       root = root_of(host_arg.first, host_arg.second);
@@ -265,7 +277,7 @@ struct Engine {
       }
     }
     if (is_async) {
-      if (!root.empty()) live.push_back({dir, root, ticket, t[i].line});
+      if (!root.empty()) live.push_back({dir, root, stream, ticket, t[i].line});
     } else {
       // Synchronous copy = enqueue + synchronize(): everything earlier
       // (itself included) is host-ordered when the call returns.
@@ -278,25 +290,79 @@ struct Engine {
     const std::size_t close = close_paren(open);
     ++ticket;
     ++stats.enqueues;
-    if (effects_scoped) {
-      bool has_effects = false;
-      for (std::size_t j = open; j < close; ++j) {
-        if (t[j].kind == Tok::Ident && t[j].text == "FTH_TASK_EFFECTS") {
-          has_effects = true;
-          break;
-        }
-      }
-      if (!has_effects) {
-        const std::string label =
-            open + 1 < close && t[open + 1].kind == Tok::String ? t[open + 1].text : "?";
-        report(t[i].line, "undeclared-task",
-               "stream task \"" + label +
-                   "\" enqueued without FTH_TASK_EFFECTS(...); declare its "
-                   "FTH_READS/FTH_WRITES footprint so fth::analyze and "
-                   "FTH_CHECK_EFFECTS=1 can see it");
+    // Locate the FTH_TASK_EFFECTS(...) declaration once: the
+    // undeclared-task rule wants it present, the cross-stream rule
+    // reads the declared footprint out of it.
+    std::size_t fx = 0;
+    for (std::size_t j = open; j < close; ++j) {
+      if (t[j].kind == Tok::Ident && t[j].text == "FTH_TASK_EFFECTS") {
+        fx = j;
+        break;
       }
     }
+    if (effects_scoped && fx == 0) {
+      const std::string label =
+          open + 1 < close && t[open + 1].kind == Tok::String ? t[open + 1].text : "?";
+      report(t[i].line, "undeclared-task",
+             "stream task \"" + label +
+                 "\" enqueued without FTH_TASK_EFFECTS(...); declare its "
+                 "FTH_READS/FTH_WRITES footprint so fth::analyze and "
+                 "FTH_CHECK_EFFECTS=1 can see it");
+    }
+    if (fx != 0) check_cross_stream(i, open, close, fx);
     return close;  // the task lambda runs in task context, not here
+  }
+
+  /// Pool drivers (DESIGN.md §13): a task enqueued on one stream whose
+  /// declared footprint covers the host side of a transfer still in
+  /// flight on ANOTHER stream races it — FIFO order only covers
+  /// same-stream pairs — unless a wait_event edge carries the
+  /// producer's Event marker (recorded at/after the transfer) into the
+  /// consumer's queue. The single-stream analogue is transfer-race.
+  void check_cross_stream(std::size_t i, std::size_t open, std::size_t close,
+                          std::size_t fx) {
+    const std::string consumer =
+        i >= 2 && is_punct(i - 1, ".") && is_ident(i - 2) ? t[i - 2].text : "";
+    if (consumer.empty() || live.empty()) return;
+    const std::string label =
+        open + 1 < close && t[open + 1].kind == Tok::String ? t[open + 1].text : "?";
+    for (std::size_t j = fx; j < close; ++j) {
+      if (t[j].kind != Tok::Ident ||
+          (t[j].text != "FTH_READS" && t[j].text != "FTH_WRITES") || !is_punct(j + 1, "("))
+        continue;
+      const std::size_t fo = j + 1;
+      const std::size_t fc = close_paren(fo);
+      for (const auto& arg : split_args(fo, fc)) {
+        const std::string root = root_of(arg.first, arg.second);
+        if (root.empty()) continue;
+        const Transfer* hit = nullptr;
+        for (const auto& tr : live) {
+          if (tr.root != root || tr.stream.empty() || tr.stream == consumer) continue;
+          const auto ci = xedges.find(consumer);
+          bool covered = false;
+          if (ci != xedges.end()) {
+            const auto ei = ci->second.find(tr.stream);
+            covered = ei != ci->second.end() && ei->second >= tr.ticket;
+          }
+          if (!covered) {
+            hit = &tr;
+            break;
+          }
+        }
+        if (hit == nullptr) continue;
+        const std::string nticket = std::to_string(hit->ticket);
+        report(t[i].line, "cross-stream-race",
+               "task \"" + label + "\" on stream '" + consumer + "' declares '" + root +
+                   "' while the " + (hit->dir == 'h' ? "h2d" : "d2h") +
+                   " transfer enqueued at line " + std::to_string(hit->line) +
+                   " (ticket " + nticket + ") is still in flight on stream '" +
+                   hit->stream + "': no wait_event edge orders the transfer first",
+               consumer + ".wait_event(<Event recorded on '" + hit->stream +
+                   "' at/after ticket " + nticket + ">) before enqueueing this task");
+        drop_root(root);  // one missing edge -> one finding, not one per task
+      }
+      j = fc;
+    }
   }
 
   void handle_mention(std::size_t i) {
@@ -371,12 +437,16 @@ struct Engine {
         ++ticket;  // the record marker is itself an enqueued task
         if (i >= 4 && is_ident(i - 2) && is_punct(i - 3, "=") && is_ident(i - 4)) {
           events[t[i - 4].text] = ticket;
+          event_stream[t[i - 4].text] = t[i - 2].text;
           ++stats.records;
         }
         i = open + 1;
         continue;
       }
-      if (open != 0 && dotted && (id == "wait" || id == "ready")) {
+      if (open != 0 && dotted && (id == "wait" || id == "ready" || id == "wait_for")) {
+        // wait_for's timeout path returns false WITHOUT the edge; every
+        // driver throws (device_lost) on that path, so straight-line
+        // code after the call is ordered — same edge as wait().
         const std::string receiver = i >= 2 && is_ident(i - 2) ? t[i - 2].text : "";
         const auto it = events.find(receiver);
         if (it != events.end()) {
@@ -386,6 +456,24 @@ struct Engine {
         }
         // Unknown receiver (condition_variable etc.): not an ordering
         // edge; its arguments are plain host code, keep scanning.
+        continue;
+      }
+      if (open != 0 && dotted && id == "wait_event") {
+        // consumer.wait_event(ev): a device-side edge — the consumer
+        // stream's next tasks run after ev's marker on the producer.
+        ++ticket;  // the wait marker is itself an enqueued task
+        const std::string consumer = i >= 2 && is_ident(i - 2) ? t[i - 2].text : "";
+        const std::size_t close = close_paren(open);
+        const std::string ev = root_of(open + 1, close);
+        const auto it = events.find(ev);
+        if (!consumer.empty() && it != events.end()) {
+          const std::string& producer = event_stream[ev];
+          if (!producer.empty()) {
+            std::uint64_t& thru = xedges[consumer][producer];
+            if (it->second > thru) thru = it->second;
+          }
+        }
+        i = close;
         continue;
       }
       if (open != 0 && dotted && id == "synchronize") {

@@ -28,6 +28,16 @@
 //                    from anything other than the freshly re-encoded
 //                    new_chkrow_ or the rollback checkpoint
 //                    ckpt_chkrow_ (the §7 gotcha, made structural).
+//   cross-stream-race a task whose FTH_TASK_EFFECTS footprint covers
+//                    the host side of a transfer still in flight on a
+//                    DIFFERENT stream, with no wait_event edge carrying
+//                    the producer's Event marker into the consumer's
+//                    queue (the multi-device form of U2, DESIGN.md §13;
+//                    FIFO order covers same-stream pairs). Transfers are
+//                    attributed to the stream named by their first
+//                    argument; Event::wait_for counts as wait() — the
+//                    timeout path has no edge, but every driver throws
+//                    on it, so the straight-line continuation is ordered.
 //
 // The analysis is a single linear pass per function: no loop
 // unrolling, no branch joins. That is sound-enough here by
@@ -60,7 +70,7 @@ struct Stats {
   std::size_t enqueues = 0;   ///< explicit Stream::enqueue calls
   std::size_t transfers = 0;  ///< copy_{h2d,d2h}[_async] calls
   std::size_t records = 0;    ///< Event = stream.record() bindings
-  std::size_t waits = 0;      ///< waits/ready() on recorded Events
+  std::size_t waits = 0;      ///< wait/ready/wait_for() on recorded Events
   std::size_t syncs = 0;      ///< synchronize() calls
   void accumulate(const Stats& o) {
     functions += o.functions;

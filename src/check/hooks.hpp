@@ -59,6 +59,11 @@ struct ThreadCtx {
   /// must not inherit the finished task's declaration). Checked by
   /// require_task_context when FTH_CHECK_EFFECTS=1.
   const TaskEffects* effects = nullptr;
+  /// Ordinal of the device whose stream this worker serves (-1 for
+  /// free-standing streams). Device allocations carry the same id, and
+  /// require_task_context flags a CrossDeviceAccess when a task unwraps
+  /// another device's memory — each pool member is its own memory space.
+  int device = -1;
 };
 inline thread_local ThreadCtx t_ctx;
 

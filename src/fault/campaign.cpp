@@ -6,8 +6,10 @@
 #include "ft/ft_gebrd.hpp"
 #include "ft/ft_gehrd.hpp"
 #include "ft/ft_sytrd.hpp"
+#include "ft/pool_gehrd.hpp"
 #include "la/generate.hpp"
 #include "la/norms.hpp"
+#include "lapack/gehrd.hpp"
 
 namespace fth::fault {
 
@@ -319,6 +321,92 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
       out.result_correct = out.max_error_vs_clean <= tol;
       if (out.result_correct) ++result.correct_count;
       ++result.recovered_count;
+      result.worst_error_vs_clean =
+          std::max(result.worst_error_vs_clean, out.max_error_vs_clean);
+    }
+    result.trials.push_back(std::move(out));
+  }
+  return result;
+}
+
+DeviceLossSoakResult run_device_loss_soak(const DeviceLossSoakConfig& cfg) {
+  FTH_CHECK(cfg.n >= 4, "device-loss soak: matrix too small");
+  FTH_CHECK(cfg.devices >= 2, "device-loss soak: need a redundancy group (D >= 2)");
+  FTH_CHECK(cfg.trials >= 1, "device-loss soak: bad configuration");
+
+  DeviceLossSoakResult result;
+  Rng seeder(cfg.seed);
+  const std::vector<LossKind> mix =
+      !cfg.kinds.empty()
+          ? cfg.kinds
+          : std::vector<LossKind>{LossKind::SilentStall, LossKind::PoisonOutput,
+                                  LossKind::HardDeath};
+
+  for (int trial = 0; trial < cfg.trials; ++trial) {
+    const std::uint64_t mseed = seeder.next();
+    const std::uint64_t fseed = seeder.next();
+    const Matrix<double> a0 = random_matrix(cfg.n, cfg.n, mseed);
+
+    // Fault-free reference factorization (host algorithm, the ground truth
+    // every pool geometry already matches in the clean tests).
+    Matrix<double> clean(a0.cview());
+    std::vector<double> tau_c(static_cast<std::size_t>(cfg.n - 1));
+    lapack::gehrd(clean.view(),
+                  VectorView<double>(tau_c.data(), static_cast<index_t>(tau_c.size())),
+                  {.nb = cfg.nb, .nx = cfg.nb});
+
+    // Clean pool run with an idle plane counting each member's post-encode
+    // tasks — the schedule the countdown draw lands inside.
+    ft::PoolGehrdOptions opt{.nb = cfg.nb, .nx = cfg.nb, .timeout_ms = cfg.timeout_ms};
+    FaultPlane counter(fseed);
+    {
+      hybrid::DevicePool pool({.devices = cfg.devices});
+      Matrix<double> warm(a0.cview());
+      std::vector<double> tau(static_cast<std::size_t>(cfg.n - 1));
+      ft::PoolGehrdOptions copt = opt;
+      copt.plane = &counter;
+      ft::pool_gehrd(pool, warm.view(),
+                     VectorView<double>(tau.data(), static_cast<index_t>(tau.size())), copt);
+    }
+
+    DeviceLossTrial out;
+    Rng frng(fseed);
+    out.kind = mix[static_cast<std::size_t>(trial) % mix.size()];
+    out.device = static_cast<int>(frng.below(static_cast<std::uint64_t>(cfg.devices)));
+    // Land strictly inside the member's real schedule: the faulty run
+    // tracks the clean one task-for-task until the strike, so any
+    // countdown <= 90% of the clean count is guaranteed to fire.
+    const std::uint64_t tasks = counter.pool_task_count(out.device);
+    const std::uint64_t hi = std::max<std::uint64_t>(1, tasks * 9 / 10);
+    out.countdown = 1 + frng.below(hi);
+
+    FaultPlane plane(fseed ^ 0xDEADULL);
+    plane.arm_device_loss({.kind = out.kind, .device = out.device, .countdown = out.countdown});
+
+    hybrid::DevicePool pool({.devices = cfg.devices});
+    Matrix<double> faulty(a0.cview());
+    std::vector<double> tau(static_cast<std::size_t>(cfg.n - 1));
+    ft::PoolGehrdOptions fopt = opt;
+    fopt.plane = &plane;
+    try {
+      ft::pool_gehrd(pool, faulty.view(),
+                     VectorView<double>(tau.data(), static_cast<index_t>(tau.size())), fopt,
+                     &out.report);
+      out.recovered = true;
+      out.max_error_vs_clean = max_abs_diff(faulty.cview(), clean.cview());
+    } catch (const recovery_error& e) {
+      out.failure = e.what();
+    }
+    out.fired = !plane.fired_losses().empty();
+
+    if (out.fired) ++result.fired_count;
+    if (out.recovered) {
+      ++result.recovered_count;
+      // Same bar as the element-fault soak: recovery must leave no
+      // fault-shaped error behind, only reassociation roundoff.
+      const double tol = 1e-8 * std::max(1.0, norm_max(a0.cview()));
+      out.result_correct = out.max_error_vs_clean <= tol;
+      if (out.result_correct) ++result.correct_count;
       result.worst_error_vs_clean =
           std::max(result.worst_error_vs_clean, out.max_error_vs_clean);
     }

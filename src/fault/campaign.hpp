@@ -20,6 +20,7 @@
 #include "fault/fault_plane.hpp"
 #include "fault/injector.hpp"
 #include "ft/ft_gehrd.hpp"  // FtReport
+#include "ft/pool_gehrd.hpp"  // PoolGehrdReport (device-loss soak)
 #include "ft/recovery.hpp"
 #include "la/matrix.hpp"
 #include "obs/metrics.hpp"
@@ -99,5 +100,46 @@ struct CampaignResult {
 
 /// Run the campaign on a random matrix per trial.
 CampaignResult run_campaign(const CampaignConfig& cfg);
+
+// ---- device-loss soak (ISSUE 7: pool runs) ---------------------------------
+
+/// Monte-Carlo device-loss campaign over ft::pool_gehrd. Each trial runs a
+/// clean pool reduction first with an idle plane riding along as a task
+/// counter (FaultPlane::pool_task_count), then draws a victim device and a
+/// countdown inside that member's real schedule and re-runs with one armed
+/// DeviceLossFault. Trials cycle through `kinds` (all three when empty).
+struct DeviceLossSoakConfig {
+  index_t n = 256;
+  index_t nb = 32;
+  int devices = 3;
+  int trials = 9;
+  std::uint64_t seed = 2026;
+  /// Health-check timeout handed to the driver; small keeps SilentStall
+  /// trials fast, large enough to never false-trigger on a healthy member.
+  double timeout_ms = 500.0;
+  std::vector<LossKind> kinds;
+};
+
+struct DeviceLossTrial {
+  LossKind kind = LossKind::HardDeath;
+  int device = 0;               ///< victim ordinal
+  std::uint64_t countdown = 0;  ///< post-encode task countdown drawn
+  bool fired = false;           ///< the strike actually landed
+  bool recovered = false;       ///< run completed (possibly degraded)
+  bool result_correct = false;  ///< matches the fault-free host factorization
+  double max_error_vs_clean = 0.0;
+  std::string failure;  ///< non-empty when the run threw
+  ft::PoolGehrdReport report;
+};
+
+struct DeviceLossSoakResult {
+  std::vector<DeviceLossTrial> trials;
+  int fired_count = 0;
+  int recovered_count = 0;
+  int correct_count = 0;
+  double worst_error_vs_clean = 0.0;
+};
+
+DeviceLossSoakResult run_device_loss_soak(const DeviceLossSoakConfig& cfg);
 
 }  // namespace fth::fault

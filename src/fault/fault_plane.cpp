@@ -1,6 +1,9 @@
 #include "fault/fault_plane.hpp"
 
+#include <chrono>
 #include <cmath>
+#include <string>
+#include <thread>
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
@@ -65,6 +68,15 @@ std::string to_string(Surface s) {
   return "?";
 }
 
+std::string to_string(LossKind k) {
+  switch (k) {
+    case LossKind::SilentStall: return "silent-stall";
+    case LossKind::PoisonOutput: return "poison-output";
+    case LossKind::HardDeath: return "hard-death";
+  }
+  return "?";
+}
+
 FaultPlane::FaultPlane(std::uint64_t seed) : rng_(seed) {}
 
 FaultPlane::~FaultPlane() { unbind(); }
@@ -88,18 +100,119 @@ void FaultPlane::bind(hybrid::Device& dev) {
 void FaultPlane::unbind() {
   // Callers must have drained the stream first (the drivers synchronize
   // before returning or throwing), so no hook invocation can be in flight
-  // once the hooks are cleared here.
+  // once the hooks are cleared here. The one exception is a SilentStall
+  // strike still blocking a pool worker: stall_release_ frees it below, and
+  // we wait for it to leave the plane before returning so the destructor
+  // can never free state under a blocked hook.
   hybrid::Device* dev = nullptr;
+  hybrid::DevicePool* pool = nullptr;
   {
     std::lock_guard lock(m_);
     dev = dev_;
     dev_ = nullptr;
+    pool = pool_;
+    pool_ = nullptr;
     for (auto& r : surfaces_) r.valid = false;
     transfer_targets_.clear();
+    loss_surfaces_.clear();
   }
+  stall_release_.store(true);
+  while (stalls_active_.load() > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
   if (dev != nullptr) {
     dev->stream().set_task_hook(nullptr);
     dev->set_transfer_hook(nullptr);
+  }
+  if (pool != nullptr) {
+    for (int d = 0; d < pool->size(); ++d) pool->stream(d).set_task_hook(nullptr);
+  }
+}
+
+void FaultPlane::arm_device_loss(const DeviceLossFault& f) {
+  FTH_CHECK(f.countdown >= 1, "device-loss countdown must be at least 1");
+  FTH_CHECK(f.device >= 0, "device-loss target must be a pool ordinal");
+  std::lock_guard lock(m_);
+  armed_losses_.push_back({f, f.countdown, false});
+  obs::counter_metric("fault.device_loss.armed").add();
+}
+
+void FaultPlane::bind_pool(hybrid::DevicePool& pool) {
+  {
+    std::lock_guard lock(m_);
+    FTH_CHECK(pool_ == nullptr || pool_ == &pool,
+              "fault plane already bound to another pool");
+    pool_ = &pool;
+    pool_counts_.assign(static_cast<std::size_t>(pool.size()), 0);
+    loss_surfaces_.assign(static_cast<std::size_t>(pool.size()), MatrixView<double>{});
+  }
+  for (int d = 0; d < pool.size(); ++d) {
+    hybrid::Stream* s = &pool.stream(d);
+    pool.stream(d).set_task_hook([this, d, s](std::uint64_t) { on_pool_task_hook(d, s); });
+  }
+}
+
+void FaultPlane::register_loss_surface_host(int device, MatrixView<double> view) {
+  std::lock_guard lock(m_);
+  if (static_cast<std::size_t>(device) >= loss_surfaces_.size())
+    loss_surfaces_.resize(static_cast<std::size_t>(device) + 1, MatrixView<double>{});
+  loss_surfaces_[static_cast<std::size_t>(device)] = view;
+}
+
+void FaultPlane::on_pool_task_hook(int device, hybrid::Stream* s) {
+  LossKind todo = LossKind::HardDeath;
+  bool fire = false;
+  {
+    std::lock_guard lock(m_);
+    if (!encoded_) return;
+    if (static_cast<std::size_t>(device) >= pool_counts_.size())
+      pool_counts_.resize(static_cast<std::size_t>(device) + 1, 0);
+    const std::uint64_t idx = ++pool_counts_[static_cast<std::size_t>(device)];
+    for (auto& a : armed_losses_) {
+      if (a.fired || a.spec.device != device) continue;
+      if (--a.remaining != 0) continue;
+      a.fired = true;
+      fired_losses_.push_back({a.spec.kind, device, idx});
+      obs::counter_metric("fault.device_loss.injected").add();
+      obs::counter_metric("fault.device_loss.injected.dev" + std::to_string(device)).add();
+      obs::counter_metric("fault.device_loss." + [k = a.spec.kind] {
+        switch (k) {
+          case LossKind::SilentStall: return std::string("stall");
+          case LossKind::PoisonOutput: return std::string("poison");
+          case LossKind::HardDeath: return std::string("hard_death");
+        }
+        return std::string("?");
+      }()).add();
+      obs::instant("fault", "device_loss");
+      todo = a.spec.kind;
+      fire = true;
+      if (todo == LossKind::PoisonOutput) {
+        // Scribble over the member's registered shard while we still hold
+        // m_ — we are on that device's own worker thread, so this is the
+        // same discipline as fire_on_view.
+        MatrixView<double> v = loss_surfaces_[static_cast<std::size_t>(device)];
+        if (!v.empty()) {
+          for (int k = 0; k < 4; ++k) {
+            const index_t row =
+                static_cast<index_t>(rng_.below(static_cast<std::uint64_t>(v.rows())));
+            const index_t col =
+                static_cast<index_t>(rng_.below(static_cast<std::uint64_t>(v.cols())));
+            v(row, col) = 1e30 * static_cast<double>(k + 1);
+          }
+        }
+      }
+      break;
+    }
+  }
+  if (!fire) return;
+  // The blocking/stream-touching halves run without m_: a stalled worker
+  // must not wedge the plane, and kill() takes the stream's own mutex.
+  if (todo == LossKind::HardDeath) {
+    s->kill();
+  } else if (todo == LossKind::SilentStall) {
+    stalls_active_.fetch_add(1);
+    while (!stall_release_.load() && !s->killed())
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    stalls_active_.fetch_sub(1);
   }
 }
 
@@ -275,6 +388,10 @@ void FaultPlane::fire_on_view(ArmedFault& a, MatrixView<double> view, SurfaceSha
   a.fired = true;
   fired_.push_back(rec);
   obs::counter_metric("fault.inflight_fired").add();
+  // Per-device attribution so a pool campaign can tell which member a
+  // strike landed on (single-device runs report .dev0).
+  if (dev_ != nullptr)
+    obs::counter_metric("fault.inflight_fired.dev" + std::to_string(dev_->ordinal())).add();
   if (!std::isfinite(rec.after)) obs::counter_metric("fault.nonfinite_injected").add();
   if (rec.bit >= 0) obs::counter_metric("fault.bitflips").add();
   obs::instant("fault", "inflight_fire");
@@ -303,6 +420,17 @@ int FaultPlane::armed_remaining() const {
 TriggerCounts FaultPlane::trigger_counts() const {
   std::lock_guard lock(m_);
   return counts_;
+}
+
+std::vector<FiredLoss> FaultPlane::fired_losses() const {
+  std::lock_guard lock(m_);
+  return fired_losses_;
+}
+
+std::uint64_t FaultPlane::pool_task_count(int device) const {
+  std::lock_guard lock(m_);
+  if (device < 0 || static_cast<std::size_t>(device) >= pool_counts_.size()) return 0;
+  return pool_counts_[static_cast<std::size_t>(device)];
 }
 
 }  // namespace fth::fault

@@ -18,6 +18,7 @@
 // that capability boundary.
 #pragma once
 
+#include <atomic>
 #include <mutex>
 #include <vector>
 
@@ -25,6 +26,7 @@
 #include "common/types.hpp"
 #include "fault/injector.hpp"
 #include "hybrid/device.hpp"
+#include "hybrid/pool.hpp"
 #include "la/matrix.hpp"
 
 namespace fth::fault {
@@ -58,6 +60,32 @@ enum class SurfaceShape { Full, LowerTriangle };
 
 std::string to_string(When w);
 std::string to_string(Surface s);
+
+/// How a pool member dies (ISSUE: device_loss strike class). Unlike the
+/// element-level FaultKind corruptions, these model the *whole device*
+/// becoming untrustworthy mid-run; the pool driver answers with coded
+/// reconstruction instead of rollback.
+enum class LossKind {
+  SilentStall,   ///< the worker thread hangs mid-task until the stream is quarantined
+  PoisonOutput,  ///< the device keeps running but scribbles garbage over its shard
+  HardDeath,     ///< the stream is killed: queued and future work is discarded
+};
+
+std::string to_string(LossKind k);
+
+/// One armed device-loss strike against a pool member.
+struct DeviceLossFault {
+  LossKind kind = LossKind::HardDeath;
+  int device = 0;               ///< pool ordinal to strike
+  std::uint64_t countdown = 1;  ///< fires after the countdown-th post-encode task on it
+};
+
+/// Record of a device-loss strike that fired.
+struct FiredLoss {
+  LossKind kind = LossKind::HardDeath;
+  int device = 0;
+  std::uint64_t trigger_index = 0;  ///< that device's post-encode task count at fire time
+};
 
 /// One armed in-flight fault.
 struct InFlightFault {
@@ -155,11 +183,32 @@ class FaultPlane {
   /// count triggers while active.
   void set_in_recovery(bool active);
 
+  // --- device-loss strikes (pool runs) ---------------------------------
+  /// Arm one device-loss strike. Fires from the victim's worker thread
+  /// after its countdown-th post-encode task; requires bind_pool().
+  void arm_device_loss(const DeviceLossFault& f);
+  /// Install per-member stream-task hooks on every device of `pool`.
+  /// Destroy (or unbind()) the plane before the pool: unbind releases any
+  /// SilentStall still blocking a worker, so the pool's stream destructors
+  /// can join.
+  void bind_pool(hybrid::DevicePool& pool);
+  /// The memory a PoisonOutput strike on `device` scribbles over — the pool
+  /// driver registers each member's shard buffer. Same worker-thread-only
+  /// dereference contract as register_surface's device overload.
+  void register_loss_surface(int device, MatrixView<double, MemSpace::Device> view) {
+    register_loss_surface_host(device, view.unchecked_host_view());
+  }
+  void register_loss_surface_host(int device, MatrixView<double> view);
+
   // --- results ---------------------------------------------------------
   [[nodiscard]] std::vector<FiredFault> fired() const;
   [[nodiscard]] bool all_fired() const;
   [[nodiscard]] int armed_remaining() const;
   [[nodiscard]] TriggerCounts trigger_counts() const;
+  [[nodiscard]] std::vector<FiredLoss> fired_losses() const;
+  /// Post-encode task count of one pool member (countdown calibration for
+  /// soak campaigns, like TriggerCounts for element faults).
+  [[nodiscard]] std::uint64_t pool_task_count(int device) const;
 
  private:
   struct ArmedFault {
@@ -177,8 +226,15 @@ class FaultPlane {
     MatrixView<double> view{};
   };
 
+  struct ArmedLoss {
+    DeviceLossFault spec;
+    std::uint64_t remaining = 1;
+    bool fired = false;
+  };
+
   void on_task_hook(std::uint64_t task_index);
   void on_transfer_hook(hybrid::TransferDir dir, MatrixView<double> dst);
+  void on_pool_task_hook(int device, hybrid::Stream* s);
   // All fire paths run on the worker thread (or inside an enqueued task)
   // with m_ held; they corrupt memory directly.
   void tick(When trigger, std::uint64_t trigger_index);
@@ -190,6 +246,7 @@ class FaultPlane {
   mutable std::mutex m_;
   Rng rng_;
   hybrid::Device* dev_ = nullptr;
+  hybrid::DevicePool* pool_ = nullptr;
   bool encoded_ = false;
   bool in_recovery_ = false;
   Registered surfaces_[4];
@@ -197,6 +254,14 @@ class FaultPlane {
   std::vector<ArmedFault> armed_;
   std::vector<FiredFault> fired_;
   TriggerCounts counts_;
+  // Device-loss state. stall_release_ is the escape hatch for SilentStall
+  // workers: set by unbind() so stream destructors can always join.
+  std::vector<ArmedLoss> armed_losses_;
+  std::vector<FiredLoss> fired_losses_;
+  std::vector<std::uint64_t> pool_counts_;
+  std::vector<MatrixView<double>> loss_surfaces_;
+  std::atomic<bool> stall_release_{false};
+  std::atomic<int> stalls_active_{0};
 };
 
 }  // namespace fth::fault

@@ -29,6 +29,7 @@ enum class AbortReason {
   AmbiguousPattern,  ///< locate() could not resolve the error pattern (e.g. rectangle)
   NonfiniteDamage,   ///< NaN/Inf contamination the codes cannot reconstruct
   CheckpointLost,    ///< checkpoint corrupt and re-derivation impossible
+  DeviceLost,        ///< device losses exceeded the redundancy group's correction radius
 };
 
 std::string to_string(RecoveryStatus s);
@@ -84,6 +85,7 @@ inline std::string to_string(AbortReason r) {
     case AbortReason::AmbiguousPattern: return "ambiguous-pattern";
     case AbortReason::NonfiniteDamage: return "nonfinite-damage";
     case AbortReason::CheckpointLost: return "checkpoint-lost";
+    case AbortReason::DeviceLost: return "device-lost";
   }
   return "?";
 }

@@ -24,7 +24,7 @@ void* Device::raw_allocate(std::size_t bytes, const char* site) {
   while (now > peak && !peak_.compare_exchange_weak(peak, now)) {
   }
   void* p = ::operator new(bytes);
-  check::on_device_alloc(p, bytes, site);
+  check::on_device_alloc(p, bytes, site, cfg_.ordinal);
   return p;
 }
 

@@ -39,6 +39,11 @@ struct DeviceConfig {
   double h2d_gbps = 0.0;         ///< simulated H2D bandwidth; 0 = instantaneous
   double d2h_gbps = 0.0;         ///< simulated D2H bandwidth; 0 = instantaneous
   double latency_us = 0.0;       ///< per-transfer latency charged when a bandwidth is set
+  /// Pool slot id (DevicePool). Becomes part of the memory-space identity:
+  /// allocations are checker-registered under it, and fth::check flags a
+  /// CrossDeviceAccess when a task on one ordinal unwraps another's memory.
+  /// Single-device code keeps the default 0.
+  int ordinal = 0;
 };
 
 /// A simulated accelerator: allocation arena + default stream + statistics.
@@ -51,6 +56,9 @@ class Device {
   Device& operator=(const Device&) = delete;
 
   [[nodiscard]] const DeviceConfig& config() const noexcept { return cfg_; }
+
+  /// Pool slot id (see DeviceConfig::ordinal).
+  [[nodiscard]] int ordinal() const noexcept { return cfg_.ordinal; }
 
   /// Allocate `bytes` of device memory (throws std::bad_alloc on limit).
   /// `site` (a static or interned string) labels the allocation in checker
@@ -173,12 +181,14 @@ class DeviceMatrix {
 /// checker flags a StreamNotIdle violation when the stream still has work.
 template <class T>
 [[nodiscard]] MatrixView<T> host_view(MatrixView<T, MemSpace::Device> dv, const Stream& s) {
-  check::require_stream_idle(s.idle(), dv.raw_data(), "hybrid::host_view");
+  check::require_stream_idle(s.idle(), dv.raw_data(), "hybrid::host_view",
+                             s.device() != nullptr ? s.device()->ordinal() : -1);
   return dv.unchecked_host_view();
 }
 template <class T>
 [[nodiscard]] VectorView<T> host_view(VectorView<T, MemSpace::Device> dv, const Stream& s) {
-  check::require_stream_idle(s.idle(), dv.raw_data(), "hybrid::host_view");
+  check::require_stream_idle(s.idle(), dv.raw_data(), "hybrid::host_view",
+                             s.device() != nullptr ? s.device()->ordinal() : -1);
   return dv.unchecked_host_view();
 }
 

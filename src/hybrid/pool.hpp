@@ -1,0 +1,60 @@
+// DevicePool: D independent simulated devices (DESIGN.md §13).
+//
+// Each pool member is a full hybrid::Device — its own worker thread,
+// tracked memory arena, and default stream — tagged with a pool ordinal
+// that becomes part of its memory-space identity: fth::check flags a task
+// on one ordinal unwrapping another ordinal's memory (CrossDeviceAccess),
+// so shards can only meet through the host or an explicit transfer.
+// Cross-device ordering uses the ordinary Event machinery: record() on the
+// producer's stream, wait_event() on the consumer's.
+//
+// The pool also owns the loss ledger the device-loss recovery protocol
+// (ft::pool_gehrd) builds on: mark_lost() quarantines a member by killing
+// its stream (queued work discarded, pending Events doomed so host waits
+// return — Stream::kill), and lost()/lost_count() report the state.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hybrid/device.hpp"
+
+namespace fth::hybrid {
+
+/// Shape of a pool: how many devices, and the per-member cost model.
+struct PoolConfig {
+  int devices = 1;      ///< D ≥ 1; member ordinals are 0..D-1
+  DeviceConfig device;  ///< template; name/ordinal are overwritten per slot
+};
+
+class DevicePool {
+ public:
+  explicit DevicePool(PoolConfig cfg = {});
+
+  DevicePool(const DevicePool&) = delete;
+  DevicePool& operator=(const DevicePool&) = delete;
+
+  [[nodiscard]] int size() const noexcept { return static_cast<int>(devs_.size()); }
+
+  [[nodiscard]] Device& device(int d) { return *devs_.at(static_cast<std::size_t>(d)); }
+  [[nodiscard]] Stream& stream(int d) { return device(d).stream(); }
+
+  /// Quarantine a member declared lost: kills its stream (see Stream::kill
+  /// doom semantics). Idempotent. The member's memory stays allocated — a
+  /// poisoned device's bytes are still addressable, just untrusted.
+  void mark_lost(int d) { stream(d).kill(); }
+
+  [[nodiscard]] bool lost(int d) { return stream(d).killed(); }
+
+  [[nodiscard]] int lost_count() {
+    int n = 0;
+    for (int d = 0; d < size(); ++d)
+      if (lost(d)) ++n;
+    return n;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Device>> devs_;
+};
+
+}  // namespace fth::hybrid

@@ -1,8 +1,10 @@
 #include "hybrid/stream.hpp"
 
 #include <atomic>
+#include <cstring>
 
 #include "check/access.hpp"
+#include "hybrid/device.hpp"
 #include "common/error.hpp"
 #include "obs/dag.hpp"
 #include "obs/trace.hpp"
@@ -58,6 +60,28 @@ void Event::wait(std::source_location loc) const {
   }
   obs::dag::detail::on_wait_end();
   note_event_observed(state_->stream, state_->ticket);
+}
+
+bool Event::wait_for(std::chrono::nanoseconds timeout, std::source_location loc) const {
+  if (!state_) return true;
+  const char* site = obs::trace_enabled()
+                         ? obs::site_label("event_wait", loc.file_name(),
+                                           static_cast<unsigned>(loc.line()))
+                         : nullptr;
+  obs::dag::detail::on_wait_begin("event_wait", site != nullptr ? site : "",
+                                  state_->stream_obs_id, state_->ticket);
+  bool done = false;
+  {
+    obs::TraceSpan span("stream", site != nullptr ? site : "event_wait");
+    std::unique_lock lock(state_->m);
+    done = state_->cv.wait_for(lock, timeout, [&] { return state_->done; });
+  }
+  obs::dag::detail::on_wait_end();
+  // A timed-out wait observed nothing: no happens-before edge, transfers
+  // covered by this event stay in flight (the race detector stays sound
+  // when the caller takes the loss-detection branch).
+  if (done) note_event_observed(state_->stream, state_->ticket);
+  return done;
 }
 
 Stream::Stream(Device* device)
@@ -201,10 +225,26 @@ void Stream::set_task_hook(std::function<void(std::uint64_t)> hook) {
   task_hook_ = std::move(hook);
 }
 
+void Stream::kill() {
+  {
+    std::lock_guard lock(m_);
+    if (dead_) return;
+    dead_ = true;
+  }
+  cv_worker_.notify_all();
+}
+
+bool Stream::killed() const {
+  std::lock_guard lock(m_);
+  return dead_;
+}
+
 void Stream::worker_loop() {
   obs::set_thread_name("device-stream");
+  const int dev_ordinal = device_ != nullptr ? device_->ordinal() : -1;
   for (;;) {
     Task task;
+    bool dead = false;
     {
       std::unique_lock lock(m_);
       cv_worker_.wait(lock, [&] { return stop_ || !queue_.empty(); });
@@ -215,22 +255,30 @@ void Stream::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       busy_ = true;
+      dead = dead_;
     }
+    // A killed stream discards work instead of running it, but still
+    // completes event_record markers so host waits observe doom instead of
+    // hanging (see kill()).
+    const bool run_task = !dead || std::strcmp(task.label, "event_record") == 0;
     obs::dag::detail::on_task_begin(obs_id_, task.ticket, task.label);
-    try {
-      obs::TraceSpan span("stream", task.label);
+    if (run_task) {
+      try {
+        obs::TraceSpan span("stream", task.label);
 #if FTH_CHECK_ENABLED
-      check::TaskScope scope(this, task.label, task.ticket,
-                             task.has_effects ? &task.effects : nullptr);
+        check::TaskScope scope(this, task.label, task.ticket,
+                               task.has_effects ? &task.effects : nullptr,
+                               dev_ordinal);
 #else
-      check::TaskScope scope(this, task.label, task.ticket);
+        check::TaskScope scope(this, task.label, task.ticket, nullptr, dev_ordinal);
 #endif
-      task.fn();
-    } catch (...) {
-      std::lock_guard lock(m_);
-      // Keep only the first error; later tasks still run (matching the
-      // "stream keeps executing" semantics of real runtimes).
-      if (!pending_error_) pending_error_ = std::current_exception();
+        task.fn();
+      } catch (...) {
+        std::lock_guard lock(m_);
+        // Keep only the first error; later tasks still run (matching the
+        // "stream keeps executing" semantics of real runtimes).
+        if (!pending_error_) pending_error_ = std::current_exception();
+      }
     }
     obs::dag::detail::on_task_end(obs_id_, task.ticket);
     std::function<void(std::uint64_t)> hook;
@@ -240,11 +288,11 @@ void Stream::worker_loop() {
       hook = task_hook_;
       task_index = executed_;
     }
-    if (hook) {
+    if (hook && !dead) {
       // Invoked between tasks, so the hook owns the device memory for the
       // duration of the call — same discipline as a task body.
       try {
-        check::TaskScope scope(this, "task_hook", task.ticket);
+        check::TaskScope scope(this, "task_hook", task.ticket, nullptr, dev_ordinal);
         hook(task_index);
       } catch (...) {
         std::lock_guard lock(m_);

@@ -15,6 +15,7 @@
 // the race detector.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -45,6 +46,15 @@ class Event {
   /// names the wait in traces, the profiler, and the DAG recorder's
   /// blocking-edge attribution.
   void wait(std::source_location loc = std::source_location::current()) const;
+
+  /// Bounded wait: returns true once ready() (recording the same
+  /// happens-before edge as wait()), false on timeout — in which case NO
+  /// edge is recorded and in-flight transfers stay live. The device-loss
+  /// detection protocol (DESIGN.md §13) is built on this: a false return
+  /// is the health-check timeout that declares a device lost.
+  [[nodiscard]] bool wait_for(
+      std::chrono::nanoseconds timeout,
+      std::source_location loc = std::source_location::current()) const;
 
  private:
   friend class Stream;
@@ -124,6 +134,19 @@ class Stream {
   [[nodiscard]] std::uint64_t peak_queue_depth() const;
   void reset_peak_queue_depth();
 
+  /// Declare the simulated device behind this stream dead (hard-death
+  /// strike, or quarantine after loss detection). Queued and future tasks
+  /// are discarded without running — except "event_record" markers, which
+  /// still complete so host Event waits on a dead stream return instead of
+  /// hanging (doom semantics, like a real runtime erroring-out pending
+  /// events). The task currently executing finishes; the worker thread
+  /// stays alive to drain the queue and the destructor joins as usual.
+  void kill();
+
+  /// True once kill() ran. Fault-plane stall hooks poll this so a blocked
+  /// silent-stall unwinds when the driver quarantines the device.
+  [[nodiscard]] bool killed() const;
+
   /// Install a hook invoked on the worker thread after each task finishes
   /// (argument: the task's lifetime index). Because it runs between tasks,
   /// the hook may touch device memory without racing the task sequence —
@@ -158,6 +181,7 @@ class Stream {
   std::uint64_t peak_depth_ = 0;
   bool busy_ = false;
   bool stop_ = false;
+  bool dead_ = false;  ///< kill() ran; see doom semantics above
   std::thread worker_;
 };
 

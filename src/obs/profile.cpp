@@ -200,10 +200,15 @@ ProfileReport build_report(const std::vector<Agg*>& aggs, double roofline, doubl
 
   std::map<std::tuple<std::string, std::string, std::string>, PhaseAccum> merged;
   std::vector<Interval> dev, wait;
+  std::vector<double> per_dev_us;  // busy-union per device track
   bool any = false;
   double first = 0.0, last = 0.0;
   for (Agg* a : aggs) {
     const char* track = a->is_device ? "device" : "host";
+    if (a->is_device && !a->device_busy.empty()) {
+      std::vector<Interval> own = a->device_busy;
+      per_dev_us.push_back(merge_union(own));
+    }
     for (const auto& [k, acc] : a->phases) {
       PhaseAccum& m = merged[{track, k.cat, k.name}];
       m.calls += acc.calls;
@@ -236,6 +241,13 @@ ProfileReport build_report(const std::vector<Agg*>& aggs, double roofline, doubl
   rep.overlapped_s = rep.device_busy_s - both_s;
   rep.overlap_fraction = rep.device_busy_s > 0.0 ? rep.overlapped_s / rep.device_busy_s : 0.0;
   rep.stream_occupancy = rep.wall_s > 0.0 ? rep.device_busy_s / rep.wall_s : 0.0;
+  // Pool runs have several device workers; attribute occupancy per track so
+  // a member idling behind a skewed shard map (or dead after a loss) is
+  // visible. Sorted descending: track registration order is not stable
+  // across live/replay aggregation, and the multiset is the metric.
+  std::sort(per_dev_us.begin(), per_dev_us.end(), std::greater<double>());
+  for (const double us : per_dev_us)
+    rep.per_device_occupancy.push_back(rep.wall_s > 0.0 ? us / 1e6 / rep.wall_s : 0.0);
 
   rep.iter_avg_s = rep.iterations > 0 ? rep.iter_avg_s / 1e6 / static_cast<double>(rep.iterations)
                                       : 0.0;
@@ -447,9 +459,22 @@ std::string ProfileReport::to_json() const {
   append_num(out, overlapped_s);
   out += ",\"overlap_fraction\":";
   append_num(out, overlap_fraction);
-  out += ",\"stream_occupancy\":";
-  append_num(out, stream_occupancy);
-  out += "},\"iterations\":{\"count\":" + std::to_string(iterations);
+  // Per-device array (one entry per device track); a window with no device
+  // work emits the aggregate as a single entry so the path always exists.
+  // Legacy baselines hold the pre-pool scalar spelling; bench_compare maps
+  // scalar <-> entry 0 so a D=1 report gates cleanly against either.
+  out += ",\"stream_occupancy\":[";
+  if (per_device_occupancy.empty()) {
+    append_num(out, stream_occupancy);
+  } else {
+    bool first_occ = true;
+    for (const double occ : per_device_occupancy) {
+      if (!first_occ) out += ',';
+      first_occ = false;
+      append_num(out, occ);
+    }
+  }
+  out += "]},\"iterations\":{\"count\":" + std::to_string(iterations);
   out += ",\"avg_panel_s\":";
   append_num(out, iter_avg_panel_s);
   out += ",\"avg_update_s\":";
@@ -501,6 +526,11 @@ void ProfileReport::print_table(std::FILE* out) const {
                "overlapped %.4f s (%.1f%% of device busy)\n",
                device_busy_s, 100.0 * stream_occupancy, host_wait_s, overlapped_s,
                100.0 * overlap_fraction);
+  if (per_device_occupancy.size() > 1) {
+    std::fprintf(out, "per-device occupancy:");
+    for (const double occ : per_device_occupancy) std::fprintf(out, " %.1f%%", 100.0 * occ);
+    std::fprintf(out, "\n");
+  }
   if (iterations > 0) {
     std::fprintf(out,
                  "iterations: %llu, avg panel %.3f ms, avg update %.3f ms, "

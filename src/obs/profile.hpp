@@ -54,7 +54,13 @@ struct ProfileReport {
   double host_wait_s = 0.0;
   double overlapped_s = 0.0;
   double overlap_fraction = 0.0;   ///< overlapped / device_busy (0 when no device work)
-  double stream_occupancy = 0.0;   ///< device_busy / wall
+  double stream_occupancy = 0.0;   ///< device_busy / wall (all device tracks unioned)
+  /// Per-device-track occupancy (busy-union / wall, one entry per device
+  /// worker thread, sorted descending — a pool run gets one entry per
+  /// member). JSON emits these as the `stream_occupancy` array; a legacy
+  /// scalar in an old baseline is the D=1 form of the same metric and
+  /// bench_compare matches the two spellings against each other.
+  std::vector<double> per_device_occupancy;
 
   // Per-iteration critical path: panel begin → matching update end on the
   // host track (one pair per blocked iteration of a driver).

@@ -139,6 +139,78 @@ TEST(AnalyzeRace, FunctionBoundariesResetTheSymbolicStream) {
                   .empty());
 }
 
+// ---- cross-stream-race ------------------------------------------------------
+
+TEST(AnalyzeCross, WaitForOnARecordedEventIsAnOrderingEdge) {
+  // The pool drivers' health-checked waits: wait_for's timeout path has
+  // no edge, but every driver throws on it, so the continuation is
+  // ordered exactly like wait().
+  EXPECT_TRUE(run("src/ft/x.cpp",
+                  "void f(Stream& sd) {\n"
+                  "  copy_d2h_async(sd, d_y.cview(), y.view());\n"
+                  "  const Event done = sd.record();\n"
+                  "  if (!done.wait_for(timeout_)) throw device_lost{0};\n"
+                  "  blas::trmm(y.view());\n"
+                  "}\n")
+                  .empty());
+}
+
+TEST(AnalyzeCross, EffectOnAnotherStreamsLiveTransferNeedsAWaitEventEdge) {
+  const auto f = run("src/ft/x.cpp",
+                     "void f(Stream& sd, Stream& sc) {\n"
+                     "  copy_d2h_async(sd, d_g.cview(), stage_g_.view());\n"
+                     "  const Event shard_done = sd.record();\n"
+                     "  sc.enqueue(\"pool.reduce\", FTH_TASK_EFFECTS(FTH_READS(stage_g_)),\n"
+                     "             [=] { g(); });\n"
+                     "  sc.synchronize();\n"
+                     "}\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "cross-stream-race");
+  EXPECT_EQ(f[0].line, 4);
+  EXPECT_NE(f[0].message.find("'stage_g_'"), std::string::npos);
+  EXPECT_NE(f[0].message.find("'sd'"), std::string::npos);
+  EXPECT_NE(f[0].missing_edge.find("wait_event"), std::string::npos);
+
+  EXPECT_TRUE(run("src/ft/x.cpp",
+                  "void f(Stream& sd, Stream& sc) {\n"
+                  "  copy_d2h_async(sd, d_g.cview(), stage_g_.view());\n"
+                  "  const Event shard_done = sd.record();\n"
+                  "  sc.wait_event(shard_done);\n"
+                  "  sc.enqueue(\"pool.reduce\", FTH_TASK_EFFECTS(FTH_READS(stage_g_)),\n"
+                  "             [=] { g(); });\n"
+                  "  sc.synchronize();\n"
+                  "}\n")
+                  .empty())
+      << "the wait_event edge carries the producer's marker into the consumer";
+}
+
+TEST(AnalyzeCross, SameStreamPairsAreFifoOrdered) {
+  EXPECT_TRUE(run("src/ft/x.cpp",
+                  "void f(Stream& sd) {\n"
+                  "  copy_d2h_async(sd, d_g.cview(), stage_g_.view());\n"
+                  "  sd.enqueue(\"pool.reduce\", FTH_TASK_EFFECTS(FTH_READS(stage_g_)),\n"
+                  "             [=] { g(); });\n"
+                  "  sd.synchronize();\n"
+                  "}\n")
+                  .empty())
+      << "a task behind its own stream's transfer needs no edge";
+}
+
+TEST(AnalyzeCross, AnEventRecordedBeforeTheTransferDoesNotCover) {
+  const auto f = run("src/ft/x.cpp",
+                     "void f(Stream& sd, Stream& sc) {\n"
+                     "  const Event early = sd.record();\n"
+                     "  copy_d2h_async(sd, d_g.cview(), stage_g_.view());\n"
+                     "  sc.wait_event(early);\n"
+                     "  sc.enqueue(\"pool.reduce\", FTH_TASK_EFFECTS(FTH_READS(stage_g_)),\n"
+                     "             [=] { g(); });\n"
+                     "  sc.synchronize();\n"
+                     "}\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "cross-stream-race");
+  EXPECT_EQ(f[0].line, 5);
+}
+
 // ---- stream-not-idle --------------------------------------------------------
 
 TEST(AnalyzeIdle, HostViewRequiresADrainedStream) {
@@ -296,6 +368,11 @@ const SeededEdge kSeeds[] = {
     {"src/hybrid/hybrid_sytrd.cpp", "s.synchronize();", "stream-not-idle", 109, "host_view"},
     {"src/ft/ft_gehrd.cpp", "y_upper_ready.wait();", "transfer-race", 350, "'y_host_'"},
     {"src/ft/ft_gebrd.cpp", "operands_shipped.wait();", "transfer-race", 350, "'a_'"},
+    // The one inter-device edge of the pool driver's Y-top reduction:
+    // without it the collector task reads stage_g_ while the producers'
+    // d2h copies are still in flight (ISSUE 7 / DESIGN.md §13).
+    {"src/ft/pool_gehrd.cpp", "sc.wait_event(shard_done);", "cross-stream-race", 327,
+     "'stage_g_'"},
 };
 
 TEST(AnalyzeSeeded, DeletingEachOrderingEdgeIsCaughtAtTheAccessSite) {
@@ -355,10 +432,12 @@ TEST(AnalyzeGolden, CleanTreeHasZeroFindingsAndFullCoverage) {
   for (const auto& finding : findings) ADD_FAILURE() << format(finding);
   EXPECT_GE(files, 20u);
   // The pass must actually be *seeing* the discipline, not skipping it:
-  // all four overlap Events (hybrid/ft × gehrd/gebrd) and their waits,
-  // every driver's transfers and declared tasks.
-  EXPECT_EQ(stats.records, 4u);
-  EXPECT_EQ(stats.waits, 4u);
+  // all four overlap Events (hybrid/ft × gehrd/gebrd) plus the pool
+  // driver's eleven health-check/collector markers, their waits (wait()
+  // and the pool's timeout-bounded wait_for()s), every driver's
+  // transfers and declared tasks.
+  EXPECT_EQ(stats.records, 15u);
+  EXPECT_EQ(stats.waits, 14u);
   EXPECT_GE(stats.transfers, 60u);
   EXPECT_GE(stats.enqueues, 40u);
   EXPECT_GE(stats.syncs, 30u);

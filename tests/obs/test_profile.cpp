@@ -73,6 +73,9 @@ TEST(ProfileBuilder, AttributionOverlapAndCriticalPath) {
   EXPECT_NEAR(rep.overlapped_s, 150e-6, 1e-12);
   EXPECT_NEAR(rep.overlap_fraction, 0.75, 1e-9);
   EXPECT_NEAR(rep.stream_occupancy, 200.0 / 300.0, 1e-9);
+  // One device track → one per-device entry, equal to the aggregate.
+  ASSERT_EQ(rep.per_device_occupancy.size(), 1u);
+  EXPECT_NEAR(rep.per_device_occupancy[0], rep.stream_occupancy, 1e-9);
 
   // Critical path: panel begin (0) → update end (300).
   EXPECT_EQ(rep.iterations, 1u);
@@ -80,6 +83,47 @@ TEST(ProfileBuilder, AttributionOverlapAndCriticalPath) {
   EXPECT_NEAR(rep.iter_max_s, 300e-6, 1e-12);
   EXPECT_NEAR(rep.iter_avg_panel_s, 100e-6, 1e-12);
   EXPECT_NEAR(rep.iter_avg_update_s, 200e-6, 1e-12);
+}
+
+TEST(ProfileBuilder, PerDeviceOccupancySplitsAcrossDeviceTracks) {
+  // Two device workers with very different duty cycles inside a 400 µs
+  // window: the aggregate occupancy unions them, the per-device entries keep
+  // them apart (sorted descending) so an idle pool member is visible.
+  obs::ProfileBuilder b;
+  b.begin(0, "hybrid", "panel", 0.0);
+  b.end(0, 400.0);
+  b.begin(1, "stream", "task", 0.0);  // busy 300/400
+  b.end(1, 300.0);
+  b.begin(2, "stream", "task", 100.0);  // busy 100/400, overlapping track 1
+  b.end(2, 200.0);
+  const obs::ProfileReport rep = b.finish(0.0);
+  EXPECT_NEAR(rep.wall_s, 400e-6, 1e-12);
+  EXPECT_NEAR(rep.device_busy_s, 300e-6, 1e-12);  // union, not sum
+  EXPECT_NEAR(rep.stream_occupancy, 0.75, 1e-9);
+  ASSERT_EQ(rep.per_device_occupancy.size(), 2u);
+  EXPECT_NEAR(rep.per_device_occupancy[0], 0.75, 1e-9);
+  EXPECT_NEAR(rep.per_device_occupancy[1], 0.25, 1e-9);
+
+  // JSON spells the metric as an array, one entry per device track.
+  const json::Value v = json::parse(rep.to_json());
+  const auto& occ = v.at("overlap").at("stream_occupancy");
+  ASSERT_TRUE(occ.is_array());
+  ASSERT_EQ(occ.as_array().size(), 2u);
+  EXPECT_NEAR(occ.as_array()[0].as_number(), 0.75, 1e-9);
+  EXPECT_NEAR(occ.as_array()[1].as_number(), 0.25, 1e-9);
+}
+
+TEST(ProfileBuilder, HostOnlyWindowStillEmitsTheOccupancyArray) {
+  obs::ProfileBuilder b;
+  b.begin(0, "test", "work", 0.0);
+  b.end(0, 100.0);
+  const obs::ProfileReport rep = b.finish(0.0);
+  EXPECT_TRUE(rep.per_device_occupancy.empty());
+  const json::Value v = json::parse(rep.to_json());
+  const auto& occ = v.at("overlap").at("stream_occupancy");
+  ASSERT_TRUE(occ.is_array());
+  ASSERT_EQ(occ.as_array().size(), 1u) << "aggregate scalar rides as entry 0";
+  EXPECT_EQ(occ.as_array()[0].as_number(), 0.0);
 }
 
 TEST(ProfileBuilder, UnmatchedEndsIgnoredAndLiteralInternedNamesMerge) {
