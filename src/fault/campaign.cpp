@@ -10,6 +10,10 @@
 #include "la/generate.hpp"
 #include "la/norms.hpp"
 #include "lapack/gehrd.hpp"
+#include "obs/dag.hpp"
+#include "obs/incident.hpp"
+#include "obs/journal.hpp"
+#include "obs/trace.hpp"
 
 namespace fth::fault {
 
@@ -288,6 +292,9 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
     ft::FtReport rep;
     const obs::Registry::CounterValues counters_before =
         obs::Registry::global().counter_values();
+    // Every faulty run is its own journal run, so a capsule's journal slice
+    // holds exactly this trial's records (the clean reference is excluded).
+    out.run_id = obs::journal_new_run();
     try {
       Matrix<double> faulty =
           run_algorithm(dev, cfg.algorithm, a0, cfg.nb, specs.empty() ? nullptr : &inj,
@@ -296,6 +303,26 @@ CampaignResult run_campaign(const CampaignConfig& cfg) {
       out.max_error_vs_clean = max_abs_diff(faulty.cview(), clean.cview());
     } catch (const recovery_error& e) {
       out.failure = e.what();
+      if (obs::incident_enabled()) {
+        obs::IncidentReport inc;
+        inc.trigger = "recovery_error";
+        inc.who = to_string(cfg.algorithm);
+        inc.run_id = out.run_id;
+        inc.boundary = e.boundary();
+        inc.outcome.status = "failed";
+        inc.outcome.reason = ft::to_string(rep.outcome.reason);
+        inc.outcome.detail = e.what();
+        inc.outcome.attempts = e.attempts();
+        const auto now = obs::Registry::global().counter_values();
+        for (const auto& [name, delta] : obs::Registry::counter_delta(now, counters_before))
+          inc.metrics_delta.emplace_back(name, delta);
+        inc.journal = obs::journal_snapshot(out.run_id);
+        if (use_plane) inc.strikes_json = strikes_json(plane);
+        inc.flight_json = obs::flight_tail_json(512);
+        inc.dag_json = obs::dag::tail_json(128);
+        const std::string path = obs::write_incident(inc);
+        if (!path.empty()) out.incidents.push_back(path);
+      }
     }
     out.metric_deltas =
         obs::Registry::counter_delta(obs::Registry::global().counter_values(), counters_before);

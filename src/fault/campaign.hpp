@@ -15,6 +15,8 @@
 //    land uniformly across the factorization's real schedule.
 #pragma once
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "fault/fault_plane.hpp"
@@ -68,6 +70,10 @@ struct CampaignConfig {
 struct TrialOutcome {
   std::vector<InjectionRecord> injected;    ///< boundary faults planted
   std::vector<FiredFault> in_flight_fired;  ///< in-flight faults that struck
+  std::uint64_t run_id = 0;  ///< journal run id stamped around the faulty run
+  /// Incident capsule paths written for this trial (a recovery_error with
+  /// capsule emission armed, obs/incident.hpp; empty otherwise).
+  std::vector<std::string> incidents;
   SoakClass fault_class = SoakClass::BoundaryDelta;  ///< soak class (in-flight mode)
   int detections = 0;
   int corrections = 0;     ///< data + checksum + Q corrections

@@ -2,10 +2,12 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <string>
 #include <thread>
 
 #include "common/error.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -183,6 +185,11 @@ void FaultPlane::on_pool_task_hook(int device, hybrid::Stream* s) {
         return std::string("?");
       }()).add();
       obs::instant("fault", "device_loss");
+      // Journal the strike itself: this is the t0 fth_incident measures
+      // detection latency from.
+      if (obs::journal_enabled())
+        obs::journal_log(obs::JournalSeverity::Error, "fault", "device_loss", device,
+                         static_cast<double>(idx), -1, to_string(a.spec.kind));
       todo = a.spec.kind;
       fire = true;
       if (todo == LossKind::PoisonOutput) {
@@ -395,6 +402,11 @@ void FaultPlane::fire_on_view(ArmedFault& a, MatrixView<double> view, SurfaceSha
   if (!std::isfinite(rec.after)) obs::counter_metric("fault.nonfinite_injected").add();
   if (rec.bit >= 0) obs::counter_metric("fault.bitflips").add();
   obs::instant("fault", "inflight_fire");
+  if (obs::journal_enabled())
+    obs::journal_log(obs::JournalSeverity::Error, "fault", "strike",
+                     dev_ != nullptr ? dev_->ordinal() : -1,
+                     static_cast<double>(rec.trigger_index), -1,
+                     to_string(rec.kind) + " @ " + to_string(rec.surface));
 }
 
 std::vector<FiredFault> FaultPlane::fired() const {
@@ -431,6 +443,45 @@ std::uint64_t FaultPlane::pool_task_count(int device) const {
   std::lock_guard lock(m_);
   if (device < 0 || static_cast<std::size_t>(device) >= pool_counts_.size()) return 0;
   return pool_counts_[static_cast<std::size_t>(device)];
+}
+
+std::string strikes_json(const FaultPlane& plane) {
+  // Injected values can be NaN/Inf by design — emit null for those so the
+  // capsule stays valid JSON.
+  const auto append_val = [](std::string& out, double v) {
+    if (!std::isfinite(v)) {
+      out += "null";
+      return;
+    }
+    char num[40];
+    std::snprintf(num, sizeof num, "%.17g", v);
+    out += num;
+  };
+  std::string out = "{\"faults\":[";
+  const std::vector<FiredFault> faults = plane.fired();
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const FiredFault& f = faults[i];
+    if (i > 0) out += ',';
+    out += "{\"when\":\"" + to_string(f.when) + "\",\"surface\":\"" + to_string(f.surface) +
+           "\",\"kind\":\"" + to_string(f.kind) + "\"";
+    out += ",\"row\":" + std::to_string(f.row) + ",\"col\":" + std::to_string(f.col);
+    out += ",\"before\":";
+    append_val(out, f.before);
+    out += ",\"after\":";
+    append_val(out, f.after);
+    out += ",\"bit\":" + std::to_string(f.bit) +
+           ",\"trigger_index\":" + std::to_string(f.trigger_index) + "}";
+  }
+  out += "],\"losses\":[";
+  const std::vector<FiredLoss> losses = plane.fired_losses();
+  for (std::size_t i = 0; i < losses.size(); ++i) {
+    const FiredLoss& l = losses[i];
+    if (i > 0) out += ',';
+    out += "{\"kind\":\"" + to_string(l.kind) + "\",\"device\":" + std::to_string(l.device) +
+           ",\"trigger_index\":" + std::to_string(l.trigger_index) + "}";
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace fth::fault

@@ -80,6 +80,13 @@ struct DeviceLossFault {
   std::uint64_t countdown = 1;  ///< fires after the countdown-th post-encode task on it
 };
 
+class FaultPlane;
+
+/// The plane's fired faults + losses rendered as a JSON object
+/// (`{"faults":[…],"losses":[…]}`) — the strike ledger embedded in
+/// incident capsules (obs/incident.hpp).
+[[nodiscard]] std::string strikes_json(const FaultPlane& plane);
+
 /// Record of a device-loss strike that fired.
 struct FiredLoss {
   LossKind kind = LossKind::HardDeath;

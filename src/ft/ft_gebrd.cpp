@@ -17,6 +17,7 @@
 #include "hybrid/dev_blas.hpp"
 #include "la/blas1.hpp"
 #include "la/norms.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "lapack/gebrd.hpp"
@@ -280,6 +281,7 @@ class FtGebrdDriver {
       ++rep_.panel_aborts;
       obs::counter_metric("ft.panel_aborts").add();
       obs::instant("ft", "panel_abort");
+      obs::journal_log(obs::JournalSeverity::Warn, "ft", "panel_abort", -1, 0.0, i);
       return false;
     }
 
@@ -496,6 +498,7 @@ class FtGebrdDriver {
       ++rep_.detections;
       obs::instant("ft", "detection");
       obs::counter_metric("ft.detections").add();
+      obs::journal_log(obs::JournalSeverity::Warn, "ft", "detect", -1, gap, boundary);
       if (has_nonfinite_) obs::counter_metric("ft.nonfinite_detections").add();
       if (++attempts > opt_.max_retries) {
         std::ostringstream os;
@@ -516,6 +519,8 @@ class FtGebrdDriver {
       }
       ++rep_.rollbacks;
       obs::counter_metric("ft.rollbacks").add();
+      obs::journal_log(obs::JournalSeverity::Info, "ft", "rollback", -1,
+                       static_cast<double>(attempts), boundary);
 
       try {
         // Pass 1 may reconstruct non-finite elements from the orthogonal
@@ -549,6 +554,8 @@ class FtGebrdDriver {
       {
         obs::TraceSpan redo_span("ft", "reexec", "col", static_cast<double>(i));
         obs::counter_metric("ft.reexecutions").add();
+        obs::journal_log(obs::JournalSeverity::Info, "ft", "reexec", -1,
+                         static_cast<double>(attempts), boundary);
         const RecoveryScope in_recovery(plane_);
         completed = run_iteration(i, ib);
       }

@@ -20,6 +20,7 @@
 #include "la/blas3.hpp"
 #include "la/norms.hpp"
 #include "obs/dag.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "lapack/lahr2_impl.hpp"
@@ -274,6 +275,7 @@ class FtDriver {
       ++rep_.panel_aborts;
       obs::counter_metric("ft.panel_aborts").add();
       obs::instant("ft", "panel_abort");
+      obs::journal_log(obs::JournalSeverity::Warn, "ft", "panel_abort", -1, 0.0, i);
       return false;
     }
 
@@ -408,6 +410,7 @@ class FtDriver {
       ++rep_.detections;
       obs::instant("ft", "detection");
       obs::counter_metric("ft.detections").add();
+      obs::journal_log(obs::JournalSeverity::Warn, "ft", "detect", -1, det.gap, boundary);
       if (det.nonfinite > 0) obs::counter_metric("ft.nonfinite_detections").add();
       if (++attempts > opt_.max_retries) {
         std::ostringstream os;
@@ -433,6 +436,8 @@ class FtDriver {
       }
       ++rep_.rollbacks;
       obs::counter_metric("ft.rollbacks").add();
+      obs::journal_log(obs::JournalSeverity::Info, "ft", "rollback", -1,
+                       static_cast<double>(attempts), boundary);
 
       try {
         // Pass 1 may reconstruct non-finite elements from the orthogonal
@@ -481,6 +486,8 @@ class FtDriver {
         obs::dag::mark("ft.reexec");
         obs::TraceSpan redo_span("ft", "reexec", "col", static_cast<double>(i));
         obs::counter_metric("ft.reexecutions").add();
+        obs::journal_log(obs::JournalSeverity::Info, "ft", "reexec", -1,
+                         static_cast<double>(attempts), boundary);
         const RecoveryScope in_recovery(plane_);
         completed = run_iteration(i, ib);  // redo from the restored checkpoint
       }

@@ -34,6 +34,7 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,9 @@
 #include "lapack/lahr2_impl.hpp"
 #include "lapack/orghr.hpp"
 #include "lapack/reflectors.hpp"
+#include "obs/dag.hpp"
+#include "obs/incident.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -56,9 +60,11 @@ namespace fth::ft {
 namespace {
 
 /// Internal control-flow signal: `device` was declared lost. Caught by the
-/// driver loop, never escapes pool_gehrd.
+/// driver loop, never escapes pool_gehrd. `cause` feeds the journal /
+/// incident capsule ("timeout", "poison", "nonfinite").
 struct device_lost {
   int device = 0;
+  const char* cause = "timeout";
 };
 
 class PoolDriver {
@@ -76,9 +82,7 @@ class PoolDriver {
         D_(pool.size()),
         Ddata_(std::max(1, pool.size() - 1)),
         lay_(make_shard_layout(a.rows(), std::max(1, pool.size() - 1))),
-        group_(std::max(1, pool.size() - 1)),
-        timeout_(std::chrono::nanoseconds(
-            static_cast<std::int64_t>(opt.timeout_ms * 1.0e6))) {
+        group_(std::max(1, pool.size() - 1)) {
     FTH_CHECK(a_.cols() == n_, "pool_gehrd: matrix must be square");
     FTH_CHECK(tau_.size() >= std::max<index_t>(n_ - 1, 0), "pool_gehrd: tau too short");
     FTH_CHECK(nb_ >= 1, "pool_gehrd: block size must be positive");
@@ -95,6 +99,19 @@ class PoolDriver {
     for (int s = 0; s < Ddata_; ++s) slot_dev_[static_cast<std::size_t>(s)] = s;
     gaps_.assign(static_cast<std::size_t>(D_), std::numeric_limits<double>::quiet_NaN());
 
+    // Health plane: every host wait on a member goes through the monitor,
+    // which derives the adaptive allowance and the Degraded/Lost states
+    // (obs/health.hpp). The ceiling honours FTH_POOL_TIMEOUT_MS.
+    if (opt.health != nullptr) {
+      health_ = opt.health;
+    } else {
+      obs::HealthConfig hc;
+      hc.base_timeout_ms = obs::HealthMonitor::env_base_timeout_ms(opt.timeout_ms);
+      hc.adaptive = opt.adaptive_timeout;
+      health_owned_ = std::make_unique<obs::HealthMonitor>(D_, hc);
+      health_ = health_owned_.get();
+    }
+
     if (n_ > nx_ + 1) allocate_workspaces();
   }
 
@@ -106,6 +123,10 @@ class PoolDriver {
 
   void run() {
     obs::TraceSpan run_span("ft", "pool_gehrd", "n", static_cast<double>(n_));
+    rep_.run_id = obs::journal_new_run();
+    obs::journal_log(obs::JournalSeverity::Info, "pool", "started", -1,
+                     static_cast<double>(n_));
+    if (obs::incident_enabled()) counters_base_ = obs::Registry::global().counter_values();
     if (n_ <= nx_ + 1) {
       lapack::gehd2(a_, tau_);
       finish_outcome();
@@ -127,7 +148,9 @@ class PoolDriver {
           // from the checkpoint. The shards were only read, so the
           // reconstruction is the start-of-iteration state.
           ++rep_.panel_retries;
-          handle_loss(dl.device, i);
+          handle_loss(dl, i);
+          obs::journal_log(obs::JournalSeverity::Warn, "pool", "panel_retry", dl.device,
+                           static_cast<double>(rep_.panel_retries), i);
           restore_panel(i, ib);
         }
       }
@@ -138,7 +161,7 @@ class PoolDriver {
         // (the update phase has no cross-device reads, so a struck member
         // cannot contaminate the others). Reconstruct and continue —
         // no rollback, no retry.
-        handle_loss(dl.device, i);
+        handle_loss(dl, i);
       }
       i += ib;
     }
@@ -148,7 +171,7 @@ class PoolDriver {
         final_gather(i);
         break;
       } catch (const device_lost& dl) {
-        handle_loss(dl.device, i);
+        handle_loss(dl, i);
       }
     }
     host_finish(i);
@@ -253,7 +276,9 @@ class PoolDriver {
       const int dev = slot_dev_[static_cast<std::size_t>(sl)];
       hybrid::Stream& sd = pool_.stream(dev);
       const hybrid::Event pf = sd.record();
-      if (!pf.wait_for(timeout_) || pool_.lost(dev)) throw device_lost{dev};
+      const double w0 = health_->wait_begin();
+      const bool ok = pf.wait_for(health_->allowed(dev));
+      if (!health_->wait_end(dev, w0, ok) || pool_.lost(dev)) throw device_lost{dev};
     }
 
     // Host panel factorization; the big GEMV is one partial product per
@@ -283,13 +308,15 @@ class PoolDriver {
             const int dev = slot_dev_[static_cast<std::size_t>(sl)];
             hybrid::Stream& sd = pool_.stream(dev);
             const hybrid::Event pg = sd.record();
-            if (!pg.wait_for(timeout_) || pool_.lost(dev)) throw device_lost{dev};
+            const double w0 = health_->wait_begin();
+            const bool ok = pg.wait_for(health_->allowed(dev));
+            if (!health_->wait_end(dev, w0, ok) || pool_.lost(dev)) throw device_lost{dev};
           }
           // A non-finite partial names its culprit before it can spread.
           for (int sl = 0; sl < Ddata_; ++sl) {
             for (index_t r = 0; r < vrows; ++r) {
               if (!std::isfinite(stage_y_(r, sl)))
-                throw device_lost{slot_dev_[static_cast<std::size_t>(sl)]};
+                throw device_lost{slot_dev_[static_cast<std::size_t>(sl)], "nonfinite"};
             }
           }
           for (index_t r = 0; r < vrows; ++r) {
@@ -342,9 +369,13 @@ class PoolDriver {
       const int dev = slot_dev_[static_cast<std::size_t>(sl)];
       hybrid::Stream& sd = pool_.stream(dev);
       const hybrid::Event yb = sd.record();
-      if (!yb.wait_for(timeout_) || pool_.lost(dev)) throw device_lost{dev};
+      const double w0 = health_->wait_begin();
+      const bool ok = yb.wait_for(health_->allowed(dev));
+      if (!health_->wait_end(dev, w0, ok) || pool_.lost(dev)) throw device_lost{dev};
     }
-    if (!reduced.wait_for(timeout_) || pool_.lost(cdev)) throw device_lost{cdev};
+    const double wc0 = health_->wait_begin();
+    const bool cok = reduced.wait_for(health_->allowed(cdev));
+    if (!health_->wait_end(cdev, wc0, cok) || pool_.lost(cdev)) throw device_lost{cdev};
     blas::trmm(Side::Right, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0,
                MatrixView<const double>(t_host_.block(0, 0, ib, ib)),
                y_host_.block(0, 0, i + 1, ib));
@@ -431,6 +462,9 @@ class PoolDriver {
       gaps_[static_cast<std::size_t>(dev)] = std::numeric_limits<double>::quiet_NaN();
       double* gp = &gaps_[static_cast<std::size_t>(dev)];
       hybrid::Stream& sd = pool_.stream(dev);
+      // Occupancy sample for the health plane: was the member still
+      // working when the boundary check arrived?
+      health_->sample_occupancy(dev, !sd.idle());
       sd.enqueue("pool.verify",
                  FTH_TASK_EFFECTS(FTH_READS(d_e_[static_cast<std::size_t>(dev)].view())),
                  [de = DMatrixView<const double>(d_e_[static_cast<std::size_t>(dev)].view()),
@@ -440,12 +474,14 @@ class PoolDriver {
       const int dev = active_device(m);
       hybrid::Stream& sd = pool_.stream(dev);
       const hybrid::Event ve = sd.record();
-      if (!ve.wait_for(timeout_) || pool_.lost(dev)) throw device_lost{dev};
+      const double w0 = health_->wait_begin();
+      const bool ok = ve.wait_for(health_->allowed(dev));
+      if (!health_->wait_end(dev, w0, ok) || pool_.lost(dev)) throw device_lost{dev};
     }
     for (int m = 0; m < active_count(); ++m) {
       const int dev = active_device(m);
       const double g = gaps_[static_cast<std::size_t>(dev)];
-      if (!(g <= threshold_)) throw device_lost{dev};
+      if (!(g <= threshold_)) throw device_lost{dev, "poison"};
     }
   }
 
@@ -461,11 +497,14 @@ class PoolDriver {
       const int dev = slot_dev_[static_cast<std::size_t>(sl)];
       hybrid::Stream& sd = pool_.stream(dev);
       const hybrid::Event gf = sd.record();
-      if (!gf.wait_for(timeout_) || pool_.lost(dev)) throw device_lost{dev};
+      const double w0 = health_->wait_begin();
+      const bool ok = gf.wait_for(health_->allowed(dev));
+      if (!health_->wait_end(dev, w0, ok) || pool_.lost(dev)) throw device_lost{dev};
     }
     for (int sl = 0; sl < Ddata_; ++sl) {
       const double g = code_row_gap(host_sh_[static_cast<std::size_t>(sl)].cview());
-      if (!(g <= threshold_)) throw device_lost{slot_dev_[static_cast<std::size_t>(sl)]};
+      if (!(g <= threshold_))
+        throw device_lost{slot_dev_[static_cast<std::size_t>(sl)], "poison"};
     }
     gather_shards(lay_, host_sh_, a_, i);
   }
@@ -490,16 +529,23 @@ class PoolDriver {
 
   // --- loss handling ---------------------------------------------------
 
-  /// Quarantine `dev`, account the loss against the redundancy group, and
-  /// either reconstruct + remap (first loss of a data shard), degrade
-  /// (parity loss), or escalate (beyond the correction radius).
-  void handle_loss(int dev, index_t boundary) {
+  /// Quarantine the lost member, account the loss against the redundancy
+  /// group, and either reconstruct + remap (first loss of a data shard),
+  /// degrade (parity loss), or escalate (beyond the correction radius).
+  void handle_loss(const device_lost& dl, index_t boundary) {
+    const int dev = dl.device;
     ++rep_.losses;
     if (rep_.lost_device < 0) rep_.lost_device = dev;
     obs::counter_metric("fault.device_loss.detected").add();
     obs::counter_metric("fault.device_loss.detected.dev" + std::to_string(dev)).add();
     obs::instant("fault", "device_loss_detected");
+    if (obs::journal_enabled()) {
+      const double g = gaps_[static_cast<std::size_t>(dev)];
+      obs::journal_log(obs::JournalSeverity::Error, "pool", "loss_detected", dev,
+                       std::isfinite(g) ? g : 0.0, boundary, dl.cause);
+    }
 
+    health_->mark_lost(dev);
     pool_.mark_lost(dev);
     const int straggler = drain_all();
     if (straggler >= 0 && straggler != dev) {
@@ -522,6 +568,9 @@ class PoolDriver {
       // correct — future losses escalate.
       parity_dev_ = -1;
       obs::counter_metric("fault.device_loss.parity_degraded").add();
+      obs::journal_log(obs::JournalSeverity::Warn, "pool", "parity_degraded", dev, 0.0,
+                       boundary);
+      finish_repair(dev, boundary, "degraded");
       return;
     }
 
@@ -532,18 +581,64 @@ class PoolDriver {
                       host_sh_[static_cast<std::size_t>(slot)]);
     ++rep_.reconstructions;
     obs::counter_metric("fault.device_loss.reconstructed").add();
+    obs::journal_log(obs::JournalSeverity::Info, "pool", "reconstructed", dev,
+                     static_cast<double>(slot), boundary);
     const int target = parity_dev_;
     {
       hybrid::Stream& sd = pool_.stream(target);
       hybrid::copy_h2d_async(sd, host_sh_[static_cast<std::size_t>(slot)].cview(),
                              d_e_[static_cast<std::size_t>(target)].view());
       const hybrid::Event rm = sd.record();
-      if (!rm.wait_for(timeout_) || pool_.lost(target)) escalate(target, boundary);
+      const double w0 = health_->wait_begin();
+      const bool ok = rm.wait_for(health_->allowed(target));
+      if (!health_->wait_end(target, w0, ok) || pool_.lost(target))
+        escalate(target, boundary);
     }
     slot_dev_[static_cast<std::size_t>(slot)] = target;
     parity_dev_ = -1;
     ++rep_.remaps;
     obs::counter_metric("fault.device_loss.remapped").add();
+    obs::journal_log(obs::JournalSeverity::Info, "pool", "remapped", dev,
+                     static_cast<double>(target), boundary);
+    finish_repair(dev, boundary, "recovered");
+  }
+
+  /// Close out an absorbed loss: stamp the repair-done journal record (the
+  /// recovery-cost endpoint fth_incident measures to) and emit the
+  /// device-loss incident capsule.
+  void finish_repair(int dev, index_t boundary, const char* status) {
+    obs::journal_log(obs::JournalSeverity::Info, "pool", "repair_done", dev,
+                     static_cast<double>(rep_.losses), boundary);
+    emit_incident("device_loss", dev, boundary, status, "device_lost",
+                  "loss absorbed by coded reconstruction");
+  }
+
+  /// Assemble and write one incident capsule (no-op unless capsule
+  /// emission is armed). The journal slice is keyed by this run's id; the
+  /// flight/DAG fragments are whatever recorders happen to be armed.
+  void emit_incident(const char* trigger, int dev, index_t boundary, const char* status,
+                     const char* reason, std::string detail) {
+    if (!obs::incident_enabled()) return;
+    obs::IncidentReport inc;
+    inc.trigger = trigger;
+    inc.who = "pool_gehrd";
+    inc.run_id = rep_.run_id;
+    inc.device = dev;
+    inc.boundary = boundary;
+    inc.outcome.status = status;
+    inc.outcome.reason = reason;
+    inc.outcome.detail = std::move(detail);
+    inc.outcome.attempts = rep_.losses;
+    const auto now = obs::Registry::global().counter_values();
+    for (const auto& [name, delta] : obs::Registry::counter_delta(now, counters_base_))
+      inc.metrics_delta.emplace_back(name, delta);
+    inc.journal = obs::journal_snapshot(rep_.run_id);
+    inc.health = health_->snapshot();
+    if (plane_ != nullptr) inc.strikes_json = fault::strikes_json(*plane_);
+    inc.flight_json = obs::flight_tail_json(512);
+    inc.dag_json = obs::dag::tail_json(128);
+    const std::string path = obs::write_incident(inc);
+    if (!path.empty()) rep_.incidents.push_back(path);
   }
 
   /// Synchronize every stream, with a timeout per member so a second
@@ -554,7 +649,10 @@ class PoolDriver {
     for (int d = 0; d < D_; ++d) {
       hybrid::Stream& sd = pool_.stream(d);
       const hybrid::Event dr = sd.record();
-      if (!dr.wait_for(timeout_)) {
+      const double w0 = health_->wait_begin();
+      const bool ok = dr.wait_for(health_->allowed(d));
+      if (!health_->wait_end(d, w0, ok)) {
+        health_->mark_lost(d);
         pool_.mark_lost(d);
         if (straggler < 0) straggler = d;
       }
@@ -583,18 +681,27 @@ class PoolDriver {
       const int dev = slot_dev_[static_cast<std::size_t>(sl)];
       hybrid::Stream& sd = pool_.stream(dev);
       const hybrid::Event fg = sd.record();
-      if (!fg.wait_for(timeout_) || pool_.lost(dev)) escalate(dev, boundary);
+      const double w0 = health_->wait_begin();
+      const bool ok = fg.wait_for(health_->allowed(dev));
+      if (!health_->wait_end(dev, w0, ok) || pool_.lost(dev)) escalate(dev, boundary);
     }
     {
       hybrid::Stream& sd = pool_.stream(parity_dev_);
       const hybrid::Event fp = sd.record();
-      if (!fp.wait_for(timeout_) || pool_.lost(parity_dev_)) escalate(parity_dev_, boundary);
+      const double w0 = health_->wait_begin();
+      const bool ok = fp.wait_for(health_->allowed(parity_dev_));
+      if (!health_->wait_end(parity_dev_, w0, ok) || pool_.lost(parity_dev_))
+        escalate(parity_dev_, boundary);
     }
   }
 
   [[noreturn]] void escalate(int dev, index_t boundary) {
     obs::counter_metric("fault.device_loss.escalated").add();
     const double g = gaps_[static_cast<std::size_t>(dev)];
+    obs::journal_log(obs::JournalSeverity::Error, "pool", "escalated", dev,
+                     static_cast<double>(group_.losses()), boundary);
+    emit_incident("escalation", dev, boundary, "escalated", "device_lost",
+                  "losses exceeded the redundancy group's correction radius");
     abort_recovery(rep_.outcome, "pool_gehrd", AbortReason::DeviceLost, boundary, rep_.losses,
                    std::isfinite(g) ? g : 0.0, threshold_,
                    "device " + std::to_string(dev) + " lost with " +
@@ -730,6 +837,9 @@ class PoolDriver {
     rep_.outcome.reason = AbortReason::None;
     rep_.outcome.attempts = rep_.losses;
     rep_.outcome.threshold = threshold_;
+    rep_.health = health_->snapshot();
+    obs::journal_log(obs::JournalSeverity::Info, "pool", "finished", -1,
+                     static_cast<double>(rep_.losses));
   }
 
   // --- state -----------------------------------------------------------
@@ -746,7 +856,9 @@ class PoolDriver {
   int Ddata_;
   ShardLayout lay_;
   RedundancyGroup group_;
-  std::chrono::nanoseconds timeout_;
+  std::unique_ptr<obs::HealthMonitor> health_owned_;
+  obs::HealthMonitor* health_ = nullptr;  ///< opt.health or health_owned_
+  obs::Registry::CounterValues counters_base_;  ///< capsule snapshot-delta base
   double threshold_ = 0.0;
   int parity_dev_ = -1;
   std::vector<int> slot_dev_;  ///< data slot → pool ordinal (remapped on loss)

@@ -25,10 +25,15 @@
 //              AbortReason::DeviceLost. Never returns garbage.
 #pragma once
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "fault/fault_plane.hpp"
 #include "ft/recovery.hpp"
 #include "hybrid/pool.hpp"
 #include "la/matrix.hpp"
+#include "obs/health.hpp"
 
 namespace fth::ft {
 
@@ -39,10 +44,19 @@ struct PoolGehrdOptions {
   /// default_threshold(‖A‖_F, n, threshold_factor) like ft_gehrd.
   double threshold = 0.0;
   double threshold_factor = 500.0;
-  /// Health-check timeout for every host wait on a device. Generous by
-  /// default: a false timeout on a slow-but-healthy member would declare a
-  /// spurious loss (safe, but burns the redundancy budget).
+  /// Health-check timeout *ceiling* for every host wait on a device.
+  /// Generous by default: a false timeout on a slow-but-healthy member
+  /// would declare a spurious loss (safe, but burns the redundancy
+  /// budget). `FTH_POOL_TIMEOUT_MS` overrides it at run time.
   double timeout_ms = 2000.0;
+  /// Let the HealthMonitor shrink the wait allowance below the ceiling
+  /// once it has seen enough wait latencies (obs/health.hpp); the
+  /// allowance never exceeds timeout_ms, so false losses stay no more
+  /// likely than with the fixed timeout.
+  bool adaptive_timeout = true;
+  /// Share an externally owned monitor (tests, the future service); the
+  /// driver owns a private one when null.
+  obs::HealthMonitor* health = nullptr;
   /// Optional fault plane; the driver binds it to the pool, registers each
   /// member's shard buffer as the loss surface, and marks encoding done.
   fault::FaultPlane* plane = nullptr;
@@ -58,6 +72,14 @@ struct PoolGehrdReport {
   int panel_retries = 0;     ///< iterations restarted from the panel checkpoint
   bool degraded = false;     ///< finished without a live parity member
   int lost_device = -1;      ///< ordinal of the (first) lost member
+  std::uint64_t run_id = 0;  ///< journal run id this run was stamped with
+  /// Incident capsule paths written during the run (empty unless capsule
+  /// emission is armed, obs/incident.hpp).
+  std::vector<std::string> incidents;
+  /// Final per-member health snapshots, one per pool ordinal. Always
+  /// filled (the driver owns or borrows a monitor for every run); on the
+  /// n ≤ nx host-only path the members simply saw no waits.
+  std::vector<obs::DeviceHealthSnapshot> health;
 };
 
 /// Reduce `a` (n×n, column-major) to upper Hessenberg form, reflectors

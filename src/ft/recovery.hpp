@@ -11,6 +11,7 @@
 
 #include "common/error.hpp"
 #include "common/types.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 
 namespace fth::ft {
@@ -62,6 +63,10 @@ struct RecoveryOutcome {
   out.threshold = threshold;
   out.detail = detail;
   obs::counter_metric("ft.unrecoverable").add();
+  if (obs::journal_enabled())
+    obs::journal_log(obs::JournalSeverity::Error, "ft", "abort", -1, gap, boundary,
+                     std::string(who) + ": " + to_string(reason) +
+                         (detail.empty() ? "" : ": " + detail));
   std::string msg = std::string(who) + ": recovery abandoned at boundary " +
                     std::to_string(boundary) + " after " + std::to_string(attempts) +
                     " attempt(s) [" + to_string(reason) + "]";

@@ -7,6 +7,7 @@
 #include "hybrid/device.hpp"
 #include "common/error.hpp"
 #include "obs/dag.hpp"
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 
 namespace fth::hybrid {
@@ -242,6 +243,7 @@ bool Stream::killed() const {
 void Stream::worker_loop() {
   obs::set_thread_name("device-stream");
   const int dev_ordinal = device_ != nullptr ? device_->ordinal() : -1;
+  obs::profile_detail::set_device_ordinal(dev_ordinal);
   for (;;) {
     Task task;
     bool dead = false;

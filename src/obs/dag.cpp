@@ -79,6 +79,20 @@ class DagRecorder {
     g_on.store(true, std::memory_order_relaxed);
   }
 
+  /// Non-destructive copy of every thread's buffered events (tid-tagged);
+  /// the recorder stays armed. Feeds dag::tail_json for incident capsules.
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, std::vector<DagEvent>>> snapshot_events() {
+    std::lock_guard lock(registry_m_);
+    std::vector<std::pair<std::uint32_t, std::vector<DagEvent>>> out;
+    out.reserve(buffers_.size());
+    for (auto& b : buffers_) {
+      std::lock_guard bl(b->m);
+      if (b->events.empty()) continue;
+      out.emplace_back(b->tid, b->events);
+    }
+    return out;
+  }
+
   /// Disarm and move out every thread's events (tid-tagged).
   std::vector<std::pair<std::uint32_t, std::vector<DagEvent>>> drain() {
     g_on.store(false, std::memory_order_relaxed);
@@ -525,6 +539,48 @@ Graph stop() {
     }
   }
   return as.g;
+}
+
+std::string tail_json(std::size_t max_nodes) {
+  if (!enabled()) return "[]";
+  auto bufs = DagRecorder::instance().snapshot_events();
+  Assembler as;
+  as.run(bufs);
+  const std::vector<Node>& nodes = as.g.nodes;
+  // Newest slice of the timeline: sort node indices by end time, keep the
+  // trailing max_nodes, then render them back in chronological order.
+  std::vector<std::size_t> idx(nodes.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return nodes[a].t1_us < nodes[b].t1_us;
+  });
+  if (idx.size() > max_nodes)
+    idx.erase(idx.begin(), idx.end() - static_cast<std::ptrdiff_t>(max_nodes));
+  static constexpr const char* kKindName[] = {"task", "wait", "work", "span", "mark"};
+  std::string out = "[";
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const Node& nd = nodes[idx[i]];
+    if (i > 0) out += ',';
+    out += "{\"kind\":\"";
+    out += kKindName[static_cast<std::size_t>(nd.kind)];
+    out += "\",\"label\":\"";
+    append_escaped(out, nd.label);
+    out += "\",\"iter\":" + std::to_string(nd.iter);
+    out += ",\"tid\":" + std::to_string(nd.tid);
+    out += ",\"stream\":" + std::to_string(nd.stream);
+    out += ",\"t0_us\":";
+    append_num(out, nd.t0_us);
+    out += ",\"t1_us\":";
+    append_num(out, nd.t1_us);
+    if (!nd.site.empty()) {
+      out += ",\"site\":\"";
+      append_escaped(out, nd.site);
+      out += "\"";
+    }
+    out += "}";
+  }
+  out += "]";
+  return out;
 }
 
 void mark(const char* label) noexcept {

@@ -61,6 +61,13 @@ void init_from_env();
 /// driver marks rollback / re-execution episode boundaries with these).
 void mark(const char* label) noexcept;
 
+/// Trailing fragment of the in-flight recording: non-destructively snapshot
+/// the buffered events (the recorder stays armed), assemble them, and render
+/// the newest `max_nodes` nodes by end time as a JSON array of objects —
+/// the embeddable form incident capsules (obs/incident.hpp) carry, as
+/// opposed to stop()'s full Graph. "[]" when the recorder is off.
+[[nodiscard]] std::string tail_json(std::size_t max_nodes);
+
 // --- Graph ------------------------------------------------------------------
 
 enum class NodeKind : std::uint8_t {

@@ -1,0 +1,189 @@
+#include "obs/health.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace fth::obs {
+
+namespace {
+/// Hot-path instrument pointers (Registry instruments live forever).
+Histogram& wait_ms_hist() {
+  static Histogram& h = histogram_metric("fault.device_loss.wait_ms");
+  return h;
+}
+Histogram& wait_margin_hist() {
+  static Histogram& h = histogram_metric("fault.device_loss.wait_margin");
+  return h;
+}
+}  // namespace
+
+const char* to_string(DeviceState s) noexcept {
+  switch (s) {
+    case DeviceState::Healthy: return "healthy";
+    case DeviceState::Degraded: return "degraded";
+    case DeviceState::Lost: return "lost";
+  }
+  return "?";
+}
+
+HealthMonitor::HealthMonitor(int devices, HealthConfig cfg) : cfg_(cfg) {
+  if (cfg_.base_timeout_ms <= 0.0) cfg_.base_timeout_ms = 2000.0;
+  cfg_.floor_ms = std::clamp(cfg_.floor_ms, 1.0, cfg_.base_timeout_ms);
+  if (cfg_.margin_mult < 1.0) cfg_.margin_mult = 1.0;
+  if (cfg_.min_samples < 1) cfg_.min_samples = 1;
+  if (cfg_.stale_ms <= 0.0) cfg_.stale_ms = 2.0 * cfg_.base_timeout_ms;
+  cfg_.window = std::max(cfg_.window, 4);
+  devs_.resize(static_cast<std::size_t>(std::max(devices, 1)));
+  for (PerDev& d : devs_) d.window.assign(static_cast<std::size_t>(cfg_.window), 0.0);
+}
+
+int HealthMonitor::devices() const noexcept { return static_cast<int>(devs_.size()); }
+
+double HealthMonitor::allowed_ms_locked(const PerDev& d) const {
+  if (!cfg_.adaptive || d.waits < static_cast<std::uint64_t>(cfg_.min_samples))
+    return cfg_.base_timeout_ms;
+  // Window *maximum* (not a mid quantile) times a generous multiplier: the
+  // allowance must dominate everything a healthy member has recently done,
+  // or a burst of slow-but-legitimate waits would read as a loss.
+  return std::clamp(cfg_.margin_mult * d.window_max_ms, cfg_.floor_ms, cfg_.base_timeout_ms);
+}
+
+double HealthMonitor::allowed_ms(int device) const {
+  std::lock_guard lock(m_);
+  return allowed_ms_locked(devs_[static_cast<std::size_t>(device)]);
+}
+
+std::chrono::nanoseconds HealthMonitor::allowed(int device) const {
+  return std::chrono::nanoseconds(
+      static_cast<std::int64_t>(allowed_ms(device) * 1.0e6));
+}
+
+double HealthMonitor::wait_begin() const noexcept { return detail::now_us() / 1e3; }
+
+bool HealthMonitor::wait_end(int device, double t0_ms, bool ok) {
+  const double now_ms = detail::now_us() / 1e3;
+  const double waited = std::max(now_ms - t0_ms, 0.0);
+  double allowed = 0.0;
+  bool near_miss = false;
+  bool lost_now = false;
+  {
+    std::lock_guard lock(m_);
+    PerDev& d = devs_[static_cast<std::size_t>(device)];
+    allowed = allowed_ms_locked(d);
+    ++d.waits;
+    d.last_wait_ms = waited;
+    if (allowed > 0.0) d.worst_frac = std::max(d.worst_frac, waited / allowed);
+    if (ok) {
+      d.last_ok_ms = now_ms;
+      d.window[d.window_next] = waited;
+      if (++d.window_next == d.window.size()) d.window_next = 0;
+      d.window_max_ms = *std::max_element(d.window.begin(), d.window.end());
+      d.latency_ewma_ms = d.waits == 1
+                              ? waited
+                              : d.latency_ewma_ms + cfg_.ewma_alpha * (waited - d.latency_ewma_ms);
+      if (waited >= cfg_.degraded_frac * allowed) {
+        ++d.near_misses;
+        near_miss = true;
+        d.degraded_left = cfg_.degraded_hold;
+        if (d.state == DeviceState::Healthy) d.state = DeviceState::Degraded;
+      } else if (d.state == DeviceState::Degraded && d.degraded_left > 0 &&
+                 --d.degraded_left == 0) {
+        d.state = DeviceState::Healthy;
+      }
+    } else {
+      ++d.timeouts;
+      lost_now = d.state != DeviceState::Lost;
+      d.state = DeviceState::Lost;
+    }
+  }
+  wait_ms_hist().observe(waited);
+  wait_margin_hist().observe(std::max(allowed - waited, 0.0));
+  if (near_miss)
+    journal_log(JournalSeverity::Warn, "health", "near_miss", device, waited);
+  if (lost_now)
+    journal_log(JournalSeverity::Error, "health", "wait_timeout", device, allowed);
+  return ok;
+}
+
+void HealthMonitor::mark_lost(int device) {
+  bool changed = false;
+  {
+    std::lock_guard lock(m_);
+    PerDev& d = devs_[static_cast<std::size_t>(device)];
+    changed = d.state != DeviceState::Lost;
+    d.state = DeviceState::Lost;
+  }
+  if (changed) journal_log(JournalSeverity::Error, "health", "marked_lost", device);
+}
+
+void HealthMonitor::sample_occupancy(int device, bool busy) {
+  std::lock_guard lock(m_);
+  PerDev& d = devs_[static_cast<std::size_t>(device)];
+  const double v = busy ? 1.0 : 0.0;
+  if (!d.occupancy_seeded) {
+    d.occupancy_ewma = v;
+    d.occupancy_seeded = true;
+  } else {
+    d.occupancy_ewma += cfg_.ewma_alpha * (v - d.occupancy_ewma);
+  }
+}
+
+DeviceState HealthMonitor::state(int device) const {
+  std::lock_guard lock(m_);
+  const PerDev& d = devs_[static_cast<std::size_t>(device)];
+  if (d.state == DeviceState::Healthy && d.last_ok_ms >= 0.0 &&
+      detail::now_us() / 1e3 - d.last_ok_ms > cfg_.stale_ms)
+    return DeviceState::Degraded;  // heartbeat stale: suspicious, not lost
+  return d.state;
+}
+
+DeviceHealthSnapshot HealthMonitor::snapshot_locked(int device, const PerDev& d,
+                                                    double now_ms) const {
+  DeviceHealthSnapshot s;
+  s.device = device;
+  s.state = d.state;
+  if (s.state == DeviceState::Healthy && d.last_ok_ms >= 0.0 &&
+      now_ms - d.last_ok_ms > cfg_.stale_ms)
+    s.state = DeviceState::Degraded;
+  s.waits = d.waits;
+  s.timeouts = d.timeouts;
+  s.near_misses = d.near_misses;
+  s.latency_ewma_ms = d.latency_ewma_ms;
+  s.occupancy_ewma = d.occupancy_ewma;
+  s.window_max_ms = d.window_max_ms;
+  s.last_wait_ms = d.last_wait_ms;
+  s.worst_frac = d.worst_frac;
+  s.allowed_ms = allowed_ms_locked(d);
+  s.heartbeat_age_ms = d.last_ok_ms >= 0.0 ? now_ms - d.last_ok_ms : -1.0;
+  return s;
+}
+
+DeviceHealthSnapshot HealthMonitor::snapshot(int device) const {
+  const double now_ms = detail::now_us() / 1e3;
+  std::lock_guard lock(m_);
+  return snapshot_locked(device, devs_[static_cast<std::size_t>(device)], now_ms);
+}
+
+std::vector<DeviceHealthSnapshot> HealthMonitor::snapshot() const {
+  const double now_ms = detail::now_us() / 1e3;
+  std::lock_guard lock(m_);
+  std::vector<DeviceHealthSnapshot> out;
+  out.reserve(devs_.size());
+  for (std::size_t i = 0; i < devs_.size(); ++i)
+    out.push_back(snapshot_locked(static_cast<int>(i), devs_[i], now_ms));
+  return out;
+}
+
+double HealthMonitor::env_base_timeout_ms(double fallback_ms) {
+  if (const char* env = std::getenv("FTH_POOL_TIMEOUT_MS"); env != nullptr && env[0] != '\0') {
+    const double v = std::strtod(env, nullptr);
+    if (v > 0.0) return v;
+  }
+  return fallback_ms;
+}
+
+}  // namespace fth::obs

@@ -1,0 +1,141 @@
+// fth::obs health — per-device health monitoring for pool runs.
+//
+// The pool driver's loss detection (DESIGN.md §13) used a single fixed
+// timeout for every host wait on a device. That conflates two different
+// quantities: how long waits *actually* take on this machine (milliseconds)
+// and how long the driver is willing to wait before declaring a member dead
+// (the configured ceiling). The HealthMonitor measures the former per
+// member — a rolling window plus EWMA of observed wait latencies, an
+// occupancy EWMA sampled at iteration boundaries, and a heartbeat (time
+// since the member last answered) — and derives an adaptive timeout from
+// the window maximum with a generous multiplier, clamped between a floor
+// and the configured ceiling. A stall is then detected in ~window·mult
+// instead of the worst-case ceiling, while a slow-but-alive member is never
+// declared lost: the adaptive value can only shrink the ceiling, never the
+// evidence requirement, and near-misses (a wait above degraded_frac of the
+// allowance) degrade the member's state and land in the journal *before*
+// they become false losses.
+//
+// Every completed wait is recorded in two histograms:
+//   fault.device_loss.wait_ms      observed wait durations (ms) — the
+//                                  committed baseline distribution the
+//                                  adaptive timeout is derived from;
+//   fault.device_loss.wait_margin  remaining margin (allowed − waited, ms)
+//                                  — how close each wait came to a timeout.
+//
+// The monitor is pure bookkeeping over device ordinals: it holds no
+// hybrid:: state and never blocks, so it can be shared with tests and
+// embedded in incident capsules (obs/incident.hpp) as the health timeline.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fth::obs {
+
+enum class DeviceState : std::uint8_t { Healthy = 0, Degraded = 1, Lost = 2 };
+
+[[nodiscard]] const char* to_string(DeviceState s) noexcept;
+
+struct HealthConfig {
+  /// Hard ceiling for any wait (the driver's former fixed timeout).
+  /// env_base_timeout_ms() lets `FTH_POOL_TIMEOUT_MS` override it.
+  double base_timeout_ms = 2000.0;
+  /// Derive the allowance from observed latency (window max · margin_mult,
+  /// clamped to [floor_ms, base_timeout_ms]). false pins it to the ceiling.
+  bool adaptive = true;
+  double floor_ms = 100.0;   ///< never adapt below (absorbs scheduler hiccups)
+  double margin_mult = 32.0; ///< allowance = margin_mult × window max latency
+  int min_samples = 32;      ///< waits observed before adapting (ceiling until then)
+  /// A wait ≥ degraded_frac × allowance is a near-miss: the member is
+  /// marked Degraded (recovering to Healthy after degraded_hold clean waits).
+  double degraded_frac = 0.5;
+  int degraded_hold = 16;
+  /// Heartbeat staleness that reads as Degraded (0 = 2 × base_timeout_ms).
+  double stale_ms = 0.0;
+  double ewma_alpha = 0.125;  ///< latency/occupancy EWMA smoothing
+  int window = 64;            ///< rolling wait-latency window per member
+};
+
+/// Point-in-time per-member summary (capsule health timeline entry).
+struct DeviceHealthSnapshot {
+  int device = -1;
+  DeviceState state = DeviceState::Healthy;
+  std::uint64_t waits = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t near_misses = 0;
+  double latency_ewma_ms = 0.0;
+  double occupancy_ewma = 0.0;
+  double window_max_ms = 0.0;
+  double last_wait_ms = 0.0;
+  double worst_frac = 0.0;       ///< max waited/allowed observed
+  double allowed_ms = 0.0;       ///< current adaptive allowance
+  double heartbeat_age_ms = 0.0; ///< since the member last answered a wait
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(int devices, HealthConfig cfg = {});
+
+  [[nodiscard]] int devices() const noexcept;
+  [[nodiscard]] const HealthConfig& config() const noexcept { return cfg_; }
+
+  /// Current allowance for a wait on `device` (ns form for Event::wait_for).
+  [[nodiscard]] double allowed_ms(int device) const;
+  [[nodiscard]] std::chrono::nanoseconds allowed(int device) const;
+
+  /// Timestamp (ms on the obs clock) taken immediately before the wait.
+  [[nodiscard]] double wait_begin() const noexcept;
+
+  /// Record a completed wait: latency window/EWMA, heartbeat, the wait_ms /
+  /// wait_margin histograms, near-miss accounting (with a journal record),
+  /// and — on timeout — the Lost transition. Returns `ok` unchanged so call
+  /// sites keep their `if (!…) throw device_lost` shape.
+  bool wait_end(int device, double t0_ms, bool ok);
+
+  /// Quarantine notification from the driver (poison/nonfinite detections
+  /// arrive here without a timed-out wait).
+  void mark_lost(int device);
+
+  /// Occupancy sample (busy = the member had queued/executing work when the
+  /// driver looked, typically at an iteration boundary).
+  void sample_occupancy(int device, bool busy);
+
+  [[nodiscard]] DeviceState state(int device) const;
+  [[nodiscard]] DeviceHealthSnapshot snapshot(int device) const;
+  [[nodiscard]] std::vector<DeviceHealthSnapshot> snapshot() const;
+
+  /// `FTH_POOL_TIMEOUT_MS` if set and positive, else `fallback_ms`.
+  [[nodiscard]] static double env_base_timeout_ms(double fallback_ms);
+
+ private:
+  struct PerDev {
+    DeviceState state = DeviceState::Healthy;
+    std::uint64_t waits = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t near_misses = 0;
+    int degraded_left = 0;  ///< clean waits until Degraded clears
+    double latency_ewma_ms = 0.0;
+    double occupancy_ewma = 0.0;
+    bool occupancy_seeded = false;
+    double last_wait_ms = 0.0;
+    double worst_frac = 0.0;
+    double last_ok_ms = -1.0;  ///< obs-clock ms of the last answered wait
+    std::vector<double> window;  ///< rolling wait latencies (ms)
+    std::size_t window_next = 0;
+    double window_max_ms = 0.0;
+  };
+
+  [[nodiscard]] double allowed_ms_locked(const PerDev& d) const;
+  [[nodiscard]] DeviceHealthSnapshot snapshot_locked(int device, const PerDev& d,
+                                                     double now_ms) const;
+
+  HealthConfig cfg_;
+  mutable std::mutex m_;
+  std::vector<PerDev> devs_;
+};
+
+}  // namespace fth::obs

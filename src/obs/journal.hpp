@@ -1,0 +1,103 @@
+// fth::obs journal — bounded, Release-safe structured event log.
+//
+// Counters say *how often* the FT machinery fired; the journal says *what
+// happened, in order*: every detection, rollback, re-execution, FaultPlane
+// strike, pool loss/reconstruction/remap, checker violation, and health
+// state change is one structured record (timestamp, severity, run id,
+// device ordinal, component, event, numeric payload, optional detail).
+// The ring is bounded (oldest records overwritten), so it is safe to leave
+// armed across whole soak campaigns, and it is the raw material incident
+// capsules (obs/incident.hpp) are assembled from.
+//
+// Cost discipline mirrors the trace recorder: journal_log() starts with one
+// relaxed atomic load and returns immediately when the journal is off — no
+// locks, no allocation, no formatting. Call sites that would *build* a
+// detail string must guard with journal_enabled() so the off path stays
+// allocation-free; fth_checkinfo reports the armed state so run_benches.sh
+// can assert Release bench numbers were taken with the journal off.
+//
+// `FTH_JOURNAL=<path>` arms the journal at static-init time and dumps the
+// ring as JSONL at process exit; campaigns and tests arm it with
+// journal_start() and read it back with journal_snapshot().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fth::obs {
+
+enum class JournalSeverity : std::uint8_t { Info = 0, Warn = 1, Error = 2 };
+
+[[nodiscard]] const char* to_string(JournalSeverity s) noexcept;
+
+/// One structured record. `component` and `event` must be string literals
+/// or intern_name() pointers (stored, never copied — same contract as the
+/// trace recorder's names).
+struct JournalEvent {
+  double t_us = 0.0;         ///< obs::detail::now_us() timebase (steady clock)
+  std::uint64_t run_id = 0;  ///< journal run id in force when recorded
+  double value = 0.0;        ///< numeric payload (gap, waited ms, countdown, …)
+  std::int64_t boundary = -1;  ///< iteration boundary (-1 none)
+  const char* component = "";  ///< subsystem: "ft", "pool", "fault", "health", "check"
+  const char* event = "";      ///< what happened: "detect", "loss_detected", …
+  int device = -1;             ///< pool/device ordinal (-1 none)
+  JournalSeverity severity = JournalSeverity::Info;
+  std::string detail;  ///< optional human context (empty on hot paths)
+};
+
+namespace journal_detail {
+extern std::atomic<bool> g_on;  ///< hot-path gate (one relaxed load when off)
+}  // namespace journal_detail
+
+/// True between journal_start() and journal_stop(). Relaxed load, any thread.
+[[nodiscard]] inline bool journal_enabled() noexcept {
+  return journal_detail::g_on.load(std::memory_order_relaxed);
+}
+
+/// Arm the journal with a ring of `capacity` records (clamped to ≥ 64).
+/// Re-arming clears the ring. Incident capsules need the journal: arming
+/// incidents (obs/incident.hpp) arms the journal too.
+void journal_start(std::size_t capacity = 4096);
+
+/// Disarm and release the ring.
+void journal_stop();
+
+/// Record one event. Self-gating: returns immediately when the journal is
+/// off. The no-detail overloads are allocation-free even when on (beyond
+/// the ring slot's detail.clear()).
+void journal_log(JournalSeverity sev, const char* component, const char* event,
+                 int device = -1, double value = 0.0,
+                 std::int64_t boundary = -1) noexcept;
+/// Detail-carrying overload. Building the detail string allocates, so call
+/// sites must guard with `if (journal_enabled())`.
+void journal_log(JournalSeverity sev, const char* component, const char* event, int device,
+                 double value, std::int64_t boundary, std::string detail) noexcept;
+
+/// Run-id management: campaigns stamp each trial (and the pool driver each
+/// run) with a fresh id so a capsule can slice the shared ring down to its
+/// own run. Ids are process-monotonic, starting at 1; 0 means "no run".
+std::uint64_t journal_new_run() noexcept;
+void journal_set_run(std::uint64_t id) noexcept;
+[[nodiscard]] std::uint64_t journal_run() noexcept;
+
+/// Ring contents, oldest first. The filtered overload keeps only records
+/// stamped with `run_id`. Empty when the journal is off.
+[[nodiscard]] std::vector<JournalEvent> journal_snapshot();
+[[nodiscard]] std::vector<JournalEvent> journal_snapshot(std::uint64_t run_id);
+
+/// One JSONL line per record (no trailing newline on the last; "" for none).
+[[nodiscard]] std::string journal_to_jsonl(const std::vector<JournalEvent>& events);
+/// Single JSON object for one record (the JSONL line / capsule array entry).
+[[nodiscard]] std::string journal_event_json(const JournalEvent& e);
+
+/// Dump the ring as JSONL to `path`; false on I/O failure or journal off.
+bool journal_write(const std::string& path);
+
+/// Honour `FTH_JOURNAL=<path>`: arm the journal and register an atexit dump
+/// to that path. Idempotent; called from a static initializer like the
+/// trace recorder's env hook, and explicitly by fth_checkinfo.
+void journal_init_from_env();
+
+}  // namespace fth::obs

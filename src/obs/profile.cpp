@@ -16,6 +16,13 @@ namespace fth::obs {
 
 namespace profile_detail {
 std::atomic<bool> g_active{false};
+
+namespace {
+/// Pool ordinal the calling thread claims (device workers only; -1 host).
+thread_local int t_device_ordinal = -1;
+}  // namespace
+
+void set_device_ordinal(int ordinal) noexcept { t_device_ordinal = ordinal; }
 }  // namespace profile_detail
 
 namespace {
@@ -76,6 +83,7 @@ struct Agg {
   std::vector<Interval> device_busy;  // stream/task spans (device worker)
   std::vector<Interval> host_wait;    // stream/synchronize + stream/event_wait
   bool is_device = false;
+  int device_ordinal = -1;  // pool ordinal self-reported by the worker (live)
   double pending_panel_t0 = -1.0;  // panel begin awaiting its update end
   std::uint64_t iters = 0;
   double iter_sum_us = 0.0;
@@ -200,7 +208,8 @@ ProfileReport build_report(const std::vector<Agg*>& aggs, double roofline, doubl
 
   std::map<std::tuple<std::string, std::string, std::string>, PhaseAccum> merged;
   std::vector<Interval> dev, wait;
-  std::vector<double> per_dev_us;  // busy-union per device track
+  std::vector<double> per_dev_us;            // busy-union per device track
+  std::map<int, std::vector<Interval>> ord;  // same, keyed by self-reported ordinal
   bool any = false;
   double first = 0.0, last = 0.0;
   for (Agg* a : aggs) {
@@ -208,6 +217,10 @@ ProfileReport build_report(const std::vector<Agg*>& aggs, double roofline, doubl
     if (a->is_device && !a->device_busy.empty()) {
       std::vector<Interval> own = a->device_busy;
       per_dev_us.push_back(merge_union(own));
+      if (a->device_ordinal >= 0) {
+        auto& iv = ord[a->device_ordinal];
+        iv.insert(iv.end(), a->device_busy.begin(), a->device_busy.end());
+      }
     }
     for (const auto& [k, acc] : a->phases) {
       PhaseAccum& m = merged[{track, k.cat, k.name}];
@@ -248,6 +261,12 @@ ProfileReport build_report(const std::vector<Agg*>& aggs, double roofline, doubl
   std::sort(per_dev_us.begin(), per_dev_us.end(), std::greater<double>());
   for (const double us : per_dev_us)
     rep.per_device_occupancy.push_back(rep.wall_s > 0.0 ? us / 1e6 / rep.wall_s : 0.0);
+  // Ordinal-keyed attribution (live mode: workers self-report their pool
+  // ordinal). std::map iteration gives ascending ordinals for free.
+  for (auto& [o, iv] : ord) {
+    const double us = merge_union(iv);
+    rep.per_device_by_ordinal.emplace_back(o, rep.wall_s > 0.0 ? us / 1e6 / rep.wall_s : 0.0);
+  }
 
   rep.iter_avg_s = rep.iterations > 0 ? rep.iter_avg_s / 1e6 / static_cast<double>(rep.iterations)
                                       : 0.0;
@@ -336,6 +355,9 @@ class LiveProfiler {
   void on_event(char ph, const char* cat, const char* name, double ts, double arg) noexcept {
     LiveState& s = local();
     std::lock_guard lock(s.m);
+    // Restamp on every event: start() resets the Agg, so a sticky stamp
+    // taken once at thread start would not survive a new window.
+    s.agg.device_ordinal = profile_detail::t_device_ordinal;
     const std::uint64_t fl = flops::thread_count();
     if (ph == 'B') s.agg.begin(cat, name, ts, arg, fl);
     else if (ph == 'E') s.agg.end(ts, fl);
@@ -474,7 +496,22 @@ std::string ProfileReport::to_json() const {
       append_num(out, occ);
     }
   }
-  out += "]},\"iterations\":{\"count\":" + std::to_string(iterations);
+  out += "]";
+  // Ordinal-keyed spelling (live runs only). A new key, so baselines that
+  // predate it gate untouched; omitted entirely when no worker reported an
+  // ordinal (replay, host-only windows).
+  if (!per_device_by_ordinal.empty()) {
+    out += ",\"stream_occupancy_by_device\":{";
+    bool first_ord = true;
+    for (const auto& [o, occ] : per_device_by_ordinal) {
+      if (!first_ord) out += ',';
+      first_ord = false;
+      out += "\"" + std::to_string(o) + "\":";
+      append_num(out, occ);
+    }
+    out += "}";
+  }
+  out += "},\"iterations\":{\"count\":" + std::to_string(iterations);
   out += ",\"avg_panel_s\":";
   append_num(out, iter_avg_panel_s);
   out += ",\"avg_update_s\":";
@@ -526,7 +563,12 @@ void ProfileReport::print_table(std::FILE* out) const {
                "overlapped %.4f s (%.1f%% of device busy)\n",
                device_busy_s, 100.0 * stream_occupancy, host_wait_s, overlapped_s,
                100.0 * overlap_fraction);
-  if (per_device_occupancy.size() > 1) {
+  if (per_device_by_ordinal.size() > 1) {
+    std::fprintf(out, "per-device occupancy:");
+    for (const auto& [o, occ] : per_device_by_ordinal)
+      std::fprintf(out, " dev%d %.1f%%", o, 100.0 * occ);
+    std::fprintf(out, "\n");
+  } else if (per_device_occupancy.size() > 1) {
     std::fprintf(out, "per-device occupancy:");
     for (const double occ : per_device_occupancy) std::fprintf(out, " %.1f%%", 100.0 * occ);
     std::fprintf(out, "\n");

@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace fth::obs {
@@ -61,6 +62,14 @@ struct ProfileReport {
   /// scalar in an old baseline is the D=1 form of the same metric and
   /// bench_compare matches the two spellings against each other.
   std::vector<double> per_device_occupancy;
+  /// Ordinal-keyed attribution of the same quantity: (pool ordinal,
+  /// busy-union / wall), sorted by ordinal. Live mode only — worker threads
+  /// self-report their ordinal (profile_detail::set_device_ordinal); a
+  /// replayed trace has no ordinal channel, so the replay report leaves
+  /// this empty. JSON emits it as the `stream_occupancy_by_device` object
+  /// (a new key — the legacy `stream_occupancy` array and its scalar/
+  /// entry-0 baseline carve-out are untouched).
+  std::vector<std::pair<int, double>> per_device_by_ordinal;
 
   // Per-iteration critical path: panel begin → matching update end on the
   // host track (one pair per blocked iteration of a driver).
@@ -131,6 +140,10 @@ extern std::atomic<bool> g_active;
 /// Live feed from obs/trace.cpp (already timestamped, calling thread's event).
 void on_event(char ph, const char* cat, const char* name, double ts_us,
               double arg_value) noexcept;
+/// Device workers self-report their pool ordinal (thread-local; the stream
+/// worker loop calls this once at thread start) so live reports can key
+/// occupancy by ordinal instead of only by anonymous track.
+void set_device_ordinal(int ordinal) noexcept;
 }  // namespace profile_detail
 
 }  // namespace fth::obs

@@ -163,6 +163,56 @@ class Recorder {
     return path;
   }
 
+  /// Ring contents as an embeddable JSON array (capsule form). Unlike
+  /// flight_dump() this never touches the filesystem and keeps only the
+  /// newest `max_events` after the cross-thread merge.
+  [[nodiscard]] std::string flight_tail_json(std::size_t max_events) {
+    if (!flight_active()) return "[]";
+    std::vector<TraceEvent> all;
+    {
+      std::lock_guard lock(registry_m_);
+      for (auto& b : buffers_) {
+        std::lock_guard bl(b->m);
+        if (b->ring_wrapped)
+          all.insert(all.end(), b->ring.begin() + static_cast<std::ptrdiff_t>(b->ring_next),
+                     b->ring.end());
+        all.insert(all.end(), b->ring.begin(),
+                   b->ring.begin() + static_cast<std::ptrdiff_t>(b->ring_next));
+      }
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) { return a.ts_us < b.ts_us; });
+    if (all.size() > max_events)
+      all.erase(all.begin(), all.end() - static_cast<std::ptrdiff_t>(max_events));
+    std::string out = "[";
+    char num[64];
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      const TraceEvent& ev = all[i];
+      if (i > 0) out += ',';
+      std::snprintf(num, sizeof num, "%.3f", ev.ts_us);
+      out += "{\"ts_us\":";
+      out += num;
+      out += ",\"ph\":\"";
+      out.push_back(ev.ph);
+      out += "\",\"tid\":" + std::to_string(ev.tid);
+      if (ev.ph != 'E') {
+        out += ",\"cat\":\"";
+        append_escaped(out, ev.cat);
+        out += "\",\"name\":\"";
+        append_escaped(out, ev.name);
+        out += "\"";
+      }
+      if (ev.ph == 'C' || (ev.ph == 'B' && ev.arg_key[0] != '\0')) {
+        std::snprintf(num, sizeof num, "%.17g", ev.value);
+        out += ",\"value\":";
+        out += num;
+      }
+      out += "}";
+    }
+    out += "]";
+    return out;
+  }
+
   void record(TraceEvent ev) noexcept {
     ThreadBuffer& b = local_buffer();
     ev.ts_us = now_us();
@@ -437,6 +487,10 @@ std::string flight_dump(const char* reason) noexcept {
 }
 
 void flight_stop() { Recorder::instance().flight_stop(); }
+
+std::string flight_tail_json(std::size_t max_events) {
+  return Recorder::instance().flight_tail_json(max_events);
+}
 
 namespace detail {
 

@@ -93,6 +93,14 @@ std::string flight_dump(const char* reason) noexcept;
 /// Stop the flight recorder (without dumping) and release the rings.
 void flight_stop();
 
+/// The newest `max_events` flight-ring events (merged across threads,
+/// oldest first) rendered as a JSON array of
+/// `{"ts_us":…,"ph":"B","tid":…,"cat":"…","name":"…"}` objects — the
+/// embeddable form incident capsules (obs/incident.hpp) carry, as opposed
+/// to flight_dump()'s Chrome-trace file. Non-destructive; "[]" when the
+/// flight recorder is inactive.
+[[nodiscard]] std::string flight_tail_json(std::size_t max_events);
+
 namespace detail {
 /// Microseconds on the recorder's clock (steady, zero at process start) —
 /// the timebase of every recorded event. The profiler uses it so window

@@ -366,12 +366,12 @@ const SeededEdge kSeeds[] = {
     {"src/hybrid/hybrid_gehrd.cpp", "y_upper_ready.wait();", "transfer-race", 120, "'y_host'"},
     {"src/hybrid/hybrid_gebrd.cpp", "operands_shipped.wait();", "transfer-race", 131, "'a'"},
     {"src/hybrid/hybrid_sytrd.cpp", "s.synchronize();", "stream-not-idle", 109, "host_view"},
-    {"src/ft/ft_gehrd.cpp", "y_upper_ready.wait();", "transfer-race", 350, "'y_host_'"},
-    {"src/ft/ft_gebrd.cpp", "operands_shipped.wait();", "transfer-race", 350, "'a_'"},
+    {"src/ft/ft_gehrd.cpp", "y_upper_ready.wait();", "transfer-race", 352, "'y_host_'"},
+    {"src/ft/ft_gebrd.cpp", "operands_shipped.wait();", "transfer-race", 352, "'a_'"},
     // The one inter-device edge of the pool driver's Y-top reduction:
     // without it the collector task reads stage_g_ while the producers'
     // d2h copies are still in flight (ISSUE 7 / DESIGN.md §13).
-    {"src/ft/pool_gehrd.cpp", "sc.wait_event(shard_done);", "cross-stream-race", 327,
+    {"src/ft/pool_gehrd.cpp", "sc.wait_event(shard_done);", "cross-stream-race", 354,
      "'stage_g_'"},
 };
 

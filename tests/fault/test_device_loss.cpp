@@ -6,7 +6,13 @@
 // fault-shaped error and no cross-shard corruption behind.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <string>
+
+#include "common/json.hpp"
 #include "fault/campaign.hpp"
+#include "obs/incident.hpp"
+#include "obs/journal.hpp"
 
 namespace fth::fault {
 namespace {
@@ -44,6 +50,49 @@ TEST(DeviceLossSoak, OneLossPerTrialIsAlwaysAbsorbedAtN256D3) {
     }
     EXPECT_EQ(t.report.outcome.status, ft::RecoveryStatus::Recovered);
   }
+}
+
+// Incident forensics acceptance (ISSUE 8): with capsule emission armed,
+// the n=256 D=3 soak must write exactly one valid capsule per injected
+// loss, and fth_incident's timing derivation must see a nonzero detection
+// latency (strike → loss_detected) and recovery cost (loss_detected →
+// repair_done) in each. One cycle through the three loss kinds keeps the
+// runtime bounded; the 9-trial soak above covers the absorption maths.
+TEST(DeviceLossSoak, EveryInjectedLossYieldsAValidCapsuleWithTimings) {
+  const std::string dir = ::testing::TempDir() + "fth_soak_capsules";
+  std::filesystem::remove_all(dir);
+  obs::incident_set_dir(dir);
+
+  DeviceLossSoakConfig cfg;
+  cfg.n = 256;
+  cfg.nb = 32;
+  cfg.devices = 3;
+  cfg.trials = 3;  // one silent-stall, one poisoned-output, one hard-death
+  cfg.seed = 0xCAB5013ull;
+  cfg.timeout_ms = 400.0;
+  const DeviceLossSoakResult r = run_device_loss_soak(cfg);
+
+  obs::incident_stop();
+  obs::journal_stop();
+
+  ASSERT_EQ(r.trials.size(), 3u);
+  EXPECT_EQ(r.fired_count, 3);
+  EXPECT_EQ(r.recovered_count, 3);
+  for (const auto& t : r.trials) {
+    EXPECT_GT(t.report.run_id, 0u) << "the faulty run must stamp a journal run";
+    ASSERT_EQ(t.report.incidents.size(), 1u)
+        << to_string(t.kind) << " dev" << t.device << ": one capsule per absorbed loss";
+    const json::Value capsule = json::parse_file(t.report.incidents[0]);
+    EXPECT_EQ(obs::incident_validate(capsule), "") << t.report.incidents[0];
+    EXPECT_EQ(capsule.at("trigger").as_string(), "device_loss");
+    EXPECT_EQ(capsule.at("device").as_number(), static_cast<double>(t.device));
+    const obs::IncidentTiming tm = obs::incident_timing(capsule);
+    EXPECT_GT(tm.detection_latency_us, 0.0)
+        << to_string(t.kind) << ": the strike precedes its detection";
+    EXPECT_GT(tm.recovery_cost_us, 0.0)
+        << to_string(t.kind) << ": reconstruction happens after detection";
+  }
+  std::filesystem::remove_all(dir);
 }
 
 TEST(DeviceLossSoak, WiderPoolsAbsorbALossToo) {

@@ -5,11 +5,14 @@
 // deterministically (ISSUE 7).
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
 #include <tuple>
 #include <vector>
 
 #include "fault/fault_plane.hpp"
 #include "ft/pool_gehrd.hpp"
+#include "obs/health.hpp"
 #include "la/generate.hpp"
 #include "la/norms.hpp"
 #include "lapack/gehrd.hpp"
@@ -137,6 +140,53 @@ INSTANTIATE_TEST_SUITE_P(
                       LossCase{fault::LossKind::PoisonOutput, 0, 25},
                       LossCase{fault::LossKind::SilentStall, 1, 12},
                       LossCase{fault::LossKind::SilentStall, 2, 6}));
+
+// ---- health plane: slow-but-alive is never a loss ---------------------------
+
+// ISSUE 8 satellite: a member whose tasks land just under the timeout must
+// NOT be declared lost — the health monitor reads it as Degraded (a
+// near-miss) and the run stays Clean. Member 1 stalls 80 ms on every 32nd
+// task against a 150 ms allowance, so several host waits land in the
+// near-miss band (≥ 30% of the allowance) without ever timing out. Runs
+// under FTH_CHECK=1 with the rest of the Debug suite.
+TEST(PoolHealth, SlowButAliveMemberIsDegradedNotLost) {
+  const index_t n = 96;
+  const int devices = 3;
+  hybrid::DevicePool pool({.devices = devices});
+  pool.stream(1).set_task_hook([](std::uint64_t idx) {
+    if (idx % 32 == 0) std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  });
+
+  obs::HealthConfig hc;
+  hc.base_timeout_ms = 150.0;  // the 80 ms stall stays under the allowance
+  hc.adaptive = false;         // pin it: the near-miss band must be exact
+  hc.degraded_frac = 0.3;      // stalled waits (~80 ms ≥ 45 ms) are near-misses
+  hc.degraded_hold = 1 << 20;  // keep Degraded sticky for the final assertion
+  obs::HealthMonitor health(devices, hc);
+
+  Matrix<double> a = random_matrix(n, n, 1234);
+  Matrix<double> orig(a.cview());
+  std::vector<double> tau(static_cast<std::size_t>(n - 1));
+  PoolGehrdReport rep;
+  PoolGehrdOptions opt{.nb = 16, .nx = 16};
+  opt.health = &health;
+  pool_gehrd(pool, a.view(), tau_view(tau), opt, &rep);
+
+  EXPECT_EQ(rep.outcome.status, RecoveryStatus::Clean) << "a slow member is not a loss";
+  EXPECT_EQ(rep.losses, 0);
+  EXPECT_FALSE(rep.degraded) << "the redundancy group keeps its parity member";
+  EXPECT_NE(health.state(1), obs::DeviceState::Lost);
+  EXPECT_EQ(health.state(1), obs::DeviceState::Degraded);
+  EXPECT_GE(health.snapshot(1).near_misses, 1u);
+  EXPECT_EQ(health.state(0), obs::DeviceState::Healthy);
+  EXPECT_EQ(health.snapshot(1).timeouts, 0u);
+  ASSERT_EQ(rep.health.size(), static_cast<std::size_t>(devices));
+  EXPECT_EQ(rep.health[1].state, obs::DeviceState::Degraded);
+
+  auto v = lapack::verify_reduction(orig.cview(), a.cview(), tau_cview(tau));
+  EXPECT_TRUE(v.hessenberg);
+  EXPECT_LT(v.residual, 1e-14);
+}
 
 // ---- escalation beyond the correction radius --------------------------------
 

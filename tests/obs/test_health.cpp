@@ -1,0 +1,141 @@
+// fth::obs health: the per-device monitor deriving the pool driver's
+// adaptive wait allowance. Latencies are injected by back-dating t0 (the
+// monitor only ever computes now − t0), so every scenario is deterministic
+// and instant — no sleeps.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "obs/health.hpp"
+#include "obs/metrics.hpp"
+
+namespace fth::obs {
+namespace {
+
+/// Record one completed wait of `latency_ms` on `device`.
+bool feed_wait(HealthMonitor& m, int device, double latency_ms, bool ok = true) {
+  return m.wait_end(device, m.wait_begin() - latency_ms, ok);
+}
+
+TEST(Health, AllowanceIsTheCeilingUntilEnoughSamples) {
+  HealthConfig cfg;
+  cfg.base_timeout_ms = 1000.0;
+  cfg.min_samples = 8;
+  HealthMonitor m(2, cfg);
+  EXPECT_DOUBLE_EQ(m.allowed_ms(0), 1000.0);
+  for (int i = 0; i < 7; ++i) feed_wait(m, 0, 1.0);
+  EXPECT_DOUBLE_EQ(m.allowed_ms(0), 1000.0) << "still below min_samples";
+  feed_wait(m, 0, 1.0);
+  EXPECT_LT(m.allowed_ms(0), 1000.0) << "adapts once min_samples waits are in";
+  EXPECT_DOUBLE_EQ(m.allowed_ms(1), 1000.0) << "per-member: device 1 saw nothing";
+}
+
+TEST(Health, AdaptiveAllowanceIsClampedBetweenFloorAndCeiling) {
+  HealthConfig cfg;
+  cfg.base_timeout_ms = 1000.0;
+  cfg.floor_ms = 100.0;
+  cfg.margin_mult = 32.0;
+  cfg.min_samples = 4;
+  HealthMonitor m(1, cfg);
+  // Sub-millisecond waits: 32 × max would be < floor — the floor wins.
+  for (int i = 0; i < 8; ++i) feed_wait(m, 0, 0.01);
+  EXPECT_DOUBLE_EQ(m.allowed_ms(0), 100.0);
+  // A 5 ms wait enters the window: allowance = 32 × 5 = 160 ms (the real
+  // clock adds a few µs between wait_begin and wait_end on top of the
+  // back-dated latency, so the product is near-exact, not exact).
+  feed_wait(m, 0, 5.0);
+  EXPECT_NEAR(m.allowed_ms(0), 160.0, 2.0);
+  // A huge wait can never push the allowance above the configured ceiling.
+  feed_wait(m, 0, 900.0);
+  EXPECT_DOUBLE_EQ(m.allowed_ms(0), 1000.0);
+  EXPECT_EQ(m.allowed(0).count(), static_cast<long long>(1000.0 * 1e6));
+}
+
+TEST(Health, NonAdaptiveConfigPinsTheCeiling) {
+  HealthConfig cfg;
+  cfg.base_timeout_ms = 250.0;
+  cfg.adaptive = false;
+  cfg.min_samples = 1;
+  HealthMonitor m(1, cfg);
+  for (int i = 0; i < 16; ++i) feed_wait(m, 0, 0.1);
+  EXPECT_DOUBLE_EQ(m.allowed_ms(0), 250.0);
+}
+
+TEST(Health, NearMissDegradesAndCleanWaitsRecover) {
+  HealthConfig cfg;
+  cfg.base_timeout_ms = 200.0;
+  cfg.adaptive = false;  // fixed allowance makes the near-miss bar exact
+  cfg.degraded_frac = 0.5;
+  cfg.degraded_hold = 4;
+  HealthMonitor m(1, cfg);
+  EXPECT_EQ(m.state(0), DeviceState::Healthy);
+  feed_wait(m, 0, 150.0);  // 75% of the 200 ms allowance
+  EXPECT_EQ(m.state(0), DeviceState::Degraded);
+  const DeviceHealthSnapshot s = m.snapshot(0);
+  EXPECT_EQ(s.near_misses, 1u);
+  EXPECT_NEAR(s.worst_frac, 0.75, 0.05);
+  for (int i = 0; i < 3; ++i) feed_wait(m, 0, 1.0);
+  EXPECT_EQ(m.state(0), DeviceState::Degraded) << "hold not yet served";
+  feed_wait(m, 0, 1.0);
+  EXPECT_EQ(m.state(0), DeviceState::Healthy) << "degraded_hold clean waits clear it";
+}
+
+TEST(Health, TimeoutMarksLostAndPassesOkThrough) {
+  HealthMonitor m(2, {});
+  EXPECT_TRUE(feed_wait(m, 0, 1.0, true));
+  EXPECT_FALSE(feed_wait(m, 1, 2000.0, false)) << "wait_end returns ok unchanged";
+  EXPECT_EQ(m.state(1), DeviceState::Lost);
+  EXPECT_EQ(m.snapshot(1).timeouts, 1u);
+  EXPECT_EQ(m.state(0), DeviceState::Healthy);
+  // Quarantine without a timed-out wait (poison detection path).
+  m.mark_lost(0);
+  EXPECT_EQ(m.state(0), DeviceState::Lost);
+}
+
+TEST(Health, WaitsFeedTheMarginHistograms) {
+  Registry::global().histogram("fault.device_loss.wait_ms").reset();
+  Registry::global().histogram("fault.device_loss.wait_margin").reset();
+  HealthConfig cfg;
+  cfg.base_timeout_ms = 100.0;
+  cfg.adaptive = false;
+  HealthMonitor m(1, cfg);
+  feed_wait(m, 0, 10.0);
+  feed_wait(m, 0, 20.0);
+  const Histogram::Snapshot waits =
+      Registry::global().histogram("fault.device_loss.wait_ms").snapshot();
+  const Histogram::Snapshot margin =
+      Registry::global().histogram("fault.device_loss.wait_margin").snapshot();
+  EXPECT_EQ(waits.count, 2u);
+  EXPECT_GE(waits.max, 15.0);
+  EXPECT_EQ(margin.count, 2u);
+  // Margin = allowed − waited: both waits left most of the 100 ms budget.
+  EXPECT_GE(margin.min, 50.0);
+  EXPECT_LE(margin.max, 100.0);
+}
+
+TEST(Health, SnapshotCarriesOccupancyAndHeartbeat) {
+  HealthMonitor m(2, {});
+  m.sample_occupancy(0, true);
+  m.sample_occupancy(0, true);
+  m.sample_occupancy(1, false);
+  feed_wait(m, 0, 1.0);
+  const std::vector<DeviceHealthSnapshot> all = m.snapshot();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].device, 0);
+  EXPECT_GT(all[0].occupancy_ewma, 0.5);
+  EXPECT_DOUBLE_EQ(all[1].occupancy_ewma, 0.0);
+  EXPECT_EQ(all[0].waits, 1u);
+  EXPECT_GE(all[0].heartbeat_age_ms, 0.0);
+}
+
+TEST(Health, EnvOverridesTheBaseTimeout) {
+  ASSERT_EQ(::setenv("FTH_POOL_TIMEOUT_MS", "1234.5", 1), 0);
+  EXPECT_DOUBLE_EQ(HealthMonitor::env_base_timeout_ms(2000.0), 1234.5);
+  ASSERT_EQ(::setenv("FTH_POOL_TIMEOUT_MS", "nonsense", 1), 0);
+  EXPECT_DOUBLE_EQ(HealthMonitor::env_base_timeout_ms(2000.0), 2000.0);
+  ASSERT_EQ(::unsetenv("FTH_POOL_TIMEOUT_MS"), 0);
+  EXPECT_DOUBLE_EQ(HealthMonitor::env_base_timeout_ms(750.0), 750.0);
+}
+
+}  // namespace
+}  // namespace fth::obs

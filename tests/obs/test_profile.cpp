@@ -10,7 +10,9 @@
 #include "common/json.hpp"
 #include "fault/injector.hpp"
 #include "ft/ft_gehrd.hpp"
+#include "ft/pool_gehrd.hpp"
 #include "hybrid/hybrid_gehrd.hpp"
+#include "hybrid/pool.hpp"
 #include "la/generate.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
@@ -111,6 +113,11 @@ TEST(ProfileBuilder, PerDeviceOccupancySplitsAcrossDeviceTracks) {
   ASSERT_EQ(occ.as_array().size(), 2u);
   EXPECT_NEAR(occ.as_array()[0].as_number(), 0.75, 1e-9);
   EXPECT_NEAR(occ.as_array()[1].as_number(), 0.25, 1e-9);
+
+  // A replayed trace has no ordinal channel: the ordinal-keyed map stays
+  // empty and its JSON key is omitted (legacy baselines gate untouched).
+  EXPECT_TRUE(rep.per_device_by_ordinal.empty());
+  EXPECT_EQ(v.at("overlap").find("stream_occupancy_by_device"), nullptr);
 }
 
 TEST(ProfileBuilder, HostOnlyWindowStillEmitsTheOccupancyArray) {
@@ -244,6 +251,42 @@ TEST(ProfileLive, FtRunProducesAttributedReport) {
   EXPECT_GT(v.at("iterations").at("count").as_number(), 0.0);
   ASSERT_TRUE(v.at("phases").is_array());
   EXPECT_EQ(v.at("phases").as_array().size(), rep.phases.size());
+}
+
+TEST(ProfileLive, OrdinalKeyedOccupancyAttributesPoolMembers) {
+  // A live pool run: each member's worker self-reports its pool ordinal, so
+  // the report carries occupancy both as the anonymous sorted array (the
+  // gating metric) and keyed by ordinal (the attribution map, ISSUE 8).
+  const index_t n = 96;
+  hybrid::DevicePool pool({.devices = 2});
+  Matrix<double> a = random_matrix(n, n, 11);
+  std::vector<double> tau(static_cast<std::size_t>(n - 1));
+  obs::profile_start();
+  ft::pool_gehrd(pool, a.view(), VectorView<double>(tau.data(), n - 1), {.nb = 16, .nx = 16});
+  const obs::ProfileReport rep = obs::profile_stop();
+
+  ASSERT_EQ(rep.per_device_by_ordinal.size(), 2u);
+  EXPECT_EQ(rep.per_device_by_ordinal[0].first, 0);
+  EXPECT_EQ(rep.per_device_by_ordinal[1].first, 1);
+  double sum_by_ordinal = 0.0;
+  for (const auto& [ordinal, occ] : rep.per_device_by_ordinal) {
+    EXPECT_GT(occ, 0.0) << "dev" << ordinal;
+    EXPECT_LE(occ, 1.0) << "dev" << ordinal;
+    sum_by_ordinal += occ;
+  }
+  // Same per-track quantities as the sorted array, just attributed.
+  ASSERT_EQ(rep.per_device_occupancy.size(), 2u);
+  double sum_sorted = 0.0;
+  for (const double occ : rep.per_device_occupancy) sum_sorted += occ;
+  EXPECT_NEAR(sum_by_ordinal, sum_sorted, 1e-9);
+
+  const json::Value v = json::parse(rep.to_json());
+  const json::Value* by_dev = v.at("overlap").find("stream_occupancy_by_device");
+  ASSERT_NE(by_dev, nullptr);
+  ASSERT_TRUE(by_dev->is_object());
+  ASSERT_EQ(by_dev->as_object().size(), 2u);
+  EXPECT_NEAR(by_dev->at("0").as_number(), rep.per_device_by_ordinal[0].second, 1e-9);
+  EXPECT_NEAR(by_dev->at("1").as_number(), rep.per_device_by_ordinal[1].second, 1e-9);
 }
 
 TEST(ProfileLive, WaitPhasesSplitByCallSite) {

@@ -15,24 +15,41 @@
 #include "check/access.hpp"
 #include "check/effects.hpp"
 #include "obs/dag.hpp"
+#include "obs/incident.hpp"
+#include "obs/journal.hpp"
 #include "obs/trace.hpp"
 
 int main(int argc, char** argv) {
   fth::obs::trace_init_from_env();  // arm FTH_DAG exactly as a bench would
+  fth::obs::journal_init_from_env();    // FTH_JOURNAL
+  fth::obs::incident_init_from_env();   // FTH_INCIDENT (also arms the journal)
   const bool in = fth::check::compiled_in();
   const bool eff_in = fth::check::effects_compiled_in();
   const bool dag_on = fth::obs::dag::enabled();
+  const bool journal_on = fth::obs::journal_enabled();
+  const bool incident_on = fth::obs::incident_enabled();
   std::printf("checker_compiled_in=%d\n", in ? 1 : 0);
   std::printf("checker_active=%d\n", fth::check::active() ? 1 : 0);
   std::printf("effects_compiled_in=%d\n", eff_in ? 1 : 0);
   std::printf("effects_active=%d\n", fth::check::effects_active() ? 1 : 0);
   std::printf("dag_enabled=%d\n", dag_on ? 1 : 0);
+  std::printf("journal_enabled=%d\n", journal_on ? 1 : 0);
+  std::printf("incident_enabled=%d\n", incident_on ? 1 : 0);
 #ifdef NDEBUG
   std::printf("build_ndebug=1\n");
 #else
   std::printf("build_ndebug=0\n");
 #endif
   for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--expect-off") == 0 && (journal_on || incident_on)) {
+      std::fprintf(stderr,
+                   "fth_checkinfo: %s is armed in this environment but "
+                   "--expect-off was given (Release bench numbers must run "
+                   "with the journal/incident hooks on the one-relaxed-load "
+                   "off path)\n",
+                   incident_on ? "FTH_INCIDENT" : "FTH_JOURNAL");
+      return 1;
+    }
     if (std::strcmp(argv[i], "--expect-off") == 0 && (in || eff_in || dag_on)) {
       if (dag_on) {
         std::fprintf(stderr,
