@@ -1,0 +1,202 @@
+// Two-stream lookahead pipeline — the seeded fth_analyze v2 fixture.
+//
+// This is the shape ROADMAP item 1 (the paper's Algorithm 2/3 lookahead)
+// will take, distilled: the NEXT panel's d2h is started at the bottom of
+// each iteration and stays in flight ACROSS the loop back-edge, retired
+// by an Event wait at the top of the next iteration; pipeline stages are
+// factored into helper member functions (analyzed via interprocedural
+// summaries, DESIGN.md §11.3); a second DevicePool member stages shard
+// results into the compute stream through a wait_event edge; and a
+// checksum stage re-encodes FT-protected device storage from host truth
+// before a task writes the coupling entry. Every host wait on a pool
+// member's Event is a bounded wait_for (DESIGN.md §13).
+//
+// `fth_analyze examples/lookahead_pipeline.cpp` proves all of this clean.
+// tests/check/test_analyze.cpp deletes each ordering edge of this file in
+// memory and asserts the expected rule fires at the exact line — so the
+// fixture is also the regression suite for the loop-carried pass. Keep
+// edits here in sync with the kFixtureSeeds table there.
+//
+//   ./lookahead_pipeline [--n 96] [--nb 16]
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "check/effects.hpp"
+#include "common/options.hpp"
+#include "hybrid/dev_blas.hpp"
+#include "hybrid/device.hpp"
+#include "hybrid/pool.hpp"
+#include "la/generate.hpp"
+#include "la/matrix.hpp"
+
+using namespace fth;
+
+namespace {
+
+constexpr std::chrono::milliseconds kHealthTimeout{2000};
+
+/// A toy two-device lookahead pipeline over the columns of an n×n
+/// matrix: host "factorization" of panel i overlapped with the device
+/// trailing update and with the d2h of panel i+1.
+class LookaheadPipeline {
+ public:
+  LookaheadPipeline(hybrid::DevicePool& pool, index_t n, index_t nb)
+      : pool_(&pool),
+        n_(n),
+        nb_(nb),
+        d_a_(pool.device(0), n, n, "look.d_a"),
+        d_w_(pool.device(0), nb, n, "look.d_w"),
+        d_chk_(pool.device(0), 1, n, "look.d_chk"),
+        d_g_(pool.device(1), 1, n, "look.d_g"),
+        panel_host_(n, nb),
+        stage_host_(1, n),
+        y_host_(1, n),
+        chk_host_(1, n),
+        chk_seg_(1, nb),
+        expected_(1, n) {}
+
+  void run(MatrixView<double> a) {
+    hybrid::Stream& sc = pool_->stream(0);
+    hybrid::Stream& sd = pool_->stream(1);
+    copy_h2d(sc, MatrixView<const double>(a), d_a_.view());
+
+    // Prime the pipeline: panel 0 starts travelling before the loop.
+    start_panel_d2h(sc, 0);
+
+    index_t panels = 0;
+    for (index_t i = 0; i < n_; i += nb_) {
+      // The cross-iteration edge: the d2h started at the bottom of the
+      // previous iteration (or the priming copy) must land before the
+      // host factors the panel it wrote. Deleting this wait is a
+      // loop-carried-race, not a straight-line one — the transfer is
+      // only in flight here via the loop back-edge.
+      if (!panel_ready_.wait_for(kHealthTimeout)) throw std::runtime_error("device 0 lost");
+
+      factor_panel(panel_host_.view(), i);
+      copy_h2d_async(sc, panel_host_.cview(), d_a_.block(0, i, n_, nb_));
+
+      // Device trailing update, FIFO-ordered after the panel h2d.
+      const index_t tn = n_ - (i + nb_);
+      if (tn > 0) {
+        hybrid::gemm_async(sc, Trans::No, Trans::No, -1.0, d_a_.block(0, i, n_, nb_),
+                           d_w_.block(0, i + nb_, nb_, tn), 1.0, d_a_.block(0, i + nb_, n_, tn));
+      }
+
+      stage_shard(sd, sc, i);
+      verify_checksum(sc);
+      refresh_checksum(sc, i);
+
+      // Lookahead: ship the NEXT panel while the update still runs. The
+      // transfer crosses the back-edge in flight; iteration i+1's
+      // wait_for above is the edge that retires it.
+      if (i + nb_ < n_) start_panel_d2h(sc, i + nb_);
+      ++panels;
+    }
+    sc.synchronize();
+    std::printf("lookahead pipeline: %lld panels of %lld columns, all edges held\n",
+                static_cast<long long>(panels), static_cast<long long>(nb_));
+  }
+
+ private:
+  /// Start the asynchronous d2h of panel `i` into panel_host_ and
+  /// record the Event the next iteration's top-of-loop wait retires it
+  /// with. Stream side-effects of a helper are spliced into the caller
+  /// by fth_analyze's function summaries — this stays fully analyzed.
+  void start_panel_d2h(hybrid::Stream& sc, index_t i) {
+    copy_d2h_async(sc, d_a_.block(0, i, n_, nb_), panel_host_.view());
+    panel_ready_ = sc.record();
+  }
+
+  /// Host "factorization" of one panel: scale each column by its
+  /// leading entry. Stands in for the LAPACK panel kernel.
+  void factor_panel(MatrixView<double> panel, index_t i) {
+    for (index_t j = 0; j < nb_; ++j) {
+      const double head = panel(i + j, j);
+      const double inv = std::abs(head) > 1.0 ? 1.0 / head : 1.0;
+      for (index_t r = 0; r < n_; ++r) panel(r, j) *= inv;
+    }
+  }
+
+  /// Shard stage on the second pool member: d2h its row into host
+  /// staging, then reduce into y_host_ on the COMPUTE stream. The
+  /// wait_event edge is what orders the reduce after the transfer —
+  /// FIFO order only covers same-stream pairs (DESIGN.md §13).
+  void stage_shard(hybrid::Stream& sd, hybrid::Stream& sc, index_t i) {
+    copy_d2h_async(sd, d_g_.view(), stage_host_.view());
+    const hybrid::Event shard_done = sd.record();
+    sc.wait_event(shard_done);
+    sc.enqueue("look.reduce", FTH_TASK_EFFECTS(FTH_READS(stage_host_.view()) FTH_WRITES(y_host_.view())),
+               [sg = stage_host_.cview(), yh = y_host_.view(), n = n_] {
+                 for (index_t c = 0; c < n; ++c) yh(0, c) += sg(0, c);
+               });
+    if (!shard_done.wait_for(kHealthTimeout)) throw std::runtime_error("device 1 lost");
+  }
+
+  /// Compare the maintained device checksum against the host-kept
+  /// expectation. The bounded wait is the edge that lets the host read
+  /// chk_host_; deleting it races the readback d2h.
+  void verify_checksum(hybrid::Stream& sc) {
+    copy_d2h_async(sc, d_chk_.view(), chk_host_.view());
+    const hybrid::Event chk_ready = sc.record();
+    if (!chk_ready.wait_for(kHealthTimeout)) throw std::runtime_error("device 0 lost");
+    double drift = 0.0;
+    for (index_t c = 0; c < n_; ++c) drift = std::max(drift, std::abs(chk_host_(0, c) - expected_(0, c)));
+    if (drift > 1e-9) throw std::runtime_error("checksum drift — transient error");
+  }
+
+  /// Re-encode the finished panel's checksum segment from host truth,
+  /// then couple the trailing entry in a device task. The h2d re-encode
+  /// is what sanctions the task's FTH_WRITES over the protected d_chk_
+  /// storage — without it the write is a stale-checksum-write.
+  void refresh_checksum(hybrid::Stream& sc, index_t i) {
+    double e_last = 0.0;
+    for (index_t j = 0; j < nb_; ++j) {
+      double colsum = 0.0;
+      for (index_t r = 0; r < n_; ++r) colsum += panel_host_(r, j);
+      chk_seg_(0, j) = colsum;
+      expected_(0, i + j) = colsum;
+      e_last = colsum;
+    }
+    copy_h2d_async(sc, chk_seg_.cview(), d_chk_.block(0, i, 1, nb_));
+    if (i + nb_ < n_) {
+      auto c = d_chk_.view();
+      sc.enqueue("look.chk_couple", FTH_TASK_EFFECTS(FTH_WRITES(d_chk_.view())),
+                 [c, i, nb = nb_, e_last] { c.in_task()(0, i + nb) += e_last; });
+      expected_(0, i + nb_) += e_last;
+    }
+  }
+
+  hybrid::DevicePool* pool_;
+  index_t n_;
+  index_t nb_;
+  hybrid::DeviceMatrix<double> d_a_;
+  hybrid::DeviceMatrix<double> d_w_;
+  hybrid::DeviceMatrix<double> d_chk_;
+  hybrid::DeviceMatrix<double> d_g_;
+  Matrix<double> panel_host_;
+  Matrix<double> stage_host_;
+  Matrix<double> y_host_;
+  Matrix<double> chk_host_;
+  Matrix<double> chk_seg_;
+  Matrix<double> expected_;
+  hybrid::Event panel_ready_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt(argc, argv);
+  const index_t n = opt.get_long("n", 96);
+  const index_t nb = opt.get_long("nb", 16);
+  if (n % nb != 0 || nb <= 0) {
+    std::fprintf(stderr, "lookahead_pipeline: n must be a positive multiple of nb\n");
+    return 1;
+  }
+  hybrid::DevicePool pool({.devices = 2});
+  Matrix<double> a = random_matrix(n, n, 7);
+  LookaheadPipeline pipe(pool, n, nb);
+  pipe.run(a.view());
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "check/analyze.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <map>
 #include <set>
 #include <string>
@@ -21,6 +23,10 @@ bool ends_with(const std::string& s, const char* suffix) {
   return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
 }
 
+bool contains(const std::string& s, const char* needle) {
+  return s.find(needle) != std::string::npos;
+}
+
 /// Words that cannot be the host-buffer root of a transfer argument:
 /// type spellings, namespaces, and qualifiers that precede the actual
 /// variable in expressions like `a.view(...)` or `host.cview()`.
@@ -37,14 +43,86 @@ bool is_type_word(const std::string& id) {
   return kWords.count(id) > 0;
 }
 
-/// One still-in-flight asynchronous copy: the symbolic analogue of the
-/// runtime checker's transfer table (access.cpp host_touch_locked).
+/// FT-protected checksum storage, by the repo's naming convention: a
+/// device-resident buffer whose name carries `chk` (d_chke_, d_chkw_,
+/// d_chkc_, d_chkr_, ...). The stale-checksum-write rule guards tasks
+/// that declare writes over these roots (DESIGN.md §11.4).
+bool is_protected_chk_root(const std::string& root) {
+  return starts_with(root, "d_") && contains(root, "chk");
+}
+
+/// The symbolic analogue of the runtime checker's transfer table: one
+/// still-in-flight asynchronous copy (access.cpp host_touch_locked).
 struct Transfer {
   char dir = 'h';    ///< 'h' = h2d (host side is read), 'd' = d2h (host side is written)
   std::string root;  ///< host-buffer root symbol, e.g. y_host
   std::string stream;  ///< stream argument's root symbol, e.g. s_ / sd (pool drivers)
   std::uint64_t ticket = 0;
-  int line = 0;  ///< line the copy was enqueued on
+  int line = 0;        ///< line the copy was enqueued on
+  bool fresh = false;  ///< created by the summary replay currently running
+  bool carried = false;  ///< crossed a loop back-edge from the previous iteration
+};
+
+/// Event binding: the marker ticket, the recording stream, and whether
+/// that stream is a DevicePool member's (unbounded-pool-wait rule).
+struct EventBind {
+  std::uint64_t marker = 0;
+  std::string stream;
+  bool pool = false;
+};
+
+// ---- function summaries (DESIGN.md §11.3) -----------------------------------
+
+/// One effect root of a declared task footprint.
+struct EffRoot {
+  std::string root;
+  bool write = false;
+};
+
+/// One abstract stream-timeline operation. A function summary is the
+/// sequence of these its body performs; call sites replay the callee's
+/// (resolved) sequence with argument-to-parameter substitution.
+struct Op {
+  enum Kind {
+    kTick,       ///< n FIFO-ordered device ops with no host footprint
+    kTransfer,   ///< copy_{h2d,d2h}[_async]; dir, root (host side), stream, dest
+    kEnqueue,    ///< declared task: label, stream, effects
+    kRecord,     ///< event = stream.record() binding
+    kWaitHost,   ///< event.wait()/ready()/wait_for() from the host
+    kWaitEvent,  ///< consumer.wait_event(event)
+    kSync,       ///< stream.synchronize()
+    kHostTouch,  ///< host-code mention of a root; flag = write
+    kHostView,   ///< hybrid::host_view(...)
+    kEncode,     ///< *encode* call: sanctions checksum writes until the next verify
+    kVerify,     ///< *verify* call: a checksum comparison point
+    kCall,       ///< unresolved call to a TU-local function (resolve_summary)
+  };
+  Kind kind = kTick;
+  int line = 0;
+  int n = 1;           ///< kTick: how many tickets
+  char dir = 'd';      ///< kTransfer
+  bool flag = false;   ///< kTransfer: synchronous; kWaitHost: bounded; kHostTouch: write
+  std::string a;       ///< root / event / label / callee name
+  std::string b;       ///< stream / consumer
+  std::string dest;    ///< kTransfer h2d: destination root (re-encode marker)
+  std::vector<EffRoot> effects;    ///< kEnqueue
+  std::vector<std::string> args;   ///< kCall: argument root symbols
+};
+
+struct Summary {
+  std::vector<std::string> params;
+  std::vector<Op> raw;       ///< as emitted (kCall unresolved)
+  std::vector<Op> ops;       ///< resolved: kCall spliced, names substituted
+  bool resolved = false;
+  bool resolving = false;    ///< cycle guard: a recursive call is dropped
+};
+
+/// A top-level function definition found in the TU.
+struct FuncDef {
+  std::string name;  ///< unqualified; empty for operators/lambdas
+  std::vector<std::string> params;
+  std::size_t body_begin = 0;  ///< first token inside the `{`
+  std::size_t body_end = 0;    ///< the matching `}` token
 };
 
 struct Engine {
@@ -54,18 +132,32 @@ struct Engine {
   Stats stats;
   bool effects_scoped = false;  ///< undeclared-task rule applies to this file
 
+  std::vector<FuncDef> defs;
+  std::map<std::string, Summary> summaries;
+
+  // ---- walk mode ----
+  bool summarizing = false;       ///< pass 1: emit ops, no findings
+  std::vector<Op>* sink = nullptr;  ///< pass-1 op sink
+  int replay_depth = 0;           ///< > 0 while splicing a callee summary
+  int second_pass_depth = 0;      ///< > 0 inside a loop body's second walk
+  int replay_line = 0;            ///< call-site line replay findings anchor on
+  std::string replay_callee;      ///< helper name, for replay messages
+
   // ---- per-function symbolic stream state ----
   std::uint64_t ticket = 0;  ///< tickets issued so far (tail of the stream)
   std::uint64_t synced = 0;  ///< highest ticket known host-ordered
   std::vector<Transfer> live;
-  std::map<std::string, std::uint64_t> events;  ///< Event name -> marker ticket
-  /// Event name -> stream the record() ran on; pool drivers use this to
-  /// prove cross-stream wait_event edges (DESIGN.md §13).
-  std::map<std::string, std::string> event_stream;
+  std::map<std::string, EventBind> events;
   /// consumer stream -> producer stream -> highest marker ticket a
   /// wait_event edge carries across. Device-side ordering, so host
   /// retirement (synced) never changes it.
   std::map<std::string, std::map<std::string, std::uint64_t>> xedges;
+  /// Streams bound from a DevicePool member (`sd = pool.stream(d)`).
+  std::set<std::string> pool_streams;
+  /// Checksum roots re-encoded from host truth since the last verify,
+  /// and the wildcard an *encode* call raises (stale-checksum-write).
+  std::set<std::string> reencoded;
+  bool reencode_all = false;
   std::set<std::string> dedupe;
 
   void reset_function_state() {
@@ -73,9 +165,13 @@ struct Engine {
     synced = 0;
     live.clear();
     events.clear();
-    event_stream.clear();
     xedges.clear();
+    pool_streams.clear();
+    reencoded.clear();
+    reencode_all = false;
   }
+
+  bool counting() const { return !summarizing && second_pass_depth == 0; }
 
   // ---- token helpers ----
   bool is_punct(std::size_t i, const char* p) const {
@@ -105,6 +201,19 @@ struct Engine {
       if (t[j].text == "[") {
         ++d;
       } else if (t[j].text == "]") {
+        if (--d == 0) return j;
+      }
+    }
+    return t.empty() ? 0 : t.size() - 1;
+  }
+
+  std::size_t close_brace(std::size_t open) const {
+    int d = 0;
+    for (std::size_t j = open; j < t.size(); ++j) {
+      if (t[j].kind != Tok::Punct) continue;
+      if (t[j].text == "{") {
+        ++d;
+      } else if (t[j].text == "}") {
         if (--d == 0) return j;
       }
     }
@@ -208,6 +317,7 @@ struct Engine {
   }
 
   void report(int line, const char* rule, std::string message, std::string edge = {}) {
+    if (summarizing) return;  // pass 2 re-walks everything and reports
     std::string key = std::to_string(line);
     key += ':';
     key += rule;
@@ -237,6 +347,319 @@ struct Engine {
     live.swap(keep);
   }
 
+  /// The line a replay finding anchors on (the call site) and the
+  /// suffix naming the helper whose summary surfaced it.
+  int anchor(int op_line) const { return replay_depth > 0 ? replay_line : op_line; }
+  std::string via() const {
+    return replay_depth > 0 ? " (via the summary of '" + replay_callee + "(...)')" : "";
+  }
+
+  // ---- pass-1 op emission -----------------------------------------------
+
+  void emit(Op op) {
+    if (sink == nullptr) return;
+    if (op.kind == Op::kTick && !sink->empty() && sink->back().kind == Op::kTick) {
+      sink->back().n += op.n;  // coalesce runs of anonymous device ops
+      return;
+    }
+    if (op.kind == Op::kHostTouch) {
+      // Summaries carry only the touches a caller could alias: the
+      // function's parameters and class members (trailing underscore).
+      // Keep the first read and first write per root — the earliest
+      // touch is the one with the fewest retirements before it, so if
+      // it does not race at a call site, no later one can.
+      const bool aliasable =
+          ends_with(op.a, "_") ||
+          std::find(cur_params_.begin(), cur_params_.end(), op.a) != cur_params_.end();
+      if (!aliasable) return;
+      for (const Op& prev : *sink)
+        if (prev.kind == Op::kHostTouch && prev.a == op.a && prev.flag == op.flag) return;
+    }
+    sink->push_back(std::move(op));
+  }
+
+  std::vector<std::string> cur_params_;  ///< pass-1: parameters of the function being summarized
+
+  // ---- op application (shared by direct walking and summary replay) ------
+
+  void apply_tick(const Op& op) { ticket += static_cast<std::uint64_t>(op.n); }
+
+  void apply_transfer(const Op& op) {
+    ++ticket;
+    if (counting()) ++stats.transfers;
+    // An h2d from host truth into protected checksum storage is the
+    // re-encode marker the stale-checksum-write rule looks for.
+    if (op.dir == 'h' && is_protected_chk_root(op.dest)) reencoded.insert(op.dest);
+    if (op.flag) {
+      // Synchronous copy = enqueue + synchronize(): everything earlier
+      // (itself included) is host-ordered when the call returns.
+      retire_all();
+      return;
+    }
+    if (!op.a.empty())
+      live.push_back({op.dir, op.a, op.b, ticket, op.line, replay_depth > 0, false});
+  }
+
+  const char* race_rule(const Transfer& tr) const {
+    return tr.carried ? "loop-carried-race" : "transfer-race";
+  }
+
+  void apply_enqueue(const Op& op) {
+    ++ticket;
+    if (counting()) ++stats.enqueues;
+    check_task_effects(op);
+  }
+
+  /// The declared-footprint checks: cross-stream/loop-carried races and
+  /// stale checksum writes. Pool drivers (DESIGN.md §13): a task
+  /// enqueued on one stream whose declared footprint covers the host
+  /// side of a transfer still in flight on ANOTHER stream races it —
+  /// FIFO order only covers same-stream pairs — unless a wait_event
+  /// edge carries the producer's Event marker (recorded at/after the
+  /// transfer) into the consumer's queue.
+  void check_task_effects(const Op& op) {
+    const std::string& consumer = op.b;
+    for (const EffRoot& eff : op.effects) {
+      if (eff.write && is_protected_chk_root(eff.root) && !reencode_all &&
+          reencoded.count(eff.root) == 0) {
+        report(anchor(op.line), "stale-checksum-write",
+               "task \"" + op.a + "\" declares FTH_WRITES over the FT-protected checksum "
+                   "storage '" + eff.root +
+                   "' with no dominating re-encode since the last checksum comparison" +
+                   via() + "; the maintained code would drift from what the next verify "
+                   "compares (DESIGN.md §7)",
+               "re-encode '" + eff.root +
+                   "' from host truth (an h2d refresh, or an *encode* call) between the "
+                   "last verify and this write");
+      }
+      if (consumer.empty()) continue;
+      const Transfer* hit = nullptr;
+      for (const auto& tr : live) {
+        if (tr.root != eff.root || tr.stream.empty() || tr.stream == consumer) continue;
+        if (tr.fresh && replay_depth > 0) continue;  // callee-internal pair, checked there
+        const auto ci = xedges.find(consumer);
+        bool covered = false;
+        if (ci != xedges.end()) {
+          const auto ei = ci->second.find(tr.stream);
+          covered = ei != ci->second.end() && ei->second >= tr.ticket;
+        }
+        if (!covered) {
+          hit = &tr;
+          break;
+        }
+      }
+      if (hit == nullptr) continue;
+      const std::string nticket = std::to_string(hit->ticket);
+      const char* rule = hit->carried ? "loop-carried-race" : "cross-stream-race";
+      const std::string carried_note =
+          hit->carried ? " of the previous loop iteration (the transfer crossed the "
+                         "back-edge still in flight)"
+                       : "";
+      report(anchor(op.line), rule,
+             "task \"" + op.a + "\" on stream '" + consumer + "' declares '" + eff.root +
+                 "' while the " + (hit->dir == 'h' ? "h2d" : "d2h") +
+                 " transfer enqueued at line " + std::to_string(hit->line) + carried_note +
+                 " (ticket " + nticket + ") is still in flight on stream '" + hit->stream +
+                 "': no wait_event edge orders the transfer first" + via(),
+             consumer + ".wait_event(<Event recorded on '" + hit->stream +
+                 "' at/after ticket " + nticket + ">) before enqueueing this task");
+      drop_root(eff.root);  // one missing edge -> one finding, not one per task
+    }
+  }
+
+  void apply_record(const Op& op) {
+    ++ticket;  // the record marker is itself an enqueued task
+    const bool pool = pool_streams.count(op.b) > 0 || contains(op.b, "pool");
+    events[op.a] = {ticket, op.b, pool};
+    if (counting()) ++stats.records;
+  }
+
+  void apply_wait_host(const Op& op) {
+    const auto it = events.find(op.a);
+    if (it == events.end()) return;  // unknown receiver: not an ordering edge
+    if (!op.flag && it->second.pool) {
+      report(anchor(op.line), "unbounded-pool-wait",
+             "plain wait() on Event '" + op.a + "' recorded on DevicePool member stream '" +
+                 it->second.stream + "'" + via() +
+                 "; a lost device dooms its stream and a plain wait() hangs forever "
+                 "(DESIGN.md §13)",
+             "use wait_for(timeout) and treat a false return as the device-lost signal");
+    }
+    retire_through(it->second.marker);
+    if (counting()) ++stats.waits;
+  }
+
+  void apply_wait_event(const Op& op) {
+    ++ticket;  // the wait marker is itself an enqueued task
+    const auto it = events.find(op.a);
+    if (op.b.empty() || it == events.end()) return;
+    const std::string& producer = it->second.stream;
+    if (producer.empty()) return;
+    std::uint64_t& thru = xedges[op.b][producer];
+    if (it->second.marker > thru) thru = it->second.marker;
+  }
+
+  void apply_sync(const Op&) {
+    retire_all();
+    if (counting()) ++stats.syncs;
+  }
+
+  void apply_host_touch(const Op& op) {
+    const Transfer* hit = nullptr;
+    for (const auto& tr : live) {
+      if (tr.root != op.a) continue;
+      if (tr.fresh && replay_depth > 0) continue;  // callee-internal pair, checked there
+      if (tr.dir == 'd') {  // d2h writes the host side: any mention races
+        hit = &tr;
+        break;
+      }
+      if (hit == nullptr) hit = &tr;  // h2d candidate; keep looking for a d2h
+    }
+    if (hit == nullptr) return;
+    if (hit->dir == 'h' && !op.flag) return;  // h2d only reads host memory
+    const std::string nticket = std::to_string(hit->ticket);
+    const std::string carried_note =
+        hit->carried ? " of the previous loop iteration (the transfer crossed the loop "
+                       "back-edge still in flight)"
+                     : "";
+    report(anchor(op.line), race_rule(*hit),
+           "host " + std::string(hit->dir == 'h' ? "write to '" : "access to '") + op.a +
+               "' races the in-flight " + (hit->dir == 'h' ? "h2d" : "d2h") +
+               " transfer enqueued at line " + std::to_string(hit->line) + carried_note +
+               " (ticket " + nticket + "): no happens-before edge orders the transfer first" +
+               via(),
+           "wait on an Event recorded at/after ticket " + nticket +
+               " of the stream (or synchronize()) before this access");
+    drop_root(op.a);  // one missing edge -> one finding, not one per mention
+  }
+
+  void apply_host_view(const Op& op) {
+    if (synced >= ticket) return;
+    report(anchor(op.line), "stream-not-idle",
+           "hybrid::host_view() reached with enqueued work possibly in flight "
+           "(tail ticket " +
+               std::to_string(ticket) + ", host-ordered through " + std::to_string(synced) +
+               ")" + via(),
+           "synchronize() the stream (or wait on an Event recorded at/after ticket " +
+               std::to_string(ticket) + ") before taking a host view");
+    retire_all();  // the runtime gate would stop here; avoid cascades
+  }
+
+  void apply_op(const Op& op) {
+    switch (op.kind) {
+      case Op::kTick: apply_tick(op); break;
+      case Op::kTransfer: apply_transfer(op); break;
+      case Op::kEnqueue: apply_enqueue(op); break;
+      case Op::kRecord: apply_record(op); break;
+      case Op::kWaitHost: apply_wait_host(op); break;
+      case Op::kWaitEvent: apply_wait_event(op); break;
+      case Op::kSync: apply_sync(op); break;
+      case Op::kHostTouch: apply_host_touch(op); break;
+      case Op::kHostView: apply_host_view(op); break;
+      case Op::kEncode: reencode_all = true; break;
+      case Op::kVerify:
+        reencoded.clear();
+        reencode_all = false;
+        break;
+      case Op::kCall: break;  // resolved away before application
+    }
+  }
+
+  /// Emit (pass 1) and apply an op. Application runs in both passes so
+  /// pass-1 state (event/pool-stream bindings) is available when
+  /// marking summary ops; findings are suppressed while summarizing.
+  void step(Op op) {
+    emit(op);
+    apply_op(op);
+  }
+
+  // ---- summary resolution -------------------------------------------------
+
+  /// Substitute callee-local names for call-site names: parameters map
+  /// to argument roots, members (trailing `_`) are shared state and
+  /// pass through, everything else is prefixed with the callee name so
+  /// helper locals can never collide with caller locals.
+  static std::string subst_name(const std::string& name,
+                                const std::map<std::string, std::string>& map,
+                                const std::string& callee) {
+    if (name.empty()) return name;
+    const auto it = map.find(name);
+    if (it != map.end()) return it->second;
+    if (ends_with(name, "_")) return name;
+    if (contains(name, "::")) return name;  // already qualified by a nested splice
+    return callee + "::" + name;
+  }
+
+  static Op subst_op(Op op, const std::map<std::string, std::string>& map,
+                     const std::string& callee) {
+    op.a = subst_name(op.a, map, callee);
+    op.b = subst_name(op.b, map, callee);
+    op.dest = subst_name(op.dest, map, callee);
+    for (EffRoot& eff : op.effects) eff.root = subst_name(eff.root, map, callee);
+    for (std::string& arg : op.args) arg = subst_name(arg, map, callee);
+    return op;
+  }
+
+  static std::map<std::string, std::string> param_map(const std::vector<std::string>& params,
+                                                      const std::vector<std::string>& args) {
+    std::map<std::string, std::string> map;
+    for (std::size_t k = 0; k < params.size() && k < args.size(); ++k)
+      if (!params[k].empty() && !args[k].empty()) map[params[k]] = args[k];
+    return map;
+  }
+
+  /// Flatten kCall ops: splice each callee's resolved summary with
+  /// argument substitution. Recursion/cycles degrade to a single tick
+  /// (the call still advances the timeline) — the may-union stays
+  /// conservative for everything a bounded expansion can see.
+  void resolve_summary(const std::string& name) {
+    Summary& sum = summaries.at(name);
+    if (sum.resolved || sum.resolving) return;
+    sum.resolving = true;
+    for (const Op& op : sum.raw) {
+      if (op.kind != Op::kCall) {
+        sum.ops.push_back(op);
+        continue;
+      }
+      const auto it = summaries.find(op.a);
+      if (it == summaries.end() || it->second.resolving) {
+        sum.ops.push_back({Op::kTick, op.line});
+        continue;
+      }
+      resolve_summary(op.a);
+      const auto map = param_map(it->second.params, op.args);
+      for (const Op& callee_op : it->second.ops)
+        sum.ops.push_back(subst_op(callee_op, map, op.a));
+    }
+    sum.resolving = false;
+    sum.resolved = true;
+  }
+
+  /// Replay a callee's resolved ops at a call site. Transfers the
+  /// callee starts are marked fresh for the duration (their pairs with
+  /// callee-internal touches were checked when the callee's own body
+  /// was analyzed); whatever is still live when the replay ends joins
+  /// the caller's timeline as ordinary in-flight work.
+  void splice_call(const std::string& callee, const std::vector<std::string>& args,
+                   int call_line) {
+    const Summary& sum = summaries.at(callee);
+    const auto map = param_map(sum.params, args);
+    const int prev_line = replay_line;
+    const std::string prev_callee = replay_callee;
+    ++replay_depth;
+    replay_line = call_line;
+    replay_callee = callee;
+    if (counting()) ++stats.calls;
+    for (const Op& op : sum.ops) apply_op(subst_op(op, map, callee));
+    --replay_depth;
+    replay_line = prev_line;
+    replay_callee = prev_callee;
+    if (replay_depth == 0)
+      for (auto& tr : live) tr.fresh = false;
+  }
+
+  // ---- token-level recognizers (build the op, then step it) ---------------
+
   /// h2d destination writes into the gehrd checksum row iff it spells
   /// `d_e_ ... .block(n_, ...)` — the one device region whose stale
   /// copy silently corrupts detection (DESIGN.md §7).
@@ -256,43 +679,38 @@ struct Engine {
     const std::size_t close = close_paren(open);
     const bool is_async = ends_with(id, "_async");
     const char dir = id.find("h2d") != std::string::npos ? 'h' : 'd';
-    ++ticket;
-    ++stats.transfers;
     const auto args = split_args(open, close);
-    std::string root;
-    std::string stream;
-    if (!args.empty()) stream = root_of(args[0].first, args[0].second);
+    Op op{Op::kTransfer, t[i].line};
+    op.dir = dir;
+    op.flag = !is_async;
+    if (!args.empty()) op.b = root_of(args[0].first, args[0].second);
     if (args.size() >= 3) {
       const auto& host_arg = dir == 'h' ? args[1] : args.back();
-      root = root_of(host_arg.first, host_arg.second);
+      op.a = root_of(host_arg.first, host_arg.second);
       if (dir == 'h') {
         const auto& dest = args.back();
-        if (dest_is_chkrow(dest.first, dest.second) && root != "new_chkrow_" &&
-            root != "ckpt_chkrow_") {
+        op.dest = root_of(dest.first, dest.second);
+        if (dest_is_chkrow(dest.first, dest.second) && op.a != "new_chkrow_" &&
+            op.a != "ckpt_chkrow_") {
           report(t[i].line, "chkrow-reencode",
-                 "h2d into the checksum row d_e_.block(n_, ...) sourced from '" + root +
+                 "h2d into the checksum row d_e_.block(n_, ...) sourced from '" + op.a +
                      "'; the row must be re-encoded from host data (new_chkrow_) or "
                      "restored from the rollback checkpoint (ckpt_chkrow_)");
         }
       }
     }
-    if (is_async) {
-      if (!root.empty()) live.push_back({dir, root, stream, ticket, t[i].line});
-    } else {
-      // Synchronous copy = enqueue + synchronize(): everything earlier
-      // (itself included) is host-ordered when the call returns.
-      retire_all();
-    }
+    step(std::move(op));
     return close;
   }
 
   std::size_t handle_enqueue(std::size_t i, std::size_t open) {
     const std::size_t close = close_paren(open);
-    ++ticket;
-    ++stats.enqueues;
+    Op op{Op::kEnqueue, t[i].line};
+    op.a = open + 1 < close && t[open + 1].kind == Tok::String ? t[open + 1].text : "?";
+    op.b = i >= 2 && is_punct(i - 1, ".") && is_ident(i - 2) ? t[i - 2].text : "";
     // Locate the FTH_TASK_EFFECTS(...) declaration once: the
-    // undeclared-task rule wants it present, the cross-stream rule
-    // reads the declared footprint out of it.
+    // undeclared-task rule wants it present, the footprint rules read
+    // the declared roots out of it.
     std::size_t fx = 0;
     for (std::size_t j = open; j < close; ++j) {
       if (t[j].kind == Tok::Ident && t[j].text == "FTH_TASK_EFFECTS") {
@@ -301,125 +719,109 @@ struct Engine {
       }
     }
     if (effects_scoped && fx == 0) {
-      const std::string label =
-          open + 1 < close && t[open + 1].kind == Tok::String ? t[open + 1].text : "?";
       report(t[i].line, "undeclared-task",
-             "stream task \"" + label +
+             "stream task \"" + op.a +
                  "\" enqueued without FTH_TASK_EFFECTS(...); declare its "
                  "FTH_READS/FTH_WRITES footprint so fth::analyze and "
                  "FTH_CHECK_EFFECTS=1 can see it");
     }
-    if (fx != 0) check_cross_stream(i, open, close, fx);
-    return close;  // the task lambda runs in task context, not here
-  }
-
-  /// Pool drivers (DESIGN.md §13): a task enqueued on one stream whose
-  /// declared footprint covers the host side of a transfer still in
-  /// flight on ANOTHER stream races it — FIFO order only covers
-  /// same-stream pairs — unless a wait_event edge carries the
-  /// producer's Event marker (recorded at/after the transfer) into the
-  /// consumer's queue. The single-stream analogue is transfer-race.
-  void check_cross_stream(std::size_t i, std::size_t open, std::size_t close,
-                          std::size_t fx) {
-    const std::string consumer =
-        i >= 2 && is_punct(i - 1, ".") && is_ident(i - 2) ? t[i - 2].text : "";
-    if (consumer.empty() || live.empty()) return;
-    const std::string label =
-        open + 1 < close && t[open + 1].kind == Tok::String ? t[open + 1].text : "?";
-    for (std::size_t j = fx; j < close; ++j) {
+    for (std::size_t j = fx; fx != 0 && j < close; ++j) {
       if (t[j].kind != Tok::Ident ||
           (t[j].text != "FTH_READS" && t[j].text != "FTH_WRITES") || !is_punct(j + 1, "("))
         continue;
+      const bool write = t[j].text == "FTH_WRITES";
       const std::size_t fo = j + 1;
       const std::size_t fc = close_paren(fo);
       for (const auto& arg : split_args(fo, fc)) {
         const std::string root = root_of(arg.first, arg.second);
-        if (root.empty()) continue;
-        const Transfer* hit = nullptr;
-        for (const auto& tr : live) {
-          if (tr.root != root || tr.stream.empty() || tr.stream == consumer) continue;
-          const auto ci = xedges.find(consumer);
-          bool covered = false;
-          if (ci != xedges.end()) {
-            const auto ei = ci->second.find(tr.stream);
-            covered = ei != ci->second.end() && ei->second >= tr.ticket;
-          }
-          if (!covered) {
-            hit = &tr;
-            break;
-          }
-        }
-        if (hit == nullptr) continue;
-        const std::string nticket = std::to_string(hit->ticket);
-        report(t[i].line, "cross-stream-race",
-               "task \"" + label + "\" on stream '" + consumer + "' declares '" + root +
-                   "' while the " + (hit->dir == 'h' ? "h2d" : "d2h") +
-                   " transfer enqueued at line " + std::to_string(hit->line) +
-                   " (ticket " + nticket + ") is still in flight on stream '" +
-                   hit->stream + "': no wait_event edge orders the transfer first",
-               consumer + ".wait_event(<Event recorded on '" + hit->stream +
-                   "' at/after ticket " + nticket + ">) before enqueueing this task");
-        drop_root(root);  // one missing edge -> one finding, not one per task
+        if (!root.empty()) op.effects.push_back({root, write});
       }
       j = fc;
     }
+    step(std::move(op));
+    return close;  // the task lambda runs in task context, not here
   }
 
-  void handle_mention(std::size_t i) {
-    const std::string& id = t[i].text;
-    // `x.id` / `x->id` / `ns::id` names a member of something else,
-    // never the tracked local buffer.
-    if (i > 0 && t[i - 1].kind == Tok::Punct &&
-        (t[i - 1].text == "." || t[i - 1].text == "->" || t[i - 1].text == "::"))
-      return;
-    const Transfer* hit = nullptr;
-    for (const auto& tr : live) {
-      if (tr.root != id) continue;
-      if (tr.dir == 'd') {  // d2h writes the host side: any mention races
-        hit = &tr;
-        break;
-      }
-      if (hit == nullptr) hit = &tr;  // h2d candidate; keep looking for a d2h
+  /// `Stream& sd = pool.stream(d)` binds a DevicePool member's stream:
+  /// Events recorded on it may never be waited unbounded.
+  void note_pool_stream_binding(std::size_t i) {
+    // i is the `stream` identifier: ... sd = <receiver> . stream ( ...
+    if (i < 4 || !(is_punct(i - 1, ".") || is_punct(i - 1, "->")) || !is_ident(i - 2)) return;
+    if (!contains(t[i - 2].text, "pool")) return;
+    if (!is_punct(i - 3, "=") || !is_ident(i - 4)) return;
+    pool_streams.insert(t[i - 4].text);
+  }
+
+  /// The statement boundary that ends a brace-less loop body: the first
+  /// `;` at paren depth 0 (a `for (...) stmt;` body is one statement).
+  std::size_t statement_end(std::size_t b, std::size_t limit) const {
+    int pd = 0;
+    for (std::size_t j = b; j < limit && j < t.size(); ++j) {
+      if (t[j].kind != Tok::Punct) continue;
+      if (t[j].text == "(") ++pd;
+      else if (t[j].text == ")") --pd;
+      else if (t[j].text == "{") return close_brace(j) + 1;
+      else if (t[j].text == ";" && pd == 0) return j;
     }
-    if (hit == nullptr) return;
-    if (hit->dir == 'h' && !is_write(i)) return;  // h2d only reads host memory
-    const std::string nticket = std::to_string(hit->ticket);
-    report(t[i].line, "transfer-race",
-           "host " + std::string(hit->dir == 'h' ? "write to '" : "access to '") + id +
-               "' races the in-flight " + (hit->dir == 'h' ? "h2d" : "d2h") +
-               " transfer enqueued at line " + std::to_string(hit->line) + " (ticket " +
-               nticket + "): no happens-before edge orders the transfer first",
-           "wait on an Event recorded at/after ticket " + nticket +
-               " of the stream (or synchronize()) before this access");
-    drop_root(id);  // one missing edge -> one finding, not one per mention
+    return limit;
   }
 
-  void run() {
-    int depth = 0;
-    bool in_func = false;
-    int func_depth = 0;
-    for (std::size_t i = 0; i < t.size(); ++i) {
-      const Token& tk = t[i];
-      if (tk.kind == Tok::Punct) {
-        if (tk.text == "{") {
-          if (!in_func && opens_function(i)) {
-            in_func = true;
-            func_depth = depth;
-            reset_function_state();
-            ++stats.functions;
-          }
-          ++depth;
-        } else if (tk.text == "}") {
-          --depth;
-          if (in_func && depth == func_depth) in_func = false;
-        }
-        continue;
-      }
-      if (!in_func || tk.kind != Tok::Ident) continue;
+  /// Walk a loop body twice: the two-iteration fixpoint (DESIGN.md
+  /// §11.3). Transfers enqueued during iteration 1 and still live at
+  /// the back-edge are marked carried; during iteration 2 a race
+  /// against one reports loop-carried-race. Stats count iteration 1
+  /// only; a loop body whose state is stationary (the repo's drivers,
+  /// the lookahead pipeline) needs no further iterations.
+  void walk_loop_body(std::size_t b, std::size_t e) {
+    const std::uint64_t entry_ticket = ticket;
+    walk_range(b, e);
+    for (auto& tr : live)
+      if (tr.ticket > entry_ticket) tr.carried = true;
+    ++second_pass_depth;
+    walk_range(b, e);
+    --second_pass_depth;
+    for (auto& tr : live) tr.carried = false;
+  }
 
+  // ---- the walker ---------------------------------------------------------
+
+  void walk_range(std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e && i < t.size(); ++i) {
+      const Token& tk = t[i];
+      if (tk.kind != Tok::Ident) continue;
       const std::string& id = tk.text;
-      const bool dotted = i > 0 && is_punct(i - 1, ".");
+      const bool dotted = i > 0 && (is_punct(i - 1, ".") || is_punct(i - 1, "->"));
       const std::size_t open = is_punct(i + 1, "(") ? i + 1 : 0;
+
+      // Loop-carried pass (pass 2 only; pass 1 summarizes the body
+      // linearly — its internal back-edges are its own analysis).
+      if (!summarizing && is_loop_keyword(id)) {
+        if ((id == "for" || id == "while") && open != 0) {
+          const std::size_t hc = close_paren(open);
+          walk_range(open + 1, hc);  // header: init/cond/incr are host code
+          if (is_punct(hc + 1, ";")) {  // `do {...} while (...);` tail
+            i = hc + 1;
+            continue;
+          }
+          std::size_t bb, be;
+          if (is_punct(hc + 1, "{")) {
+            bb = hc + 2;
+            be = close_brace(hc + 1);
+          } else {
+            bb = hc + 1;
+            be = statement_end(hc + 1, e);
+          }
+          walk_loop_body(bb, be);
+          i = be;
+          continue;
+        }
+        if (id == "do" && is_punct(i + 1, "{")) {
+          const std::size_t be = close_brace(i + 1);
+          walk_loop_body(i + 2, be);
+          i = be;  // the trailing while(...) header is walked as host code
+          continue;
+        }
+      }
 
       if (open != 0 &&
           (id == "copy_h2d_async" || id == "copy_d2h_async" || id == "copy_h2d" ||
@@ -433,12 +835,18 @@ struct Engine {
         i = handle_enqueue(i, open);
         continue;
       }
+      if (open != 0 && dotted && id == "stream") {
+        note_pool_stream_binding(i);
+        // fall through: the receiver/arguments are ordinary host code
+      }
       if (open != 0 && dotted && id == "record" && is_punct(open + 1, ")")) {
-        ++ticket;  // the record marker is itself an enqueued task
         if (i >= 4 && is_ident(i - 2) && is_punct(i - 3, "=") && is_ident(i - 4)) {
-          events[t[i - 4].text] = ticket;
-          event_stream[t[i - 4].text] = t[i - 2].text;
-          ++stats.records;
+          Op op{Op::kRecord, tk.line};
+          op.a = t[i - 4].text;
+          op.b = t[i - 2].text;
+          step(std::move(op));
+        } else {
+          step({Op::kTick, tk.line});  // unbound marker: a plain device op
         }
         i = open + 1;
         continue;
@@ -446,54 +854,40 @@ struct Engine {
       if (open != 0 && dotted && (id == "wait" || id == "ready" || id == "wait_for")) {
         // wait_for's timeout path returns false WITHOUT the edge; every
         // driver throws (device_lost) on that path, so straight-line
-        // code after the call is ordered — same edge as wait().
+        // code after the call is ordered — same edge as wait(). ready()
+        // is a non-blocking poll: an edge when true, never a hang.
         const std::string receiver = i >= 2 && is_ident(i - 2) ? t[i - 2].text : "";
-        const auto it = events.find(receiver);
-        if (it != events.end()) {
-          retire_through(it->second);
-          ++stats.waits;
+        const bool member_or_param =
+            ends_with(receiver, "_") ||
+            std::find(cur_params_.begin(), cur_params_.end(), receiver) != cur_params_.end();
+        if (events.count(receiver) > 0 || (summarizing && member_or_param)) {
+          Op op{Op::kWaitHost, tk.line};
+          op.a = receiver;
+          op.flag = id != "wait";  // bounded (wait_for) or non-blocking (ready)
+          step(std::move(op));
           i = close_paren(open);
+          continue;
         }
         // Unknown receiver (condition_variable etc.): not an ordering
         // edge; its arguments are plain host code, keep scanning.
         continue;
       }
       if (open != 0 && dotted && id == "wait_event") {
-        // consumer.wait_event(ev): a device-side edge — the consumer
-        // stream's next tasks run after ev's marker on the producer.
-        ++ticket;  // the wait marker is itself an enqueued task
-        const std::string consumer = i >= 2 && is_ident(i - 2) ? t[i - 2].text : "";
         const std::size_t close = close_paren(open);
-        const std::string ev = root_of(open + 1, close);
-        const auto it = events.find(ev);
-        if (!consumer.empty() && it != events.end()) {
-          const std::string& producer = event_stream[ev];
-          if (!producer.empty()) {
-            std::uint64_t& thru = xedges[consumer][producer];
-            if (it->second > thru) thru = it->second;
-          }
-        }
+        Op op{Op::kWaitEvent, tk.line};
+        op.b = i >= 2 && is_ident(i - 2) ? t[i - 2].text : "";
+        op.a = root_of(open + 1, close);
+        step(std::move(op));
         i = close;
         continue;
       }
       if (open != 0 && dotted && id == "synchronize") {
-        retire_all();
-        ++stats.syncs;
+        step({Op::kSync, tk.line});
         i = close_paren(open);
         continue;
       }
       if (open != 0 && id == "host_view" && is_call(open)) {
-        if (synced < ticket) {
-          report(tk.line, "stream-not-idle",
-                 "hybrid::host_view() reached with enqueued work possibly in flight "
-                 "(tail ticket " +
-                     std::to_string(ticket) + ", host-ordered through " +
-                     std::to_string(synced) + ")",
-                 "synchronize() the stream (or wait on an Event recorded at/after "
-                 "ticket " +
-                     std::to_string(ticket) + ") before taking a host view");
-          retire_all();  // the runtime gate would stop here; avoid cascades
-        }
+        step({Op::kHostView, tk.line});
         i = close_paren(open);
         continue;
       }
@@ -504,11 +898,156 @@ struct Engine {
         continue;
       }
       if (open != 0 && ends_with(id, "_async") && is_call(open)) {
-        ++ticket;  // device kernel launch: FIFO-ordered, no host footprint
+        step({Op::kTick, tk.line});  // device kernel launch: FIFO-ordered, no host footprint
         i = close_paren(open);
         continue;
       }
-      handle_mention(i);
+
+      // Checksum-discipline markers: an *encode* call sanctions task
+      // writes into protected storage until the next *verify* call (the
+      // comparison the maintained code must agree with).
+      const bool is_encode_call = open != 0 && contains(id, "encode");
+      const bool is_verify_call = open != 0 && contains(id, "verify");
+      if (is_encode_call) step({Op::kEncode, tk.line});
+      if (is_verify_call) step({Op::kVerify, tk.line});
+
+      // A call to a TU-local function: splice its summary into this
+      // timeline instead of skipping it (DESIGN.md §11.3). Member
+      // calls on other objects (`x.f()`) are out of reach by design.
+      if (open != 0 && !dotted && !(i > 0 && is_punct(i - 1, "->")) &&
+          !(i > 0 && is_punct(i - 1, "::")) && summaries.count(id) > 0 &&
+          !(i > 0 && is_ident(i - 1) && t[i - 1].text != "return")) {
+        const std::size_t close = close_paren(open);
+        Op op{Op::kCall, tk.line};
+        op.a = id;
+        for (const auto& arg : split_args(open, close))
+          op.args.push_back(root_of(arg.first, arg.second));
+        if (summarizing) {
+          emit(op);
+          step({Op::kTick, tk.line});  // keep pass-1 state moving past the call
+        } else {
+          splice_call(op.a, op.args, tk.line);
+        }
+        i = close;
+        continue;
+      }
+
+      if (is_encode_call || is_verify_call) {
+        i = close_paren(open);
+        continue;
+      }
+
+      // Plain host code: check the mention against the live set.
+      if (i > 0 && t[i - 1].kind == Tok::Punct &&
+          (t[i - 1].text == "." || t[i - 1].text == "->" || t[i - 1].text == "::"))
+        continue;  // `x.id` / `ns::id` names a member of something else
+      Op op{Op::kHostTouch, tk.line};
+      op.a = id;
+      op.flag = is_write(i);
+      step(std::move(op));
+    }
+  }
+
+  // ---- function discovery -------------------------------------------------
+
+  /// Parameter names of the list whose `(` is at `po`: the last
+  /// identifier of each argument range before any default `=`.
+  std::vector<std::string> param_names(std::size_t po, std::size_t pc) {
+    std::vector<std::string> names;
+    for (const auto& arg : split_args(po, pc)) {
+      std::string name;
+      for (std::size_t j = arg.first; j < arg.second; ++j) {
+        if (t[j].kind == Tok::Punct && t[j].text == "=") break;
+        if (t[j].kind == Tok::Ident && !is_type_word(t[j].text)) name = t[j].text;
+      }
+      names.push_back(std::move(name));
+    }
+    return names;
+  }
+
+  /// Backward scan from the `)` that precedes a function body's `{` to
+  /// its matching `(`, then the identifier before it is the function
+  /// name (unqualified; empty for lambdas and operators).
+  void find_definitions() {
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (!is_punct(i, "{")) continue;
+      if (!opens_function(i)) continue;
+      // The `)` before the body (skipping qualifiers):
+      std::size_t close = i - 1;
+      while (close > 0 && t[close].kind == Tok::Ident) --close;
+      if (!is_punct(close, ")")) continue;
+      int d = 0;
+      std::size_t open = close;
+      while (open > 0) {
+        if (t[open].kind == Tok::Punct) {
+          if (t[open].text == ")") ++d;
+          if (t[open].text == "(" && --d == 0) break;
+        }
+        --open;
+      }
+      // A constructor body's `{` is preceded by the `)` of the LAST
+      // member initializer, not the parameter list: climb `name(args)`
+      // groups back through the init list (`, name(args)` ...) until
+      // the `:` that follows the real parameter list's `)`.
+      while (open > 1 && is_ident(open - 1) &&
+             (is_punct(open - 2, ",") || is_punct(open - 2, ":"))) {
+        const std::size_t prev_close = open - 3;  // the `)` before `,`/`:`
+        if (!is_punct(prev_close, ")")) break;
+        int dd = 0;
+        std::size_t po = prev_close;
+        while (po > 0) {
+          if (t[po].kind == Tok::Punct) {
+            if (t[po].text == ")") ++dd;
+            if (t[po].text == "(" && --dd == 0) break;
+          }
+          --po;
+        }
+        const bool was_ctor_params = is_punct(open - 2, ":");
+        open = po;
+        close = prev_close;
+        if (was_ctor_params) break;
+      }
+      FuncDef def;
+      if (open > 0 && is_ident(open - 1)) def.name = t[open - 1].text;
+      def.params = param_names(open, close);
+      def.body_begin = i + 1;
+      def.body_end = close_brace(i);
+      defs.push_back(std::move(def));
+      i = defs.back().body_end;  // nested lambdas belong to this body
+    }
+  }
+
+  // ---- driver -------------------------------------------------------------
+
+  void run() {
+    find_definitions();
+
+    // Pass 1: one linear walk per function, emitting its op summary.
+    summarizing = true;
+    for (const FuncDef& def : defs) {
+      if (def.name.empty()) continue;
+      Summary& sum = summaries[def.name];  // redefinitions: last one wins
+      sum = Summary{};
+      sum.params = def.params;
+      reset_function_state();
+      cur_params_ = def.params;
+      sink = &sum.raw;
+      walk_range(def.body_begin, def.body_end);
+      sink = nullptr;
+    }
+    summarizing = false;
+    for (auto& [name, sum] : summaries) {
+      (void)sum;
+      resolve_summary(name);
+    }
+
+    // Pass 2: analyze every body with summaries spliced at call sites
+    // and loop bodies walked twice.
+    for (const FuncDef& def : defs) {
+      reset_function_state();
+      cur_params_ = def.params;
+      ++stats.functions;
+      walk_range(def.body_begin, def.body_end);
     }
   }
 };
@@ -549,6 +1088,140 @@ std::string format(const Finding& finding) {
     out += "\n    required: ";
     out += finding.missing_edge;
   }
+  return out;
+}
+
+namespace {
+
+/// JSON string escaping for the SARIF writer (control chars, quotes,
+/// backslashes; the findings are ASCII by construction).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+struct RuleDoc {
+  const char* id;
+  const char* text;
+};
+
+/// The §11.4 rule table, embedded so every SARIF log self-describes.
+const RuleDoc kRules[] = {
+    {"transfer-race",
+     "host code touches the host side of an in-flight async transfer with no dominating "
+     "Event wait / synchronize()"},
+    {"loop-carried-race",
+     "a transfer left in flight across a loop back-edge races an unsynchronized host touch "
+     "or task footprint in the next iteration"},
+    {"stream-not-idle",
+     "hybrid::host_view() reached while enqueued work may still be in flight"},
+    {"in-task-context", ".in_task() spelled outside an enqueued stream task lambda"},
+    {"undeclared-task",
+     "Stream::enqueue in src/hybrid/ or src/ft/ without an FTH_TASK_EFFECTS(...) declaration"},
+    {"chkrow-reencode",
+     "h2d into the gehrd checksum row from anything but the re-encoded row or the rollback "
+     "checkpoint"},
+    {"cross-stream-race",
+     "a task's declared footprint covers the host side of a transfer in flight on another "
+     "stream with no wait_event edge"},
+    {"unbounded-pool-wait",
+     "plain Event::wait() on an Event recorded on a DevicePool member's stream; a lost "
+     "device hangs it forever — use wait_for(timeout)"},
+    {"stale-checksum-write",
+     "a task's FTH_WRITES covers FT-protected checksum storage with no dominating re-encode "
+     "since the last checksum comparison"},
+};
+
+int rule_index(const std::string& rule) {
+  int k = 0;
+  for (const RuleDoc& doc : kRules) {
+    if (rule == doc.id) return k;
+    ++k;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"fth_analyze\",\n"
+      "          \"informationUri\": \"DESIGN.md\",\n"
+      "          \"rules\": [\n";
+  bool first = true;
+  for (const RuleDoc& doc : kRules) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "            {\"id\": \"";
+    out += doc.id;
+    out += "\", \"shortDescription\": {\"text\": \"";
+    out += json_escape(doc.text);
+    out += "\"}}";
+  }
+  out +=
+      "\n          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [\n";
+  first = true;
+  for (const Finding& f : findings) {
+    if (!first) out += ",\n";
+    first = false;
+    std::string text = f.message;
+    if (!f.missing_edge.empty()) {
+      text += " — required: ";
+      text += f.missing_edge;
+    }
+    out += "        {\n          \"ruleId\": \"";
+    out += json_escape(f.rule);
+    out += "\",\n";
+    const int idx = rule_index(f.rule);
+    if (idx >= 0) {
+      out += "          \"ruleIndex\": ";
+      out += std::to_string(idx);
+      out += ",\n";
+    }
+    out += "          \"level\": \"error\",\n          \"message\": {\"text\": \"";
+    out += json_escape(text);
+    out +=
+        "\"},\n          \"locations\": [\n            {\"physicalLocation\": "
+        "{\"artifactLocation\": {\"uri\": \"";
+    out += json_escape(f.file);
+    out += "\"}, \"region\": {\"startLine\": ";
+    out += std::to_string(f.line);
+    out += "}}}\n          ]\n        }";
+  }
+  out +=
+      "\n      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
   return out;
 }
 

@@ -5,17 +5,38 @@
 // The runtime checker (check/access.hpp, §10) catches a missing
 // happens-before edge when the offending path *executes*. This pass
 // proves the same rules from the source text alone, before anything
-// runs: it reconstructs, per function, a symbolic timeline of stream
-// tickets — every enqueue, h2d/d2h transfer, Event record/wait and
-// synchronize() in program order — and walks host code against the
-// set of still-in-flight transfers.
+// runs. v2 (DESIGN.md §11.3) is a two-layer analysis:
 //
-// Rules (finding `rule` strings):
+//  (a) Interprocedural function summaries: a first pass over the TU
+//      computes, per function, a symbolic summary of its stream
+//      side-effects (enqueues + declared footprints, transfers started
+//      and retired, Events recorded/waited, synchronize calls, and the
+//      transfers still live at exit, keyed by buffer root and stream).
+//      Call sites splice the callee's summary into the caller's
+//      timeline with argument-to-parameter root substitution, so
+//      pipeline-stage helpers stay fully analyzed instead of skipped.
+//  (b) Loop-carried happens-before: loop bodies are walked twice (a
+//      fixpoint over two symbolic iterations), carrying the
+//      live-transfer set and recorded-Event bindings across the
+//      back-edge — a transfer left in flight at the bottom of
+//      iteration i correctly races an unsynchronized host touch at
+//      the top of iteration i+1, and a cross-iteration Event wait
+//      retires it. This replaces the v1 soundness assumption that
+//      every driver loop body is self-synchronizing, which the
+//      lookahead pipeline (ROADMAP item 1) deliberately breaks.
+//
+// Rules (finding `rule` strings; full table in DESIGN.md §11.4):
 //   transfer-race    host code touches the host side of an in-flight
 //                    async transfer with no dominating Event wait /
 //                    synchronize(). Mirrors the runtime checker's U2
 //                    rule: a live d2h races ANY host mention of the
 //                    buffer; a live h2d races host WRITES only.
+//   loop-carried-race the cross-iteration form: the racing transfer
+//                    was enqueued in the PREVIOUS symbolic iteration
+//                    and crossed the loop back-edge still in flight.
+//                    Reported against both ends — the racing line
+//                    anchors the finding, the message names the
+//                    back-edge source (the transfer's enqueue line).
 //   stream-not-idle  hybrid::host_view() reached while enqueued work
 //                    may still be in flight (no dominating sync edge).
 //   in-task-context  .in_task() spelled outside an enqueued stream
@@ -32,21 +53,34 @@
 //                    the host side of a transfer still in flight on a
 //                    DIFFERENT stream, with no wait_event edge carrying
 //                    the producer's Event marker into the consumer's
-//                    queue (the multi-device form of U2, DESIGN.md §13;
-//                    FIFO order covers same-stream pairs). Transfers are
-//                    attributed to the stream named by their first
-//                    argument; Event::wait_for counts as wait() — the
-//                    timeout path has no edge, but every driver throws
-//                    on it, so the straight-line continuation is ordered.
+//                    queue (the multi-device form of U2, DESIGN.md §13).
+//   unbounded-pool-wait a plain Event::wait() on an Event recorded on
+//                    a DevicePool member's stream. Pool members can be
+//                    lost (DESIGN.md §13); a plain wait() hangs forever
+//                    on a lost device — the health-checked
+//                    wait_for(timeout) is mandatory. (The CLAUDE.md
+//                    lost-device gotcha, made structural.)
+//   stale-checksum-write a stream task whose declared FTH_WRITES
+//                    covers FT-protected checksum storage (a `d_*chk*`
+//                    device root) with no dominating re-encode of that
+//                    root — an h2d refresh from host truth or an
+//                    *encode* call — since the last checksum
+//                    comparison (*verify* call). Such a write makes
+//                    the maintained code drift from what the next
+//                    verify compares: the gehrd chkrow-reencode
+//                    discipline, generalized to the sytrd/gebrd/pool
+//                    drivers' checksum storage.
 //
-// The analysis is a single linear pass per function: no loop
-// unrolling, no branch joins. That is sound-enough here by
-// construction — every driver loop body is self-synchronizing (it
-// ends in a synchronize()/sync-copy), which the analyzer itself
-// verifies, so iteration 1 sees every edge the steady state needs.
+// Event::wait_for counts as wait(): the timeout path has no edge, but
+// every driver throws on it, so the straight-line continuation is
+// ordered. Conditionally executed stream operations are summarized as
+// the may-union (branch bodies are walked as straight-line code): a
+// may-enqueued transfer is treated as live, which is the conservative
+// direction for the race rules.
 //
 // Whole-tree gate: tools/fth_analyze.cpp, wired as the analyze.repo
-// ctest. Unlike the §10 checker this pass has no runtime hooks and is
+// ctest (and analyze.perf, which bounds the two-pass engine's cost).
+// Unlike the §10 checker this pass has no runtime hooks and is
 // compiled into every build type.
 
 #include <cstdint>
@@ -64,7 +98,11 @@ struct Finding {
 };
 
 /// Aggregate counters, mostly for the golden "the analyzer actually saw
-/// the tree" assertions in tests/check/test_analyze.cpp.
+/// the tree" assertions in tests/check/test_analyze.cpp. Summaries
+/// accumulate callee stream operations once per call site (on top of
+/// the callee's own once-per-definition count), so helper-factored
+/// pipelines no longer vanish from the counts; the second symbolic
+/// loop iteration is never counted.
 struct Stats {
   std::size_t functions = 0;
   std::size_t enqueues = 0;   ///< explicit Stream::enqueue calls
@@ -72,6 +110,7 @@ struct Stats {
   std::size_t records = 0;    ///< Event = stream.record() bindings
   std::size_t waits = 0;      ///< wait/ready/wait_for() on recorded Events
   std::size_t syncs = 0;      ///< synchronize() calls
+  std::size_t calls = 0;      ///< call sites spliced via a function summary
   void accumulate(const Stats& o) {
     functions += o.functions;
     enqueues += o.enqueues;
@@ -79,6 +118,7 @@ struct Stats {
     records += o.records;
     waits += o.waits;
     syncs += o.syncs;
+    calls += o.calls;
   }
 };
 
@@ -97,5 +137,12 @@ std::vector<Finding> analyze_source(const std::string& rel_path, const std::stri
 /// "file:line: [rule] message" + an indented `required:` edge line, the
 /// same shape tools/fth_lint.cpp prints.
 std::string format(const Finding& finding);
+
+/// SARIF 2.1.0 document for `findings`: one run, the full §11.4 rule
+/// table in tool.driver.rules, one result per finding with the
+/// `required:` edge folded into the message. fth_analyze --sarif emits
+/// this so CI renders findings as inline annotations; the text format
+/// stays byte-identical.
+std::string to_sarif(const std::vector<Finding>& findings);
 
 }  // namespace fth::check::analyze

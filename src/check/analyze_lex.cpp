@@ -27,6 +27,10 @@ const char* const kPunct2[] = {"::", "->", "++", "--", "+=", "-=", "*=", "/=",
 
 }  // namespace
 
+bool is_loop_keyword(const std::string& ident) {
+  return ident == "for" || ident == "while" || ident == "do";
+}
+
 std::vector<Token> lex(const std::string& src) {
   std::vector<Token> out;
   const std::size_t n = src.size();

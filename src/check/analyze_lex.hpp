@@ -35,4 +35,10 @@ struct Token {
 /// single-character Punct tokens.
 std::vector<Token> lex(const std::string& content);
 
+/// True for the keywords that open an iteration statement (`for`,
+/// `while`, `do`). The loop-carried happens-before pass (DESIGN.md
+/// §11.3) walks the bodies of these twice; everything else — including
+/// `if`/`else`/`switch` — is walked as straight-line code (may-union).
+bool is_loop_keyword(const std::string& ident);
+
 }  // namespace fth::check::analyze

@@ -377,7 +377,7 @@ class FtGebrdDriver {
       copy_h2d_async(s_, seg.block(0, 1, ib, 1), d_chkr_.block(i, 0, ib, 1));
       const double e_last = e_[i + ib - 1];
       auto cr = d_chkr_.view();
-      s_.enqueue("ft.couple", FTH_TASK_EFFECTS(FTH_WRITES(cr)),
+      s_.enqueue("ft.couple", FTH_TASK_EFFECTS(FTH_WRITES(d_chkr_.view())),
                  [cr, i, ib, e_last] { cr.in_task()(i + ib, 0) += e_last; });
       s_.synchronize();
     }

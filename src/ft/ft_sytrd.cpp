@@ -370,7 +370,8 @@ class FtSytrdDriver {
       const double e_last = e_[i + ib - 1];
       auto ce = d_chke_.view();
       auto cw = d_chkw_.view();
-      s_.enqueue("ft.couple", FTH_TASK_EFFECTS(FTH_WRITES(ce, cw)), [ce, cw, i, ib, e_last] {
+      s_.enqueue("ft.couple", FTH_TASK_EFFECTS(FTH_WRITES(d_chke_.view(), d_chkw_.view())),
+                 [ce, cw, i, ib, e_last] {
         ce.in_task()(i + ib, 0) += e_last;
         cw.in_task()(i + ib, 0) += e_last * static_cast<double>(i + ib);  // weight of col i+ib−1
       });

@@ -1,7 +1,7 @@
 // fth_analyze — static transfer/Event-discipline gate (engine in
 // src/check/analyze.hpp, rules in DESIGN.md §11).
 //
-//   fth_analyze [repo-root]
+//   fth_analyze [--sarif out.json] [repo-root]
 //
 // Walks src/hybrid/, src/ft/, examples/, bench/ under the given root
 // (default: the current directory), runs the fth::analyze symbolic
@@ -10,8 +10,11 @@
 // it), and exits non-zero when anything fired. Registered as the
 // `analyze.repo` ctest: deleting an Event wait, a synchronize(), or a
 // task's FTH_TASK_EFFECTS declaration fails the suite before any test
-// executes the broken path.
+// executes the broken path. `--sarif` additionally writes the findings
+// as a SARIF 2.1.0 log (for CI upload / inline annotations); the text
+// output is unchanged by the flag.
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -39,7 +42,19 @@ std::string rel_slash(const fs::path& p, const fs::path& root) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const fs::path root = argc > 1 ? fs::path(argv[1]) : fs::current_path();
+  fs::path root;
+  std::string sarif_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sarif") == 0 && i + 1 < argc) {
+      sarif_path = argv[++i];
+    } else if (root.empty()) {
+      root = fs::path(argv[i]);
+    } else {
+      std::fprintf(stderr, "fth_analyze: usage: fth_analyze [--sarif out.json] [repo-root]\n");
+      return 2;
+    }
+  }
+  if (root.empty()) root = fs::current_path();
   if (!fs::exists(root / "src")) {
     std::fprintf(stderr, "fth_analyze: %s does not look like the repo root (no src/)\n",
                  root.string().c_str());
@@ -66,8 +81,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", fth::check::analyze::format(finding).c_str());
   std::printf(
       "fth_analyze: %zu file(s), %zu function(s), %zu task(s), %zu transfer(s), "
-      "%zu event(s)/%zu wait(s), %zu sync(s) analyzed, %zu finding(s)\n",
+      "%zu event(s)/%zu wait(s), %zu sync(s), %zu spliced call(s) analyzed, %zu finding(s)\n",
       files, stats.functions, stats.enqueues, stats.transfers, stats.records, stats.waits,
-      stats.syncs, findings.size());
+      stats.syncs, stats.calls, findings.size());
+
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "fth_analyze: cannot write %s\n", sarif_path.c_str());
+      return 2;
+    }
+    out << fth::check::analyze::to_sarif(findings);
+  }
   return findings.empty() ? 0 : 1;
 }
