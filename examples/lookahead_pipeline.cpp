@@ -15,7 +15,10 @@
 // tests/check/test_analyze.cpp deletes each ordering edge of this file in
 // memory and asserts the expected rule fires at the exact line — so the
 // fixture is also the regression suite for the loop-carried pass. Keep
-// edits here in sync with the kFixtureSeeds table there.
+// edits here in sync with the kFixtureSeeds table there. The tail of
+// run() additionally carries two `fth-perf: expect` exemplars (a
+// redundant same-stream Event edge and a false-serialized task pair)
+// that pin the advisory plane's marker machinery (DESIGN.md §11.5).
 //
 //   ./lookahead_pipeline [--n 96] [--nb 16]
 #include <chrono>
@@ -94,6 +97,25 @@ class LookaheadPipeline {
       if (i + nb_ < n_) start_panel_d2h(sc, i + nb_);
       ++panels;
     }
+
+    // Two deliberately mis-scheduled exemplars the perf plane must keep
+    // reporting (tests/check/test_analyze.cpp pins these exact lines):
+    // a same-stream Event edge that FIFO order already provides, and two
+    // disjoint-footprint tasks serialized back-to-back. Both are benign
+    // at runtime (the edge is a no-op, the tasks scale by 1.0), so the
+    // example still runs clean under FTH_CHECK=1.
+    const hybrid::Event fifo_already = sc.record();
+    // fth-perf: expect redundant-wait
+    sc.wait_event(fifo_already);
+    sc.enqueue("look.scale_w", FTH_TASK_EFFECTS(FTH_WRITES(d_w_.view())),
+               [w = d_w_.view(), nb = nb_] {
+                 for (index_t j = 0; j < nb; ++j) w.in_task()(0, j) *= 1.0;
+               });
+    // fth-perf: expect false-serialization
+    sc.enqueue("look.scale_y", FTH_TASK_EFFECTS(FTH_WRITES(y_host_.view())),
+               [yh = y_host_.view(), n = n_] {
+                 for (index_t c = 0; c < n; ++c) yh(0, c) *= 1.0;
+               });
     sc.synchronize();
     std::printf("lookahead pipeline: %lld panels of %lld columns, all edges held\n",
                 static_cast<long long>(panels), static_cast<long long>(nb_));

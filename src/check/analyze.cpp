@@ -1,6 +1,7 @@
 #include "check/analyze.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <map>
 #include <set>
@@ -99,12 +100,14 @@ struct Op {
   };
   Kind kind = kTick;
   int line = 0;
-  int n = 1;           ///< kTick: how many tickets
+  int n = 1;           ///< kTick: how many tickets; kWaitHost: 0 for ready() polls
   char dir = 'd';      ///< kTransfer
   bool flag = false;   ///< kTransfer: synchronous; kWaitHost: bounded; kHostTouch: write
+  int scope = -1;      ///< kSync/kHostView: token index of the enclosing `{`
   std::string a;       ///< root / event / label / callee name
   std::string b;       ///< stream / consumer
   std::string dest;    ///< kTransfer h2d: destination root (re-encode marker)
+  std::string sig;     ///< kTransfer: argument-token signature (dead-transfer)
   std::vector<EffRoot> effects;    ///< kEnqueue
   std::vector<std::string> args;   ///< kCall: argument root symbols
 };
@@ -160,6 +163,71 @@ struct Engine {
   bool reencode_all = false;
   std::set<std::string> dedupe;
 
+  // ---- performance plane (DESIGN.md §11.5) --------------------------------
+  bool perf = false;  ///< compute the advisory overlap rules for this file
+  /// Brace-scope index per token (token index of the nearest enclosing
+  /// `{`, -1 at namespace level): a host_view justifies a synchronize()
+  /// only from the SAME scope — the drain-before-unwrap idiom — so a
+  /// barrier serving a conditional hook branch is still reported as
+  /// movable into that branch.
+  std::vector<int> scope_of;
+  /// One deferred advisory finding. A candidate can be observed on
+  /// several symbolic paths (both loop walks, every reaching branch):
+  /// it is reported only if some path fires it and NO path justifies it
+  /// — the "redundant on every path" soundness rule.
+  struct PerfCand {
+    int line = 0;
+    std::string rule;
+    std::string message;
+    std::string fixit;
+    std::vector<std::string> tasks;
+    bool fired = false;
+    bool justified = false;
+  };
+  std::map<std::string, std::size_t> perf_index;  ///< line:rule:detail -> slot
+  std::vector<PerfCand> perf_cands;
+  /// A synchronize() under evaluation: open until the next device-side
+  /// op (fired — the barrier served no host consumption) or a
+  /// justifying host consumption (same-scope host_view, or a host write
+  /// of a deferrable h2d source).
+  struct OpenSync {
+    bool open = false;
+    std::size_t slot = 0;
+    int scope = -1;
+    char flavor = 'e';  ///< 'e' no live transfer, 'n' narrowable, 'd' deferrable h2d
+    std::set<std::string> h2d_roots;  ///< flavor 'd': host sources still live
+  };
+  OpenSync osync_;
+  /// dead-transfer state: host roots with an unconsumed d2h and device
+  /// roots with an unconsumed h2d (root -> enqueue line + the full
+  /// argument-token signature); any device op may read an h2d
+  /// destination, any host mention consumes a d2h destination. Two
+  /// copies only pair up when their argument signatures match exactly —
+  /// fetching two *different* blocks of one matrix is routine, not a
+  /// dead transfer.
+  struct PendingCopy {
+    int line = 0;
+    std::string sig;
+  };
+  std::map<std::string, PendingCopy> d2h_unread_;
+  std::map<std::string, PendingCopy> h2d_dest_unread_;
+  /// Ticket of the newest declared task enqueue: a barrier joining an
+  /// unretired *task* may be consuming host state the task writes
+  /// through a by-reference capture (the detect() idiom), which the
+  /// effects system cannot see — the no-live-transfer flavor stays
+  /// silent there.
+  std::uint64_t last_task_ticket_ = 0;
+  /// false-serialization adjacency: the previous declared task, valid
+  /// while the stream tail is still its ticket.
+  struct PrevEnq {
+    bool valid = false;
+    std::uint64_t ticket = 0;
+    std::string stream, label;
+    int line = 0;
+    std::vector<EffRoot> effects;
+  };
+  PrevEnq prev_enq_;
+
   void reset_function_state() {
     ticket = 0;
     synced = 0;
@@ -169,6 +237,11 @@ struct Engine {
     pool_streams.clear();
     reencoded.clear();
     reencode_all = false;
+    osync_.open = false;
+    d2h_unread_.clear();
+    h2d_dest_unread_.clear();
+    prev_enq_.valid = false;
+    last_task_ticket_ = 0;
   }
 
   bool counting() const { return !summarizing && second_pass_depth == 0; }
@@ -352,6 +425,297 @@ struct Engine {
   int anchor(int op_line) const { return replay_depth > 0 ? replay_line : op_line; }
   std::string via() const {
     return replay_depth > 0 ? " (via the summary of '" + replay_callee + "(...)')" : "";
+  }
+
+  // ---- performance-plane machinery (DESIGN.md §11.5) ----------------------
+
+  std::size_t perf_slot(int line, const char* rule, const std::string& detail) {
+    std::string key = std::to_string(line);
+    key += ':';
+    key += rule;
+    key += ':';
+    key += detail;
+    const auto it = perf_index.find(key);
+    if (it != perf_index.end()) return it->second;
+    const std::size_t slot = perf_cands.size();
+    perf_index.emplace(std::move(key), slot);
+    PerfCand c;
+    c.line = line;
+    c.rule = rule;
+    perf_cands.push_back(std::move(c));
+    return slot;
+  }
+
+  void close_open_sync(bool justified) {
+    if (!osync_.open) return;
+    PerfCand& c = perf_cands[osync_.slot];
+    (justified ? c.justified : c.fired) = true;
+    osync_.open = false;
+  }
+
+  /// Classify a synchronize() against the symbolic state *before* it
+  /// retires anything, and open a deferred candidate. Silent cases: a
+  /// barrier with nothing enqueued past the host-ordered point (the
+  /// poisoned-/error-path drains), and a barrier whose stream tail is a
+  /// live d2h (the fetch-join idiom — the barrier IS the consume edge,
+  /// and no narrower edge is cheaper at the tail).
+  void eval_sync_candidate(const Op& op) {
+    if (replay_depth > 0) return;  // anchor belongs to the helper's own walk
+    if (ticket <= synced) return;
+    // Pool-member drains (DESIGN.md §13) are out of model: the engine
+    // keeps one symbolic ticket counter across all streams, so it
+    // cannot tell which member's work a per-member synchronize() joins.
+    if (!op.b.empty() && (pool_streams.count(op.b) > 0 || contains(op.b, "pool"))) return;
+    std::uint64_t tail_ticket = 0;
+    bool all_h2d = true;
+    char tail_dir = 'h';
+    std::string tail_root;
+    int tail_line = 0;
+    std::set<std::string> h2d_roots;
+    for (const auto& tr : live) {
+      if (tr.ticket >= tail_ticket) {
+        tail_ticket = tr.ticket;
+        tail_dir = tr.dir;
+        tail_root = tr.root;
+        tail_line = tr.line;
+      }
+      if (tr.dir == 'h') h2d_roots.insert(tr.root);
+      else all_h2d = false;
+    }
+    char flavor;
+    std::string msg, fix;
+    if (live.empty()) {
+      // An unretired declared task may write host state through a
+      // by-reference capture (the detect() result struct): that join
+      // is required and invisible to the effects system — stay silent.
+      if (last_task_ticket_ > synced) return;
+      flavor = 'e';
+      msg = "synchronize() blocks the host on " + std::to_string(ticket - synced) +
+            " enqueued device op(s) with no in-flight transfer left to retire: the stream "
+            "drains with nothing host-visible produced by the barrier";
+      fix = "drop the barrier; if a host_view/hook follows on some branch, synchronize() "
+            "inside that branch only, so the common path overlaps the device tail";
+    } else if (tail_ticket < ticket) {
+      flavor = 'n';
+      msg = "synchronize() waits for the whole stream (tail ticket " + std::to_string(ticket) +
+            ") when the newest host-visible obligation is the " +
+            (tail_dir == 'h' ? "h2d" : "d2h") + " of '" + tail_root + "' enqueued at line " +
+            std::to_string(tail_line) + " (ticket " + std::to_string(tail_ticket) +
+            "): every device op after that transfer is serialized against the host for "
+            "nothing";
+      fix = "record an Event right after the transfer at line " + std::to_string(tail_line) +
+            " and wait on that Event here, letting the remaining enqueued work overlap host "
+            "code";
+    } else if (tail_dir == 'h' && all_h2d) {
+      flavor = 'd';
+      msg = "synchronize() joins h2d transfer(s) that only read host buffer(s) ('" +
+            tail_root + "'): the host does not rewrite them before the next device "
+            "operation, so nothing needs retiring at this barrier";
+      fix = "record an Event after the h2d and wait on it immediately before the next host "
+            "write of '" + tail_root + "' (or rely on a later dominating barrier) instead "
+            "of blocking here";
+    } else {
+      return;  // tail is a d2h fetch-join: the barrier is the consume edge
+    }
+    const std::size_t slot = perf_slot(op.line, "coarse-synchronize", "");
+    PerfCand& c = perf_cands[slot];
+    if (c.message.empty()) {
+      c.message = std::move(msg);
+      c.fixit = std::move(fix);
+    }
+    osync_ = OpenSync{true, slot, op.scope, flavor, std::move(h2d_roots)};
+  }
+
+  void perf_fire(int line, const char* rule, const std::string& detail, std::string msg,
+                 std::string fix, std::vector<std::string> tasks = {}) {
+    PerfCand& c = perf_cands[perf_slot(line, rule, detail)];
+    c.fired = true;
+    if (c.message.empty()) {
+      c.message = std::move(msg);
+      c.fixit = std::move(fix);
+      c.tasks = std::move(tasks);
+    }
+  }
+
+  static bool footprints_conflict(const std::vector<EffRoot>& a, const std::vector<EffRoot>& b) {
+    for (const EffRoot& x : a)
+      for (const EffRoot& y : b)
+        if (x.root == y.root && (x.write || y.write)) return true;
+    return false;
+  }
+
+  /// The advisory-plane transition function, run before each op's
+  /// correctness application (so it sees the state the op is about to
+  /// change). Candidates are only *opened* on direct walks
+  /// (replay_depth == 0 — a helper's own pass-2 walk anchors its
+  /// findings); state consumption/invalidation runs on replays too.
+  void perf_pre(const Op& op) {
+    if (!perf || summarizing) return;
+    switch (op.kind) {
+      case Op::kTick:
+        close_open_sync(false);
+        h2d_dest_unread_.clear();
+        prev_enq_.valid = false;
+        break;
+      case Op::kTransfer:
+        close_open_sync(false);
+        prev_enq_.valid = false;
+        if (op.dir == 'd') {
+          h2d_dest_unread_.clear();  // the copy reads device memory
+          if (!op.a.empty()) {
+            const auto it = d2h_unread_.find(op.a);
+            if (it != d2h_unread_.end() && replay_depth == 0 && !op.sig.empty() &&
+                it->second.sig == op.sig) {
+              perf_fire(it->second.line, "dead-transfer", op.a,
+                        "d2h into host buffer '" + op.a +
+                            "' is overwritten by the identical d2h at line " +
+                            std::to_string(op.line) + " with no host read of '" + op.a +
+                            "' in between: the first copy's payload is never consumed",
+                        "drop the first d2h (or read its payload before re-fetching)");
+            }
+            if (replay_depth == 0) d2h_unread_[op.a] = {op.line, op.sig};
+            else d2h_unread_.erase(op.a);
+          }
+        } else {
+          if (!op.a.empty()) d2h_unread_.erase(op.a);  // the copy reads the host source
+          if (!op.dest.empty()) {
+            const auto it = h2d_dest_unread_.find(op.dest);
+            if (it != h2d_dest_unread_.end() && replay_depth == 0 && !op.sig.empty() &&
+                it->second.sig == op.sig) {
+              perf_fire(it->second.line, "dead-transfer", op.dest,
+                        "h2d into device buffer '" + op.dest +
+                            "' is overwritten by the identical h2d at line " +
+                            std::to_string(op.line) +
+                            " before any device op could read it: the first copy is dead",
+                        "drop the first h2d (or move the device op that consumes it in "
+                        "between)");
+            }
+            if (replay_depth == 0) h2d_dest_unread_[op.dest] = {op.line, op.sig};
+            else h2d_dest_unread_.erase(op.dest);
+          }
+        }
+        break;
+      case Op::kEnqueue: {
+        close_open_sync(false);
+        last_task_ticket_ = ticket + 1;  // the ticket apply_enqueue is about to assign
+        h2d_dest_unread_.clear();  // the task may read any device buffer
+        for (const EffRoot& eff : op.effects) d2h_unread_.erase(eff.root);
+        if (replay_depth > 0) {
+          prev_enq_.valid = false;
+          break;
+        }
+        // Same-label neighbours are batch siblings (a correction or
+        // verification sweep): distributing a batch is the DevicePool's
+        // job (§13), not a per-pair wait_event rewrite.
+        const bool eligible = op.a != "?" && !op.effects.empty() && !op.b.empty();
+        if (eligible && prev_enq_.valid && prev_enq_.ticket == ticket &&
+            prev_enq_.stream == op.b && prev_enq_.label != op.a &&
+            !footprints_conflict(prev_enq_.effects, op.effects)) {
+          perf_fire(op.line, "false-serialization", prev_enq_.label + "/" + op.a,
+                    "tasks \"" + prev_enq_.label + "\" (line " +
+                        std::to_string(prev_enq_.line) + ") and \"" + op.a +
+                        "\" run back-to-back on stream '" + op.b +
+                        "' with disjoint declared footprints: FIFO order serializes work "
+                        "that could overlap",
+                    "enqueue one of the pair on a second stream (or pool member) and order "
+                    "only genuine conflicts with record()/wait_event()",
+                    {prev_enq_.label, op.a});
+        }
+        if (eligible) {
+          prev_enq_.valid = true;
+          prev_enq_.ticket = ticket + 1;  // the ticket apply_enqueue is about to assign
+          prev_enq_.stream = op.b;
+          prev_enq_.label = op.a;
+          prev_enq_.line = op.line;
+          prev_enq_.effects = op.effects;
+        } else {
+          prev_enq_.valid = false;
+        }
+        break;
+      }
+      case Op::kRecord:
+        close_open_sync(false);
+        prev_enq_.valid = false;
+        break;
+      case Op::kWaitEvent: {
+        close_open_sync(false);
+        prev_enq_.valid = false;
+        if (replay_depth > 0) break;
+        const auto it = events.find(op.a);
+        if (it == events.end() || op.b.empty() || it->second.stream.empty()) break;
+        const std::size_t slot = perf_slot(op.line, "redundant-wait", op.a);
+        PerfCand& c = perf_cands[slot];
+        bool redundant = it->second.stream == op.b;  // same-stream FIFO already orders it
+        std::string why = "the Event was recorded on the consumer's own stream, whose FIFO "
+                          "order already provides the edge";
+        if (!redundant) {
+          const auto ci = xedges.find(op.b);
+          if (ci != xedges.end()) {
+            const auto ei = ci->second.find(it->second.stream);
+            if (ei != ci->second.end() && ei->second >= it->second.marker) {
+              redundant = true;
+              why = "an earlier wait_event already carries an edge at/after this marker "
+                    "from the producer's stream";
+            }
+          }
+        }
+        if (redundant) {
+          c.fired = true;
+          if (c.message.empty()) {
+            c.message = "wait_event on Event '" + op.a + "' orders nothing new: " + why;
+            c.fixit = "drop the wait_event (the happens-before edge it names already exists)";
+          }
+        } else {
+          c.justified = true;
+        }
+        break;
+      }
+      case Op::kSync:
+        close_open_sync(false);
+        prev_enq_.valid = false;
+        eval_sync_candidate(op);
+        break;
+      case Op::kWaitHost: {
+        if (replay_depth > 0) break;
+        if (op.n == 0) break;  // ready() is a poll, never a blocking edge
+        const auto it = events.find(op.a);
+        if (it == events.end()) break;
+        // Pool-member Events are out of model: one symbolic ticket
+        // counter across all member streams means a wait on stream A
+        // can look retired by a wait on stream B (DESIGN.md §13).
+        if (it->second.pool) break;
+        const std::size_t slot = perf_slot(op.line, "redundant-wait", op.a);
+        PerfCand& c = perf_cands[slot];
+        if (it->second.marker <= synced) {
+          c.fired = true;
+          if (c.message.empty()) {
+            c.message = "wait on Event '" + op.a + "' whose marker (ticket " +
+                        std::to_string(it->second.marker) +
+                        ") is already host-ordered (through ticket " + std::to_string(synced) +
+                        ") on every path reaching it: the edge retires nothing and only "
+                        "costs a host-device handshake";
+            c.fixit = "drop the wait, or re-record the Event after the work it is meant to "
+                      "guard";
+          }
+        } else {
+          c.justified = true;
+        }
+        break;
+      }
+      case Op::kHostTouch:
+        if (osync_.open && osync_.flavor == 'd' && op.flag &&
+            osync_.h2d_roots.count(op.a) > 0) {
+          close_open_sync(true);  // the barrier guarded this rewrite of the h2d source
+        }
+        d2h_unread_.erase(op.a);
+        break;
+      case Op::kHostView:
+        if (osync_.open) close_open_sync(op.scope >= 0 && op.scope == osync_.scope);
+        d2h_unread_.clear();
+        h2d_dest_unread_.clear();
+        break;
+      default: break;
+    }
   }
 
   // ---- pass-1 op emission -----------------------------------------------
@@ -546,6 +910,7 @@ struct Engine {
   }
 
   void apply_op(const Op& op) {
+    perf_pre(op);
     switch (op.kind) {
       case Op::kTick: apply_tick(op); break;
       case Op::kTransfer: apply_transfer(op); break;
@@ -687,6 +1052,12 @@ struct Engine {
     if (args.size() >= 3) {
       const auto& host_arg = dir == 'h' ? args[1] : args.back();
       op.a = root_of(host_arg.first, host_arg.second);
+      // Full source+destination token signature: two copies are "the
+      // same transfer" (dead-transfer rule) only when it matches.
+      for (std::size_t j = args[1].first; j < args.back().second && j < t.size(); ++j) {
+        op.sig += t[j].text;
+        op.sig += ' ';
+      }
       if (dir == 'h') {
         const auto& dest = args.back();
         op.dest = root_of(dest.first, dest.second);
@@ -738,6 +1109,59 @@ struct Engine {
       }
       j = fc;
     }
+    // over-wide-effects (perf plane): a declared root the task lambda —
+    // its capture list included — never mentions is a phantom
+    // footprint: it manufactures ordering edges for nothing and blocks
+    // the overlap the false-serialization rule looks for.
+    if (perf && !summarizing && fx != 0 && is_punct(fx + 1, "(")) {
+      const std::size_t decl_close = close_paren(fx + 1);
+      // Local aliases bound earlier in the enclosing function: after
+      // `auto ce = d_chke_.view();` a capture of `ce` in the lambda IS
+      // a use of root d_chke_.
+      std::map<std::string, std::set<std::string>> alias;
+      for (const FuncDef& def : defs) {
+        if (!(def.body_begin <= i && i < def.body_end)) continue;
+        for (std::size_t j = def.body_begin; j < i; ++j) {
+          if (!is_ident(j) || !is_punct(j + 1, "=")) continue;
+          if (j > 0 && t[j - 1].kind == Tok::Punct &&
+              (t[j - 1].text == "." || t[j - 1].text == "->" || t[j - 1].text == "::"))
+            continue;
+          std::set<std::string>& binds = alias[t[j].text];
+          int pd = 0;
+          for (std::size_t k = j + 2; k < i; ++k) {
+            if (t[k].kind == Tok::Punct) {
+              if (t[k].text == "(") ++pd;
+              else if (t[k].text == ")") --pd;
+              else if (t[k].text == ";" && pd <= 0) break;
+            } else if (t[k].kind == Tok::Ident) {
+              binds.insert(t[k].text);
+            }
+          }
+        }
+        break;
+      }
+      for (const EffRoot& eff : op.effects) {
+        bool mentioned = false;
+        for (std::size_t j = decl_close + 1; j < close && !mentioned; ++j) {
+          if (t[j].kind != Tok::Ident) continue;
+          if (t[j].text == eff.root) {
+            mentioned = true;
+            break;
+          }
+          const auto it = alias.find(t[j].text);
+          mentioned = it != alias.end() && it->second.count(eff.root) > 0;
+        }
+        if (!mentioned) {
+          perf_fire(t[i].line, "over-wide-effects", eff.root,
+                    "task \"" + op.a + "\" declares " +
+                        (eff.write ? "FTH_WRITES" : "FTH_READS") + " over '" + eff.root +
+                        "' but the task body never mentions that root: the phantom "
+                        "footprint manufactures happens-before edges and blocks overlap",
+                    "narrow the FTH_TASK_EFFECTS declaration to the roots the body "
+                    "actually unwraps");
+        }
+      }
+    }
     step(std::move(op));
     return close;  // the task lambda runs in task context, not here
   }
@@ -774,13 +1198,22 @@ struct Engine {
   /// the lookahead pipeline) needs no further iterations.
   void walk_loop_body(std::size_t b, std::size_t e) {
     const std::uint64_t entry_ticket = ticket;
+    // dead-transfer pairing never crosses an iteration boundary: a
+    // loop re-issuing "the same" copy usually targets a different
+    // block/member each trip (the pool scatter/gather loops).
+    d2h_unread_.clear();
+    h2d_dest_unread_.clear();
     walk_range(b, e);
     for (auto& tr : live)
       if (tr.ticket > entry_ticket) tr.carried = true;
     ++second_pass_depth;
+    d2h_unread_.clear();
+    h2d_dest_unread_.clear();
     walk_range(b, e);
     --second_pass_depth;
     for (auto& tr : live) tr.carried = false;
+    d2h_unread_.clear();
+    h2d_dest_unread_.clear();
   }
 
   // ---- the walker ---------------------------------------------------------
@@ -863,7 +1296,8 @@ struct Engine {
         if (events.count(receiver) > 0 || (summarizing && member_or_param)) {
           Op op{Op::kWaitHost, tk.line};
           op.a = receiver;
-          op.flag = id != "wait";  // bounded (wait_for) or non-blocking (ready)
+          op.flag = id != "wait";          // bounded (wait_for) or non-blocking (ready)
+          op.n = id == "ready" ? 0 : 1;    // perf plane: polls are never redundant edges
           step(std::move(op));
           i = close_paren(open);
           continue;
@@ -882,12 +1316,17 @@ struct Engine {
         continue;
       }
       if (open != 0 && dotted && id == "synchronize") {
-        step({Op::kSync, tk.line});
+        Op op{Op::kSync, tk.line};
+        op.scope = i < scope_of.size() ? scope_of[i] : -1;
+        op.b = i >= 2 && is_ident(i - 2) ? t[i - 2].text : "";
+        step(std::move(op));
         i = close_paren(open);
         continue;
       }
       if (open != 0 && id == "host_view" && is_call(open)) {
-        step({Op::kHostView, tk.line});
+        Op op{Op::kHostView, tk.line};
+        op.scope = i < scope_of.size() ? scope_of[i] : -1;
+        step(std::move(op));
         i = close_paren(open);
         continue;
       }
@@ -1022,6 +1461,35 @@ struct Engine {
   void run() {
     find_definitions();
 
+    // Brace-scope map for the host_view-justifies-synchronize rule. Only
+    // compound-STATEMENT braces open a scope: a brace-initializer (an
+    // aggregate literal in an argument list, `Ctx{.a = b}`) is transparent,
+    // so a host_view spelled inside one still counts as the enclosing
+    // block's scope. A `{` is a statement block iff the previous token
+    // could not end an expression needing a brace-init.
+    scope_of.assign(t.size(), -1);
+    {
+      std::vector<int> stack;        // open statement scopes
+      std::vector<char> is_scope;    // per open brace: did it push a scope?
+      for (std::size_t i = 0; i < t.size(); ++i) {
+        scope_of[i] = stack.empty() ? -1 : stack.back();
+        if (t[i].kind != Tok::Punct) continue;
+        if (t[i].text == "{") {
+          bool stmt = i == 0;
+          if (i > 0) {
+            const std::string& p = t[i - 1].text;
+            stmt = p == ")" || p == "{" || p == "}" || p == ";" || p == "]" ||
+                   p == ":" || p == "else" || p == "do" || p == "try";
+          }
+          is_scope.push_back(stmt ? 1 : 0);
+          if (stmt) stack.push_back(static_cast<int>(i));
+        } else if (t[i].text == "}" && !is_scope.empty()) {
+          if (is_scope.back() && !stack.empty()) stack.pop_back();
+          is_scope.pop_back();
+        }
+      }
+    }
+
     // Pass 1: one linear walk per function, emitting its op summary.
     summarizing = true;
     for (const FuncDef& def : defs) {
@@ -1048,6 +1516,31 @@ struct Engine {
       cur_params_ = def.params;
       ++stats.functions;
       walk_range(def.body_begin, def.body_end);
+      // A synchronize() still open at function end retired more than
+      // any host consumption in this function required.
+      close_open_sync(false);
+    }
+
+    // Flush the deferred advisory candidates: fired on some path,
+    // justified on none (DESIGN.md §11.5 soundness rule).
+    if (perf) {
+      std::vector<const PerfCand*> out;
+      for (const PerfCand& c : perf_cands)
+        if (c.fired && !c.justified && !c.message.empty()) out.push_back(&c);
+      std::stable_sort(out.begin(), out.end(), [](const PerfCand* a, const PerfCand* b) {
+        return a->line != b->line ? a->line < b->line : a->rule < b->rule;
+      });
+      for (const PerfCand* c : out) {
+        Finding f;
+        f.file = file;
+        f.line = c->line;
+        f.rule = c->rule;
+        f.message = c->message;
+        f.missing_edge = c->fixit;
+        f.perf = true;
+        f.tasks = c->tasks;
+        findings.push_back(std::move(f));
+      }
     }
   }
 };
@@ -1060,8 +1553,46 @@ bool in_scope(const std::string& rel_path) {
          starts_with(rel_path, "examples/") || starts_with(rel_path, "bench/");
 }
 
+namespace {
+
+/// `// fth-perf: expect <rule> [<rule>...]` markers, scanned from the
+/// raw text (the lexer drops comments): marker line -> expected rules.
+/// A marker covers perf findings up to three lines below it, so it can
+/// sit on the line above the flagged construct.
+std::map<int, std::set<std::string>> expect_markers(const std::string& content) {
+  std::map<int, std::set<std::string>> markers;
+  int line = 1;
+  std::size_t pos = 0;
+  while (pos <= content.size()) {
+    std::size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) eol = content.size();
+    const std::string text = content.substr(pos, eol - pos);
+    const std::size_t m = text.find("fth-perf:");
+    if (m != std::string::npos) {
+      std::size_t k = text.find("expect", m);
+      if (k != std::string::npos) {
+        k += 6;
+        while (k < text.size()) {
+          while (k < text.size() && !(std::islower(static_cast<unsigned char>(text[k])))) ++k;
+          std::size_t b = k;
+          while (k < text.size() &&
+                 (std::islower(static_cast<unsigned char>(text[k])) || text[k] == '-'))
+            ++k;
+          if (k > b) markers[line].insert(text.substr(b, k - b));
+        }
+      }
+    }
+    line += 1;
+    pos = eol + 1;
+    if (eol == content.size()) break;
+  }
+  return markers;
+}
+
+}  // namespace
+
 std::vector<Finding> analyze_source(const std::string& rel_path, const std::string& content,
-                                    Stats* stats) {
+                                    Stats* stats, const Options& opts) {
   if (!in_scope(rel_path)) return {};
   Engine engine;
   engine.file = rel_path;
@@ -1071,9 +1602,48 @@ std::vector<Finding> analyze_source(const std::string& rel_path, const std::stri
   engine.effects_scoped =
       (starts_with(rel_path, "src/hybrid/") || starts_with(rel_path, "src/ft/")) &&
       rel_path != "src/hybrid/stream.hpp";
+  // The perf plane covers the drivers and examples only: bench/
+  // serializes deliberately (a timed region must drain before the
+  // clock stops), and the hybrid runtime core (device.cpp's
+  // synchronous copy primitives, the stream/pool machinery) IS the
+  // synchronization being rationed, not a consumer of it.
+  engine.perf = opts.perf &&
+                (starts_with(rel_path, "src/ft/") || starts_with(rel_path, "examples/") ||
+                 (starts_with(rel_path, "src/hybrid/") && contains(rel_path, "hybrid_")));
   engine.run();
   if (stats != nullptr) stats->accumulate(engine.stats);
+  if (engine.perf) {
+    const auto markers = expect_markers(content);
+    if (!markers.empty()) {
+      for (Finding& f : engine.findings) {
+        if (!f.perf) continue;
+        for (int off = 0; off <= 3 && !f.expected; ++off) {
+          const auto it = markers.find(f.line - off);
+          f.expected = it != markers.end() && it->second.count(f.rule) > 0;
+        }
+      }
+    }
+  }
   return std::move(engine.findings);
+}
+
+std::string stats_lines(const Stats& stats, std::size_t files) {
+  std::string out;
+  const auto kv = [&out](const char* key, std::size_t value) {
+    out += key;
+    out += '=';
+    out += std::to_string(value);
+    out += '\n';
+  };
+  kv("files", files);
+  kv("functions", stats.functions);
+  kv("enqueues", stats.enqueues);
+  kv("transfers", stats.transfers);
+  kv("records", stats.records);
+  kv("waits", stats.waits);
+  kv("syncs", stats.syncs);
+  kv("calls", stats.calls);
+  return out;
 }
 
 std::string format(const Finding& finding) {
@@ -1083,9 +1653,10 @@ std::string format(const Finding& finding) {
   out += ": [";
   out += finding.rule;
   out += "] ";
+  if (finding.expected) out += "(expected) ";
   out += finding.message;
   if (!finding.missing_edge.empty()) {
-    out += "\n    required: ";
+    out += finding.perf ? "\n    suggested: " : "\n    required: ";
     out += finding.missing_edge;
   }
   return out;
@@ -1148,6 +1719,22 @@ const RuleDoc kRules[] = {
     {"stale-checksum-write",
      "a task's FTH_WRITES covers FT-protected checksum storage with no dominating re-encode "
      "since the last checksum comparison"},
+    // ---- §11.5 performance plane (advisory) ----
+    {"redundant-wait",
+     "an Event wait/wait_event whose marker is already host-ordered (or whose edge already "
+     "exists) on every path reaching it: it retires nothing"},
+    {"coarse-synchronize",
+     "a full Stream::synchronize() where the symbolic state shows a narrower Event edge (or "
+     "none at all) suffices for every host-visible obligation"},
+    {"false-serialization",
+     "two back-to-back tasks on one stream with disjoint declared FTH_TASK_EFFECTS "
+     "footprints: FIFO order serializes work that could overlap"},
+    {"over-wide-effects",
+     "a declared FTH_READS/FTH_WRITES root the task body never mentions: a phantom "
+     "footprint that manufactures ordering edges"},
+    {"dead-transfer",
+     "a d2h/h2d whose destination is overwritten before anything reads it: the copy's "
+     "payload is never consumed"},
 };
 
 int rule_index(const std::string& rule) {
@@ -1195,9 +1782,10 @@ std::string to_sarif(const std::vector<Finding>& findings) {
     first = false;
     std::string text = f.message;
     if (!f.missing_edge.empty()) {
-      text += " — required: ";
+      text += f.perf ? " — suggested: " : " — required: ";
       text += f.missing_edge;
     }
+    if (f.expected) text += " [expected: fth-perf marker]";
     out += "        {\n          \"ruleId\": \"";
     out += json_escape(f.rule);
     out += "\",\n";
@@ -1207,7 +1795,9 @@ std::string to_sarif(const std::vector<Finding>& findings) {
       out += std::to_string(idx);
       out += ",\n";
     }
-    out += "          \"level\": \"error\",\n          \"message\": {\"text\": \"";
+    out += "          \"level\": \"";
+    out += f.perf ? "note" : "error";
+    out += "\",\n          \"message\": {\"text\": \"";
     out += json_escape(text);
     out +=
         "\"},\n          \"locations\": [\n            {\"physicalLocation\": "
@@ -1215,7 +1805,19 @@ std::string to_sarif(const std::vector<Finding>& findings) {
     out += json_escape(f.file);
     out += "\"}, \"region\": {\"startLine\": ";
     out += std::to_string(f.line);
-    out += "}}}\n          ]\n        }";
+    out += "}}}";
+    // Perf findings carry their fix-it as a SARIF fix span anchored on
+    // the flagged line, so CI renders the suggestion inline.
+    if (f.perf && !f.missing_edge.empty()) {
+      out += ",\n          \"fixes\": [\n            {\"description\": {\"text\": \"";
+      out += json_escape(f.missing_edge);
+      out += "\"},\n             \"artifactChanges\": [{\"artifactLocation\": {\"uri\": \"";
+      out += json_escape(f.file);
+      out += "\"}, \"replacements\": [{\"deletedRegion\": {\"startLine\": ";
+      out += std::to_string(f.line);
+      out += "}}]}]}\n          ]";
+    }
+    out += "\n        }";
   }
   out +=
       "\n      ]\n"

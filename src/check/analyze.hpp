@@ -78,6 +78,43 @@
 // may-enqueued transfer is treated as live, which is the conservative
 // direction for the race rules.
 //
+// v3 adds the performance plane (DESIGN.md §11.5) — the dual of the
+// race rules, computed from the same symbolic state but advisory by
+// default (Options::perf; findings carry perf = true and never gate):
+//   redundant-wait   an Event::wait()/wait_for() whose recorded marker
+//                    is already host-ordered on EVERY path reaching it
+//                    (a dominating synchronize/sync-copy/earlier wait
+//                    retired through the marker): the edge retires
+//                    nothing and only costs a handshake.
+//   coarse-synchronize a full Stream::synchronize() that blocks the
+//                    host on more device work than any host-visible
+//                    obligation requires: no live transfer at all, the
+//                    newest live transfer's ticket strictly below the
+//                    stream tail (a record()/wait() pair at that ticket
+//                    is the narrower edge), or a tail h2d whose source
+//                    the host never rewrites before the next device op
+//                    (retirement can be deferred). A host_view in the
+//                    same brace scope justifies the barrier (that is
+//                    the drain-before-unwrap discipline), as does a
+//                    host touch of a live d2h destination (fetch-join).
+//   false-serialization two back-to-back tasks on one stream whose
+//                    declared FTH_TASK_EFFECTS footprints are disjoint
+//                    (no root shared with a write on either side): FIFO
+//                    order is pure serialization; a second stream (or
+//                    pool member) could overlap them.
+//   over-wide-effects a declared FTH_READS/FTH_WRITES root the task
+//                    lambda never mentions: the phantom footprint
+//                    manufactures cross-stream edges and blocks the
+//                    overlap the false-serialization rule looks for.
+//   dead-transfer    a d2h whose host destination is overwritten by the
+//                    next d2h without any host read in between, or an
+//                    h2d whose device destination is overwritten by the
+//                    next h2d with no device op in between.
+// A `// fth-perf: expect <rule>` comment on (or up to three lines
+// above) the flagged line marks the finding as expected — the checked
+// exemplars in examples/ — which the CLI reports but never promotes to
+// an error, keeping the perf-plane golden count meaningful.
+//
 // Whole-tree gate: tools/fth_analyze.cpp, wired as the analyze.repo
 // ctest (and analyze.perf, which bounds the two-pass engine's cost).
 // Unlike the §10 checker this pass has no runtime hooks and is
@@ -94,7 +131,11 @@ struct Finding {
   int line = 0;              ///< 1-based
   std::string rule;          ///< see header comment
   std::string message;       ///< what is wrong, runtime-checker flavoured
-  std::string missing_edge;  ///< the happens-before edge that would fix it
+  std::string missing_edge;  ///< correctness: the edge that would fix it;
+                             ///< perf plane: the fix-it suggestion
+  bool perf = false;         ///< performance-plane (advisory) finding
+  bool expected = false;     ///< matched a `// fth-perf: expect` marker
+  std::vector<std::string> tasks;  ///< false-serialization: the task pair
 };
 
 /// Aggregate counters, mostly for the golden "the analyzer actually saw
@@ -126,13 +167,25 @@ struct Stats {
 /// hybrid runtime, the FT drivers, and the user-facing surfaces.
 bool in_scope(const std::string& rel_path);
 
+/// Per-run switches. The default-constructed value reproduces the v2
+/// correctness gate exactly (the perf plane is never even computed), so
+/// `--perf` cannot perturb the analyze.repo output.
+struct Options {
+  bool perf = false;  ///< also compute the §11.5 performance plane
+};
+
 /// Analyze one translation unit's text. `rel_path` selects per-layer
 /// rule scoping (and is stamped into findings); out-of-scope paths
 /// yield no findings. Pure function of its arguments — the seeded
 /// regression tests run it on mutated in-memory copies of the real
 /// drivers.
 std::vector<Finding> analyze_source(const std::string& rel_path, const std::string& content,
-                                    Stats* stats = nullptr);
+                                    Stats* stats = nullptr, const Options& opts = {});
+
+/// The canonical key=value serialization of the whole-tree stats, the
+/// format `fth_analyze --stats-out` writes and the golden test
+/// (tests/check/analyze_golden.txt) compares against.
+std::string stats_lines(const Stats& stats, std::size_t files);
 
 /// "file:line: [rule] message" + an indented `required:` edge line, the
 /// same shape tools/fth_lint.cpp prints.

@@ -100,6 +100,7 @@ class FtGebrdDriver {
         ckpt_rows_(std::max<index_t>(opt.nb, 1), n_),
         ckpt_chkc_(n_, 1),
         ckpt_chkr_(n_, 1),
+        seg_(std::max<index_t>(opt.nb, 1), 2),
         at_mirror_(n_, n_),
         qp_v_(n_, /*row_offset=*/1),
         qp_u_(n_, /*row_offset=*/2) {
@@ -168,6 +169,9 @@ class FtGebrdDriver {
     auto ones = d_ones_.view().col(0);
     hybrid::gemv_async(s_, Trans::No, 1.0, d_a_.view(), ones, 0.0, d_chkc_.view().col(0));
     hybrid::gemv_async(s_, Trans::Yes, 1.0, d_a_.view(), ones, 0.0, d_chkr_.view().col(0));
+    // Intentional full barrier, once per run: mark_encoded() below opens
+    // the fault gate, and both codes must exist on the device before any
+    // strike is allowed. fth-perf: expect coarse-synchronize
     s_.synchronize();
     rep_.encode_seconds += t.seconds();
     // Faults are gated until the codes exist: an earlier strike would be
@@ -367,19 +371,21 @@ class FtGebrdDriver {
       // Finished panel rows/columns of the checksums: re-encode from the
       // final bidiagonal data, and account the new coupling entry
       // e_last = B(i+ib−1, i+ib) in the trailing column i+ib.
-      Matrix<double> seg(ib, 2);
       for (index_t j = 0; j < ib; ++j) {
         const index_t r = i + j;
-        seg(j, 0) = a_(r, r) + a_(r, r + 1);                       // row sum of B row r
-        seg(j, 1) = a_(r, r) + (r > 0 ? a_(r - 1, r) : 0.0);       // col sum of B col r
+        seg_(j, 0) = a_(r, r) + a_(r, r + 1);                      // row sum of B row r
+        seg_(j, 1) = a_(r, r) + (r > 0 ? a_(r - 1, r) : 0.0);      // col sum of B col r
       }
-      copy_h2d_async(s_, seg.block(0, 0, ib, 1), d_chkc_.block(i, 0, ib, 1));
-      copy_h2d_async(s_, seg.block(0, 1, ib, 1), d_chkr_.block(i, 0, ib, 1));
+      copy_h2d_async(s_, seg_.block(0, 0, ib, 1), d_chkc_.block(i, 0, ib, 1));
+      copy_h2d_async(s_, seg_.block(0, 1, ib, 1), d_chkr_.block(i, 0, ib, 1));
       const double e_last = e_[i + ib - 1];
       auto cr = d_chkr_.view();
       s_.enqueue("ft.couple", FTH_TASK_EFFECTS(FTH_WRITES(d_chkr_.view())),
                  [cr, i, ib, e_last] { cr.in_task()(i + ib, 0) += e_last; });
-      s_.synchronize();
+      // No loop-bottom synchronize: the seg_ uploads and the couple task
+      // stay in flight and are retired by detect()'s synchronous fetch
+      // before the host refills seg_ (fth_analyze --perf flagged the old
+      // barrier as coarse-synchronize).
     }
     st_.update_seconds += update_timer.seconds();
     return true;
@@ -577,6 +583,7 @@ class FtGebrdDriver {
     }
     // Drain before touching the checkpoints from the host: in-flight faults
     // fire on the worker thread and may target the checkpoint buffers.
+    // Recovery cold path, not worth an Event edge. fth-perf: expect coarse-synchronize
     s_.synchronize();
     obs::TraceSpan restore_span("ft", "checkpoint_restore", "col", static_cast<double>(i));
     verify_or_rederive_panel_checkpoints(i, ib);
@@ -936,6 +943,10 @@ class FtGebrdDriver {
   Matrix<double> ckpt_rows_;
   Matrix<double> ckpt_chkc_;
   Matrix<double> ckpt_chkr_;
+  // Re-encode staging segment, hoisted out of the update loop: the async
+  // h2d that reads it stays in flight past the loop bottom and is retired
+  // by detect()'s synchronous fetch before the next refill.
+  Matrix<double> seg_;
   Matrix<double> at_mirror_;
   QProtector qp_v_;
   QProtector qp_u_;

@@ -176,6 +176,10 @@ class FtDriver {
       auto eh = e.in_task();
       eh(n, n) = blas::sum(VectorView<const double>(eh.row(n).sub(0, n)));
     });
+    // Intentional full barrier, once per run: mark_encoded() below opens
+    // the fault gate, and the codes must exist on the device before any
+    // strike is allowed — a narrower transfer-only edge would let faults
+    // fire under the encode kernels. fth-perf: expect coarse-synchronize
     s_.synchronize();
     rep_.encode_seconds += t.seconds();
     // Faults are gated until the codes exist: an earlier strike would be
@@ -338,24 +342,11 @@ class FtDriver {
       // before the left one (enqueued, so ordering on the stream is exact).
       if (plane_ != nullptr) plane_->on_between_updates(s_);
 
-      // Host work overlapped with the device GEMM (the paper's line 9/line 10
-      // overlap, plus the Q checksum generation of Section IV-E).
-      if (opt_.protect_q) {
-        WallTimer qt;
-        obs::TraceSpan q_span("ft", "q_checksum");
-        pending_q_ = qp_.compute_panel(MatrixView<const double>(a_), i, ib);
-        rep_.q_seconds += qt.seconds();
-      }
-      y_upper_ready.wait();
-      blas::trmm(Side::Right, Uplo::Lower, Trans::Yes, Diag::Unit, 1.0,
-                 MatrixView<const double>(a_.block(i + 1, i, ib - 1, ib - 1)),
-                 y_host_.block(0, 0, i + 1, ib - 1));
-      for (index_t j = 0; j + 1 < ib; ++j) {
-        blas::axpy(-1.0, VectorView<const double>(y_host_.block(0, j, i + 1, 1).col(0)),
-                   a_.block(0, i + 1 + j, i + 1, 1).col(0));
-      }
-
       // Line 11: extended left update; W is retained for reverse computation.
+      // Enqueued BEFORE the host panel fix below — it reads only
+      // device-resident operands (Vce, T, the extended trailing columns),
+      // so the host work overlaps both big updates instead of just the
+      // right one (the paper's line 9/line 10 overlap, widened).
       hybrid::gemm_async(s_, Trans::Yes, Trans::No, 1.0, d_vce_.block(0, 0, vrows, ib),
                          d_e_.block(i + 1, i + ib, vrows, width), 0.0,
                          d_w_.block(0, 0, ib, width));
@@ -364,6 +355,26 @@ class FtDriver {
       hybrid::gemm_async(s_, Trans::No, Trans::No, -1.0, d_vce_.block(0, 0, vrows + 1, ib),
                          d_w_.block(0, 0, ib, width), 1.0,
                          d_e_.block(i + 1, i + ib, vrows + 1, width));
+
+      // Host work overlapped with the device GEMMs (Q checksum generation
+      // of Section IV-E, then the panel-column fix).
+      if (opt_.protect_q) {
+        WallTimer qt;
+        obs::TraceSpan q_span("ft", "q_checksum");
+        pending_q_ = qp_.compute_panel(MatrixView<const double>(a_), i, ib);
+        rep_.q_seconds += qt.seconds();
+      }
+      // The wait also retires the V/T/Y uploads, so the stack-local V
+      // staging buffer may die at the end of this scope with no transfer
+      // still reading it.
+      y_upper_ready.wait();
+      blas::trmm(Side::Right, Uplo::Lower, Trans::Yes, Diag::Unit, 1.0,
+                 MatrixView<const double>(a_.block(i + 1, i, ib - 1, ib - 1)),
+                 y_host_.block(0, 0, i + 1, ib - 1));
+      for (index_t j = 0; j + 1 < ib; ++j) {
+        blas::axpy(-1.0, VectorView<const double>(y_host_.block(0, j, i + 1, 1).col(0)),
+                   a_.block(0, i + 1 + j, i + 1, 1).col(0));
+      }
 
       // The panel columns transition from "trailing data" (checksummed over
       // the full height) to "finished H columns" (checksummed over rows
@@ -380,7 +391,11 @@ class FtDriver {
       }
       copy_h2d_async(s_, MatrixView<const double>(new_chkrow_.block(0, 0, 1, ib)),
                      d_e_.block(n_, i, 1, ib));
-      s_.synchronize();
+      // No loop-bottom synchronize: the re-encode h2d stays in flight and
+      // is retired by detect()'s synchronous fetch before the host rewrites
+      // new_chkrow_ next iteration (fth_analyze --perf flagged the old
+      // barrier as coarse-synchronize, and the loop-carried pass proves the
+      // detect edge covers it).
     }
     st_.update_seconds += update_timer.seconds();
     return true;

@@ -103,9 +103,11 @@ class FtSytrdDriver {
         d_pc_(dev, n_, 2, "sytrd.ft.d_pc"),
         d_fresh_(dev, n_, 1, "sytrd.ft.d_fresh"),
         w_host_(n_, std::max<index_t>(opt.nb, 1)),
+        v_host_(n_, std::max<index_t>(opt.nb, 1)),
         ckpt_(n_, std::max<index_t>(opt.nb, 1)),
         ckpt_chke_(n_, 1),
         ckpt_chkw_(n_, 1),
+        seg_(std::max<index_t>(opt.nb, 1), 2),
         qp_(n_) {
     const double fro = norm_fro(MatrixView<const double>(a_));
     scale_max_ = norm_max(MatrixView<const double>(a_));
@@ -184,6 +186,9 @@ class FtSytrdDriver {
                        d_chke_.view().col(0));
     hybrid::symv_async(s_, Uplo::Lower, 1.0, d_a_.view(), d_wvec_.view().col(0), 0.0,
                        d_chkw_.view().col(0));
+    // Intentional full barrier, once per run: mark_encoded() below opens
+    // the fault gate, and both codes must exist on the device before any
+    // strike is allowed. fth-perf: expect coarse-synchronize
     s_.synchronize();
     rep_.encode_seconds += t.seconds();
     // Faults are gated until the codes exist: an earlier strike would be
@@ -288,9 +293,13 @@ class FtSytrdDriver {
     WallTimer update_timer;
     {
       obs::TraceSpan update_span("hybrid", "update", "col", static_cast<double>(i));
-      // Clean V (explicit unit) and the finished W block to the device.
-      Matrix<double> v = lapack::materialize_v(MatrixView<const double>(a_), i, ib);
-      copy_h2d_async(s_, v.cview(), d_v_.block(0, 0, vrows, ib));
+      // Clean V (explicit unit) and the finished W block to the device,
+      // staged in the loop-hoisted v_host_ (the upload is only retired by
+      // detect()'s synchronous fetch, after this scope ends).
+      lapack::materialize_v_into(MatrixView<const double>(a_), i, ib,
+                                 v_host_.block(0, 0, vrows, ib));
+      copy_h2d_async(s_, MatrixView<const double>(v_host_.block(0, 0, vrows, ib)),
+                     d_v_.block(0, 0, vrows, ib));
       copy_h2d_async(s_, MatrixView<const double>(w_host_.block(i + 1, 0, vrows, ib)),
                      d_w_.block(0, 0, vrows, ib));
 
@@ -355,18 +364,17 @@ class FtSytrdDriver {
 
       // Re-encode the finished panel rows of both checksums from the final
       // tridiagonal data, and add the new coupling entry to row i+ib.
-      Matrix<double> seg(ib, 2);
       for (index_t j = 0; j < ib; ++j) {
         const index_t r = i + j;
         const double dl = r > 0 ? a_(r, r - 1) : 0.0;
         const double dd = a_(r, r);
         const double du = a_(r + 1, r);  // superdiagonal by symmetry
-        seg(j, 0) = dl + dd + du;
-        seg(j, 1) = dl * static_cast<double>(r) + dd * static_cast<double>(r + 1) +
-                    du * static_cast<double>(r + 2);
+        seg_(j, 0) = dl + dd + du;
+        seg_(j, 1) = dl * static_cast<double>(r) + dd * static_cast<double>(r + 1) +
+                     du * static_cast<double>(r + 2);
       }
-      copy_h2d_async(s_, seg.block(0, 0, ib, 1), d_chke_.block(i, 0, ib, 1));
-      copy_h2d_async(s_, seg.block(0, 1, ib, 1), d_chkw_.block(i, 0, ib, 1));
+      copy_h2d_async(s_, seg_.block(0, 0, ib, 1), d_chke_.block(i, 0, ib, 1));
+      copy_h2d_async(s_, seg_.block(0, 1, ib, 1), d_chkw_.block(i, 0, ib, 1));
       const double e_last = e_[i + ib - 1];
       auto ce = d_chke_.view();
       auto cw = d_chkw_.view();
@@ -375,7 +383,10 @@ class FtSytrdDriver {
         ce.in_task()(i + ib, 0) += e_last;
         cw.in_task()(i + ib, 0) += e_last * static_cast<double>(i + ib);  // weight of col i+ib−1
       });
-      s_.synchronize();
+      // No loop-bottom synchronize: the seg_ uploads and the couple task
+      // stay in flight and are retired by detect()'s synchronous fetch
+      // before the host refills seg_ (fth_analyze --perf flagged the old
+      // barrier as coarse-synchronize).
     }
     st_.update_seconds += update_timer.seconds();
     return true;
@@ -540,6 +551,7 @@ class FtSytrdDriver {
     }
     // Drain before touching the checkpoints from the host: in-flight faults
     // fire on the worker thread and may target the checkpoint buffers.
+    // Recovery cold path, not worth an Event edge. fth-perf: expect coarse-synchronize
     s_.synchronize();
     obs::TraceSpan restore_span("ft", "checkpoint_restore", "col", static_cast<double>(i));
     verify_or_rederive_panel_checkpoint(i, ib);
@@ -957,9 +969,14 @@ class FtSytrdDriver {
   hybrid::DeviceMatrix<double> d_fresh_;
 
   Matrix<double> w_host_;
+  Matrix<double> v_host_;
   Matrix<double> ckpt_;
   Matrix<double> ckpt_chke_;
   Matrix<double> ckpt_chkw_;
+  // Re-encode staging segment, hoisted out of the update loop: the async
+  // h2d that reads it stays in flight past the loop bottom and is retired
+  // by detect()'s synchronous fetch before the next refill.
+  Matrix<double> seg_;
   QProtector qp_;
   QProtector::PanelChecksums pending_q_;
 };

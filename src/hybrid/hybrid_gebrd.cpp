@@ -131,13 +131,17 @@ void hybrid_gebrd(Device& dev, MatrixView<double> a, VectorView<double> d,
           a(i + j, i + j) = d[i + j];
           a(i + j, i + j + 1) = e[i + j];
         }
-        s.synchronize();
+        // No loop-bottom synchronize: operands_shipped already retired the
+        // four uploads, and the next iteration's synchronous per-column
+        // panel fetches join the trailing GEMMs (fth_analyze --perf
+        // flagged the old barrier as coarse-synchronize).
       }
       st.update_seconds += update_timer.seconds();
 
       i += ib;
       ++st.panels;
       if (hook) {
+        s.synchronize();  // host_view below needs an idle stream
         hook(IterationHookContext{.boundary = st.panels,
                                   .next_panel = i,
                                   .nb = nb,

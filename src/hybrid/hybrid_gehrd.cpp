@@ -112,8 +112,18 @@ void hybrid_gehrd(Device& dev, MatrixView<double> a, VectorView<double> tau,
                    d_v.block(ib - 1, 0, n - i - ib, ib),
                    1.0, d_a.block(0, i + ib, n, n - i - ib));
 
-        // Host (overlapped with the device GEMM): finish the upper rows of
-        // the panel columns, A(0:i+1, i+1:i+ib) −= Y(0:i+1, 0:ib−1)·V1ᵀ.
+        // Left update (device): A(i+1:n, i+ib:n) := Hᵀ·A(i+1:n, i+ib:n).
+        // Enqueued before the host panel fix below — it reads only
+        // device-resident operands, so the host work overlaps BOTH big
+        // updates instead of just the right one.
+        larfb_left_async(s, Trans::Yes, d_v.block(0, 0, vrows, ib),
+                         d_t.block(0, 0, ib, ib),
+                         d_a.block(i + 1, i + ib, vrows, n - i - ib), d_work.view());
+
+        // Host (overlapped with the device GEMM + larfb): finish the upper
+        // rows of the panel columns, A(0:i+1, i+1:i+ib) −= Y·V1ᵀ. The wait
+        // also retires the V/T/Y uploads, so the stack-local V staging
+        // buffer may die at the end of this scope with no transfer live.
         y_upper_ready.wait();
         blas::trmm(Side::Right, Uplo::Lower, Trans::Yes, Diag::Unit, 1.0,
                    MatrixView<const double>(a.block(i + 1, i, ib - 1, ib - 1)),
@@ -123,18 +133,17 @@ void hybrid_gehrd(Device& dev, MatrixView<double> a, VectorView<double> tau,
                      a.block(0, i + 1 + j, i + 1, 1).col(0));
         }
 
-        // Left update (device): A(i+1:n, i+ib:n) := Hᵀ·A(i+1:n, i+ib:n).
-        larfb_left_async(s, Trans::Yes, d_v.block(0, 0, vrows, ib),
-                         d_t.block(0, 0, ib, ib),
-                         d_a.block(i + 1, i + ib, vrows, n - i - ib), d_work.view());
-
         i += ib;
         ++st.panels;
-        s.synchronize();
+        // No loop-bottom synchronize: the next iteration's synchronous
+        // panel fetch is the real barrier, so the trailing updates keep
+        // running under the host's loop bookkeeping (fth_analyze --perf
+        // flagged the old barrier as coarse-synchronize).
       }
       st.update_seconds += update_timer.seconds();
 
       if (hook) {
+        s.synchronize();  // host_view below needs an idle stream
         hook(IterationHookContext{.boundary = st.panels,
                                   .next_panel = i,
                                   .nb = nb,

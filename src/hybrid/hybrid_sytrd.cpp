@@ -41,6 +41,10 @@ void hybrid_sytrd(Device& dev, MatrixView<double> a, VectorView<double> d,
     copy_h2d(s, MatrixView<const double>(a), d_a.view());
 
     Matrix<double> w_host(n, nb);
+    // V staging buffer, loop-hoisted: the async upload that reads it is
+    // only retired by the NEXT iteration's synchronous panel fetch, so a
+    // per-iteration local would be freed with the transfer still live.
+    Matrix<double> v_host(n, nb);
     DeviceMatrix<double> d_v(dev, n, nb, "sytrd.d_v");
     DeviceMatrix<double> d_w(dev, n, nb, "sytrd.d_w");
 
@@ -77,9 +81,11 @@ void hybrid_sytrd(Device& dev, MatrixView<double> a, VectorView<double> d,
       {
         obs::TraceSpan update_span("hybrid", "update", "col", static_cast<double>(i));
       // Ship clean V (explicit unit diagonal) and the finished W columns.
-      Matrix<double> v = lapack::materialize_v(MatrixView<const double>(a), i, ib);
       const index_t vrows = n - i - 1;
-      copy_h2d_async(s, v.cview(), d_v.block(0, 0, vrows, ib));
+      lapack::materialize_v_into(MatrixView<const double>(a), i, ib,
+                                 v_host.block(0, 0, vrows, ib));
+      copy_h2d_async(s, MatrixView<const double>(v_host.block(0, 0, vrows, ib)),
+                     d_v.block(0, 0, vrows, ib));
       copy_h2d_async(s, MatrixView<const double>(w_host.block(i + 1, 0, vrows, ib)),
                      d_w.block(0, 0, vrows, ib));
 
@@ -95,13 +101,16 @@ void hybrid_sytrd(Device& dev, MatrixView<double> a, VectorView<double> d,
         a(i + j + 1, i + j) = e[i + j];  // replace the panel's unit entries
         d[i + j] = a(i + j, i + j);
       }
-        s.synchronize();
+      // No loop-bottom synchronize: the next iteration's synchronous panel
+      // fetch retires the V/W uploads and joins the rank-2k update
+      // (fth_analyze --perf flagged the old barrier as coarse-synchronize).
       }
       st.update_seconds += update_timer.seconds();
 
       i += ib;
       ++st.panels;
       if (hook) {
+        s.synchronize();  // host_view below needs an idle stream
         hook(IterationHookContext{.boundary = st.panels,
                                   .next_panel = i,
                                   .nb = nb,

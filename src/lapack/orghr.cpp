@@ -12,13 +12,23 @@ Matrix<double> materialize_v(MatrixView<const double> a_factored, index_t k, ind
   FTH_CHECK(k >= 0 && nb >= 1 && k + nb < n, "materialize_v: panel out of range");
   const index_t rows = n - k - 1;
   Matrix<double> v(rows, nb);
+  materialize_v_into(a_factored, k, nb, v.view());
+  return v;
+}
+
+void materialize_v_into(MatrixView<const double> a_factored, index_t k, index_t nb,
+                        MatrixView<double> v) {
+  const index_t n = a_factored.rows();
+  FTH_CHECK(k >= 0 && nb >= 1 && k + nb < n, "materialize_v_into: panel out of range");
+  const index_t rows = n - k - 1;
+  FTH_CHECK(v.rows() >= rows && v.cols() >= nb, "materialize_v_into: view too small");
   for (index_t j = 0; j < nb; ++j) {
     // Reflector k+j: unit at row j (global k+j+1), tail from the factored
-    // panel below it, zeros above.
+    // panel below it, explicit zeros above.
+    for (index_t i = 0; i < j; ++i) v(i, j) = 0.0;
     v(j, j) = 1.0;
     for (index_t i = j + 1; i < rows; ++i) v(i, j) = a_factored(k + 1 + i, k + j);
   }
-  return v;
 }
 
 Matrix<double> orghr(MatrixView<const double> a_factored, VectorView<const double> tau,

@@ -672,6 +672,7 @@ struct SeededEdge {
   const char* rule;        ///< expected finding
   int line;                ///< expected access site
   const char* mentions;    ///< substring the message must carry
+  std::size_t findings;    ///< total findings the deletion produces
 };
 
 // One entry per U2-critical edge in the hybrid and FT drivers. The line
@@ -679,28 +680,37 @@ struct SeededEdge {
 // driver is edited these update with it (the clean-tree golden below
 // catches drift the other way).
 const SeededEdge kSeeds[] = {
-    {"src/hybrid/hybrid_gehrd.cpp", "y_upper_ready.wait();", "transfer-race", 120, "'y_host'"},
-    {"src/hybrid/hybrid_gebrd.cpp", "operands_shipped.wait();", "transfer-race", 131, "'a'"},
-    {"src/hybrid/hybrid_sytrd.cpp", "s.synchronize();", "stream-not-idle", 109, "host_view"},
-    {"src/ft/ft_gehrd.cpp", "y_upper_ready.wait();", "transfer-race", 352, "'y_host_'"},
-    {"src/ft/ft_gebrd.cpp", "operands_shipped.wait();", "transfer-race", 352, "'a_'"},
+    {"src/hybrid/hybrid_gehrd.cpp", "y_upper_ready.wait();", "transfer-race", 130, "'y_host'",
+     1},
+    {"src/hybrid/hybrid_gebrd.cpp", "operands_shipped.wait();", "transfer-race", 131, "'a'", 1},
+    // The only synchronize() left in the de-over-synchronized driver is
+    // the hook-branch drain; deleting it breaks the host_view unwrap.
+    {"src/hybrid/hybrid_sytrd.cpp", "s.synchronize();", "stream-not-idle", 118, "host_view", 1},
+    {"src/ft/ft_gehrd.cpp", "y_upper_ready.wait();", "transfer-race", 373, "'y_host_'", 1},
+    // ft_gebrd: the wait also covers the fault-injection helper's host
+    // write of a_, so its deletion surfaces that second race (at the
+    // inject_at_boundary splice) alongside the pivot-restore one.
+    {"src/ft/ft_gebrd.cpp", "operands_shipped.wait();", "transfer-race", 356, "'a_'", 2},
     // The one inter-device edge of the pool driver's Y-top reduction:
     // without it the collector task reads stage_g_ while the producers'
     // d2h copies are still in flight (ISSUE 7 / DESIGN.md §13).
     {"src/ft/pool_gehrd.cpp", "sc.wait_event(shard_done);", "cross-stream-race", 354,
-     "'stage_g_'"},
+     "'stage_g_'", 1},
 };
 
 TEST(AnalyzeSeeded, DeletingEachOrderingEdgeIsCaughtAtTheAccessSite) {
   for (const auto& seed : kSeeds) {
     const auto f = run(seed.file, without(repo_file(seed.file), seed.deleted));
-    ASSERT_EQ(f.size(), 1u) << seed.file << " minus `" << seed.deleted << "`";
-    EXPECT_EQ(f[0].rule, seed.rule) << seed.file;
-    EXPECT_EQ(f[0].line, seed.line) << seed.file;
-    EXPECT_EQ(f[0].file, seed.file);
-    EXPECT_NE(f[0].message.find(seed.mentions), std::string::npos)
-        << seed.file << ": " << f[0].message;
-    EXPECT_FALSE(f[0].missing_edge.empty())
+    ASSERT_EQ(f.size(), seed.findings) << seed.file << " minus `" << seed.deleted << "`";
+    const Finding* hit = nullptr;
+    for (const auto& x : f)
+      if (x.line == seed.line) hit = &x;
+    ASSERT_NE(hit, nullptr) << seed.file << ": nothing anchored at line " << seed.line;
+    EXPECT_EQ(hit->rule, seed.rule) << seed.file;
+    EXPECT_EQ(hit->file, seed.file);
+    EXPECT_NE(hit->message.find(seed.mentions), std::string::npos)
+        << seed.file << ": " << hit->message;
+    EXPECT_FALSE(hit->missing_edge.empty())
         << "every discipline finding names the edge that would fix it";
   }
 }
@@ -769,11 +779,11 @@ TEST(AnalyzeFixture, DeletingTheCrossIterationWaitIsALoopCarriedRace) {
   // (straight-line) and the back-edge one (loop-carried). Each is
   // reported once, at the factor_panel call that touches the panel.
   ASSERT_EQ(f.size(), 2u);
-  EXPECT_TRUE(has_finding(f, "loop-carried-race", 77));
-  EXPECT_TRUE(has_finding(f, "transfer-race", 77));
+  EXPECT_TRUE(has_finding(f, "loop-carried-race", 80));
+  EXPECT_TRUE(has_finding(f, "transfer-race", 80));
   for (const auto& x : f) {
     EXPECT_NE(x.message.find("'panel_host_'"), std::string::npos);
-    EXPECT_NE(x.message.find("line 108"), std::string::npos)
+    EXPECT_NE(x.message.find("line 130"), std::string::npos)
         << "the racing transfer is the helper's d2h, seen through its summary";
   }
 }
@@ -782,14 +792,14 @@ TEST(AnalyzeFixture, DeletingTheLookaheadRecordBreaksTheSameEdge) {
   // Without the record there is no marker for the top-of-loop wait to
   // retire through — the wait becomes a no-op on an unbound Event.
   const auto f = run(kFixture, without(repo_file(kFixture), "panel_ready_ = sc.record();"));
-  EXPECT_TRUE(has_finding(f, "loop-carried-race", 77));
+  EXPECT_TRUE(has_finding(f, "loop-carried-race", 80));
 }
 
 TEST(AnalyzeFixture, DeletingTheWaitEventEdgeIsACrossStreamRace) {
   const auto f = run(kFixture, without(repo_file(kFixture), "sc.wait_event(shard_done);"));
   ASSERT_EQ(f.size(), 1u);
   EXPECT_EQ(f[0].rule, "cross-stream-race");
-  EXPECT_EQ(f[0].line, 130);
+  EXPECT_EQ(f[0].line, 152);
   EXPECT_NE(f[0].message.find("'stage_host_'"), std::string::npos);
   EXPECT_NE(f[0].missing_edge.find("wait_event"), std::string::npos);
 }
@@ -802,7 +812,7 @@ TEST(AnalyzeFixture, DeletingTheChecksumReadbackWaitIsATransferRace) {
               "lost\");"));
   ASSERT_EQ(f.size(), 1u);
   EXPECT_EQ(f[0].rule, "transfer-race");
-  EXPECT_EQ(f[0].line, 145);
+  EXPECT_EQ(f[0].line, 167);
   EXPECT_NE(f[0].message.find("'chk_host_'"), std::string::npos);
 }
 
@@ -814,7 +824,7 @@ TEST(AnalyzeFixture, SwappingAPoolWaitForForPlainWaitIsCaught) {
                               "panel_ready_.wait();"));
   ASSERT_EQ(f.size(), 1u);
   EXPECT_EQ(f[0].rule, "unbounded-pool-wait");
-  EXPECT_EQ(f[0].line, 75);
+  EXPECT_EQ(f[0].line, 78);
   EXPECT_NE(f[0].message.find("'panel_ready_'"), std::string::npos);
 }
 
@@ -827,8 +837,8 @@ TEST(AnalyzeFixture, RemovingTheReencodeBeforeTheCoupleWriteIsCaught) {
   // the summary splice anchors on — the write is unsanctioned in both
   // timelines.
   ASSERT_EQ(f.size(), 2u);
-  EXPECT_TRUE(has_finding(f, "stale-checksum-write", 165));
-  EXPECT_TRUE(has_finding(f, "stale-checksum-write", 89));
+  EXPECT_TRUE(has_finding(f, "stale-checksum-write", 187));
+  EXPECT_TRUE(has_finding(f, "stale-checksum-write", 92));
   for (const auto& x : f) EXPECT_NE(x.message.find("'d_chk_'"), std::string::npos);
 }
 
@@ -860,7 +870,338 @@ TEST(AnalyzeSarif, AnEmptyRunIsAWellFormedLog) {
   EXPECT_EQ(sarif.find("\"ruleId\""), std::string::npos);
 }
 
+// ---- the performance plane (DESIGN.md §11.5) --------------------------------
+//
+// Same engine, perf switch on. Every rule gets the kSeeds treatment:
+// a synthetic seed it must fire on at the exact line, the idiomatic
+// spelling it must stay quiet on, and a mutation of the REAL sources
+// re-introducing the over-synchronization this PR removed.
+
+std::vector<Finding> run_perf(const std::string& path, const std::string& content) {
+  return analyze_source(path, content, nullptr, Options{.perf = true});
+}
+
+bool has_perf(const std::vector<Finding>& f, const char* rule, int line) {
+  for (const auto& x : f)
+    if (x.perf && x.rule == rule && x.line == line) return true;
+  return false;
+}
+
+std::size_t perf_count(const std::vector<Finding>& f) {
+  std::size_t n = 0;
+  for (const auto& x : f) n += x.perf ? 1 : 0;
+  return n;
+}
+
+TEST(AnalyzePerf, OffByDefaultAndScopedToTheOverlapSurfaces) {
+  // The record precedes the transfer, so the synchronize() is the d2h's
+  // fetch-join (never coarse) and the wait's marker is already
+  // host-ordered: exactly one advisory, the redundant wait.
+  const std::string seed =
+      "void f(Stream& s) {\n"
+      "  const Event done = s.record();\n"
+      "  copy_d2h_async(s, d_y.cview(), y.view());\n"
+      "  s.synchronize();\n"
+      "  done.wait();\n"
+      "  y(0, 0) = 1.0;\n"
+      "}\n";
+  EXPECT_TRUE(run("src/ft/x.cpp", seed).empty())
+      << "the default Options never even compute the plane";
+  EXPECT_TRUE(run_perf("bench/x.cpp", seed).empty())
+      << "bench/ is correctness-scoped but not an overlap surface";
+  EXPECT_TRUE(run_perf("src/hybrid/stream.cpp", seed).empty())
+      << "only the hybrid_* drivers opt into the perf plane under src/hybrid/";
+  const auto f = run_perf("src/ft/x.cpp", seed);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_TRUE(f[0].perf);
+  EXPECT_FALSE(f[0].expected);
+}
+
+TEST(AnalyzePerfRedundantWait, AWaitAlreadyHostOrderedOnEveryPathFires) {
+  const auto f = run_perf("src/ft/x.cpp",
+                          "void f(Stream& s) {\n"
+                          "  const Event done = s.record();\n"
+                          "  copy_d2h_async(s, d_y.cview(), y.view());\n"
+                          "  s.synchronize();\n"
+                          "  done.wait();\n"
+                          "  y(0, 0) = 1.0;\n"
+                          "}\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "redundant-wait");
+  EXPECT_EQ(f[0].line, 5);
+  EXPECT_TRUE(f[0].perf);
+  EXPECT_NE(f[0].message.find("retires nothing"), std::string::npos);
+  EXPECT_NE(f[0].missing_edge.find("drop the wait"), std::string::npos)
+      << "perf findings carry the fix-it in the missing_edge slot";
+
+  EXPECT_TRUE(run_perf("src/ft/x.cpp",
+                       "void f(Stream& s) {\n"
+                       "  copy_d2h_async(s, d_y.cview(), y.view());\n"
+                       "  const Event done = s.record();\n"
+                       "  done.wait();\n"
+                       "  y(0, 0) = 1.0;\n"
+                       "}\n")
+                  .empty())
+      << "a wait that is the one retiring edge is load-bearing, not redundant";
+}
+
+TEST(AnalyzePerfRedundantWait, ASameStreamWaitEventFires) {
+  const auto f = run_perf("src/ft/x.cpp",
+                          "void f(Stream& sc) {\n"
+                          "  const Event e = sc.record();\n"
+                          "  sc.wait_event(e);\n"
+                          "  sc.synchronize();\n"
+                          "}\n");
+  ASSERT_TRUE(has_perf(f, "redundant-wait", 3));
+  EXPECT_TRUE(run_perf("src/ft/x.cpp",
+                       "void f(Stream& sd, Stream& sc) {\n"
+                       "  copy_d2h_async(sd, d_g.cview(), stage_g_.view());\n"
+                       "  const Event e = sd.record();\n"
+                       "  sc.wait_event(e);\n"
+                       "  sc.enqueue(\"pool.reduce\", FTH_TASK_EFFECTS(FTH_READS(stage_g_)),\n"
+                       "             [=] { g(stage_g_); });\n"
+                       "}\n")
+                  .empty())
+      << "a genuine cross-stream edge is justified, never redundant";
+}
+
+TEST(AnalyzePerfCoarseSync, ABarrierWiderThanTheNewestObligationFires) {
+  const auto f = run_perf("src/hybrid/hybrid_x.cpp",
+                          "void f(Stream& s) {\n"
+                          "  copy_h2d_async(s, y.cview(), d_y.view());\n"
+                          "  gemm_async(s, 1.0, d_a.cview(), d_b.cview(), 0.0, d_c.view());\n"
+                          "  s.synchronize();\n"
+                          "}\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "coarse-synchronize");
+  EXPECT_EQ(f[0].line, 4);
+  EXPECT_NE(f[0].message.find("line 2"), std::string::npos)
+      << "the message names the transfer that is the real obligation";
+  EXPECT_NE(f[0].missing_edge.find("record an Event"), std::string::npos)
+      << "the fix-it names the narrower record()/wait pair";
+}
+
+TEST(AnalyzePerfCoarseSync, AHostViewInTheSameScopeJustifiesTheDrain) {
+  EXPECT_TRUE(run_perf("src/hybrid/hybrid_x.cpp",
+                       "void f(Stream& s) {\n"
+                       "  copy_h2d_async(s, y.cview(), d_y.view());\n"
+                       "  gemm_async(s, 1.0, d_a.cview(), d_b.cview(), 0.0, d_c.view());\n"
+                       "  s.synchronize();\n"
+                       "  auto h = host_view(d_y.view(), s);\n"
+                       "}\n")
+                  .empty())
+      << "drain-before-unwrap is the discipline, not over-synchronization";
+}
+
+TEST(AnalyzePerfCoarseSync, AHostViewInsideABraceInitializerIsTheSameScope) {
+  // The hybrid drivers' hook branch: the unwrap sits inside the
+  // IterationHookContext{...} designated-initializer braces. Those are
+  // expression braces, not a statement scope — the justification must
+  // see through them (they bit the first rollout of the drivers' fix).
+  EXPECT_TRUE(run_perf("src/hybrid/hybrid_x.cpp",
+                       "void f(Stream& s, const IterationHook& hook) {\n"
+                       "  copy_h2d_async(s, y.cview(), d_y.view());\n"
+                       "  gemm_async(s, 1.0, d_a.cview(), d_b.cview(), 0.0, d_c.view());\n"
+                       "  if (hook) {\n"
+                       "    s.synchronize();\n"
+                       "    hook(IterationHookContext{.dev_a = host_view(d_y.view(), s)});\n"
+                       "  }\n"
+                       "}\n")
+                  .empty());
+}
+
+TEST(AnalyzePerfCoarseSync, ABarrierOutsideTheConsumingBranchStillFires) {
+  const auto f = run_perf("src/hybrid/hybrid_x.cpp",
+                          "void f(Stream& s, const IterationHook& hook) {\n"
+                          "  copy_h2d_async(s, y.cview(), d_y.view());\n"
+                          "  gemm_async(s, 1.0, d_a.cview(), d_b.cview(), 0.0, d_c.view());\n"
+                          "  s.synchronize();\n"
+                          "  if (hook) {\n"
+                          "    hook(IterationHookContext{.dev_a = host_view(d_y.view(), s)});\n"
+                          "  }\n"
+                          "}\n");
+  EXPECT_TRUE(has_perf(f, "coarse-synchronize", 4))
+      << "the common path pays the drain the rare branch needs: movable";
+}
+
+TEST(AnalyzePerfCoarseSync, AnExpectMarkerTurnsTheFindingIntoAnExemplar) {
+  const auto f = run_perf("src/ft/x.cpp",
+                          "void f(Stream& s) {\n"
+                          "  copy_h2d_async(s, y.cview(), d_y.view());\n"
+                          "  gemm_async(s, 1.0, d_a.cview(), d_b.cview(), 0.0, d_c.view());\n"
+                          "  // fth-perf: expect coarse-synchronize\n"
+                          "  s.synchronize();\n"
+                          "}\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "coarse-synchronize");
+  EXPECT_TRUE(f[0].expected) << "the marker sanctions the barrier without hiding it";
+}
+
+TEST(AnalyzePerfFalseSerial, DisjointBackToBackTasksFire) {
+  const auto f = run_perf(
+      "src/ft/x.cpp",
+      "void f(Stream& s) {\n"
+      "  s.enqueue(\"ft.a\", FTH_TASK_EFFECTS(FTH_WRITES(d_y)), [=] { d_y.in_task(); });\n"
+      "  s.enqueue(\"ft.b\", FTH_TASK_EFFECTS(FTH_WRITES(d_z)), [=] { d_z.in_task(); });\n"
+      "}\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "false-serialization");
+  EXPECT_EQ(f[0].line, 3);
+  ASSERT_EQ(f[0].tasks.size(), 2u) << "the finding carries the pair for --dag pricing";
+  EXPECT_EQ(f[0].tasks[0], "ft.a");
+  EXPECT_EQ(f[0].tasks[1], "ft.b");
+}
+
+TEST(AnalyzePerfFalseSerial, ConflictingOrBatchSiblingsStayQuiet) {
+  EXPECT_TRUE(run_perf("src/ft/x.cpp",
+                       "void f(Stream& s) {\n"
+                       "  s.enqueue(\"ft.a\", FTH_TASK_EFFECTS(FTH_WRITES(d_y)),\n"
+                       "            [=] { d_y.in_task(); });\n"
+                       "  s.enqueue(\"ft.b\", FTH_TASK_EFFECTS(FTH_READS(d_y)),\n"
+                       "            [=] { d_y.in_task(); });\n"
+                       "}\n")
+                  .empty())
+      << "a write-read pair on one root is a genuine FIFO dependence";
+  EXPECT_TRUE(run_perf("src/ft/x.cpp",
+                       "void f(Stream& s) {\n"
+                       "  s.enqueue(\"ft.a\", FTH_TASK_EFFECTS(FTH_WRITES(d_y)),\n"
+                       "            [=] { d_y.in_task(); });\n"
+                       "  s.enqueue(\"ft.a\", FTH_TASK_EFFECTS(FTH_WRITES(d_z)),\n"
+                       "            [=] { d_z.in_task(); });\n"
+                       "}\n")
+                  .empty())
+      << "same-label neighbours are batch siblings: distributing them is "
+         "the DevicePool's job, not a per-pair rewrite";
+}
+
+TEST(AnalyzePerfOverWide, ADeclaredRootTheBodyNeverMentionsFires) {
+  const auto f = run_perf(
+      "src/ft/x.cpp",
+      "void f(Stream& s) {\n"
+      "  s.enqueue(\"ft.k\", FTH_TASK_EFFECTS(FTH_READS(h_x) FTH_WRITES(d_y)),\n"
+      "            [=] { d_y.in_task()(0, 0) = 1.0; });\n"
+      "  s.synchronize();\n"
+      "}\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "over-wide-effects");
+  EXPECT_EQ(f[0].line, 2);
+  EXPECT_NE(f[0].message.find("'h_x'"), std::string::npos);
+}
+
+TEST(AnalyzePerfOverWide, ALocalAliasOfTheRootCountsAsAMention) {
+  EXPECT_TRUE(run_perf("src/ft/x.cpp",
+                       "void f(Stream& s) {\n"
+                       "  auto ce = d_chke_.view();\n"
+                       "  encode();\n"
+                       "  s.enqueue(\"ft.couple\", FTH_TASK_EFFECTS(FTH_WRITES(d_chke_.view())),\n"
+                       "            [ce] { ce.in_task()(0, 0) += 1.0; });\n"
+                       "  s.synchronize();\n"
+                       "}\n")
+                  .empty())
+      << "capturing a view bound from the root IS a use of the root";
+}
+
+TEST(AnalyzePerfDeadTransfer, AnOverwrittenUnconsumedH2dFires) {
+  const auto f = run_perf("src/ft/x.cpp",
+                          "void f(Stream& s) {\n"
+                          "  copy_h2d_async(s, y.cview(), d_y.view());\n"
+                          "  copy_h2d_async(s, y.cview(), d_y.view());\n"
+                          "}\n");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].rule, "dead-transfer");
+  EXPECT_EQ(f[0].line, 2) << "the DEAD copy is the first one";
+  EXPECT_NE(f[0].message.find("line 3"), std::string::npos);
+
+  EXPECT_TRUE(run_perf("src/ft/x.cpp",
+                       "void f(Stream& s) {\n"
+                       "  copy_h2d_async(s, y.cview(), d_y.view());\n"
+                       "  gemm_async(s, 1.0, d_y.cview(), d_b.cview(), 0.0, d_c.view());\n"
+                       "  copy_h2d_async(s, y.cview(), d_y.view());\n"
+                       "}\n")
+                  .empty())
+      << "a device op between the copies consumes the first payload";
+}
+
+TEST(AnalyzePerfDeadTransfer, AReFetchedUnreadD2hFires) {
+  const auto f = run_perf("src/ft/x.cpp",
+                          "void f(Stream& s) {\n"
+                          "  copy_d2h(s, d_y.cview(), y.view());\n"
+                          "  copy_d2h(s, d_y.cview(), y.view());\n"
+                          "}\n");
+  ASSERT_TRUE(has_perf(f, "dead-transfer", 2));
+  EXPECT_TRUE(run_perf("src/ft/x.cpp",
+                       "void f(Stream& s) {\n"
+                       "  copy_d2h(s, d_y.cview(), y.view());\n"
+                       "  double t = y(0, 0);\n"
+                       "  copy_d2h(s, d_y.cview(), y.view());\n"
+                       "}\n")
+                  .empty())
+      << "a host read between the fetches consumes the first payload";
+}
+
+// ---- perf plane, seeded on the real sources ---------------------------------
+//
+// Re-introduce the exact over-synchronization this PR removed from the
+// drivers (or widen what it narrowed) and assert the advisory lands at
+// the seeded line. `replaced` keeps one statement per line, so the
+// mutation's line is the line the seed names.
+
+TEST(AnalyzePerfSeeded, ReAddingTheGehrdLoopBottomBarrierIsCoarse) {
+  const auto f = run_perf("src/hybrid/hybrid_gehrd.cpp",
+                          replaced(repo_file("src/hybrid/hybrid_gehrd.cpp"), "++st.panels;",
+                                   "++st.panels;\n        s.synchronize();"));
+  EXPECT_TRUE(has_perf(f, "coarse-synchronize", 138))
+      << "the pre-PR loop-bottom drain is re-flagged where it was removed";
+}
+
+TEST(AnalyzePerfSeeded, DoublingTheGebrdOperandsWaitIsRedundant) {
+  const auto f =
+      run_perf("src/hybrid/hybrid_gebrd.cpp",
+               replaced(repo_file("src/hybrid/hybrid_gebrd.cpp"), "operands_shipped.wait();",
+                        "operands_shipped.wait();\n        operands_shipped.wait();"));
+  EXPECT_TRUE(has_perf(f, "redundant-wait", 130))
+      << "the second wait's marker is already host-ordered by the first";
+}
+
+TEST(AnalyzePerfSeeded, DuplicatingTheGehrdTUploadIsADeadTransfer) {
+  const std::string t_h2d =
+      "copy_h2d_async(s, t_host.block(0, 0, ib, ib), d_t.block(0, 0, ib, ib));";
+  const auto f = run_perf("src/hybrid/hybrid_gehrd.cpp",
+                          replaced(repo_file("src/hybrid/hybrid_gehrd.cpp"), t_h2d,
+                                   t_h2d + "\n        " + t_h2d));
+  EXPECT_TRUE(has_perf(f, "dead-transfer", 92))
+      << "the first T upload is overwritten before any device op reads it";
+}
+
+TEST(AnalyzePerfSeeded, WideningALookaheadTaskFootprintIsCaught) {
+  const auto f = run_perf(
+      kFixture, replaced(repo_file(kFixture), "FTH_TASK_EFFECTS(FTH_WRITES(d_w_.view()))",
+                         "FTH_TASK_EFFECTS(FTH_READS(stage_host_.view()) "
+                         "FTH_WRITES(d_w_.view()))"));
+  ASSERT_TRUE(has_perf(f, "over-wide-effects", 110));
+  for (const auto& x : f) {
+    if (x.rule == "over-wide-effects") {
+      EXPECT_FALSE(x.expected) << "the exemplar markers cover their own rules only";
+    }
+  }
+}
+
+TEST(AnalyzePerfSeeded, ThePristineFixtureCarriesExactlyTheTwoExemplars) {
+  const auto f = run_perf(kFixture, repo_file(kFixture));
+  ASSERT_EQ(perf_count(f), 2u);
+  EXPECT_TRUE(has_perf(f, "redundant-wait", 109));
+  EXPECT_TRUE(has_perf(f, "false-serialization", 115));
+  for (const auto& x : f) {
+    EXPECT_TRUE(x.expected) << format(x);
+    EXPECT_FALSE(x.missing_edge.empty());
+  }
+}
+
 TEST(AnalyzeGolden, CleanTreeHasZeroFindingsAndFullCoverage) {
+  // One perf-enabled pass over the whole tree proves three goldens at
+  // once: the correctness plane is empty, the perf plane reports ONLY
+  // the committed `fth-perf: expect` exemplars, and the coverage stats
+  // match the checked-in tests/check/analyze_golden.txt byte for byte.
   Stats stats;
   std::size_t files = 0;
   std::vector<Finding> findings;
@@ -873,26 +1214,37 @@ TEST(AnalyzeGolden, CleanTreeHasZeroFindingsAndFullCoverage) {
           entry.path().lexically_relative(fs::path(FTH_REPO_ROOT)).generic_string();
       if (!in_scope(rel)) continue;
       ++files;
-      auto found = analyze_source(rel, slurp(entry.path()), &stats);
+      auto found = analyze_source(rel, slurp(entry.path()), &stats, Options{.perf = true});
       findings.insert(findings.end(), found.begin(), found.end());
     }
   }
-  for (const auto& finding : findings) ADD_FAILURE() << format(finding);
+  std::size_t expected_exemplars = 0;
+  for (const auto& finding : findings) {
+    if (!finding.perf) {
+      ADD_FAILURE() << "correctness: " << format(finding);
+    } else if (finding.expected) {
+      ++expected_exemplars;
+    } else {
+      ADD_FAILURE() << "unexpected advisory: " << format(finding);
+    }
+  }
+  // The committed exemplar budget: the three FT encode() drains, the
+  // two FT rollback drains, and the lookahead fixture's redundant-wait
+  // + false-serialization pair. A new advisory is either a fix to make
+  // or a marker (with rationale) to add — never silent drift.
+  EXPECT_EQ(expected_exemplars, 7u);
   EXPECT_GE(files, 20u);
   // The pass must actually be *seeing* the discipline, not skipping it.
-  // These are the exact whole-tree numbers WITH summary splicing: every
-  // call site of a helper with stream side-effects re-contributes the
-  // callee's operations (the v1 goldens — 15 records / 14 waits, ≥ 60
-  // transfers — undercounted everything routed through helpers). If a
-  // driver, bench, or example changes its stream traffic, update these
-  // alongside it; the analyze.repo ctest catches findings drift, this
-  // golden catches *coverage* drift.
-  EXPECT_EQ(stats.records, 42u);
-  EXPECT_EQ(stats.waits, 38u);
-  EXPECT_EQ(stats.transfers, 241u);
-  EXPECT_EQ(stats.enqueues, 270u);
-  EXPECT_EQ(stats.syncs, 245u);
-  EXPECT_EQ(stats.calls, 251u);
+  // The exact whole-tree numbers (WITH summary splicing: every call
+  // site of a helper with stream side-effects re-contributes the
+  // callee's operations) live in tests/check/analyze_golden.txt, the
+  // file `fth_analyze --stats-out` writes — regenerate it alongside any
+  // driver/bench/example stream-traffic change:
+  //   ./build/tools/fth_analyze --stats-out tests/check/analyze_golden.txt .
+  // The analyze.repo ctest catches findings drift; this golden catches
+  // *coverage* drift (a lexer or summary regression that silently stops
+  // seeing half the tree).
+  EXPECT_EQ(stats_lines(stats, files), repo_file("tests/check/analyze_golden.txt"));
   EXPECT_GE(stats.functions, 150u);
 }
 
